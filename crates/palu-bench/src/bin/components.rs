@@ -1,0 +1,127 @@
+//! E-EXT1 — Future-work extensions: component-size distribution and
+//! clustering coefficients.
+//!
+//! Section VII of the paper lists as future work (a) "extrapolating
+//! the results of the PALU model to observe and define the large
+//! clusters of small disconnected components" and (b) "deeper study
+//! into the degree distribution and clustering coefficients". This
+//! experiment does both on simulated PALU traffic:
+//!
+//! * the observed star-component size distribution against the
+//!   truncated-Poisson closed form `P(size = s) ∝ (λp)^{s−1}/(s−1)!`;
+//! * clustering coefficients of the observed network, showing all
+//!   transitivity lives in the PA core (leaves and stars are
+//!   triangle-free by construction).
+
+use palu::analytic::star_component_size_pmf;
+use palu::params::PaluParams;
+use palu_bench::{fmt_p, record_json, rule};
+use palu_graph::clustering::clustering;
+use palu_graph::components::Components;
+use palu_graph::graph::Graph;
+use palu_graph::palu_gen::NodeRole;
+use palu_graph::sample::sample_edges;
+use palu_stats::rng::{streams, SeedSequence};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ComponentsRecord {
+    size_rows: Vec<(u64, f64, f64)>, // (size, predicted, measured)
+    clustering_whole_global: f64,
+    clustering_whole_avg_local: f64,
+    clustering_core_global: f64,
+    triangles_whole: u64,
+    triangles_core: u64,
+}
+
+fn main() {
+    let params = PaluParams::from_core_leaf_fractions(0.35, 0.15, 4.0, 2.0, 0.5).unwrap();
+    let n = 300_000u64;
+    let seq = SeedSequence::new(20260706);
+    let net = params
+        .generator(n)
+        .unwrap()
+        .generate(&mut seq.rng(streams::CORE));
+    let obs = sample_edges(&net.graph, params.p, &mut seq.rng(streams::SAMPLING));
+
+    // ---- star component sizes ----
+    let comps = Components::of(&obs);
+    // A star component = component whose nodes are all star-section.
+    let mut comp_is_star = vec![true; comps.count()];
+    let mut comp_size = vec![0u64; comps.count()];
+    for v in 0..obs.n_nodes() {
+        let label = comps.label(v) as usize;
+        comp_size[label] += 1;
+        match net.role(v) {
+            NodeRole::StarCenter | NodeRole::StarLeaf => {}
+            _ => comp_is_star[label] = false,
+        }
+    }
+    let mut size_counts: std::collections::BTreeMap<u64, u64> = Default::default();
+    let mut star_components = 0u64;
+    for (label, (&is_star, &size)) in comp_is_star.iter().zip(&comp_size).enumerate() {
+        // Skip invisible singletons and the non-star components.
+        if !is_star || size < 2 || comps.edge_count(label as u32) == 0 {
+            continue;
+        }
+        *size_counts.entry(size).or_insert(0) += 1;
+        star_components += 1;
+    }
+
+    println!("E-EXT1 — observed star-component sizes vs truncated-Poisson closed form");
+    println!("model: λ = {}, p = {} (λp = {})", params.lambda, params.p, params.lambda * params.p);
+    println!("{}", rule(52));
+    println!("{:>6} {:>14} {:>14}", "size", "predicted", "measured");
+    let mut rows = Vec::new();
+    let mut worst_rel: f64 = 0.0;
+    for (&size, &count) in size_counts.iter().take(10) {
+        let predicted = star_component_size_pmf(params.lambda, params.p, size).unwrap();
+        let measured = count as f64 / star_components as f64;
+        println!("{size:>6} {:>14} {:>14}", fmt_p(predicted), fmt_p(measured));
+        if predicted > 0.01 {
+            worst_rel = worst_rel.max((predicted - measured).abs() / predicted);
+        }
+        rows.push((size, predicted, measured));
+    }
+    println!("worst relative deviation on sizes with ≥1% mass: {:.1}%", worst_rel * 100.0);
+    assert!(worst_rel < 0.1, "component-size law off by {worst_rel:.3}");
+
+    // ---- clustering ----
+    let whole = clustering(&obs);
+    let mut core_only = Graph::with_nodes(obs.n_nodes());
+    for &(u, v) in obs.edges() {
+        if net.role(u) == NodeRole::Core && net.role(v) == NodeRole::Core {
+            core_only.add_edge(u, v);
+        }
+    }
+    let core = clustering(&core_only);
+
+    println!();
+    println!("E-EXT1 — clustering coefficients (observed network)");
+    println!("{}", rule(52));
+    println!(
+        "  whole network: global = {:.5}, avg local = {:.5}, triangles = {}",
+        whole.global, whole.average_local, whole.triangles
+    );
+    println!(
+        "  core only:     global = {:.5}, triangles = {}",
+        core.global, core.triangles
+    );
+    assert_eq!(
+        whole.triangles, core.triangles,
+        "every triangle must be core-internal"
+    );
+    println!("  every triangle is core-internal — leaves and stars are transitivity-free. OK");
+
+    record_json(
+        "components",
+        &ComponentsRecord {
+            size_rows: rows,
+            clustering_whole_global: whole.global,
+            clustering_whole_avg_local: whole.average_local,
+            clustering_core_global: core.global,
+            triangles_whole: whole.triangles,
+            triangles_core: core.triangles,
+        },
+    );
+}

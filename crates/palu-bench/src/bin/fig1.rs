@@ -1,0 +1,76 @@
+//! E-F1 — Figure 1: streaming network traffic quantities.
+//!
+//! From one synthetic window, computes the five quantities the paper's
+//! Figure 1 defines — source packets, source fan-out, link packets,
+//! destination fan-in, destination packets — and prints each pooled
+//! distribution `D(d_i)`, demonstrating they are all heavy-tailed with
+//! dominant `d = 1` mass.
+
+use palu_bench::{fmt_p, record_json, rule};
+use palu_sparse::quantities::NetworkQuantity;
+use palu_stats::logbin::DifferentialCumulative;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    quantity: String,
+    total_observations: u64,
+    d_max: u64,
+    pooled: Vec<(u64, f64)>,
+}
+
+fn main() {
+    // Scenario 3 uses heavy-tailed (Pareto) per-link intensities, so
+    // all five quantities — including packets-per-link — show the
+    // paper's heavy tails. (Uniform intensity gives each link a
+    // near-Poisson packet count: realistic only for idealized traffic.)
+    let scenario = &palu_bench::fig3_scenarios()[3];
+    let mut obs = scenario.observatory(20260706);
+    let window = obs.next_window();
+
+    println!("FIGURE 1 — Streaming network traffic quantities");
+    println!(
+        "window: {} packets from '{}' (unique links: {})",
+        window.n_v(),
+        scenario.name,
+        window.aggregates().unique_links
+    );
+    println!();
+
+    let mut all = Vec::new();
+    for q in NetworkQuantity::ALL {
+        let h = q.histogram(window.matrix());
+        let pooled = DifferentialCumulative::from_histogram(&h);
+        println!("{} — D(d_i), d_i = 2^i", q.name());
+        println!("{}", rule(44));
+        println!("{:>10} {:>12}", "d_i", "D(d_i)");
+        for (d_i, v) in pooled.iter().filter(|&(_, v)| v > 0.0) {
+            println!("{d_i:>10} {:>12}", fmt_p(v));
+        }
+        println!(
+            "{:>10} observations, d_max = {}",
+            h.total(),
+            h.d_max().unwrap_or(0)
+        );
+        println!();
+        all.push(Series {
+            quantity: q.name().to_string(),
+            total_observations: h.total(),
+            d_max: h.d_max().unwrap_or(0),
+            pooled: pooled.iter().collect(),
+        });
+    }
+
+    // Shape assertions mirroring the paper's qualitative claims.
+    for s in &all {
+        assert!(
+            s.pooled[0].1 > 0.25,
+            "{}: d=1 bin should dominate, got {}",
+            s.quantity,
+            s.pooled[0].1
+        );
+        assert!(s.d_max >= 8, "{}: expected a heavy tail", s.quantity);
+    }
+    println!("shape check: every quantity has dominant d=1 mass and a heavy tail — OK");
+    record_json("fig1", &all);
+}

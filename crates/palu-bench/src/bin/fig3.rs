@@ -1,0 +1,177 @@
+//! E-F3 — Figure 3: measured distributions and model fits.
+//!
+//! For each of six synthetic observatories (locations/dates/window
+//! sizes), pools many consecutive windows into `D(d_i) ± σ(d_i)` and
+//! fits the modified Zipf–Mandelbrot model — the paper's "best-fit
+//! modified Zipf-Mandelbrot models with parameters α and δ". Panel 2
+//! is botnet-heavy traffic where the ZM fit visibly degrades (the
+//! paper's upper-right panel); the same panel fit with the PALU curve
+//! (Equation 5) shows the hybrid model explains the deviation.
+
+use palu::zm_fit::{FitObjective, ZmFitter};
+use palu_bench::{fmt_p, record_json, rule, Scenario};
+use palu_traffic::pipeline::{Measurement, Pipeline};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Panel {
+    name: String,
+    windows: u64,
+    n_v: u64,
+    effective_p: f64,
+    d_max: u64,
+    series: Vec<(u64, f64, f64)>, // (d_i, D, sigma)
+    zm_alpha: f64,
+    zm_delta: f64,
+    zm_residual: f64,
+    palu_residual: Option<f64>,
+    botnet_heavy: bool,
+}
+
+fn run_panel(scenario: &Scenario, seed: u64) -> Panel {
+    let mut obs = scenario.observatory(seed);
+    let effective_p = obs.effective_p();
+    let windows = obs.windows_parallel(scenario.windows);
+    let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+
+    let fit = ZmFitter::with_objective(FitObjective::LeastSquares)
+        .fit(&pooled.mean, None)
+        .expect("panel has data");
+    let zm_residual = fit.objective.sqrt();
+
+    // For the botnet panel, also fit the full PALU model: run the
+    // Section IV-B estimation pipeline on the merged multi-window
+    // degree histogram, rebuild the simplified degree law
+    // (Equations 2–3), and compare its pooled form to the
+    // measurement. This is the paper's "PALU(d) model has the
+    // potential to explain some observations that deviate from the
+    // Zipf-Mandelbrot distribution".
+    let palu_residual = if scenario.botnet_heavy {
+        let mut merged = palu_stats::histogram::DegreeHistogram::new();
+        for w in &windows {
+            merged.merge(&Measurement::UndirectedDegree.histogram(w));
+        }
+        let est = palu::estimate::PaluEstimator::default()
+            .estimate(&merged)
+            .expect("botnet panel estimable");
+        let s = est.simplified;
+        let d_max = fit.d_max;
+        let raw = |d: u64| -> f64 {
+            if d == 1 {
+                s.degree_one_fraction()
+            } else {
+                s.degree_fraction_poisson(d)
+            }
+        };
+        let z: f64 = (1..=d_max).map(raw).sum();
+        let model_pooled = palu_stats::logbin::DifferentialCumulative::from_pmf(
+            |d| raw(d) / z,
+            d_max,
+        );
+        Some(model_pooled.l2_distance_sq(&pooled.mean).sqrt())
+    } else {
+        None
+    };
+
+    Panel {
+        name: scenario.name.to_string(),
+        windows: pooled.windows,
+        n_v: scenario.n_v,
+        effective_p,
+        d_max: pooled.d_max,
+        series: pooled
+            .mean
+            .iter()
+            .zip(pooled.sigma.iter())
+            .map(|((d_i, v), &s)| (d_i, v, s))
+            .collect(),
+        zm_alpha: fit.alpha,
+        zm_delta: fit.delta,
+        zm_residual,
+        palu_residual,
+        botnet_heavy: scenario.botnet_heavy,
+    }
+}
+
+fn main() {
+    println!("FIGURE 3 — Measured distributions and model fits");
+    println!("(undirected degree D(d_i) ± σ over consecutive windows; best-fit modified ZM)");
+    println!();
+
+    let scenarios = palu_bench::fig3_scenarios();
+    let mut panels = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let panel = run_panel(s, 20260706 + i as u64);
+        println!("panel {}: {}", i + 1, panel.name);
+        println!(
+            "  {} windows × N_V = {}  (effective p ≈ {:.3}, d_max = {})",
+            panel.windows, panel.n_v, panel.effective_p, panel.d_max
+        );
+        println!("  {}", rule(48));
+        println!("  {:>8} {:>12} {:>12}", "d_i", "D(d_i)", "σ(d_i)");
+        for &(d_i, v, s) in panel.series.iter().filter(|&&(_, v, _)| v > 0.0) {
+            println!("  {:>8} {:>12} {:>12}", d_i, fmt_p(v), fmt_p(s));
+        }
+        println!(
+            "  best-fit ZM: α = {:.3}, δ = {:.3}   (L2 residual {:.4})",
+            panel.zm_alpha, panel.zm_delta, panel.zm_residual
+        );
+        // Terminal rendition of the panel: measured points vs fitted
+        // model, log-log like the paper's figure.
+        let measured = palu_stats::logbin::DifferentialCumulative::from_values(
+            panel.series.iter().map(|&(_, v, _)| v).collect(),
+        );
+        if let Ok(model) = palu::zm::ZipfMandelbrot::new(
+            panel.zm_alpha,
+            panel.zm_delta,
+            panel.d_max.max(1),
+        ) {
+            print!(
+                "{}",
+                palu_bench::ascii_loglog(&[("measured", &measured), ("ZM fit", &model.pooled())])
+            );
+        }
+        if let Some(pr) = panel.palu_residual {
+            println!(
+                "  botnet-heavy panel: full PALU model residual {:.4} vs ZM {:.4}  ({}x better)",
+                pr,
+                panel.zm_residual,
+                (panel.zm_residual / pr.max(1e-12)) as u32
+            );
+        }
+        println!();
+        panels.push(panel);
+    }
+
+    // Paper-shape assertions:
+    // (1) Every clean panel's ZM fit is tight.
+    for p in panels.iter().filter(|p| !p.botnet_heavy) {
+        assert!(
+            p.zm_residual < 0.05,
+            "{}: ZM residual {} too large for a clean panel",
+            p.name,
+            p.zm_residual
+        );
+    }
+    // (2) The botnet panel is the worst ZM fit of the set…
+    let botnet = panels.iter().find(|p| p.botnet_heavy).unwrap();
+    let worst_clean = panels
+        .iter()
+        .filter(|p| !p.botnet_heavy)
+        .map(|p| p.zm_residual)
+        .fold(0.0f64, f64::max);
+    assert!(
+        botnet.zm_residual > worst_clean,
+        "botnet panel should be the hardest for ZM ({} vs {worst_clean})",
+        botnet.zm_residual
+    );
+    // (3) …and the PALU curve does better there.
+    let palu_res = botnet.palu_residual.unwrap();
+    assert!(
+        palu_res < botnet.zm_residual,
+        "PALU Eq.5 ({palu_res}) should beat ZM ({}) on botnet traffic",
+        botnet.zm_residual
+    );
+    println!("shape checks: clean panels fit ZM tightly; botnet panel deviates and PALU explains it — OK");
+    record_json("fig3", &panels);
+}

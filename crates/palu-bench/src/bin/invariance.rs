@@ -1,0 +1,110 @@
+//! E-A3 — Window-size invariance (Section III-A).
+//!
+//! "For a given network, the parameters λ, C, L, U, and α should be
+//! the same regardless of the window size. As the window size
+//! increases, the only parameter that will change is p." This binary
+//! sweeps `p` against one fixed underlying network (both analytically
+//! and by simulation) and reports the recovered invariants per window.
+
+use palu::invariance::InvarianceSweep;
+use palu::params::PaluParams;
+use palu_bench::{record_json, rule};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Sweep {
+    mode: String,
+    ps: Vec<f64>,
+    core: Vec<f64>,
+    leaves: Vec<f64>,
+    unattached: Vec<f64>,
+    lambda: Vec<f64>,
+    alpha: Vec<f64>,
+    worst_spread: f64,
+}
+
+fn print_sweep(s: &Sweep, truth: &PaluParams) {
+    println!("{} sweep", s.mode);
+    println!("{}", rule(72));
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "p", "C", "L", "U", "λ", "α"
+    );
+    println!(
+        "{:>6} {:>9.4} {:>9.4} {:>9.4} {:>9.3} {:>9.3}   <- truth",
+        "-", truth.core, truth.leaves, truth.unattached, truth.lambda, truth.alpha
+    );
+    for i in 0..s.ps.len() {
+        println!(
+            "{:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>9.3} {:>9.3}",
+            s.ps[i], s.core[i], s.leaves[i], s.unattached[i], s.lambda[i], s.alpha[i]
+        );
+    }
+    println!("worst relative spread across windows: {:.3}", s.worst_spread);
+    println!();
+}
+
+fn main() {
+    let truth = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap();
+    let ps = [0.3f64, 0.5, 0.7, 0.9];
+    // The star-side parameters are identifiable only when the observed
+    // Poisson bump clears the core (λp ≳ 1.5); the simulated gate
+    // sweeps inside that envelope, and the p = 0.3 row is shown
+    // separately to document the graceful out-of-envelope behavior
+    // (λ reported as 0, mass absorbed by leaves).
+    let ps_identifiable = [0.5f64, 0.7, 0.9];
+
+    println!("E-A3 — Window-size invariance of (C, L, U, λ, α)");
+    println!();
+
+    let analytic = InvarianceSweep::default()
+        .analytic(&truth, &ps, 100_000_000, 1 << 14)
+        .expect("analytic sweep succeeds");
+    let simulated = InvarianceSweep::default()
+        .simulated(&truth, &ps_identifiable, 300_000, 20260706)
+        .expect("simulated sweep succeeds");
+    let out_of_envelope = InvarianceSweep::default()
+        .simulated(&truth, &[0.3], 300_000, 20260706)
+        .expect("out-of-envelope row succeeds");
+
+    let to_out = |mode: &str, rep: &palu::invariance::InvarianceReport| Sweep {
+        mode: mode.to_string(),
+        ps: rep.rows.iter().map(|r| r.p).collect(),
+        core: rep.rows.iter().map(|r| r.recovered.core).collect(),
+        leaves: rep.rows.iter().map(|r| r.recovered.leaves).collect(),
+        unattached: rep.rows.iter().map(|r| r.recovered.unattached).collect(),
+        lambda: rep.rows.iter().map(|r| r.recovered.lambda).collect(),
+        alpha: rep.rows.iter().map(|r| r.recovered.alpha).collect(),
+        worst_spread: rep.worst_spread(),
+    };
+    let a = to_out("ANALYTIC (noise-free)", &analytic);
+    let s = to_out(
+        "SIMULATED, identifiable windows λp ≥ 1.5 (one network, fresh sampling per window)",
+        &simulated,
+    );
+    print_sweep(&a, &truth);
+    print_sweep(&s, &truth);
+    let oe = &out_of_envelope.rows[0].recovered;
+    println!(
+        "out-of-envelope row (p = 0.3, λp = 0.9): λ reported {:.2}, U {:.3} — the bump is \
+         buried under the core and the estimator says so instead of guessing.",
+        oe.lambda, oe.unattached
+    );
+    println!();
+
+    assert!(
+        a.worst_spread < 0.3,
+        "analytic invariance spread {} too large",
+        a.worst_spread
+    );
+    assert!(
+        s.worst_spread < 0.45,
+        "simulated invariance spread {} too large",
+        s.worst_spread
+    );
+    assert!(oe.unattached < 0.5, "out-of-envelope U {} absurd", oe.unattached);
+    println!(
+        "invariance gates passed (analytic < 0.3, simulated < 0.45 relative spread in-envelope)"
+    );
+    record_json("invariance", &[a, s]);
+}

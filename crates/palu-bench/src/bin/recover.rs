@@ -1,0 +1,134 @@
+//! E-A2 — Section IV-B parameter recovery.
+//!
+//! Generates PALU networks with known `(C, L, U, λ, α)`, observes them
+//! at a known `p`, and runs the estimation pipeline: tail regression →
+//! moment-ratio Λ solve → u → l → underlying-parameter inversion.
+//! Reports recovery error per parameter, the ratio-vs-pointwise Λ
+//! estimator ablation, and the CSN single-power-law baseline (which
+//! sees only a single exponent where PALU separates populations).
+
+use palu::estimate::{EstimateOptions, LambdaMethod, PaluEstimator};
+use palu::params::PaluParams;
+use palu_bench::{record_json, rule};
+use palu_graph::sample::ObservedNetwork;
+use palu_stats::mle::{fit_csn, CsnOptions};
+use palu_stats::rng::{streams, SeedSequence};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Recovery {
+    label: String,
+    truth_lambda: f64,
+    truth_alpha: f64,
+    recovered_lambda: f64,
+    recovered_alpha: f64,
+    recovered_core: f64,
+    truth_core: f64,
+    recovered_leaves: f64,
+    truth_leaves: f64,
+    recovered_unattached: f64,
+    truth_unattached: f64,
+    lambda_pointwise: f64,
+    csn_alpha: f64,
+    csn_xmin: u64,
+}
+
+fn recover(truth: &PaluParams, n: u64, seed: u64, label: &str) -> Recovery {
+    let seq = SeedSequence::new(seed);
+    let net = truth
+        .generator(n)
+        .unwrap()
+        .generate(&mut seq.rng(streams::CORE));
+    let obs = ObservedNetwork::observe(&net, truth.p, &mut seq.rng(streams::SAMPLING));
+    let h = obs.degree_histogram();
+
+    // Simulated data is genuinely edge-thinned → exact pipeline.
+    let (_, rec) = PaluEstimator::default()
+        .estimate_exact(&h, truth.p)
+        .expect("estimation succeeds on PALU data");
+
+    let pointwise = PaluEstimator::new(EstimateOptions {
+        lambda_method: LambdaMethod::Pointwise,
+        ..Default::default()
+    })
+    .estimate(&h)
+    .expect("pointwise estimation succeeds");
+
+    let csn = fit_csn(&h, &CsnOptions::default()).expect("CSN baseline fits");
+
+    Recovery {
+        label: label.to_string(),
+        truth_lambda: truth.lambda,
+        truth_alpha: truth.alpha,
+        recovered_lambda: rec.lambda,
+        recovered_alpha: rec.alpha,
+        recovered_core: rec.core,
+        truth_core: truth.core,
+        recovered_leaves: rec.leaves,
+        truth_leaves: truth.leaves,
+        recovered_unattached: rec.unattached,
+        truth_unattached: truth.unattached,
+        lambda_pointwise: pointwise.simplified.lambda_p() / truth.p,
+        csn_alpha: csn.alpha,
+        csn_xmin: csn.x_min,
+    }
+}
+
+fn main() {
+    println!("E-A2 — Section IV-B parameter recovery on simulated PALU networks");
+    println!();
+    let cases = [
+        ("balanced", PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap()),
+        ("leaf-heavy", PaluParams::from_core_leaf_fractions(0.35, 0.40, 2.0, 2.2, 0.6).unwrap()),
+        ("star-heavy", PaluParams::from_core_leaf_fractions(0.30, 0.10, 5.0, 2.0, 0.7).unwrap()),
+    ];
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>14} {:>16} {:>12}",
+        "case", "λ (true/est)", "α (true/est)", "C (true/est)", "L (true/est)", "U (true/est)", "λ ratio/ptwise", "CSN α@xmin"
+    );
+    println!("{}", rule(120));
+    let mut rows = Vec::new();
+    for (i, (label, truth)) in cases.iter().enumerate() {
+        let r = recover(truth, 400_000, 314159 + i as u64, label);
+        println!(
+            "{:<12} {:>6.2}/{:<7.2} {:>6.2}/{:<7.2} {:>6.3}/{:<7.3} {:>6.3}/{:<7.3} {:>6.3}/{:<7.3} {:>7.2}/{:<8.2} {:>6.2}@{:<5}",
+            r.label,
+            r.truth_lambda, r.recovered_lambda,
+            r.truth_alpha, r.recovered_alpha,
+            r.truth_core, r.recovered_core,
+            r.truth_leaves, r.recovered_leaves,
+            r.truth_unattached, r.recovered_unattached,
+            r.recovered_lambda, r.lambda_pointwise,
+            r.csn_alpha, r.csn_xmin,
+        );
+        rows.push(r);
+    }
+
+    println!();
+    // Gates: λ and the role proportions recovered within model-family
+    // tolerances; the CSN baseline cannot see any of this structure
+    // (it reports a single exponent only).
+    for r in &rows {
+        let lam_rel = (r.recovered_lambda - r.truth_lambda).abs() / r.truth_lambda;
+        assert!(lam_rel < 0.35, "{}: λ recovery off by {lam_rel:.2}", r.label);
+        assert!(
+            (r.recovered_alpha - r.truth_alpha).abs() < 0.45,
+            "{}: α recovery off ({} vs {})",
+            r.label,
+            r.recovered_alpha,
+            r.truth_alpha
+        );
+        assert!(
+            (r.recovered_leaves - r.truth_leaves).abs() < 0.15,
+            "{}: L recovery off ({} vs {})",
+            r.label,
+            r.recovered_leaves,
+            r.truth_leaves
+        );
+    }
+    println!("recovery gates passed (λ < 35% rel. error; α < 0.45 abs; L < 0.15 abs)");
+    println!("note: the CSN baseline reduces each network to one exponent — it has no");
+    println!("      leaf/unattached decomposition at all, which is the paper's point.");
+    record_json("recover", &rows);
+}

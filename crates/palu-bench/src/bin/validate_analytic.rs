@@ -1,0 +1,217 @@
+//! E-A1 — Section IV analytic validation.
+//!
+//! Simulates the PALU model end-to-end (generate underlying network →
+//! Erdős–Rényi edge sampling) across a sweep of window sizes `p` and
+//! compares every Section IV closed-form prediction against measured
+//! counts: visible fraction, role fractions, unattached links,
+//! degree-1 fraction, and the degree law at selected `d`. Includes the
+//! core-generator ablation (configuration model vs Barabási–Albert).
+
+use palu::analytic::ObservedPrediction;
+use palu::params::PaluParams;
+use palu_bench::{record_json, rule};
+use palu_graph::census::TopologyCensus;
+use palu_graph::palu_gen::{CoreGenerator, NodeRole};
+use palu_graph::sample::sample_edges;
+use palu_stats::rng::{streams, SeedSequence};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ValidationRow {
+    p: f64,
+    core_gen: String,
+    predicted_core_frac: f64,
+    measured_core_frac: f64,
+    predicted_leaf_frac: f64,
+    measured_leaf_frac: f64,
+    predicted_unattached_frac: f64,
+    measured_unattached_frac: f64,
+    predicted_unattached_links: f64,
+    measured_unattached_links: f64,
+    /// All 2-node components in the observed graph, including pairs
+    /// shed by the sampled core — structure the model does not
+    /// predict (see EXPERIMENTS.md).
+    census_pair_components: f64,
+    predicted_degree1: f64,
+    measured_degree1: f64,
+    // Count-level comparisons against the *exact* model numerators
+    // (per underlying normalization n), free of the V-denominator
+    // approximation:
+    predicted_star_pair_count: f64,
+    measured_star_pair_count: u64,
+    predicted_leaf_visible_count: f64,
+    measured_leaf_visible_count: u64,
+    predicted_star_visible_count: f64,
+    measured_star_visible_count: u64,
+}
+
+fn validate(params: &PaluParams, core_gen: CoreGenerator, n: u64, seed: u64) -> ValidationRow {
+    let seq = SeedSequence::new(seed);
+    let gen = params
+        .generator(n)
+        .unwrap()
+        .with_core_generator(core_gen);
+    let net = gen.generate(&mut seq.rng(streams::CORE));
+    let observed = sample_edges(&net.graph, params.p, &mut seq.rng(streams::SAMPLING));
+
+    let degrees = observed.degrees();
+    let visible: u64 = degrees.iter().filter(|&&d| d > 0).count() as u64;
+
+    // Role-resolved visible counts.
+    let mut core_v = 0u64;
+    let mut leaf_v = 0u64;
+    let mut star_v = 0u64;
+    let mut degree1 = 0u64;
+    // Star-derived unattached links = star centers whose observed
+    // degree is exactly 1 (their single surviving leaf always has
+    // degree 1). This is precisely the quantity the Section IV
+    // formula U·λp·e^{−λp}/V predicts.
+    let mut star_pair_links = 0u64;
+    for (node, &d) in degrees.iter().enumerate() {
+        if d == 0 {
+            continue;
+        }
+        match net.role(node as u32) {
+            NodeRole::Core => core_v += 1,
+            NodeRole::Leaf => leaf_v += 1,
+            NodeRole::StarCenter => {
+                star_v += 1;
+                if d == 1 {
+                    star_pair_links += 1;
+                }
+            }
+            NodeRole::StarLeaf => star_v += 1,
+        }
+        if d == 1 {
+            degree1 += 1;
+        }
+    }
+    let census = TopologyCensus::of(&observed);
+    let pred = ObservedPrediction::new(params).unwrap();
+    let lp = params.lambda * params.p;
+    let nf = n as f64;
+
+    ValidationRow {
+        predicted_star_pair_count: params.unattached * lp * (-lp).exp() * nf,
+        measured_star_pair_count: star_pair_links,
+        predicted_leaf_visible_count: params.leaves * params.p * nf,
+        measured_leaf_visible_count: leaf_v,
+        predicted_star_visible_count: params.unattached
+            * (1.0 + lp - (-lp).exp())
+            * nf,
+        measured_star_visible_count: star_v,
+        p: params.p,
+        core_gen: format!("{core_gen:?}"),
+        predicted_core_frac: pred.core_fraction,
+        measured_core_frac: core_v as f64 / visible as f64,
+        predicted_leaf_frac: pred.leaf_fraction,
+        measured_leaf_frac: leaf_v as f64 / visible as f64,
+        predicted_unattached_frac: pred.unattached_fraction,
+        measured_unattached_frac: star_v as f64 / visible as f64,
+        predicted_unattached_links: pred.unattached_link_fraction,
+        measured_unattached_links: star_pair_links as f64 / visible as f64,
+        census_pair_components: census.unattached_links as f64 / visible as f64,
+        predicted_degree1: pred.degree_one_fraction,
+        measured_degree1: degree1 as f64 / visible as f64,
+    }
+}
+
+fn main() {
+    let base = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap();
+    let n = 400_000u64;
+
+    println!("E-A1 — Section IV analytic predictions vs simulation");
+    println!("model: C={}, L={}, U={:.4}, λ={}, α={}, n={n}", base.core, base.leaves, base.unattached, base.lambda, base.alpha);
+    println!();
+    println!(
+        "{:<6} {:<14} {:>18} {:>18} {:>18} {:>20} {:>18}",
+        "p", "core gen", "core frac (p/m)", "leaf frac (p/m)", "unatt frac (p/m)", "unatt links (p/m)", "degree-1 (p/m)"
+    );
+    println!("{}", rule(120));
+
+    let mut rows = Vec::new();
+    for (i, &p) in [0.2f64, 0.4, 0.6, 0.8].iter().enumerate() {
+        let params = base.with_p(p).unwrap();
+        let row = validate(&params, CoreGenerator::ConfigModel, n, 77 + i as u64);
+        println!(
+            "{:<6} {:<14} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>9.5}/{:<9.5} {:>8.4}/{:<8.4}",
+            p, "ConfigModel",
+            row.predicted_core_frac, row.measured_core_frac,
+            row.predicted_leaf_frac, row.measured_leaf_frac,
+            row.predicted_unattached_frac, row.measured_unattached_frac,
+            row.predicted_unattached_links, row.measured_unattached_links,
+            row.predicted_degree1, row.measured_degree1,
+        );
+        rows.push(row);
+    }
+    // Ablation: BA-growth core at the same nominal α.
+    let params = base.with_p(0.5).unwrap();
+    let row = validate(&params, CoreGenerator::BarabasiAlbert { m: 2 }, n, 999);
+    println!(
+        "{:<6} {:<14} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>8.4}/{:<8.4} {:>9.5}/{:<9.5} {:>8.4}/{:<8.4}",
+        0.5, "BA(m=2)",
+        row.predicted_core_frac, row.measured_core_frac,
+        row.predicted_leaf_frac, row.measured_leaf_frac,
+        row.predicted_unattached_frac, row.measured_unattached_frac,
+        row.predicted_unattached_links, row.measured_unattached_links,
+        row.predicted_degree1, row.measured_degree1,
+    );
+    rows.push(row);
+
+    // Accuracy gates at the COUNT level, where the model arithmetic is
+    // exact (star pairs, visible leaves, visible star nodes): these
+    // must track within sampling noise. The fraction-level columns
+    // divide by the paper's approximate visible-count V and inherit
+    // its small-p bias — documented, not gated.
+    println!();
+    println!(
+        "{:<6} {:>24} {:>24} {:>24}",
+        "p", "star pairs (pred/meas)", "visible leaves (p/m)", "visible star nodes (p/m)"
+    );
+    println!("{}", rule(84));
+    for r in &rows {
+        println!(
+            "{:<6} {:>11.0}/{:<11} {:>11.0}/{:<11} {:>11.0}/{:<11}",
+            r.p,
+            r.predicted_star_pair_count,
+            r.measured_star_pair_count,
+            r.predicted_leaf_visible_count,
+            r.measured_leaf_visible_count,
+            r.predicted_star_visible_count,
+            r.measured_star_visible_count,
+        );
+        let rel = |pred: f64, meas: u64| (pred - meas as f64).abs() / pred.max(1.0);
+        assert!(
+            rel(r.predicted_star_pair_count, r.measured_star_pair_count) < 0.1,
+            "p={}: star-pair count off",
+            r.p
+        );
+        assert!(
+            rel(r.predicted_leaf_visible_count, r.measured_leaf_visible_count) < 0.1,
+            "p={}: visible-leaf count off",
+            r.p
+        );
+        assert!(
+            rel(r.predicted_star_visible_count, r.measured_star_visible_count) < 0.1,
+            "p={}: visible-star count off",
+            r.p
+        );
+    }
+    println!();
+    println!("count-level gates passed (exact model terms within 10% of simulation)");
+    println!();
+    println!("findings recorded for EXPERIMENTS.md:");
+    println!(" * star-section predictions (exact Poisson arithmetic) track simulation tightly;");
+    println!(" * the observed graph contains MORE pair components than the model's unattached");
+    println!("   links — edge sampling fragments the core into pairs the model does not count:");
+    for r in &rows {
+        println!(
+            "     p={}: star pairs {:.5} vs all pair components {:.5}",
+            r.p, r.measured_unattached_links, r.census_pair_components
+        );
+    }
+    println!(" * the paper's visible-core term C·p^(α−1)/((α−1)ζ(α)) underestimates core");
+    println!("   visibility by up to ~2x at moderate p (it is a small-p leading-order term),");
+    println!("   which propagates into all role-fraction denominators.");
+    record_json("validate_analytic", &rows);
+}

@@ -1,0 +1,699 @@
+//! The `palu` subcommands.
+//!
+//! | command | function |
+//! |---|---|
+//! | `generate` | PALU underlying network → edge list |
+//! | `observe` | edge list + `p` → sampled edge list |
+//! | `degrees` | edge list → degree histogram |
+//! | `fit` | degree histogram → ZM + PALU + CSN fits |
+//! | `census` | edge list → Figure-2 topology census |
+//! | `help` | usage |
+//!
+//! Every command writes its primary output to `--out` (or stdout) and
+//! human-readable progress to stderr, so pipelines compose:
+//!
+//! ```text
+//! palu-cli generate --nodes 100000 --core 0.5 --leaves 0.2 --lambda 3 \
+//!               --alpha 2 --seed 1 --out net.txt
+//! palu-cli observe  --in net.txt --p 0.5 --seed 2 --out obs.txt
+//! palu-cli degrees  --in obs.txt --out deg.txt
+//! palu-cli fit      --in deg.txt --p 0.5
+//! ```
+
+use crate::args::ParsedArgs;
+use crate::io;
+use palu::estimate::PaluEstimator;
+use palu::params::PaluParams;
+use palu::zm_fit::ZmFitter;
+use palu_graph::census::TopologyCensus;
+use palu_graph::clustering::clustering;
+use palu_graph::sample::sample_edges;
+use palu_stats::logbin::DifferentialCumulative;
+use palu_stats::mle::{fit_csn, CsnOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::path::Path;
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+palu — PALU hybrid power-law network-traffic model (Devlin et al. 2021)
+
+USAGE: palu-cli <command> [--option value]...
+
+COMMANDS:
+  generate   Generate a PALU underlying network as an edge list
+             --nodes N --core C --leaves L --lambda λ --alpha α
+             [--p P=0.5] [--seed S=1] [--out FILE=stdout]
+  observe    Keep each edge of an edge list independently with prob. p
+             --in FILE --p P [--seed S=1] [--out FILE=stdout]
+  degrees    Reduce an edge list to a degree histogram (degree ≥ 1)
+             --in FILE [--out FILE=stdout]
+  fit        Fit models to a degree histogram
+             --in FILE [--p P] [--boot N=0]
+             (ZM (α, δ); CSN baseline; PALU constants; with --p also
+              the recovered underlying (C, L, U, λ); with --boot N
+              bootstrap CIs on the ZM fit)
+  census     Figure-2 topology census + clustering of an edge list
+             --in FILE
+  simulate   Run a synthetic observatory end to end: PALU network →
+             packet windows → pooled D(d_i) ± σ series
+             --core C --leaves L --lambda λ --alpha α
+             [--nodes N=100000] [--nv NV=100000] [--windows W=8]
+             [--seed S=1] [--out FILE=stdout]
+  gof        Goodness-of-fit report for a degree histogram: CSN
+             semiparametric bootstrap p-value + power-law-vs-lognormal
+             Vuong test
+             --in FILE [--boot N=50] [--seed S=1]
+  pool       Stream a packet trace (`src dst` per line) through
+             fixed-N_V windows into pooled D(d_i) ± σ, constant memory
+             --in FILE --nv NV [--out FILE=stdout]
+  help       This message
+";
+
+/// Write `f`'s output to `--out` or stdout.
+fn with_output<F>(args: &ParsedArgs, f: F) -> Result<(), CliError>
+where
+    F: FnOnce(&mut dyn Write) -> Result<(), CliError>,
+{
+    match args.options.get("out").filter(|s| !s.is_empty()) {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            let mut w = std::io::BufWriter::new(file);
+            f(&mut w)?;
+            w.flush()
+                .map_err(|e| CliError::runtime(format!("{path}: {e}")))
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            f(&mut lock)
+        }
+    }
+}
+
+fn cmd_generate(args: &ParsedArgs) -> Result<(), CliError> {
+    let nodes = args.u64_or("nodes", 100_000)?;
+    let core = args.require_f64("core")?;
+    let leaves = args.require_f64("leaves")?;
+    let lambda = args.require_f64("lambda")?;
+    let alpha = args.require_f64("alpha")?;
+    let p = args.f64_or("p", 0.5)?;
+    let seed = args.u64_or("seed", 1)?;
+
+    let params = PaluParams::from_core_leaf_fractions(core, leaves, lambda, alpha, p)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let net = params
+        .generator(nodes)
+        .map_err(|e| CliError::usage(e.to_string()))?
+        .generate(&mut StdRng::seed_from_u64(seed));
+    eprintln!(
+        "generated {} nodes, {} edges (C={core}, L={leaves}, U={:.4}, λ={lambda}, α={alpha})",
+        net.graph.n_nodes(),
+        net.graph.n_edges(),
+        params.unattached
+    );
+    with_output(args, |w| {
+        io::write_edge_list(&net.graph, w).map_err(|e| CliError::runtime(e.to_string()))
+    })
+}
+
+fn cmd_observe(args: &ParsedArgs) -> Result<(), CliError> {
+    let input = args.require("in")?.to_string();
+    let p = args.require_f64("p")?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError::usage(format!("--p must be in [0,1], got {p}")));
+    }
+    let seed = args.u64_or("seed", 1)?;
+    let g = io::read_edge_list_path(Path::new(&input)).map_err(CliError::usage)?;
+    let sampled = sample_edges(&g, p, &mut StdRng::seed_from_u64(seed));
+    eprintln!(
+        "observed {} of {} edges at p = {p}",
+        sampled.n_edges(),
+        g.n_edges()
+    );
+    with_output(args, |w| {
+        io::write_edge_list(&sampled, w).map_err(|e| CliError::runtime(e.to_string()))
+    })
+}
+
+fn cmd_degrees(args: &ParsedArgs) -> Result<(), CliError> {
+    let input = args.require("in")?.to_string();
+    let g = io::read_edge_list_path(Path::new(&input)).map_err(CliError::usage)?;
+    let h = g.degree_histogram();
+    eprintln!(
+        "{} visible nodes, d_max = {}",
+        h.total(),
+        h.d_max().unwrap_or(0)
+    );
+    with_output(args, |w| {
+        io::write_histogram(&h, w).map_err(|e| CliError::runtime(e.to_string()))
+    })
+}
+
+fn cmd_fit(args: &ParsedArgs) -> Result<(), CliError> {
+    let input = args.require("in")?.to_string();
+    let h = io::read_histogram_path(Path::new(&input)).map_err(CliError::usage)?;
+    if h.is_empty() {
+        return Err(CliError::usage("histogram is empty"));
+    }
+    let pooled = DifferentialCumulative::from_histogram(&h);
+
+    with_output(args, |w| {
+        let mut run = || -> Result<(), String> {
+            writeln!(w, "# palu fit report for {input}").map_err(|e| e.to_string())?;
+            writeln!(
+                w,
+                "observations: {}   f(1) = {:.4}   d_max = {}",
+                h.total(),
+                h.fraction_degree_one(),
+                h.d_max().unwrap_or(0)
+            )
+            .map_err(|e| e.to_string())?;
+
+            // Modified Zipf–Mandelbrot.
+            let zm = ZmFitter::default().fit(&pooled, None).map_err(|e| e.to_string())?;
+            writeln!(
+                w,
+                "zipf-mandelbrot: alpha = {:.4}  delta = {:+.4}  residual = {:.5}",
+                zm.alpha,
+                zm.delta,
+                zm.objective.sqrt()
+            )
+            .map_err(|e| e.to_string())?;
+
+            // Optional bootstrap CIs.
+            let n_boot = args.u64_or("boot", 0).map_err(|e| e.to_string())?;
+            if n_boot > 0 {
+                let mut rng = StdRng::seed_from_u64(args.u64_or("seed", 1).map_err(|e| e.to_string())?);
+                let boot = ZmFitter::default()
+                    .fit_bootstrap(&h, n_boot as usize, 0.9, &mut rng)
+                    .map_err(|e| e.to_string())?;
+                writeln!(
+                    w,
+                    "  90% CI: alpha in [{:.4}, {:.4}]  delta in [{:+.4}, {:+.4}]  ({} replicates)",
+                    boot.alpha_ci.0,
+                    boot.alpha_ci.1,
+                    boot.delta_ci.0,
+                    boot.delta_ci.1,
+                    boot.replicates.len()
+                )
+                .map_err(|e| e.to_string())?;
+            }
+
+            // CSN baseline.
+            match fit_csn(&h, &CsnOptions::default()) {
+                Ok(csn) => writeln!(
+                    w,
+                    "csn power law:   alpha = {:.4}  x_min = {}  KS = {:.5}  (n_tail = {})",
+                    csn.alpha, csn.x_min, csn.ks, csn.n_tail
+                )
+                .map_err(|e| e.to_string())?,
+                Err(e) => writeln!(w, "csn power law:   not fittable ({e})")
+                    .map_err(|e| e.to_string())?,
+            }
+
+            // PALU constants, and the underlying inversion when p known.
+            let est = PaluEstimator::default().estimate(&h).map_err(|e| e.to_string())?;
+            writeln!(
+                w,
+                "palu constants:  alpha = {:.4}  c = {:.5}  l = {:.5}  u = {:.5}  Lambda = {:.4}",
+                est.simplified.alpha,
+                est.simplified.c,
+                est.simplified.l,
+                est.simplified.u,
+                est.simplified.capital_lambda
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(p_str) = args.options.get("p").filter(|s| !s.is_empty()) {
+                let p: f64 = p_str.parse().map_err(|e| format!("--p: {e}"))?;
+                let (_, rec) = PaluEstimator::default()
+                    .estimate_exact(&h, p)
+                    .map_err(|e| e.to_string())?;
+                writeln!(
+                    w,
+                    "palu underlying: C = {:.4}  L = {:.4}  U = {:.4}  lambda = {:.4}  (at p = {p})",
+                    rec.core, rec.leaves, rec.unattached, rec.lambda
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        };
+        run().map_err(CliError::runtime)
+    })
+}
+
+fn cmd_census(args: &ParsedArgs) -> Result<(), CliError> {
+    let input = args.require("in")?.to_string();
+    let g = io::read_edge_list_path(Path::new(&input)).map_err(CliError::usage)?;
+    let census = TopologyCensus::of(&g);
+    let clust = clustering(&g);
+    with_output(args, |w| {
+        (|| -> std::io::Result<()> {
+            writeln!(w, "# palu census for {input}")?;
+            writeln!(w, "nodes                 {}", census.n_nodes)?;
+            writeln!(w, "edges                 {}", census.n_edges)?;
+            writeln!(w, "isolated nodes        {}", census.isolated_nodes)?;
+            writeln!(w, "core nodes            {}", census.core_nodes)?;
+            writeln!(w, "core edges            {}", census.core_edges)?;
+            writeln!(w, "supernode degree      {}", census.supernode_degree)?;
+            writeln!(w, "supernode leaves      {}", census.supernode_leaves)?;
+            writeln!(w, "core leaves           {}", census.core_leaves)?;
+            writeln!(w, "unattached links      {}", census.unattached_links)?;
+            writeln!(w, "detached stars        {}", census.detached_stars)?;
+            writeln!(w, "components (w/ edges) {}", census.nontrivial_components)?;
+            writeln!(w, "global clustering     {:.6}", clust.global)?;
+            writeln!(w, "avg local clustering  {:.6}", clust.average_local)?;
+            writeln!(w, "triangles             {}", clust.triangles)?;
+            Ok(())
+        })()
+        .map_err(|e| CliError::runtime(e.to_string()))
+    })
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::observatory::{Observatory, ObservatoryConfig};
+    use palu_traffic::packets::EdgeIntensity;
+    use palu_traffic::pipeline::{Measurement, Pipeline};
+
+    let nodes = args.u64_or("nodes", 100_000)?;
+    let core = args.require_f64("core")?;
+    let leaves = args.require_f64("leaves")?;
+    let lambda = args.require_f64("lambda")?;
+    let alpha = args.require_f64("alpha")?;
+    let n_v = args.u64_or("nv", 100_000)?;
+    let n_windows = args.u64_or("windows", 8)? as usize;
+    let seed = args.u64_or("seed", 1)?;
+
+    let params = PaluParams::from_core_leaf_fractions(core, leaves, lambda, alpha, 0.5)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let gen = params
+        .generator(nodes)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let mut obs = Observatory::new(
+        ObservatoryConfig {
+            name: "cli".into(),
+            date: String::new(),
+            n_v,
+        },
+        &gen,
+        EdgeIntensity::Uniform,
+        seed,
+    );
+    eprintln!(
+        "observatory up: {} windows × {} packets (effective p ≈ {:.3})",
+        n_windows,
+        n_v,
+        obs.effective_p()
+    );
+    let windows = obs.windows_parallel(n_windows);
+    let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+    with_output(args, |w| {
+        (|| -> std::io::Result<()> {
+            writeln!(
+                w,
+                "# pooled D(d_i) ± σ over {} windows of the undirected degree",
+                pooled.windows
+            )?;
+            writeln!(w, "# columns: d_i D sigma")?;
+            for ((d_i, v), s) in pooled.mean.iter().zip(pooled.sigma.iter()) {
+                writeln!(w, "{d_i} {v:.8e} {s:.8e}")?;
+            }
+            Ok(())
+        })()
+        .map_err(|e| CliError::runtime(e.to_string()))
+    })
+}
+
+fn cmd_gof(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_stats::mle::{fit_csn, goodness_of_fit, CsnOptions};
+    use palu_stats::model_select::{fit_lognormal_tail, vuong_test, ModelVerdict};
+
+    let input = args.require("in")?.to_string();
+    let h = io::read_histogram_path(Path::new(&input)).map_err(CliError::usage)?;
+    let n_boot = args.u64_or("boot", 50)? as usize;
+    let seed = args.u64_or("seed", 1)?;
+
+    with_output(args, |w| {
+        let mut run = || -> Result<(), String> {
+            let opts = CsnOptions::default();
+            let fit = fit_csn(&h, &opts).map_err(|e| e.to_string())?;
+            writeln!(
+                w,
+                "csn fit: alpha = {:.4}, x_min = {}, KS = {:.5} (n_tail = {})",
+                fit.alpha, fit.x_min, fit.ks, fit.n_tail
+            )
+            .map_err(|e| e.to_string())?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let gof =
+                goodness_of_fit(&h, &opts, n_boot, &mut rng).map_err(|e| e.to_string())?;
+            writeln!(
+                w,
+                "goodness of fit: p = {:.3} over {} replicates ({})",
+                gof.p_value,
+                gof.replicate_ks.len(),
+                if gof.p_value > 0.1 {
+                    "power law plausible"
+                } else {
+                    "power law RULED OUT per CSN's p <= 0.1 rule"
+                }
+            )
+            .map_err(|e| e.to_string())?;
+            match fit_lognormal_tail(&h, fit.x_min) {
+                Ok(ln) => {
+                    let v = vuong_test(&h, &fit, &ln, 0.05).map_err(|e| e.to_string())?;
+                    writeln!(
+                        w,
+                        "vuong test vs lognormal (x_min = {}): z = {:.2}, p = {:.3} -> {}",
+                        fit.x_min,
+                        v.z,
+                        v.p_value,
+                        match v.verdict {
+                            ModelVerdict::PowerLaw => "power law preferred",
+                            ModelVerdict::LogNormal => "lognormal preferred",
+                            ModelVerdict::Inconclusive => "inconclusive",
+                        }
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                Err(e) => {
+                    writeln!(w, "vuong test: lognormal not fittable ({e})")
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
+        };
+        run().map_err(CliError::runtime)
+    })
+}
+
+fn cmd_pool(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::pipeline::{Measurement, Pipeline};
+    use palu_traffic::stream::WindowStream;
+
+    let input = args.require("in")?.to_string();
+    let n_v = args.u64_or("nv", 100_000)? as usize;
+    if n_v == 0 {
+        return Err(CliError::usage("--nv must be positive"));
+    }
+    let file = std::fs::File::open(&input)
+        .map_err(|e| CliError::usage(format!("{input}: {e}")))?;
+    // Streaming parse: surface the first malformed line as an error,
+    // keep constant memory otherwise.
+    let mut parse_error: Option<String> = None;
+    let mut pipeline = Pipeline::new(Measurement::UndirectedDegree);
+    {
+        let err_slot = &mut parse_error;
+        let packets = io::packet_stream(file).map_while(|item| match item {
+            Ok(p) => Some(p),
+            Err(e) => {
+                *err_slot = Some(e);
+                None
+            }
+        });
+        for window in WindowStream::new(packets, n_v) {
+            pipeline.push_window(&window);
+        }
+    }
+    if let Some(e) = parse_error {
+        return Err(CliError::usage(format!("{input}: {e}")));
+    }
+    if pipeline.windows() == 0 {
+        return Err(CliError::usage(format!(
+            "{input}: fewer than {n_v} packets — no complete window"
+        )));
+    }
+    let pooled = pipeline.finish();
+    eprintln!("pooled {} windows of {n_v} packets", pooled.windows);
+    with_output(args, |w| {
+        (|| -> std::io::Result<()> {
+            writeln!(
+                w,
+                "# pooled undirected-degree D(d_i) ± σ over {} windows (N_V = {n_v})",
+                pooled.windows
+            )?;
+            writeln!(w, "# columns: d_i D sigma")?;
+            for ((d_i, v), s) in pooled.mean.iter().zip(pooled.sigma.iter()) {
+                writeln!(w, "{d_i} {v:.8e} {s:.8e}")?;
+            }
+            Ok(())
+        })()
+        .map_err(|e| CliError::runtime(e.to_string()))
+    })
+}
+
+/// Dispatch a parsed command line.
+pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "observe" => cmd_observe(args),
+        "degrees" => cmd_degrees(args),
+        "fit" => cmd_fit(args),
+        "census" => cmd_census(args),
+        "simulate" => cmd_simulate(args),
+        "gof" => cmd_gof(args),
+        "pool" => cmd_pool(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?} (try `palu-cli help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        parse_args(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("palu-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&parse(&["help"])).is_ok());
+        let e = run(&parse(&["frobnicate"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn full_pipeline_generate_observe_degrees_fit() {
+        let net = tmp("net.txt");
+        let obs = tmp("obs.txt");
+        let deg = tmp("deg.txt");
+        let report = tmp("report.txt");
+
+        run(&parse(&[
+            "generate", "--nodes", "120000", "--core", "0.5", "--leaves", "0.2",
+            "--lambda", "3.0", "--alpha", "2.0", "--seed", "7",
+            "--out", net.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&parse(&[
+            "observe", "--in", net.to_str().unwrap(), "--p", "0.5",
+            "--seed", "8", "--out", obs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&parse(&[
+            "degrees", "--in", obs.to_str().unwrap(), "--out", deg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&parse(&[
+            "fit", "--in", deg.to_str().unwrap(), "--p", "0.5",
+            "--out", report.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let report_text = std::fs::read_to_string(&report).unwrap();
+        assert!(report_text.contains("zipf-mandelbrot"), "{report_text}");
+        assert!(report_text.contains("csn power law"));
+        assert!(report_text.contains("palu underlying"));
+        // Recovered λ in the report should be near 3.
+        let lambda_line = report_text
+            .lines()
+            .find(|l| l.starts_with("palu underlying"))
+            .unwrap();
+        let lambda: f64 = lambda_line
+            .split("lambda = ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((lambda - 3.0).abs() < 1.5, "recovered λ {lambda}");
+    }
+
+    #[test]
+    fn census_on_generated_network() {
+        let net = tmp("census_net.txt");
+        let out = tmp("census_out.txt");
+        run(&parse(&[
+            "generate", "--nodes", "10000", "--core", "0.4", "--leaves", "0.2",
+            "--lambda", "2.0", "--alpha", "2.0", "--seed", "3",
+            "--out", net.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&parse(&["census", "--in", net.to_str().unwrap(), "--out", out.to_str().unwrap()])).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("unattached links"));
+        assert!(text.contains("global clustering"));
+    }
+
+    #[test]
+    fn observe_validates_p() {
+        let net = tmp("p_net.txt");
+        std::fs::write(&net, "0 1\n1 2\n").unwrap();
+        let e = run(&parse(&["observe", "--in", net.to_str().unwrap(), "--p", "1.5"]))
+            .unwrap_err();
+        assert!(e.message.contains("[0,1]"));
+    }
+
+    #[test]
+    fn fit_errors_on_missing_and_empty_files() {
+        let e = run(&parse(&["fit", "--in", "/nonexistent/x.txt"])).unwrap_err();
+        assert_eq!(e.code, 2);
+        let empty = tmp("empty_hist.txt");
+        std::fs::write(&empty, "# nothing\n").unwrap();
+        let e = run(&parse(&["fit", "--in", empty.to_str().unwrap()])).unwrap_err();
+        assert!(e.message.contains("empty"));
+    }
+
+    #[test]
+    fn simulate_produces_pooled_series() {
+        let out = tmp("sim_out.txt");
+        run(&parse(&[
+            "simulate", "--core", "0.5", "--leaves", "0.2", "--lambda", "2.0",
+            "--alpha", "2.0", "--nodes", "20000", "--nv", "20000",
+            "--windows", "4", "--out", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("pooled D(d_i)"));
+        // Data lines: d_i D sigma, with D summing to ≈ 1.
+        let total: f64 = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-6, "pooled mass {total}");
+    }
+
+    #[test]
+    fn gof_reports_on_palu_traffic() {
+        let net = tmp("gof_net.txt");
+        let deg = tmp("gof_deg.txt");
+        let out = tmp("gof_out.txt");
+        run(&parse(&[
+            "generate", "--nodes", "60000", "--core", "0.5", "--leaves", "0.2",
+            "--lambda", "2.0", "--alpha", "2.0", "--seed", "5",
+            "--out", net.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&parse(&["degrees", "--in", net.to_str().unwrap(), "--out", deg.to_str().unwrap()]))
+            .unwrap();
+        run(&parse(&[
+            "gof", "--in", deg.to_str().unwrap(), "--boot", "10",
+            "--out", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("csn fit"), "{text}");
+        assert!(text.contains("goodness of fit"));
+        assert!(text.contains("vuong test"));
+    }
+
+    #[test]
+    fn pool_streams_a_trace_file() {
+        let trace = tmp("pool_trace.txt");
+        // 250 packets over a tiny host space → 2 windows of 100,
+        // 50-packet remnant discarded.
+        let mut text = String::from("# trace\n");
+        for i in 0..250u32 {
+            text.push_str(&format!("{} {}\n", i % 17, (i * 7) % 23));
+        }
+        std::fs::write(&trace, text).unwrap();
+        let out = tmp("pool_out.txt");
+        run(&parse(&[
+            "pool", "--in", trace.to_str().unwrap(), "--nv", "100",
+            "--out", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let result = std::fs::read_to_string(&out).unwrap();
+        assert!(result.contains("over 2 windows"), "{result}");
+        let total: f64 = result
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-6);
+
+        // Malformed trace → usage error naming the line.
+        std::fs::write(&trace, "0 1\nnot a packet\n").unwrap();
+        let e = run(&parse(&["pool", "--in", trace.to_str().unwrap(), "--nv", "1"]))
+            .unwrap_err();
+        assert!(e.message.contains("line 2"), "{}", e.message);
+
+        // Too few packets → clear error.
+        std::fs::write(&trace, "0 1\n").unwrap();
+        let e = run(&parse(&["pool", "--in", trace.to_str().unwrap(), "--nv", "100"]))
+            .unwrap_err();
+        assert!(e.message.contains("no complete window"));
+    }
+
+    #[test]
+    fn generate_validates_parameters() {
+        let e = run(&parse(&[
+            "generate", "--core", "0.9", "--leaves", "0.9", "--lambda", "1.0",
+            "--alpha", "2.0",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 2);
+        // Missing required options.
+        let e = run(&parse(&["generate", "--core", "0.5"])).unwrap_err();
+        assert!(e.message.contains("--leaves") || e.message.contains("leaves"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Text file formats for graphs and histograms.
+//!
+//! * **edge list** — one `u v` pair of node ids per line; `#` comments
+//!   and blank lines ignored. The interchange format for networks.
+//! * **degree histogram** — one `degree count` pair per line; same
+//!   comment rules. The interchange format for fitted distributions.
+//!
+//! Both formats match what one gets from standard tools (SNAP-style
+//! edge lists; `sort | uniq -c`-style histograms), so real data drops
+//! in directly.
+
+use palu_graph::graph::Graph;
+use palu_stats::histogram::DegreeHistogram;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Read an edge list from a reader.
+///
+/// Node ids may be arbitrary `u32`s; the graph is sized to the largest
+/// id seen. Lines failing to parse yield an error naming the line
+/// number.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, String> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(format!("line {}: expected `u v`", lineno + 1));
+        };
+        if parts.next().is_some() {
+            return Err(format!("line {}: too many fields", lineno + 1));
+        }
+        let u: u32 = a
+            .parse()
+            .map_err(|e| format!("line {}: bad node id {a:?} ({e})", lineno + 1))?;
+        let v: u32 = b
+            .parse()
+            .map_err(|e| format!("line {}: bad node id {b:?} ({e})", lineno + 1))?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let mut g = Graph::with_nodes(if edges.is_empty() { 0 } else { max_id + 1 });
+    for (u, v) in edges {
+        g.add_edge(u, v);
+    }
+    Ok(g)
+}
+
+/// Write a graph as an edge list.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# palu edge list: {} nodes, {} edges", g.n_nodes(), g.n_edges())?;
+    for &(u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Read a degree histogram (`degree count` per line).
+pub fn read_histogram<R: Read>(reader: R) -> Result<DegreeHistogram, String> {
+    let mut h = DegreeHistogram::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(format!("line {}: expected `degree count`", lineno + 1));
+        };
+        let d: u64 = a
+            .parse()
+            .map_err(|e| format!("line {}: bad degree {a:?} ({e})", lineno + 1))?;
+        let c: u64 = b
+            .parse()
+            .map_err(|e| format!("line {}: bad count {b:?} ({e})", lineno + 1))?;
+        h.increment(d, c);
+    }
+    Ok(h)
+}
+
+/// Write a degree histogram (`degree count` per line, ascending).
+pub fn write_histogram<W: Write>(h: &DegreeHistogram, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# palu degree histogram: {} observations", h.total())?;
+    for (d, c) in h.iter() {
+        writeln!(w, "{d} {c}")?;
+    }
+    w.flush()
+}
+
+/// Lazily iterate packets (`src dst` per line) from a reader — the
+/// streaming input for window pooling. Malformed lines surface as
+/// `Err` items carrying the line number; comments/blank lines are
+/// skipped.
+pub fn packet_stream<R: Read>(
+    reader: R,
+) -> impl Iterator<Item = Result<palu_traffic::packets::Packet, String>> {
+    BufReader::new(reader)
+        .lines()
+        .enumerate()
+        .filter_map(|(lineno, line)| {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => return Some(Err(format!("line {}: {e}", lineno + 1))),
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                return None;
+            }
+            let mut parts = trimmed.split_whitespace();
+            let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+                return Some(Err(format!("line {}: expected `src dst`", lineno + 1)));
+            };
+            let src: u32 = match a.parse() {
+                Ok(v) => v,
+                Err(e) => return Some(Err(format!("line {}: bad src ({e})", lineno + 1))),
+            };
+            let dst: u32 = match b.parse() {
+                Ok(v) => v,
+                Err(e) => return Some(Err(format!("line {}: bad dst ({e})", lineno + 1))),
+            };
+            Some(Ok(palu_traffic::packets::Packet { src, dst }))
+        })
+}
+
+/// Convenience: read an edge list from a path.
+pub fn read_edge_list_path(path: &Path) -> Result<Graph, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    read_edge_list(f)
+}
+
+/// Convenience: read a histogram from a path.
+pub fn read_histogram_path(path: &Path) -> Result<DegreeHistogram, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    read_histogram(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        g.add_edge(1, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(back.edges(), g.edges());
+        assert_eq!(back.n_nodes(), 5);
+    }
+
+    #[test]
+    fn edge_list_tolerates_comments_and_blank_lines() {
+        let text = "# header\n\n0 1\n  # indented comment\n2 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.n_nodes(), 4);
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed_lines() {
+        assert!(read_edge_list("0".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 2".as_bytes()).is_err());
+        assert!(read_edge_list("a b".as_bytes()).is_err());
+        assert!(read_edge_list("0 -1".as_bytes()).is_err());
+        // Error messages carry the line number.
+        let e = read_edge_list("0 1\nbroken".as_bytes()).unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn empty_edge_list_is_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.n_nodes(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn histogram_round_trip() {
+        let h = DegreeHistogram::from_counts([(1, 100), (2, 50), (10, 3)]);
+        let mut buf = Vec::new();
+        write_histogram(&h, &mut buf).unwrap();
+        let back = read_histogram(buf.as_slice()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn histogram_accumulates_duplicate_lines() {
+        let h = read_histogram("1 5\n1 7\n2 1\n".as_bytes()).unwrap();
+        assert_eq!(h.count(1), 12);
+        assert_eq!(h.count(2), 1);
+    }
+
+    #[test]
+    fn histogram_rejects_malformed() {
+        assert!(read_histogram("1".as_bytes()).is_err());
+        assert!(read_histogram("x 1".as_bytes()).is_err());
+        assert!(read_histogram("1 y".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn packet_stream_is_lazy_and_validates() {
+        let text = "# trace\n0 1\n2 3\n\nbad line here\n4 5\n";
+        let items: Vec<_> = packet_stream(text.as_bytes()).collect();
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[0].as_ref().unwrap().src, 0);
+        assert_eq!(items[1].as_ref().unwrap().dst, 3);
+        let err = items[2].as_ref().unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+        assert_eq!(items[3].as_ref().unwrap().src, 4);
+    }
+}

@@ -1,0 +1,15 @@
+//! Library backing the `palu` command-line tool.
+//!
+//! The CLI makes the reproduction usable on *files*: generate a PALU
+//! network to an edge list, observe an edge list through a window,
+//! reduce edge lists to degree histograms, and fit the three model
+//! families (modified Zipf–Mandelbrot, PALU, CSN single power law) to
+//! a histogram. All the logic lives here so it is unit-testable; the
+//! binary in `main.rs` is a thin dispatcher.
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::{parse_args, ParsedArgs};
+pub use commands::{run, CliError};

@@ -1,0 +1,18 @@
+//! `palu` — command-line front end. All logic lives in the library
+//! (`palu_cli`); this binary only parses `std::env::args` and maps
+//! errors to exit codes.
+
+fn main() {
+    let args = match palu_cli::parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", palu_cli::commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = palu_cli::run(&args) {
+        eprintln!("error: {}", e.message);
+        std::process::exit(e.code);
+    }
+}

@@ -1,0 +1,306 @@
+//! Topology census — the Figure 2 taxonomy.
+//!
+//! Figure 2 of the paper classifies traffic-network structure into:
+//! *unattached links* (isolated node pairs), *supernode leaves*
+//! (degree-1 nodes hanging off the highest-degree node), *core leaves*
+//! (other degree-1 nodes of the main component), and the *densely
+//! connected core(s)*. The census extracts all of these counts from any
+//! graph, plus the isolated-node count the model predicts but traffic
+//! cannot observe.
+
+use crate::components::Components;
+use crate::graph::Graph;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Structural counts in the Figure 2 taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyCensus {
+    /// Total nodes, visible or not.
+    pub n_nodes: u64,
+    /// Total edges (multiplicity counted).
+    pub n_edges: u64,
+    /// Degree-0 nodes (invisible to traffic observation).
+    pub isolated_nodes: u64,
+    /// Connected components with ≥ 1 edge.
+    pub nontrivial_components: u64,
+    /// Components consisting of exactly one edge between two nodes —
+    /// the paper's *unattached links*.
+    pub unattached_links: u64,
+    /// Components that are stars with ≥ 2 leaves (one hub, rest
+    /// degree-1), excluding the largest component.
+    pub detached_stars: u64,
+    /// Node count of the largest component — the connected core.
+    pub core_nodes: u64,
+    /// Edge count of the largest component.
+    pub core_edges: u64,
+    /// Degree of the highest-degree node (the supernode).
+    pub supernode_degree: u64,
+    /// Degree-1 neighbors of the supernode — *supernode leaves*.
+    pub supernode_leaves: u64,
+    /// Other degree-1 nodes inside the largest component — *core
+    /// leaves*.
+    pub core_leaves: u64,
+}
+
+impl TopologyCensus {
+    /// Run the census on a graph.
+    pub fn of(g: &Graph) -> Self {
+        let degrees = g.degrees();
+        let n_nodes = g.n_nodes() as u64;
+        let n_edges = g.n_edges() as u64;
+        let isolated_nodes = degrees.iter().filter(|&&d| d == 0).count() as u64;
+
+        if n_edges == 0 {
+            return TopologyCensus {
+                n_nodes,
+                isolated_nodes,
+                ..Default::default()
+            };
+        }
+
+        let comps = Components::of(g);
+        let largest = comps.largest().expect("graph has nodes");
+        let core_nodes = comps.node_count(largest) as u64;
+        let core_edges = comps.edge_count(largest);
+
+        let mut nontrivial_components = 0u64;
+        let mut unattached_links = 0u64;
+        for (_, nodes, edges) in comps.iter() {
+            if edges == 0 {
+                continue;
+            }
+            nontrivial_components += 1;
+            if nodes == 2 && edges == 1 {
+                unattached_links += 1;
+            }
+        }
+
+        // Detached stars: components (≠ largest) with k ≥ 3 nodes,
+        // k−1 edges, and exactly one node of degree > 1.
+        let mut comp_high_degree = vec![0u32; comps.count()];
+        for (node, &d) in degrees.iter().enumerate() {
+            if d > 1 {
+                comp_high_degree[comps.label(node as NodeId) as usize] += 1;
+            }
+        }
+        let mut detached_stars = 0u64;
+        for (label, nodes, edges) in comps.iter() {
+            if label == largest || nodes < 3 {
+                continue;
+            }
+            if edges == nodes as u64 - 1 && comp_high_degree[label as usize] == 1 {
+                detached_stars += 1;
+            }
+        }
+
+        // Supernode analysis.
+        let (supernode, supernode_degree) = g.supernode().expect("n_edges > 0");
+        let adj = g.adjacency();
+        let supernode_leaves = adj
+            .neighbors(supernode)
+            .iter()
+            .filter(|&&nb| degrees[nb as usize] == 1)
+            .count() as u64;
+
+        // Core leaves: degree-1 nodes in the largest component that are
+        // not supernode leaves.
+        let mut core_leaves = 0u64;
+        for (node, &d) in degrees.iter().enumerate() {
+            if d == 1 && comps.label(node as NodeId) == largest {
+                core_leaves += 1;
+            }
+        }
+        let core_leaves = core_leaves.saturating_sub(if comps.label(supernode) == largest {
+            supernode_leaves
+        } else {
+            0
+        });
+
+        TopologyCensus {
+            n_nodes,
+            n_edges,
+            isolated_nodes,
+            nontrivial_components,
+            unattached_links,
+            detached_stars,
+            core_nodes,
+            core_edges,
+            supernode_degree,
+            supernode_leaves,
+            core_leaves,
+        }
+    }
+
+    /// Fraction of visible (degree ≥ 1) nodes in the largest
+    /// component.
+    pub fn core_fraction(&self) -> f64 {
+        let visible = self.n_nodes - self.isolated_nodes;
+        if visible == 0 {
+            0.0
+        } else {
+            self.core_nodes as f64 / visible as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palu_gen::{NodeRole, PaluGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build the Figure 2 cartoon: a dense core with a supernode, some
+    /// supernode leaves, core leaves, two unattached links, one
+    /// detached star, and one isolated node.
+    fn figure2_graph() -> Graph {
+        let mut g = Graph::with_nodes(0);
+        // Dense core: K4 on nodes 0..4; node 0 will be the supernode.
+        g.add_nodes(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v);
+            }
+        }
+        // Supernode leaves: 5 degree-1 nodes on node 0.
+        for _ in 0..5 {
+            let leaf = g.add_node();
+            g.add_edge(0, leaf);
+        }
+        // Core leaves: 2 degree-1 nodes on node 1.
+        for _ in 0..2 {
+            let leaf = g.add_node();
+            g.add_edge(1, leaf);
+        }
+        // Two unattached links.
+        for _ in 0..2 {
+            let a = g.add_node();
+            let b = g.add_node();
+            g.add_edge(a, b);
+        }
+        // One detached star: hub + 3 leaves.
+        let hub = g.add_node();
+        for _ in 0..3 {
+            let leaf = g.add_node();
+            g.add_edge(hub, leaf);
+        }
+        // One isolated node.
+        g.add_node();
+        g
+    }
+
+    #[test]
+    fn figure2_census() {
+        let c = TopologyCensus::of(&figure2_graph());
+        assert_eq!(c.n_nodes, 4 + 5 + 2 + 4 + 4 + 1);
+        assert_eq!(c.isolated_nodes, 1);
+        assert_eq!(c.unattached_links, 2);
+        assert_eq!(c.detached_stars, 1);
+        assert_eq!(c.core_nodes, 11); // K4 + 5 + 2 leaves
+        assert_eq!(c.core_edges, 6 + 7);
+        // Supernode is node 0: degree 3 (K4) + 5 leaves = 8.
+        assert_eq!(c.supernode_degree, 8);
+        assert_eq!(c.supernode_leaves, 5);
+        assert_eq!(c.core_leaves, 2);
+        assert_eq!(c.nontrivial_components, 1 + 2 + 1);
+        let visible = c.n_nodes - c.isolated_nodes;
+        assert!((c.core_fraction() - 11.0 / visible as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let c = TopologyCensus::of(&Graph::default());
+        assert_eq!(c.n_nodes, 0);
+        assert_eq!(c.core_fraction(), 0.0);
+        let c = TopologyCensus::of(&Graph::with_nodes(5));
+        assert_eq!(c.n_nodes, 5);
+        assert_eq!(c.isolated_nodes, 5);
+        assert_eq!(c.n_edges, 0);
+        assert_eq!(c.supernode_degree, 0);
+        assert_eq!(c.core_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_edge_graph_is_its_own_core() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1);
+        let c = TopologyCensus::of(&g);
+        // The only component is both the largest ("core") and a pair —
+        // it still counts as an unattached link under the taxonomy.
+        assert_eq!(c.core_nodes, 2);
+        assert_eq!(c.unattached_links, 1);
+        assert_eq!(c.supernode_degree, 1);
+    }
+
+    #[test]
+    fn palu_network_census_is_consistent_with_roles() {
+        let gen = PaluGenerator::new(5_000, 1_500, 2_000, 2.0, 0.8).unwrap();
+        let net = gen.generate(&mut StdRng::seed_from_u64(42));
+        let c = TopologyCensus::of(&net.graph);
+
+        // Isolated nodes are exactly the zero-leaf star centers.
+        assert_eq!(c.isolated_nodes, net.isolated_star_centers.len() as u64);
+
+        // The core component contains at least the biggest chunk of
+        // core nodes (config-model cores at α=2 have a giant
+        // component).
+        assert!(c.core_nodes as f64 > 0.5 * 5_000.0);
+
+        // Star-derived unattached links are single-leaf stars:
+        // expectation U_N·λ·e^{-λ} ≈ 2000·0.8·e^{-0.8} ≈ 719. The
+        // census total also counts pair components from the core
+        // section (degree-1 core nodes wired to each other or holding
+        // a single anchored leaf), so compare the role-filtered count.
+        let comps = crate::components::Components::of(&net.graph);
+        let mut comp_sizes = std::collections::HashMap::new();
+        for node in 0..net.graph.n_nodes() {
+            *comp_sizes.entry(comps.label(node)).or_insert(0u32) += 1;
+        }
+        let degs = net.graph.degrees();
+        let star_pairs = (0..net.graph.n_nodes())
+            .filter(|&v| {
+                net.role(v) == NodeRole::StarCenter
+                    && degs[v as usize] == 1
+                    && comp_sizes[&comps.label(v)] == 2
+            })
+            .count();
+        let expected = 2000.0 * 0.8 * (-0.8f64).exp();
+        assert!(
+            (star_pairs as f64 - expected).abs() < 5.0 * expected.sqrt() + 30.0,
+            "star pair components {star_pairs} vs expected {expected}"
+        );
+        // And the census total includes at least those.
+        assert!(c.unattached_links as usize >= star_pairs);
+
+        // Supernode leaves exist (preferential anchoring).
+        assert!(c.supernode_leaves > 0);
+
+        // Star sections contribute detached stars (size ≥ 3).
+        assert!(c.detached_stars > 0);
+
+        // Role bookkeeping: leaf count matches generator request.
+        assert_eq!(net.count_role(NodeRole::Leaf), 1_500);
+    }
+
+    #[test]
+    fn detached_star_detection_excludes_paths() {
+        // A path of 4 nodes is a tree but has two high-degree nodes —
+        // must not count as a star.
+        let mut g = Graph::with_nodes(0);
+        // Largest component: triangle.
+        g.add_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        // Path component: 3-4-5-6.
+        g.add_nodes(4);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 6);
+        let c = TopologyCensus::of(&g);
+        assert_eq!(c.detached_stars, 0);
+        // But the path still counts as a nontrivial component.
+        assert_eq!(c.nontrivial_components, 2);
+    }
+}

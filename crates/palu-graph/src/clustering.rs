@@ -1,0 +1,277 @@
+//! Clustering coefficients.
+//!
+//! The paper's future-work list (Section VII) calls for "deeper study
+//! into the degree distribution and clustering coefficients" of the
+//! PALU model. This module provides both standard notions:
+//!
+//! * **global** (transitivity): `3·#triangles / #wedges`;
+//! * **average local**: mean over nodes of
+//!   `#closed wedges at v / C(deg v, 2)`.
+//!
+//! The PALU structure makes strong predictions here: leaves and star
+//! components contain *no* triangles (a star is triangle-free and a
+//! leaf's single edge forms no wedge-closing pair), so all clustering
+//! lives in the PA core, and adding leaf/star mass dilutes the average
+//! local coefficient proportionally — verified by the tests and by the
+//! `components` experiment binary.
+
+use crate::graph::Graph;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Clustering summary of a graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Number of triangles (each counted once).
+    pub triangles: u64,
+    /// Number of wedges (paths of length 2, centered count:
+    /// `Σ_v C(deg v, 2)`).
+    pub wedges: u64,
+    /// Global clustering coefficient (transitivity):
+    /// `3·triangles / wedges`; 0 for wedge-free graphs.
+    pub global: f64,
+    /// Average local clustering coefficient over nodes with degree ≥ 2
+    /// (nodes that can't close a wedge are excluded, the common
+    /// convention for sparse traffic graphs).
+    pub average_local: f64,
+    /// Number of nodes with degree ≥ 2 (the averaging population).
+    pub closable_nodes: u64,
+}
+
+/// Compute exact clustering statistics.
+///
+/// Works on simple graphs; parallel edges are collapsed and self-loops
+/// ignored during neighbor-set construction, so multigraph inputs are
+/// handled gracefully (a traffic matrix's parallel packets do not
+/// create extra triangles).
+///
+/// # Examples
+///
+/// ```
+/// use palu_graph::graph::Graph;
+/// use palu_graph::clustering::clustering;
+/// // A triangle is fully clustered; a star is not clustered at all.
+/// let mut tri = Graph::with_nodes(3);
+/// tri.add_edge(0, 1);
+/// tri.add_edge(1, 2);
+/// tri.add_edge(2, 0);
+/// assert_eq!(clustering(&tri).global, 1.0);
+/// let mut star = Graph::with_nodes(4);
+/// for leaf in 1..4 {
+///     star.add_edge(0, leaf);
+/// }
+/// assert_eq!(clustering(&star).global, 0.0);
+/// ```
+///
+/// Complexity: `O(Σ_v deg(v)²)` in the worst case via sorted-neighbor
+/// intersection — fine for the sparse, bounded-degree bulk of PALU
+/// networks; the supernode contributes one heavy row.
+pub fn clustering(g: &Graph) -> Clustering {
+    let n = g.n_nodes() as usize;
+    // Deduplicated, sorted neighbor lists (self-loops dropped).
+    let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &(u, v) in g.edges() {
+        if u == v {
+            continue;
+        }
+        neighbors[u as usize].push(v);
+        neighbors[v as usize].push(u);
+    }
+    for list in &mut neighbors {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // Count triangles once by orienting each edge toward the
+    // higher-(degree, id) endpoint (standard forward counting).
+    let rank = |v: NodeId| (neighbors[v as usize].len(), v);
+    let mut forward: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (u, list) in neighbors.iter().enumerate() {
+        for &v in list {
+            if rank(v as NodeId) > rank(u as NodeId) {
+                forward[u].push(v);
+            }
+        }
+    }
+    let mut triangles_total = 0u64;
+    let mut closed_wedges_at = vec![0u64; n]; // per-node triangle count
+    for u in 0..n {
+        let fu = &forward[u];
+        for (i, &v) in fu.iter().enumerate() {
+            for &w in &fu[i + 1..] {
+                // Is (v, w) an edge? Binary search the neighbor list.
+                if neighbors[v as usize].binary_search(&w).is_ok() {
+                    triangles_total += 1;
+                    closed_wedges_at[u] += 1;
+                    closed_wedges_at[v as usize] += 1;
+                    closed_wedges_at[w as usize] += 1;
+                }
+            }
+        }
+    }
+
+    let mut wedges = 0u64;
+    let mut local_sum = 0.0f64;
+    let mut closable = 0u64;
+    for (u, list) in neighbors.iter().enumerate() {
+        let d = list.len() as u64;
+        if d >= 2 {
+            let w = d * (d - 1) / 2;
+            wedges += w;
+            closable += 1;
+            local_sum += closed_wedges_at[u] as f64 / w as f64;
+        }
+    }
+
+    Clustering {
+        triangles: triangles_total,
+        wedges,
+        global: if wedges == 0 {
+            0.0
+        } else {
+            3.0 * triangles_total as f64 / wedges as f64
+        },
+        average_local: if closable == 0 {
+            0.0
+        } else {
+            local_sum / closable as f64
+        },
+        closable_nodes: closable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palu_gen::PaluGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let c = clustering(&triangle());
+        assert_eq!(c.triangles, 1);
+        assert_eq!(c.wedges, 3);
+        assert_eq!(c.global, 1.0);
+        assert_eq!(c.average_local, 1.0);
+        assert_eq!(c.closable_nodes, 3);
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        let mut g = Graph::with_nodes(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        let c = clustering(&g);
+        assert_eq!(c.triangles, 10); // C(5,3)
+        assert_eq!(c.wedges, 5 * 6); // 5 · C(4,2)
+        assert!((c.global - 1.0).abs() < 1e-12);
+        assert!((c.average_local - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stars_and_paths_have_zero_clustering() {
+        // Star: hub with 5 leaves — wedges but no triangles.
+        let mut star = Graph::with_nodes(6);
+        for v in 1..6 {
+            star.add_edge(0, v);
+        }
+        let c = clustering(&star);
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.wedges, 10);
+        assert_eq!(c.global, 0.0);
+        assert_eq!(c.average_local, 0.0);
+        assert_eq!(c.closable_nodes, 1);
+        // Path of 4.
+        let mut path = Graph::with_nodes(4);
+        path.add_edge(0, 1);
+        path.add_edge(1, 2);
+        path.add_edge(2, 3);
+        let c = clustering(&path);
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.wedges, 2);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // Triangle {0,1,2} plus pendant 3 attached to 0: the pendant
+        // adds wedges at 0 but no triangles.
+        let mut g = triangle();
+        let p = g.add_node();
+        g.add_edge(0, p);
+        let c = clustering(&g);
+        assert_eq!(c.triangles, 1);
+        // Wedges: node 0 has degree 3 → 3; nodes 1, 2 → 1 each; total 5.
+        assert_eq!(c.wedges, 5);
+        assert!((c.global - 3.0 / 5.0).abs() < 1e-12);
+        // Local: node 0 closes 1/3, nodes 1 and 2 close 1/1;
+        // average over 3 closable nodes = (1/3 + 1 + 1)/3 = 7/9.
+        assert!((c.average_local - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_do_not_inflate() {
+        let mut g = triangle();
+        g.add_edge(0, 1); // parallel
+        g.add_edge(2, 2); // self-loop
+        let c = clustering(&g);
+        assert_eq!(c.triangles, 1);
+        assert_eq!(c.wedges, 3);
+        assert_eq!(c.global, 1.0);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(clustering(&Graph::default()), Clustering::default());
+        let c = clustering(&Graph::with_nodes(10));
+        assert_eq!(c.triangles, 0);
+        assert_eq!(c.global, 0.0);
+        assert_eq!(c.closable_nodes, 0);
+    }
+
+    #[test]
+    fn palu_clustering_lives_in_the_core() {
+        // All triangles of a PALU network are core-internal: adding
+        // leaf/star mass leaves the triangle count unchanged and
+        // dilutes nothing else.
+        let mut rng = StdRng::seed_from_u64(3);
+        let with_extras = PaluGenerator::new(3_000, 2_000, 1_000, 2.0, 2.0)
+            .unwrap()
+            .generate(&mut rng);
+        let c = clustering(&with_extras.graph);
+        // Rebuild the core-only subgraph from roles and compare
+        // triangle counts.
+        use crate::palu_gen::NodeRole;
+        let mut core_only = Graph::with_nodes(with_extras.graph.n_nodes());
+        for &(u, v) in with_extras.graph.edges() {
+            if with_extras.role(u) == NodeRole::Core && with_extras.role(v) == NodeRole::Core {
+                core_only.add_edge(u, v);
+            }
+        }
+        let cc = clustering(&core_only);
+        assert_eq!(c.triangles, cc.triangles, "triangles must be core-internal");
+        assert!(c.triangles > 0, "a dense-enough core should close triangles");
+    }
+
+    #[test]
+    fn global_clustering_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = PaluGenerator::new(2_000, 500, 500, 2.0, 1.0)
+            .unwrap()
+            .generate(&mut rng);
+        let c = clustering(&net.graph);
+        assert!(c.global >= 0.0 && c.global <= 1.0);
+        assert!(c.average_local >= 0.0 && c.average_local <= 1.0);
+    }
+}

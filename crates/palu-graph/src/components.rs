@@ -1,0 +1,231 @@
+//! Connected components via union-find.
+//!
+//! The Figure 2 census classifies a traffic network by its component
+//! structure: the densely connected core(s), single-edge unattached
+//! links, and star components. Union-find with path halving and union
+//! by size gives near-linear component extraction even at the
+//! 10⁷-edge scale of the largest experiments.
+
+use crate::graph::Graph;
+use crate::NodeId;
+
+/// Disjoint-set forest over `0..n` with path halving + union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<NodeId>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: NodeId) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n as usize],
+        }
+    }
+
+    /// Find the representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: NodeId) -> NodeId {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merge the sets containing `a` and `b`; returns `true` if they
+    /// were previously distinct.
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: NodeId) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// The connected components of a graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per node (dense, `0..n_components`).
+    labels: Vec<u32>,
+    /// Node count per component.
+    node_counts: Vec<u32>,
+    /// Edge count per component (multiplicities included).
+    edge_counts: Vec<u64>,
+}
+
+impl Components {
+    /// Compute the connected components of `g`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.n_nodes();
+        let mut uf = UnionFind::new(n);
+        for &(u, v) in g.edges() {
+            uf.union(u, v);
+        }
+        // Densify the root labels.
+        let mut labels = vec![u32::MAX; n as usize];
+        let mut node_counts = Vec::new();
+        let mut root_to_label = std::collections::HashMap::new();
+        for x in 0..n {
+            let r = uf.find(x);
+            let label = *root_to_label.entry(r).or_insert_with(|| {
+                node_counts.push(0u32);
+                (node_counts.len() - 1) as u32
+            });
+            labels[x as usize] = label;
+            node_counts[label as usize] += 1;
+        }
+        let mut edge_counts = vec![0u64; node_counts.len()];
+        for &(u, _) in g.edges() {
+            edge_counts[labels[u as usize] as usize] += 1;
+        }
+        Components {
+            labels,
+            node_counts,
+            edge_counts,
+        }
+    }
+
+    /// Number of components (isolated nodes each count as one).
+    pub fn count(&self) -> usize {
+        self.node_counts.len()
+    }
+
+    /// Component label of a node.
+    pub fn label(&self, node: NodeId) -> u32 {
+        self.labels[node as usize]
+    }
+
+    /// Node count of component `label`.
+    pub fn node_count(&self, label: u32) -> u32 {
+        self.node_counts[label as usize]
+    }
+
+    /// Edge count of component `label`.
+    pub fn edge_count(&self, label: u32) -> u64 {
+        self.edge_counts[label as usize]
+    }
+
+    /// Label of the largest component by node count (`None` when the
+    /// graph has no nodes).
+    pub fn largest(&self) -> Option<u32> {
+        (0..self.count() as u32).max_by_key(|&l| self.node_counts[l as usize])
+    }
+
+    /// Iterate `(label, node_count, edge_count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        (0..self.count() as u32).map(move |l| {
+            (
+                l,
+                self.node_counts[l as usize],
+                self.edge_counts[l as usize],
+            )
+        })
+    }
+
+    /// Histogram of component sizes (node counts).
+    pub fn size_histogram(&self) -> palu_stats::histogram::DegreeHistogram {
+        palu_stats::histogram::DegreeHistogram::from_degrees(
+            self.node_counts.iter().map(|&c| c as u64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_ne!(uf.find(0), uf.find(1));
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1)); // already merged
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_eq!(uf.set_size(0), 2);
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn union_find_transitive_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_size(0), 100);
+        assert_eq!(uf.find(0), uf.find(99));
+    }
+
+    #[test]
+    fn components_of_mixed_graph() {
+        // Component A: triangle {0,1,2}; B: edge {3,4}; C: isolated {5}.
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(1), c.label(2));
+        assert_eq!(c.label(3), c.label(4));
+        assert_ne!(c.label(0), c.label(3));
+        assert_ne!(c.label(0), c.label(5));
+
+        let triangle = c.label(0);
+        assert_eq!(c.node_count(triangle), 3);
+        assert_eq!(c.edge_count(triangle), 3);
+        let edge = c.label(3);
+        assert_eq!(c.node_count(edge), 2);
+        assert_eq!(c.edge_count(edge), 1);
+        let iso = c.label(5);
+        assert_eq!(c.node_count(iso), 1);
+        assert_eq!(c.edge_count(iso), 0);
+
+        assert_eq!(c.largest(), Some(triangle));
+    }
+
+    #[test]
+    fn size_histogram() {
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        // Components: {0,1}, {2,3}, {4}, {5}.
+        let h = Components::of(&g).size_histogram();
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(1), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = Components::of(&Graph::default());
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), None);
+    }
+
+    #[test]
+    fn parallel_edges_counted_in_edge_count() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.edge_count(0), 2);
+    }
+}

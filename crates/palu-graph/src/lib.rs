@@ -1,0 +1,40 @@
+//! Graph substrate for the PALU model.
+//!
+//! Section III of the paper builds the *underlying network* from three
+//! pieces — a preferential-attachment **core**, degree-1 **leaves**
+//! adjacent to core nodes, and **unattached** Poisson star components —
+//! and observes it through Erdős–Rényi edge sampling. This crate
+//! implements every generator plus the structural analyses:
+//!
+//! * [`graph`] — the shared undirected multigraph type with degree
+//!   extraction.
+//! * [`models`] — the generators: Barabási–Albert growth and a
+//!   configuration-model power-law core (the paper's `d^{-α}/ζ(α)`
+//!   assumption), Erdős–Rényi baselines, and Poisson stars.
+//! * [`palu_gen`] — assembly of the full PALU underlying network with
+//!   node roles tracked.
+//! * [`sample`] — the observation mechanism: keep each edge
+//!   independently with probability `p` (Section V).
+//! * [`components`] — union-find connected components.
+//! * [`census`] — the Figure 2 topology census: unattached links,
+//!   supernode leaves, core leaves, densely-connected core, isolated
+//!   nodes.
+//! * [`clustering`] — global and average-local clustering coefficients
+//!   (the paper's future-work item; all PALU transitivity lives in the
+//!   core).
+
+pub mod census;
+pub mod clustering;
+pub mod components;
+pub mod graph;
+pub mod models;
+pub mod palu_gen;
+pub mod sample;
+
+pub use census::TopologyCensus;
+pub use components::Components;
+pub use graph::Graph;
+pub use palu_gen::{NodeRole, PaluGenerator, UnderlyingNetwork};
+
+/// Node identifier within a generated network.
+pub type NodeId = u32;

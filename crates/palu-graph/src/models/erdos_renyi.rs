@@ -1,0 +1,200 @@
+//! Erdős–Rényi random graphs `G(n, p)` and `G(n, m)`.
+//!
+//! Two roles in the reproduction: (1) the observation mechanism of the
+//! PALU model is literally "an Erdős–Rényi random subnetwork of the
+//! underlying network" (Section V) — the edge-retention sampler lives
+//! in [`crate::sample`], but these full generators provide the
+//! reference behaviour; (2) the paper's future-work list proposes
+//! "combining preferential attachment with the Erdős–Rényi model",
+//! which experiment E-A1 explores as a baseline core.
+
+use crate::graph::Graph;
+use crate::NodeId;
+use palu_stats::error::StatsError;
+use rand::Rng;
+
+/// Generate `G(n, p)`: each of the `n·(n−1)/2` possible undirected
+/// edges appears independently with probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes), so the cost is
+/// `O(n + |E|)` rather than `O(n²)` — essential for the sparse,
+/// large-`n` graphs the experiments use.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Domain`] if `p ∉ [0, 1]`.
+pub fn gnp<R: Rng + ?Sized>(n: NodeId, p: f64, rng: &mut R) -> Result<Graph, StatsError> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(StatsError::domain("gnp", format!("p must be in [0,1], got {p}")));
+    }
+    let mut g = Graph::with_nodes(n);
+    if p == 0.0 || n < 2 {
+        return Ok(g);
+    }
+    if p == 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        return Ok(g);
+    }
+    // Walk the strictly-upper-triangular adjacency in row-major order,
+    // skipping ahead by geometric gaps.
+    let ln_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as u64) < n as u64 {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        w += 1 + (r.ln() / ln_q).floor() as i64;
+        while w >= v && (v as u64) < n as u64 {
+            w -= v;
+            v += 1;
+        }
+        if (v as u64) < n as u64 {
+            g.add_edge(w as NodeId, v as NodeId);
+        }
+    }
+    Ok(g)
+}
+
+/// Generate `G(n, m)`: exactly `m` distinct undirected edges chosen
+/// uniformly among all `n·(n−1)/2` possibilities.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Domain`] if `m` exceeds the number of
+/// possible edges.
+pub fn gnm<R: Rng + ?Sized>(n: NodeId, m: u64, rng: &mut R) -> Result<Graph, StatsError> {
+    let possible = n as u64 * (n as u64).saturating_sub(1) / 2;
+    if m > possible {
+        return Err(StatsError::domain(
+            "gnm",
+            format!("m = {m} exceeds possible edges {possible}"),
+        ));
+    }
+    let mut g = Graph::with_capacity(n, m as usize);
+    let mut chosen = std::collections::HashSet::with_capacity(m as usize);
+    while (chosen.len() as u64) < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            g.add_edge(key.0, key.1);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_validates_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(gnp(10, -0.1, &mut rng).is_err());
+        assert!(gnp(10, 1.1, &mut rng).is_err());
+        assert!(gnp(10, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty = gnp(20, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.n_edges(), 0);
+        let full = gnp(20, 1.0, &mut rng).unwrap();
+        assert_eq!(full.n_edges(), 20 * 19 / 2);
+        let tiny = gnp(1, 0.5, &mut rng).unwrap();
+        assert_eq!(tiny.n_edges(), 0);
+        let zero = gnp(0, 0.5, &mut rng).unwrap();
+        assert_eq!(zero.n_nodes(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 500u32;
+        let p = 0.02;
+        let expected = (n as f64) * (n as f64 - 1.0) / 2.0 * p;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0usize;
+        let reps = 20;
+        for _ in 0..reps {
+            total += gnp(n, p, &mut rng).unwrap().n_edges();
+        }
+        let mean = total as f64 / reps as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        let se = sd / (reps as f64).sqrt();
+        assert!(
+            (mean - expected).abs() < 5.0 * se,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_edges_are_valid_and_simple() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gnp(300, 0.05, &mut rng).unwrap();
+        let mut keys: Vec<_> = g
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u != v, "self-loop");
+                assert!(u < 300 && v < 300);
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate edge");
+    }
+
+    #[test]
+    fn gnp_degree_distribution_is_binomial_like() {
+        // Mean degree should be (n−1)p.
+        let n = 2000u32;
+        let p = 0.005;
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gnp(n, p, &mut rng).unwrap();
+        let mean_deg =
+            g.degrees().iter().sum::<u64>() as f64 / n as f64;
+        let expected = (n - 1) as f64 * p;
+        assert!(
+            (mean_deg - expected).abs() < 0.5,
+            "mean degree {mean_deg} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gnm(100, 250, &mut rng).unwrap();
+        assert_eq!(g.n_edges(), 250);
+        assert_eq!(g.n_nodes(), 100);
+        // Simple graph.
+        let mut keys: Vec<_> = g
+            .edges()
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 250);
+    }
+
+    #[test]
+    fn gnm_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(gnm(5, 11, &mut rng).is_err()); // max is 10
+        let full = gnm(5, 10, &mut rng).unwrap();
+        assert_eq!(full.n_edges(), 10);
+        let none = gnm(5, 0, &mut rng).unwrap();
+        assert_eq!(none.n_edges(), 0);
+    }
+}

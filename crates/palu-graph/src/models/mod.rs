@@ -1,0 +1,23 @@
+//! Random network generators.
+//!
+//! * [`preferential`] — Barabási–Albert growth and its shifted-linear-
+//!   kernel generalization (the historical PA process the paper builds
+//!   on).
+//! * [`config_model`] — erased configuration model with a
+//!   power-law degree sequence: the paper's core assumption
+//!   `#(degree d) ∝ d^{-α}/ζ(α)` realized exactly, for any
+//!   `α ∈ (1.5, 3]`.
+//! * [`erdos_renyi`] — `G(n, p)` / `G(n, m)` baselines (the paper's
+//!   future-work "PA + Erdős–Rényi" comparison).
+//! * [`star`] — Poisson star components modeling the unattached
+//!   population.
+
+pub mod config_model;
+pub mod erdos_renyi;
+pub mod preferential;
+pub mod star;
+
+pub use config_model::PowerLawConfigModel;
+pub use erdos_renyi::{gnm, gnp};
+pub use preferential::BarabasiAlbert;
+pub use star::PoissonStars;

@@ -1,0 +1,213 @@
+//! Poisson star components — the "unattached" population.
+//!
+//! Section V: "we generate `U_N`-many stars, each of which has a random
+//! number of non-central nodes, where the number of non-central nodes
+//! is given by independent identically distributed Poisson random
+//! variables with mean λ." Centers whose star drew zero leaves are
+//! *isolated nodes*: they exist in the underlying network but "cannot
+//! be seen by examining traffic between nodes".
+
+use crate::graph::Graph;
+use crate::NodeId;
+use palu_stats::distributions::{DiscreteDistribution, Poisson};
+use palu_stats::error::StatsError;
+use rand::Rng;
+
+/// Generator for a forest of `U_N` Poisson(λ) stars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonStars {
+    n_centers: NodeId,
+    lambda: f64,
+}
+
+/// A generated star forest with its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct StarForest {
+    /// The graph: centers first (`0..n_centers`), then leaves.
+    pub graph: Graph,
+    /// Number of central nodes (`U_N`).
+    pub n_centers: NodeId,
+    /// Number of leaf (non-central) nodes.
+    pub n_leaves: NodeId,
+    /// Centers that drew zero leaves — the invisible isolated nodes.
+    pub isolated_centers: Vec<NodeId>,
+}
+
+impl PoissonStars {
+    /// Create a generator for `n_centers` stars with mean size `λ`.
+    ///
+    /// The paper bounds `λ ∈ [0, 20]`; we accept any finite `λ ≥ 0` but
+    /// the PALU parameter layer enforces the paper's range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] for negative or non-finite `λ`.
+    pub fn new(n_centers: NodeId, lambda: f64) -> Result<Self, StatsError> {
+        // Validate λ via the Poisson constructor.
+        Poisson::new(lambda)?;
+        Ok(PoissonStars { n_centers, lambda })
+    }
+
+    /// Mean star size `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Number of stars `U_N`.
+    pub fn n_centers(&self) -> NodeId {
+        self.n_centers
+    }
+
+    /// Expected total node count `U_N·(1 + λ)`.
+    pub fn expected_nodes(&self) -> f64 {
+        self.n_centers as f64 * (1.0 + self.lambda)
+    }
+
+    /// Expected count of isolated centers `U_N·e^{−λ}`.
+    pub fn expected_isolated(&self) -> f64 {
+        self.n_centers as f64 * (-self.lambda).exp()
+    }
+
+    /// Generate the star forest.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> StarForest {
+        let dist = Poisson::new(self.lambda).expect("validated lambda");
+        let mut graph = Graph::with_nodes(self.n_centers);
+        let mut isolated_centers = Vec::new();
+        let mut n_leaves: NodeId = 0;
+        for center in 0..self.n_centers {
+            let k = dist.sample(rng);
+            if k == 0 {
+                isolated_centers.push(center);
+                continue;
+            }
+            for _ in 0..k {
+                let leaf = graph.add_node();
+                graph.add_edge(center, leaf);
+                n_leaves += 1;
+            }
+        }
+        StarForest {
+            graph,
+            n_centers: self.n_centers,
+            n_leaves,
+            isolated_centers,
+        }
+    }
+}
+
+impl StarForest {
+    /// Total nodes including invisible isolated centers.
+    pub fn total_nodes(&self) -> NodeId {
+        self.n_centers + self.n_leaves
+    }
+
+    /// Count of single-edge stars (center with exactly one leaf) —
+    /// these appear in traffic as the paper's *unattached links*.
+    pub fn unattached_link_count(&self) -> u64 {
+        let degs = self.graph.degrees();
+        (0..self.n_centers as usize)
+            .filter(|&c| degs[c] == 1)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_lambda() {
+        assert!(PoissonStars::new(10, -1.0).is_err());
+        assert!(PoissonStars::new(10, f64::NAN).is_err());
+        assert!(PoissonStars::new(10, 0.0).is_ok());
+    }
+
+    #[test]
+    fn structure_is_a_star_forest() {
+        let gen = PoissonStars::new(500, 2.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let f = gen.generate(&mut rng);
+        assert_eq!(f.graph.n_nodes(), f.total_nodes());
+        // Every edge connects a center (id < n_centers) to a leaf.
+        for &(u, v) in f.graph.edges() {
+            let (center, leaf) = if u < f.n_centers { (u, v) } else { (v, u) };
+            assert!(center < f.n_centers);
+            assert!(leaf >= f.n_centers);
+        }
+        // Every leaf has degree exactly 1.
+        let degs = f.graph.degrees();
+        for leaf in f.n_centers..f.total_nodes() {
+            assert_eq!(degs[leaf as usize], 1);
+        }
+        // Edge count equals leaf count.
+        assert_eq!(f.graph.n_edges() as u32, f.n_leaves);
+    }
+
+    #[test]
+    fn isolated_center_fraction_matches_poisson() {
+        let lambda = 1.2;
+        let gen = PoissonStars::new(50_000, lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let f = gen.generate(&mut rng);
+        let frac = f.isolated_centers.len() as f64 / 50_000.0;
+        let expected = (-lambda).exp();
+        // Binomial SE ≈ sqrt(p(1-p)/n) ≈ 0.002.
+        assert!(
+            (frac - expected).abs() < 0.01,
+            "isolated fraction {frac} vs e^-λ = {expected}"
+        );
+        assert!((gen.expected_isolated() - expected * 50_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_size_matches_lambda() {
+        let lambda = 3.0;
+        let gen = PoissonStars::new(20_000, lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let f = gen.generate(&mut rng);
+        let mean_leaves = f.n_leaves as f64 / 20_000.0;
+        assert!(
+            (mean_leaves - lambda).abs() < 0.05,
+            "mean star size {mean_leaves}"
+        );
+        assert!((gen.expected_nodes() - 20_000.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lambda_zero_gives_all_isolated() {
+        let gen = PoissonStars::new(100, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let f = gen.generate(&mut rng);
+        assert_eq!(f.n_leaves, 0);
+        assert_eq!(f.isolated_centers.len(), 100);
+        assert_eq!(f.graph.n_edges(), 0);
+        assert_eq!(f.unattached_link_count(), 0);
+    }
+
+    #[test]
+    fn unattached_links_are_degree_one_centers() {
+        // Small λ ⇒ many single-leaf stars: count must match a manual
+        // census of components with exactly 2 nodes and 1 edge.
+        let gen = PoissonStars::new(10_000, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(25);
+        let f = gen.generate(&mut rng);
+        let comps = crate::components::Components::of(&f.graph);
+        let pair_components = comps
+            .iter()
+            .filter(|&(_, nodes, edges)| nodes == 2 && edges == 1)
+            .count() as u64;
+        assert_eq!(f.unattached_link_count(), pair_components);
+        assert!(pair_components > 0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let gen = PoissonStars::new(1000, 1.5).unwrap();
+        let f1 = gen.generate(&mut StdRng::seed_from_u64(9));
+        let f2 = gen.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(f1.graph, f2.graph);
+        assert_eq!(f1.isolated_centers, f2.isolated_centers);
+    }
+}

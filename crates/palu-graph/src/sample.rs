@@ -1,0 +1,195 @@
+//! Erdős–Rényi edge sampling — the observation mechanism.
+//!
+//! Section V: "We obtain our observed subnetwork by retaining each edge
+//! independently with probability p, creating an Erdős–Rényi random
+//! subnetwork of the underlying network." The window-size parameter
+//! `p ∈ [0, 1]` is "the probability that an edge in the underlying
+//! network will appear (be selected) in the observed network"
+//! (Section III-A); larger packet windows correspond to larger `p`.
+
+use crate::graph::Graph;
+use crate::palu_gen::UnderlyingNetwork;
+use rand::Rng;
+
+/// Retain each edge of `g` independently with probability `p`. The
+/// node set is preserved (nodes that lose all edges become invisible
+/// isolated nodes, exactly like the paper's unobservable stars).
+///
+/// # Examples
+///
+/// ```
+/// use palu_graph::graph::Graph;
+/// use palu_graph::sample::sample_edges;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut g = Graph::with_nodes(1000);
+/// for i in 0..999 {
+///     g.add_edge(i, i + 1);
+/// }
+/// let observed = sample_edges(&g, 0.5, &mut StdRng::seed_from_u64(1));
+/// assert_eq!(observed.n_nodes(), 1000);       // node set preserved
+/// assert!(observed.n_edges() < g.n_edges());  // edges thinned
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn sample_edges<R: Rng + ?Sized>(g: &Graph, p: f64, rng: &mut R) -> Graph {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "retention probability must be in [0,1], got {p}"
+    );
+    let mut out = Graph::with_capacity(g.n_nodes(), (g.n_edges() as f64 * p) as usize + 16);
+    if p == 0.0 {
+        return out;
+    }
+    if p == 1.0 {
+        for &(u, v) in g.edges() {
+            out.add_edge(u, v);
+        }
+        return out;
+    }
+    for &(u, v) in g.edges() {
+        if rng.gen::<f64>() < p {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// An observed network: the edge-sampled graph plus a reference to what
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct ObservedNetwork {
+    /// The sampled graph (full node set, thinned edges).
+    pub graph: Graph,
+    /// Retention probability used.
+    pub p: f64,
+}
+
+impl ObservedNetwork {
+    /// Observe an underlying network through window parameter `p`.
+    pub fn observe<R: Rng + ?Sized>(
+        underlying: &UnderlyingNetwork,
+        p: f64,
+        rng: &mut R,
+    ) -> Self {
+        ObservedNetwork {
+            graph: sample_edges(&underlying.graph, p, rng),
+            p,
+        }
+    }
+
+    /// Degree histogram of the *visible* observed network (degree ≥ 1)
+    /// — what the measurement pipeline sees.
+    pub fn degree_histogram(&self) -> palu_stats::histogram::DegreeHistogram {
+        self.graph.degree_histogram()
+    }
+
+    /// Number of visible nodes.
+    pub fn visible_nodes(&self) -> u64 {
+        self.graph.n_nodes() as u64 - self.graph.isolated_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::palu_gen::PaluGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(n: u32) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        let g = chain(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let none = sample_edges(&g, 0.0, &mut rng);
+        assert_eq!(none.n_edges(), 0);
+        assert_eq!(none.n_nodes(), 100);
+        let all = sample_edges(&g, 1.0, &mut rng);
+        assert_eq!(all.n_edges(), 99);
+        assert_eq!(all.edges(), g.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "retention probability")]
+    fn invalid_p_panics() {
+        let g = chain(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        sample_edges(&g, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn retention_rate_concentrates_at_p() {
+        let g = chain(100_000);
+        let p = 0.37;
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_edges(&g, p, &mut rng);
+        let rate = s.n_edges() as f64 / g.n_edges() as f64;
+        // Binomial SE ≈ sqrt(p(1-p)/E) ≈ 0.0015.
+        assert!((rate - p).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn sampled_edges_are_a_subset() {
+        let g = chain(1000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sample_edges(&g, 0.5, &mut rng);
+        let original: std::collections::HashSet<_> = g.edges().iter().collect();
+        for e in s.edges() {
+            assert!(original.contains(e));
+        }
+    }
+
+    #[test]
+    fn observed_degree_is_binomially_thinned() {
+        // A star with degree 10_000 observed at p = 0.3: observed
+        // degree ≈ Bin(10000, 0.3), mean 3000, sd ≈ 46.
+        let mut g = Graph::with_nodes(10_001);
+        for v in 1..=10_000 {
+            g.add_edge(0, v);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_edges(&g, 0.3, &mut rng);
+        let d0 = s.degrees()[0];
+        assert!(
+            (d0 as f64 - 3000.0).abs() < 250.0,
+            "observed supernode degree {d0}"
+        );
+    }
+
+    #[test]
+    fn observe_underlying_network() {
+        let net = PaluGenerator::new(2_000, 500, 300, 2.0, 1.5)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(6));
+        let mut rng = StdRng::seed_from_u64(7);
+        let obs = ObservedNetwork::observe(&net, 0.5, &mut rng);
+        assert_eq!(obs.p, 0.5);
+        assert_eq!(obs.graph.n_nodes(), net.graph.n_nodes());
+        assert!(obs.graph.n_edges() < net.graph.n_edges());
+        assert!(obs.visible_nodes() < net.visible_nodes());
+        assert!(!obs.degree_histogram().is_empty());
+    }
+
+    #[test]
+    fn smaller_p_sees_fewer_nodes() {
+        // The paper: "As the window size increases, p will get closer
+        // to 1 … it is more likely to see more edges."
+        let net = PaluGenerator::new(3_000, 1_000, 500, 2.0, 2.0)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(8));
+        let mut rng = StdRng::seed_from_u64(9);
+        let lo = ObservedNetwork::observe(&net, 0.1, &mut rng);
+        let hi = ObservedNetwork::observe(&net, 0.9, &mut rng);
+        assert!(lo.visible_nodes() < hi.visible_nodes());
+        assert!(lo.graph.n_edges() < hi.graph.n_edges());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the graph substrate: structural invariants
+//! over randomly parameterized generators and samplers.
+
+use palu_graph::census::TopologyCensus;
+use palu_graph::components::Components;
+use palu_graph::graph::Graph;
+use palu_graph::models::{gnm, gnp, PoissonStars, PowerLawConfigModel};
+use palu_graph::palu_gen::{NodeRole, PaluGenerator};
+use palu_graph::sample::sample_edges;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn handshake_lemma(edges in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
+        let mut g = Graph::with_nodes(50);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+        }
+        let degree_sum: u64 = g.degrees().iter().sum();
+        prop_assert_eq!(degree_sum, 2 * g.n_edges() as u64);
+        // Histogram agrees with the degree vector.
+        let h = g.degree_histogram_with_isolated();
+        prop_assert_eq!(h.total(), 50);
+        prop_assert_eq!(h.degree_sum(), degree_sum);
+    }
+
+    #[test]
+    fn components_partition_the_nodes(edges in prop::collection::vec((0u32..40, 0u32..40), 0..100)) {
+        let mut g = Graph::with_nodes(40);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+        }
+        let c = Components::of(&g);
+        // Labels are dense and node counts sum to n.
+        let total: u32 = (0..c.count() as u32).map(|l| c.node_count(l)).sum();
+        prop_assert_eq!(total, 40);
+        // Edge counts sum to |E|.
+        let edge_total: u64 = (0..c.count() as u32).map(|l| c.edge_count(l)).sum();
+        prop_assert_eq!(edge_total, g.n_edges() as u64);
+        // Endpoints of every edge share a label.
+        for &(u, v) in g.edges() {
+            prop_assert_eq!(c.label(u), c.label(v));
+        }
+        // A component's edges ≥ nodes − 1 (connectivity lower bound).
+        for (_, nodes, e) in c.iter() {
+            prop_assert!(e + 1 >= nodes as u64 || nodes == 1);
+        }
+    }
+
+    #[test]
+    fn gnp_produces_simple_graphs(n in 2u32..150, p in 0f64..0.3, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp(n, p, &mut rng).unwrap();
+        prop_assert_eq!(g.n_nodes(), n);
+        let mut keys: Vec<_> = g.edges().iter().map(|&(u, v)| {
+            prop_assert!(u != v);
+            prop_assert!(u < n && v < n);
+            Ok((u.min(v), u.max(v)))
+        }).collect::<Result<_, _>>()?;
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn gnm_has_exact_edges(n in 2u32..100, seed in 0u64..500) {
+        let max = n as u64 * (n as u64 - 1) / 2;
+        let m = max / 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnm(n, m, &mut rng).unwrap();
+        prop_assert_eq!(g.n_edges() as u64, m);
+    }
+
+    #[test]
+    fn config_model_degrees_bounded_by_sequence(n in 10u32..500, alpha in 1.6f64..3.0, seed in 0u64..200) {
+        let m = PowerLawConfigModel::new(n, alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let degrees = m.sample_degrees(&mut rng);
+        let g = m.generate_with_degrees(&mut rng, &degrees);
+        // Erasure only removes edges: realized ≤ sampled, per node.
+        for (node, &d) in g.degrees().iter().enumerate() {
+            prop_assert!(d <= degrees[node]);
+        }
+        prop_assert_eq!(g.n_nodes(), n);
+    }
+
+    #[test]
+    fn star_forest_structure(n in 1u32..300, lambda in 0f64..6.0, seed in 0u64..200) {
+        let gen = PoissonStars::new(n, lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = gen.generate(&mut rng);
+        prop_assert_eq!(f.graph.n_edges() as u32, f.n_leaves);
+        prop_assert_eq!(f.total_nodes(), n + f.n_leaves);
+        // Isolated centers really are isolated; others are not.
+        let degs = f.graph.degrees();
+        let isolated: std::collections::HashSet<_> =
+            f.isolated_centers.iter().copied().collect();
+        for c in 0..n {
+            if isolated.contains(&c) {
+                prop_assert_eq!(degs[c as usize], 0);
+            } else {
+                prop_assert!(degs[c as usize] >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_monotone_in_expectation(
+        edges in prop::collection::vec((0u32..60, 0u32..60), 10..200),
+        p in 0.0f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let mut g = Graph::with_nodes(60);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = sample_edges(&g, p, &mut rng);
+        prop_assert!(s.n_edges() <= g.n_edges());
+        prop_assert_eq!(s.n_nodes(), g.n_nodes());
+        // Sampled edges are a sub-multiset.
+        let mut pool: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+        for &e in g.edges() {
+            *pool.entry(e).or_insert(0) += 1;
+        }
+        for &e in s.edges() {
+            let c = pool.entry(e).or_insert(0);
+            *c -= 1;
+            prop_assert!(*c >= 0);
+        }
+    }
+
+    #[test]
+    fn palu_network_role_invariants(
+        n_core in 10u32..400,
+        n_leaves in 0u32..200,
+        n_stars in 0u32..200,
+        alpha in 1.6f64..3.0,
+        lambda in 0f64..5.0,
+        seed in 0u64..100,
+    ) {
+        let gen = PaluGenerator::new(n_core, n_leaves, n_stars, alpha, lambda).unwrap();
+        let net = gen.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(net.count_role(NodeRole::Core), n_core as u64);
+        prop_assert_eq!(net.count_role(NodeRole::Leaf), n_leaves as u64);
+        prop_assert_eq!(net.count_role(NodeRole::StarCenter), n_stars as u64);
+        prop_assert_eq!(net.roles.len(), net.n_nodes() as usize);
+        // Leaves have degree exactly 1; star leaves have degree 1.
+        let degs = net.graph.degrees();
+        for (v, &role) in net.roles.iter().enumerate() {
+            match role {
+                NodeRole::Leaf | NodeRole::StarLeaf => prop_assert_eq!(degs[v], 1),
+                _ => {}
+            }
+        }
+        // Every recorded zero-leaf center is isolated; conversely an
+        // isolated node is either a recorded center or (rarely) a core
+        // node whose few stubs were all erased as self-loops /
+        // duplicates by the configuration-model wiring.
+        let iso: std::collections::HashSet<_> =
+            net.isolated_star_centers.iter().copied().collect();
+        for &c in &iso {
+            prop_assert_eq!(degs[c as usize], 0);
+        }
+        for v in 0..net.n_nodes() {
+            if degs[v as usize] == 0 && !iso.contains(&v) {
+                prop_assert_eq!(net.role(v), NodeRole::Core, "node {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn census_internal_consistency(
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..150),
+        extra_isolated in 0u32..10,
+    ) {
+        let mut g = Graph::with_nodes(50 + extra_isolated);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+        }
+        let c = TopologyCensus::of(&g);
+        prop_assert_eq!(c.n_nodes, (50 + extra_isolated) as u64);
+        prop_assert_eq!(c.n_edges, g.n_edges() as u64);
+        prop_assert!(c.core_nodes <= c.n_nodes - c.isolated_nodes || c.n_edges == 0);
+        prop_assert!(c.supernode_leaves <= c.supernode_degree);
+        prop_assert!(c.unattached_links <= c.nontrivial_components);
+        prop_assert!(c.core_fraction() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Table I aggregate network properties.
+//!
+//! The paper's Table I defines four aggregates of a traffic matrix
+//! `A_t`, each in two equivalent notations:
+//!
+//! | Property            | Summation                       | Matrix        |
+//! |---------------------|---------------------------------|---------------|
+//! | Valid packets `N_V` | `Σ_i Σ_j A_t(i,j)`              | `1ᵀ A_t 1`    |
+//! | Unique links        | `Σ_i Σ_j |A_t(i,j)|₀`           | `1ᵀ |A_t|₀ 1` |
+//! | Unique sources      | `Σ_i |Σ_j A_t(i,j)|₀`           | `|1ᵀ A_tᵀ|₀ 1`|
+//! | Unique destinations | `Σ_j |Σ_i A_t(i,j)|₀`           | `|1ᵀ A_t|₀ 1` |
+//!
+//! [`Aggregates::compute`] evaluates the summation forms with direct
+//! reductions; [`Aggregates::compute_matrix_notation`] builds them
+//! literally from `1` vectors, zero-norms, and transposes. Experiment
+//! E-T1 cross-checks the two.
+
+use crate::csr::CsrMatrix;
+use crate::Count;
+use serde::{Deserialize, Serialize};
+
+/// The Table I aggregate properties of one packet window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Aggregates {
+    /// Total valid packets `N_V = Σ_{ij} A(i,j)`.
+    pub valid_packets: Count,
+    /// Unique source–destination pairs with traffic.
+    pub unique_links: u64,
+    /// Sources that sent at least one packet.
+    pub unique_sources: u64,
+    /// Destinations that received at least one packet.
+    pub unique_destinations: u64,
+}
+
+impl Aggregates {
+    /// Compute all four aggregates in summation notation (single pass
+    /// over the stored entries plus one pass over columns).
+    pub fn compute(a: &CsrMatrix) -> Self {
+        let valid_packets = a.total();
+        let unique_links = a.nnz() as u64;
+        let unique_sources = (0..a.n_rows()).filter(|&r| a.row_nnz(r) > 0).count() as u64;
+        let unique_destinations = a.col_nnzs().iter().filter(|&&c| c > 0).count() as u64;
+        Aggregates {
+            valid_packets,
+            unique_links,
+            unique_sources,
+            unique_destinations,
+        }
+    }
+
+    /// Compute the same aggregates by literally evaluating the matrix
+    /// notation of Table I: `1ᵀA1`, `1ᵀ|A|₀1`, `|1ᵀAᵀ|₀1`, `|1ᵀA|₀1`.
+    ///
+    /// Slower (it materializes the intermediate vectors) but
+    /// structurally independent from [`Aggregates::compute`], so the
+    /// pair form a self-checking implementation of Table I.
+    pub fn compute_matrix_notation(a: &CsrMatrix) -> Self {
+        let ones_rows = vec![1.0f64; a.n_rows() as usize];
+        let ones_cols = vec![1.0f64; a.n_cols() as usize];
+
+        // 1ᵀ A 1
+        let row_totals = a.mat_vec(&ones_cols);
+        let valid_packets = row_totals.iter().sum::<f64>().round() as Count;
+
+        // 1ᵀ |A|₀ 1
+        let z = a.zero_norm();
+        let unique_links = z.mat_vec(&ones_cols).iter().sum::<f64>().round() as u64;
+
+        // |1ᵀ Aᵀ|₀ 1 : zero-norm of the per-source totals.
+        let t = a.transpose();
+        let source_totals = t.vec_mat(&ones_cols);
+        let unique_sources = source_totals.iter().filter(|&&v| v != 0.0).count() as u64;
+
+        // |1ᵀ A|₀ 1 : zero-norm of the per-destination totals.
+        let dest_totals = a.vec_mat(&ones_rows);
+        let unique_destinations = dest_totals.iter().filter(|&&v| v != 0.0).count() as u64;
+
+        Aggregates {
+            valid_packets,
+            unique_links,
+            unique_sources,
+            unique_destinations,
+        }
+    }
+
+    /// Mean packets per unique link (∞-free: 0 when no links).
+    pub fn packets_per_link(&self) -> f64 {
+        if self.unique_links == 0 {
+            0.0
+        } else {
+            self.valid_packets as f64 / self.unique_links as f64
+        }
+    }
+
+    /// Mean fan-out: unique links per unique source (0 when empty).
+    pub fn mean_fan_out(&self) -> f64 {
+        if self.unique_sources == 0 {
+            0.0
+        } else {
+            self.unique_links as f64 / self.unique_sources as f64
+        }
+    }
+
+    /// Mean fan-in: unique links per unique destination (0 when empty).
+    pub fn mean_fan_in(&self) -> f64 {
+        if self.unique_destinations == 0 {
+            0.0
+        } else {
+            self.unique_links as f64 / self.unique_destinations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::NodeId;
+
+    fn window() -> CsrMatrix {
+        // Packets: 0→1 ×3, 0→2 ×1, 5→1 ×2, 5→5 ×1. Sources {0,5},
+        // destinations {1,2,5}, links 4, packets 7.
+        let mut m = CooMatrix::new();
+        m.push(0, 1, 3);
+        m.push(0, 2, 1);
+        m.push(5, 1, 2);
+        m.push(5, 5, 1);
+        m.to_csr()
+    }
+
+    #[test]
+    fn summation_notation_values() {
+        let g = Aggregates::compute(&window());
+        assert_eq!(g.valid_packets, 7);
+        assert_eq!(g.unique_links, 4);
+        assert_eq!(g.unique_sources, 2);
+        assert_eq!(g.unique_destinations, 3);
+    }
+
+    #[test]
+    fn matrix_notation_agrees_with_summation() {
+        let a = window();
+        assert_eq!(
+            Aggregates::compute(&a),
+            Aggregates::compute_matrix_notation(&a)
+        );
+    }
+
+    #[test]
+    fn matrix_notation_agrees_on_random_windows() {
+        let mut x = 987654321u64;
+        for trial in 0..20 {
+            let mut coo = CooMatrix::new();
+            for _ in 0..200 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let s = ((x >> 33) % 30) as NodeId;
+                let d = ((x >> 13) % 25) as NodeId;
+                coo.push_packet(s, d);
+            }
+            let a = coo.to_csr();
+            assert_eq!(
+                Aggregates::compute(&a),
+                Aggregates::compute_matrix_notation(&a),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_window() {
+        let a = CooMatrix::new().to_csr();
+        let g = Aggregates::compute(&a);
+        assert_eq!(g.valid_packets, 0);
+        assert_eq!(g.unique_links, 0);
+        assert_eq!(g.unique_sources, 0);
+        assert_eq!(g.unique_destinations, 0);
+        assert_eq!(g.packets_per_link(), 0.0);
+        assert_eq!(g.mean_fan_out(), 0.0);
+        assert_eq!(g.mean_fan_in(), 0.0);
+        assert_eq!(g, Aggregates::compute_matrix_notation(&a));
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let g = Aggregates::compute(&window());
+        assert!((g.packets_per_link() - 7.0 / 4.0).abs() < 1e-12);
+        assert!((g.mean_fan_out() - 2.0).abs() < 1e-12);
+        assert!((g.mean_fan_in() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_ignore_reserved_empty_dims() {
+        // Reserved (empty) rows/cols must not count as sources/dests.
+        let mut m = CooMatrix::new();
+        m.push(0, 0, 1);
+        m.reserve_dims(100, 100);
+        let g = Aggregates::compute(&m.to_csr());
+        assert_eq!(g.unique_sources, 1);
+        assert_eq!(g.unique_destinations, 1);
+        assert_eq!(g.unique_links, 1);
+    }
+}

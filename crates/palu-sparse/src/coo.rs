@@ -1,0 +1,282 @@
+//! Coordinate-format (COO) sparse matrix builder.
+//!
+//! Packet windows arrive as a stream of `(source, destination)` pairs;
+//! the COO builder accumulates them (duplicates summed — a link crossed
+//! by `k` packets has value `k`) and converts to [`CsrMatrix`] for the
+//! reductions.
+
+use crate::csr::CsrMatrix;
+use crate::{Count, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix under construction: unsorted `(row, col, value)`
+/// triplets with duplicates allowed (they accumulate on conversion).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CooMatrix {
+    rows: Vec<NodeId>,
+    cols: Vec<NodeId>,
+    vals: Vec<Count>,
+    n_rows: NodeId,
+    n_cols: NodeId,
+}
+
+impl CooMatrix {
+    /// Create an empty builder. Dimensions grow automatically as
+    /// entries arrive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty builder with reserved capacity for `nnz`
+    /// triplets.
+    pub fn with_capacity(nnz: usize) -> Self {
+        CooMatrix {
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+            n_rows: 0,
+            n_cols: 0,
+        }
+    }
+
+    /// Record `count` packets from `src` to `dst`.
+    pub fn push(&mut self, src: NodeId, dst: NodeId, count: Count) {
+        if count == 0 {
+            return;
+        }
+        self.rows.push(src);
+        self.cols.push(dst);
+        self.vals.push(count);
+        self.n_rows = self.n_rows.max(src + 1);
+        self.n_cols = self.n_cols.max(dst + 1);
+    }
+
+    /// Record one packet from `src` to `dst`.
+    pub fn push_packet(&mut self, src: NodeId, dst: NodeId) {
+        self.push(src, dst, 1);
+    }
+
+    /// Build from an iterator of `(src, dst)` packet pairs.
+    pub fn from_packet_pairs<I: IntoIterator<Item = (NodeId, NodeId)>>(pairs: I) -> Self {
+        let mut m = Self::new();
+        for (s, d) in pairs {
+            m.push_packet(s, d);
+        }
+        m
+    }
+
+    /// Number of raw triplets recorded (≥ the number of unique links).
+    pub fn triplet_count(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Total packets recorded so far — this will equal the matrix sum
+    /// `Σ_{ij} A(i,j) = N_V` after conversion.
+    pub fn total_count(&self) -> Count {
+        self.vals.iter().sum()
+    }
+
+    /// Current row dimension (1 + max source id seen).
+    pub fn n_rows(&self) -> NodeId {
+        self.n_rows
+    }
+
+    /// Current column dimension (1 + max destination id seen).
+    pub fn n_cols(&self) -> NodeId {
+        self.n_cols
+    }
+
+    /// Force the matrix dimensions to at least `(n_rows, n_cols)` —
+    /// needed when a window's address space is fixed externally (e.g.
+    /// the underlying network's node count) so that empty trailing
+    /// rows/columns survive.
+    pub fn reserve_dims(&mut self, n_rows: NodeId, n_cols: NodeId) {
+        self.n_rows = self.n_rows.max(n_rows);
+        self.n_cols = self.n_cols.max(n_cols);
+    }
+
+    /// Merge another COO builder's triplets into this one.
+    pub fn merge(&mut self, other: &CooMatrix) {
+        self.rows.extend_from_slice(&other.rows);
+        self.cols.extend_from_slice(&other.cols);
+        self.vals.extend_from_slice(&other.vals);
+        self.n_rows = self.n_rows.max(other.n_rows);
+        self.n_cols = self.n_cols.max(other.n_cols);
+    }
+
+    /// Convert to CSR, accumulating duplicate `(row, col)` entries.
+    ///
+    /// Runs in `O(nnz + n_rows)` using a two-pass counting sort on
+    /// rows followed by per-row sorting on columns.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n_rows = self.n_rows as usize;
+        let nnz = self.vals.len();
+
+        // Pass 1: count triplets per row.
+        let mut row_counts = vec![0usize; n_rows + 1];
+        for &r in &self.rows {
+            row_counts[r as usize + 1] += 1;
+        }
+        // Prefix-sum into provisional row offsets.
+        for i in 0..n_rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+
+        // Pass 2: scatter triplets into row-grouped order.
+        let mut cols = vec![0 as NodeId; nnz];
+        let mut vals = vec![0 as Count; nnz];
+        let mut next = row_counts.clone();
+        for i in 0..nnz {
+            let r = self.rows[i] as usize;
+            let slot = next[r];
+            next[r] += 1;
+            cols[slot] = self.cols[i];
+            vals[slot] = self.vals[i];
+        }
+
+        // Pass 3: per row, sort by column and accumulate duplicates
+        // in place, building the final compacted arrays.
+        let mut out_cols = Vec::with_capacity(nnz);
+        let mut out_vals = Vec::with_capacity(nnz);
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        row_ptr.push(0usize);
+        let mut scratch: Vec<(NodeId, Count)> = Vec::new();
+        for r in 0..n_rows {
+            let (start, end) = (row_counts[r], row_counts[r + 1]);
+            scratch.clear();
+            scratch.extend(cols[start..end].iter().copied().zip(vals[start..end].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut iter = scratch.iter().copied();
+            if let Some((mut cur_c, mut cur_v)) = iter.next() {
+                for (c, v) in iter {
+                    if c == cur_c {
+                        cur_v += v;
+                    } else {
+                        out_cols.push(cur_c);
+                        out_vals.push(cur_v);
+                        cur_c = c;
+                        cur_v = v;
+                    }
+                }
+                out_cols.push(cur_c);
+                out_vals.push(cur_v);
+            }
+            row_ptr.push(out_cols.len());
+        }
+
+        CsrMatrix::from_raw_parts(row_ptr, out_cols, out_vals, self.n_cols)
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for CooMatrix {
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
+        Self::from_packet_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder() {
+        let m = CooMatrix::new();
+        assert_eq!(m.triplet_count(), 0);
+        assert_eq!(m.total_count(), 0);
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.n_rows(), 0);
+    }
+
+    #[test]
+    fn dimensions_track_max_ids() {
+        let mut m = CooMatrix::new();
+        m.push_packet(3, 7);
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 8);
+        m.push_packet(10, 2);
+        assert_eq!(m.n_rows(), 11);
+        assert_eq!(m.n_cols(), 8);
+    }
+
+    #[test]
+    fn zero_count_push_is_noop() {
+        let mut m = CooMatrix::new();
+        m.push(5, 5, 0);
+        assert_eq!(m.triplet_count(), 0);
+        assert_eq!(m.n_rows(), 0);
+    }
+
+    #[test]
+    fn duplicates_accumulate_in_csr() {
+        let mut m = CooMatrix::new();
+        m.push_packet(0, 1);
+        m.push_packet(0, 1);
+        m.push(0, 1, 3);
+        m.push_packet(0, 2);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), 5);
+        assert_eq!(csr.get(0, 2), 1);
+        assert_eq!(csr.total(), 6);
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_by_column() {
+        let mut m = CooMatrix::new();
+        for &(s, d) in &[(1u32, 9u32), (1, 3), (1, 7), (1, 3), (0, 5), (2, 0)] {
+            m.push_packet(s, d);
+        }
+        let csr = m.to_csr();
+        for r in 0..csr.n_rows() {
+            let cols: Vec<_> = csr.row(r).map(|(c, _)| c).collect();
+            let mut sorted = cols.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(cols, sorted, "row {r}");
+        }
+        assert_eq!(csr.get(1, 3), 2);
+    }
+
+    #[test]
+    fn total_count_is_preserved_through_conversion() {
+        let pairs: Vec<(NodeId, NodeId)> = (0..1000)
+            .map(|i| ((i * 7 % 50) as NodeId, (i * 13 % 60) as NodeId))
+            .collect();
+        let m = CooMatrix::from_packet_pairs(pairs);
+        assert_eq!(m.total_count(), 1000);
+        let csr = m.to_csr();
+        assert_eq!(csr.total(), 1000);
+    }
+
+    #[test]
+    fn reserve_dims_preserves_empty_rows() {
+        let mut m = CooMatrix::new();
+        m.push_packet(0, 0);
+        m.reserve_dims(5, 9);
+        let csr = m.to_csr();
+        assert_eq!(csr.n_rows(), 5);
+        assert_eq!(csr.n_cols(), 9);
+        assert_eq!(csr.row_nnz(4), 0);
+    }
+
+    #[test]
+    fn merge_combines_builders() {
+        let mut a = CooMatrix::from_packet_pairs([(0, 1), (1, 2)]);
+        let b = CooMatrix::from_packet_pairs([(0, 1), (3, 0)]);
+        a.merge(&b);
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 1), 2);
+        assert_eq!(csr.get(3, 0), 1);
+        assert_eq!(csr.total(), 4);
+        assert_eq!(csr.n_rows(), 4);
+    }
+
+    #[test]
+    fn collect_from_pairs() {
+        let m: CooMatrix = [(0u32, 1u32), (1, 0)].into_iter().collect();
+        assert_eq!(m.total_count(), 2);
+    }
+}

@@ -1,0 +1,347 @@
+//! Compressed sparse row (CSR) traffic matrix.
+//!
+//! The canonical storage for a packet window `A_t`. Rows are sources,
+//! columns destinations, values packet counts. All Table I reductions
+//! and all five Figure 1 quantities are linear passes over this layout.
+
+use crate::{Count, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable CSR matrix with `u64` packet counts.
+///
+/// Invariants (checked in debug builds at construction):
+/// * `row_ptr` has `n_rows + 1` monotone entries ending at `nnz`;
+/// * within each row, column indices are strictly increasing;
+/// * all stored values are nonzero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    row_ptr: Vec<usize>,
+    cols: Vec<NodeId>,
+    vals: Vec<Count>,
+    n_cols: NodeId,
+}
+
+impl CsrMatrix {
+    /// Assemble from raw parts. Intended for [`crate::coo::CooMatrix`]
+    /// and the parallel builder; validates invariants in debug builds.
+    pub fn from_raw_parts(
+        row_ptr: Vec<usize>,
+        cols: Vec<NodeId>,
+        vals: Vec<Count>,
+        n_cols: NodeId,
+    ) -> Self {
+        debug_assert!(!row_ptr.is_empty());
+        debug_assert_eq!(*row_ptr.last().unwrap(), cols.len());
+        debug_assert_eq!(cols.len(), vals.len());
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(vals.iter().all(|&v| v > 0), "stored zeros are forbidden");
+        #[cfg(debug_assertions)]
+        for r in 0..row_ptr.len() - 1 {
+            let s = &cols[row_ptr[r]..row_ptr[r + 1]];
+            debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "row {r} not sorted");
+            debug_assert!(s.iter().all(|&c| c < n_cols.max(1)));
+        }
+        CsrMatrix {
+            row_ptr,
+            cols,
+            vals,
+            n_cols,
+        }
+    }
+
+    /// Number of rows (source address space).
+    pub fn n_rows(&self) -> NodeId {
+        (self.row_ptr.len() - 1) as NodeId
+    }
+
+    /// Number of columns (destination address space).
+    pub fn n_cols(&self) -> NodeId {
+        self.n_cols
+    }
+
+    /// Number of stored (nonzero) entries — the window's unique links.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Value at `(row, col)`; 0 if not stored.
+    pub fn get(&self, row: NodeId, col: NodeId) -> Count {
+        if row >= self.n_rows() {
+            return 0;
+        }
+        let (s, e) = (self.row_ptr[row as usize], self.row_ptr[row as usize + 1]);
+        match self.cols[s..e].binary_search(&col) {
+            Ok(i) => self.vals[s + i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterate `(col, value)` pairs of one row in increasing column
+    /// order. Empty iterator for out-of-range rows.
+    pub fn row(&self, row: NodeId) -> impl Iterator<Item = (NodeId, Count)> + '_ {
+        let (s, e) = if row < self.n_rows() {
+            (self.row_ptr[row as usize], self.row_ptr[row as usize + 1])
+        } else {
+            (0, 0)
+        };
+        self.cols[s..e].iter().copied().zip(self.vals[s..e].iter().copied())
+    }
+
+    /// Iterate all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, Count)> + '_ {
+        (0..self.n_rows()).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Number of stored entries in a row — the source's *fan-out*
+    /// (unique destinations).
+    pub fn row_nnz(&self, row: NodeId) -> usize {
+        if row >= self.n_rows() {
+            return 0;
+        }
+        self.row_ptr[row as usize + 1] - self.row_ptr[row as usize]
+    }
+
+    /// Sum of a row's values — the source's total packets.
+    pub fn row_sum(&self, row: NodeId) -> Count {
+        self.row(row).map(|(_, v)| v).sum()
+    }
+
+    /// All row sums (`A·1`): per-source packet counts.
+    pub fn row_sums(&self) -> Vec<Count> {
+        (0..self.n_rows()).map(|r| self.row_sum(r)).collect()
+    }
+
+    /// All row nnz counts (`|A|₀·1`): per-source fan-out.
+    pub fn row_nnzs(&self) -> Vec<usize> {
+        (0..self.n_rows()).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// All column sums (`1ᵀA`, as a vector): per-destination packets.
+    pub fn col_sums(&self) -> Vec<Count> {
+        let mut sums = vec![0 as Count; self.n_cols as usize];
+        for (&c, &v) in self.cols.iter().zip(&self.vals) {
+            sums[c as usize] += v;
+        }
+        sums
+    }
+
+    /// All column nnz counts (`1ᵀ|A|₀`): per-destination fan-in.
+    pub fn col_nnzs(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_cols as usize];
+        for &c in &self.cols {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Sum of all stored values: `1ᵀA1 = N_V`, the window's valid
+    /// packets.
+    pub fn total(&self) -> Count {
+        self.vals.iter().sum()
+    }
+
+    /// Stored values (per-link packet counts), in row-major order.
+    pub fn values(&self) -> &[Count] {
+        &self.vals
+    }
+
+    /// Transpose (destinations become rows). `O(nnz + n_cols)`.
+    pub fn transpose(&self) -> CsrMatrix {
+        let n_cols = self.n_cols as usize;
+        let nnz = self.nnz();
+        let mut row_ptr = vec![0usize; n_cols + 1];
+        for &c in &self.cols {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..n_cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut cols = vec![0 as NodeId; nnz];
+        let mut vals = vec![0 as Count; nnz];
+        let mut next = row_ptr.clone();
+        for (r, c, v) in self.iter() {
+            let slot = next[c as usize];
+            next[c as usize] += 1;
+            cols[slot] = r;
+            vals[slot] = v;
+        }
+        // Row-major iteration of the source matrix emits each
+        // destination's entries in increasing source order, so the
+        // transposed rows are already sorted.
+        CsrMatrix::from_raw_parts(row_ptr, cols, vals, self.n_rows())
+    }
+
+    /// The zero-norm matrix `|A|₀` (every stored value set to 1) — the
+    /// paper's unweighted view of the window.
+    pub fn zero_norm(&self) -> CsrMatrix {
+        CsrMatrix {
+            row_ptr: self.row_ptr.clone(),
+            cols: self.cols.clone(),
+            vals: vec![1; self.nnz()],
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// Dense right-multiplication by a vector: `y = A·x`.
+    ///
+    /// Reference implementation used by the Table I matrix-notation
+    /// cross-checks; `x.len()` must equal `n_cols`.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols as usize, "dimension mismatch");
+        (0..self.n_rows())
+            .map(|r| self.row(r).map(|(c, v)| v as f64 * x[c as usize]).sum())
+            .collect()
+    }
+
+    /// Dense left-multiplication by a vector: `yᵀ = xᵀ·A`.
+    pub fn vec_mat(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_rows() as usize, "dimension mismatch");
+        let mut y = vec![0.0f64; self.n_cols as usize];
+        for (r, c, v) in self.iter() {
+            y[c as usize] += x[r as usize] * v as f64;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// 3×4 fixture:
+    ///   row 0: (0,1)=2 (0,3)=1
+    ///   row 1: (1,1)=5
+    ///   row 2: —
+    fn fixture() -> CsrMatrix {
+        let mut m = CooMatrix::new();
+        m.push(0, 1, 2);
+        m.push(0, 3, 1);
+        m.push(1, 1, 5);
+        m.reserve_dims(3, 4);
+        m.to_csr()
+    }
+
+    #[test]
+    fn get_and_dims() {
+        let a = fixture();
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(a.n_cols(), 4);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), 2);
+        assert_eq!(a.get(0, 3), 1);
+        assert_eq!(a.get(1, 1), 5);
+        assert_eq!(a.get(0, 0), 0);
+        assert_eq!(a.get(2, 2), 0);
+        assert_eq!(a.get(99, 0), 0); // out of range
+    }
+
+    #[test]
+    fn row_reductions() {
+        let a = fixture();
+        assert_eq!(a.row_sums(), vec![3, 5, 0]);
+        assert_eq!(a.row_nnzs(), vec![2, 1, 0]);
+        assert_eq!(a.row_sum(0), 3);
+        assert_eq!(a.row_nnz(2), 0);
+        assert_eq!(a.row_nnz(99), 0);
+    }
+
+    #[test]
+    fn col_reductions() {
+        let a = fixture();
+        assert_eq!(a.col_sums(), vec![0, 7, 0, 1]);
+        assert_eq!(a.col_nnzs(), vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn total_is_nv() {
+        assert_eq!(fixture().total(), 8);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = fixture();
+        let t = a.transpose();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.get(1, 0), 2);
+        assert_eq!(t.get(3, 0), 1);
+        assert_eq!(t.get(1, 1), 5);
+        assert_eq!(t.total(), a.total());
+        // (Aᵀ)ᵀ = A
+        assert_eq!(t.transpose(), a);
+        // Column reductions of A equal row reductions of Aᵀ.
+        assert_eq!(
+            a.col_sums(),
+            t.row_sums(),
+        );
+        assert_eq!(a.col_nnzs(), t.row_nnzs());
+    }
+
+    #[test]
+    fn zero_norm_flattens_weights() {
+        let a = fixture();
+        let z = a.zero_norm();
+        assert_eq!(z.nnz(), a.nnz());
+        assert_eq!(z.total(), 3); // unique links
+        assert_eq!(z.get(0, 1), 1);
+        assert_eq!(z.get(1, 1), 1);
+    }
+
+    #[test]
+    fn mat_vec_and_vec_mat() {
+        let a = fixture();
+        // A·1 = row sums
+        let ones4 = vec![1.0; 4];
+        assert_eq!(a.mat_vec(&ones4), vec![3.0, 5.0, 0.0]);
+        // 1ᵀ·A = col sums
+        let ones3 = vec![1.0; 3];
+        assert_eq!(a.vec_mat(&ones3), vec![0.0, 7.0, 0.0, 1.0]);
+        // General vector.
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.mat_vec(&x), vec![2.0 * 2.0 + 4.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mat_vec_checks_dims() {
+        fixture().mat_vec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_visits_all_entries_in_order() {
+        let a = fixture();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries, vec![(0, 1, 2), (0, 3, 1), (1, 1, 5)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CooMatrix::new().to_csr();
+        assert_eq!(a.n_rows(), 0);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.col_sums(), Vec::<Count>::new());
+        let t = a.transpose();
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn random_transpose_preserves_entries() {
+        // Deterministic pseudo-random matrix; check entry-by-entry.
+        let mut coo = CooMatrix::new();
+        let mut x = 12345u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = ((x >> 33) % 40) as NodeId;
+            let c = ((x >> 13) % 50) as NodeId;
+            coo.push_packet(r, c);
+        }
+        let a = coo.to_csr();
+        let t = a.transpose();
+        for (r, c, v) in a.iter() {
+            assert_eq!(t.get(c, r), v);
+        }
+        assert_eq!(a.nnz(), t.nnz());
+    }
+}

@@ -1,0 +1,41 @@
+//! Sparse traffic-matrix substrate for the PALU reproduction.
+//!
+//! Section II of the paper aggregates `N_V` consecutive valid packets
+//! into a sparse matrix `A_t`, where `A_t(i, j)` counts the packets
+//! from source `i` to destination `j`. Everything the paper measures is
+//! then a function of `A_t`:
+//!
+//! * [`coo`] / [`csr`] — construction (coordinate triplets with
+//!   duplicate accumulation) and compressed storage with row/column
+//!   reductions and transposition.
+//! * [`aggregates`] — the Table I aggregate properties (valid packets,
+//!   unique links, unique sources, unique destinations), computed both
+//!   in "summation notation" (direct reductions) and "matrix notation"
+//!   (explicit `1ᵀA1`-style products) so the two can be cross-checked.
+//! * [`quantities`] — the five streaming network quantities of
+//!   Figure 1: source packets, source fan-out, link packets,
+//!   destination fan-in, and destination packets, each as a degree
+//!   histogram ready for logarithmic pooling.
+//! * [`parallel`] — sharded parallel assembly of large windows using
+//!   crossbeam scoped threads.
+
+pub mod aggregates;
+pub mod coo;
+pub mod csr;
+pub mod parallel;
+pub mod quantities;
+
+pub use aggregates::Aggregates;
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use quantities::{NetworkQuantity, QuantityHistograms};
+
+/// Node identifier (source or destination address index).
+///
+/// 32 bits comfortably covers the address diversity of a packet window
+/// (`N_V ≤ 10^8` in the paper) while halving index memory versus
+/// `usize` — these matrices are the hot data structure of the pipeline.
+pub type NodeId = u32;
+
+/// Packet multiplicity on a link.
+pub type Count = u64;

@@ -1,0 +1,148 @@
+//! Parallel window assembly with crossbeam scoped threads.
+//!
+//! The paper's measurement pipeline aggregates windows of up to
+//! `N_V = 10^8` packets; building such a window serially is the
+//! bottleneck of the whole pipeline. The sharded builder splits the
+//! packet slice across threads, builds thread-local COO accumulators,
+//! and merges — bit-identical to the serial result because COO → CSR
+//! conversion accumulates duplicates regardless of input order *within
+//! each (row, col) cell*.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::quantities::QuantityHistograms;
+use crate::NodeId;
+use parking_lot::Mutex;
+
+/// Default shard count: one per available CPU, capped to keep shard
+/// merge overhead negligible.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Build a CSR window matrix from packet pairs using `n_threads`
+/// shards. Produces the identical matrix to
+/// `CooMatrix::from_packet_pairs(pairs).to_csr()`.
+///
+/// Falls back to the serial path for a single thread or small inputs
+/// (the scoped-thread setup costs more than it saves below ~100k
+/// packets).
+pub fn build_csr_parallel(pairs: &[(NodeId, NodeId)], n_threads: usize) -> CsrMatrix {
+    const SERIAL_CUTOFF: usize = 100_000;
+    if n_threads <= 1 || pairs.len() < SERIAL_CUTOFF {
+        return CooMatrix::from_packet_pairs(pairs.iter().copied()).to_csr();
+    }
+    let chunk = pairs.len().div_ceil(n_threads);
+    let shards: Mutex<Vec<CooMatrix>> = Mutex::new(Vec::with_capacity(n_threads));
+    crossbeam::thread::scope(|s| {
+        for piece in pairs.chunks(chunk) {
+            let shards = &shards;
+            s.spawn(move |_| {
+                let mut local = CooMatrix::with_capacity(piece.len());
+                for &(src, dst) in piece {
+                    local.push_packet(src, dst);
+                }
+                shards.lock().push(local);
+            });
+        }
+    })
+    .expect("shard threads do not panic");
+    let mut merged = CooMatrix::with_capacity(pairs.len());
+    for shard in shards.into_inner() {
+        merged.merge(&shard);
+    }
+    merged.to_csr()
+}
+
+/// Compute the five Figure 1 quantity histograms concurrently, one
+/// quantity per thread. Useful when the window matrix is large enough
+/// that each reduction pass is itself expensive.
+pub fn quantities_parallel(a: &CsrMatrix) -> QuantityHistograms {
+    let mut result = QuantityHistograms::default();
+    crossbeam::thread::scope(|s| {
+        let sp = s.spawn(|_| crate::quantities::NetworkQuantity::SourcePackets.histogram(a));
+        let sf = s.spawn(|_| crate::quantities::NetworkQuantity::SourceFanOut.histogram(a));
+        let lp = s.spawn(|_| crate::quantities::NetworkQuantity::LinkPackets.histogram(a));
+        let df = s.spawn(|_| crate::quantities::NetworkQuantity::DestinationFanIn.histogram(a));
+        let dp = s.spawn(|_| crate::quantities::NetworkQuantity::DestinationPackets.histogram(a));
+        result.source_packets = sp.join().expect("no panic");
+        result.source_fan_out = sf.join().expect("no panic");
+        result.link_packets = lp.join().expect("no panic");
+        result.destination_fan_in = df.join().expect("no panic");
+        result.destination_packets = dp.join().expect("no panic");
+    })
+    .expect("quantity threads do not panic");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_pairs(n: usize, sources: u32, dests: u32) -> Vec<(NodeId, NodeId)> {
+        let mut x = 0xDEADBEEFu64;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((x >> 33) % sources as u64) as NodeId, ((x >> 13) % dests as u64) as NodeId)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_small() {
+        // Below cutoff: must take the serial path and still be correct.
+        let pairs = synthetic_pairs(1000, 50, 60);
+        let serial = CooMatrix::from_packet_pairs(pairs.iter().copied()).to_csr();
+        let parallel = build_csr_parallel(&pairs, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let pairs = synthetic_pairs(250_000, 500, 700);
+        let serial = CooMatrix::from_packet_pairs(pairs.iter().copied()).to_csr();
+        for threads in [2, 3, 8] {
+            let parallel = build_csr_parallel(&pairs, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_empty_input() {
+        let a = build_csr_parallel(&[], 4);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn single_thread_request_works() {
+        let pairs = synthetic_pairs(5000, 10, 10);
+        let a = build_csr_parallel(&pairs, 1);
+        assert_eq!(a.total(), 5000);
+    }
+
+    #[test]
+    fn parallel_quantities_match_serial() {
+        let pairs = synthetic_pairs(50_000, 300, 400);
+        let a = build_csr_parallel(&pairs, 4);
+        let serial = QuantityHistograms::compute(&a);
+        let parallel = quantities_parallel(&a);
+        assert_eq!(serial.source_packets, parallel.source_packets);
+        assert_eq!(serial.source_fan_out, parallel.source_fan_out);
+        assert_eq!(serial.link_packets, parallel.link_packets);
+        assert_eq!(serial.destination_fan_in, parallel.destination_fan_in);
+        assert_eq!(serial.destination_packets, parallel.destination_packets);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        let t = default_threads();
+        assert!(t >= 1);
+        assert!(t <= 16);
+    }
+}

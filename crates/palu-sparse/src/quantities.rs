@@ -1,0 +1,233 @@
+//! The five streaming network quantities of Figure 1.
+//!
+//! From a packet window `A_t` the paper derives five degree-like
+//! quantities, each yielding a histogram `n_t(d)` for pooling:
+//!
+//! * **source packets** — packets sent per source (`A·1`);
+//! * **source fan-out** — unique destinations per source (`|A|₀·1`);
+//! * **link packets** — packets per unique source–destination pair
+//!   (the stored values of `A`);
+//! * **destination fan-in** — unique sources per destination
+//!   (`1ᵀ|A|₀`);
+//! * **destination packets** — packets received per destination
+//!   (`1ᵀA`).
+//!
+//! Zero rows/columns (addresses with no traffic in the window) are
+//! excluded, matching the observational reality that silent hosts are
+//! invisible.
+
+use crate::csr::CsrMatrix;
+use palu_stats::histogram::DegreeHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Selector for one of the five Figure 1 quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkQuantity {
+    /// Packets sent per unique source.
+    SourcePackets,
+    /// Unique destinations per unique source.
+    SourceFanOut,
+    /// Packets per unique link.
+    LinkPackets,
+    /// Unique sources per unique destination.
+    DestinationFanIn,
+    /// Packets received per unique destination.
+    DestinationPackets,
+}
+
+impl NetworkQuantity {
+    /// All five quantities in the paper's Figure 1 order.
+    pub const ALL: [NetworkQuantity; 5] = [
+        NetworkQuantity::SourcePackets,
+        NetworkQuantity::SourceFanOut,
+        NetworkQuantity::LinkPackets,
+        NetworkQuantity::DestinationFanIn,
+        NetworkQuantity::DestinationPackets,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkQuantity::SourcePackets => "source packets",
+            NetworkQuantity::SourceFanOut => "source fan-out",
+            NetworkQuantity::LinkPackets => "link packets",
+            NetworkQuantity::DestinationFanIn => "destination fan-in",
+            NetworkQuantity::DestinationPackets => "destination packets",
+        }
+    }
+
+    /// Compute this quantity's histogram from a window matrix.
+    pub fn histogram(&self, a: &CsrMatrix) -> DegreeHistogram {
+        match self {
+            NetworkQuantity::SourcePackets => {
+                DegreeHistogram::from_degrees(a.row_sums().into_iter().filter(|&s| s > 0))
+            }
+            NetworkQuantity::SourceFanOut => DegreeHistogram::from_degrees(
+                a.row_nnzs().into_iter().filter(|&n| n > 0).map(|n| n as u64),
+            ),
+            NetworkQuantity::LinkPackets => {
+                DegreeHistogram::from_degrees(a.values().iter().copied())
+            }
+            NetworkQuantity::DestinationFanIn => DegreeHistogram::from_degrees(
+                a.col_nnzs().into_iter().filter(|&n| n > 0).map(|n| n as u64),
+            ),
+            NetworkQuantity::DestinationPackets => {
+                DegreeHistogram::from_degrees(a.col_sums().into_iter().filter(|&s| s > 0))
+            }
+        }
+    }
+}
+
+/// All five quantity histograms for one window, computed in one call.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QuantityHistograms {
+    /// Packets per source.
+    pub source_packets: DegreeHistogram,
+    /// Fan-out per source.
+    pub source_fan_out: DegreeHistogram,
+    /// Packets per link.
+    pub link_packets: DegreeHistogram,
+    /// Fan-in per destination.
+    pub destination_fan_in: DegreeHistogram,
+    /// Packets per destination.
+    pub destination_packets: DegreeHistogram,
+}
+
+impl QuantityHistograms {
+    /// Compute all five quantities from a window matrix.
+    pub fn compute(a: &CsrMatrix) -> Self {
+        QuantityHistograms {
+            source_packets: NetworkQuantity::SourcePackets.histogram(a),
+            source_fan_out: NetworkQuantity::SourceFanOut.histogram(a),
+            link_packets: NetworkQuantity::LinkPackets.histogram(a),
+            destination_fan_in: NetworkQuantity::DestinationFanIn.histogram(a),
+            destination_packets: NetworkQuantity::DestinationPackets.histogram(a),
+        }
+    }
+
+    /// Access a quantity's histogram by selector.
+    pub fn get(&self, q: NetworkQuantity) -> &DegreeHistogram {
+        match q {
+            NetworkQuantity::SourcePackets => &self.source_packets,
+            NetworkQuantity::SourceFanOut => &self.source_fan_out,
+            NetworkQuantity::LinkPackets => &self.link_packets,
+            NetworkQuantity::DestinationFanIn => &self.destination_fan_in,
+            NetworkQuantity::DestinationPackets => &self.destination_packets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// Window: 0→1 ×3, 0→2 ×1, 5→1 ×2, 5→5 ×1.
+    fn window() -> CsrMatrix {
+        let mut m = CooMatrix::new();
+        m.push(0, 1, 3);
+        m.push(0, 2, 1);
+        m.push(5, 1, 2);
+        m.push(5, 5, 1);
+        m.to_csr()
+    }
+
+    #[test]
+    fn source_packets() {
+        // Source 0 sent 4, source 5 sent 3.
+        let h = NetworkQuantity::SourcePackets.histogram(&window());
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn source_fan_out() {
+        // Both sources talk to exactly 2 destinations.
+        let h = NetworkQuantity::SourceFanOut.histogram(&window());
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count(2), 2);
+    }
+
+    #[test]
+    fn link_packets() {
+        // Link weights: 3, 1, 2, 1.
+        let h = NetworkQuantity::LinkPackets.histogram(&window());
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(3), 1);
+        // Total packets recoverable from the weighted histogram.
+        assert_eq!(h.degree_sum(), 7);
+    }
+
+    #[test]
+    fn destination_fan_in() {
+        // Dest 1 hears from 2 sources; dests 2 and 5 from 1 each.
+        let h = NetworkQuantity::DestinationFanIn.histogram(&window());
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(1), 2);
+    }
+
+    #[test]
+    fn destination_packets() {
+        // Dest 1 got 5, dest 2 got 1, dest 5 got 1.
+        let h = NetworkQuantity::DestinationPackets.histogram(&window());
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(1), 2);
+    }
+
+    #[test]
+    fn all_quantities_struct_matches_selectors() {
+        let a = window();
+        let all = QuantityHistograms::compute(&a);
+        for q in NetworkQuantity::ALL {
+            assert_eq!(all.get(q), &q.histogram(&a), "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn silent_hosts_are_invisible() {
+        let mut m = CooMatrix::new();
+        m.push(0, 1, 1);
+        m.reserve_dims(10, 10); // 9 silent sources, 9 silent dests
+        let a = m.to_csr();
+        assert_eq!(NetworkQuantity::SourcePackets.histogram(&a).total(), 1);
+        assert_eq!(NetworkQuantity::DestinationPackets.histogram(&a).total(), 1);
+        assert_eq!(NetworkQuantity::SourceFanOut.histogram(&a).total(), 1);
+        assert_eq!(NetworkQuantity::DestinationFanIn.histogram(&a).total(), 1);
+    }
+
+    #[test]
+    fn quantity_identities() {
+        // Cross-quantity invariants that hold for any window:
+        //   Σ source packets = Σ destination packets = N_V
+        //   Σ fan-out = Σ fan-in = unique links
+        let a = window();
+        let q = QuantityHistograms::compute(&a);
+        assert_eq!(q.source_packets.degree_sum(), a.total());
+        assert_eq!(q.destination_packets.degree_sum(), a.total());
+        assert_eq!(q.source_fan_out.degree_sum(), a.nnz() as u64);
+        assert_eq!(q.destination_fan_in.degree_sum(), a.nnz() as u64);
+        assert_eq!(q.link_packets.total(), a.nnz() as u64);
+        assert_eq!(q.link_packets.degree_sum(), a.total());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            NetworkQuantity::ALL.iter().map(|q| q.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn empty_window_gives_empty_histograms() {
+        let a = CooMatrix::new().to_csr();
+        let q = QuantityHistograms::compute(&a);
+        for sel in NetworkQuantity::ALL {
+            assert!(q.get(sel).is_empty(), "{}", sel.name());
+        }
+    }
+}

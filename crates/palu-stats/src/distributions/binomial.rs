@@ -1,0 +1,309 @@
+//! Binomial distribution with exact sampling for any `(n, p)`.
+//!
+//! Erdős–Rényi edge thinning is the observation mechanism of the PALU
+//! model: a degree-`d` node of the underlying network has observed degree
+//! `Bin(d, p)` (Section V). Degrees in a power-law core can reach the
+//! supernode scale (`d ~ 10^5`), so the sampler must stay exact and fast
+//! far beyond the naive `n`-Bernoulli loop.
+
+use super::DiscreteDistribution;
+use crate::error::StatsError;
+use crate::special::ln_factorial;
+use crate::Result;
+use rand::Rng;
+
+/// Below this expected count, plain inversion from 0 is fastest.
+const BINV_CUTOFF: f64 = 16.0;
+
+/// Binomial distribution `Bin(n, p)` with support `{0, …, n}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create a binomial distribution with `n` trials and success
+    /// probability `p ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] if `p` is outside `[0, 1]` or not
+    /// finite.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::domain(
+                "Binomial::new",
+                format!("p must be in [0,1], got {p}"),
+            ));
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// `ln C(n, k)` computed via log-factorials.
+    fn ln_choose(n: u64, k: u64) -> f64 {
+        ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+    }
+
+    /// Exact inversion from k = 0 (fast when `n·min(p,1-p)` is small).
+    fn sample_inversion<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+        let q = 1.0 - p;
+        let ratio = p / q;
+        // Log-space start handles huge n with tiny p without underflow
+        // surprises from repeated multiplication.
+        let mut pmf = (n as f64 * q.ln()).exp();
+        let mut cdf = pmf;
+        let u = rng.gen::<f64>();
+        let mut k = 0u64;
+        while u > cdf && k < n {
+            pmf *= ratio * (n - k) as f64 / (k + 1) as f64;
+            cdf += pmf;
+            k += 1;
+            // Guard against FP shortfall: if pmf has decayed to zero the
+            // remaining mass is numerically negligible.
+            if pmf == 0.0 {
+                break;
+            }
+        }
+        k
+    }
+
+    /// Exact two-sided inversion started at the mode: expected
+    /// `O(√(npq))` steps, robust for large `n`.
+    fn sample_mode_inversion<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+        let q = 1.0 - p;
+        let mode = ((n as f64 + 1.0) * p).floor().min(n as f64) as u64;
+        // pmf at the mode via log space (safe for huge n).
+        let ln_pmf_mode = Self::ln_choose(n, mode)
+            + mode as f64 * p.ln()
+            + (n - mode) as f64 * q.ln();
+        let pmf_mode = ln_pmf_mode.exp();
+
+        let mut u = rng.gen::<f64>();
+        u -= pmf_mode;
+        if u <= 0.0 {
+            return mode;
+        }
+        // Walk outward from the mode, alternating sides; recurrences:
+        //   pmf(k+1) = pmf(k) · (n-k)/(k+1) · p/q
+        //   pmf(k-1) = pmf(k) · k/(n-k+1) · q/p
+        let ratio_up = p / q;
+        let ratio_dn = q / p;
+        let mut pmf_up = pmf_mode;
+        let mut pmf_dn = pmf_mode;
+        let mut k_up = mode;
+        let mut k_dn = mode;
+        loop {
+            let can_up = k_up < n;
+            let can_dn = k_dn > 0;
+            if can_up {
+                pmf_up *= ratio_up * (n - k_up) as f64 / (k_up + 1) as f64;
+                k_up += 1;
+                u -= pmf_up;
+                if u <= 0.0 {
+                    return k_up;
+                }
+            }
+            if can_dn {
+                pmf_dn *= ratio_dn * k_dn as f64 / (n - k_dn + 1) as f64;
+                k_dn -= 1;
+                u -= pmf_dn;
+                if u <= 0.0 {
+                    return k_dn;
+                }
+            }
+            if !can_up && !can_dn {
+                // Numerical shortfall (u was in the last few ulps of the
+                // CDF); return the mode as the highest-density fallback.
+                return mode;
+            }
+            // If both frontier masses have decayed to zero, remaining
+            // probability is numerically zero.
+            if pmf_up == 0.0 && pmf_dn == 0.0 {
+                return mode;
+            }
+        }
+    }
+}
+
+impl DiscreteDistribution for Binomial {
+    fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        self.ln_pmf(k).exp()
+    }
+
+    fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        Self::ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln()
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        (0..=k).map(|j| self.pmf(j)).sum::<f64>().min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Exploit symmetry: sample with p' = min(p, 1-p), flip back.
+        let flipped = p > 0.5;
+        let ps = if flipped { 1.0 - p } else { p };
+        let k = if n as f64 * ps < BINV_CUTOFF {
+            Self::sample_inversion(n, ps, rng)
+        } else {
+            Self::sample_mode_inversion(n, ps, rng)
+        };
+        if flipped {
+            n - k
+        } else {
+            k
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{check_moments, check_pmf_frequencies};
+    use super::super::DiscreteDistribution;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_p() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+        assert!(Binomial::new(0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(1u64, 0.5), (10, 0.3), (100, 0.77), (1000, 0.01)] {
+            let d = Binomial::new(n, p).unwrap();
+            let total: f64 = (0..=n).map(|k| d.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        let d = Binomial::new(4, 0.5).unwrap();
+        let expected = [1.0, 4.0, 6.0, 4.0, 1.0].map(|c| c / 16.0);
+        for (k, &e) in expected.iter().enumerate() {
+            assert!((d.pmf(k as u64) - e).abs() < 1e-12, "k={k}");
+        }
+        assert_eq!(d.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn degenerate_p_values() {
+        let d0 = Binomial::new(10, 0.0).unwrap();
+        assert_eq!(d0.pmf(0), 1.0);
+        assert_eq!(d0.pmf(3), 0.0);
+        let d1 = Binomial::new(10, 1.0).unwrap();
+        assert_eq!(d1.pmf(10), 1.0);
+        assert_eq!(d1.pmf(9), 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(d0.sample(&mut rng), 0);
+        assert_eq!(d1.sample(&mut rng), 10);
+    }
+
+    #[test]
+    fn cdf_endpoints() {
+        let d = Binomial::new(20, 0.4).unwrap();
+        assert!((d.cdf(20) - 1.0).abs() < 1e-12);
+        assert!((d.cdf(25) - 1.0).abs() < 1e-12);
+        assert!(d.cdf(0) > 0.0 && d.cdf(0) < 1.0);
+        // Monotone non-decreasing.
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let c = d.cdf(k);
+            assert!(c >= prev - 1e-15);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn sampler_moments_inversion_regime() {
+        check_moments(&Binomial::new(10, 0.3).unwrap(), 200_000, 31, 4.5);
+        check_moments(&Binomial::new(500, 0.01).unwrap(), 200_000, 32, 4.5);
+    }
+
+    #[test]
+    fn sampler_moments_mode_inversion_regime() {
+        check_moments(&Binomial::new(1000, 0.4).unwrap(), 100_000, 33, 4.5);
+        check_moments(&Binomial::new(100_000, 0.25).unwrap(), 30_000, 34, 4.5);
+    }
+
+    #[test]
+    fn sampler_symmetry_flip() {
+        // p > 0.5 path (internally flipped) must match moments too.
+        check_moments(&Binomial::new(1000, 0.9).unwrap(), 100_000, 35, 4.5);
+        check_moments(&Binomial::new(12, 0.8).unwrap(), 200_000, 36, 4.5);
+    }
+
+    #[test]
+    fn sampler_frequencies_match_pmf() {
+        check_pmf_frequencies(&Binomial::new(30, 0.35).unwrap(), 300_000, 30, 41, 4.5);
+        check_pmf_frequencies(&Binomial::new(200, 0.5).unwrap(), 200_000, 130, 42, 4.5);
+    }
+
+    #[test]
+    fn samples_never_exceed_n() {
+        let d = Binomial::new(17, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(50);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) <= 17);
+        }
+    }
+
+    #[test]
+    fn supernode_scale_sampling_is_sane() {
+        // A supernode with d = 10^6 observed through p = 0.001.
+        let d = Binomial::new(1_000_000, 0.001).unwrap();
+        let mut rng = StdRng::seed_from_u64(60);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let se = (d.variance() / n as f64).sqrt();
+        assert!((mean - 1000.0).abs() < 5.0 * se, "mean {mean}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Geometric distribution on `{1, 2, 3, …}`.
+//!
+//! Section VI of the paper replaces the Poisson term `(Λ/d)^d` with the
+//! geometric tail `r^{1-d}` ("an equally valid Geometric distribution"),
+//! producing the one-parameter PALU(d) approximation of Equation (5).
+//! This module provides that distribution with the paper's
+//! parameterization: `pmf(d) ∝ r^{1-d}` for a decay base `r > 1`, which
+//! is the classical first-success geometric with success probability
+//! `q = 1 - 1/r`.
+
+use super::DiscreteDistribution;
+use crate::error::StatsError;
+use crate::Result;
+use rand::Rng;
+
+/// Geometric distribution with support `{1, 2, 3, …}` and
+/// `pmf(d) = (1 - 1/r) · r^{1-d}` for decay base `r > 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    /// Decay base `r` from the paper's `r^{1-d}` tail.
+    r: f64,
+}
+
+impl Geometric {
+    /// Create a geometric distribution from the paper's decay base
+    /// `r > 1` (larger `r` decays faster).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] if `r ≤ 1` or `r` is not finite.
+    pub fn from_decay_base(r: f64) -> Result<Self> {
+        if !r.is_finite() || r <= 1.0 {
+            return Err(StatsError::domain(
+                "Geometric::from_decay_base",
+                format!("decay base must be finite and > 1, got {r}"),
+            ));
+        }
+        Ok(Geometric { r })
+    }
+
+    /// Create from the classical success probability `q ∈ (0, 1)`:
+    /// `pmf(d) = (1-q)^{d-1} q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] if `q` is outside `(0, 1)`.
+    pub fn from_success_prob(q: f64) -> Result<Self> {
+        if !(q.is_finite() && 0.0 < q && q < 1.0) {
+            return Err(StatsError::domain(
+                "Geometric::from_success_prob",
+                format!("success probability must be in (0,1), got {q}"),
+            ));
+        }
+        // (1-q)^{d-1} q = q · r^{1-d} with r = 1/(1-q).
+        Ok(Geometric { r: 1.0 / (1.0 - q) })
+    }
+
+    /// The paper's decay base `r`.
+    pub fn decay_base(&self) -> f64 {
+        self.r
+    }
+
+    /// Equivalent success probability `q = 1 - 1/r`.
+    pub fn success_prob(&self) -> f64 {
+        1.0 - 1.0 / self.r
+    }
+
+    /// The unnormalized tail value `r^{1-d}` as written in Equation (5).
+    pub fn unnormalized(&self, d: u64) -> f64 {
+        debug_assert!(d >= 1);
+        self.r.powf(1.0 - d as f64)
+    }
+}
+
+impl DiscreteDistribution for Geometric {
+    fn pmf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        self.success_prob() * self.unnormalized(k)
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        // 1 - (1-q)^k = 1 - r^{-k}
+        1.0 - self.r.powf(-(k as f64))
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.success_prob()
+    }
+
+    fn variance(&self) -> f64 {
+        let q = self.success_prob();
+        (1.0 - q) / (q * q)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Inverse CDF: d = ceil(ln(1-U) / ln(1-q)) = ceil(ln(U') / -ln r).
+        let u: f64 = rng.gen::<f64>();
+        // Guard u = 0 (ln → -inf) by nudging into (0, 1).
+        let u = u.max(f64::MIN_POSITIVE);
+        let d = (u.ln() / -self.r.ln()).ceil();
+        (d.max(1.0)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_moments;
+    use super::super::DiscreteDistribution;
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Geometric::from_decay_base(1.0).is_err());
+        assert!(Geometric::from_decay_base(0.5).is_err());
+        assert!(Geometric::from_decay_base(f64::NAN).is_err());
+        assert!(Geometric::from_success_prob(0.0).is_err());
+        assert!(Geometric::from_success_prob(1.0).is_err());
+        assert!(Geometric::from_success_prob(0.5).is_ok());
+    }
+
+    #[test]
+    fn parameterizations_agree() {
+        let a = Geometric::from_decay_base(2.0).unwrap();
+        let b = Geometric::from_success_prob(0.5).unwrap();
+        assert!((a.decay_base() - b.decay_base()).abs() < 1e-14);
+        for d in 1..10 {
+            assert!((a.pmf(d) - b.pmf(d)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for r in [1.2, 2.0, 5.0, 20.0] {
+            let g = Geometric::from_decay_base(r).unwrap();
+            let total: f64 = (1..2000).map(|d| g.pmf(d)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "r={r}");
+        }
+    }
+
+    #[test]
+    fn pmf_off_support() {
+        let g = Geometric::from_decay_base(2.0).unwrap();
+        assert_eq!(g.pmf(0), 0.0);
+        assert_eq!(g.cdf(0), 0.0);
+    }
+
+    #[test]
+    fn unnormalized_matches_paper_form() {
+        // r^{1-d}: equals 1 at d = 1, decays by 1/r each step.
+        let g = Geometric::from_decay_base(3.0).unwrap();
+        assert_eq!(g.unnormalized(1), 1.0);
+        assert!((g.unnormalized(2) - 1.0 / 3.0).abs() < 1e-14);
+        assert!((g.unnormalized(4) - 1.0 / 27.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let g = Geometric::from_decay_base(1.7).unwrap();
+        let mut acc = 0.0;
+        for d in 1..50 {
+            acc += g.pmf(d);
+            assert!((g.cdf(d) - acc).abs() < 1e-12, "d={d}");
+        }
+    }
+
+    #[test]
+    fn sampler_moments() {
+        check_moments(&Geometric::from_decay_base(2.0).unwrap(), 200_000, 71, 4.5);
+        check_moments(&Geometric::from_decay_base(1.25).unwrap(), 200_000, 72, 4.5);
+    }
+
+    #[test]
+    fn samples_are_at_least_one() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = Geometric::from_decay_base(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) >= 1);
+        }
+    }
+}

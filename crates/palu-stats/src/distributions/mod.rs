@@ -1,0 +1,141 @@
+//! Exact discrete distributions used by the PALU model derivation.
+//!
+//! Section V of the paper builds the model from four distributions:
+//!
+//! * [`Poisson`] — sizes of the unattached stars
+//!   (`Po(λ)` leaves per central node) and their thinned observation
+//!   (`Bin(Po(λ), p) = Po(λp)`).
+//! * [`Binomial`] — Erdős–Rényi edge thinning: a
+//!   degree-`d` node of the underlying network has observed degree
+//!   `Bin(d, p)`.
+//! * [`Geometric`] — the Section VI one-parameter
+//!   approximation `(Λ/d)^d ≈ r^{1-d}` swaps the Poisson for a geometric
+//!   tail.
+//! * [`Zeta`] — the discrete power law
+//!   `d^{-α}/ζ(α)` describing the preferential-attachment core.
+//!
+//! All samplers are exact (no normal approximations) and deterministic
+//! given an RNG, so simulated experiments are replayable.
+
+pub mod binomial;
+pub mod geometric;
+pub mod lognormal;
+pub mod poisson;
+pub mod powerlaw;
+
+pub use binomial::Binomial;
+pub use geometric::Geometric;
+pub use lognormal::DiscretizedLogNormal;
+pub use poisson::Poisson;
+pub use powerlaw::{TruncatedZeta, Zeta};
+
+use rand::Rng;
+
+/// Common interface for the discrete distributions in this module.
+///
+/// Support is a subset of the non-negative integers; `pmf` returns 0
+/// outside the support rather than panicking.
+pub trait DiscreteDistribution {
+    /// Probability mass at `k`.
+    fn pmf(&self, k: u64) -> f64;
+
+    /// Natural log of the probability mass at `k` (`-inf` off-support).
+    fn ln_pmf(&self, k: u64) -> f64 {
+        self.pmf(k).ln()
+    }
+
+    /// Cumulative probability `P(X ≤ k)`.
+    fn cdf(&self, k: u64) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64;
+
+    /// Draw `n` samples into a fresh vector.
+    fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Sum the pmf over `lo..=hi` (inclusive). Utility shared by tests and
+/// the logarithmic-pooling comparisons in the core crate.
+pub fn pmf_mass<D: DiscreteDistribution>(dist: &D, lo: u64, hi: u64) -> f64 {
+    (lo..=hi).map(|k| dist.pmf(k)).sum()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for distribution tests: empirical moment and
+    //! goodness-of-fit checks with generous-but-meaningful tolerances.
+
+    use super::DiscreteDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Draw `n` samples and assert the empirical mean and variance are
+    /// within `tol_sigmas` standard errors of the theoretical values.
+    pub fn check_moments<D: DiscreteDistribution>(dist: &D, n: usize, seed: u64, tol_sigmas: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = dist.sample_many(&mut rng, n);
+        let nf = n as f64;
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / nf;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (nf - 1.0);
+        let se_mean = (dist.variance() / nf).sqrt();
+        assert!(
+            (mean - dist.mean()).abs() < tol_sigmas * se_mean,
+            "empirical mean {mean} vs theoretical {} (se {se_mean})",
+            dist.mean()
+        );
+        // Variance check is looser: the SE of the sample variance depends
+        // on the fourth moment, which we bound crudely by 3·var²/n
+        // (exact for the normal; heavy-tailed dists opt out).
+        let se_var = (3.0 * dist.variance().powi(2) / nf).sqrt();
+        assert!(
+            (var - dist.variance()).abs() < tol_sigmas * se_var.max(1e-12),
+            "empirical var {var} vs theoretical {}",
+            dist.variance()
+        );
+    }
+
+    /// Chi-squared-style check: empirical frequencies of each value in
+    /// `0..=k_max` must match the pmf within `tol_sigmas` binomial
+    /// standard errors.
+    pub fn check_pmf_frequencies<D: DiscreteDistribution>(
+        dist: &D,
+        n: usize,
+        k_max: u64,
+        seed: u64,
+        tol_sigmas: f64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = dist.sample_many(&mut rng, n);
+        let mut counts = vec![0u64; k_max as usize + 1];
+        for &s in &samples {
+            if s <= k_max {
+                counts[s as usize] += 1;
+            }
+        }
+        for k in 0..=k_max {
+            let p = dist.pmf(k);
+            if p * (n as f64) < 20.0 {
+                continue; // not enough expected mass for a z-test
+            }
+            let expected = p * n as f64;
+            let se = (n as f64 * p * (1.0 - p)).sqrt();
+            let observed = counts[k as usize] as f64;
+            assert!(
+                (observed - expected).abs() < tol_sigmas * se,
+                "k={k}: observed {observed}, expected {expected} (se {se})"
+            );
+        }
+    }
+}

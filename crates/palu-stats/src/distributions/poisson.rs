@@ -1,0 +1,272 @@
+//! Poisson distribution with exact sampling at any rate.
+//!
+//! The PALU model uses `Po(λ)` for the number of non-central nodes of
+//! each unattached star, and the key thinning identity
+//! `Bin(Po(λ), p) = Po(λp)` (Section V) for their observed counterparts.
+
+use super::DiscreteDistribution;
+use crate::error::StatsError;
+use crate::special::ln_factorial;
+use crate::Result;
+use rand::Rng;
+
+/// Rate threshold below which inversion-by-sequential-search is used;
+/// above it the PTRS transformed-rejection sampler takes over.
+const INVERSION_CUTOFF: f64 = 10.0;
+
+/// Poisson distribution `Po(λ)` with support `{0, 1, 2, …}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution with rate `λ ≥ 0`.
+    ///
+    /// `λ = 0` is allowed and yields the point mass at 0 — the PALU
+    /// generator hits this case when the observation window shrinks to
+    /// nothing (`p → 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] for negative or non-finite rates.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(StatsError::domain(
+                "Poisson::new",
+                format!("rate must be finite and >= 0, got {lambda}"),
+            ));
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability of drawing exactly zero: `e^{-λ}`.
+    ///
+    /// This is the paper's isolated-central-node probability — the
+    /// fraction `Bin(U_N, e^{-λ})` of star centers that are invisible to
+    /// traffic observation.
+    pub fn p_zero(&self) -> f64 {
+        (-self.lambda).exp()
+    }
+
+    /// Thin this Poisson by independently keeping each counted item with
+    /// probability `p`, yielding `Po(λp)` (the Section V identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] if `p` is outside `[0, 1]`.
+    pub fn thin(&self, p: f64) -> Result<Poisson> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::domain(
+                "Poisson::thin",
+                format!("retention probability must be in [0,1], got {p}"),
+            ));
+        }
+        Poisson::new(self.lambda * p)
+    }
+
+    /// Sample via multiplicative inversion (exact, O(λ) expected).
+    fn sample_inversion<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut prod = rng.gen::<f64>();
+        while prod > l {
+            k += 1;
+            prod *= rng.gen::<f64>();
+        }
+        k
+    }
+
+    /// Sample via Hörmann's PTRS transformed rejection (exact, O(1)
+    /// expected, valid for `λ ≥ 10`).
+    fn sample_ptrs<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let lam = self.lambda;
+        let b = 0.931 + 2.53 * lam.sqrt();
+        let a = -0.059 + 0.024_83 * b;
+        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        let ln_lam = lam.ln();
+        loop {
+            let u = rng.gen::<f64>() - 0.5;
+            let v = rng.gen::<f64>();
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lam + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k as u64;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            let accept =
+                (v * inv_alpha / (a / (us * us) + b)).ln() <= k * ln_lam - lam - ln_factorial(k as u64);
+            if accept {
+                return k as u64;
+            }
+        }
+    }
+}
+
+impl DiscreteDistribution for Poisson {
+    fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    fn ln_pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        // Direct summation with the multiplicative recurrence
+        // pmf(j+1) = pmf(j)·λ/(j+1); exact enough for the k ranges used
+        // here (k up to a few thousand).
+        let mut term = (-self.lambda).exp();
+        let mut acc = term;
+        for j in 0..k {
+            term *= self.lambda / (j + 1) as f64;
+            acc += term;
+        }
+        acc.min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            0
+        } else if self.lambda < INVERSION_CUTOFF {
+            self.sample_inversion(rng)
+        } else {
+            self.sample_ptrs(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{check_moments, check_pmf_frequencies};
+    use super::super::DiscreteDistribution;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates_rate() {
+        assert!(Poisson::new(-0.1).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert!(Poisson::new(0.0).is_ok());
+        assert!(Poisson::new(1e6).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for lam in [0.3, 1.0, 4.5, 20.0] {
+            let d = Poisson::new(lam).unwrap();
+            let total: f64 = (0..200).map(|k| d.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "λ={lam}");
+        }
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        let d = Poisson::new(2.0).unwrap();
+        // P(X=0) = e^-2, P(X=1) = 2e^-2, P(X=2) = 2e^-2
+        let e2 = (-2.0f64).exp();
+        assert!((d.pmf(0) - e2).abs() < 1e-14);
+        assert!((d.pmf(1) - 2.0 * e2).abs() < 1e-14);
+        assert!((d.pmf(2) - 2.0 * e2).abs() < 1e-14);
+        assert!((d.pmf(3) - 4.0 / 3.0 * e2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_rate_is_point_mass() {
+        let d = Poisson::new(0.0).unwrap();
+        assert_eq!(d.pmf(0), 1.0);
+        assert_eq!(d.pmf(1), 0.0);
+        assert_eq!(d.cdf(0), 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let d = Poisson::new(3.7).unwrap();
+        let mut acc = 0.0;
+        for k in 0..30 {
+            acc += d.pmf(k);
+            assert!((d.cdf(k) - acc).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn p_zero_matches_pmf() {
+        for lam in [0.1, 1.0, 5.0, 15.0] {
+            let d = Poisson::new(lam).unwrap();
+            assert!((d.p_zero() - d.pmf(0)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn thinning_identity_parameters() {
+        let d = Poisson::new(8.0).unwrap();
+        let t = d.thin(0.25).unwrap();
+        assert!((t.lambda() - 2.0).abs() < 1e-14);
+        assert!(d.thin(1.5).is_err());
+        assert!(d.thin(-0.1).is_err());
+    }
+
+    #[test]
+    fn sampler_moments_small_lambda() {
+        check_moments(&Poisson::new(0.8).unwrap(), 200_000, 11, 4.5);
+        check_moments(&Poisson::new(4.2).unwrap(), 200_000, 12, 4.5);
+    }
+
+    #[test]
+    fn sampler_moments_large_lambda_ptrs() {
+        check_moments(&Poisson::new(10.0).unwrap(), 200_000, 13, 4.5);
+        check_moments(&Poisson::new(37.5).unwrap(), 200_000, 14, 4.5);
+        check_moments(&Poisson::new(400.0).unwrap(), 100_000, 15, 4.5);
+    }
+
+    #[test]
+    fn sampler_frequencies_match_pmf() {
+        check_pmf_frequencies(&Poisson::new(3.0).unwrap(), 300_000, 12, 21, 4.5);
+        check_pmf_frequencies(&Poisson::new(15.0).unwrap(), 300_000, 35, 22, 4.5);
+    }
+
+    #[test]
+    fn thinned_sampling_matches_direct_po_lambda_p() {
+        // Empirically verify Bin(Po(λ), p) ≈ Po(λp): thin each Poisson
+        // draw by Bernoulli(p) and compare the mean to λp.
+        let lam = 6.0;
+        let p = 0.3;
+        let d = Poisson::new(lam).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let y = d.sample(&mut rng);
+            let kept = (0..y).filter(|_| rng.gen::<f64>() < p).count() as u64;
+            total += kept;
+        }
+        let mean = total as f64 / n as f64;
+        let se = (lam * p / n as f64).sqrt();
+        assert!((mean - lam * p).abs() < 5.0 * se, "mean {mean} vs {}", lam * p);
+    }
+}

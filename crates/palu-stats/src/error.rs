@@ -1,0 +1,120 @@
+//! Error type shared by the statistical substrate.
+
+use std::fmt;
+
+/// Errors produced by numerical routines in this crate.
+///
+/// Every failure is a *domain* or *convergence* problem: the routines
+/// themselves are deterministic and allocation failures abort. Callers are
+/// expected to either validate inputs up front or propagate these errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An argument was outside the mathematical domain of the function.
+    ///
+    /// Carries the routine name and a human-readable description of the
+    /// violated constraint.
+    Domain {
+        /// Name of the routine that rejected the argument.
+        routine: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine that failed to converge.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Best residual (or bracket width) achieved.
+        residual: f64,
+    },
+    /// A routine that requires data received an empty or degenerate input.
+    EmptyInput {
+        /// Name of the routine that received the degenerate input.
+        routine: &'static str,
+    },
+    /// A root- or minimum-bracketing precondition failed.
+    BadBracket {
+        /// Name of the routine whose bracket was invalid.
+        routine: &'static str,
+        /// Left end of the offending bracket.
+        a: f64,
+        /// Right end of the offending bracket.
+        b: f64,
+    },
+}
+
+impl StatsError {
+    /// Convenience constructor for [`StatsError::Domain`].
+    pub fn domain(routine: &'static str, message: impl Into<String>) -> Self {
+        StatsError::Domain {
+            routine,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Domain { routine, message } => {
+                write!(f, "{routine}: domain error: {message}")
+            }
+            StatsError::NoConvergence {
+                routine,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{routine}: no convergence after {iterations} iterations (residual {residual:e})"
+            ),
+            StatsError::EmptyInput { routine } => write!(f, "{routine}: empty input"),
+            StatsError::BadBracket { routine, a, b } => {
+                write!(f, "{routine}: invalid bracket [{a}, {b}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StatsError::domain("zeta", "alpha must be > 1");
+        assert_eq!(e.to_string(), "zeta: domain error: alpha must be > 1");
+
+        let e = StatsError::NoConvergence {
+            routine: "brent",
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("brent"));
+        assert!(e.to_string().contains("100"));
+
+        let e = StatsError::EmptyInput { routine: "ols" };
+        assert_eq!(e.to_string(), "ols: empty input");
+
+        let e = StatsError::BadBracket {
+            routine: "bisect",
+            a: 0.0,
+            b: 1.0,
+        };
+        assert!(e.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StatsError::domain("f", "x"),
+            StatsError::domain("f", "x")
+        );
+        assert_ne!(
+            StatsError::domain("f", "x"),
+            StatsError::domain("g", "x")
+        );
+    }
+}

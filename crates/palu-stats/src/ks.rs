@@ -1,0 +1,169 @@
+//! Kolmogorov–Smirnov distances for discrete degree data.
+//!
+//! Used in two places: (1) `x_min` selection in the Clauset–Shalizi–
+//! Newman baseline ([`crate::mle`]), which picks the tail cutoff
+//! minimizing the KS distance between the empirical tail and the fitted
+//! power law; and (2) as an alternative fit objective in the
+//! Zipf–Mandelbrot fitter ablation.
+
+use crate::histogram::DegreeHistogram;
+
+/// KS distance between an empirical degree histogram and a model CDF
+/// evaluated on the histogram's support:
+/// `sup_d |F_emp(d) − F_model(d)|`.
+///
+/// The supremum over a discrete support is attained at a support point,
+/// so scanning the observed degrees is exact. Returns 0 for an empty
+/// histogram.
+pub fn ks_distance<F: Fn(u64) -> f64>(h: &DegreeHistogram, model_cdf: F) -> f64 {
+    if h.is_empty() {
+        return 0.0;
+    }
+    let total = h.total() as f64;
+    let mut acc = 0u64;
+    let mut worst = 0.0f64;
+    for (d, c) in h.iter() {
+        // Check just below the jump (empirical CDF before counting d)…
+        let f_emp_before = acc as f64 / total;
+        let f_model_before = if d == 0 { 0.0 } else { model_cdf(d - 1) };
+        worst = worst.max((f_emp_before - f_model_before).abs());
+        // …and at the jump.
+        acc += c;
+        let f_emp = acc as f64 / total;
+        worst = worst.max((f_emp - model_cdf(d)).abs());
+    }
+    worst
+}
+
+/// KS distance restricted to the tail `d ≥ x_min`, with both the
+/// empirical and model distributions renormalized to that tail. This is
+/// the CSN goodness statistic.
+///
+/// `model_tail_cdf(d)` must give `P(X ≤ d | X ≥ x_min)` under the model.
+/// Returns 0 if the histogram has no mass at or above `x_min`.
+pub fn ks_distance_tail<F: Fn(u64) -> f64>(
+    h: &DegreeHistogram,
+    x_min: u64,
+    model_tail_cdf: F,
+) -> f64 {
+    let tail_total: u64 = h.iter().filter(|&(d, _)| d >= x_min).map(|(_, c)| c).sum();
+    if tail_total == 0 {
+        return 0.0;
+    }
+    let total = tail_total as f64;
+    let mut acc = 0u64;
+    let mut worst = 0.0f64;
+    for (d, c) in h.iter().filter(|&(d, _)| d >= x_min) {
+        let f_emp_before = acc as f64 / total;
+        let f_model_before = if d <= x_min {
+            0.0
+        } else {
+            model_tail_cdf(d - 1)
+        };
+        worst = worst.max((f_emp_before - f_model_before).abs());
+        acc += c;
+        let f_emp = acc as f64 / total;
+        worst = worst.max((f_emp - model_tail_cdf(d)).abs());
+    }
+    worst
+}
+
+/// Two-sample KS distance between two empirical degree histograms.
+pub fn ks_two_sample(a: &DegreeHistogram, b: &DegreeHistogram) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Merge supports; walk both CDFs across every jump point.
+    let mut points: Vec<u64> = a.iter().map(|(d, _)| d).collect();
+    points.extend(b.iter().map(|(d, _)| d));
+    points.sort_unstable();
+    points.dedup();
+    points
+        .iter()
+        .map(|&d| (a.cumulative(d) - b.cumulative(d)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{DiscreteDistribution, Zeta};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ks_zero_for_perfect_match() {
+        // Empirical = exact uniform over 1..=4, model CDF = same.
+        let h = DegreeHistogram::from_degrees([1, 2, 3, 4]);
+        let d = ks_distance(&h, |d| (d.min(4)) as f64 / 4.0);
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn ks_detects_total_mismatch() {
+        // All mass at 1 vs model with all mass at 10.
+        let h = DegreeHistogram::from_degrees([1, 1, 1]);
+        let d = ks_distance(&h, |d| if d >= 10 { 1.0 } else { 0.0 });
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_checks_pre_jump_gap() {
+        // Model puts 0.9 mass strictly below the single observed degree:
+        // the pre-jump comparison must catch the 0.9 gap.
+        let h = DegreeHistogram::from_degrees([5, 5]);
+        let d = ks_distance(&h, |d| if d >= 5 { 1.0 } else if d >= 1 { 0.9 } else { 0.0 });
+        assert!((d - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_empty_histogram() {
+        assert_eq!(ks_distance(&DegreeHistogram::new(), |_| 0.5), 0.0);
+        assert_eq!(ks_distance_tail(&DegreeHistogram::new(), 1, |_| 0.5), 0.0);
+    }
+
+    #[test]
+    fn ks_small_for_true_model_samples() {
+        let zeta = Zeta::new(2.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5150);
+        let n = 100_000usize;
+        let h: DegreeHistogram = (0..n).map(|_| zeta.sample(&mut rng)).collect();
+        let d = ks_distance(&h, |k| zeta.cdf(k));
+        // KS statistic for the true model scales like 1/√n ≈ 0.003.
+        assert!(d < 0.01, "KS distance {d}");
+        // A wrong exponent must do noticeably worse.
+        let wrong = Zeta::new(1.7).unwrap();
+        let d_wrong = ks_distance(&h, |k| wrong.cdf(k));
+        assert!(d_wrong > 5.0 * d, "right {d}, wrong {d_wrong}");
+    }
+
+    #[test]
+    fn ks_tail_renormalizes() {
+        // Tail at x_min=3 of a histogram {1×5, 3×1, 4×1}: tail is
+        // uniform over {3,4}. A tail-model matching that gives ~0.
+        let h = DegreeHistogram::from_counts([(1, 5), (3, 1), (4, 1)]);
+        let d = ks_distance_tail(&h, 3, |d| match d {
+            0..=2 => 0.0,
+            3 => 0.5,
+            _ => 1.0,
+        });
+        assert!(d < 1e-12);
+        // No tail mass → 0.
+        assert_eq!(ks_distance_tail(&h, 100, |_| 0.5), 0.0);
+    }
+
+    #[test]
+    fn two_sample_properties() {
+        let a = DegreeHistogram::from_degrees([1, 2, 3]);
+        let b = DegreeHistogram::from_degrees([1, 2, 3]);
+        assert!(ks_two_sample(&a, &b) < 1e-12);
+        let c = DegreeHistogram::from_degrees([10, 11, 12]);
+        assert!((ks_two_sample(&a, &c) - 1.0).abs() < 1e-12);
+        // Symmetry.
+        let d1 = ks_two_sample(&a, &c);
+        let d2 = ks_two_sample(&c, &a);
+        assert_eq!(d1, d2);
+        // Empty inputs.
+        assert_eq!(ks_two_sample(&DegreeHistogram::new(), &a), 0.0);
+    }
+}

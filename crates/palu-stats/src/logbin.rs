@@ -1,0 +1,372 @@
+//! Binary logarithmic pooling (binning) of degree distributions.
+//!
+//! Section II-A: "it is typical to pool the differential cumulative
+//! probability with logarithmic bins in d:
+//! `D_t(d_i) = P_t(d_i) − P_t(d_{i−1})` where `d_i = 2^i`."
+//!
+//! Bin `i` therefore covers the degree interval `(2^{i−1}, 2^i]`, with
+//! bin 0 holding exactly `d = 1`. All measured and model distributions
+//! in the paper's figures are compared in this pooled representation,
+//! and Section IV-A shows the pooling shifts the apparent log-log slope
+//! from `−α` to `1 − α`.
+
+use crate::histogram::DegreeHistogram;
+use serde::{Deserialize, Serialize};
+
+/// The binary logarithmic binning scheme `d_i = 2^i`.
+///
+/// This is a zero-sized strategy type: all state lives in the pooled
+/// [`DifferentialCumulative`] it produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogBins;
+
+impl LogBins {
+    /// Bin index for a degree `d ≥ 1`: the unique `i` with
+    /// `2^{i−1} < d ≤ 2^i`, i.e. `i = ceil(log2 d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `d == 0`; degree-0 nodes are not
+    /// observable and never enter pooled distributions.
+    pub fn bin_index(d: u64) -> u32 {
+        debug_assert!(d >= 1, "logarithmic bins start at degree 1");
+        // ceil(log2 d) == 64 - (d-1).leading_zeros() for d >= 2; 0 for d == 1.
+        if d <= 1 {
+            0
+        } else {
+            64 - (d - 1).leading_zeros()
+        }
+    }
+
+    /// Upper boundary `d_i = 2^i` of bin `i`.
+    pub fn upper_bound(i: u32) -> u64 {
+        1u64 << i
+    }
+
+    /// Lower boundary (exclusive) of bin `i`: `2^{i−1}`, or 0 for bin 0.
+    pub fn lower_bound_exclusive(i: u32) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Inclusive degree range covered by bin `i`.
+    pub fn range(i: u32) -> std::ops::RangeInclusive<u64> {
+        Self::lower_bound_exclusive(i) + 1..=Self::upper_bound(i)
+    }
+
+    /// Number of bins needed to cover degrees up to `d_max`.
+    pub fn bins_for(d_max: u64) -> u32 {
+        Self::bin_index(d_max.max(1)) + 1
+    }
+}
+
+/// A pooled differential cumulative distribution `D(d_i)` over binary
+/// logarithmic bins.
+///
+/// Invariant: `values[i]` is the probability mass in degree interval
+/// `(2^{i−1}, 2^i]`; the values sum to ≤ 1 (equal to 1 when built from
+/// a complete distribution).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DifferentialCumulative {
+    values: Vec<f64>,
+}
+
+impl DifferentialCumulative {
+    /// Pool an empirical degree histogram into `D_t(d_i)`.
+    ///
+    /// Returns an empty distribution for an empty histogram.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use palu_stats::histogram::DegreeHistogram;
+    /// use palu_stats::logbin::DifferentialCumulative;
+    /// let h = DegreeHistogram::from_degrees([1, 1, 2, 3, 4, 8]);
+    /// let d = DifferentialCumulative::from_histogram(&h);
+    /// // Bin 0 holds d = 1 (mass 2/6); bin 2 holds d ∈ {3, 4} (2/6).
+    /// assert!((d.value(0) - 2.0 / 6.0).abs() < 1e-12);
+    /// assert!((d.value(2) - 2.0 / 6.0).abs() < 1e-12);
+    /// assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn from_histogram(h: &DegreeHistogram) -> Self {
+        let Some(d_max) = h.d_max() else {
+            return Self::default();
+        };
+        let n_bins = LogBins::bins_for(d_max) as usize;
+        let mut values = vec![0.0; n_bins];
+        let total = h.total() as f64;
+        for (d, c) in h.iter() {
+            if d == 0 {
+                continue; // invisible isolated nodes are not pooled
+            }
+            values[LogBins::bin_index(d) as usize] += c as f64 / total;
+        }
+        DifferentialCumulative { values }
+    }
+
+    /// Pool a model pmf `p(d)` over degrees `1..=d_max` into `D(d_i)`.
+    ///
+    /// The paper forms the model-side `D(d_i; α, δ)` this way so model
+    /// and measurement are compared in the identical representation.
+    pub fn from_pmf<F: Fn(u64) -> f64>(pmf: F, d_max: u64) -> Self {
+        let n_bins = LogBins::bins_for(d_max.max(1)) as usize;
+        let mut values = vec![0.0; n_bins];
+        for d in 1..=d_max {
+            values[LogBins::bin_index(d) as usize] += pmf(d);
+        }
+        DifferentialCumulative { values }
+    }
+
+    /// Construct directly from per-bin values (used by the pooled
+    /// multi-window statistics).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        DifferentialCumulative { values }
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value `D(d_i)` for bin `i` (0 beyond the last bin).
+    pub fn value(&self, i: usize) -> f64 {
+        self.values.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// All bin values in bin-index order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate `(d_i, D(d_i))` pairs with `d_i = 2^i`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (LogBins::upper_bound(i as u32), v))
+    }
+
+    /// Total pooled mass (1 for a complete distribution).
+    pub fn total_mass(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The supernode bin: largest `i` with `D(d_i) > 0`, per the
+    /// paper's `d_max = argmax(D(d) > 0)`.
+    pub fn last_nonzero_bin(&self) -> Option<usize> {
+        self.values.iter().rposition(|&v| v > 0.0)
+    }
+
+    /// Sum of squared per-bin differences against another pooled
+    /// distribution — the fit objective the paper minimizes
+    /// ("minimizing the differences between the observed differential
+    /// cumulative distributions"). Bins absent from one side count as 0.
+    pub fn l2_distance_sq(&self, other: &DifferentialCumulative) -> f64 {
+        let n = self.values.len().max(other.values.len());
+        (0..n)
+            .map(|i| {
+                let d = self.value(i) - other.value(i);
+                d * d
+            })
+            .sum()
+    }
+
+    /// Maximum absolute per-bin difference (a pooled KS-style distance).
+    pub fn linf_distance(&self, other: &DifferentialCumulative) -> f64 {
+        let n = self.values.len().max(other.values.len());
+        (0..n)
+            .map(|i| (self.value(i) - other.value(i)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Weighted squared distance with per-bin weights `w[i]`
+    /// (e.g. inverse variances from multi-window σ estimates). Bins
+    /// beyond `w.len()` get weight 0.
+    pub fn weighted_distance_sq(&self, other: &DifferentialCumulative, w: &[f64]) -> f64 {
+        let n = self
+            .values
+            .len()
+            .max(other.values.len())
+            .min(w.len());
+        (0..n)
+            .map(|i| {
+                let d = self.value(i) - other.value(i);
+                w[i] * d * d
+            })
+            .sum()
+    }
+
+    /// Log-space squared distance over bins where both sides are
+    /// positive — emphasizes tail agreement the way a log-log plot does.
+    pub fn log_distance_sq(&self, other: &DifferentialCumulative) -> f64 {
+        let n = self.values.len().max(other.values.len());
+        (0..n)
+            .filter_map(|i| {
+                let a = self.value(i);
+                let b = other.value(i);
+                if a > 0.0 && b > 0.0 {
+                    let d = a.ln() - b.ln();
+                    Some(d * d)
+                } else {
+                    None
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_index_boundaries() {
+        assert_eq!(LogBins::bin_index(1), 0);
+        assert_eq!(LogBins::bin_index(2), 1);
+        assert_eq!(LogBins::bin_index(3), 2);
+        assert_eq!(LogBins::bin_index(4), 2);
+        assert_eq!(LogBins::bin_index(5), 3);
+        assert_eq!(LogBins::bin_index(8), 3);
+        assert_eq!(LogBins::bin_index(9), 4);
+        assert_eq!(LogBins::bin_index(1024), 10);
+        assert_eq!(LogBins::bin_index(1025), 11);
+    }
+
+    #[test]
+    fn ranges_partition_the_integers() {
+        // Bins 0..=6 must exactly tile 1..=64.
+        let mut covered = Vec::new();
+        for i in 0..=6u32 {
+            for d in LogBins::range(i) {
+                covered.push(d);
+            }
+        }
+        assert_eq!(covered, (1..=64u64).collect::<Vec<_>>());
+        // And each degree maps back to the bin that covers it.
+        for i in 0..=6u32 {
+            for d in LogBins::range(i) {
+                assert_eq!(LogBins::bin_index(d), i, "d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn bins_for_counts_correctly() {
+        assert_eq!(LogBins::bins_for(1), 1);
+        assert_eq!(LogBins::bins_for(2), 2);
+        assert_eq!(LogBins::bins_for(4), 3);
+        assert_eq!(LogBins::bins_for(5), 4);
+        assert_eq!(LogBins::bins_for(0), 1); // degenerate, clamped
+    }
+
+    #[test]
+    fn pooling_a_histogram_conserves_mass() {
+        let h = DegreeHistogram::from_degrees([1, 1, 2, 3, 4, 7, 8, 100]);
+        let d = DifferentialCumulative::from_histogram(&h);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        // d=1 bin holds 2/8 of the mass.
+        assert!((d.value(0) - 0.25).abs() < 1e-12);
+        // bin 1 holds d=2: 1/8.
+        assert!((d.value(1) - 0.125).abs() < 1e-12);
+        // bin 2 holds d∈{3,4}: 2/8.
+        assert!((d.value(2) - 0.25).abs() < 1e-12);
+        // bin 3 holds d∈{5..8}: 2/8.
+        assert!((d.value(3) - 0.25).abs() < 1e-12);
+        // d=100 lands in bin 7 (65..128).
+        assert!((d.value(7) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_pools_to_empty() {
+        let d = DifferentialCumulative::from_histogram(&DegreeHistogram::new());
+        assert_eq!(d.n_bins(), 0);
+        assert_eq!(d.total_mass(), 0.0);
+        assert_eq!(d.last_nonzero_bin(), None);
+    }
+
+    #[test]
+    fn pooling_matches_cumulative_differences() {
+        // D(d_i) must equal P(d_i) − P(d_{i−1}) computed from the
+        // histogram's own CDF — the paper's defining identity.
+        let h = DegreeHistogram::from_degrees([1, 2, 2, 3, 5, 9, 17, 17, 33]);
+        let d = DifferentialCumulative::from_histogram(&h);
+        for i in 0..d.n_bins() as u32 {
+            let hi = LogBins::upper_bound(i);
+            let lo = LogBins::lower_bound_exclusive(i);
+            let expected = h.cumulative(hi) - if lo == 0 { 0.0 } else { h.cumulative(lo) };
+            assert!(
+                (d.value(i as usize) - expected).abs() < 1e-12,
+                "bin {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_pmf_pools_model_mass() {
+        // Uniform pmf over 1..=8 → bins get 1/8, 1/8, 2/8, 4/8.
+        let d = DifferentialCumulative::from_pmf(|_| 0.125, 8);
+        assert_eq!(d.n_bins(), 4);
+        assert!((d.value(0) - 0.125).abs() < 1e-12);
+        assert!((d.value(1) - 0.125).abs() < 1e-12);
+        assert!((d.value(2) - 0.25).abs() < 1e-12);
+        assert!((d.value(3) - 0.5).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        let a = DifferentialCumulative::from_values(vec![0.5, 0.25, 0.25]);
+        let b = DifferentialCumulative::from_values(vec![0.5, 0.5]);
+        // Differ by 0.25 in bin 1 and 0.25 in bin 2.
+        assert!((a.l2_distance_sq(&b) - 0.125).abs() < 1e-12);
+        assert!((a.linf_distance(&b) - 0.25).abs() < 1e-12);
+        assert_eq!(a.l2_distance_sq(&a), 0.0);
+        // Weighted: zero weight on mismatched bins kills the distance.
+        assert_eq!(a.weighted_distance_sq(&b, &[1.0, 0.0, 0.0]), 0.0);
+        assert!(
+            (a.weighted_distance_sq(&b, &[0.0, 2.0, 2.0]) - 0.25).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn log_distance_ignores_empty_bins() {
+        let a = DifferentialCumulative::from_values(vec![0.5, 0.0, 0.5]);
+        let b = DifferentialCumulative::from_values(vec![0.5, 0.25, 0.25]);
+        // Only bins 0 and 2 contribute (bin 1 has a zero side).
+        let expected = (0.5f64.ln() - 0.25f64.ln()).powi(2);
+        assert!((a.log_distance_sq(&b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_nonzero_bin_is_supernode_bin() {
+        let h = DegreeHistogram::from_degrees([1, 1, 1, 70_000]);
+        let d = DifferentialCumulative::from_histogram(&h);
+        // 70_000 lies in (2^16, 2^17], bin 17.
+        assert_eq!(d.last_nonzero_bin(), Some(17));
+        assert_eq!(LogBins::bin_index(70_000), 17);
+    }
+
+    #[test]
+    fn pooled_powerlaw_slope_is_one_minus_alpha() {
+        // Section IV-A: pooling a d^{-α} pmf gives log2 D(d_i) linear in
+        // i with slope (1−α)·log(2) — verify via adjacent-bin ratios.
+        let alpha = 2.5;
+        let z = crate::special::riemann_zeta(alpha).unwrap();
+        let d = DifferentialCumulative::from_pmf(
+            |k| (k as f64).powf(-alpha) / z,
+            1 << 20,
+        );
+        // For large i, D(d_{i+1}) / D(d_i) → 2^{1-α}.
+        let expected_ratio = 2f64.powf(1.0 - alpha);
+        for i in 10..18 {
+            let ratio = d.value(i + 1) / d.value(i);
+            assert!(
+                (ratio - expected_ratio).abs() < 0.01,
+                "bin {i}: ratio {ratio} vs {expected_ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Model selection: power law vs lognormal via likelihood ratios.
+//!
+//! The paper's conclusion proposes "determining if there is a better
+//! fitting model than the Zipf-Mandelbrot distribution"; the classical
+//! instrument (Clauset–Shalizi–Newman §5, Vuong 1989) is the
+//! normalized log-likelihood-ratio test between a fitted power law and
+//! a fitted lognormal on the same tail. This module provides:
+//!
+//! * [`fit_lognormal_tail`] — tail-conditioned lognormal MLE via
+//!   Nelder–Mead;
+//! * [`log_likelihood_powerlaw_tail`] — the matching power-law tail
+//!   log-likelihood;
+//! * [`vuong_test`] — the sign-and-significance verdict.
+
+use crate::error::StatsError;
+use crate::histogram::DegreeHistogram;
+use crate::mle::PowerLawFit;
+use crate::optimize::{nelder_mead, NelderMeadOptions};
+use crate::special::{hurwitz_zeta, normal_cdf};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A lognormal fitted to a histogram tail (`d ≥ x_min`), with the pmf
+/// renormalized over `x_min..=d_cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalFit {
+    /// Location parameter (log-space).
+    pub mu: f64,
+    /// Scale parameter (log-space).
+    pub sigma: f64,
+    /// Tail cutoff conditioned on.
+    pub x_min: u64,
+    /// Normalization cap (≥ the largest observed degree).
+    pub d_cap: u64,
+    /// Maximized tail log-likelihood.
+    pub ln_likelihood: f64,
+    /// Tail observation count.
+    pub n_tail: u64,
+}
+
+/// Tail log-pmf table for a lognormal candidate: returns
+/// `(per-degree ln pmf lookup, total over support)` or `None` for an
+/// infeasible candidate.
+fn lognormal_tail_lnpmf(
+    mu: f64,
+    sigma: f64,
+    x_min: u64,
+    d_cap: u64,
+) -> Option<impl Fn(u64) -> f64> {
+    // NaN-safe domain guard: `!(x > t)` also rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(sigma > 1e-4) || !mu.is_finite() {
+        return None;
+    }
+    // Normalizer over the tail support, in a stable log-sum-exp.
+    let ln_rho = move |d: u64| {
+        let ln_d = (d as f64).ln();
+        -((ln_d - mu).powi(2)) / (2.0 * sigma * sigma) - ln_d
+    };
+    let mut max_ln = f64::NEG_INFINITY;
+    for d in x_min..=d_cap {
+        max_ln = max_ln.max(ln_rho(d));
+    }
+    if !max_ln.is_finite() {
+        return None;
+    }
+    let mut z = 0.0f64;
+    for d in x_min..=d_cap {
+        z += (ln_rho(d) - max_ln).exp();
+    }
+    let ln_z = max_ln + z.ln();
+    Some(move |d: u64| ln_rho(d) - ln_z)
+}
+
+/// Fit a tail-conditioned lognormal by maximum likelihood.
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] when fewer than two distinct tail
+/// degrees exist; optimizer errors propagate.
+pub fn fit_lognormal_tail(h: &DegreeHistogram, x_min: u64) -> Result<LogNormalFit> {
+    let x_min = x_min.max(1);
+    let tail: Vec<(u64, u64)> = h.iter().filter(|&(d, _)| d >= x_min).collect();
+    let n_tail: u64 = tail.iter().map(|&(_, c)| c).sum();
+    if tail.len() < 2 || n_tail < 2 {
+        return Err(StatsError::EmptyInput {
+            routine: "fit_lognormal_tail",
+        });
+    }
+    let d_cap = tail.last().expect("non-empty").0;
+
+    // Moment-based starting point in log space.
+    let mean_ln: f64 = tail
+        .iter()
+        .map(|&(d, c)| c as f64 * (d as f64).ln())
+        .sum::<f64>()
+        / n_tail as f64;
+    let var_ln: f64 = tail
+        .iter()
+        .map(|&(d, c)| c as f64 * ((d as f64).ln() - mean_ln).powi(2))
+        .sum::<f64>()
+        / n_tail as f64;
+    let x0 = [mean_ln, var_ln.sqrt().max(0.05).ln()];
+
+    let neg_ll = |v: &[f64]| -> f64 {
+        let (mu, sigma) = (v[0], v[1].exp());
+        match lognormal_tail_lnpmf(mu, sigma, x_min, d_cap) {
+            Some(lnpmf) => -tail
+                .iter()
+                .map(|&(d, c)| c as f64 * lnpmf(d))
+                .sum::<f64>(),
+            None => f64::INFINITY,
+        }
+    };
+    let result = nelder_mead(neg_ll, &x0, &NelderMeadOptions::default())?;
+    Ok(LogNormalFit {
+        mu: result.x[0],
+        sigma: result.x[1].exp(),
+        x_min,
+        d_cap,
+        ln_likelihood: -result.f,
+        n_tail,
+    })
+}
+
+/// Tail log-likelihood of a fitted power law on the same histogram
+/// (conditioned on `d ≥ fit.x_min`), for comparison with
+/// [`LogNormalFit::ln_likelihood`].
+///
+/// When `d_cap` is given, the power-law pmf is renormalized over
+/// `[x_min, d_cap]` — required for a fair comparison against the
+/// lognormal, whose discretized pmf is necessarily normalized over a
+/// finite support. (Comparing a `[x_min, ∞)`-normalized power law to a
+/// `[x_min, d_cap]`-normalized alternative hands the alternative the
+/// power law's own unobserved-tail mass.)
+///
+/// # Errors
+///
+/// Propagates the Hurwitz-zeta domain check (`α > 1`).
+pub fn log_likelihood_powerlaw_tail(
+    h: &DegreeHistogram,
+    fit: &PowerLawFit,
+    d_cap: Option<u64>,
+) -> Result<f64> {
+    let mut z = hurwitz_zeta(fit.alpha, fit.x_min as f64)?;
+    if let Some(cap) = d_cap {
+        z -= hurwitz_zeta(fit.alpha, cap as f64 + 1.0)?;
+    }
+    Ok(h
+        .iter()
+        .filter(|&(d, _)| d >= fit.x_min)
+        .map(|(d, c)| c as f64 * (-fit.alpha * (d as f64).ln() - z.ln()))
+        .sum())
+}
+
+/// Verdict of a Vuong comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelVerdict {
+    /// Power law significantly better.
+    PowerLaw,
+    /// Lognormal significantly better.
+    LogNormal,
+    /// Neither model is significantly preferred.
+    Inconclusive,
+}
+
+/// Result of the Vuong likelihood-ratio test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VuongTest {
+    /// Total log-likelihood ratio `ln L_pl − ln L_ln` (positive favors
+    /// the power law).
+    pub lr: f64,
+    /// Normalized statistic `lr / (√n · s)`, asymptotically standard
+    /// normal under equivalence.
+    pub z: f64,
+    /// Two-sided p-value for "the models are equally close".
+    pub p_value: f64,
+    /// Verdict at the given significance level.
+    pub verdict: ModelVerdict,
+}
+
+/// Vuong test between a fitted power law and a fitted lognormal on the
+/// same tail.
+///
+/// # Errors
+///
+/// [`StatsError::Domain`] if the two fits condition on different
+/// `x_min`; [`StatsError::EmptyInput`] if the tail is degenerate.
+pub fn vuong_test(
+    h: &DegreeHistogram,
+    pl: &PowerLawFit,
+    ln: &LogNormalFit,
+    significance: f64,
+) -> Result<VuongTest> {
+    if pl.x_min != ln.x_min {
+        return Err(StatsError::domain(
+            "vuong_test",
+            format!("x_min mismatch: power law {} vs lognormal {}", pl.x_min, ln.x_min),
+        ));
+    }
+    let x_min = pl.x_min;
+    // Both models normalized over the same finite support
+    // [x_min, d_cap] — see `log_likelihood_powerlaw_tail`.
+    let z_pl = hurwitz_zeta(pl.alpha, x_min as f64)?
+        - hurwitz_zeta(pl.alpha, ln.d_cap as f64 + 1.0)?;
+    let Some(ln_pmf) = lognormal_tail_lnpmf(ln.mu, ln.sigma, x_min, ln.d_cap) else {
+        return Err(StatsError::domain("vuong_test", "degenerate lognormal fit"));
+    };
+
+    // Per-observation log-likelihood ratios (weighted by counts).
+    let mut n = 0u64;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for (d, c) in h.iter().filter(|&(d, _)| d >= x_min) {
+        let d_eval = d.min(ln.d_cap);
+        let li = (-pl.alpha * (d as f64).ln() - z_pl.ln()) - ln_pmf(d_eval);
+        n += c;
+        sum += c as f64 * li;
+        sum_sq += c as f64 * li * li;
+    }
+    if n < 2 {
+        return Err(StatsError::EmptyInput { routine: "vuong_test" });
+    }
+    let nf = n as f64;
+    let mean = sum / nf;
+    let var = (sum_sq / nf - mean * mean).max(0.0);
+    let sd = var.sqrt();
+    let z = if sd > 0.0 { sum / (nf.sqrt() * sd) } else { 0.0 };
+    let p_value = 2.0 * normal_cdf(-z.abs());
+    let verdict = if p_value > significance {
+        ModelVerdict::Inconclusive
+    } else if z > 0.0 {
+        ModelVerdict::PowerLaw
+    } else {
+        ModelVerdict::LogNormal
+    };
+    Ok(VuongTest {
+        lr: sum,
+        z,
+        p_value,
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{DiscreteDistribution, DiscretizedLogNormal, Zeta};
+    use crate::mle::fit_alpha_discrete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vuong_on(h: &DegreeHistogram, x_min: u64) -> VuongTest {
+        let pl = fit_alpha_discrete(h, x_min).unwrap();
+        let ln = fit_lognormal_tail(h, x_min).unwrap();
+        vuong_test(h, &pl, &ln, 0.05).unwrap()
+    }
+
+    #[test]
+    fn lognormal_tail_fit_recovers_parameters() {
+        let truth = DiscretizedLogNormal::new(2.0, 0.7, 50_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let h: DegreeHistogram = truth.sample_many(&mut rng, 100_000).into_iter().collect();
+        let fit = fit_lognormal_tail(&h, 1).unwrap();
+        assert!((fit.mu - 2.0).abs() < 0.05, "μ {}", fit.mu);
+        assert!((fit.sigma - 0.7).abs() < 0.05, "σ {}", fit.sigma);
+        assert!(fit.ln_likelihood.is_finite());
+        assert_eq!(fit.n_tail, 100_000);
+    }
+
+    #[test]
+    fn lognormal_fit_validates() {
+        assert!(fit_lognormal_tail(&DegreeHistogram::new(), 1).is_err());
+        let single = DegreeHistogram::from_counts([(5, 100)]);
+        assert!(fit_lognormal_tail(&single, 1).is_err());
+    }
+
+    #[test]
+    fn vuong_does_not_reject_power_law_on_zeta_data() {
+        // On genuine power-law data the lognormal (with σ free) can
+        // mimic the zeta shape almost exactly — Clauset–Shalizi–Newman
+        // §5 document that the comparison is then *inconclusive*, not
+        // a power-law win. What must never happen is a significant
+        // LogNormal verdict on true zeta data.
+        let z = Zeta::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let h: DegreeHistogram = (0..100_000).map(|_| z.sample(&mut rng)).collect();
+        let v = vuong_on(&h, 1);
+        assert!(
+            v.z > -2.0,
+            "z = {}: lognormal must not significantly beat the true model",
+            v.z
+        );
+        assert_ne!(v.verdict, ModelVerdict::LogNormal, "z = {}", v.z);
+    }
+
+    #[test]
+    fn vuong_prefers_lognormal_on_lognormal_data() {
+        let truth = DiscretizedLogNormal::new(1.5, 0.9, 50_000).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let h: DegreeHistogram = truth.sample_many(&mut rng, 100_000).into_iter().collect();
+        let v = vuong_on(&h, 1);
+        assert!(v.z < -2.0, "z = {} should strongly favor the lognormal", v.z);
+        assert_eq!(v.verdict, ModelVerdict::LogNormal);
+    }
+
+    #[test]
+    fn vuong_is_inconclusive_on_tiny_samples() {
+        // 60 observations cannot separate the families.
+        let z = Zeta::new(2.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let h: DegreeHistogram = (0..60).map(|_| z.sample(&mut rng)).collect();
+        if let (Ok(pl), Ok(ln)) = (fit_alpha_discrete(&h, 1), fit_lognormal_tail(&h, 1)) {
+            let v = vuong_test(&h, &pl, &ln, 0.05).unwrap();
+            assert_eq!(v.verdict, ModelVerdict::Inconclusive, "z = {}", v.z);
+        }
+    }
+
+    #[test]
+    fn vuong_validates_matching_xmin() {
+        let z = Zeta::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let h: DegreeHistogram = (0..10_000).map(|_| z.sample(&mut rng)).collect();
+        let pl = fit_alpha_discrete(&h, 2).unwrap();
+        let ln = fit_lognormal_tail(&h, 3).unwrap();
+        assert!(vuong_test(&h, &pl, &ln, 0.05).is_err());
+    }
+
+    #[test]
+    fn powerlaw_tail_likelihood_matches_fit_definition() {
+        // The MLE maximizes exactly this likelihood: perturbing α away
+        // from the fitted value must not increase it.
+        let z = Zeta::new(2.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let h: DegreeHistogram = (0..50_000).map(|_| z.sample(&mut rng)).collect();
+        let fit = fit_alpha_discrete(&h, 1).unwrap();
+        let at_fit = log_likelihood_powerlaw_tail(&h, &fit, None).unwrap();
+        for d_alpha in [-0.1f64, 0.1] {
+            let perturbed = PowerLawFit {
+                alpha: fit.alpha + d_alpha,
+                ..fit
+            };
+            let ll = log_likelihood_powerlaw_tail(&h, &perturbed, None).unwrap();
+            assert!(ll < at_fit, "perturbed {ll} ≥ fitted {at_fit}");
+        }
+        // Capped normalization only adds back unobserved-tail mass:
+        // the likelihood must strictly improve.
+        let capped =
+            log_likelihood_powerlaw_tail(&h, &fit, Some(h.d_max().unwrap())).unwrap();
+        assert!(capped > at_fit);
+    }
+}

@@ -1,0 +1,384 @@
+//! Derivative-free minimization: golden-section, grid refinement, and
+//! Nelder–Mead simplex.
+//!
+//! The Zipf–Mandelbrot fitter (Section II-B) minimizes the squared
+//! difference between observed and model differential cumulative
+//! distributions over `(α, δ)` — a smooth 2-D problem solved here by a
+//! coarse grid scan (global) refined with Nelder–Mead (local). The
+//! Section VI curve-family alignment fits the single decay parameter
+//! `r` with golden-section search.
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// Result of a scalar minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Min1d {
+    /// Argmin.
+    pub x: f64,
+    /// Minimum objective value.
+    pub f: f64,
+    /// Function evaluations used.
+    pub evals: usize,
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadBracket`] if `a >= b`.
+pub fn golden_section<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Min1d> {
+    // NaN-safe bracket check: `!(a < b)` also rejects NaN endpoints.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(a < b) {
+        return Err(StatsError::BadBracket {
+            routine: "golden_section",
+            a,
+            b,
+        });
+    }
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0; // 1/φ ≈ 0.618
+    let mut lo = a;
+    let mut hi = b;
+    let mut x1 = hi - inv_phi * (hi - lo);
+    let mut x2 = lo + inv_phi * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut evals = 2;
+    for _ in 0..max_iter {
+        if hi - lo < tol {
+            break;
+        }
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - inv_phi * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + inv_phi * (hi - lo);
+            f2 = f(x2);
+        }
+        evals += 1;
+    }
+    let (x, fx) = if f1 < f2 { (x1, f1) } else { (x2, f2) };
+    Ok(Min1d { x, f: fx, evals })
+}
+
+/// Uniform grid scan over a rectangle, returning the best grid point.
+/// Used as the global stage before local refinement; robust to the
+/// multi-modality that appears when fitting heavy-tailed data.
+pub fn grid_search_2d<F: FnMut(f64, f64) -> f64>(
+    mut f: F,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    nx: usize,
+    ny: usize,
+) -> (f64, f64, f64) {
+    assert!(nx >= 2 && ny >= 2, "grid needs at least 2 points per axis");
+    let mut best = (x_range.0, y_range.0, f64::INFINITY);
+    for i in 0..nx {
+        let x = x_range.0 + (x_range.1 - x_range.0) * i as f64 / (nx - 1) as f64;
+        for j in 0..ny {
+            let y = y_range.0 + (y_range.1 - y_range.0) * j as f64 / (ny - 1) as f64;
+            let v = f(x, y);
+            if v < best.2 {
+                best = (x, y, v);
+            }
+        }
+    }
+    best
+}
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex's diameter falls below this.
+    pub x_tol: f64,
+    /// Initial simplex edge length, per coordinate, as a fraction of
+    /// `max(|x_0|, 1)`.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 2000,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinNd {
+    /// Argmin.
+    pub x: Vec<f64>,
+    /// Minimum objective value.
+    pub f: f64,
+    /// Function evaluations used.
+    pub evals: usize,
+    /// Whether a tolerance criterion (rather than the evaluation budget)
+    /// stopped the search.
+    pub converged: bool,
+}
+
+/// Nelder–Mead downhill simplex minimization of `f` from `x0`.
+///
+/// Standard coefficients (reflection 1, expansion 2, contraction ½,
+/// shrink ½). The objective may return `INFINITY` to encode constraint
+/// violations — the simplex simply avoids those regions.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `x0` is empty.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> Result<MinNd> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(StatsError::EmptyInput {
+            routine: "nelder_mead",
+        });
+    }
+    // Build initial simplex: x0 plus n perturbed vertices.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let step = opts.initial_step * v[i].abs().max(1.0);
+        v[i] += step;
+        simplex.push(v);
+    }
+    let mut fvals: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+    let mut evals = n + 1;
+
+    let centroid = |simplex: &[Vec<f64>], exclude: usize| -> Vec<f64> {
+        let mut c = vec![0.0; n];
+        for (i, v) in simplex.iter().enumerate() {
+            if i == exclude {
+                continue;
+            }
+            for (cj, vj) in c.iter_mut().zip(v) {
+                *cj += vj;
+            }
+        }
+        for cj in &mut c {
+            *cj /= n as f64;
+        }
+        c
+    };
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        // Order the simplex: best first, worst last.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&i, &j| fvals[i].partial_cmp(&fvals[j]).unwrap_or(std::cmp::Ordering::Equal));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence tests.
+        let f_spread = fvals[worst] - fvals[best];
+        let x_spread = simplex
+            .iter()
+            .flat_map(|v| v.iter().zip(&simplex[best]).map(|(a, b)| (a - b).abs()))
+            .fold(0.0f64, f64::max);
+        if f_spread.abs() < opts.f_tol || x_spread < opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        let c = centroid(&simplex, worst);
+        // Reflection.
+        let xr: Vec<f64> = c
+            .iter()
+            .zip(&simplex[worst])
+            .map(|(cj, wj)| cj + (cj - wj))
+            .collect();
+        let fr = f(&xr);
+        evals += 1;
+
+        if fr < fvals[best] {
+            // Expansion.
+            let xe: Vec<f64> = c
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(cj, wj)| cj + 2.0 * (cj - wj))
+                .collect();
+            let fe = f(&xe);
+            evals += 1;
+            if fe < fr {
+                simplex[worst] = xe;
+                fvals[worst] = fe;
+            } else {
+                simplex[worst] = xr;
+                fvals[worst] = fr;
+            }
+        } else if fr < fvals[second_worst] {
+            simplex[worst] = xr;
+            fvals[worst] = fr;
+        } else {
+            // Contraction (outside if reflected point improved on the
+            // worst, inside otherwise).
+            let towards: &[f64] = if fr < fvals[worst] { &xr } else { &simplex[worst] };
+            let xc: Vec<f64> = c
+                .iter()
+                .zip(towards)
+                .map(|(cj, tj)| cj + 0.5 * (tj - cj))
+                .collect();
+            let fc = f(&xc);
+            evals += 1;
+            if fc < fvals[worst].min(fr) {
+                simplex[worst] = xc;
+                fvals[worst] = fc;
+            } else {
+                // Shrink towards the best vertex.
+                let best_v = simplex[best].clone();
+                for (i, v) in simplex.iter_mut().enumerate() {
+                    if i == best {
+                        continue;
+                    }
+                    for (vj, bj) in v.iter_mut().zip(&best_v) {
+                        *vj = bj + 0.5 * (*vj - bj);
+                    }
+                    fvals[i] = f(v);
+                    evals += 1;
+                }
+            }
+        }
+    }
+
+    let best_idx = (0..=n)
+        .min_by(|&i, &j| fvals[i].partial_cmp(&fvals[j]).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("simplex is non-empty");
+    Ok(MinNd {
+        x: simplex[best_idx].clone(),
+        f: fvals[best_idx],
+        evals,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_quadratic() {
+        let m = golden_section(|x| (x - 1.5).powi(2) + 2.0, -10.0, 10.0, 1e-10, 200).unwrap();
+        assert!((m.x - 1.5).abs() < 1e-7);
+        assert!((m.f - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_asymmetric() {
+        // min of x^4 - 3x at x = (3/4)^{1/3}
+        let expected = (0.75f64).powf(1.0 / 3.0);
+        let m = golden_section(|x| x.powi(4) - 3.0 * x, 0.0, 2.0, 1e-12, 300).unwrap();
+        assert!((m.x - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_rejects_empty_interval() {
+        assert!(golden_section(|x| x, 1.0, 1.0, 1e-9, 10).is_err());
+        assert!(golden_section(|x| x, 2.0, 1.0, 1e-9, 10).is_err());
+    }
+
+    #[test]
+    fn grid_search_locates_basin() {
+        let (x, y, v) = grid_search_2d(
+            |x, y| (x - 0.3).powi(2) + (y + 0.7).powi(2),
+            (-1.0, 1.0),
+            (-1.0, 1.0),
+            21,
+            21,
+        );
+        assert!((x - 0.3).abs() < 0.1);
+        assert!((y + 0.7).abs() < 0.1);
+        assert!(v < 0.02);
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let rosen = |v: &[f64]| {
+            let (x, y) = (v[0], v[1]);
+            (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+        };
+        let opts = NelderMeadOptions {
+            max_evals: 5000,
+            ..Default::default()
+        };
+        let m = nelder_mead(rosen, &[-1.2, 1.0], &opts).unwrap();
+        assert!((m.x[0] - 1.0).abs() < 1e-4, "x = {:?}", m.x);
+        assert!((m.x[1] - 1.0).abs() < 1e-4);
+        assert!(m.f < 1e-7);
+    }
+
+    #[test]
+    fn nelder_mead_handles_infinite_barrier() {
+        // Constrained: minimize (x−2)² subject to x ≥ 0 via ∞ barrier.
+        let m = nelder_mead(
+            |v| {
+                if v[0] < 0.0 {
+                    f64::INFINITY
+                } else {
+                    (v[0] - 2.0).powi(2)
+                }
+            },
+            &[0.5],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((m.x[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nelder_mead_empty_input_errors() {
+        assert!(nelder_mead(|_| 0.0, &[], &NelderMeadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn nelder_mead_converges_flag() {
+        let m = nelder_mead(
+            |v| v[0] * v[0],
+            &[3.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!(m.converged);
+        assert!(m.evals < NelderMeadOptions::default().max_evals);
+    }
+
+    #[test]
+    fn grid_plus_nm_pipeline() {
+        // The shape of the ZM fit: global grid, then local refinement.
+        let objective = |a: f64, d: f64| (a - 2.2).powi(2) + 0.5 * (d - 1.3).powi(2);
+        let (a0, d0, _) = grid_search_2d(objective, (1.0, 3.0), (0.0, 5.0), 9, 9);
+        let m = nelder_mead(
+            |v| objective(v[0], v[1]),
+            &[a0, d0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((m.x[0] - 2.2).abs() < 1e-5);
+        assert!((m.x[1] - 1.3).abs() < 1e-5);
+    }
+}

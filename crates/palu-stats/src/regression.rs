@@ -1,0 +1,225 @@
+//! Ordinary and weighted least-squares linear regression.
+//!
+//! Section IV of the paper estimates the power-law exponent "via linear
+//! regression in a log-log plot": the tail of the degree distribution
+//! satisfies `log(frac of degree-d nodes) ≈ −α·log d + β`, and after
+//! logarithmic pooling the slope becomes `1 − α` (Section IV-A). The
+//! Section IV-B pipeline also uses a linear regression to estimate `u`.
+
+use crate::error::StatsError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 when all points are
+    /// perfectly collinear; 0 when the fit explains nothing).
+    pub r_squared: f64,
+    /// Standard error of the slope estimate (0 when fewer than three
+    /// points).
+    pub slope_std_err: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl Regression {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares over paired slices.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptyInput`] if fewer than two points are given or
+///   slices mismatch in length.
+/// * [`StatsError::Domain`] if all `x` are identical (vertical line).
+pub fn ols(xs: &[f64], ys: &[f64]) -> Result<Regression> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(StatsError::EmptyInput { routine: "ols" });
+    }
+    let w = vec![1.0; xs.len()];
+    weighted_ols(xs, ys, &w)
+}
+
+/// Weighted least squares with per-point weights `w ≥ 0`.
+///
+/// Weights are typically inverse variances (from the multi-window
+/// `σ(d_i)` estimates). Points with zero weight are ignored.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptyInput`] on slice mismatch or fewer than two
+///   effective (positively weighted) points.
+/// * [`StatsError::Domain`] if the weighted `x` values are degenerate.
+pub fn weighted_ols(xs: &[f64], ys: &[f64], w: &[f64]) -> Result<Regression> {
+    if xs.len() != ys.len() || xs.len() != w.len() || xs.is_empty() {
+        return Err(StatsError::EmptyInput {
+            routine: "weighted_ols",
+        });
+    }
+    let effective = w.iter().filter(|&&wi| wi > 0.0).count();
+    if effective < 2 {
+        return Err(StatsError::EmptyInput {
+            routine: "weighted_ols",
+        });
+    }
+    let sw: f64 = w.iter().sum();
+    let mean_x: f64 = xs.iter().zip(w).map(|(x, wi)| x * wi).sum::<f64>() / sw;
+    let mean_y: f64 = ys.iter().zip(w).map(|(y, wi)| y * wi).sum::<f64>() / sw;
+    let sxx: f64 = xs
+        .iter()
+        .zip(w)
+        .map(|(x, wi)| wi * (x - mean_x).powi(2))
+        .sum();
+    if sxx <= 0.0 {
+        return Err(StatsError::domain(
+            "weighted_ols",
+            "x values are degenerate (zero weighted variance)",
+        ));
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .zip(w)
+        .map(|((x, y), wi)| wi * (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    // R² and slope standard error from weighted residuals.
+    let syy: f64 = ys
+        .iter()
+        .zip(w)
+        .map(|(y, wi)| wi * (y - mean_y).powi(2))
+        .sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .zip(w)
+        .map(|((x, y), wi)| wi * (y - slope * x - intercept).powi(2))
+        .sum();
+    let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+    let n = effective;
+    let slope_std_err = if n > 2 {
+        (ss_res / (n as f64 - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+    Ok(Regression {
+        slope,
+        intercept,
+        r_squared,
+        slope_std_err,
+        n,
+    })
+}
+
+/// Log–log regression: fits `ln y ≈ slope·ln x + intercept` over the
+/// points with `x > 0` and `y > 0` (others are skipped, matching how a
+/// log-log plot simply drops empty bins).
+///
+/// # Errors
+///
+/// Propagates [`ols`] errors when fewer than two usable points remain.
+pub fn log_log_ols(xs: &[f64], ys: &[f64]) -> Result<Regression> {
+    let pairs: (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .unzip();
+    ols(&pairs.0, &pairs.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovery() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let r = ols(&xs, &ys).unwrap();
+        assert!((r.slope - 3.0).abs() < 1e-12);
+        assert!((r.intercept + 2.0).abs() < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+        assert!(r.slope_std_err < 1e-10);
+        assert_eq!(r.n, 10);
+        assert!((r.predict(20.0) - 58.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_recovery() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.7 * x + 0.5 + 0.01 * ((i * 2654435761) % 1000) as f64 / 1000.0)
+            .collect();
+        let r = ols(&xs, &ys).unwrap();
+        assert!((r.slope - 1.7).abs() < 0.01);
+        assert!(r.r_squared > 0.999);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(ols(&[], &[]).is_err());
+        assert!(ols(&[1.0], &[1.0]).is_err());
+        assert!(ols(&[1.0, 2.0], &[1.0]).is_err());
+        // Degenerate x.
+        assert!(ols(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn weights_downweight_outliers() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut ys = [0.0, 1.0, 2.0, 3.0, 4.0]; // slope 1
+        ys[4] = 100.0; // outlier away from the x-mean tilts the slope
+        let w_out = [1.0, 1.0, 1.0, 1.0, 0.0];
+        let r = weighted_ols(&xs, &ys, &w_out).unwrap();
+        assert!((r.slope - 1.0).abs() < 1e-12);
+        assert_eq!(r.n, 4);
+        // With uniform weights the outlier drags the fit away.
+        let r_uniform = ols(&xs, &ys).unwrap();
+        assert!((r_uniform.slope - 1.0).abs() > 0.5);
+    }
+
+    #[test]
+    fn weighted_requires_two_effective_points() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert!(weighted_ols(&xs, &ys, &[1.0, 0.0, 0.0]).is_err());
+        assert!(weighted_ols(&xs, &ys, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn log_log_recovers_power_law_exponent() {
+        // y = 5 x^{-2.5}; log-log slope must be −2.5.
+        let xs: Vec<f64> = (1..=50).map(|d| d as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x.powf(-2.5)).collect();
+        let r = log_log_ols(&xs, &ys).unwrap();
+        assert!((r.slope + 2.5).abs() < 1e-10);
+        assert!((r.intercept - 5.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_log_skips_nonpositive_points() {
+        let xs = [1.0, 2.0, 0.0, 4.0, 8.0];
+        let ys = [1.0, 0.5, 9.0, 0.25, 0.125];
+        // Point with x=0 dropped; remaining is y = x^{-1}.
+        let r = log_log_ols(&xs, &ys).unwrap();
+        assert!((r.slope + 1.0).abs() < 1e-10);
+        assert_eq!(r.n, 4);
+        // All-nonpositive → error.
+        assert!(log_log_ols(&[0.0, -1.0], &[1.0, 1.0]).is_err());
+    }
+}

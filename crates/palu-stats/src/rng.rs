@@ -1,0 +1,134 @@
+//! Deterministic RNG utilities.
+//!
+//! Every experiment in the reproduction must be replayable: harness
+//! binaries take a master seed, and each logical component (core
+//! generator, leaf attachment, star sampling, edge thinning, packet
+//! synthesis, …) derives an *independent* stream from it so that adding
+//! or reordering one component's draws never perturbs another's.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step — the standard 64-bit seed-sequence scrambler. Used
+/// to derive well-separated child seeds from a master seed.
+pub fn splitmix64(state: &mut u64) {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+}
+
+/// One SplitMix64 output for the given (already advanced) state.
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A factory deriving independent, reproducible RNG streams from a
+/// master seed. Stream `k` of seed `s` is always the same RNG,
+/// regardless of which other streams were drawn.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Create a sequence from a master seed.
+    pub fn new(master: u64) -> Self {
+        SeedSequence { master }
+    }
+
+    /// The master seed.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derive the 64-bit child seed for stream `stream`.
+    pub fn child_seed(&self, stream: u64) -> u64 {
+        // Two rounds of splitmix over (master, stream) gives
+        // well-distributed, collision-resistant child seeds.
+        let mut s = self.master ^ splitmix64_mix(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        splitmix64(&mut s);
+        splitmix64_mix(s)
+    }
+
+    /// A seeded [`StdRng`] for stream `stream`.
+    pub fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.child_seed(stream))
+    }
+}
+
+/// Well-known stream identifiers used across the workspace, so that the
+/// same sub-experiment always consumes the same stream.
+pub mod streams {
+    /// Core (preferential-attachment) degree generation.
+    pub const CORE: u64 = 1;
+    /// Leaf attachment.
+    pub const LEAVES: u64 = 2;
+    /// Unattached star sizes.
+    pub const STARS: u64 = 3;
+    /// Edge thinning (observation sampling).
+    pub const SAMPLING: u64 = 4;
+    /// Packet synthesis.
+    pub const PACKETS: u64 = 5;
+    /// Fitting / bootstrap utilities.
+    pub const FITTING: u64 = 6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn child_seeds_are_deterministic() {
+        let s1 = SeedSequence::new(42);
+        let s2 = SeedSequence::new(42);
+        for k in 0..100 {
+            assert_eq!(s1.child_seed(k), s2.child_seed(k));
+        }
+        assert_eq!(s1.master(), 42);
+    }
+
+    #[test]
+    fn child_seeds_differ_across_streams_and_masters() {
+        let s = SeedSequence::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000 {
+            assert!(seen.insert(s.child_seed(k)), "collision at stream {k}");
+        }
+        let other = SeedSequence::new(8);
+        for k in 0..100 {
+            assert_ne!(s.child_seed(k), other.child_seed(k));
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_of_draw_order() {
+        let seq = SeedSequence::new(99);
+        // Draw stream 5 first in one ordering, second in another: the
+        // stream's output must be identical.
+        let mut a = seq.rng(5);
+        let first: [u64; 4] = [a.gen(), a.gen(), a.gen(), a.gen()];
+        let mut b0 = seq.rng(3);
+        let _burn: u64 = b0.gen();
+        let mut b = seq.rng(5);
+        let second: [u64; 4] = [b.gen(), b.gen(), b.gen(), b.gen()];
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn splitmix_mix_is_a_bijection_spot_check() {
+        // Distinct inputs → distinct outputs (injectivity spot check).
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u64 {
+            assert!(seen.insert(splitmix64_mix(k)));
+        }
+    }
+
+    #[test]
+    fn known_stream_ids_are_distinct() {
+        use streams::*;
+        let ids = [CORE, LEAVES, STARS, SAMPLING, PACKETS, FITTING];
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+}

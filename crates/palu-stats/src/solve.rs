@@ -1,0 +1,297 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Section IV-B of the paper estimates the Poisson scale `Λ` by
+//! "numerically solving" the moment-ratio equation
+//! `R = Λ + Λ²/(e^Λ − Λ − 1)`; these solvers provide that step (and the
+//! `δ`/`r` inversions of the Zipf–Mandelbrot connection in Section VI).
+
+use crate::error::StatsError;
+use crate::Result;
+
+/// Default convergence tolerance on the root's bracket width.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Default iteration budget for the bracketing solvers.
+pub const DEFAULT_MAX_ITER: usize = 200;
+
+/// Find a root of `f` in `[a, b]` by bisection.
+///
+/// Requires `f(a)` and `f(b)` to have opposite signs (or one endpoint to
+/// be an exact root). Converges unconditionally at one bit per
+/// iteration.
+///
+/// # Errors
+///
+/// * [`StatsError::BadBracket`] if the bracket does not straddle a sign
+///   change.
+/// * [`StatsError::NoConvergence`] if the tolerance is not reached
+///   within `max_iter` iterations.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(StatsError::BadBracket {
+            routine: "bisect",
+            a: lo,
+            b: hi,
+        });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || hi - lo < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(StatsError::NoConvergence {
+        routine: "bisect",
+        iterations: max_iter,
+        residual: hi - lo,
+    })
+}
+
+/// Find a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation + secant + bisection fallback).
+///
+/// Same bracketing requirement as [`bisect`], but typically an order of
+/// magnitude fewer function evaluations on smooth problems.
+///
+/// # Errors
+///
+/// * [`StatsError::BadBracket`] if the bracket does not straddle a sign
+///   change.
+/// * [`StatsError::NoConvergence`] if the tolerance is not reached
+///   within `max_iter` iterations.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    let mut a = a;
+    let mut b = b;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(StatsError::BadBracket {
+            routine: "brent",
+            a,
+            b,
+        });
+    }
+    // Ensure |f(b)| <= |f(a)| — b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a; // step used in the previous iteration
+    let mut mflag = true;
+
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((lo.min(b) < s) && (s < lo.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && d.abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(StatsError::NoConvergence {
+        routine: "brent",
+        iterations: max_iter,
+        residual: (b - a).abs(),
+    })
+}
+
+/// Expand a bracket geometrically around `[a, b]` until `f` changes
+/// sign, then return the bracketing interval. Useful when only a rough
+/// initial guess is known (e.g. for the `Λ` moment equation where the
+/// scale of the answer depends on the data).
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadBracket`] if no sign change is found within
+/// `max_expansions` doublings.
+pub fn expand_bracket<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    max_expansions: usize,
+) -> Result<(f64, f64)> {
+    let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut flo = f(lo);
+    let mut fhi = f(hi);
+    for _ in 0..max_expansions {
+        if flo.signum() != fhi.signum() || flo == 0.0 || fhi == 0.0 {
+            return Ok((lo, hi));
+        }
+        let width = hi - lo;
+        if flo.abs() < fhi.abs() {
+            lo -= width;
+            flo = f(lo);
+        } else {
+            hi += width;
+            fhi = f(hi);
+        }
+    }
+    Err(StatsError::BadBracket {
+        routine: "expand_bracket",
+        a: lo,
+        b: hi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 100).unwrap();
+        assert!((root - 2f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100);
+        assert!(matches!(e, Err(StatsError::BadBracket { .. })));
+    }
+
+    #[test]
+    fn bisect_handles_reversed_bracket() {
+        let root = bisect(|x| x - 0.25, 1.0, 0.0, 1e-12, 100).unwrap();
+        assert!((root - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_roots_fast() {
+        let mut evals = 0usize;
+        let root = brent(
+            |x| {
+                evals += 1;
+                x.powi(3) - 2.0 * x - 5.0
+            },
+            2.0,
+            3.0,
+            1e-13,
+            100,
+        )
+        .unwrap();
+        // Classic Brent test function; root ≈ 2.0945514815423265.
+        assert!((root - 2.094_551_481_542_326_5).abs() < 1e-9);
+        assert!(evals < 30, "brent used {evals} evaluations");
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // x e^x = 1 → x = W(1) ≈ 0.5671432904097838
+        let root = brent(|x| x * x.exp() - 1.0, 0.0, 1.0, 1e-13, 100).unwrap();
+        assert!((root - 0.567_143_290_409_783_8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        let e = brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100);
+        assert!(matches!(e, Err(StatsError::BadBracket { .. })));
+    }
+
+    #[test]
+    fn brent_solves_lambda_moment_equation() {
+        // The paper's Λ equation: R = Λ + Λ²/(e^Λ − Λ − 1).
+        // With Λ = 2 the RHS is 2 + 4/(e²−3) ≈ 2.91079…; recover Λ.
+        let lam_true = 2.0f64;
+        let r = lam_true + lam_true.powi(2) / (lam_true.exp() - lam_true - 1.0);
+        let root = brent(
+            |l: f64| l + l * l / (l.exp() - l - 1.0) - r,
+            0.05,
+            20.0,
+            1e-12,
+            200,
+        )
+        .unwrap();
+        assert!((root - lam_true).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_bracket_grows_to_sign_change() {
+        // Root at 100; start with a tiny bracket near 0.
+        let (lo, hi) = expand_bracket(|x| x - 100.0, 0.0, 1.0, 60).unwrap();
+        assert!(lo <= 100.0 && 100.0 <= hi);
+        let root = brent(|x| x - 100.0, lo, hi, 1e-12, 200).unwrap();
+        assert!((root - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_bracket_gives_up() {
+        let e = expand_bracket(|_| 1.0, 0.0, 1.0, 8);
+        assert!(matches!(e, Err(StatsError::BadBracket { .. })));
+    }
+}

@@ -1,0 +1,288 @@
+//! Numerically stable summary statistics.
+//!
+//! The paper reports, for each logarithmic bin `d_i`, "the corresponding
+//! mean and standard deviation of `D_t(d_i)` over many different
+//! consecutive values of t": every error bar in Figure 3 is one of
+//! these. [`Welford`] provides single-pass mean/variance; [`BinStats`]
+//! vectorizes it across bins.
+
+use crate::logbin::DifferentialCumulative;
+use serde::{Deserialize, Serialize};
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by n; 0 when empty).
+    pub fn variance_population(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+/// Per-bin mean/σ of pooled distributions over consecutive windows:
+/// the paper's `D(d_i)` and `σ(d_i)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BinStats {
+    bins: Vec<Welford>,
+    windows: u64,
+}
+
+impl BinStats {
+    /// Create an empty per-bin accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one window's pooled distribution `D_t(d_i)`.
+    ///
+    /// Bins the window doesn't reach are counted as zero for that
+    /// window — a window with no supernode contributes `D_t = 0` to the
+    /// supernode bin, exactly as the measurement pipeline does.
+    pub fn push(&mut self, window: &DifferentialCumulative) {
+        if window.n_bins() > self.bins.len() {
+            self.bins.resize(window.n_bins(), Welford::new());
+        }
+        self.windows += 1;
+        for (i, w) in self.bins.iter_mut().enumerate() {
+            // Replay implicit zeros for bins this accumulator has seen
+            // before but the incoming window lacks (and vice versa, new
+            // bins must back-fill zeros for earlier windows).
+            w.push(window.value(i));
+        }
+        // Back-fill: a freshly created bin has only this window's value;
+        // earlier windows implicitly contributed zeros.
+        for w in &mut self.bins {
+            while w.count() < self.windows {
+                // Insert the missing leading zeros. Order does not
+                // matter for mean/variance.
+                w.push(0.0);
+            }
+        }
+    }
+
+    /// Number of windows folded in.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Number of bins tracked so far.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Mean pooled distribution `D(d_i)` across windows.
+    pub fn mean_distribution(&self) -> DifferentialCumulative {
+        DifferentialCumulative::from_values(self.bins.iter().map(|w| w.mean()).collect())
+    }
+
+    /// Per-bin standard deviations `σ(d_i)`.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.bins.iter().map(|w| w.std_dev()).collect()
+    }
+
+    /// Per-bin inverse-variance weights for weighted fitting; bins with
+    /// zero variance (constant across windows) get the supplied
+    /// `default_weight`.
+    pub fn inverse_variance_weights(&self, default_weight: f64) -> Vec<f64> {
+        self.bins
+            .iter()
+            .map(|w| {
+                let v = w.variance();
+                if v > 0.0 {
+                    1.0 / v
+                } else {
+                    default_weight
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+        assert!((w.std_dev() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_err(), 0.0);
+        let mut w = Welford::new();
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0); // single observation
+        assert_eq!(w.variance_population(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut seq = Welford::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.variance() - seq.variance()).abs() < 1e-12);
+        // Merging with an empty accumulator is identity in both directions.
+        let mut c = Welford::new();
+        c.merge(&seq);
+        assert!((c.mean() - seq.mean()).abs() < 1e-15);
+        let mut d = seq;
+        d.merge(&Welford::new());
+        assert!((d.mean() - seq.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation scenario.
+        let mut w = Welford::new();
+        for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            w.push(x);
+        }
+        assert!((w.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((w.variance() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bin_stats_means_and_sigmas() {
+        let mut s = BinStats::new();
+        s.push(&DifferentialCumulative::from_values(vec![0.5, 0.5]));
+        s.push(&DifferentialCumulative::from_values(vec![0.7, 0.3]));
+        assert_eq!(s.windows(), 2);
+        assert_eq!(s.n_bins(), 2);
+        let mean = s.mean_distribution();
+        assert!((mean.value(0) - 0.6).abs() < 1e-12);
+        assert!((mean.value(1) - 0.4).abs() < 1e-12);
+        let sd = s.std_devs();
+        // sample std dev of {0.5, 0.7} is 0.1414…
+        assert!((sd[0] - (0.02f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_stats_ragged_windows_backfill_zeros() {
+        let mut s = BinStats::new();
+        s.push(&DifferentialCumulative::from_values(vec![1.0]));
+        s.push(&DifferentialCumulative::from_values(vec![0.5, 0.5]));
+        // Bin 1 saw values {0 (implicit), 0.5}.
+        let mean = s.mean_distribution();
+        assert!((mean.value(1) - 0.25).abs() < 1e-12);
+        // Every bin accumulator must have seen both windows.
+        assert_eq!(s.n_bins(), 2);
+        // And the reverse order: wide window first, then a short one.
+        let mut s = BinStats::new();
+        s.push(&DifferentialCumulative::from_values(vec![0.5, 0.5]));
+        s.push(&DifferentialCumulative::from_values(vec![1.0]));
+        let mean = s.mean_distribution();
+        assert!((mean.value(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_variance_weights() {
+        let mut s = BinStats::new();
+        s.push(&DifferentialCumulative::from_values(vec![0.5, 0.1]));
+        s.push(&DifferentialCumulative::from_values(vec![0.5, 0.3]));
+        let w = s.inverse_variance_weights(123.0);
+        assert_eq!(w[0], 123.0); // constant bin → default weight
+        assert!((w[1] - 1.0 / 0.02).abs() < 1e-9);
+    }
+}

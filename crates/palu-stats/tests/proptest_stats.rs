@@ -1,0 +1,200 @@
+//! Property-based tests for the statistical substrate: invariants that
+//! must hold for *any* input, not just the unit-test fixtures.
+
+use palu_stats::distributions::{Binomial, DiscreteDistribution, Geometric, Poisson, Zeta};
+use palu_stats::histogram::DegreeHistogram;
+use palu_stats::logbin::{DifferentialCumulative, LogBins};
+use palu_stats::regression::ols;
+use palu_stats::solve::{bisect, brent};
+use palu_stats::special::{harmonic_partial, hurwitz_zeta, ln_factorial, riemann_zeta, zm_normalizer};
+use palu_stats::summary::Welford;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn zeta_is_monotone_decreasing(s1 in 1.1f64..6.0, ds in 0.01f64..2.0) {
+        let z1 = riemann_zeta(s1).unwrap();
+        let z2 = riemann_zeta(s1 + ds).unwrap();
+        prop_assert!(z2 < z1, "ζ({s1}) = {z1} vs ζ({}) = {z2}", s1 + ds);
+        prop_assert!(z2 > 1.0);
+    }
+
+    #[test]
+    fn hurwitz_shift_identity(s in 1.1f64..5.0, q in 0.05f64..20.0) {
+        // ζ(s, q) = q^{-s} + ζ(s, q + 1)
+        let lhs = hurwitz_zeta(s, q).unwrap();
+        let rhs = q.powf(-s) + hurwitz_zeta(s, q + 1.0).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs());
+    }
+
+    #[test]
+    fn harmonic_partial_is_partial_sum(n in 1u64..3000, s in 1.1f64..4.0) {
+        // H(n, s) + ζ(s, n+1) = ζ(s)
+        let whole = riemann_zeta(s).unwrap();
+        let head = harmonic_partial(n, s);
+        let tail = hurwitz_zeta(s, n as f64 + 1.0).unwrap();
+        prop_assert!((whole - head - tail).abs() < 1e-9);
+        prop_assert!(head > 0.0 && head < whole);
+    }
+
+    #[test]
+    fn zm_normalizer_monotone_in_n(n in 1u64..2000, s in 0.5f64..4.0, q in 0.0f64..10.0) {
+        let a = zm_normalizer(n, s, q);
+        let b = zm_normalizer(n + 1, s, q);
+        prop_assert!(b > a);
+        // And each step adds exactly the next term.
+        let step = ((n + 1) as f64 + q).powf(-s);
+        prop_assert!((b - a - step).abs() < 1e-10 * b.max(1.0));
+    }
+
+    #[test]
+    fn ln_factorial_recurrence(n in 0u64..5000) {
+        // ln((n+1)!) = ln(n!) + ln(n+1)
+        let lhs = ln_factorial(n + 1);
+        let rhs = ln_factorial(n) + ((n + 1) as f64).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.max(1.0));
+    }
+
+    #[test]
+    fn poisson_pmf_recurrence(lambda in 0.01f64..50.0, k in 0u64..100) {
+        // pmf(k+1)/pmf(k) = λ/(k+1)
+        let d = Poisson::new(lambda).unwrap();
+        let ratio = d.pmf(k + 1) / d.pmf(k);
+        prop_assert!((ratio - lambda / (k + 1) as f64).abs() < 1e-6 * ratio.max(1e-12));
+    }
+
+    #[test]
+    fn binomial_symmetry(n in 1u64..200, p in 0.01f64..0.99, k in 0u64..200) {
+        // Bin(n,p).pmf(k) = Bin(n,1−p).pmf(n−k)
+        prop_assume!(k <= n);
+        let a = Binomial::new(n, p).unwrap().pmf(k);
+        let b = Binomial::new(n, 1.0 - p).unwrap().pmf(n - k);
+        prop_assert!((a - b).abs() < 1e-10 * a.max(1e-12));
+    }
+
+    #[test]
+    fn binomial_samples_in_range(n in 0u64..10_000, p in 0.0f64..1.0, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = Binomial::new(n, p).unwrap();
+        let x = d.sample(&mut rng);
+        prop_assert!(x <= n);
+    }
+
+    #[test]
+    fn geometric_memorylessness(r in 1.05f64..20.0, j in 1u64..20, k in 1u64..20) {
+        // P(X > j+k) = P(X > j)·P(X > k)
+        let g = Geometric::from_decay_base(r).unwrap();
+        let s = |m: u64| 1.0 - g.cdf(m);
+        let lhs = s(j + k);
+        let rhs = s(j) * s(k);
+        // The survival is computed as 1 − cdf, which loses ~1e-16
+        // absolutely to cancellation when r^{-m} is tiny.
+        prop_assert!((lhs - rhs).abs() < 1e-12 + 1e-6 * lhs);
+    }
+
+    #[test]
+    fn zeta_dist_cdf_monotone(alpha in 1.1f64..4.0, k in 1u64..500) {
+        let d = Zeta::new(alpha).unwrap();
+        prop_assert!(d.cdf(k + 1) >= d.cdf(k));
+        prop_assert!(d.cdf(k) <= 1.0 + 1e-12);
+        prop_assert!(d.pmf(k) >= d.pmf(k + 1));
+    }
+
+    #[test]
+    fn histogram_total_is_sum_of_counts(degrees in prop::collection::vec(1u64..5000, 0..200)) {
+        let h = DegreeHistogram::from_degrees(degrees.iter().copied());
+        prop_assert_eq!(h.total(), degrees.len() as u64);
+        let sum: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(sum, degrees.len() as u64);
+        if !degrees.is_empty() {
+            prop_assert_eq!(h.d_max(), degrees.iter().copied().max());
+            prop_assert_eq!(h.d_min(), degrees.iter().copied().min());
+            prop_assert_eq!(h.degree_sum(), degrees.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_count_addition(
+        a in prop::collection::vec(1u64..100, 0..50),
+        b in prop::collection::vec(1u64..100, 0..50),
+    ) {
+        let mut merged = DegreeHistogram::from_degrees(a.iter().copied());
+        merged.merge(&DegreeHistogram::from_degrees(b.iter().copied()));
+        let direct = DegreeHistogram::from_degrees(a.iter().chain(b.iter()).copied());
+        prop_assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn pooling_conserves_probability(degrees in prop::collection::vec(1u64..100_000, 1..300)) {
+        let h = DegreeHistogram::from_degrees(degrees.iter().copied());
+        let pooled = DifferentialCumulative::from_histogram(&h);
+        prop_assert!((pooled.total_mass() - 1.0).abs() < 1e-9);
+        // Every degree's mass lands in exactly its own bin.
+        let max_bin = LogBins::bin_index(h.d_max().unwrap()) as usize;
+        prop_assert_eq!(pooled.n_bins(), max_bin + 1);
+        prop_assert_eq!(pooled.last_nonzero_bin(), Some(max_bin));
+    }
+
+    #[test]
+    fn bin_index_inverts_bounds(d in 1u64..1_000_000_000) {
+        let i = LogBins::bin_index(d);
+        prop_assert!(LogBins::lower_bound_exclusive(i) < d);
+        prop_assert!(d <= LogBins::upper_bound(i));
+        prop_assert!(LogBins::range(i).contains(&d));
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() < 1e-5 * var.max(1.0));
+    }
+
+    #[test]
+    fn welford_merge_associative(
+        a in prop::collection::vec(-100f64..100.0, 1..40),
+        b in prop::collection::vec(-100f64..100.0, 1..40),
+    ) {
+        let fold = |xs: &[f64]| {
+            let mut w = Welford::new();
+            for &x in xs {
+                w.push(x);
+            }
+            w
+        };
+        let mut merged = fold(&a);
+        merged.merge(&fold(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = fold(&all);
+        prop_assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+        prop_assert!((merged.variance() - direct.variance()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ols_is_exact_on_lines(slope in -100f64..100.0, intercept in -100f64..100.0,
+                             n in 3usize..50) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let r = ols(&xs, &ys).unwrap();
+        prop_assert!((r.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((r.intercept - intercept).abs() < 1e-6 * intercept.abs().max(1.0));
+    }
+
+    #[test]
+    fn root_finders_agree(target in -50f64..50.0) {
+        // Solve x³ = target³ (single real root at target).
+        let f = |x: f64| x.powi(3) - target.powi(3);
+        let a = target - 60.0;
+        let b = target + 60.0;
+        let r1 = bisect(f, a, b, 1e-10, 500).unwrap();
+        let r2 = brent(f, a, b, 1e-12, 500).unwrap();
+        prop_assert!((r1 - target).abs() < 1e-5);
+        prop_assert!((r2 - target).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,33 @@
+//! Streaming-traffic substrate: the synthetic observatory.
+//!
+//! The paper fits distributions measured from CAIDA/MAWI trunk-line
+//! captures: streams of packets cut into windows of exactly `N_V`
+//! valid packets, each aggregated into a sparse matrix `A_t`
+//! (Section II). Those captures are proprietary, so this crate
+//! *simulates the observatory*: it synthesizes packet streams from a
+//! PALU underlying network and runs the identical measurement pipeline
+//! — windowing, sparse aggregation, the five Figure 1 quantities,
+//! binary logarithmic pooling, and per-bin mean/σ across consecutive
+//! windows. See DESIGN.md ("Data substitution") for why this preserves
+//! the paper-relevant behaviour.
+//!
+//! * [`packets`] — packet synthesis from a network's edge set, with
+//!   uniform or heavy-tailed per-link intensities.
+//! * [`window`] — fixed-`N_V` windows aggregated into CSR matrices.
+//! * [`anonymize`] — the id-scrambling step real captures apply.
+//! * [`observatory`] — a named vantage point producing consecutive
+//!   windows (the Figure 3 panels are six of these).
+//! * [`pipeline`] — multi-window pooled distributions `D(d_i) ± σ(d_i)`
+//!   for any network quantity.
+
+pub mod anonymize;
+pub mod observatory;
+pub mod packets;
+pub mod pipeline;
+pub mod stream;
+pub mod window;
+
+pub use observatory::Observatory;
+pub use packets::{EdgeIntensity, Packet, PacketSynthesizer};
+pub use pipeline::{Pipeline, PooledDistribution};
+pub use window::PacketWindow;

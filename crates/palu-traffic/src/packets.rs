@@ -1,0 +1,285 @@
+//! Packet synthesis from an underlying network.
+//!
+//! Each edge of the underlying network is a *conversation*: a pair of
+//! hosts that in general "feel like talking" (Section I). A packet is
+//! one observed datagram on one conversation, in one direction. The
+//! synthesizer draws packets by sampling conversations from an
+//! intensity distribution; a window of `N_V` packets then contains a
+//! conversation with probability `1 − (1 − w_e)^{N_V}` — which is how
+//! the model's abstract edge-retention probability `p` emerges from a
+//! concrete packet budget.
+
+use palu_graph::graph::Graph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One observed packet: a directed source → destination datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Source host id.
+    pub src: u32,
+    /// Destination host id.
+    pub dst: u32,
+}
+
+/// Per-conversation traffic intensity model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EdgeIntensity {
+    /// Every conversation equally likely per packet. The cleanest
+    /// realization of the paper's unweighted model.
+    Uniform,
+    /// Heavy-tailed per-conversation rates: `w_e ∝ Pareto(shape)`.
+    /// Produces the heavy-tailed *link packets* distribution of
+    /// Figure 1 (per-link packet counts are themselves power-law in
+    /// real traffic).
+    Pareto {
+        /// Pareto shape (smaller = heavier tail); must be > 0.
+        shape: f64,
+    },
+}
+
+/// Draws packets from a network's conversations.
+#[derive(Debug, Clone)]
+pub struct PacketSynthesizer {
+    /// Conversation endpoints (one per underlying edge).
+    conversations: Vec<(u32, u32)>,
+    /// Cumulative intensity table for weighted sampling.
+    cumulative: Vec<f64>,
+    intensity: EdgeIntensity,
+}
+
+impl PacketSynthesizer {
+    /// Build a synthesizer over `g`'s edges.
+    ///
+    /// For [`EdgeIntensity::Pareto`], per-edge weights are drawn once
+    /// here (they are a property of the underlying network, constant
+    /// across windows — the paper's premise that the underlying network
+    /// is fixed while windows vary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has no edges (no traffic to synthesize) or the
+    /// Pareto shape is not positive.
+    pub fn new<R: Rng + ?Sized>(g: &Graph, intensity: EdgeIntensity, rng: &mut R) -> Self {
+        assert!(g.n_edges() > 0, "cannot synthesize traffic from an edgeless network");
+        let conversations: Vec<(u32, u32)> = g.edges().to_vec();
+        let weights: Vec<f64> = match intensity {
+            EdgeIntensity::Uniform => vec![1.0; conversations.len()],
+            EdgeIntensity::Pareto { shape } => {
+                assert!(shape > 0.0, "Pareto shape must be positive");
+                (0..conversations.len())
+                    .map(|_| {
+                        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        u.powf(-1.0 / shape) // Pareto(scale=1, shape)
+                    })
+                    .collect()
+            }
+        };
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        PacketSynthesizer {
+            conversations,
+            cumulative,
+            intensity,
+        }
+    }
+
+    /// Number of conversations (underlying edges).
+    pub fn n_conversations(&self) -> usize {
+        self.conversations.len()
+    }
+
+    /// The intensity model in use.
+    pub fn intensity(&self) -> EdgeIntensity {
+        self.intensity
+    }
+
+    /// Draw one packet: pick a conversation by intensity, orient it
+    /// uniformly (internet links carry traffic both ways; the paper's
+    /// model is undirected so direction is symmetric noise).
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Packet {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c < x).min(self.conversations.len() - 1);
+        let (u, v) = self.conversations[idx];
+        if rng.gen::<bool>() {
+            Packet { src: u, dst: v }
+        } else {
+            Packet { src: v, dst: u }
+        }
+    }
+
+    /// Draw `n` packets into a vector.
+    pub fn draw_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Packet> {
+        (0..n).map(|_| self.draw(rng)).collect()
+    }
+
+    /// The effective edge-retention probability `p` a window of `n_v`
+    /// packets realizes under *uniform* intensity:
+    /// `p = 1 − (1 − 1/E)^{N_V} ≈ 1 − e^{−N_V/E}`.
+    ///
+    /// This is the bridge between the packet-budget view of Section II
+    /// and the `p`-parameter view of Sections III–V.
+    pub fn effective_p_uniform(&self, n_v: u64) -> f64 {
+        let e = self.n_conversations() as f64;
+        1.0 - (-(n_v as f64) / e).exp()
+    }
+
+    /// Number of packets needed for a target retention probability `p`
+    /// under uniform intensity: `N_V = −E·ln(1 − p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn packets_for_p(&self, p: f64) -> u64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
+        let e = self.n_conversations() as f64;
+        (-e * (1.0 - p).ln()).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palu_graph::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: u32) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    #[should_panic(expected = "edgeless")]
+    fn edgeless_network_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        PacketSynthesizer::new(&Graph::with_nodes(5), EdgeIntensity::Uniform, &mut rng);
+    }
+
+    #[test]
+    fn packets_use_real_conversations() {
+        let g = ring(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
+        assert_eq!(syn.n_conversations(), 10);
+        let edges: std::collections::HashSet<(u32, u32)> = g
+            .edges()
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect();
+        for _ in 0..1000 {
+            let p = syn.draw(&mut rng);
+            assert!(edges.contains(&(p.src, p.dst)), "{p:?} not an edge");
+        }
+    }
+
+    #[test]
+    fn uniform_intensity_is_uniform() {
+        let g = ring(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
+        let n = 80_000;
+        let mut counts = [0u32; 8];
+        for p in syn.draw_many(&mut rng, n) {
+            // Identify the ring edge by its lower endpoint (mod wrap).
+            let key = if (p.src + 1) % 8 == p.dst { p.src } else { p.dst };
+            counts[key as usize] += 1;
+        }
+        let expected = n as f64 / 8.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let se = (expected * (1.0 - 1.0 / 8.0)).sqrt();
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * se,
+                "edge {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_directions_occur() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
+        let packets = syn.draw_many(&mut rng, 1000);
+        let forward = packets.iter().filter(|p| p.src == 0).count();
+        assert!(forward > 400 && forward < 600, "forward {forward}");
+    }
+
+    #[test]
+    fn pareto_intensity_skews_link_counts() {
+        let g = ring(1000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let uni = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
+        let par = PacketSynthesizer::new(&g, EdgeIntensity::Pareto { shape: 1.2 }, &mut rng);
+        let count_max = |syn: &PacketSynthesizer, rng: &mut StdRng| {
+            let mut counts = std::collections::HashMap::new();
+            for p in syn.draw_many(rng, 50_000) {
+                *counts.entry((p.src.min(p.dst), p.src.max(p.dst))).or_insert(0u32) += 1;
+            }
+            counts.values().copied().max().unwrap()
+        };
+        let m_uni = count_max(&uni, &mut rng);
+        let m_par = count_max(&par, &mut rng);
+        assert!(
+            m_par > 3 * m_uni,
+            "pareto max link count {m_par} should dwarf uniform {m_uni}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Pareto shape")]
+    fn pareto_shape_validated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        PacketSynthesizer::new(&ring(4), EdgeIntensity::Pareto { shape: 0.0 }, &mut rng);
+    }
+
+    #[test]
+    fn effective_p_round_trips_packet_budget() {
+        let g = ring(5000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
+        for &p in &[0.1, 0.5, 0.9] {
+            let n_v = syn.packets_for_p(p);
+            let realized = syn.effective_p_uniform(n_v);
+            assert!((realized - p).abs() < 0.01, "p {p}: realized {realized}");
+        }
+    }
+
+    #[test]
+    fn effective_p_matches_empirical_coverage() {
+        // Draw a window and check the fraction of distinct
+        // conversations seen matches 1 − e^{−N_V/E}.
+        let g = ring(2000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
+        let n_v = 3000u64;
+        let packets = syn.draw_many(&mut rng, n_v as usize);
+        let distinct: std::collections::HashSet<_> = packets
+            .iter()
+            .map(|p| (p.src.min(p.dst), p.src.max(p.dst)))
+            .collect();
+        let coverage = distinct.len() as f64 / 2000.0;
+        let predicted = syn.effective_p_uniform(n_v);
+        assert!(
+            (coverage - predicted).abs() < 0.03,
+            "coverage {coverage} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn packets_for_p_validates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let syn = PacketSynthesizer::new(&ring(4), EdgeIntensity::Uniform, &mut rng);
+        syn.packets_for_p(1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Multi-window measurement pipeline.
+//!
+//! Section II-A: each window `t` yields a pooled distribution
+//! `D_t(d_i)`; "the corresponding mean and standard deviation of
+//! `D_t(d_i)` over many different consecutive values of t for a given
+//! data set are denoted `D(d_i)` and `σ(d_i)`". Every Figure 3 panel is
+//! one [`PooledDistribution`] produced by this pipeline. Windows can be
+//! processed in parallel (crossbeam) since each is independent; the
+//! per-bin accumulation is merged deterministically in window order.
+
+use crate::window::PacketWindow;
+use palu_sparse::quantities::NetworkQuantity;
+use palu_stats::logbin::DifferentialCumulative;
+use palu_stats::summary::BinStats;
+use serde::{Deserialize, Serialize};
+
+/// Which degree-like measurement the pipeline pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Measurement {
+    /// One of the five directed Figure 1 quantities.
+    Quantity(NetworkQuantity),
+    /// The undirected host degree (distinct partners) — the quantity
+    /// the PALU model's analysis describes.
+    UndirectedDegree,
+    /// The *weighted* undirected degree: total packets a host touched
+    /// (sent + received). The paper's future-work weighted-edge view,
+    /// "where potential weights could be the number of packets …
+    /// sent over a link".
+    NodeVolume,
+}
+
+impl Measurement {
+    /// Extract this measurement's histogram from a window.
+    pub fn histogram(&self, w: &PacketWindow) -> palu_stats::histogram::DegreeHistogram {
+        match self {
+            Measurement::Quantity(q) => q.histogram(w.matrix()),
+            Measurement::UndirectedDegree => w.undirected_degree_histogram(),
+            Measurement::NodeVolume => w.node_volume_histogram(),
+        }
+    }
+}
+
+/// The pooled multi-window result: `D(d_i)`, `σ(d_i)`, and support
+/// metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PooledDistribution {
+    /// Per-bin mean `D(d_i)`.
+    pub mean: DifferentialCumulative,
+    /// Per-bin standard deviation `σ(d_i)`.
+    pub sigma: Vec<f64>,
+    /// Number of windows pooled.
+    pub windows: u64,
+    /// Largest degree observed in any window (`d_max`, Equation 1).
+    pub d_max: u64,
+}
+
+impl PooledDistribution {
+    /// Inverse-variance weights for weighted fitting. Constant bins
+    /// get `default_weight`.
+    pub fn weights(&self, default_weight: f64) -> Vec<f64> {
+        self.sigma
+            .iter()
+            .map(|&s| {
+                if s > 0.0 {
+                    1.0 / (s * s)
+                } else {
+                    default_weight
+                }
+            })
+            .collect()
+    }
+}
+
+/// Accumulates windows into a pooled distribution for one measurement.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    measurement: Measurement,
+    stats: BinStats,
+    d_max: u64,
+}
+
+impl Pipeline {
+    /// Create a pipeline pooling `measurement`.
+    pub fn new(measurement: Measurement) -> Self {
+        Pipeline {
+            measurement,
+            stats: BinStats::new(),
+            d_max: 0,
+        }
+    }
+
+    /// The measurement being pooled.
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+
+    /// Fold in one window.
+    pub fn push_window(&mut self, w: &PacketWindow) {
+        let h = self.measurement.histogram(w);
+        if let Some(d) = h.d_max() {
+            self.d_max = self.d_max.max(d);
+        }
+        self.stats.push(&DifferentialCumulative::from_histogram(&h));
+    }
+
+    /// Fold in many windows.
+    pub fn push_windows(&mut self, windows: &[PacketWindow]) {
+        for w in windows {
+            self.push_window(w);
+        }
+    }
+
+    /// Number of windows folded in so far.
+    pub fn windows(&self) -> u64 {
+        self.stats.windows()
+    }
+
+    /// Finish: the pooled `D(d_i) ± σ(d_i)`.
+    pub fn finish(&self) -> PooledDistribution {
+        PooledDistribution {
+            mean: self.stats.mean_distribution(),
+            sigma: self.stats.std_devs(),
+            windows: self.stats.windows(),
+            d_max: self.d_max,
+        }
+    }
+
+    /// One-shot convenience: pool `windows` for `measurement`.
+    pub fn pool(measurement: Measurement, windows: &[PacketWindow]) -> PooledDistribution {
+        let mut p = Pipeline::new(measurement);
+        p.push_windows(windows);
+        p.finish()
+    }
+
+    /// Pool several measurements over the same windows concurrently
+    /// (one crossbeam thread per measurement).
+    pub fn pool_many(
+        measurements: &[Measurement],
+        windows: &[PacketWindow],
+    ) -> Vec<PooledDistribution> {
+        let mut results: Vec<Option<PooledDistribution>> = vec![None; measurements.len()];
+        crossbeam::thread::scope(|s| {
+            for (slot, &m) in results.iter_mut().zip(measurements) {
+                s.spawn(move |_| {
+                    *slot = Some(Pipeline::pool(m, windows));
+                });
+            }
+        })
+        .expect("pipeline threads do not panic");
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observatory::{Observatory, ObservatoryConfig};
+    use crate::packets::{EdgeIntensity, Packet};
+    use palu_graph::palu_gen::PaluGenerator;
+
+    fn observatory(seed: u64) -> Observatory {
+        Observatory::new(
+            ObservatoryConfig {
+                name: "pipeline-test".into(),
+                date: "2026-07-06".into(),
+                n_v: 4_000,
+            },
+            &PaluGenerator::new(2_000, 600, 400, 2.0, 1.5).unwrap(),
+            EdgeIntensity::Uniform,
+            seed,
+        )
+    }
+
+    #[test]
+    fn pooled_mass_is_one() {
+        let mut obs = observatory(1);
+        let windows = obs.windows(8);
+        let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        assert_eq!(pooled.windows, 8);
+        assert!((pooled.mean.total_mass() - 1.0).abs() < 1e-9);
+        assert!(pooled.d_max >= 1);
+        assert_eq!(pooled.sigma.len(), pooled.mean.n_bins());
+    }
+
+    #[test]
+    fn sigma_is_zero_for_single_window() {
+        let mut obs = observatory(2);
+        let windows = obs.windows(1);
+        let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        assert!(pooled.sigma.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn sigma_positive_for_varying_windows() {
+        let mut obs = observatory(3);
+        let windows = obs.windows(10);
+        let pooled = Pipeline::pool(
+            Measurement::Quantity(NetworkQuantity::SourceFanOut),
+            &windows,
+        );
+        assert!(
+            pooled.sigma.iter().any(|&s| s > 0.0),
+            "some bin must fluctuate across windows"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let mut obs = observatory(4);
+        let windows = obs.windows(5);
+        let batch = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        let mut inc = Pipeline::new(Measurement::UndirectedDegree);
+        for w in &windows {
+            inc.push_window(w);
+        }
+        let inc = inc.finish();
+        assert_eq!(batch.mean, inc.mean);
+        assert_eq!(batch.sigma, inc.sigma);
+        assert_eq!(batch.d_max, inc.d_max);
+    }
+
+    #[test]
+    fn pool_many_matches_individual() {
+        let mut obs = observatory(5);
+        let windows = obs.windows(4);
+        let ms = [
+            Measurement::UndirectedDegree,
+            Measurement::Quantity(NetworkQuantity::LinkPackets),
+            Measurement::Quantity(NetworkQuantity::DestinationFanIn),
+        ];
+        let many = Pipeline::pool_many(&ms, &windows);
+        for (m, pooled) in ms.iter().zip(&many) {
+            let single = Pipeline::pool(*m, &windows);
+            assert_eq!(single.mean, pooled.mean);
+            assert_eq!(single.sigma, pooled.sigma);
+        }
+    }
+
+    #[test]
+    fn degree_one_bin_dominates_palu_traffic() {
+        // PALU traffic at moderate p has its largest pooled mass in the
+        // d = 1 bin (leaves + unattached links) — the headline
+        // observation of the paper.
+        let mut obs = observatory(6);
+        let windows = obs.windows(6);
+        let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        let d1 = pooled.mean.value(0);
+        for i in 1..pooled.mean.n_bins() {
+            assert!(
+                d1 >= pooled.mean.value(i),
+                "bin {i} exceeds the d=1 bin"
+            );
+        }
+        assert!(d1 > 0.2, "d=1 mass {d1} suspiciously small");
+    }
+
+    #[test]
+    fn weights_invert_variance() {
+        let pooled = PooledDistribution {
+            mean: palu_stats::logbin::DifferentialCumulative::from_values(vec![0.5, 0.5]),
+            sigma: vec![0.1, 0.0],
+            windows: 2,
+            d_max: 2,
+        };
+        let w = pooled.weights(7.0);
+        assert!((w[0] - 100.0).abs() < 1e-9);
+        assert_eq!(w[1], 7.0);
+    }
+
+    #[test]
+    fn measurement_histograms_dispatch() {
+        let packets = vec![
+            Packet { src: 0, dst: 1 },
+            Packet { src: 1, dst: 0 },
+            Packet { src: 0, dst: 2 },
+        ];
+        let w = PacketWindow::from_packets(0, &packets);
+        let und = Measurement::UndirectedDegree.histogram(&w);
+        // Partners: 0↔{1,2}, 1↔{0}, 2↔{0}.
+        assert_eq!(und.count(2), 1);
+        assert_eq!(und.count(1), 2);
+        let fanout =
+            Measurement::Quantity(NetworkQuantity::SourceFanOut).histogram(&w);
+        // Sources 0 (→1,2) and 1 (→0).
+        assert_eq!(fanout.count(2), 1);
+        assert_eq!(fanout.count(1), 1);
+    }
+}

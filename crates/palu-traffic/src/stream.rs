@@ -1,0 +1,160 @@
+//! Streaming window segmentation.
+//!
+//! Real observatories never hold a capture in memory: packets arrive
+//! as an unbounded stream and are cut into fixed-`N_V` windows on the
+//! fly ("at a given time t, N_V consecutive valid packets are
+//! aggregated", Section II). [`WindowStream`] adapts any packet
+//! iterator into an iterator of [`PacketWindow`]s with O(`N_V`)
+//! memory, and [`StreamStats`] folds windows directly into pooled
+//! statistics so arbitrarily long captures process in constant space.
+
+use crate::packets::Packet;
+use crate::pipeline::{Measurement, Pipeline, PooledDistribution};
+use crate::window::PacketWindow;
+
+/// Iterator adapter: cuts a packet stream into consecutive
+/// fixed-`N_V` windows. A trailing partial window (fewer than `N_V`
+/// packets at stream end) is *discarded*, matching the paper's
+/// same-`N_V` methodology.
+pub struct WindowStream<I> {
+    packets: I,
+    n_v: usize,
+    next_t: u64,
+    buffer: Vec<Packet>,
+}
+
+impl<I: Iterator<Item = Packet>> WindowStream<I> {
+    /// Wrap a packet iterator with window size `n_v ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_v == 0`.
+    pub fn new(packets: I, n_v: usize) -> Self {
+        assert!(n_v > 0, "window size must be positive");
+        WindowStream {
+            packets,
+            n_v,
+            next_t: 0,
+            buffer: Vec::with_capacity(n_v),
+        }
+    }
+}
+
+impl<I: Iterator<Item = Packet>> Iterator for WindowStream<I> {
+    type Item = PacketWindow;
+
+    fn next(&mut self) -> Option<PacketWindow> {
+        self.buffer.clear();
+        for p in self.packets.by_ref() {
+            self.buffer.push(p);
+            if self.buffer.len() == self.n_v {
+                let t = self.next_t;
+                self.next_t += 1;
+                return Some(PacketWindow::from_packets(t, &self.buffer));
+            }
+        }
+        None // stream ended mid-window: discard the partial window
+    }
+}
+
+/// Constant-space pooled statistics over a packet stream: the full
+/// Section II pipeline (window → pool → mean/σ) without ever holding
+/// more than one window.
+pub struct StreamStats {
+    pipeline: Pipeline,
+}
+
+impl StreamStats {
+    /// Create for one measurement.
+    pub fn new(measurement: Measurement) -> Self {
+        StreamStats {
+            pipeline: Pipeline::new(measurement),
+        }
+    }
+
+    /// Consume a packet stream, pooling every complete window.
+    /// Returns the pooled `D(d_i) ± σ(d_i)`.
+    pub fn consume<I: Iterator<Item = Packet>>(
+        mut self,
+        packets: I,
+        n_v: usize,
+    ) -> PooledDistribution {
+        for window in WindowStream::new(packets, n_v) {
+            self.pipeline.push_window(&window);
+        }
+        self.pipeline.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packets::{EdgeIntensity, PacketSynthesizer};
+    use palu_graph::palu_gen::PaluGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn synthetic_packets(n: usize, seed: u64) -> Vec<Packet> {
+        let net = PaluGenerator::new(2_000, 500, 300, 2.0, 1.5)
+            .unwrap()
+            .generate(&mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let syn = PacketSynthesizer::new(&net.graph, EdgeIntensity::Uniform, &mut rng);
+        syn.draw_many(&mut rng, n)
+    }
+
+    #[test]
+    fn windows_are_exact_and_consecutive() {
+        let packets = synthetic_packets(10_500, 1);
+        let windows: Vec<_> = WindowStream::new(packets.iter().copied(), 2_000).collect();
+        // 10500 / 2000 = 5 complete windows; the 500-packet remnant is
+        // discarded.
+        assert_eq!(windows.len(), 5);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.t(), i as u64);
+            assert_eq!(w.n_v(), 2_000);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_segmentation() {
+        let packets = synthetic_packets(8_000, 2);
+        let streamed: Vec<_> = WindowStream::new(packets.iter().copied(), 2_000).collect();
+        for (i, w) in streamed.iter().enumerate() {
+            let batch = PacketWindow::from_packets(i as u64, &packets[i * 2000..(i + 1) * 2000]);
+            assert_eq!(w.matrix(), batch.matrix(), "window {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_short_streams() {
+        let none: Vec<_> = WindowStream::new(std::iter::empty(), 100).collect();
+        assert!(none.is_empty());
+        let short = synthetic_packets(99, 3);
+        let none: Vec<_> = WindowStream::new(short.into_iter(), 100).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_size_panics() {
+        let _ = WindowStream::new(std::iter::empty(), 0);
+    }
+
+    #[test]
+    fn stream_stats_equals_batch_pipeline() {
+        let packets = synthetic_packets(12_000, 4);
+        let pooled_stream = StreamStats::new(Measurement::UndirectedDegree)
+            .consume(packets.iter().copied(), 3_000);
+        // Batch reference.
+        let windows: Vec<_> = packets
+            .chunks_exact(3_000)
+            .enumerate()
+            .map(|(i, chunk)| PacketWindow::from_packets(i as u64, chunk))
+            .collect();
+        let pooled_batch = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        assert_eq!(pooled_stream.mean, pooled_batch.mean);
+        assert_eq!(pooled_stream.sigma, pooled_batch.sigma);
+        assert_eq!(pooled_stream.windows, 4);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the streaming-traffic substrate.
+
+use palu_traffic::packets::Packet;
+use palu_traffic::pipeline::{Measurement, Pipeline};
+use palu_traffic::stream::WindowStream;
+use palu_traffic::window::PacketWindow;
+use proptest::prelude::*;
+
+/// Arbitrary packet streams over a bounded host space.
+fn packets() -> impl Strategy<Value = Vec<Packet>> {
+    prop::collection::vec((0u32..48, 0u32..48), 1..600)
+        .prop_map(|v| v.into_iter().map(|(src, dst)| Packet { src, dst }).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_conservation_laws(ps in packets()) {
+        let w = PacketWindow::from_packets(0, &ps);
+        let agg = w.aggregates();
+        prop_assert_eq!(agg.valid_packets, ps.len() as u64);
+        let q = w.quantities();
+        prop_assert_eq!(q.source_packets.degree_sum(), agg.valid_packets);
+        prop_assert_eq!(q.destination_packets.degree_sum(), agg.valid_packets);
+        prop_assert_eq!(q.source_fan_out.degree_sum(), agg.unique_links);
+        prop_assert_eq!(q.destination_fan_in.degree_sum(), agg.unique_links);
+        // Node volume double-counts every packet.
+        prop_assert_eq!(w.node_volume_histogram().degree_sum(), 2 * agg.valid_packets);
+        // Undirected degree ≤ fan-in + fan-out per host, so its total
+        // is bounded by twice the unique links.
+        prop_assert!(w.undirected_degree_histogram().degree_sum() <= 2 * agg.unique_links);
+    }
+
+    #[test]
+    fn streaming_segmentation_is_exact(ps in packets(), n_v in 1usize..100) {
+        let windows: Vec<_> = WindowStream::new(ps.iter().copied(), n_v).collect();
+        prop_assert_eq!(windows.len(), ps.len() / n_v);
+        for (i, w) in windows.iter().enumerate() {
+            prop_assert_eq!(w.t(), i as u64);
+            prop_assert_eq!(w.n_v(), n_v as u64);
+            let reference = PacketWindow::from_packets(i as u64, &ps[i * n_v..(i + 1) * n_v]);
+            prop_assert_eq!(w.matrix(), reference.matrix());
+        }
+    }
+
+    #[test]
+    fn pooled_mass_conserved_over_any_windows(ps in packets(), n_v in 5usize..60) {
+        prop_assume!(ps.len() >= n_v);
+        let windows: Vec<_> = WindowStream::new(ps.iter().copied(), n_v).collect();
+        prop_assume!(!windows.is_empty());
+        for m in [Measurement::UndirectedDegree, Measurement::NodeVolume] {
+            let pooled = Pipeline::pool(m, &windows);
+            prop_assert!((pooled.mean.total_mass() - 1.0).abs() < 1e-9);
+            prop_assert_eq!(pooled.windows, windows.len() as u64);
+            prop_assert!(pooled.sigma.iter().all(|&s| s >= 0.0));
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_all_statistics(ps in packets(), offset in 1u32..1_000_000) {
+        // Shift ids far away: the compacting constructor must yield
+        // identical statistics to the dense original.
+        let shifted: Vec<Packet> = ps
+            .iter()
+            .map(|p| Packet {
+                src: p.src * 7919 + offset,
+                dst: p.dst * 7919 + offset,
+            })
+            .collect();
+        let dense = PacketWindow::from_packets(0, &ps);
+        let compact = PacketWindow::from_packets_compacted(0, &shifted);
+        prop_assert_eq!(dense.aggregates(), compact.aggregates());
+        prop_assert_eq!(
+            dense.undirected_degree_histogram(),
+            compact.undirected_degree_histogram()
+        );
+        prop_assert_eq!(dense.node_volume_histogram(), compact.node_volume_histogram());
+        prop_assert_eq!(dense.quantities().link_packets, compact.quantities().link_packets);
+    }
+}

@@ -1,0 +1,538 @@
+//! Section IV closed-form predictions for the observed network.
+//!
+//! Given a window size `p`, the model predicts the visible-node
+//! fraction
+//!
+//! ```text
+//! V = C·p^{α−1}/((α−1)·ζ(α)) + L·p + U·(1 + λp − e^{−λp})
+//! ```
+//!
+//! and, relative to the total visible nodes, the fractions of core
+//! nodes, leaves, unattached nodes, unattached links, degree-1 nodes,
+//! and degree-`d` nodes. Experiment E-A1 validates all of these
+//! against simulation.
+//!
+//! Derivation notes (Section V): a degree-`d` core node survives
+//! observation with probability ≈ 1 at these scales and its observed
+//! degree is `Bin(d, p) ≈ dp`; the observed core degree law is
+//! `p^α/ζ(α) · d^{−α}` after summing the thinning kernel against the
+//! `d^{−α}` underlying law and keeping leading order. Leaves survive
+//! w.p. `p`. Each star center's observed leaf count is
+//! `Bin(Po(λ), p) = Po(λp)`, so a center is visible w.p.
+//! `1 − e^{−λp}` and each expected `λ` star leaf is visible w.p. `p`.
+
+use crate::params::PaluParams;
+use palu_stats::error::StatsError;
+use palu_stats::logbin::{DifferentialCumulative, LogBins};
+use palu_stats::special::{ln_factorial, riemann_zeta};
+
+/// Exact observed-degree pmf of a preferential-attachment core node
+/// under Binomial edge thinning:
+///
+/// ```text
+/// f(d) = Σ_{k ≥ d} k^{−α}/ζ(α) · C(k, d)·p^d·(1−p)^{k−d}
+/// ```
+///
+/// This is the quantity the paper approximates by `p^α·d^{−α}/ζ(α)`
+/// (Section IV). The *exact* sum behaves as `p^{α−1}·d^{−α}/ζ(α)` for
+/// large `d` (one underlying degree bucket of width `1/p` maps onto
+/// each observed degree), which is also what integrating the paper's
+/// own visible-core term back out implies — see EXPERIMENTS.md E-A1
+/// for the simulation evidence. Both conventions are supported
+/// downstream ([`crate::simplified::AmplitudeConvention`]).
+///
+/// `d = 0` gives the invisibility probability of a random core node.
+///
+/// # Errors
+///
+/// [`StatsError::Domain`] if `α ≤ 1` or `p ∉ (0, 1]`.
+pub fn thinned_core_pmf(alpha: f64, p: f64, d: u64) -> Result<f64, StatsError> {
+    if !(0.0 < p && p <= 1.0) {
+        return Err(StatsError::domain(
+            "thinned_core_pmf",
+            format!("p must be in (0, 1], got {p}"),
+        ));
+    }
+    let zeta_alpha = riemann_zeta(alpha)?; // validates alpha
+    if p == 1.0 {
+        // No thinning: the zeta pmf itself (0 at d = 0).
+        return Ok(if d == 0 {
+            0.0
+        } else {
+            (d as f64).powf(-alpha) / zeta_alpha
+        });
+    }
+    let ln_p = p.ln();
+    let ln_q = (1.0 - p).ln();
+    let k_start = d.max(1);
+    // Terms decay geometrically (ratio → 1−p) beyond the binomial
+    // bulk at k ≈ d/p; sum until both past the bulk and negligible.
+    let bulk_end = (d as f64 / p + 10.0 * (d as f64 + 1.0).sqrt() / p) as u64 + 16;
+    let mut acc = 0.0f64;
+    let mut k = k_start;
+    loop {
+        let ln_term = ln_factorial(k) - ln_factorial(d) - ln_factorial(k - d)
+            + d as f64 * ln_p
+            + (k - d) as f64 * ln_q
+            - alpha * (k as f64).ln();
+        let term = ln_term.exp();
+        acc += term;
+        if k > bulk_end && term < acc * 1e-14 {
+            break;
+        }
+        if k > bulk_end.saturating_mul(64) {
+            break; // safety cap; the tail past here is below 1e-300
+        }
+        k += 1;
+    }
+    Ok(acc / zeta_alpha)
+}
+
+/// Size distribution of *observed star components* (the "large
+/// clusters of small disconnected components" the paper's future-work
+/// section points at).
+///
+/// A star with `Po(λ)` leaves observed through edge retention `p`
+/// keeps `k ~ Po(λp)` leaves; it is visible as a component iff
+/// `k ≥ 1`, with size `k + 1`. Hence for component size `s ≥ 2`:
+///
+/// ```text
+/// P(size = s) = e^{−λp}·(λp)^{s−1}/(s−1)! / (1 − e^{−λp})
+/// ```
+///
+/// # Errors
+///
+/// [`StatsError::Domain`] if `λp ≤ 0` (no visible stars exist).
+pub fn star_component_size_pmf(lambda: f64, p: f64, size: u64) -> Result<f64, StatsError> {
+    let lp = lambda * p;
+    // NaN-safe domain guard: `!(x > 0)` also rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(lp > 0.0) {
+        return Err(StatsError::domain(
+            "star_component_size_pmf",
+            format!("λp must be positive, got {lp}"),
+        ));
+    }
+    if size < 2 {
+        return Ok(0.0);
+    }
+    let k = size - 1;
+    let log_pois = k as f64 * lp.ln() - lp - ln_factorial(k);
+    Ok(log_pois.exp() / (1.0 - (-lp).exp()))
+}
+
+/// All Section IV predictions for one `(parameters, p)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedPrediction {
+    params: PaluParams,
+    zeta_alpha: f64,
+    /// Visible-node fraction `V` (relative to the underlying
+    /// normalization of the constraint).
+    pub visible_fraction: f64,
+    /// Observed core nodes / total observed nodes.
+    pub core_fraction: f64,
+    /// Observed leaves / total observed nodes.
+    pub leaf_fraction: f64,
+    /// Observed unattached-section nodes / total observed nodes.
+    pub unattached_fraction: f64,
+    /// Observed unattached *links* (single-edge star remnants) / total
+    /// observed nodes.
+    pub unattached_link_fraction: f64,
+    /// Observed degree-1 nodes / total observed nodes.
+    pub degree_one_fraction: f64,
+}
+
+impl ObservedPrediction {
+    /// Evaluate the Section IV formulas for `params`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] if `p = 0` (nothing is observed; every
+    /// ratio is 0/0).
+    pub fn new(params: &PaluParams) -> Result<Self, StatsError> {
+        let (c_frac, l_frac, u_frac) = (params.core, params.leaves, params.unattached);
+        let (alpha, lambda, p) = (params.alpha, params.lambda, params.p);
+        if p <= 0.0 {
+            return Err(StatsError::domain(
+                "ObservedPrediction::new",
+                "p must be positive; an empty window observes nothing",
+            ));
+        }
+        let zeta_alpha = riemann_zeta(alpha)?;
+        let lp = lambda * p;
+
+        let core_term = c_frac * p.powf(alpha - 1.0) / ((alpha - 1.0) * zeta_alpha);
+        let leaf_term = l_frac * p;
+        let unattached_term = u_frac * (1.0 + lp - (-lp).exp());
+        let v = core_term + leaf_term + unattached_term;
+
+        let unattached_link = u_frac * lp * (-lp).exp();
+
+        // Degree-1 nodes (Section IV):
+        //   core:        C·p^α/ζ(α)   (the d^{-α} law at d = 1)
+        //   leaves:      L·p
+        //   unattached:  U·λp·(1 + e^{−λp})
+        //     = observed star leaves (U·λp) + centers with exactly one
+        //       observed leaf (U·λp·e^{−λp}).
+        let degree_one = c_frac * p.powf(alpha) / zeta_alpha
+            + l_frac * p
+            + u_frac * lp * (1.0 + (-lp).exp());
+
+        Ok(ObservedPrediction {
+            params: *params,
+            zeta_alpha,
+            visible_fraction: v,
+            core_fraction: core_term / v,
+            leaf_fraction: leaf_term / v,
+            unattached_fraction: unattached_term / v,
+            unattached_link_fraction: unattached_link / v,
+            degree_one_fraction: degree_one / v,
+        })
+    }
+
+    /// The parameters these predictions were computed for.
+    pub fn params(&self) -> &PaluParams {
+        &self.params
+    }
+
+    /// Predicted fraction of observed nodes with degree exactly `d`
+    /// (Section IV's degree-`d` estimate; exact Poisson term, no
+    /// Stirling approximation):
+    ///
+    /// ```text
+    /// d = 1:  degree_one_fraction
+    /// d ≥ 2:  [ C·p^α/ζ(α) · d^{−α} + U·e^{−λp}·(λp)^d/d! ] / V
+    /// ```
+    pub fn degree_fraction(&self, d: u64) -> f64 {
+        if d == 0 {
+            return 0.0;
+        }
+        if d == 1 {
+            return self.degree_one_fraction;
+        }
+        let p = self.params.p;
+        let lp = self.params.lambda * p;
+        let core = self.params.core * p.powf(self.params.alpha) / self.zeta_alpha
+            * (d as f64).powf(-self.params.alpha);
+        let star = if lp > 0.0 {
+            self.params.unattached
+                * (d as f64 * lp.ln() - lp - ln_factorial(d)).exp()
+        } else {
+            0.0
+        };
+        (core + star) / self.visible_fraction
+    }
+
+    /// The pure-tail approximation (Section IV, "very good when
+    /// log(d) > 1"): `C·p^α/ζ(α)·d^{−α} / V`.
+    pub fn degree_fraction_tail(&self, d: u64) -> f64 {
+        let p = self.params.p;
+        self.params.core * p.powf(self.params.alpha) / self.zeta_alpha
+            * (d as f64).powf(-self.params.alpha)
+            / self.visible_fraction
+    }
+
+    /// Pool the predicted degree law into the binary-log differential
+    /// cumulative representation (Section IV-A), over degrees
+    /// `1..=d_max`.
+    pub fn pooled(&self, d_max: u64) -> DifferentialCumulative {
+        DifferentialCumulative::from_pmf(|d| self.degree_fraction(d), d_max)
+    }
+
+    /// The Section IV-A log-binned tail slope: for large bins the
+    /// pooled distribution satisfies
+    /// `log D(2^i) ≈ (1 − α)·log(2^i) + γ` — slope `1 − α`, not `−α`.
+    pub fn pooled_tail_slope(&self) -> f64 {
+        1.0 - self.params.alpha
+    }
+
+    /// Predicted mass in pooled bin `i` using the integral
+    /// approximation of Section IV-A (valid for `i > 3`):
+    ///
+    /// ```text
+    /// Σ_{d∈bin i} c·d^{−α} ≈ ∫ x^{−α} dx
+    ///   = c · (1 − 2^{1−α})/(α−1) · (lower bound)^{1−α}
+    /// ```
+    ///
+    /// Bin `i` covers `(2^{i−1}, 2^i]`, so the integral's lower bound
+    /// is `2^{i−1}`. (The paper writes the sum from `2^i` to `2^{i+1}`
+    /// — the same expression shifted by one bin index; what matters,
+    /// and what the tests pin down, is that the binned log-log slope
+    /// is `1 − α`, not `−α`.)
+    pub fn pooled_bin_tail_approx(&self, i: u32) -> f64 {
+        let alpha = self.params.alpha;
+        let p = self.params.p;
+        let lead = self.params.core * p.powf(alpha) / (self.zeta_alpha * self.visible_fraction);
+        let shape = (1.0 - 2f64.powf(1.0 - alpha)) / (alpha - 1.0);
+        let lower = LogBins::lower_bound_exclusive(i).max(1);
+        lead * shape * (lower as f64).powf(1.0 - alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PaluParams;
+
+    fn params() -> PaluParams {
+        PaluParams::from_core_leaf_fractions(0.5, 0.2, 1.5, 2.0, 0.3).unwrap()
+    }
+
+    #[test]
+    fn thinned_core_pmf_is_a_distribution() {
+        // Σ_{d≥0} f(d) = 1 (every underlying node maps somewhere).
+        for &(alpha, p) in &[(2.0, 0.5), (1.7, 0.3), (2.5, 0.8)] {
+            let total: f64 = (0..3000u64)
+                .map(|d| thinned_core_pmf(alpha, p, d).unwrap())
+                .sum();
+            // The un-summed tail beyond d = 3000 carries
+            // ~p^{α−1}·3000^{1−α}/((α−1)ζ(α)) ≈ 1e-4 of mass.
+            let tail_bound = p.powf(alpha - 1.0) * 3000f64.powf(1.0 - alpha)
+                / ((alpha - 1.0) * riemann_zeta(alpha).unwrap());
+            assert!(
+                (total - 1.0).abs() < 1.1 * tail_bound + 1e-8,
+                "α={alpha}, p={p}: total {total} (tail bound {tail_bound:.2e})"
+            );
+        }
+    }
+
+    #[test]
+    fn thinned_core_pmf_no_thinning_is_zeta() {
+        let z2 = std::f64::consts::PI.powi(2) / 6.0;
+        assert_eq!(thinned_core_pmf(2.0, 1.0, 0).unwrap(), 0.0);
+        assert!((thinned_core_pmf(2.0, 1.0, 1).unwrap() - 1.0 / z2).abs() < 1e-12);
+        assert!((thinned_core_pmf(2.0, 1.0, 3).unwrap() - 1.0 / 9.0 / z2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thinned_core_pmf_d0_matches_direct_sum() {
+        // P(invisible) = Σ_k k^{−α}(1−p)^k / ζ(α).
+        let (alpha, p): (f64, f64) = (2.0, 0.4);
+        let z = riemann_zeta(alpha).unwrap();
+        let direct: f64 = (1..500u64)
+            .map(|k| (k as f64).powf(-alpha) * (1.0 - p).powi(k as i32))
+            .sum::<f64>()
+            / z;
+        let pmf0 = thinned_core_pmf(alpha, p, 0).unwrap();
+        assert!((pmf0 - direct).abs() < 1e-10, "{pmf0} vs {direct}");
+        // Equivalently via the polylog: Li_α(1−p)/ζ(α).
+        let via_polylog =
+            palu_stats::special::polylog(alpha, 1.0 - p).unwrap() / z;
+        assert!((pmf0 - via_polylog).abs() < 1e-10);
+    }
+
+    #[test]
+    fn thinned_core_tail_scales_as_p_to_alpha_minus_one() {
+        // The exact tail amplitude is p^{α−1}/ζ(α), NOT the paper's
+        // p^α/ζ(α): check f(d)·d^α·ζ(α) ≈ p^{α−1} at large d.
+        for &(alpha, p) in &[(2.0f64, 0.5f64), (2.5, 0.3)] {
+            let z = riemann_zeta(alpha).unwrap();
+            for d in [50u64, 100, 200] {
+                let f = thinned_core_pmf(alpha, p, d).unwrap();
+                let amp = f * (d as f64).powf(alpha) * z;
+                let expected = p.powf(alpha - 1.0);
+                assert!(
+                    ((amp - expected) / expected).abs() < 0.05,
+                    "α={alpha}, p={p}, d={d}: amplitude {amp} vs p^(α−1) = {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_component_sizes_normalize_and_peak() {
+        let (lambda, p) = (4.0, 0.5); // λp = 2
+        let total: f64 = (2..100u64)
+            .map(|s| star_component_size_pmf(lambda, p, s).unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+        assert_eq!(star_component_size_pmf(lambda, p, 0).unwrap(), 0.0);
+        assert_eq!(star_component_size_pmf(lambda, p, 1).unwrap(), 0.0);
+        // Mode near 1 + λp = 3.
+        let p2 = star_component_size_pmf(lambda, p, 2).unwrap();
+        let p3 = star_component_size_pmf(lambda, p, 3).unwrap();
+        let p10 = star_component_size_pmf(lambda, p, 10).unwrap();
+        assert!(p3 >= p2 * 0.9);
+        assert!(p10 < p3 / 10.0);
+        // Degenerate λp rejected.
+        assert!(star_component_size_pmf(0.0, 0.5, 2).is_err());
+        assert!(star_component_size_pmf(2.0, 0.0, 2).is_err());
+    }
+
+    #[test]
+    fn thinned_core_pmf_validates() {
+        assert!(thinned_core_pmf(1.0, 0.5, 1).is_err());
+        assert!(thinned_core_pmf(2.0, 0.0, 1).is_err());
+        assert!(thinned_core_pmf(2.0, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn p_zero_is_rejected() {
+        let p = params().with_p(0.0).unwrap();
+        assert!(ObservedPrediction::new(&p).is_err());
+    }
+
+    #[test]
+    fn fractions_are_a_partition() {
+        let pred = ObservedPrediction::new(&params()).unwrap();
+        let total = pred.core_fraction + pred.leaf_fraction + pred.unattached_fraction;
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "role fractions must sum to 1, got {total}"
+        );
+        assert!(pred.core_fraction > 0.0);
+        assert!(pred.leaf_fraction > 0.0);
+        assert!(pred.unattached_fraction > 0.0);
+        // Unattached links are a subset of the unattached section.
+        assert!(pred.unattached_link_fraction < pred.unattached_fraction);
+    }
+
+    #[test]
+    fn full_observation_recovers_underlying_composition() {
+        // At p = 1 with α = 2: core term = C/ζ(2), leaf term = L,
+        // star term = U(1 + λ − e^{−λ}).
+        let p = params().with_p(1.0).unwrap();
+        let pred = ObservedPrediction::new(&p).unwrap();
+        let z2 = std::f64::consts::PI.powi(2) / 6.0;
+        let core_term = 0.5 / z2;
+        let leaf_term = 0.2;
+        let star_term = p.unattached * (1.0 + 1.5 - (-1.5f64).exp());
+        let v = core_term + leaf_term + star_term;
+        assert!((pred.visible_fraction - v).abs() < 1e-12);
+        assert!((pred.core_fraction - core_term / v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_law_is_approximately_normalized() {
+        // Σ_d degree_fraction(d) would be exactly 1 if the paper's
+        // Section IV expressions were self-consistent. They are
+        // leading-order approximations whose core pieces disagree at
+        // O(1) factors: the visible-core term in V uses
+        // `p^{α−1}/((α−1)ζ(α))` while the degree law uses
+        // `p^α·d^{−α}/ζ(α)`, and these do not integrate to the same
+        // mass. We reproduce the formulas as published and pin the
+        // slack here so any further drift is caught.
+        let pred = ObservedPrediction::new(&params()).unwrap();
+        let total: f64 = (1..200_000u64).map(|d| pred.degree_fraction(d)).sum();
+        assert!(
+            (0.6..=1.2).contains(&total),
+            "degree law total {total} drifted outside the paper's known slack"
+        );
+        // Leaf and star sub-populations ARE exactly normalized: with
+        // the core switched off the law sums to 1.
+        let pr = PaluParams::from_core_leaf_fractions(0.0, 0.3, 2.0, 2.0, 0.5).unwrap();
+        let pred = ObservedPrediction::new(&pr).unwrap();
+        let total: f64 = (1..500u64).map(|d| pred.degree_fraction(d)).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "leaf+star law total {total} must be exact"
+        );
+    }
+
+    #[test]
+    fn degree_one_dominates() {
+        let pred = ObservedPrediction::new(&params()).unwrap();
+        for d in 2..100 {
+            assert!(
+                pred.degree_one_fraction > pred.degree_fraction(d),
+                "d={d}"
+            );
+        }
+        assert_eq!(pred.degree_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn tail_matches_exact_for_large_d() {
+        let pred = ObservedPrediction::new(&params()).unwrap();
+        // Beyond the Poisson bump the star term is negligible.
+        for d in [20u64, 50, 100, 1000] {
+            let exact = pred.degree_fraction(d);
+            let tail = pred.degree_fraction_tail(d);
+            assert!(
+                ((exact - tail) / exact).abs() < 1e-6,
+                "d={d}: exact {exact}, tail {tail}"
+            );
+        }
+        // Near the bump they differ.
+        let d = 2;
+        assert!(pred.degree_fraction(d) > 1.01 * pred.degree_fraction_tail(d));
+    }
+
+    #[test]
+    fn star_bump_visible_at_high_lambda() {
+        // λp large ⇒ the Poisson term peaks near d = λp and exceeds
+        // the power-law there.
+        let p = PaluParams::from_core_leaf_fractions(0.05, 0.05, 16.0, 2.5, 0.9).unwrap();
+        let pred = ObservedPrediction::new(&p).unwrap();
+        let peak_d = (16.0 * 0.9) as u64; // ≈ 14
+        assert!(
+            pred.degree_fraction(peak_d) > 2.0 * pred.degree_fraction_tail(peak_d),
+            "no star bump at d = {peak_d}"
+        );
+    }
+
+    #[test]
+    fn pooled_conserves_mass() {
+        let pred = ObservedPrediction::new(&params()).unwrap();
+        let pooled = pred.pooled(1 << 17);
+        let direct: f64 = (1..=(1u64 << 17)).map(|d| pred.degree_fraction(d)).sum();
+        assert!((pooled.total_mass() - direct).abs() < 1e-9);
+        // d=1 bin is exactly the degree-one fraction.
+        assert!((pooled.value(0) - pred.degree_one_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_tail_follows_one_minus_alpha_slope() {
+        // Adjacent pooled bins in the tail must have ratio 2^{1−α}.
+        let pred = ObservedPrediction::new(&params()).unwrap();
+        let pooled = pred.pooled(1 << 18);
+        let expected_ratio = 2f64.powf(pred.pooled_tail_slope());
+        for i in 8..14 {
+            let ratio = pooled.value(i + 1) / pooled.value(i);
+            assert!(
+                (ratio - expected_ratio).abs() < 0.02,
+                "bin {i}: ratio {ratio} vs {expected_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_bin_tail_approx_matches_exact_sum() {
+        let pred = ObservedPrediction::new(&params()).unwrap();
+        let pooled = pred.pooled(1 << 18);
+        // Section IV-A integral approximation: good for i > 3.
+        for i in 6..12u32 {
+            let approx = pred.pooled_bin_tail_approx(i);
+            let exact = pooled.value(i as usize);
+            assert!(
+                ((approx - exact) / exact).abs() < 0.05,
+                "bin {i}: approx {approx}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_windows_see_more_core() {
+        // As p → 1 the core's share of visible nodes grows relative to
+        // small p (webcrawl-vs-trunk intuition: tiny windows
+        // overrepresent the one-shot populations).
+        let small = ObservedPrediction::new(&params().with_p(0.05).unwrap()).unwrap();
+        let large = ObservedPrediction::new(&params().with_p(0.95).unwrap()).unwrap();
+        assert!(large.core_fraction > small.core_fraction);
+    }
+
+    #[test]
+    fn visible_fraction_monotone_in_p() {
+        let base = params();
+        let mut prev = 0.0;
+        for k in 1..=10 {
+            let p = base.with_p(k as f64 / 10.0).unwrap();
+            let v = ObservedPrediction::new(&p).unwrap().visible_fraction;
+            assert!(v > prev, "V not monotone at p = {}", k as f64 / 10.0);
+            prev = v;
+        }
+        // V(1) ≤ 1 + slack (it is a fraction of the underlying
+        // normalization, which counts some populations at rate < 1).
+        assert!(prev <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Window-size invariance (Section III-A, point 4).
+//!
+//! "Importantly, for a given network, the parameters λ, C, L, U, and α
+//! should be the same regardless of the window size. As the window
+//! size increases, the only parameter that will change is p."
+//!
+//! [`InvarianceSweep`] runs the estimation pipeline over a sweep of
+//! window sizes against the *same* underlying network (analytically or
+//! by simulation) and reports how stable the recovered invariants are.
+//! Experiment E-A3 regenerates the paper-level claim from this module.
+
+use crate::analytic::ObservedPrediction;
+use crate::estimate::PaluEstimator;
+use crate::params::PaluParams;
+use palu_stats::error::StatsError;
+use palu_stats::histogram::DegreeHistogram;
+use serde::{Deserialize, Serialize};
+
+/// One row of a sweep: the window `p` and the parameters recovered at
+/// that window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvarianceRow {
+    /// Window parameter used.
+    pub p: f64,
+    /// Recovered underlying parameters at this window.
+    pub recovered: PaluParams,
+}
+
+/// Result of an invariance sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvarianceReport {
+    /// The ground-truth parameters the sweep was generated from.
+    pub truth: PaluParams,
+    /// Per-window recoveries.
+    pub rows: Vec<InvarianceRow>,
+}
+
+/// Relative spread (max − min) / mean of a sequence; 0 for constants.
+fn relative_spread(values: impl Iterator<Item = f64> + Clone) -> f64 {
+    let (mut min, mut max, mut sum, mut n) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0usize);
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+        n += 1;
+    }
+    if n == 0 || sum == 0.0 {
+        return 0.0;
+    }
+    (max - min) / (sum / n as f64)
+}
+
+impl InvarianceReport {
+    /// Relative spread of each invariant across the sweep:
+    /// `(C, L, U, λ, α)`.
+    pub fn spreads(&self) -> (f64, f64, f64, f64, f64) {
+        (
+            relative_spread(self.rows.iter().map(|r| r.recovered.core)),
+            relative_spread(self.rows.iter().map(|r| r.recovered.leaves)),
+            relative_spread(self.rows.iter().map(|r| r.recovered.unattached)),
+            relative_spread(self.rows.iter().map(|r| r.recovered.lambda)),
+            relative_spread(self.rows.iter().map(|r| r.recovered.alpha)),
+        )
+    }
+
+    /// Worst relative spread across all five invariants.
+    pub fn worst_spread(&self) -> f64 {
+        let (a, b, c, d, e) = self.spreads();
+        a.max(b).max(c).max(d).max(e)
+    }
+}
+
+/// Sweep driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvarianceSweep {
+    /// Estimator used at each window.
+    pub estimator: PaluEstimator,
+}
+
+impl InvarianceSweep {
+    /// Analytic sweep: at each `p`, build the model-predicted degree
+    /// histogram (scaled to `n` nodes) and run the estimator on it.
+    /// Measures the pipeline's intrinsic (noise-free) invariance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors (e.g. a `p` so small the tail
+    /// vanishes).
+    pub fn analytic(
+        &self,
+        truth: &PaluParams,
+        ps: &[f64],
+        n: u64,
+        d_max: u64,
+    ) -> Result<InvarianceReport, StatsError> {
+        let mut rows = Vec::with_capacity(ps.len());
+        for &p in ps {
+            let at_p = truth.with_p(p)?;
+            let pred = ObservedPrediction::new(&at_p)?;
+            let mut h = DegreeHistogram::new();
+            for d in 1..=d_max {
+                let count = (pred.degree_fraction(d) * n as f64).round() as u64;
+                if count > 0 {
+                    h.increment(d, count);
+                }
+            }
+            let (_, recovered) = self.estimator.estimate_underlying(&h, p)?;
+            rows.push(InvarianceRow { p, recovered });
+        }
+        Ok(InvarianceReport {
+            truth: *truth,
+            rows,
+        })
+    }
+
+    /// Simulated sweep: generate one underlying network, observe it at
+    /// each `p` (fresh sampling randomness per window), estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation and estimation errors.
+    pub fn simulated(
+        &self,
+        truth: &PaluParams,
+        ps: &[f64],
+        n: u64,
+        seed: u64,
+    ) -> Result<InvarianceReport, StatsError> {
+        use palu_graph::sample::ObservedNetwork;
+        use palu_stats::rng::SeedSequence;
+        let seq = SeedSequence::new(seed);
+        let net = truth
+            .generator(n)?
+            .generate(&mut seq.rng(palu_stats::rng::streams::CORE));
+        let mut rows = Vec::with_capacity(ps.len());
+        for (i, &p) in ps.iter().enumerate() {
+            let mut rng = seq.rng(palu_stats::rng::streams::SAMPLING + 100 * i as u64);
+            let obs = ObservedNetwork::observe(&net, p, &mut rng);
+            // Simulated data is genuinely edge-thinned, so the exact
+            // pipeline applies (the paper-formula pipeline drifts with
+            // p — see EXPERIMENTS.md E-A3).
+            let (_, recovered) = self
+                .estimator
+                .estimate_exact(&obs.degree_histogram(), p)?;
+            rows.push(InvarianceRow { p, recovered });
+        }
+        Ok(InvarianceReport {
+            truth: *truth,
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> PaluParams {
+        PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap()
+    }
+
+    #[test]
+    fn analytic_sweep_is_tightly_invariant() {
+        let report = InvarianceSweep::default()
+            .analytic(&truth(), &[0.3, 0.5, 0.7, 0.9], 100_000_000, 1 << 14)
+            .unwrap();
+        assert_eq!(report.rows.len(), 4);
+        // Each recovered row should be near the truth.
+        for row in &report.rows {
+            assert!(
+                (row.recovered.core - 0.5).abs() < 0.08,
+                "p={}: C={}",
+                row.p,
+                row.recovered.core
+            );
+            assert!(
+                (row.recovered.lambda - 3.0).abs() < 0.5,
+                "p={}: λ={}",
+                row.p,
+                row.recovered.lambda
+            );
+        }
+        // And the spread across windows is small.
+        assert!(
+            report.worst_spread() < 0.25,
+            "worst spread {}",
+            report.worst_spread()
+        );
+    }
+
+    #[test]
+    fn simulated_sweep_recovers_invariants() {
+        // The star-side parameters are identifiable when the observed
+        // Poisson bump clears the core, λp ≳ 1.5 (see the adaptive
+        // residual window in `estimate`); sweep within that envelope.
+        let report = InvarianceSweep::default()
+            .simulated(&truth(), &[0.6, 0.75, 0.9], 200_000, 99)
+            .unwrap();
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(
+                (row.recovered.lambda - 3.0).abs() < 1.0,
+                "p={}: λ={}",
+                row.p,
+                row.recovered.lambda
+            );
+            assert!(
+                (row.recovered.alpha - 2.0).abs() < 0.15,
+                "p={}: α={}",
+                row.p,
+                row.recovered.alpha
+            );
+            assert!(
+                (row.recovered.core - 0.5).abs() < 0.12,
+                "p={}: C={}",
+                row.p,
+                row.recovered.core
+            );
+        }
+    }
+
+    #[test]
+    fn small_window_reports_stars_absent_not_garbage() {
+        // Below the identifiability envelope (λp ≈ 1.2 at p = 0.4 for
+        // λ = 3) the estimator must degrade to "no star population"
+        // with the mass absorbed by leaves — never to absurd values.
+        let report = InvarianceSweep::default()
+            .simulated(&truth(), &[0.4], 200_000, 99)
+            .unwrap();
+        let rec = report.rows[0].recovered;
+        assert!(
+            rec.lambda == 0.0 || (rec.lambda - 3.0).abs() < 1.5,
+            "λ {}",
+            rec.lambda
+        );
+        assert!(rec.unattached < 0.5, "U {}", rec.unattached);
+        assert!((rec.alpha - 2.0).abs() < 0.15, "α {}", rec.alpha);
+    }
+
+    #[test]
+    fn relative_spread_behaviour() {
+        assert_eq!(relative_spread([2.0, 2.0, 2.0].into_iter()), 0.0);
+        let s = relative_spread([1.0, 2.0, 3.0].into_iter());
+        assert!((s - 1.0).abs() < 1e-12); // (3−1)/2
+        assert_eq!(relative_spread(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn spreads_report_all_five_invariants() {
+        let report = InvarianceSweep::default()
+            .analytic(&truth(), &[0.4, 0.8], 100_000_000, 1 << 14)
+            .unwrap();
+        let (c, l, u, lam, alpha) = report.spreads();
+        for (name, v) in [("C", c), ("L", l), ("U", u), ("λ", lam), ("α", alpha)] {
+            assert!((0.0..0.5).contains(&v), "{name} spread {v}");
+        }
+    }
+}

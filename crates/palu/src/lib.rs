@@ -1,0 +1,76 @@
+//! # PALU: Preferential Attachment + Leaves + Unattached links
+//!
+//! A from-scratch implementation of the hybrid power-law network-traffic
+//! model of Devlin, Kepner, Luo & Meger, *Hybrid Power-Law Models of
+//! Network Traffic* (2021).
+//!
+//! The paper's thesis: streaming Internet traffic is not a pure
+//! preferential-attachment (PA) network. Trunk-line observatories see
+//! large populations of **leaves** (degree-1 nodes hanging off the PA
+//! core) and **unattached links** (tiny star components disconnected
+//! from the core) that webcrawl-sampled datasets miss. The PALU model
+//! adds those populations to PA explicitly and observes the result
+//! through Erdős–Rényi edge sampling with retention probability `p`
+//! (the *window size* parameter).
+//!
+//! ## Crate map
+//!
+//! * [`params`] — the five model parameters `(λ, C, L, U, α)` plus the
+//!   window parameter `p`, under the Section III constraint
+//!   `C + L + U(1 + λ − e^{−λ}) = 1`.
+//! * [`analytic`] — the Section IV closed-form predictions for the
+//!   observed network (visible fraction `V`, role fractions, degree
+//!   distribution).
+//! * [`simplified`] — the Section IV-B constants `(c, l, u, Λ)` and the
+//!   simplified degree laws (Equations 2–4).
+//! * [`estimate`] — the Section IV-B parameter-estimation pipeline:
+//!   tail regression → moment-ratio `Λ` solve → `u` → `l`.
+//! * [`zm`] — the modified Zipf–Mandelbrot model
+//!   `p(d; α, δ) ∝ 1/(d + δ)^α` of Section II-B.
+//! * [`zm_fit`] — fitting `(α, δ)` to pooled differential cumulative
+//!   distributions (the paper's objective), with KS and log-space
+//!   ablation objectives.
+//! * [`zm_connection`] — the Section VI bridge: the one-parameter
+//!   `PALU(d) ∝ d^{−α} + r^{1−d}((1+δ)^{−α} − 1)` family (Equation 5)
+//!   and the `δ ↔ (U/C, λ, p)` correspondence.
+//! * [`invariance`] — the Section III claim that `(λ, C, L, U, α)` are
+//!   window-size invariant while only `p` moves.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use palu::params::PaluParams;
+//! use palu::analytic::ObservedPrediction;
+//!
+//! // A network that is mostly core by node count, observed through a
+//! // window that captures 30% of underlying edges.
+//! let params = PaluParams::from_core_leaf_fractions(0.5, 0.2, 1.5, 2.0, 0.3).unwrap();
+//! let pred = ObservedPrediction::new(&params).unwrap();
+//! // The model predicts what fraction of visible nodes have degree 1:
+//! assert!(pred.degree_one_fraction > 0.3);
+//! // And the full degree law:
+//! let f5 = pred.degree_fraction(5);
+//! assert!(f5 > 0.0 && f5 < pred.degree_one_fraction);
+//! ```
+
+pub mod analytic;
+pub mod estimate;
+pub mod invariance;
+pub mod params;
+pub mod simplified;
+pub mod zm;
+pub mod zm_connection;
+pub mod zm_fit;
+
+pub use analytic::ObservedPrediction;
+pub use params::PaluParams;
+pub use simplified::SimplifiedParams;
+pub use zm::ZipfMandelbrot;
+pub use zm_connection::PaluCurve;
+pub use zm_fit::{FitObjective, ZmFit, ZmFitter};
+
+/// Errors from this crate are the statistical substrate's errors.
+pub use palu_stats::StatsError as Error;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;

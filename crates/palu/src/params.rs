@@ -1,0 +1,313 @@
+//! The PALU model parameters.
+//!
+//! Section III-A defines the model by:
+//!
+//! 1. `λ ∈ [0, 20]` — mean degree of the unattached stars;
+//! 2. proportions `C, L, U` of core, leaf, and unattached(-star)
+//!    populations, constrained by `C + L + U(1 + λ − e^{−λ}) = 1`
+//!    (the `U`-section contributes `1 + λ` expected nodes per star,
+//!    minus the `e^{−λ}` invisible isolated centers);
+//! 3. `α ∈ [1.5, 3]` — core power-law exponent;
+//! 4. `p ∈ [0, 1]` — edge-retention (window size) probability.
+//!
+//! "Importantly, for a given network, the parameters λ, C, L, U, and α
+//! should be the same regardless of the window size. As the window size
+//! increases, the only parameter that will change is p."
+
+use palu_graph::palu_gen::PaluGenerator;
+use palu_stats::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for the Section III constraint check.
+pub const CONSTRAINT_TOL: f64 = 1e-9;
+
+/// Paper range for the core exponent.
+pub const ALPHA_RANGE: (f64, f64) = (1.5, 3.0);
+
+/// Paper range for the star rate.
+pub const LAMBDA_RANGE: (f64, f64) = (0.0, 20.0);
+
+/// The full PALU parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaluParams {
+    /// Core proportion `C`.
+    pub core: f64,
+    /// Leaf proportion `L`.
+    pub leaves: f64,
+    /// Unattached star proportion `U` (star *centers* per node).
+    pub unattached: f64,
+    /// Mean star size `λ`.
+    pub lambda: f64,
+    /// Core power-law exponent `α`.
+    pub alpha: f64,
+    /// Window (edge-retention) probability `p`.
+    pub p: f64,
+}
+
+impl PaluParams {
+    /// The constraint combination `C + L + U(1 + λ − e^{−λ})`; valid
+    /// parameters make this 1.
+    pub fn constraint_value(core: f64, leaves: f64, unattached: f64, lambda: f64) -> f64 {
+        core + leaves + unattached * (1.0 + lambda - (-lambda).exp())
+    }
+
+    /// Create a parameter set, validating ranges and the Section III
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] when any proportion is negative, `α` or
+    /// `λ` leave the paper's ranges, `p ∉ [0, 1]`, or the constraint
+    /// is violated beyond [`CONSTRAINT_TOL`].
+    pub fn new(
+        core: f64,
+        leaves: f64,
+        unattached: f64,
+        lambda: f64,
+        alpha: f64,
+        p: f64,
+    ) -> Result<Self, StatsError> {
+        if core < 0.0 || leaves < 0.0 || unattached < 0.0 {
+            return Err(StatsError::domain(
+                "PaluParams::new",
+                format!("proportions must be non-negative: C={core}, L={leaves}, U={unattached}"),
+            ));
+        }
+        if !(LAMBDA_RANGE.0..=LAMBDA_RANGE.1).contains(&lambda) {
+            return Err(StatsError::domain(
+                "PaluParams::new",
+                format!("lambda must be in [{}, {}], got {lambda}", LAMBDA_RANGE.0, LAMBDA_RANGE.1),
+            ));
+        }
+        if !(ALPHA_RANGE.0..=ALPHA_RANGE.1).contains(&alpha) {
+            return Err(StatsError::domain(
+                "PaluParams::new",
+                format!("alpha must be in [{}, {}], got {alpha}", ALPHA_RANGE.0, ALPHA_RANGE.1),
+            ));
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::domain(
+                "PaluParams::new",
+                format!("p must be in [0, 1], got {p}"),
+            ));
+        }
+        let cv = Self::constraint_value(core, leaves, unattached, lambda);
+        // NaN-safe check: `!(… <= tol)` rejects NaN constraint values
+        // (e.g. an infinite U multiplied by a zero star coefficient).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !((cv - 1.0).abs() <= CONSTRAINT_TOL) {
+            return Err(StatsError::domain(
+                "PaluParams::new",
+                format!("constraint C + L + U(1 + λ − e^-λ) = 1 violated: got {cv}"),
+            ));
+        }
+        Ok(PaluParams {
+            core,
+            leaves,
+            unattached,
+            lambda,
+            alpha,
+            p,
+        })
+    }
+
+    /// Create from free choices of `C` and `L`, solving the constraint
+    /// for `U = (1 − C − L) / (1 + λ − e^{−λ})`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] if `C + L > 1` (no room for the
+    /// unattached section) or any other range check fails.
+    pub fn from_core_leaf_fractions(
+        core: f64,
+        leaves: f64,
+        lambda: f64,
+        alpha: f64,
+        p: f64,
+    ) -> Result<Self, StatsError> {
+        let remainder = 1.0 - core - leaves;
+        if remainder < -CONSTRAINT_TOL {
+            return Err(StatsError::domain(
+                "PaluParams::from_core_leaf_fractions",
+                format!("C + L = {} exceeds 1", core + leaves),
+            ));
+        }
+        let denom = 1.0 + lambda - (-lambda).exp();
+        // Snap FP dust to an exact zero, and reject the degenerate
+        // λ = 0 case with leftover mass: zero-size stars contribute no
+        // visible nodes, so no finite U can absorb the remainder.
+        let unattached = if remainder <= CONSTRAINT_TOL {
+            0.0
+        } else if denom <= CONSTRAINT_TOL {
+            return Err(StatsError::domain(
+                "PaluParams::from_core_leaf_fractions",
+                format!(
+                    "lambda = {lambda} gives stars no visible nodes; C + L must equal 1"
+                ),
+            ));
+        } else {
+            remainder / denom
+        };
+        // When U was snapped to 0, re-normalize C so the constraint
+        // holds exactly.
+        let core = if unattached == 0.0 {
+            1.0 - leaves
+        } else {
+            core
+        };
+        Self::new(core, leaves, unattached, lambda, alpha, p)
+    }
+
+    /// The same network observed through a different window size.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] if `p ∉ [0, 1]`.
+    pub fn with_p(&self, p: f64) -> Result<Self, StatsError> {
+        Self::new(
+            self.core,
+            self.leaves,
+            self.unattached,
+            self.lambda,
+            self.alpha,
+            p,
+        )
+    }
+
+    /// Expected *isolated* (invisible) fraction of the underlying
+    /// population: `U·e^{−λ}`.
+    pub fn isolated_fraction(&self) -> f64 {
+        self.unattached * (-self.lambda).exp()
+    }
+
+    /// Split a visible-node budget `n` into generator counts
+    /// `(n_core, n_leaves, n_star_centers)`.
+    ///
+    /// The constraint normalizes *expected visible* nodes to 1, so the
+    /// counts below reproduce the proportions in expectation. Star
+    /// centers are counted whole (`U·n`), their Poisson leaves arrive
+    /// at generation time.
+    pub fn node_counts(&self, n: u64) -> (u32, u32, u32) {
+        let n_core = (self.core * n as f64).round() as u32;
+        let n_leaves = (self.leaves * n as f64).round() as u32;
+        let n_centers = (self.unattached * n as f64).round() as u32;
+        (n_core.max(2), n_leaves, n_centers)
+    }
+
+    /// Build the matching underlying-network generator for a
+    /// visible-node budget `n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation (e.g. a core too small for the
+    /// requested budget).
+    pub fn generator(&self, n: u64) -> Result<PaluGenerator, StatsError> {
+        let (n_core, n_leaves, n_centers) = self.node_counts(n);
+        PaluGenerator::new(n_core, n_leaves, n_centers, self.alpha, self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_is_enforced() {
+        // Valid: C + L + U(1 + λ − e^-λ) = 1.
+        let lambda = 2.0f64;
+        let denom = 1.0 + lambda - (-lambda).exp();
+        let u = 0.3 / denom;
+        assert!(PaluParams::new(0.5, 0.2, u, lambda, 2.0, 0.5).is_ok());
+        // Violated: plain C + L + U = 1 is *not* the constraint.
+        assert!(PaluParams::new(0.5, 0.2, 0.3, lambda, 2.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn from_core_leaf_solves_u() {
+        let p = PaluParams::from_core_leaf_fractions(0.6, 0.25, 1.0, 2.5, 0.4).unwrap();
+        let cv = PaluParams::constraint_value(p.core, p.leaves, p.unattached, p.lambda);
+        assert!((cv - 1.0).abs() < 1e-12);
+        assert!(p.unattached > 0.0);
+        // C + L = 1 → U = 0.
+        let p = PaluParams::from_core_leaf_fractions(0.7, 0.3, 1.0, 2.0, 0.5).unwrap();
+        assert_eq!(p.unattached, 0.0);
+        // C + L > 1 → error.
+        assert!(PaluParams::from_core_leaf_fractions(0.8, 0.3, 1.0, 2.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn range_validation() {
+        let mk = |lambda: f64, alpha: f64, p: f64| {
+            PaluParams::from_core_leaf_fractions(0.5, 0.2, lambda, alpha, p)
+        };
+        assert!(mk(-0.1, 2.0, 0.5).is_err());
+        assert!(mk(21.0, 2.0, 0.5).is_err());
+        assert!(mk(1.0, 1.4, 0.5).is_err());
+        assert!(mk(1.0, 3.1, 0.5).is_err());
+        assert!(mk(1.0, 2.0, -0.1).is_err());
+        assert!(mk(1.0, 2.0, 1.1).is_err());
+        // Boundary values are allowed (λ = 0 needs C + L = 1).
+        assert!(PaluParams::from_core_leaf_fractions(0.8, 0.2, 0.0, 1.5, 0.0).is_ok());
+        assert!(mk(20.0, 3.0, 1.0).is_ok());
+        // Negative proportions rejected.
+        assert!(PaluParams::new(-0.1, 0.5, 0.2, 1.0, 2.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn with_p_changes_only_p() {
+        let a = PaluParams::from_core_leaf_fractions(0.5, 0.2, 1.5, 2.0, 0.3).unwrap();
+        let b = a.with_p(0.9).unwrap();
+        assert_eq!(a.core, b.core);
+        assert_eq!(a.leaves, b.leaves);
+        assert_eq!(a.unattached, b.unattached);
+        assert_eq!(a.lambda, b.lambda);
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(b.p, 0.9);
+        assert!(a.with_p(2.0).is_err());
+    }
+
+    #[test]
+    fn isolated_fraction() {
+        let p = PaluParams::from_core_leaf_fractions(0.5, 0.2, 2.0, 2.0, 0.5).unwrap();
+        let expected = p.unattached * (-2.0f64).exp();
+        assert!((p.isolated_fraction() - expected).abs() < 1e-15);
+        // λ = 0 with leftover mass is degenerate: no finite U absorbs
+        // it, since zero-size stars are invisible.
+        assert!(PaluParams::from_core_leaf_fractions(0.5, 0.2, 0.0, 2.0, 0.5).is_err());
+        // λ = 0 with C + L = 1 is fine; U (and the isolated fraction)
+        // must come out zero.
+        let p0 = PaluParams::from_core_leaf_fractions(0.8, 0.2, 0.0, 2.0, 0.5).unwrap();
+        assert_eq!(p0.unattached, 0.0);
+        assert_eq!(p0.isolated_fraction(), 0.0);
+    }
+
+    #[test]
+    fn node_counts_scale_with_budget() {
+        let p = PaluParams::from_core_leaf_fractions(0.5, 0.2, 1.5, 2.0, 0.3).unwrap();
+        let (c, l, u) = p.node_counts(100_000);
+        assert_eq!(c, 50_000);
+        assert_eq!(l, 20_000);
+        assert!((u as f64 - p.unattached * 100_000.0).abs() < 1.0);
+        // Tiny budgets still produce a viable core.
+        let (c, _, _) = p.node_counts(1);
+        assert!(c >= 2);
+    }
+
+    #[test]
+    fn generator_round_trip() {
+        let p = PaluParams::from_core_leaf_fractions(0.5, 0.2, 1.5, 2.0, 0.3).unwrap();
+        let gen = p.generator(10_000).unwrap();
+        assert_eq!(gen.alpha, 2.0);
+        assert_eq!(gen.lambda, 1.5);
+        assert_eq!(gen.n_core, 5_000);
+        assert_eq!(gen.n_leaves, 2_000);
+    }
+
+    #[test]
+    fn copy_and_eq_semantics() {
+        let p = PaluParams::from_core_leaf_fractions(0.5, 0.2, 1.5, 2.0, 0.3).unwrap();
+        let q = p; // Copy
+        assert_eq!(p, q);
+        assert_ne!(p, p.with_p(0.31).unwrap());
+    }
+}

@@ -1,0 +1,389 @@
+//! The Section IV-B simplified degree distributions.
+//!
+//! The paper compresses the observed degree law into four constants
+//! that "do not depend on d":
+//!
+//! ```text
+//! c = C·p^α / (ζ(α)·V)      l = L·p / V
+//! u = U·e^{−λp} / V         Λ = e·λ·p
+//! ```
+//!
+//! with the simplified laws (Equations 2–4):
+//!
+//! ```text
+//! d = 1 :  f(1) ≈ c + l + u·(…)        (leaf + unattached mass)
+//! d ≥ 2 :  f(d) ≈ c·d^{−α} + u·(Λ/d)^d
+//! d ≥ 10:  f(d) ≈ c·d^{−α}
+//! ```
+//!
+//! The `(Λ/d)^d` term is the Stirling-collapsed Poisson
+//! `(λp)^d/d! ≈ (eλp/d)^d / √(2πd)`; this module provides both the
+//! paper's `(Λ/d)^d` form and the exact Poisson form, and the tests
+//! quantify the gap. The inverse map [`SimplifiedParams::to_underlying`]
+//! recovers `(C, L, U, λ)` from `(c, l, u, Λ)` given `p` — the final
+//! step of the estimation pipeline.
+
+use crate::params::PaluParams;
+use crate::ObservedPrediction;
+use palu_stats::error::StatsError;
+use palu_stats::special::{ln_factorial, riemann_zeta};
+use serde::{Deserialize, Serialize};
+
+/// Which amplitude law relates the fitted tail constant `c` to the
+/// underlying core proportion `C`.
+///
+/// The paper's Section IV degree law uses `c = C·p^α/(ζ(α)·V)`, but the
+/// exact Binomial-thinning computation
+/// ([`crate::analytic::thinned_core_pmf`]) — and simulation (E-A1) —
+/// give a tail amplitude of `C·p^{α−1}/(ζ(α)·V)`: each observed degree
+/// `d` collects the underlying degrees in a bucket of width `1/p`
+/// around `d/p`. The paper's own visible-core term in `V` integrates
+/// to the `p^{α−1}` form, so we read the `p^α` as an internal
+/// inconsistency of the paper and default data-facing inversions to
+/// [`AmplitudeConvention::Thinned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AmplitudeConvention {
+    /// `c = C·p^α/(ζ(α)·V)` — the formula as published.
+    Paper,
+    /// `c = C·p^{α−1}/(ζ(α)·V)` — exact-thinning asymptotics.
+    Thinned,
+}
+
+impl AmplitudeConvention {
+    /// The exponent on `p` in the amplitude law.
+    pub fn p_exponent(&self, alpha: f64) -> f64 {
+        match self {
+            AmplitudeConvention::Paper => alpha,
+            AmplitudeConvention::Thinned => alpha - 1.0,
+        }
+    }
+}
+
+/// The window-dependent constants `(c, l, u, Λ, α)` of Section IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimplifiedParams {
+    /// Core amplitude `c = C·p^α/(ζ(α)·V)`.
+    pub c: f64,
+    /// Leaf mass `l = L·p/V`.
+    pub l: f64,
+    /// Star-center amplitude `u = U·e^{−λp}/V`.
+    pub u: f64,
+    /// Poisson scale `Λ = e·λ·p`.
+    pub capital_lambda: f64,
+    /// Core exponent `α` (unchanged from the underlying model).
+    pub alpha: f64,
+}
+
+impl SimplifiedParams {
+    /// Compute the simplified constants from full parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `V` computation's domain error for `p = 0`.
+    pub fn from_params(params: &PaluParams) -> Result<Self, StatsError> {
+        let pred = ObservedPrediction::new(params)?;
+        let v = pred.visible_fraction;
+        let zeta_alpha = riemann_zeta(params.alpha)?;
+        let lp = params.lambda * params.p;
+        Ok(SimplifiedParams {
+            c: params.core * params.p.powf(params.alpha) / (zeta_alpha * v),
+            l: params.leaves * params.p / v,
+            u: params.unattached * (-lp).exp() / v,
+            capital_lambda: std::f64::consts::E * lp,
+            alpha: params.alpha,
+        })
+    }
+
+    /// Construct directly (estimation-pipeline output).
+    pub fn from_raw(c: f64, l: f64, u: f64, capital_lambda: f64, alpha: f64) -> Self {
+        SimplifiedParams {
+            c,
+            l,
+            u,
+            capital_lambda,
+            alpha,
+        }
+    }
+
+    /// The underlying Poisson mean `λp = Λ/e`.
+    pub fn lambda_p(&self) -> f64 {
+        self.capital_lambda / std::f64::consts::E
+    }
+
+    /// Equation (3) with the paper's `(Λ/d)^d` Stirling form, valid
+    /// for `d ≥ 2`.
+    pub fn degree_fraction_stirling(&self, d: u64) -> f64 {
+        debug_assert!(d >= 2);
+        self.c * (d as f64).powf(-self.alpha)
+            + self.u * (self.capital_lambda / d as f64).powf(d as f64)
+    }
+
+    /// Equation (3) with the exact Poisson term `u·(λp)^d/d!·e^{λp}`…
+    /// — i.e. the unattached-center contribution
+    /// `(U/V)·e^{−λp}·(λp)^d/d!`, which in simplified constants is
+    /// `u·(λp)^d/d!`. Valid for `d ≥ 2`.
+    pub fn degree_fraction_poisson(&self, d: u64) -> f64 {
+        debug_assert!(d >= 2);
+        let lp = self.lambda_p();
+        let star = if lp > 0.0 {
+            self.u * (d as f64 * lp.ln() - ln_factorial(d)).exp()
+        } else {
+            0.0
+        };
+        self.c * (d as f64).powf(-self.alpha) + star
+    }
+
+    /// Equation (4): the pure power-law tail `c·d^{−α}` (`d ≥ 10`).
+    pub fn degree_fraction_tail(&self, d: u64) -> f64 {
+        self.c * (d as f64).powf(-self.alpha)
+    }
+
+    /// Equation (2): the degree-1 fraction `c + l + (unattached d=1
+    /// mass)`. With exact Poisson accounting the unattached part is
+    /// `u·λp·(1 + e^{λp})` (observed star leaves `= (U/V)·λp =
+    /// u·λp·e^{λp}`, plus centers with exactly one observed leaf
+    /// `= u·λp`).
+    pub fn degree_one_fraction(&self) -> f64 {
+        let lp = self.lambda_p();
+        self.c + self.l + self.u * lp * (1.0 + lp.exp())
+    }
+
+    /// The moment ratio of the star residuals the estimation pipeline
+    /// inverts (Section IV-B):
+    ///
+    /// ```text
+    /// R(x) = Σ_{d≥2} d·r(d) / Σ_{d≥2} r(d) = x + x²/(eˣ − x − 1)
+    /// ```
+    ///
+    /// with `x = λp` and `r(d) = u·x^d/d!` the Poisson residual. (The
+    /// paper writes the ratio in terms of `Λ`; with the exact Poisson
+    /// residual the natural variable is `x = Λ/e`. The Taylor limit
+    /// `R(0⁺) = 2` matches the paper's small-`Λ` expansion `2 + Λ/3`
+    /// under `Λ → x`.)
+    pub fn moment_ratio(x: f64) -> f64 {
+        debug_assert!(x > 0.0);
+        if x < 1e-3 {
+            // Taylor: R(x) = 2 + x/3 + x²/18 + O(x³). The direct
+            // formula suffers catastrophic cancellation in eˣ − x − 1
+            // for small x; below 1e-3 the series is the accurate
+            // branch (error < 1e-10).
+            2.0 + x / 3.0 + x * x / 18.0
+        } else {
+            x + x * x / (x.exp() - x - 1.0)
+        }
+    }
+
+    /// Recover the window-invariant underlying parameters
+    /// `(C, L, U, λ)` from the simplified constants, given the window
+    /// `p` that produced them.
+    ///
+    /// Inversion: `λ = Λ/(e·p)`; then `C/V = c·ζ(α)/p^α`,
+    /// `L/V = l/p`, `U/V = u·e^{λp}`, and `V` follows from the
+    /// Section III constraint
+    /// `C + L + U(1 + λ − e^{−λ}) = 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] if `p ≤ 0` or the recovered proportions
+    /// fall outside the model's ranges (signals a bad fit upstream).
+    pub fn to_underlying(&self, p: f64) -> Result<PaluParams, StatsError> {
+        self.to_underlying_with(p, AmplitudeConvention::Paper)
+    }
+
+    /// [`SimplifiedParams::to_underlying`] with an explicit amplitude
+    /// convention for the `c → C` inversion (see
+    /// [`AmplitudeConvention`] for why data-facing pipelines should
+    /// prefer `Thinned`).
+    ///
+    /// # Errors
+    ///
+    /// As [`SimplifiedParams::to_underlying`].
+    pub fn to_underlying_with(
+        &self,
+        p: f64,
+        convention: AmplitudeConvention,
+    ) -> Result<PaluParams, StatsError> {
+        if p <= 0.0 {
+            return Err(StatsError::domain(
+                "SimplifiedParams::to_underlying",
+                "p must be positive",
+            ));
+        }
+        let lambda = self.capital_lambda / (std::f64::consts::E * p);
+        let zeta_alpha = riemann_zeta(self.alpha)?;
+        let c_over_v = self.c * zeta_alpha / p.powf(convention.p_exponent(self.alpha));
+        let l_over_v = self.l / p;
+        let u_over_v = self.u * (lambda * p).exp();
+        // Constraint: (C + L + U(1+λ−e^{−λ})) = 1 ⇒ V · (the same
+        // combination of the /V quantities) = 1.
+        let combo = c_over_v + l_over_v + u_over_v * (1.0 + lambda - (-lambda).exp());
+        if combo <= 0.0 {
+            return Err(StatsError::domain(
+                "SimplifiedParams::to_underlying",
+                "degenerate recovered parameters",
+            ));
+        }
+        let v = 1.0 / combo;
+        PaluParams::new(
+            c_over_v * v,
+            l_over_v * v,
+            u_over_v * v,
+            lambda,
+            self.alpha,
+            p,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PaluParams;
+
+    fn params() -> PaluParams {
+        PaluParams::from_core_leaf_fractions(0.5, 0.2, 1.5, 2.0, 0.3).unwrap()
+    }
+
+    #[test]
+    fn constants_match_definitions() {
+        let pr = params();
+        let s = SimplifiedParams::from_params(&pr).unwrap();
+        let pred = ObservedPrediction::new(&pr).unwrap();
+        let v = pred.visible_fraction;
+        let z = riemann_zeta(2.0).unwrap();
+        assert!((s.c - 0.5 * 0.3f64.powi(2) / (z * v)).abs() < 1e-12);
+        assert!((s.l - 0.2 * 0.3 / v).abs() < 1e-12);
+        let lp: f64 = 1.5 * 0.3;
+        assert!((s.u - pr.unattached * (-lp).exp() / v).abs() < 1e-12);
+        assert!((s.capital_lambda - std::f64::consts::E * lp).abs() < 1e-12);
+        assert!((s.lambda_p() - lp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_form_matches_analytic_prediction() {
+        // degree_fraction_poisson must agree with the analytic
+        // module's exact degree_fraction for d ≥ 2.
+        let pr = params();
+        let s = SimplifiedParams::from_params(&pr).unwrap();
+        let pred = ObservedPrediction::new(&pr).unwrap();
+        for d in 2..50u64 {
+            let a = s.degree_fraction_poisson(d);
+            let b = pred.degree_fraction(d);
+            assert!(
+                ((a - b) / b).abs() < 1e-10,
+                "d={d}: simplified {a}, analytic {b}"
+            );
+        }
+        // And the degree-1 laws agree.
+        assert!(
+            ((s.degree_one_fraction() - pred.degree_one_fraction)
+                / pred.degree_one_fraction)
+                .abs()
+                < 1e-10
+        );
+    }
+
+    #[test]
+    fn stirling_form_tracks_poisson_form() {
+        // The paper's (Λ/d)^d form is the Poisson term without the
+        // √(2πd) Stirling correction — it *overestimates* by that
+        // factor, which the paper deems acceptable. Verify the ratio
+        // is exactly √(2πd)-ish (within Stirling's 1/(12d) series).
+        let pr = PaluParams::from_core_leaf_fractions(0.1, 0.1, 10.0, 2.0, 0.8).unwrap();
+        let s = SimplifiedParams::from_params(&pr).unwrap();
+        for d in [4u64, 8, 16] {
+            let star_stirling =
+                s.u * (s.capital_lambda / d as f64).powf(d as f64);
+            let lp = s.lambda_p();
+            let star_poisson = s.u * (d as f64 * lp.ln() - ln_factorial(d)).exp();
+            let ratio = star_stirling / star_poisson;
+            let stirling_factor = (2.0 * std::f64::consts::PI * d as f64).sqrt();
+            assert!(
+                (ratio / stirling_factor - 1.0).abs() < 0.05,
+                "d={d}: ratio {ratio} vs √(2πd) = {stirling_factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_form_converges_to_full_form() {
+        let s = SimplifiedParams::from_params(&params()).unwrap();
+        for d in [10u64, 20, 100] {
+            let full = s.degree_fraction_poisson(d);
+            let tail = s.degree_fraction_tail(d);
+            assert!(
+                ((full - tail) / full).abs() < 1e-3,
+                "d={d}: full {full}, tail {tail}"
+            );
+        }
+    }
+
+    #[test]
+    fn moment_ratio_properties() {
+        // R(x) = x + x²/(eˣ−x−1): R(0⁺) = 2, strictly increasing,
+        // R(x) → x + small as x → ∞.
+        assert!((SimplifiedParams::moment_ratio(1e-9) - 2.0).abs() < 1e-6);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.2;
+            let r = SimplifiedParams::moment_ratio(x);
+            assert!(r > prev, "not increasing at x={x}");
+            prev = r;
+        }
+        // Known value: x = 2 ⇒ R = 2 + 4/(e²−3).
+        let expected = 2.0 + 4.0 / (2f64.exp() - 3.0);
+        assert!((SimplifiedParams::moment_ratio(2.0) - expected).abs() < 1e-12);
+        // Taylor branch continuity at the 1e-3 switch.
+        let below = SimplifiedParams::moment_ratio(0.9999e-3);
+        let above = SimplifiedParams::moment_ratio(1.0001e-3);
+        assert!((below - above).abs() < 1e-6, "gap {}", (below - above).abs());
+    }
+
+    #[test]
+    fn moment_ratio_matches_brute_force_poisson_sums() {
+        // Verify R(x) against direct Σ d·x^d/d! / Σ x^d/d! over d ≥ 2.
+        for &x in &[0.3f64, 1.0, 2.5, 6.0] {
+            let mut s0 = 0.0;
+            let mut s1 = 0.0;
+            let mut term = x; // x^1/1!
+            for d in 2..200u64 {
+                term *= x / d as f64; // now x^d/d!
+                s0 += term;
+                s1 += d as f64 * term;
+            }
+            let brute = s1 / s0;
+            let formula = SimplifiedParams::moment_ratio(x);
+            assert!(
+                (brute - formula).abs() < 1e-9,
+                "x={x}: brute {brute}, formula {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_underlying_round_trips() {
+        // params → simplified → params must be the identity.
+        for &(c0, l0, lam, alpha, p) in &[
+            (0.5, 0.2, 1.5, 2.0, 0.3),
+            (0.7, 0.1, 3.0, 2.5, 0.8),
+            (0.2, 0.1, 8.0, 1.7, 0.1),
+        ] {
+            let pr = PaluParams::from_core_leaf_fractions(c0, l0, lam, alpha, p).unwrap();
+            let s = SimplifiedParams::from_params(&pr).unwrap();
+            let back = s.to_underlying(p).unwrap();
+            assert!((back.core - pr.core).abs() < 1e-9, "C: {back:?}");
+            assert!((back.leaves - pr.leaves).abs() < 1e-9);
+            assert!((back.unattached - pr.unattached).abs() < 1e-9);
+            assert!((back.lambda - pr.lambda).abs() < 1e-9);
+            assert_eq!(back.alpha, pr.alpha);
+        }
+    }
+
+    #[test]
+    fn to_underlying_validates() {
+        let s = SimplifiedParams::from_raw(0.1, 0.1, 0.05, 2.0, 2.0);
+        assert!(s.to_underlying(0.0).is_err());
+        assert!(s.to_underlying(-0.5).is_err());
+        assert!(s.to_underlying(0.5).is_ok());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the PALU model layer: parameter algebra,
+//! model identities, and fit/inversion round trips over randomly drawn
+//! parameter sets.
+
+use palu::analytic::ObservedPrediction;
+use palu::params::PaluParams;
+use palu::simplified::{AmplitudeConvention, SimplifiedParams};
+use palu::zm::ZipfMandelbrot;
+use palu::zm_connection::PaluCurve;
+use proptest::prelude::*;
+
+/// Strategy over valid PALU parameter sets (C + L < 1, paper ranges).
+fn valid_params() -> impl Strategy<Value = PaluParams> {
+    (
+        0.05f64..0.8,  // core
+        0.0f64..0.5,   // leaves (bounded so C + L < 1 usually)
+        0.1f64..10.0,  // lambda
+        1.5f64..3.0,   // alpha
+        0.05f64..1.0,  // p
+    )
+        .prop_filter_map("C+L must leave room", |(c, l, lam, a, p)| {
+            if c + l >= 0.999 {
+                return None;
+            }
+            PaluParams::from_core_leaf_fractions(c, l, lam, a, p).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn constraint_always_holds(params in valid_params()) {
+        let cv = PaluParams::constraint_value(
+            params.core,
+            params.leaves,
+            params.unattached,
+            params.lambda,
+        );
+        prop_assert!((cv - 1.0).abs() < 1e-9);
+        prop_assert!(params.unattached >= 0.0);
+        prop_assert!(params.isolated_fraction() <= params.unattached);
+    }
+
+    #[test]
+    fn with_p_preserves_invariants(params in valid_params(), p2 in 0.05f64..1.0) {
+        let moved = params.with_p(p2).unwrap();
+        prop_assert_eq!(moved.core, params.core);
+        prop_assert_eq!(moved.leaves, params.leaves);
+        prop_assert_eq!(moved.unattached, params.unattached);
+        prop_assert_eq!(moved.lambda, params.lambda);
+        prop_assert_eq!(moved.alpha, params.alpha);
+        prop_assert_eq!(moved.p, p2);
+    }
+
+    #[test]
+    fn role_fractions_partition(params in valid_params()) {
+        let pred = ObservedPrediction::new(&params).unwrap();
+        let total = pred.core_fraction + pred.leaf_fraction + pred.unattached_fraction;
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(pred.core_fraction >= 0.0);
+        prop_assert!(pred.unattached_link_fraction <= pred.unattached_fraction + 1e-12);
+        prop_assert!(pred.degree_one_fraction > 0.0);
+        prop_assert!(pred.visible_fraction > 0.0);
+    }
+
+    #[test]
+    fn degree_law_decreases_beyond_the_bump(params in valid_params()) {
+        let pred = ObservedPrediction::new(&params).unwrap();
+        // Beyond max(λp, 2)+ a margin, the law is strictly decreasing.
+        let start = (params.lambda * params.p).ceil() as u64 + 3;
+        let mut prev = pred.degree_fraction(start);
+        for d in (start + 1)..(start + 40) {
+            let cur = pred.degree_fraction(d);
+            prop_assert!(cur <= prev * (1.0 + 1e-12), "d={d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn simplified_round_trip_both_conventions(params in valid_params()) {
+        let s = SimplifiedParams::from_params(&params).unwrap();
+        // Paper convention round-trips exactly (matching construction).
+        let back = s.to_underlying_with(params.p, AmplitudeConvention::Paper).unwrap();
+        prop_assert!((back.core - params.core).abs() < 1e-6);
+        prop_assert!((back.leaves - params.leaves).abs() < 1e-6);
+        prop_assert!((back.lambda - params.lambda).abs() < 1e-6);
+        // Thinned convention divides the amplitude by p^{α−1} instead
+        // of p^α — a smaller correction, so the recovered core
+        // proportion is LOWER (the Paper convention over-attributes
+        // tail mass to the core on thinned data). Still a valid set.
+        let thinned = s.to_underlying_with(params.p, AmplitudeConvention::Thinned).unwrap();
+        let cv = PaluParams::constraint_value(
+            thinned.core,
+            thinned.leaves,
+            thinned.unattached,
+            thinned.lambda,
+        );
+        prop_assert!((cv - 1.0).abs() < 1e-9);
+        prop_assert!(thinned.core <= back.core + 1e-9);
+    }
+
+    #[test]
+    fn moment_ratio_is_increasing_and_above_two(x in 1e-4f64..40.0, dx in 1e-3f64..5.0) {
+        let r1 = SimplifiedParams::moment_ratio(x);
+        let r2 = SimplifiedParams::moment_ratio(x + dx);
+        prop_assert!(r1 > 2.0);
+        prop_assert!(r2 > r1);
+    }
+
+    #[test]
+    fn zm_pmf_is_normalized_and_ordered(alpha in 0.5f64..4.0, delta in -0.9f64..10.0,
+                                        dmax_exp in 4u32..12) {
+        let d_max = 1u64 << dmax_exp;
+        let zm = ZipfMandelbrot::new(alpha, delta, d_max).unwrap();
+        let total: f64 = (1..=d_max).map(|d| zm.pmf(d)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        // pmf decreasing in d.
+        let mut prev = zm.pmf(1);
+        for d in 2..20.min(d_max) {
+            let cur = zm.pmf(d);
+            prop_assert!(cur <= prev);
+            prev = cur;
+        }
+        // Pooled distribution conserves mass.
+        prop_assert!((zm.pooled().total_mass() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zm_gradient_identity(alpha in 1.2f64..3.5, delta in -0.5f64..5.0, d in 1u64..100) {
+        let zm = ZipfMandelbrot::new(alpha, delta, 1024).unwrap();
+        // ∂_δ ρ = −α·ρ(α+1): check against the definition.
+        let expected = -alpha * (d as f64 + delta).powf(-(alpha + 1.0));
+        prop_assert!((zm.rho_gradient_delta(d) - expected).abs() < 1e-12 * expected.abs().max(1e-300));
+    }
+
+    #[test]
+    fn palu_curve_amplitude_identity(alpha in 1.2f64..3.5, delta in -0.9f64..5.0,
+                                     r in 1.01f64..50.0) {
+        let c = PaluCurve::new(alpha, delta, r, 512).unwrap();
+        // PALU(1) = 1 + amplitude, exactly (both terms at d = 1).
+        prop_assert!((c.value(1) - (1.0 + c.amplitude())).abs() < 1e-12);
+        // u/c = (1+δ)^{−α} − 1 inverts to δ.
+        let delta_back = (c.amplitude() + 1.0).powf(-1.0 / alpha) - 1.0;
+        prop_assert!((delta_back - delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_from_model_is_nonpositive_and_invertible(
+        u_over_c in 0.0f64..5.0,
+        lambda in 0.1f64..10.0,
+        p in 0.05f64..1.0,
+        alpha in 1.5f64..3.0,
+    ) {
+        let delta = PaluCurve::delta_from_model(u_over_c, lambda, p, alpha).unwrap();
+        prop_assert!(delta <= 1e-12, "δ = {delta}");
+        prop_assert!(delta > -1.0);
+        // Round trip through the defining identity.
+        let zeta_alpha = palu_stats::special::riemann_zeta(alpha).unwrap();
+        let rhs = u_over_c * (-(lambda * p)).exp() * zeta_alpha * p.powf(-alpha) + 1.0;
+        prop_assert!(((1.0 + delta).powf(-alpha) - rhs).abs() < 1e-9 * rhs);
+    }
+
+    #[test]
+    fn node_counts_sum_close_to_budget(params in valid_params(), n in 1000u64..1_000_000) {
+        let (c, l, u) = params.node_counts(n);
+        // The three sections' *visible-equivalent* total approximates
+        // the budget: C + L + U(1 + λ − e^{−λ}) = 1.
+        let star_factor = 1.0 + params.lambda - (-params.lambda).exp();
+        let total = c as f64 + l as f64 + u as f64 * star_factor;
+        prop_assert!((total - n as f64).abs() < 0.01 * n as f64 + 16.0);
+    }
+}

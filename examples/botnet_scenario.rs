@@ -1,0 +1,77 @@
+//! Botnet-heavy traffic: where the plain Zipf–Mandelbrot fit breaks
+//! and the hybrid PALU model explains the data.
+//!
+//! The paper (Section I) suspects "many of these leaves and unattached
+//! links are formed by bot traffic". This example builds two
+//! observatories — one dominated by normal PA-core traffic, one
+//! flooded with unattached bot stars — and compares how well the
+//! 2-parameter ZM model and the full PALU law fit each.
+//!
+//! ```text
+//! cargo run --release --example botnet_scenario
+//! ```
+
+use palu_stats::logbin::DifferentialCumulative;
+use palu_suite::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Observe a parameter set and return (pooled distribution, ZM
+/// residual, PALU residual).
+fn analyze(params: &PaluParams, seed: u64) -> (f64, f64) {
+    let net = params
+        .generator(200_000)
+        .expect("valid generator")
+        .generate(&mut StdRng::seed_from_u64(seed));
+    let observed = sample_edges(&net.graph, params.p, &mut StdRng::seed_from_u64(seed + 1));
+    let h = observed.degree_histogram();
+    let pooled = DifferentialCumulative::from_histogram(&h);
+
+    // Zipf–Mandelbrot fit (Section II-B).
+    let zm = ZmFitter::default().fit(&pooled, None).expect("zm fit");
+    let zm_residual = zm.objective.sqrt();
+
+    // Full PALU fit: estimate the simplified constants, rebuild the
+    // model degree law, pool, compare.
+    let est = PaluEstimator::default().estimate(&h).expect("palu fit");
+    let s = est.simplified;
+    let d_max = h.d_max().unwrap_or(1);
+    let raw = |d: u64| {
+        if d == 1 {
+            s.degree_one_fraction()
+        } else {
+            s.degree_fraction_poisson(d)
+        }
+    };
+    let z: f64 = (1..=d_max).map(raw).sum();
+    let model = DifferentialCumulative::from_pmf(|d| raw(d) / z, d_max);
+    let palu_residual = model.l2_distance_sq(&pooled).sqrt();
+    (zm_residual, palu_residual)
+}
+
+fn main() {
+    // Normal traffic: strong core, modest leaves, few stars.
+    let normal = PaluParams::from_core_leaf_fractions(0.6, 0.2, 1.5, 2.0, 0.5)
+        .expect("valid parameters");
+    // Botnet surge: small core, swarm of unattached stars with larger
+    // mean size (bots talking to a handful of peers each).
+    let botnet = PaluParams::from_core_leaf_fractions(0.1, 0.05, 6.0, 2.5, 0.5)
+        .expect("valid parameters");
+
+    println!("scenario comparison: pooled-distribution fit residuals (lower = better)\n");
+    println!("{:<16} {:>12} {:>12} {:>14}", "traffic", "ZM resid", "PALU resid", "PALU advantage");
+
+    let (zm_n, palu_n) = analyze(&normal, 100);
+    println!("{:<16} {:>12.4} {:>12.4} {:>13.1}x", "normal", zm_n, palu_n, zm_n / palu_n);
+
+    let (zm_b, palu_b) = analyze(&botnet, 200);
+    println!("{:<16} {:>12.4} {:>12.4} {:>13.1}x", "botnet-heavy", zm_b, palu_b, zm_b / palu_b);
+
+    println!();
+    println!("ZM handles normal traffic well but degrades {}x on the botnet surge;", (zm_b / zm_n).round());
+    println!("the PALU model's explicit unattached-star population absorbs the deviation —");
+    println!("the paper's Figure 3 upper-right panel, reproduced.");
+
+    assert!(zm_b > 2.0 * zm_n, "botnet traffic should strain the ZM fit");
+    assert!(palu_b < zm_b, "PALU should explain the botnet deviation");
+}

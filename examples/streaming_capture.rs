@@ -1,0 +1,70 @@
+//! Constant-memory streaming capture.
+//!
+//! Real observatories process unbounded packet streams; this example
+//! runs the full Section II pipeline — window segmentation, sparse
+//! aggregation, logarithmic pooling, per-bin mean/σ — over a long
+//! synthesized stream without ever holding more than one window in
+//! memory, then fits the modified Zipf–Mandelbrot model to the pooled
+//! result.
+//!
+//! ```text
+//! cargo run --release --example streaming_capture
+//! ```
+
+use palu_suite::prelude::*;
+use palu_traffic::packets::{EdgeIntensity, PacketSynthesizer};
+use palu_traffic::pipeline::Measurement;
+use palu_traffic::stream::StreamStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The underlying network and its conversation synthesizer.
+    let params = PaluParams::from_core_leaf_fractions(0.5, 0.2, 2.5, 2.0, 0.5)
+        .expect("valid parameters");
+    let net = params
+        .generator(100_000)
+        .expect("valid generator")
+        .generate(&mut StdRng::seed_from_u64(1));
+    let mut rng = StdRng::seed_from_u64(2);
+    let synthesizer = PacketSynthesizer::new(&net.graph, EdgeIntensity::Uniform, &mut rng);
+
+    // A 2-million-packet stream, produced lazily: at no point does the
+    // program hold more than one 100k-packet window.
+    let total_packets = 2_000_000usize;
+    let n_v = 100_000usize;
+    println!(
+        "streaming {total_packets} packets through {}-packet windows ({} windows)…",
+        n_v,
+        total_packets / n_v
+    );
+    let mut packet_rng = StdRng::seed_from_u64(3);
+    let stream = (0..total_packets).map(move |_| synthesizer.draw(&mut packet_rng));
+
+    let pooled = StreamStats::new(Measurement::UndirectedDegree).consume(stream, n_v);
+    println!(
+        "pooled {} windows; d_max = {}; D(1) = {:.4}",
+        pooled.windows,
+        pooled.d_max,
+        pooled.mean.value(0)
+    );
+
+    // Weighted fit using the streaming σ estimates.
+    let fit = ZmFitter::with_objective(FitObjective::WeightedLeastSquares)
+        .fit(&pooled.mean, Some(&pooled.weights(1.0)))
+        .expect("fit succeeds");
+    // Report plain pooled L2 so the number is comparable across runs
+    // (the weighted objective's scale depends on the σ estimates).
+    let l2 = fit
+        .model()
+        .expect("valid fitted model")
+        .pooled()
+        .l2_distance_sq(&pooled.mean)
+        .sqrt();
+    println!(
+        "weighted ZM fit over the stream: α = {:.3}, δ = {:+.3} (pooled L2 {:.5})",
+        fit.alpha, fit.delta, l2
+    );
+    assert!(pooled.windows == (total_packets / n_v) as u64);
+    println!("constant-memory pipeline complete.");
+}

@@ -1,0 +1,52 @@
+//! Window-size invariance: only `p` changes with the window.
+//!
+//! Section III-A: "for a given network, the parameters λ, C, L, U, and
+//! α should be the same regardless of the window size. As the window
+//! size increases, the only parameter that will change is p." This
+//! example observes one fixed underlying network through five window
+//! sizes and re-estimates the invariants at each.
+//!
+//! ```text
+//! cargo run --release --example window_invariance
+//! ```
+
+use palu::invariance::InvarianceSweep;
+use palu_suite::prelude::*;
+
+fn main() {
+    let truth = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5)
+        .expect("valid parameters");
+    let ps = [0.3, 0.45, 0.6, 0.75, 0.9];
+
+    println!("one underlying network (300k nodes), observed through 5 window sizes\n");
+    let report = InvarianceSweep::default()
+        .simulated(&truth, &ps, 300_000, 4242)
+        .expect("sweep succeeds");
+
+    println!("{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}", "p", "C", "L", "U", "λ", "α");
+    println!(
+        "{:>6} {:>9.4} {:>9.4} {:>9.4} {:>9.3} {:>9.3}   (truth)",
+        "-", truth.core, truth.leaves, truth.unattached, truth.lambda, truth.alpha
+    );
+    for row in &report.rows {
+        println!(
+            "{:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>9.3} {:>9.3}",
+            row.p,
+            row.recovered.core,
+            row.recovered.leaves,
+            row.recovered.unattached,
+            row.recovered.lambda,
+            row.recovered.alpha
+        );
+    }
+
+    let (c, l, u, lam, alpha) = report.spreads();
+    println!("\nrelative spread across windows:");
+    println!("  C: {c:.3}   L: {l:.3}   U: {u:.3}   λ: {lam:.3}   α: {alpha:.3}");
+    println!("\nα and C hold steady while p sweeps 3x — the paper's claim, measured.");
+    println!("The star-side invariants (U, λ) carry more estimation variance at small");
+    println!("windows: with λp < 1 the Poisson bump hides under the core, exactly the");
+    println!("regime the paper's moment-ratio estimator was designed to survive.");
+    assert!(alpha < 0.1, "α should be extremely stable, spread {alpha}");
+    assert!(c < 0.3, "C should be stable, spread {c}");
+}

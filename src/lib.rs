@@ -1,0 +1,42 @@
+//! Workspace root crate.
+//!
+//! This crate exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. It re-exports the
+//! public crates of the workspace for convenience so examples can write
+//! `use palu_suite::prelude::*;`.
+
+pub use palu;
+pub use palu_graph;
+pub use palu_sparse;
+pub use palu_stats;
+pub use palu_traffic;
+
+/// Convenience re-exports of the most commonly used items across the
+/// workspace, mirroring what a downstream user of the published crates
+/// would import.
+pub mod prelude {
+    pub use palu::{
+        analytic::ObservedPrediction,
+        estimate::{EstimateOptions, PaluEstimator},
+        params::PaluParams,
+        zm::ZipfMandelbrot,
+        zm_connection::PaluCurve,
+        zm_fit::{FitObjective, ZmFit, ZmFitter},
+    };
+    pub use palu_graph::{
+        census::TopologyCensus,
+        graph::Graph,
+        palu_gen::{PaluGenerator, UnderlyingNetwork},
+        sample::sample_edges,
+    };
+    pub use palu_sparse::{aggregates::Aggregates, coo::CooMatrix, csr::CsrMatrix};
+    pub use palu_stats::{
+        histogram::DegreeHistogram,
+        logbin::{DifferentialCumulative, LogBins},
+    };
+    pub use palu_traffic::{
+        observatory::Observatory,
+        pipeline::{Pipeline, PooledDistribution},
+        window::PacketWindow,
+    };
+}
