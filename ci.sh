@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 entry point: offline build, full test suite (which includes
+# the palu-lint gate via tests/lint_gate.rs), and an explicit lint run
+# so CI logs show the findings even when the test harness truncates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== fmt =="
+    cargo fmt --check
+fi
+
+echo "== build (release, offline) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== lint gate =="
+cargo run -q --release -p palu-lint
+
+echo "ci: all green"

@@ -16,23 +16,13 @@
 use palu::analytic::star_component_size_pmf;
 use palu::params::PaluParams;
 use palu_bench::{fmt_p, record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_graph::clustering::clustering;
 use palu_graph::components::Components;
 use palu_graph::graph::Graph;
 use palu_graph::palu_gen::NodeRole;
 use palu_graph::sample::sample_edges;
 use palu_stats::rng::{streams, SeedSequence};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct ComponentsRecord {
-    size_rows: Vec<(u64, f64, f64)>, // (size, predicted, measured)
-    clustering_whole_global: f64,
-    clustering_whole_avg_local: f64,
-    clustering_core_global: f64,
-    triangles_whole: u64,
-    triangles_core: u64,
-}
 
 fn main() {
     let params = PaluParams::from_core_leaf_fractions(0.35, 0.15, 4.0, 2.0, 0.5).unwrap();
@@ -69,7 +59,12 @@ fn main() {
     }
 
     println!("E-EXT1 — observed star-component sizes vs truncated-Poisson closed form");
-    println!("model: λ = {}, p = {} (λp = {})", params.lambda, params.p, params.lambda * params.p);
+    println!(
+        "model: λ = {}, p = {} (λp = {})",
+        params.lambda,
+        params.p,
+        params.lambda * params.p
+    );
     println!("{}", rule(52));
     println!("{:>6} {:>14} {:>14}", "size", "predicted", "measured");
     let mut rows = Vec::new();
@@ -83,7 +78,10 @@ fn main() {
         }
         rows.push((size, predicted, measured));
     }
-    println!("worst relative deviation on sizes with ≥1% mass: {:.1}%", worst_rel * 100.0);
+    println!(
+        "worst relative deviation on sizes with ≥1% mass: {:.1}%",
+        worst_rel * 100.0
+    );
     assert!(worst_rel < 0.1, "component-size law off by {worst_rel:.3}");
 
     // ---- clustering ----
@@ -115,13 +113,13 @@ fn main() {
 
     record_json(
         "components",
-        &ComponentsRecord {
-            size_rows: rows,
-            clustering_whole_global: whole.global,
-            clustering_whole_avg_local: whole.average_local,
-            clustering_core_global: core.global,
-            triangles_whole: whole.triangles,
-            triangles_core: core.triangles,
-        },
+        &JsonValue::obj([
+            ("size_rows", JsonValue::array(rows.iter().copied())),
+            ("clustering_whole_global", whole.global.into()),
+            ("clustering_whole_avg_local", whole.average_local.into()),
+            ("clustering_core_global", core.global.into()),
+            ("triangles_whole", whole.triangles.into()),
+            ("triangles_core", core.triangles.into()),
+        ]),
     );
 }

@@ -10,11 +10,10 @@
 
 use palu::zm_fit::ZmFitter;
 use palu_bench::{record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_sparse::quantities::NetworkQuantity;
 use palu_traffic::pipeline::{Measurement, Pipeline};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct DirectedRow {
     scenario: String,
     alpha_out: f64,
@@ -60,9 +59,12 @@ fn main() {
         println!(
             "{:<56} ({:>5.2},{:>6.2}) ({:>5.2},{:>6.2}) ({:>5.2},{:>6.2}) {:>8.3}",
             s.name,
-            fits[0].alpha, fits[0].delta,
-            fits[1].alpha, fits[1].delta,
-            fits[2].alpha, fits[2].delta,
+            fits[0].alpha,
+            fits[0].delta,
+            fits[1].alpha,
+            fits[1].delta,
+            fits[2].alpha,
+            fits[2].delta,
             spread
         );
         rows.push(DirectedRow {
@@ -114,5 +116,17 @@ fn main() {
          spread ≤ {worst_clean:.3} — 'a small impact on overall the degree \
          distribution analysis'. OK"
     );
-    record_json("directed", &rows);
+    let snapshot = JsonValue::array(rows.iter().map(|r| {
+        JsonValue::obj([
+            ("scenario", r.scenario.as_str().into()),
+            ("alpha_out", r.alpha_out.into()),
+            ("delta_out", r.delta_out.into()),
+            ("alpha_in", r.alpha_in.into()),
+            ("delta_in", r.delta_in.into()),
+            ("alpha_undirected", r.alpha_undirected.into()),
+            ("delta_undirected", r.delta_undirected.into()),
+            ("max_alpha_spread", r.max_alpha_spread.into()),
+        ])
+    }));
+    record_json("directed", &snapshot);
 }

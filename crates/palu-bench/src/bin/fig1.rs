@@ -7,11 +7,10 @@
 //! dominant `d = 1` mass.
 
 use palu_bench::{fmt_p, record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_sparse::quantities::NetworkQuantity;
 use palu_stats::logbin::DifferentialCumulative;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Series {
     quantity: String,
     total_observations: u64,
@@ -72,5 +71,13 @@ fn main() {
         assert!(s.d_max >= 8, "{}: expected a heavy tail", s.quantity);
     }
     println!("shape check: every quantity has dominant d=1 mass and a heavy tail — OK");
-    record_json("fig1", &all);
+    let snapshot = JsonValue::array(all.iter().map(|s| {
+        JsonValue::obj([
+            ("quantity", s.quantity.as_str().into()),
+            ("total_observations", s.total_observations.into()),
+            ("d_max", s.d_max.into()),
+            ("pooled", JsonValue::array(s.pooled.iter().copied())),
+        ])
+    }));
+    record_json("fig1", &snapshot);
 }

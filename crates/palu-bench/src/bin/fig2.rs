@@ -9,18 +9,25 @@
 use palu::analytic::ObservedPrediction;
 use palu::params::PaluParams;
 use palu_bench::{record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_graph::census::TopologyCensus;
 use palu_graph::sample::ObservedNetwork;
 use palu_stats::rng::{streams, SeedSequence};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Fig2Record {
-    underlying: TopologyCensus,
-    observed: TopologyCensus,
-    p: f64,
-    predicted_unattached_link_fraction: f64,
-    measured_unattached_link_fraction: f64,
+fn census_json(c: &TopologyCensus) -> JsonValue {
+    JsonValue::obj([
+        ("n_nodes", c.n_nodes.into()),
+        ("n_edges", c.n_edges.into()),
+        ("isolated_nodes", c.isolated_nodes.into()),
+        ("core_nodes", c.core_nodes.into()),
+        ("core_edges", c.core_edges.into()),
+        ("supernode_degree", c.supernode_degree.into()),
+        ("supernode_leaves", c.supernode_leaves.into()),
+        ("core_leaves", c.core_leaves.into()),
+        ("unattached_links", c.unattached_links.into()),
+        ("detached_stars", c.detached_stars.into()),
+        ("nontrivial_components", c.nontrivial_components.into()),
+    ])
 }
 
 fn print_census(label: &str, c: &TopologyCensus) {
@@ -36,7 +43,10 @@ fn print_census(label: &str, c: &TopologyCensus) {
     println!("  core leaves                {:>12}", c.core_leaves);
     println!("  unattached links           {:>12}", c.unattached_links);
     println!("  detached stars (≥3 nodes)  {:>12}", c.detached_stars);
-    println!("  nontrivial components      {:>12}", c.nontrivial_components);
+    println!(
+        "  nontrivial components      {:>12}",
+        c.nontrivial_components
+    );
     println!();
 }
 
@@ -50,8 +60,10 @@ fn main() {
         .generate(&mut seq.rng(streams::CORE));
     let obs = ObservedNetwork::observe(&net, params.p, &mut seq.rng(streams::SAMPLING));
 
-    println!("FIGURE 2 — Traffic network topologies (PALU, C={}, L={}, U={:.4}, λ={}, α={}, p={})",
-        params.core, params.leaves, params.unattached, params.lambda, params.alpha, params.p);
+    println!(
+        "FIGURE 2 — Traffic network topologies (PALU, C={}, L={}, U={:.4}, λ={}, α={}, p={})",
+        params.core, params.leaves, params.unattached, params.lambda, params.alpha, params.p
+    );
     println!();
     let underlying = TopologyCensus::of(&net.graph);
     let observed = TopologyCensus::of(&obs.graph);
@@ -75,19 +87,22 @@ fn main() {
     let rel = (measured_links_per_node - pred.unattached_link_fraction).abs()
         / pred.unattached_link_fraction;
     println!("  relative deviation: {:.1}%", rel * 100.0);
-    assert!(
-        rel < 0.25,
-        "unattached-link prediction off by {rel:.2}"
-    );
+    assert!(rel < 0.25, "unattached-link prediction off by {rel:.2}");
 
     record_json(
         "fig2",
-        &Fig2Record {
-            underlying,
-            observed,
-            p: params.p,
-            predicted_unattached_link_fraction: pred.unattached_link_fraction,
-            measured_unattached_link_fraction: measured_links_per_node,
-        },
+        &JsonValue::obj([
+            ("underlying", census_json(&underlying)),
+            ("observed", census_json(&observed)),
+            ("p", params.p.into()),
+            (
+                "predicted_unattached_link_fraction",
+                pred.unattached_link_fraction.into(),
+            ),
+            (
+                "measured_unattached_link_fraction",
+                measured_links_per_node.into(),
+            ),
+        ]),
     );
 }

@@ -10,10 +10,9 @@
 
 use palu::zm_fit::{FitObjective, ZmFitter};
 use palu_bench::{fmt_p, record_json, rule, Scenario};
+use palu_cli::json::JsonValue;
 use palu_traffic::pipeline::{Measurement, Pipeline};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Panel {
     name: String,
     windows: u64,
@@ -64,10 +63,8 @@ fn run_panel(scenario: &Scenario, seed: u64) -> Panel {
             }
         };
         let z: f64 = (1..=d_max).map(raw).sum();
-        let model_pooled = palu_stats::logbin::DifferentialCumulative::from_pmf(
-            |d| raw(d) / z,
-            d_max,
-        );
+        let model_pooled =
+            palu_stats::logbin::DifferentialCumulative::from_pmf(|d| raw(d) / z, d_max);
         Some(model_pooled.l2_distance_sq(&pooled.mean).sqrt())
     } else {
         None
@@ -121,11 +118,9 @@ fn main() {
         let measured = palu_stats::logbin::DifferentialCumulative::from_values(
             panel.series.iter().map(|&(_, v, _)| v).collect(),
         );
-        if let Ok(model) = palu::zm::ZipfMandelbrot::new(
-            panel.zm_alpha,
-            panel.zm_delta,
-            panel.d_max.max(1),
-        ) {
+        if let Ok(model) =
+            palu::zm::ZipfMandelbrot::new(panel.zm_alpha, panel.zm_delta, panel.d_max.max(1))
+        {
             print!(
                 "{}",
                 palu_bench::ascii_loglog(&[("measured", &measured), ("ZM fit", &model.pooled())])
@@ -173,5 +168,20 @@ fn main() {
         botnet.zm_residual
     );
     println!("shape checks: clean panels fit ZM tightly; botnet panel deviates and PALU explains it — OK");
-    record_json("fig3", &panels);
+    let snapshot = JsonValue::array(panels.iter().map(|p| {
+        JsonValue::obj([
+            ("name", p.name.as_str().into()),
+            ("windows", p.windows.into()),
+            ("n_v", p.n_v.into()),
+            ("effective_p", p.effective_p.into()),
+            ("d_max", p.d_max.into()),
+            ("series", JsonValue::array(p.series.iter().copied())),
+            ("zm_alpha", p.zm_alpha.into()),
+            ("zm_delta", p.zm_delta.into()),
+            ("zm_residual", p.zm_residual.into()),
+            ("palu_residual", p.palu_residual.into()),
+            ("botnet_heavy", p.botnet_heavy.into()),
+        ])
+    }));
+    record_json("fig3", &snapshot);
 }

@@ -10,11 +10,10 @@
 use palu::zm::ZipfMandelbrot;
 use palu::zm_connection::PaluCurve;
 use palu_bench::{fmt_p, record_json, rule};
-use serde::Serialize;
+use palu_cli::json::JsonValue;
 
 const D_MAX: u64 = 1 << 12;
 
-#[derive(Serialize)]
 struct Family {
     alpha: f64,
     delta: f64,
@@ -24,7 +23,6 @@ struct Family {
     best_distance: f64,
 }
 
-#[derive(Serialize)]
 struct CurveOut {
     r: f64,
     distance_to_zm: f64,
@@ -103,5 +101,24 @@ fn main() {
     }
 
     println!("shape checks: each family sweeps with r and converges to its ZM target — OK");
-    record_json("fig4", &families);
+    let snapshot = JsonValue::array(families.iter().map(|f| {
+        JsonValue::obj([
+            ("alpha", f.alpha.into()),
+            ("delta", f.delta.into()),
+            ("zm_pooled", JsonValue::array(f.zm_pooled.iter().copied())),
+            (
+                "curves",
+                JsonValue::array(f.curves.iter().map(|c| {
+                    JsonValue::obj([
+                        ("r", c.r.into()),
+                        ("distance_to_zm", c.distance_to_zm.into()),
+                        ("pooled", JsonValue::array(c.pooled.iter().copied())),
+                    ])
+                })),
+            ),
+            ("best_r", f.best_r.into()),
+            ("best_distance", f.best_distance.into()),
+        ])
+    }));
+    record_json("fig4", &snapshot);
 }

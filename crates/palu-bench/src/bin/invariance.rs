@@ -9,9 +9,8 @@
 use palu::invariance::InvarianceSweep;
 use palu::params::PaluParams;
 use palu_bench::{record_json, rule};
-use serde::Serialize;
+use palu_cli::json::JsonValue;
 
-#[derive(Serialize)]
 struct Sweep {
     mode: String,
     ps: Vec<f64>,
@@ -40,7 +39,10 @@ fn print_sweep(s: &Sweep, truth: &PaluParams) {
             s.ps[i], s.core[i], s.leaves[i], s.unattached[i], s.lambda[i], s.alpha[i]
         );
     }
-    println!("worst relative spread across windows: {:.3}", s.worst_spread);
+    println!(
+        "worst relative spread across windows: {:.3}",
+        s.worst_spread
+    );
     println!();
 }
 
@@ -102,9 +104,28 @@ fn main() {
         "simulated invariance spread {} too large",
         s.worst_spread
     );
-    assert!(oe.unattached < 0.5, "out-of-envelope U {} absurd", oe.unattached);
+    assert!(
+        oe.unattached < 0.5,
+        "out-of-envelope U {} absurd",
+        oe.unattached
+    );
     println!(
         "invariance gates passed (analytic < 0.3, simulated < 0.45 relative spread in-envelope)"
     );
-    record_json("invariance", &[a, s]);
+    let sweep_json = |s: &Sweep| {
+        JsonValue::obj([
+            ("mode", s.mode.as_str().into()),
+            ("ps", s.ps.as_slice().into()),
+            ("core", s.core.as_slice().into()),
+            ("leaves", s.leaves.as_slice().into()),
+            ("unattached", s.unattached.as_slice().into()),
+            ("lambda", s.lambda.as_slice().into()),
+            ("alpha", s.alpha.as_slice().into()),
+            ("worst_spread", s.worst_spread.into()),
+        ])
+    };
+    record_json(
+        "invariance",
+        &JsonValue::Array(vec![sweep_json(&a), sweep_json(&s)]),
+    );
 }

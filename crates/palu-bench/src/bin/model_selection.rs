@@ -10,14 +10,14 @@
 use palu::estimate::PaluEstimator;
 use palu::zm_fit::ZmFitter;
 use palu_bench::{record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_stats::histogram::DegreeHistogram;
 use palu_stats::logbin::DifferentialCumulative;
 use palu_stats::mle::fit_alpha_discrete;
 use palu_stats::model_select::{fit_lognormal_tail, vuong_test, ModelVerdict};
 use palu_traffic::pipeline::Measurement;
-use serde::Serialize;
 
-#[derive(Serialize, Debug)]
+#[derive(Debug)]
 struct Row {
     scenario: String,
     aic_zm: f64,
@@ -75,7 +75,9 @@ fn main() {
         let aic_logn = 2.0 * 2.0 - 2.0 * logn.ln_likelihood;
 
         // PALU simplified law (5 parameters).
-        let est = PaluEstimator::default().estimate(&merged).expect("palu fit");
+        let est = PaluEstimator::default()
+            .estimate(&merged)
+            .expect("palu fit");
         let sp = est.simplified;
         let raw = |d: u64| {
             if d == 1 {
@@ -145,5 +147,16 @@ fn main() {
         "PALU must win the botnet scenario: {botnet:?}"
     );
     println!("gate passed: PALU wins the botnet-heavy scenario on AIC despite its 5 parameters");
-    record_json("model_selection", &rows);
+    let snapshot = JsonValue::array(rows.iter().map(|r| {
+        JsonValue::obj([
+            ("scenario", r.scenario.as_str().into()),
+            ("aic_zm", r.aic_zm.into()),
+            ("aic_lognormal", r.aic_lognormal.into()),
+            ("aic_palu", r.aic_palu.into()),
+            ("best", r.best.as_str().into()),
+            ("vuong_z", r.vuong_z.into()),
+            ("vuong_verdict", r.vuong_verdict.as_str().into()),
+        ])
+    }));
+    record_json("model_selection", &snapshot);
 }

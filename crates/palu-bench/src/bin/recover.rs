@@ -10,12 +10,11 @@
 use palu::estimate::{EstimateOptions, LambdaMethod, PaluEstimator};
 use palu::params::PaluParams;
 use palu_bench::{record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_graph::sample::ObservedNetwork;
 use palu_stats::mle::{fit_csn, CsnOptions};
 use palu_stats::rng::{streams, SeedSequence};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Recovery {
     label: String,
     truth_lambda: f64,
@@ -78,14 +77,30 @@ fn main() {
     println!("E-A2 — Section IV-B parameter recovery on simulated PALU networks");
     println!();
     let cases = [
-        ("balanced", PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap()),
-        ("leaf-heavy", PaluParams::from_core_leaf_fractions(0.35, 0.40, 2.0, 2.2, 0.6).unwrap()),
-        ("star-heavy", PaluParams::from_core_leaf_fractions(0.30, 0.10, 5.0, 2.0, 0.7).unwrap()),
+        (
+            "balanced",
+            PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap(),
+        ),
+        (
+            "leaf-heavy",
+            PaluParams::from_core_leaf_fractions(0.35, 0.40, 2.0, 2.2, 0.6).unwrap(),
+        ),
+        (
+            "star-heavy",
+            PaluParams::from_core_leaf_fractions(0.30, 0.10, 5.0, 2.0, 0.7).unwrap(),
+        ),
     ];
 
     println!(
         "{:<12} {:>14} {:>14} {:>14} {:>14} {:>14} {:>16} {:>12}",
-        "case", "λ (true/est)", "α (true/est)", "C (true/est)", "L (true/est)", "U (true/est)", "λ ratio/ptwise", "CSN α@xmin"
+        "case",
+        "λ (true/est)",
+        "α (true/est)",
+        "C (true/est)",
+        "L (true/est)",
+        "U (true/est)",
+        "λ ratio/ptwise",
+        "CSN α@xmin"
     );
     println!("{}", rule(120));
     let mut rows = Vec::new();
@@ -111,7 +126,11 @@ fn main() {
     // (it reports a single exponent only).
     for r in &rows {
         let lam_rel = (r.recovered_lambda - r.truth_lambda).abs() / r.truth_lambda;
-        assert!(lam_rel < 0.35, "{}: λ recovery off by {lam_rel:.2}", r.label);
+        assert!(
+            lam_rel < 0.35,
+            "{}: λ recovery off by {lam_rel:.2}",
+            r.label
+        );
         assert!(
             (r.recovered_alpha - r.truth_alpha).abs() < 0.45,
             "{}: α recovery off ({} vs {})",
@@ -130,5 +149,23 @@ fn main() {
     println!("recovery gates passed (λ < 35% rel. error; α < 0.45 abs; L < 0.15 abs)");
     println!("note: the CSN baseline reduces each network to one exponent — it has no");
     println!("      leaf/unattached decomposition at all, which is the paper's point.");
-    record_json("recover", &rows);
+    let snapshot = JsonValue::array(rows.iter().map(|r| {
+        JsonValue::obj([
+            ("label", r.label.as_str().into()),
+            ("truth_lambda", r.truth_lambda.into()),
+            ("truth_alpha", r.truth_alpha.into()),
+            ("recovered_lambda", r.recovered_lambda.into()),
+            ("recovered_alpha", r.recovered_alpha.into()),
+            ("recovered_core", r.recovered_core.into()),
+            ("truth_core", r.truth_core.into()),
+            ("recovered_leaves", r.recovered_leaves.into()),
+            ("truth_leaves", r.truth_leaves.into()),
+            ("recovered_unattached", r.recovered_unattached.into()),
+            ("truth_unattached", r.truth_unattached.into()),
+            ("lambda_pointwise", r.lambda_pointwise.into()),
+            ("csn_alpha", r.csn_alpha.into()),
+            ("csn_xmin", r.csn_xmin.into()),
+        ])
+    }));
+    record_json("recover", &snapshot);
 }

@@ -3,30 +3,17 @@
 //! The paper's methodology runs "over a wide range of windows from
 //! N_V = 100,000 to N_V = 100,000,000". This experiment demonstrates
 //! the substrate holds up at the 10⁷-packet scale on one machine:
-//! serial vs crossbeam-sharded window assembly (design-choice #4),
+//! serial vs thread-sharded window assembly (design-choice #4),
 //! Table-I aggregation, and the five Figure-1 quantities, with
 //! throughput in packets/second and bit-identical results across
 //! strategies.
 
 use palu_bench::record_json;
+use palu_cli::json::JsonValue;
 use palu_sparse::aggregates::Aggregates;
 use palu_sparse::parallel::{build_csr_parallel, default_threads, quantities_parallel};
 use palu_sparse::quantities::QuantityHistograms;
-use serde::Serialize;
 use std::time::Instant;
-
-#[derive(Serialize)]
-struct ScaleRecord {
-    n_packets: usize,
-    serial_build_s: f64,
-    parallel_build_s: f64,
-    parallel_threads: usize,
-    speedup: f64,
-    aggregate_s: f64,
-    quantities_serial_s: f64,
-    quantities_parallel_s: f64,
-    unique_links: u64,
-}
 
 fn main() {
     let n = 10_000_000usize;
@@ -102,16 +89,16 @@ fn main() {
 
     record_json(
         "scale",
-        &ScaleRecord {
-            n_packets: n,
-            serial_build_s,
-            parallel_build_s,
-            parallel_threads: threads,
-            speedup: serial_build_s / parallel_build_s,
-            aggregate_s,
-            quantities_serial_s,
-            quantities_parallel_s,
-            unique_links: agg.unique_links,
-        },
+        &JsonValue::obj([
+            ("n_packets", n.into()),
+            ("serial_build_s", serial_build_s.into()),
+            ("parallel_build_s", parallel_build_s.into()),
+            ("parallel_threads", threads.into()),
+            ("speedup", (serial_build_s / parallel_build_s).into()),
+            ("aggregate_s", aggregate_s.into()),
+            ("quantities_serial_s", quantities_serial_s.into()),
+            ("quantities_parallel_s", quantities_parallel_s.into()),
+            ("unique_links", agg.unique_links.into()),
+        ]),
     );
 }

@@ -6,10 +6,9 @@
 //! the two columns agree exactly.
 
 use palu_bench::{record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_sparse::aggregates::Aggregates;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     property: &'static str,
     summation: u64,
@@ -51,7 +50,10 @@ fn main() {
     println!("TABLE I — Aggregate network properties");
     println!("window: {} packets from '{}'", window.n_v(), scenario.name);
     println!("{}", rule(78));
-    println!("{:<58} {:>9} {:>9}", "Aggregate property", "summation", "matrix");
+    println!(
+        "{:<58} {:>9} {:>9}",
+        "Aggregate property", "summation", "matrix"
+    );
     println!("{}", rule(78));
     let mut all_match = true;
     for r in &rows {
@@ -61,8 +63,19 @@ fn main() {
     println!("{}", rule(78));
     println!(
         "notations agree: {}",
-        if all_match { "YES (Table I verified)" } else { "NO — BUG" }
+        if all_match {
+            "YES (Table I verified)"
+        } else {
+            "NO — BUG"
+        }
     );
-    record_json("table1", &rows);
+    let snapshot = JsonValue::array(rows.iter().map(|r| {
+        JsonValue::obj([
+            ("property", r.property.into()),
+            ("summation", r.summation.into()),
+            ("matrix", r.matrix.into()),
+        ])
+    }));
+    record_json("table1", &snapshot);
     assert!(all_match, "Table I notations disagree");
 }

@@ -10,13 +10,12 @@
 use palu::analytic::ObservedPrediction;
 use palu::params::PaluParams;
 use palu_bench::{record_json, rule};
+use palu_cli::json::JsonValue;
 use palu_graph::census::TopologyCensus;
 use palu_graph::palu_gen::{CoreGenerator, NodeRole};
 use palu_graph::sample::sample_edges;
 use palu_stats::rng::{streams, SeedSequence};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct ValidationRow {
     p: f64,
     core_gen: String,
@@ -47,10 +46,7 @@ struct ValidationRow {
 
 fn validate(params: &PaluParams, core_gen: CoreGenerator, n: u64, seed: u64) -> ValidationRow {
     let seq = SeedSequence::new(seed);
-    let gen = params
-        .generator(n)
-        .unwrap()
-        .with_core_generator(core_gen);
+    let gen = params.generator(n).unwrap().with_core_generator(core_gen);
     let net = gen.generate(&mut seq.rng(streams::CORE));
     let observed = sample_edges(&net.graph, params.p, &mut seq.rng(streams::SAMPLING));
 
@@ -96,9 +92,7 @@ fn validate(params: &PaluParams, core_gen: CoreGenerator, n: u64, seed: u64) -> 
         measured_star_pair_count: star_pair_links,
         predicted_leaf_visible_count: params.leaves * params.p * nf,
         measured_leaf_visible_count: leaf_v,
-        predicted_star_visible_count: params.unattached
-            * (1.0 + lp - (-lp).exp())
-            * nf,
+        predicted_star_visible_count: params.unattached * (1.0 + lp - (-lp).exp()) * nf,
         measured_star_visible_count: star_v,
         p: params.p,
         core_gen: format!("{core_gen:?}"),
@@ -121,11 +115,20 @@ fn main() {
     let n = 400_000u64;
 
     println!("E-A1 — Section IV analytic predictions vs simulation");
-    println!("model: C={}, L={}, U={:.4}, λ={}, α={}, n={n}", base.core, base.leaves, base.unattached, base.lambda, base.alpha);
+    println!(
+        "model: C={}, L={}, U={:.4}, λ={}, α={}, n={n}",
+        base.core, base.leaves, base.unattached, base.lambda, base.alpha
+    );
     println!();
     println!(
         "{:<6} {:<14} {:>18} {:>18} {:>18} {:>20} {:>18}",
-        "p", "core gen", "core frac (p/m)", "leaf frac (p/m)", "unatt frac (p/m)", "unatt links (p/m)", "degree-1 (p/m)"
+        "p",
+        "core gen",
+        "core frac (p/m)",
+        "leaf frac (p/m)",
+        "unatt frac (p/m)",
+        "unatt links (p/m)",
+        "degree-1 (p/m)"
     );
     println!("{}", rule(120));
 
@@ -187,12 +190,18 @@ fn main() {
             r.p
         );
         assert!(
-            rel(r.predicted_leaf_visible_count, r.measured_leaf_visible_count) < 0.1,
+            rel(
+                r.predicted_leaf_visible_count,
+                r.measured_leaf_visible_count
+            ) < 0.1,
             "p={}: visible-leaf count off",
             r.p
         );
         assert!(
-            rel(r.predicted_star_visible_count, r.measured_star_visible_count) < 0.1,
+            rel(
+                r.predicted_star_visible_count,
+                r.measured_star_visible_count
+            ) < 0.1,
             "p={}: visible-star count off",
             r.p
         );
@@ -213,5 +222,58 @@ fn main() {
     println!(" * the paper's visible-core term C·p^(α−1)/((α−1)ζ(α)) underestimates core");
     println!("   visibility by up to ~2x at moderate p (it is a small-p leading-order term),");
     println!("   which propagates into all role-fraction denominators.");
-    record_json("validate_analytic", &rows);
+    let snapshot = JsonValue::array(rows.iter().map(|r| {
+        JsonValue::obj([
+            ("p", r.p.into()),
+            ("core_gen", r.core_gen.as_str().into()),
+            ("predicted_core_frac", r.predicted_core_frac.into()),
+            ("measured_core_frac", r.measured_core_frac.into()),
+            ("predicted_leaf_frac", r.predicted_leaf_frac.into()),
+            ("measured_leaf_frac", r.measured_leaf_frac.into()),
+            (
+                "predicted_unattached_frac",
+                r.predicted_unattached_frac.into(),
+            ),
+            (
+                "measured_unattached_frac",
+                r.measured_unattached_frac.into(),
+            ),
+            (
+                "predicted_unattached_links",
+                r.predicted_unattached_links.into(),
+            ),
+            (
+                "measured_unattached_links",
+                r.measured_unattached_links.into(),
+            ),
+            ("census_pair_components", r.census_pair_components.into()),
+            ("predicted_degree1", r.predicted_degree1.into()),
+            ("measured_degree1", r.measured_degree1.into()),
+            (
+                "predicted_star_pair_count",
+                r.predicted_star_pair_count.into(),
+            ),
+            (
+                "measured_star_pair_count",
+                r.measured_star_pair_count.into(),
+            ),
+            (
+                "predicted_leaf_visible_count",
+                r.predicted_leaf_visible_count.into(),
+            ),
+            (
+                "measured_leaf_visible_count",
+                r.measured_leaf_visible_count.into(),
+            ),
+            (
+                "predicted_star_visible_count",
+                r.predicted_star_visible_count.into(),
+            ),
+            (
+                "measured_star_visible_count",
+                r.measured_star_visible_count.into(),
+            ),
+        ])
+    }));
+    record_json("validate_analytic", &snapshot);
 }

@@ -8,9 +8,9 @@
 //! result-recording helpers.
 
 use palu::params::PaluParams;
+use palu_cli::json::JsonValue;
 use palu_traffic::observatory::{Observatory, ObservatoryConfig};
 use palu_traffic::packets::EdgeIntensity;
-use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -144,25 +144,21 @@ pub fn rule(width: usize) -> String {
 /// Record an experiment's machine-readable snapshot under
 /// `results/<id>.json` (repo root), creating the directory on demand.
 /// Failures to write are reported but non-fatal — the printed output
-/// is the primary artifact.
-pub fn record_json<T: Serialize>(experiment_id: &str, value: &T) {
+/// is the primary artifact. The JSON is produced by the workspace's
+/// own writer ([`palu_cli::json`]); no serde in the dependency graph.
+pub fn record_json(experiment_id: &str, value: &JsonValue) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("note: could not create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{experiment_id}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::File::create(&path)
-                .and_then(|mut f| f.write_all(json.as_bytes()))
-            {
-                eprintln!("note: could not write {}: {e}", path.display());
-            } else {
-                eprintln!("[recorded {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("note: could not serialize {experiment_id}: {e}"),
+    if let Err(e) =
+        std::fs::File::create(&path).and_then(|mut f| f.write_all(value.pretty().as_bytes()))
+    {
+        eprintln!("note: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[recorded {}]", path.display());
     }
 }
 
@@ -174,11 +170,7 @@ pub fn record_json<T: Serialize>(experiment_id: &str, value: &T) {
 pub fn ascii_loglog(series: &[(&str, &palu_stats::logbin::DifferentialCumulative)]) -> String {
     const GLYPHS: [char; 6] = ['o', '*', '+', 'x', '#', '@'];
     const HEIGHT: usize = 16;
-    let n_bins = series
-        .iter()
-        .map(|(_, s)| s.n_bins())
-        .max()
-        .unwrap_or(0);
+    let n_bins = series.iter().map(|(_, s)| s.n_bins()).max().unwrap_or(0);
     if n_bins == 0 {
         return String::from("(empty series)\n");
     }
@@ -269,8 +261,7 @@ mod tests {
     fn scenarios_are_valid_and_distinct() {
         let scenarios = fig3_scenarios();
         assert_eq!(scenarios.len(), 6);
-        let names: std::collections::HashSet<_> =
-            scenarios.iter().map(|s| s.name).collect();
+        let names: std::collections::HashSet<_> = scenarios.iter().map(|s| s.name).collect();
         assert_eq!(names.len(), 6);
         assert_eq!(scenarios.iter().filter(|s| s.botnet_heavy).count(), 1);
         for s in &scenarios {

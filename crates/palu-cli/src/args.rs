@@ -60,7 +60,9 @@ impl ParsedArgs {
 /// another `--…` or end-of-line gets an empty value.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, String> {
     let mut iter = args.into_iter().peekable();
-    let command = iter.next().ok_or("no subcommand given (try `palu-cli help`)")?;
+    let command = iter
+        .next()
+        .ok_or("no subcommand given (try `palu-cli help`)")?;
     if command.starts_with("--") {
         return Err(format!("expected a subcommand, got option {command}"));
     }

@@ -30,8 +30,7 @@ use palu_graph::clustering::clustering;
 use palu_graph::sample::sample_edges;
 use palu_stats::logbin::DifferentialCumulative;
 use palu_stats::mle::{fit_csn, CsnOptions};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use palu_stats::rng::Xoshiro256pp;
 use std::io::Write;
 use std::path::Path;
 
@@ -138,7 +137,7 @@ fn cmd_generate(args: &ParsedArgs) -> Result<(), CliError> {
     let net = params
         .generator(nodes)
         .map_err(|e| CliError::usage(e.to_string()))?
-        .generate(&mut StdRng::seed_from_u64(seed));
+        .generate(&mut Xoshiro256pp::seed_from_u64(seed));
     eprintln!(
         "generated {} nodes, {} edges (C={core}, L={leaves}, U={:.4}, λ={lambda}, α={alpha})",
         net.graph.n_nodes(),
@@ -158,7 +157,7 @@ fn cmd_observe(args: &ParsedArgs) -> Result<(), CliError> {
     }
     let seed = args.u64_or("seed", 1)?;
     let g = io::read_edge_list_path(Path::new(&input)).map_err(CliError::usage)?;
-    let sampled = sample_edges(&g, p, &mut StdRng::seed_from_u64(seed));
+    let sampled = sample_edges(&g, p, &mut Xoshiro256pp::seed_from_u64(seed));
     eprintln!(
         "observed {} of {} edges at p = {p}",
         sampled.n_edges(),
@@ -204,7 +203,9 @@ fn cmd_fit(args: &ParsedArgs) -> Result<(), CliError> {
             .map_err(|e| e.to_string())?;
 
             // Modified Zipf–Mandelbrot.
-            let zm = ZmFitter::default().fit(&pooled, None).map_err(|e| e.to_string())?;
+            let zm = ZmFitter::default()
+                .fit(&pooled, None)
+                .map_err(|e| e.to_string())?;
             writeln!(
                 w,
                 "zipf-mandelbrot: alpha = {:.4}  delta = {:+.4}  residual = {:.5}",
@@ -217,7 +218,8 @@ fn cmd_fit(args: &ParsedArgs) -> Result<(), CliError> {
             // Optional bootstrap CIs.
             let n_boot = args.u64_or("boot", 0).map_err(|e| e.to_string())?;
             if n_boot > 0 {
-                let mut rng = StdRng::seed_from_u64(args.u64_or("seed", 1).map_err(|e| e.to_string())?);
+                let mut rng =
+                    Xoshiro256pp::seed_from_u64(args.u64_or("seed", 1).map_err(|e| e.to_string())?);
                 let boot = ZmFitter::default()
                     .fit_bootstrap(&h, n_boot as usize, 0.9, &mut rng)
                     .map_err(|e| e.to_string())?;
@@ -241,12 +243,15 @@ fn cmd_fit(args: &ParsedArgs) -> Result<(), CliError> {
                     csn.alpha, csn.x_min, csn.ks, csn.n_tail
                 )
                 .map_err(|e| e.to_string())?,
-                Err(e) => writeln!(w, "csn power law:   not fittable ({e})")
-                    .map_err(|e| e.to_string())?,
+                Err(e) => {
+                    writeln!(w, "csn power law:   not fittable ({e})").map_err(|e| e.to_string())?
+                }
             }
 
             // PALU constants, and the underlying inversion when p known.
-            let est = PaluEstimator::default().estimate(&h).map_err(|e| e.to_string())?;
+            let est = PaluEstimator::default()
+                .estimate(&h)
+                .map_err(|e| e.to_string())?;
             writeln!(
                 w,
                 "palu constants:  alpha = {:.4}  c = {:.5}  l = {:.5}  u = {:.5}  Lambda = {:.4}",
@@ -376,9 +381,8 @@ fn cmd_gof(args: &ParsedArgs) -> Result<(), CliError> {
                 fit.alpha, fit.x_min, fit.ks, fit.n_tail
             )
             .map_err(|e| e.to_string())?;
-            let mut rng = StdRng::seed_from_u64(seed);
-            let gof =
-                goodness_of_fit(&h, &opts, n_boot, &mut rng).map_err(|e| e.to_string())?;
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let gof = goodness_of_fit(&h, &opts, n_boot, &mut rng).map_err(|e| e.to_string())?;
             writeln!(
                 w,
                 "goodness of fit: p = {:.3} over {} replicates ({})",
@@ -428,8 +432,7 @@ fn cmd_pool(args: &ParsedArgs) -> Result<(), CliError> {
     if n_v == 0 {
         return Err(CliError::usage("--nv must be positive"));
     }
-    let file = std::fs::File::open(&input)
-        .map_err(|e| CliError::usage(format!("{input}: {e}")))?;
+    let file = std::fs::File::open(&input).map_err(|e| CliError::usage(format!("{input}: {e}")))?;
     // Streaming parse: surface the first malformed line as an error,
     // keep constant memory otherwise.
     let mut parse_error: Option<String> = None;
@@ -526,23 +529,51 @@ mod tests {
         let report = tmp("report.txt");
 
         run(&parse(&[
-            "generate", "--nodes", "120000", "--core", "0.5", "--leaves", "0.2",
-            "--lambda", "3.0", "--alpha", "2.0", "--seed", "7",
-            "--out", net.to_str().unwrap(),
+            "generate",
+            "--nodes",
+            "120000",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "3.0",
+            "--alpha",
+            "2.0",
+            "--seed",
+            "7",
+            "--out",
+            net.to_str().unwrap(),
         ]))
         .unwrap();
         run(&parse(&[
-            "observe", "--in", net.to_str().unwrap(), "--p", "0.5",
-            "--seed", "8", "--out", obs.to_str().unwrap(),
+            "observe",
+            "--in",
+            net.to_str().unwrap(),
+            "--p",
+            "0.5",
+            "--seed",
+            "8",
+            "--out",
+            obs.to_str().unwrap(),
         ]))
         .unwrap();
         run(&parse(&[
-            "degrees", "--in", obs.to_str().unwrap(), "--out", deg.to_str().unwrap(),
+            "degrees",
+            "--in",
+            obs.to_str().unwrap(),
+            "--out",
+            deg.to_str().unwrap(),
         ]))
         .unwrap();
         run(&parse(&[
-            "fit", "--in", deg.to_str().unwrap(), "--p", "0.5",
-            "--out", report.to_str().unwrap(),
+            "fit",
+            "--in",
+            deg.to_str().unwrap(),
+            "--p",
+            "0.5",
+            "--out",
+            report.to_str().unwrap(),
         ]))
         .unwrap();
 
@@ -572,12 +603,31 @@ mod tests {
         let net = tmp("census_net.txt");
         let out = tmp("census_out.txt");
         run(&parse(&[
-            "generate", "--nodes", "10000", "--core", "0.4", "--leaves", "0.2",
-            "--lambda", "2.0", "--alpha", "2.0", "--seed", "3",
-            "--out", net.to_str().unwrap(),
+            "generate",
+            "--nodes",
+            "10000",
+            "--core",
+            "0.4",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--seed",
+            "3",
+            "--out",
+            net.to_str().unwrap(),
         ]))
         .unwrap();
-        run(&parse(&["census", "--in", net.to_str().unwrap(), "--out", out.to_str().unwrap()])).unwrap();
+        run(&parse(&[
+            "census",
+            "--in",
+            net.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(text.contains("unattached links"));
         assert!(text.contains("global clustering"));
@@ -587,8 +637,14 @@ mod tests {
     fn observe_validates_p() {
         let net = tmp("p_net.txt");
         std::fs::write(&net, "0 1\n1 2\n").unwrap();
-        let e = run(&parse(&["observe", "--in", net.to_str().unwrap(), "--p", "1.5"]))
-            .unwrap_err();
+        let e = run(&parse(&[
+            "observe",
+            "--in",
+            net.to_str().unwrap(),
+            "--p",
+            "1.5",
+        ]))
+        .unwrap_err();
         assert!(e.message.contains("[0,1]"));
     }
 
@@ -606,9 +662,23 @@ mod tests {
     fn simulate_produces_pooled_series() {
         let out = tmp("sim_out.txt");
         run(&parse(&[
-            "simulate", "--core", "0.5", "--leaves", "0.2", "--lambda", "2.0",
-            "--alpha", "2.0", "--nodes", "20000", "--nv", "20000",
-            "--windows", "4", "--out", out.to_str().unwrap(),
+            "simulate",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--nodes",
+            "20000",
+            "--nv",
+            "20000",
+            "--windows",
+            "4",
+            "--out",
+            out.to_str().unwrap(),
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -628,16 +698,39 @@ mod tests {
         let deg = tmp("gof_deg.txt");
         let out = tmp("gof_out.txt");
         run(&parse(&[
-            "generate", "--nodes", "60000", "--core", "0.5", "--leaves", "0.2",
-            "--lambda", "2.0", "--alpha", "2.0", "--seed", "5",
-            "--out", net.to_str().unwrap(),
+            "generate",
+            "--nodes",
+            "60000",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--seed",
+            "5",
+            "--out",
+            net.to_str().unwrap(),
         ]))
         .unwrap();
-        run(&parse(&["degrees", "--in", net.to_str().unwrap(), "--out", deg.to_str().unwrap()]))
-            .unwrap();
         run(&parse(&[
-            "gof", "--in", deg.to_str().unwrap(), "--boot", "10",
-            "--out", out.to_str().unwrap(),
+            "degrees",
+            "--in",
+            net.to_str().unwrap(),
+            "--out",
+            deg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&parse(&[
+            "gof",
+            "--in",
+            deg.to_str().unwrap(),
+            "--boot",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -658,8 +751,13 @@ mod tests {
         std::fs::write(&trace, text).unwrap();
         let out = tmp("pool_out.txt");
         run(&parse(&[
-            "pool", "--in", trace.to_str().unwrap(), "--nv", "100",
-            "--out", out.to_str().unwrap(),
+            "pool",
+            "--in",
+            trace.to_str().unwrap(),
+            "--nv",
+            "100",
+            "--out",
+            out.to_str().unwrap(),
         ]))
         .unwrap();
         let result = std::fs::read_to_string(&out).unwrap();
@@ -673,22 +771,33 @@ mod tests {
 
         // Malformed trace → usage error naming the line.
         std::fs::write(&trace, "0 1\nnot a packet\n").unwrap();
-        let e = run(&parse(&["pool", "--in", trace.to_str().unwrap(), "--nv", "1"]))
-            .unwrap_err();
+        let e = run(&parse(&[
+            "pool",
+            "--in",
+            trace.to_str().unwrap(),
+            "--nv",
+            "1",
+        ]))
+        .unwrap_err();
         assert!(e.message.contains("line 2"), "{}", e.message);
 
         // Too few packets → clear error.
         std::fs::write(&trace, "0 1\n").unwrap();
-        let e = run(&parse(&["pool", "--in", trace.to_str().unwrap(), "--nv", "100"]))
-            .unwrap_err();
+        let e = run(&parse(&[
+            "pool",
+            "--in",
+            trace.to_str().unwrap(),
+            "--nv",
+            "100",
+        ]))
+        .unwrap_err();
         assert!(e.message.contains("no complete window"));
     }
 
     #[test]
     fn generate_validates_parameters() {
         let e = run(&parse(&[
-            "generate", "--core", "0.9", "--leaves", "0.9", "--lambda", "1.0",
-            "--alpha", "2.0",
+            "generate", "--core", "0.9", "--leaves", "0.9", "--lambda", "1.0", "--alpha", "2.0",
         ]))
         .unwrap_err();
         assert_eq!(e.code, 2);

@@ -54,7 +54,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, String> {
 /// Write a graph as an edge list.
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# palu edge list: {} nodes, {} edges", g.n_nodes(), g.n_edges())?;
+    writeln!(
+        w,
+        "# palu edge list: {} nodes, {} edges",
+        g.n_nodes(),
+        g.n_edges()
+    )?;
     for &(u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

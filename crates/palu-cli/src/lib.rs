@@ -10,6 +10,7 @@
 pub mod args;
 pub mod commands;
 pub mod io;
+pub mod json;
 
 pub use args::{parse_args, ParsedArgs};
 pub use commands::{run, CliError};

@@ -11,10 +11,9 @@
 use crate::components::Components;
 use crate::graph::Graph;
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Structural counts in the Figure 2 taxonomy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TopologyCensus {
     /// Total nodes, visible or not.
     pub n_nodes: u64,
@@ -148,8 +147,7 @@ impl TopologyCensus {
 mod tests {
     use super::*;
     use crate::palu_gen::{NodeRole, PaluGenerator};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     /// Build the Figure 2 cartoon: a dense core with a supernode, some
     /// supernode leaves, core leaves, two unattached links, one
@@ -236,7 +234,7 @@ mod tests {
     #[test]
     fn palu_network_census_is_consistent_with_roles() {
         let gen = PaluGenerator::new(5_000, 1_500, 2_000, 2.0, 0.8).unwrap();
-        let net = gen.generate(&mut StdRng::seed_from_u64(42));
+        let net = gen.generate(&mut Xoshiro256pp::seed_from_u64(42));
         let c = TopologyCensus::of(&net.graph);
 
         // Isolated nodes are exactly the zero-leaf star centers.

@@ -17,10 +17,9 @@
 
 use crate::graph::Graph;
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Clustering summary of a graph.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Clustering {
     /// Number of triangles (each counted once).
     pub triangles: u64,
@@ -144,8 +143,7 @@ pub fn clustering(g: &Graph) -> Clustering {
 mod tests {
     use super::*;
     use crate::palu_gen::PaluGenerator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     fn triangle() -> Graph {
         let mut g = Graph::with_nodes(3);
@@ -245,7 +243,7 @@ mod tests {
         // All triangles of a PALU network are core-internal: adding
         // leaf/star mass leaves the triangle count unchanged and
         // dilutes nothing else.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let with_extras = PaluGenerator::new(3_000, 2_000, 1_000, 2.0, 2.0)
             .unwrap()
             .generate(&mut rng);
@@ -261,12 +259,15 @@ mod tests {
         }
         let cc = clustering(&core_only);
         assert_eq!(c.triangles, cc.triangles, "triangles must be core-internal");
-        assert!(c.triangles > 0, "a dense-enough core should close triangles");
+        assert!(
+            c.triangles > 0,
+            "a dense-enough core should close triangles"
+        );
     }
 
     #[test]
     fn global_clustering_bounded() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let net = PaluGenerator::new(2_000, 500, 500, 2.0, 1.0)
             .unwrap()
             .generate(&mut rng);

@@ -79,13 +79,16 @@ impl Components {
         // Densify the root labels.
         let mut labels = vec![u32::MAX; n as usize];
         let mut node_counts = Vec::new();
-        let mut root_to_label = std::collections::HashMap::new();
+        // Roots are node ids (< n), so a dense vector maps root -> label
+        // with labels handed out in first-appearance order.
+        let mut root_to_label = vec![u32::MAX; n as usize];
         for x in 0..n {
             let r = uf.find(x);
-            let label = *root_to_label.entry(r).or_insert_with(|| {
+            if root_to_label[r as usize] == u32::MAX {
+                root_to_label[r as usize] = node_counts.len() as u32;
                 node_counts.push(0u32);
-                (node_counts.len() - 1) as u32
-            });
+            }
+            let label = root_to_label[r as usize];
             labels[x as usize] = label;
             node_counts[label as usize] += 1;
         }

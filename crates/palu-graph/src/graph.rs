@@ -10,10 +10,9 @@
 
 use crate::NodeId;
 use palu_stats::histogram::DegreeHistogram;
-use serde::{Deserialize, Serialize};
 
 /// An undirected multigraph over nodes `0..n_nodes`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Graph {
     n_nodes: NodeId,
     edges: Vec<(NodeId, NodeId)>,

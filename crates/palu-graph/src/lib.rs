@@ -22,13 +22,22 @@
 //! * [`clustering`] — global and average-local clustering coefficients
 //!   (the paper's future-work item; all PALU transitivity lives in the
 //!   core).
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
+/// Structural census of a generated topology (role counts, degree tallies).
 pub mod census;
+/// Global and average-local clustering coefficients.
 pub mod clustering;
+/// Connected-component labeling and size distributions.
 pub mod components;
+/// The adjacency-list graph container shared by all generators.
 pub mod graph;
+/// Baseline random-graph generators (configuration model, G(n,p), PA, stars).
 pub mod models;
+/// The hybrid PALU topology generator (PA core + lognormal leaves + unattached).
 pub mod palu_gen;
+/// Subsampling a topology through an observation window.
 pub mod sample;
 
 pub use census::TopologyCensus;

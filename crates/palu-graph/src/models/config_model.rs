@@ -12,8 +12,8 @@ use crate::graph::Graph;
 use crate::NodeId;
 use palu_stats::distributions::{DiscreteDistribution, TruncatedZeta};
 use palu_stats::error::StatsError;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use palu_stats::rng::Rng;
+use palu_stats::rng::SliceRandom;
 
 /// Power-law configuration-model generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,13 +107,12 @@ impl PowerLawConfigModel {
     }
 
     /// Wire a *given* degree sequence (must have even sum).
-    pub fn generate_with_degrees<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        degrees: &[u64],
-    ) -> Graph {
+    pub fn generate_with_degrees<R: Rng + ?Sized>(&self, rng: &mut R, degrees: &[u64]) -> Graph {
         let total: u64 = degrees.iter().sum();
-        assert!(total.is_multiple_of(2), "degree sequence must have even sum");
+        assert!(
+            total.is_multiple_of(2),
+            "degree sequence must have even sum"
+        );
         let mut stubs: Vec<NodeId> = Vec::with_capacity(total as usize);
         for (node, &d) in degrees.iter().enumerate() {
             for _ in 0..d {
@@ -123,6 +122,8 @@ impl PowerLawConfigModel {
         stubs.shuffle(rng);
 
         let mut g = Graph::with_capacity(degrees.len() as NodeId, stubs.len() / 2);
+        // Membership-only dedup, never iterated; edge order follows the
+        // shuffled stub order. lint:allow(R2)
         let mut seen = std::collections::HashSet::with_capacity(stubs.len() / 2);
         for pair in stubs.chunks_exact(2) {
             let (u, v) = (pair[0], pair[1]);
@@ -146,8 +147,7 @@ impl PowerLawConfigModel {
 mod tests {
     use super::*;
     use palu_stats::mle::fit_alpha_discrete;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     #[test]
     fn construction_validates() {
@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn degree_sequence_has_even_sum() {
         let m = PowerLawConfigModel::new(10_001, 2.2).unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         for _ in 0..10 {
             let d = m.sample_degrees(&mut rng);
             assert_eq!(d.len(), 10_001);
@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn generated_graph_is_simple() {
         let m = PowerLawConfigModel::new(5_000, 2.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
         let g = m.generate(&mut rng);
         // No self-loops.
         assert!(g.edges().iter().all(|&(u, v)| u != v));
@@ -204,7 +204,7 @@ mod tests {
         // collisions around the hubs bias the realization upward.
         for &(alpha, tol) in &[(1.7, 0.2), (2.0, 0.1), (2.5, 0.1)] {
             let m = PowerLawConfigModel::new(60_000, alpha).unwrap();
-            let mut rng = StdRng::seed_from_u64(100 + (alpha * 10.0) as u64);
+            let mut rng = Xoshiro256pp::seed_from_u64(100 + (alpha * 10.0) as u64);
             let g = m.generate(&mut rng);
             let h = g.degree_histogram();
             let fit = fit_alpha_discrete(&h, 1).unwrap();
@@ -219,8 +219,10 @@ mod tests {
     #[test]
     fn multigraph_mode_is_unbiased_at_low_alpha() {
         let alpha = 1.7;
-        let m = PowerLawConfigModel::new(60_000, alpha).unwrap().multigraph();
-        let mut rng = StdRng::seed_from_u64(117);
+        let m = PowerLawConfigModel::new(60_000, alpha)
+            .unwrap()
+            .multigraph();
+        let mut rng = Xoshiro256pp::seed_from_u64(117);
         let g = m.generate(&mut rng);
         let fit = fit_alpha_discrete(&g.degree_histogram(), 1).unwrap();
         assert!(
@@ -233,7 +235,7 @@ mod tests {
     #[test]
     fn erasure_is_small_for_moderate_alpha() {
         let m = PowerLawConfigModel::new(20_000, 2.5).unwrap();
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
         let degrees = m.sample_degrees(&mut rng);
         let stub_edges: u64 = degrees.iter().sum::<u64>() / 2;
         let g = m.generate_with_degrees(&mut rng, &degrees);
@@ -251,7 +253,7 @@ mod tests {
         // and mostly exactly 2.
         let m = PowerLawConfigModel::new(1000, 2.0).unwrap();
         let degrees = vec![2u64; 1000];
-        let mut rng = StdRng::seed_from_u64(14);
+        let mut rng = Xoshiro256pp::seed_from_u64(14);
         let g = m.generate_with_degrees(&mut rng, &degrees);
         let realized = g.degrees();
         assert!(realized.iter().all(|&d| d <= 2));
@@ -263,15 +265,15 @@ mod tests {
     #[should_panic(expected = "even sum")]
     fn odd_degree_sum_panics() {
         let m = PowerLawConfigModel::new(3, 2.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(15);
+        let mut rng = Xoshiro256pp::seed_from_u64(15);
         m.generate_with_degrees(&mut rng, &[1, 1, 1]);
     }
 
     #[test]
     fn determinism_per_seed() {
         let m = PowerLawConfigModel::new(2000, 2.2).unwrap();
-        let g1 = m.generate(&mut StdRng::seed_from_u64(77));
-        let g2 = m.generate(&mut StdRng::seed_from_u64(77));
+        let g1 = m.generate(&mut Xoshiro256pp::seed_from_u64(77));
+        let g2 = m.generate(&mut Xoshiro256pp::seed_from_u64(77));
         assert_eq!(g1, g2);
     }
 }

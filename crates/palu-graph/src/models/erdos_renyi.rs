@@ -11,7 +11,7 @@
 use crate::graph::Graph;
 use crate::NodeId;
 use palu_stats::error::StatsError;
-use rand::Rng;
+use palu_stats::rng::Rng;
 
 /// Generate `G(n, p)`: each of the `n·(n−1)/2` possible undirected
 /// edges appears independently with probability `p`.
@@ -25,7 +25,10 @@ use rand::Rng;
 /// Returns [`StatsError::Domain`] if `p ∉ [0, 1]`.
 pub fn gnp<R: Rng + ?Sized>(n: NodeId, p: f64, rng: &mut R) -> Result<Graph, StatsError> {
     if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-        return Err(StatsError::domain("gnp", format!("p must be in [0,1], got {p}")));
+        return Err(StatsError::domain(
+            "gnp",
+            format!("p must be in [0,1], got {p}"),
+        ));
     }
     let mut g = Graph::with_nodes(n);
     if p == 0.0 || n < 2 {
@@ -74,6 +77,8 @@ pub fn gnm<R: Rng + ?Sized>(n: NodeId, m: u64, rng: &mut R) -> Result<Graph, Sta
         ));
     }
     let mut g = Graph::with_capacity(n, m as usize);
+    // Membership-only dedup, never iterated; edges land in draw order.
+    // lint:allow(R2)
     let mut chosen = std::collections::HashSet::with_capacity(m as usize);
     while (chosen.len() as u64) < m {
         let u = rng.gen_range(0..n);
@@ -92,12 +97,11 @@ pub fn gnm<R: Rng + ?Sized>(n: NodeId, m: u64, rng: &mut R) -> Result<Graph, Sta
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     #[test]
     fn gnp_validates_p() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         assert!(gnp(10, -0.1, &mut rng).is_err());
         assert!(gnp(10, 1.1, &mut rng).is_err());
         assert!(gnp(10, f64::NAN, &mut rng).is_err());
@@ -105,7 +109,7 @@ mod tests {
 
     #[test]
     fn gnp_extremes() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let empty = gnp(20, 0.0, &mut rng).unwrap();
         assert_eq!(empty.n_edges(), 0);
         let full = gnp(20, 1.0, &mut rng).unwrap();
@@ -121,7 +125,7 @@ mod tests {
         let n = 500u32;
         let p = 0.02;
         let expected = (n as f64) * (n as f64 - 1.0) / 2.0 * p;
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut total = 0usize;
         let reps = 20;
         for _ in 0..reps {
@@ -138,7 +142,7 @@ mod tests {
 
     #[test]
     fn gnp_edges_are_valid_and_simple() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let g = gnp(300, 0.05, &mut rng).unwrap();
         let mut keys: Vec<_> = g
             .edges()
@@ -160,10 +164,9 @@ mod tests {
         // Mean degree should be (n−1)p.
         let n = 2000u32;
         let p = 0.005;
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let g = gnp(n, p, &mut rng).unwrap();
-        let mean_deg =
-            g.degrees().iter().sum::<u64>() as f64 / n as f64;
+        let mean_deg = g.degrees().iter().sum::<u64>() as f64 / n as f64;
         let expected = (n - 1) as f64 * p;
         assert!(
             (mean_deg - expected).abs() < 0.5,
@@ -173,7 +176,7 @@ mod tests {
 
     #[test]
     fn gnm_exact_edge_count() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let g = gnm(100, 250, &mut rng).unwrap();
         assert_eq!(g.n_edges(), 250);
         assert_eq!(g.n_nodes(), 100);
@@ -190,7 +193,7 @@ mod tests {
 
     #[test]
     fn gnm_bounds() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         assert!(gnm(5, 11, &mut rng).is_err()); // max is 10
         let full = gnm(5, 10, &mut rng).unwrap();
         assert_eq!(full.n_edges(), 10);

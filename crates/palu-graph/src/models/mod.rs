@@ -12,9 +12,13 @@
 //! * [`star`] — Poisson star components modeling the unattached
 //!   population.
 
+/// Configuration-model sampling of a prescribed power-law degree sequence.
 pub mod config_model;
+/// `G(n, p)` / `G(n, m)` Erdős–Rényi baselines.
 pub mod erdos_renyi;
+/// Preferential-attachment (Barabási–Albert style) core generator.
 pub mod preferential;
+/// Poisson star components modeling the unattached population.
 pub mod star;
 
 pub use config_model::PowerLawConfigModel;

@@ -13,7 +13,7 @@
 use crate::graph::Graph;
 use crate::NodeId;
 use palu_stats::error::StatsError;
-use rand::Rng;
+use palu_stats::rng::Rng;
 
 /// Barabási–Albert preferential attachment with optional kernel shift.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,11 +59,7 @@ impl BarabasiAlbert {
                 format!("kernel shift must exceed -m, got {shift}"),
             ));
         }
-        Ok(BarabasiAlbert {
-            n_nodes,
-            m,
-            shift,
-        })
+        Ok(BarabasiAlbert { n_nodes, m, shift })
     }
 
     /// Target exponent for a *shifted* process (`3 + shift/m`); classic
@@ -148,8 +144,7 @@ impl BarabasiAlbert {
 mod tests {
     use super::*;
     use palu_stats::regression::log_log_ols;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     #[test]
     fn construction_validates() {
@@ -163,7 +158,7 @@ mod tests {
     #[test]
     fn edge_and_node_counts() {
         let ba = BarabasiAlbert::new(1000, 3).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let g = ba.generate(&mut rng);
         assert_eq!(g.n_nodes(), 1000);
         // Seed star has m edges; each of the remaining n-m-1 nodes adds m.
@@ -175,7 +170,7 @@ mod tests {
     #[test]
     fn no_self_loops() {
         let ba = BarabasiAlbert::new(500, 2).unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let g = ba.generate(&mut rng);
         assert!(g.edges().iter().all(|&(u, v)| u != v));
     }
@@ -183,7 +178,7 @@ mod tests {
     #[test]
     fn classic_ba_exponent_near_three() {
         let ba = BarabasiAlbert::new(60_000, 2).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let g = ba.generate(&mut rng);
         let h = g.degree_histogram();
         // Fit the tail (d ≥ 8) slope on the raw log-log histogram.
@@ -206,7 +201,7 @@ mod tests {
         // below classic BA's 3 and near the target.
         let ba = BarabasiAlbert::with_shift(60_000, 3, -1.5).unwrap();
         assert!((ba.target_exponent() - 2.5).abs() < 1e-12);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let g = ba.generate(&mut rng);
         let h = g.degree_histogram();
         let (xs, ys): (Vec<f64>, Vec<f64>) = h
@@ -227,7 +222,7 @@ mod tests {
         // shift = +2, m = 2 → α = 4: heavier small-degree mass than BA.
         let steep = BarabasiAlbert::with_shift(20_000, 2, 2.0).unwrap();
         let classic = BarabasiAlbert::new(20_000, 2).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let gs = steep.generate(&mut rng);
         let gc = classic.generate(&mut rng);
         // A steeper distribution has a smaller max degree, typically.
@@ -242,10 +237,10 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let ba = BarabasiAlbert::new(500, 2).unwrap();
-        let g1 = ba.generate(&mut StdRng::seed_from_u64(9));
-        let g2 = ba.generate(&mut StdRng::seed_from_u64(9));
+        let g1 = ba.generate(&mut Xoshiro256pp::seed_from_u64(9));
+        let g2 = ba.generate(&mut Xoshiro256pp::seed_from_u64(9));
         assert_eq!(g1, g2);
-        let g3 = ba.generate(&mut StdRng::seed_from_u64(10));
+        let g3 = ba.generate(&mut Xoshiro256pp::seed_from_u64(10));
         assert_ne!(g1, g3);
     }
 }

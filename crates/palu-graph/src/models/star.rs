@@ -11,7 +11,7 @@ use crate::graph::Graph;
 use crate::NodeId;
 use palu_stats::distributions::{DiscreteDistribution, Poisson};
 use palu_stats::error::StatsError;
-use rand::Rng;
+use palu_stats::rng::Rng;
 
 /// Generator for a forest of `U_N` Poisson(λ) stars.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,8 +114,7 @@ impl StarForest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     #[test]
     fn construction_validates_lambda() {
@@ -127,7 +126,7 @@ mod tests {
     #[test]
     fn structure_is_a_star_forest() {
         let gen = PoissonStars::new(500, 2.5).unwrap();
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
         let f = gen.generate(&mut rng);
         assert_eq!(f.graph.n_nodes(), f.total_nodes());
         // Every edge connects a center (id < n_centers) to a leaf.
@@ -149,7 +148,7 @@ mod tests {
     fn isolated_center_fraction_matches_poisson() {
         let lambda = 1.2;
         let gen = PoissonStars::new(50_000, lambda).unwrap();
-        let mut rng = StdRng::seed_from_u64(22);
+        let mut rng = Xoshiro256pp::seed_from_u64(22);
         let f = gen.generate(&mut rng);
         let frac = f.isolated_centers.len() as f64 / 50_000.0;
         let expected = (-lambda).exp();
@@ -165,7 +164,7 @@ mod tests {
     fn mean_size_matches_lambda() {
         let lambda = 3.0;
         let gen = PoissonStars::new(20_000, lambda).unwrap();
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
         let f = gen.generate(&mut rng);
         let mean_leaves = f.n_leaves as f64 / 20_000.0;
         assert!(
@@ -178,7 +177,7 @@ mod tests {
     #[test]
     fn lambda_zero_gives_all_isolated() {
         let gen = PoissonStars::new(100, 0.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(24);
+        let mut rng = Xoshiro256pp::seed_from_u64(24);
         let f = gen.generate(&mut rng);
         assert_eq!(f.n_leaves, 0);
         assert_eq!(f.isolated_centers.len(), 100);
@@ -191,7 +190,7 @@ mod tests {
         // Small λ ⇒ many single-leaf stars: count must match a manual
         // census of components with exactly 2 nodes and 1 edge.
         let gen = PoissonStars::new(10_000, 0.7).unwrap();
-        let mut rng = StdRng::seed_from_u64(25);
+        let mut rng = Xoshiro256pp::seed_from_u64(25);
         let f = gen.generate(&mut rng);
         let comps = crate::components::Components::of(&f.graph);
         let pair_components = comps
@@ -205,8 +204,8 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let gen = PoissonStars::new(1000, 1.5).unwrap();
-        let f1 = gen.generate(&mut StdRng::seed_from_u64(9));
-        let f2 = gen.generate(&mut StdRng::seed_from_u64(9));
+        let f1 = gen.generate(&mut Xoshiro256pp::seed_from_u64(9));
+        let f2 = gen.generate(&mut Xoshiro256pp::seed_from_u64(9));
         assert_eq!(f1.graph, f2.graph);
         assert_eq!(f1.isolated_centers, f2.isolated_centers);
     }

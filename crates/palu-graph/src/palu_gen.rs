@@ -15,11 +15,10 @@ use crate::graph::Graph;
 use crate::models::{BarabasiAlbert, PoissonStars, PowerLawConfigModel};
 use crate::NodeId;
 use palu_stats::error::StatsError;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use palu_stats::rng::Rng;
 
 /// Which generator realizes the preferential-attachment core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CoreGenerator {
     /// Configuration model with exact `d^{-α}/ζ(α)` degrees (paper's
     /// distributional assumption; works for any `α > 1`). The default.
@@ -33,7 +32,7 @@ pub enum CoreGenerator {
 }
 
 /// How leaves pick their core anchor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeafAttachment {
     /// Proportional to core degree — produces the "supernode leaves"
     /// topology of Figure 2 (most leaves cluster on the supernode).
@@ -43,7 +42,7 @@ pub enum LeafAttachment {
 }
 
 /// Role of a node in the underlying network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeRole {
     /// Member of the preferential-attachment core.
     Core,
@@ -61,9 +60,9 @@ pub enum NodeRole {
 ///
 /// ```
 /// use palu_graph::palu_gen::{NodeRole, PaluGenerator};
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use palu_stats::rng::Xoshiro256pp;
 /// let gen = PaluGenerator::new(5_000, 1_000, 500, 2.0, 2.0).unwrap();
-/// let net = gen.generate(&mut StdRng::seed_from_u64(1));
+/// let net = gen.generate(&mut Xoshiro256pp::seed_from_u64(1));
 /// assert_eq!(net.count_role(NodeRole::Core), 5_000);
 /// assert_eq!(net.count_role(NodeRole::Leaf), 1_000);
 /// // Star leaves are Poisson: ≈ 500·λ = 1000 of them.
@@ -167,7 +166,7 @@ impl PaluGenerator {
                             stubs.push(node as NodeId);
                         }
                     }
-                    use rand::seq::SliceRandom;
+                    use palu_stats::rng::SliceRandom;
                     stubs.shuffle(rng);
                     let reserve = (self.n_leaves as usize).min(stubs.len().saturating_sub(2));
                     let mut anchors: Vec<NodeId> = stubs.split_off(stubs.len() - reserve);
@@ -274,7 +273,7 @@ impl PaluGenerator {
 }
 
 /// A generated underlying network with role bookkeeping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnderlyingNetwork {
     /// The full graph (core ∪ leaves ∪ stars).
     pub graph: Graph,
@@ -344,7 +343,7 @@ impl UnderlyingNetwork {
 
 /// Observed-degree histograms split by underlying role — see
 /// [`UnderlyingNetwork::role_decomposition`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoleDecomposition {
     /// Visible core nodes by observed degree.
     pub core: palu_stats::histogram::DegreeHistogram,
@@ -372,13 +371,12 @@ impl RoleDecomposition {
 mod tests {
     use super::*;
     use crate::components::Components;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     fn generate_default(seed: u64) -> UnderlyingNetwork {
         PaluGenerator::new(5_000, 2_000, 1_000, 2.0, 2.0)
             .unwrap()
-            .generate(&mut StdRng::seed_from_u64(seed))
+            .generate(&mut Xoshiro256pp::seed_from_u64(seed))
     }
 
     #[test]
@@ -398,10 +396,7 @@ mod tests {
         // Star leaves are random: E ≈ U_N·λ = 2000.
         let star_leaves = net.count_role(NodeRole::StarLeaf);
         assert!((star_leaves as f64 - 2_000.0).abs() < 300.0);
-        assert_eq!(
-            net.n_nodes() as u64,
-            5_000 + 2_000 + 1_000 + star_leaves
-        );
+        assert_eq!(net.n_nodes() as u64, 5_000 + 2_000 + 1_000 + star_leaves);
         assert_eq!(net.roles.len(), net.n_nodes() as usize);
     }
 
@@ -466,11 +461,11 @@ mod tests {
         let seed = 5;
         let pref = PaluGenerator::new(3_000, 3_000, 0, 2.0, 0.0)
             .unwrap()
-            .generate(&mut StdRng::seed_from_u64(seed));
+            .generate(&mut Xoshiro256pp::seed_from_u64(seed));
         let unif = PaluGenerator::new(3_000, 3_000, 0, 2.0, 0.0)
             .unwrap()
             .with_leaf_attachment(LeafAttachment::Uniform)
-            .generate(&mut StdRng::seed_from_u64(seed));
+            .generate(&mut Xoshiro256pp::seed_from_u64(seed));
 
         let count_supernode_leaves = |net: &UnderlyingNetwork| {
             let (sn, _) = net.graph.supernode().unwrap();
@@ -493,7 +488,7 @@ mod tests {
         let net = PaluGenerator::new(2_000, 500, 200, 2.5, 1.0)
             .unwrap()
             .with_core_generator(CoreGenerator::BarabasiAlbert { m: 2 })
-            .generate(&mut StdRng::seed_from_u64(6));
+            .generate(&mut Xoshiro256pp::seed_from_u64(6));
         assert_eq!(net.count_role(NodeRole::Core), 2_000);
         // BA core is connected: no isolated core nodes.
         let degs = net.graph.degrees();
@@ -515,7 +510,7 @@ mod tests {
     fn role_decomposition_partitions_the_histogram() {
         use crate::sample::sample_edges;
         let net = generate_default(11);
-        let observed = sample_edges(&net.graph, 0.5, &mut StdRng::seed_from_u64(12));
+        let observed = sample_edges(&net.graph, 0.5, &mut Xoshiro256pp::seed_from_u64(12));
         let decomp = net.role_decomposition(&observed);
         // The parts recombine into the whole.
         assert_eq!(decomp.combined(), observed.degree_histogram());
@@ -538,7 +533,7 @@ mod tests {
     fn zero_leaves_zero_stars_degenerates_to_core() {
         let net = PaluGenerator::new(1_000, 0, 0, 2.0, 0.0)
             .unwrap()
-            .generate(&mut StdRng::seed_from_u64(8));
+            .generate(&mut Xoshiro256pp::seed_from_u64(8));
         assert_eq!(net.n_nodes(), 1_000);
         assert!(net.roles.iter().all(|&r| r == NodeRole::Core));
         assert!(net.isolated_star_centers.is_empty());

@@ -9,7 +9,7 @@
 
 use crate::graph::Graph;
 use crate::palu_gen::UnderlyingNetwork;
-use rand::Rng;
+use palu_stats::rng::Rng;
 
 /// Retain each edge of `g` independently with probability `p`. The
 /// node set is preserved (nodes that lose all edges become invisible
@@ -20,12 +20,12 @@ use rand::Rng;
 /// ```
 /// use palu_graph::graph::Graph;
 /// use palu_graph::sample::sample_edges;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use palu_stats::rng::Xoshiro256pp;
 /// let mut g = Graph::with_nodes(1000);
 /// for i in 0..999 {
 ///     g.add_edge(i, i + 1);
 /// }
-/// let observed = sample_edges(&g, 0.5, &mut StdRng::seed_from_u64(1));
+/// let observed = sample_edges(&g, 0.5, &mut Xoshiro256pp::seed_from_u64(1));
 /// assert_eq!(observed.n_nodes(), 1000);       // node set preserved
 /// assert!(observed.n_edges() < g.n_edges());  // edges thinned
 /// ```
@@ -68,11 +68,7 @@ pub struct ObservedNetwork {
 
 impl ObservedNetwork {
     /// Observe an underlying network through window parameter `p`.
-    pub fn observe<R: Rng + ?Sized>(
-        underlying: &UnderlyingNetwork,
-        p: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn observe<R: Rng + ?Sized>(underlying: &UnderlyingNetwork, p: f64, rng: &mut R) -> Self {
         ObservedNetwork {
             graph: sample_edges(&underlying.graph, p, rng),
             p,
@@ -95,8 +91,7 @@ impl ObservedNetwork {
 mod tests {
     use super::*;
     use crate::palu_gen::PaluGenerator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     fn chain(n: u32) -> Graph {
         let mut g = Graph::with_nodes(n);
@@ -109,7 +104,7 @@ mod tests {
     #[test]
     fn p_zero_and_one() {
         let g = chain(100);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let none = sample_edges(&g, 0.0, &mut rng);
         assert_eq!(none.n_edges(), 0);
         assert_eq!(none.n_nodes(), 100);
@@ -122,7 +117,7 @@ mod tests {
     #[should_panic(expected = "retention probability")]
     fn invalid_p_panics() {
         let g = chain(3);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         sample_edges(&g, 1.5, &mut rng);
     }
 
@@ -130,7 +125,7 @@ mod tests {
     fn retention_rate_concentrates_at_p() {
         let g = chain(100_000);
         let p = 0.37;
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let s = sample_edges(&g, p, &mut rng);
         let rate = s.n_edges() as f64 / g.n_edges() as f64;
         // Binomial SE ≈ sqrt(p(1-p)/E) ≈ 0.0015.
@@ -140,7 +135,7 @@ mod tests {
     #[test]
     fn sampled_edges_are_a_subset() {
         let g = chain(1000);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let s = sample_edges(&g, 0.5, &mut rng);
         let original: std::collections::HashSet<_> = g.edges().iter().collect();
         for e in s.edges() {
@@ -156,7 +151,7 @@ mod tests {
         for v in 1..=10_000 {
             g.add_edge(0, v);
         }
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let s = sample_edges(&g, 0.3, &mut rng);
         let d0 = s.degrees()[0];
         assert!(
@@ -169,8 +164,8 @@ mod tests {
     fn observe_underlying_network() {
         let net = PaluGenerator::new(2_000, 500, 300, 2.0, 1.5)
             .unwrap()
-            .generate(&mut StdRng::seed_from_u64(6));
-        let mut rng = StdRng::seed_from_u64(7);
+            .generate(&mut Xoshiro256pp::seed_from_u64(6));
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let obs = ObservedNetwork::observe(&net, 0.5, &mut rng);
         assert_eq!(obs.p, 0.5);
         assert_eq!(obs.graph.n_nodes(), net.graph.n_nodes());
@@ -185,8 +180,8 @@ mod tests {
         // to 1 … it is more likely to see more edges."
         let net = PaluGenerator::new(3_000, 1_000, 500, 2.0, 2.0)
             .unwrap()
-            .generate(&mut StdRng::seed_from_u64(8));
-        let mut rng = StdRng::seed_from_u64(9);
+            .generate(&mut Xoshiro256pp::seed_from_u64(8));
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let lo = ObservedNetwork::observe(&net, 0.1, &mut rng);
         let hi = ObservedNetwork::observe(&net, 0.9, &mut rng);
         assert!(lo.visible_nodes() < hi.visible_nodes());

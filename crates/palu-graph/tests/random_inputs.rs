@@ -1,0 +1,195 @@
+//! Randomized-input fallback for the gated proptest suite
+//! (`tests/proptest_graph.rs`): the same invariants, driven by the
+//! in-repo deterministic RNG so they run in the offline build.
+
+use palu_graph::census::TopologyCensus;
+use palu_graph::components::Components;
+use palu_graph::graph::Graph;
+use palu_graph::models::{gnm, gnp, PoissonStars, PowerLawConfigModel};
+use palu_graph::palu_gen::{NodeRole, PaluGenerator};
+use palu_graph::sample::sample_edges;
+use palu_stats::rng::{Rng, Xoshiro256pp};
+
+const CASES: usize = 60;
+
+fn uniform(rng: &mut Xoshiro256pp, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+fn random_graph(rng: &mut Xoshiro256pp, n: u32, max_edges: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for _ in 0..rng.gen_range(0..max_edges) {
+        g.add_edge(rng.gen_range(0..n), rng.gen_range(0..n));
+    }
+    g
+}
+
+#[test]
+fn handshake_lemma() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6001);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng, 50, 200);
+        let degree_sum: u64 = g.degrees().iter().sum();
+        assert_eq!(degree_sum, 2 * g.n_edges() as u64);
+        let h = g.degree_histogram_with_isolated();
+        assert_eq!(h.total(), 50);
+        assert_eq!(h.degree_sum(), degree_sum);
+    }
+}
+
+#[test]
+fn components_partition_the_nodes() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6002);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng, 40, 100);
+        let c = Components::of(&g);
+        let total: u32 = (0..c.count() as u32).map(|l| c.node_count(l)).sum();
+        assert_eq!(total, 40);
+        let edge_total: u64 = (0..c.count() as u32).map(|l| c.edge_count(l)).sum();
+        assert_eq!(edge_total, g.n_edges() as u64);
+        for &(u, v) in g.edges() {
+            assert_eq!(c.label(u), c.label(v));
+        }
+        for (_, nodes, e) in c.iter() {
+            assert!(e + 1 >= nodes as u64 || nodes == 1);
+        }
+    }
+}
+
+#[test]
+fn gnp_produces_simple_graphs_and_gnm_exact_edges() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6003);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2u32..150);
+        let p = 0.3 * rng.gen::<f64>();
+        let g = gnp(n, p, &mut rng).unwrap();
+        assert_eq!(g.n_nodes(), n);
+        let mut keys: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u != v);
+                assert!(u < n && v < n);
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+
+        let m = (n as u64 * (n as u64 - 1) / 2) / 3;
+        let g = gnm(n, m, &mut rng).unwrap();
+        assert_eq!(g.n_edges() as u64, m);
+    }
+}
+
+#[test]
+fn config_model_degrees_bounded_by_sequence() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6004);
+    for _ in 0..CASES {
+        let n = rng.gen_range(10u32..500);
+        let alpha = uniform(&mut rng, 1.6, 3.0);
+        let m = PowerLawConfigModel::new(n, alpha).unwrap();
+        let degrees = m.sample_degrees(&mut rng);
+        let g = m.generate_with_degrees(&mut rng, &degrees);
+        for (node, &d) in g.degrees().iter().enumerate() {
+            assert!(d <= degrees[node]);
+        }
+        assert_eq!(g.n_nodes(), n);
+    }
+}
+
+#[test]
+fn star_forest_structure() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6005);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1u32..300);
+        let lambda = uniform(&mut rng, 0.0, 6.0);
+        let f = PoissonStars::new(n, lambda).unwrap().generate(&mut rng);
+        assert_eq!(f.graph.n_edges() as u32, f.n_leaves);
+        assert_eq!(f.total_nodes(), n + f.n_leaves);
+        let degs = f.graph.degrees();
+        let isolated: std::collections::HashSet<_> = f.isolated_centers.iter().copied().collect();
+        for c in 0..n {
+            if isolated.contains(&c) {
+                assert_eq!(degs[c as usize], 0);
+            } else {
+                assert!(degs[c as usize] >= 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn sampling_yields_a_sub_multiset() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6006);
+    for _ in 0..CASES {
+        let g = random_graph(&mut rng, 60, 200);
+        let p = rng.gen::<f64>();
+        let s = sample_edges(&g, p, &mut rng);
+        assert!(s.n_edges() <= g.n_edges());
+        assert_eq!(s.n_nodes(), g.n_nodes());
+        let mut pool: std::collections::HashMap<(u32, u32), i64> = std::collections::HashMap::new();
+        for &e in g.edges() {
+            *pool.entry(e).or_insert(0) += 1;
+        }
+        for &e in s.edges() {
+            let c = pool.entry(e).or_insert(0);
+            *c -= 1;
+            assert!(*c >= 0);
+        }
+    }
+}
+
+#[test]
+fn palu_network_role_invariants() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6007);
+    for _ in 0..CASES {
+        let n_core = rng.gen_range(10u32..400);
+        let n_leaves = rng.gen_range(0u32..200);
+        let n_stars = rng.gen_range(0u32..200);
+        let alpha = uniform(&mut rng, 1.6, 3.0);
+        let lambda = uniform(&mut rng, 0.0, 5.0);
+        let gen = PaluGenerator::new(n_core, n_leaves, n_stars, alpha, lambda).unwrap();
+        let net = gen.generate(&mut rng);
+        assert_eq!(net.count_role(NodeRole::Core), n_core as u64);
+        assert_eq!(net.count_role(NodeRole::Leaf), n_leaves as u64);
+        assert_eq!(net.count_role(NodeRole::StarCenter), n_stars as u64);
+        assert_eq!(net.roles.len(), net.n_nodes() as usize);
+        let degs = net.graph.degrees();
+        for (v, &role) in net.roles.iter().enumerate() {
+            if matches!(role, NodeRole::Leaf | NodeRole::StarLeaf) {
+                assert_eq!(degs[v], 1);
+            }
+        }
+        let iso: std::collections::HashSet<_> = net.isolated_star_centers.iter().copied().collect();
+        for &c in &iso {
+            assert_eq!(degs[c as usize], 0);
+        }
+        for v in 0..net.n_nodes() {
+            if degs[v as usize] == 0 && !iso.contains(&v) {
+                assert_eq!(net.role(v), NodeRole::Core, "node {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn census_internal_consistency() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6008);
+    for _ in 0..CASES {
+        let extra_isolated = rng.gen_range(0u32..10);
+        let mut g = Graph::with_nodes(50 + extra_isolated);
+        for _ in 0..rng.gen_range(0usize..150) {
+            g.add_edge(rng.gen_range(0u32..50), rng.gen_range(0u32..50));
+        }
+        let c = TopologyCensus::of(&g);
+        assert_eq!(c.n_nodes, (50 + extra_isolated) as u64);
+        assert_eq!(c.n_edges, g.n_edges() as u64);
+        assert!(c.core_nodes <= c.n_nodes - c.isolated_nodes || c.n_edges == 0);
+        assert!(c.supernode_leaves <= c.supernode_degree);
+        assert!(c.unattached_links <= c.nontrivial_components);
+        assert!(c.core_fraction() <= 1.0 + 1e-12);
+    }
+}

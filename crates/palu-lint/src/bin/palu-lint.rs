@@ -1,0 +1,81 @@
+//! Command-line driver for the lint gate.
+//!
+//! ```text
+//! palu-lint [--root <dir>]          # run all rules, exit 1 on errors
+//! palu-lint --write-baseline        # regenerate the R4 budget file
+//! palu-lint --rules                 # list the registry
+//! ```
+
+use palu_lint::{has_errors, run_all, write_r4_baseline, LintConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = String::from(".");
+    let mut write_baseline = false;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = dir,
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => write_baseline = true,
+            "--rules" => list_rules = true,
+            "--help" | "-h" => {
+                eprintln!("usage: palu-lint [--root <dir>] [--write-baseline] [--rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in palu_lint::rules::REGISTRY {
+            println!("{:<4} {:<20} {}", r.id, r.name, r.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = LintConfig::new(&root);
+    if write_baseline {
+        return match write_r4_baseline(&cfg) {
+            Ok(path) => {
+                println!("wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("palu-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match run_all(&cfg) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if has_errors(&diags) {
+                eprintln!("palu-lint: {} finding(s)", diags.len());
+                ExitCode::FAILURE
+            } else {
+                println!(
+                    "palu-lint: clean ({} rules)",
+                    palu_lint::rules::REGISTRY.len()
+                );
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("palu-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

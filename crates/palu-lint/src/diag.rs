@@ -1,0 +1,68 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// How bad a finding is. `Error` diagnostics fail the gate; `Warning`
+/// diagnostics are printed but do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint gate.
+    Error,
+    /// Reported, does not fail the gate.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One finding: a rule violation anchored to a file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: u32,
+    /// Stable rule identifier, e.g. `R1`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build an error-severity diagnostic.
+    pub fn error(
+        file: impl Into<PathBuf>,
+        line: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.severity,
+            self.message
+        )
+    }
+}

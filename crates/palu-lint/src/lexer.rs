@@ -1,0 +1,511 @@
+//! A hand-rolled Rust lexer: just enough tokenization for linting.
+//!
+//! The goal is not a full grammar — it is to be *comment- and
+//! string-aware*, so that rules never fire on text inside a string
+//! literal or a comment, and to classify the tokens rules care about:
+//! identifiers, numeric literals (float vs integer), punctuation, and
+//! doc comments. Handles the lexical corners that break naive
+//! scanners: nested block comments, raw strings with `#` fences, byte
+//! and C strings, char literals vs lifetimes, and floats vs ranges
+//! (`1.0` vs `1..10`).
+
+/// Token classification. String/char contents are discarded — rules
+/// only need to know "a literal was here". Comment text is kept so the
+/// engine can find `lint:allow(...)` pragmas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal with its raw text and a float/integer flag.
+    Num {
+        /// Raw literal text, suffix included (`1.0f64`).
+        text: String,
+        /// True for floating-point literals.
+        is_float: bool,
+    },
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte-character literal.
+    CharLit,
+    /// A lifetime such as `'a` (or the label form `'outer:`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+    /// Doc comment: `///` / `/** */` (outer) or `//!` / `/*! */` (inner).
+    DocComment {
+        /// True for `//!` / `/*! */` inner docs.
+        inner: bool,
+    },
+    /// Ordinary comment; text kept for pragma scanning.
+    Comment(String),
+}
+
+/// A token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become `Punct`,
+/// unterminated literals consume to end-of-file. Robustness matters
+/// more than strictness — the linter must not crash on weird-but-valid
+/// code, and invalid code is rustc's problem, not ours.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, line: u32, tok: Tok) {
+        self.out.push(Token { line, tok });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(line);
+                }
+                'r' if matches!(self.peek(1), Some('"' | '#')) && self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string_body(line);
+                }
+                'b' | 'c' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.bump();
+                    self.char_body(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body(line);
+                }
+                '\'' => self.quote(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(line, Tok::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True if position `at` starts `#*"` — the fence of a raw string
+    /// (the caller has already matched the `r` / `br` prefix).
+    fn raw_string_ahead(&self, at: usize) -> bool {
+        let mut i = at;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        // Classify: `///` doc, `//!` inner doc, `//` plain. `////…` is
+        // plain per the reference.
+        let doc = self.peek(2) == Some('/') && self.peek(3) != Some('/');
+        let inner = self.peek(2) == Some('!');
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if doc || inner {
+            self.push(line, Tok::DocComment { inner });
+        } else {
+            self.push(line, Tok::Comment(text));
+        }
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        // `/** */` doc, `/*! */` inner doc; `/**/` and `/***…` plain.
+        let doc = self.peek(2) == Some('*') && !matches!(self.peek(3), Some('*' | '/'));
+        let inner = self.peek(2) == Some('!');
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        if doc || inner {
+            self.push(line, Tok::DocComment { inner });
+        } else {
+            self.push(line, Tok::Comment(text));
+        }
+    }
+
+    /// Body of a `"…"` string; the opening quote (and any `b`/`c`
+    /// prefix) is already consumed.
+    fn string_body(&mut self, line: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(line, Tok::Str);
+    }
+
+    /// Body of a raw string: consumes `#…#"…"#…#` (the `r` prefix is
+    /// already consumed). No escapes; closes on `"` followed by the
+    /// same number of `#` as the opener.
+    fn raw_string_body(&mut self, line: u32) {
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..fence {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(line, Tok::Str);
+    }
+
+    /// Body of a char literal after the opening `'` was consumed.
+    fn char_body(&mut self, line: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(line, Tok::CharLit);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime): a quote starts
+    /// a lifetime iff it is followed by an identifier char that is NOT
+    /// then closed by another quote. `'\\n'` and `' '` are chars.
+    fn quote(&mut self, line: u32) {
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let is_lifetime = match c1 {
+            Some(c) if c == '_' || c.is_alphabetic() => c2 != Some('\''),
+            _ => false,
+        };
+        self.bump(); // the quote
+        if is_lifetime {
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(line, Tok::Lifetime);
+        } else {
+            self.char_body(line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Radix prefixes never contain a float.
+        let radix = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        text.push(self.bump().unwrap());
+        if radix {
+            text.push(self.bump().unwrap());
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(line, Tok::Num { text, is_float });
+            return;
+        }
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_digit() || c == '_' => {
+                    text.push(c);
+                    self.bump();
+                }
+                // A dot continues the number only for `1.5`-style
+                // fractions: exactly one dot, followed by a digit.
+                // `1..10` (range) and `1.max(2)` (method call) leave
+                // the dot as punctuation.
+                Some('.') if !is_float && self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                }
+                // Exponent: `1e9`, `2.5E-3`.
+                Some('e' | 'E')
+                    if self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                        || (matches!(self.peek(1), Some('+' | '-'))
+                            && self.peek(2).is_some_and(|c| c.is_ascii_digit())) =>
+                {
+                    is_float = true;
+                    text.push(self.bump().unwrap());
+                    if matches!(self.peek(0), Some('+' | '-')) {
+                        text.push(self.bump().unwrap());
+                    }
+                }
+                // Type suffix: `1.0f64`, `3usize`.
+                Some(c) if c == '_' || c.is_alphabetic() => {
+                    let mut suffix = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            suffix.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if suffix.starts_with('f') {
+                        is_float = true;
+                    }
+                    text.push_str(&suffix);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.push(line, Tok::Num { text, is_float });
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, Tok::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Nothing inside a string may leak out as a token.
+        assert_eq!(
+            idents(r#"let s = "HashMap == unwrap // not a comment";"#),
+            ["let", "s"]
+        );
+        assert_eq!(kinds(r#""a\"b""#), [Tok::Str]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        assert_eq!(kinds(r##"r"plain""##), [Tok::Str]);
+        assert_eq!(kinds("r#\"has \" quote\"#"), [Tok::Str]);
+        assert_eq!(kinds("r##\"fence \"# inside\"##"), [Tok::Str]);
+        // Identifier starting with r is not a raw string, and a raw
+        // identifier `r#type` lexes as tokens, not as a string.
+        assert_eq!(idents("rng"), ["rng"]);
+        assert_eq!(idents("r#type"), ["r", "type"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(kinds(r#"b"bytes""#), [Tok::Str]);
+        assert_eq!(kinds(r#"c"cstr""#), [Tok::Str]);
+        assert_eq!(kinds("br#\"raw bytes\"#"), [Tok::Str]);
+        assert_eq!(kinds(r"b'x'"), [Tok::CharLit]);
+    }
+
+    #[test]
+    fn comments_line_and_block() {
+        assert_eq!(
+            kinds("x // trailing\ny"),
+            [
+                Tok::Ident("x".into()),
+                Tok::Comment("// trailing".into()),
+                Tok::Ident("y".into())
+            ]
+        );
+        // Nested block comments close correctly.
+        assert_eq!(idents("a /* outer /* inner */ still */ b"), ["a", "b"]);
+        // An unterminated comment consumes to EOF without panicking.
+        assert_eq!(idents("a /* open"), ["a"]);
+    }
+
+    #[test]
+    fn doc_comments_classified() {
+        assert_eq!(kinds("/// outer"), [Tok::DocComment { inner: false }]);
+        assert_eq!(kinds("//! inner"), [Tok::DocComment { inner: true }]);
+        assert_eq!(
+            kinds("/** block doc */"),
+            [Tok::DocComment { inner: false }]
+        );
+        // Four slashes is a plain comment, as is /**/.
+        assert!(matches!(kinds("//// nope")[0], Tok::Comment(_)));
+        assert!(matches!(kinds("/**/")[0], Tok::Comment(_)));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'"), [Tok::CharLit]);
+        assert_eq!(kinds(r"'\n'"), [Tok::CharLit]);
+        assert_eq!(kinds(r"'\''"), [Tok::CharLit]);
+        assert_eq!(
+            kinds("&'a str"),
+            [Tok::Punct('&'), Tok::Lifetime, Tok::Ident("str".into())]
+        );
+        assert_eq!(kinds("'outer: loop")[0], Tok::Lifetime);
+    }
+
+    #[test]
+    fn numbers_float_vs_integer() {
+        let float = |src: &str| match &kinds(src)[0] {
+            Tok::Num { is_float, .. } => *is_float,
+            other => panic!("{src} lexed as {other:?}"),
+        };
+        assert!(float("1.5"));
+        assert!(float("1e9"));
+        assert!(float("2.5E-3"));
+        assert!(float("1f64"));
+        assert!(!float("42"));
+        assert!(!float("1_000_000u64"));
+        assert!(!float("0xFF"));
+        assert!(!float("0b1010"));
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_literals() {
+        // `1..10` is Num, Punct('.'), Punct('.'), Num.
+        assert_eq!(
+            kinds("1..10"),
+            [
+                Tok::Num {
+                    text: "1".into(),
+                    is_float: false
+                },
+                Tok::Punct('.'),
+                Tok::Punct('.'),
+                Tok::Num {
+                    text: "10".into(),
+                    is_float: false
+                },
+            ]
+        );
+        // `1.0f64.sqrt()`: float literal, then a method call.
+        let k = kinds("1.0f64.sqrt()");
+        assert_eq!(
+            k[0],
+            Tok::Num {
+                text: "1.0f64".into(),
+                is_float: true
+            }
+        );
+        assert_eq!(k[1], Tok::Punct('.'));
+        assert_eq!(k[2], Tok::Ident("sqrt".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let toks = lex("a\n\"multi\nline\"\nb /* c\nd */ e");
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+    }
+}

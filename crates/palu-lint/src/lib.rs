@@ -1,0 +1,215 @@
+//! palu-lint: the workspace's static-analysis gate.
+//!
+//! A zero-dependency lint engine enforcing the hermeticity and
+//! determinism policies this reproduction depends on (see DESIGN.md,
+//! "Hermeticity & the lint gate"):
+//!
+//! * **R1 hermetic-deps** — manifests may only reference
+//!   workspace-path crates; nothing resolves to a registry or git.
+//! * **R2 no-nondeterminism** — core library code cannot read ambient
+//!   entropy or wall-clock time, cannot iterate hash containers in
+//!   result paths, and cannot seed its own RNG.
+//! * **R3 float-hygiene** — no exact comparison against non-sentinel
+//!   float literals; `.sqrt()`/`.ln()` in fit paths carry a visible
+//!   domain guard.
+//! * **R4 no-unwrap-in-lib** — unwrap/expect in non-test library code
+//!   is budgeted by a shrink-only baseline.
+//! * **R5 pub-doc** — public items need doc comments.
+//!
+//! Built on a hand-rolled comment/string-aware Rust lexer
+//! ([`lexer`]) and a TOML-subset manifest parser ([`manifest`]) — no
+//! `syn`, no `toml`, because the linter enforces the no-external-deps
+//! rule and must not itself violate it. Findings can be suppressed
+//! line-by-line with `// lint:allow(RULE)` pragmas (see
+//! [`source::SourceFile::allowed`]).
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod source;
+
+use diag::{Diagnostic, Severity};
+use manifest::{Manifest, Value};
+use rules::{float_hygiene, hermetic_deps, nondeterminism, pub_doc, unwrap_budget};
+use source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The crates whose library code carries the model's numerical
+/// results — R2–R5 apply to their `src/` trees, and R1 restricts
+/// their dependency targets to workspace members.
+pub const CORE_CRATES: &[&str] = &[
+    "palu-stats",
+    "palu-sparse",
+    "palu-graph",
+    "palu-traffic",
+    "palu",
+];
+
+/// Workspace-relative location of the R4 baseline.
+pub const R4_BASELINE: &str = "lint/unwrap_baseline.txt";
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root (the directory holding the root `Cargo.toml`).
+    pub root: PathBuf,
+}
+
+impl LintConfig {
+    /// Configuration rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LintConfig { root: root.into() }
+    }
+}
+
+/// Run every rule. Returns all diagnostics (the gate fails on any
+/// [`Severity::Error`]); `Err` means the engine itself could not run
+/// (unreadable tree, malformed manifest).
+pub fn run_all(cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
+    let mut diags = Vec::new();
+    let members = workspace_members(&cfg.root)?;
+
+    // R1 over the root and every crate manifest.
+    let root_manifest = read_manifest(&cfg.root, Path::new("Cargo.toml"))?;
+    hermetic_deps::check_workspace_root(
+        Path::new("Cargo.toml"),
+        &root_manifest,
+        &members,
+        &mut diags,
+    );
+    for (name, dir) in crate_dirs(&cfg.root)? {
+        let rel = dir.join("Cargo.toml");
+        let manifest = read_manifest(&cfg.root, &rel)?;
+        let is_core = CORE_CRATES.contains(&name.as_str());
+        hermetic_deps::check_manifest(&rel, &manifest, &members, is_core, &mut diags);
+    }
+
+    // R2/R3/R5 per file and R4 counts over the core crates' src trees.
+    let mut r4_counts: BTreeMap<String, u32> = BTreeMap::new();
+    for file in core_source_files(cfg)? {
+        nondeterminism::check(&file, &mut diags);
+        float_hygiene::check(&file, &mut diags);
+        pub_doc::check(&file, &mut diags);
+        r4_counts.insert(
+            file.path.to_string_lossy().into_owned(),
+            unwrap_budget::count(&file),
+        );
+    }
+
+    // R4 against the checked-in baseline.
+    let baseline_path = cfg.root.join(R4_BASELINE);
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(src) => {
+            let baseline = unwrap_budget::parse_baseline(&src)?;
+            unwrap_budget::compare(&r4_counts, &baseline, R4_BASELINE, &mut diags);
+        }
+        Err(_) => diags.push(Diagnostic::error(
+            R4_BASELINE,
+            0,
+            "R4",
+            "baseline file missing; run `cargo run -p palu-lint -- --write-baseline`",
+        )),
+    }
+
+    Ok(diags)
+}
+
+/// Measure current R4 counts and (re)write the baseline file.
+pub fn write_r4_baseline(cfg: &LintConfig) -> Result<PathBuf, String> {
+    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+    for file in core_source_files(cfg)? {
+        counts.insert(
+            file.path.to_string_lossy().into_owned(),
+            unwrap_budget::count(&file),
+        );
+    }
+    let path = cfg.root.join(R4_BASELINE);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&path, unwrap_budget::render_baseline(&counts))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// True if `diags` contains any gate-failing finding.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// All lexed+annotated `.rs` files under the core crates' `src/`
+/// trees, in sorted path order.
+fn core_source_files(cfg: &LintConfig) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    for name in CORE_CRATES {
+        let src_dir = cfg.root.join("crates").join(name).join("src");
+        collect_rs_files(&src_dir, &mut paths)?;
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(&cfg.root).unwrap_or(&path).to_path_buf();
+        files.push(SourceFile::parse(rel, &src));
+    }
+    Ok(files)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `(package name, workspace-relative dir)` for each `crates/*` crate.
+fn crate_dirs(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let crates = root.join("crates");
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("read dir {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let dir = entry.path();
+        if !dir.join("Cargo.toml").exists() {
+            continue;
+        }
+        let rel = dir.strip_prefix(root).unwrap_or(&dir).to_path_buf();
+        let manifest = read_manifest(root, &rel.join("Cargo.toml"))?;
+        let name = match manifest.get(&["package", "name"]) {
+            Some(Value::Str(s)) => s.clone(),
+            _ => dir
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+        };
+        out.push((name, rel));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace member package names (for R1's member check).
+fn workspace_members(root: &Path) -> Result<Vec<String>, String> {
+    Ok(crate_dirs(root)?.into_iter().map(|(n, _)| n).collect())
+}
+
+fn read_manifest(root: &Path, rel: &Path) -> Result<Manifest, String> {
+    let path = root.join(rel);
+    let src =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Manifest::parse(&src).map_err(|e| format!("{}: {e}", rel.display()))
+}

@@ -1,0 +1,391 @@
+//! A TOML-subset parser for `Cargo.toml` manifests.
+//!
+//! Supports exactly what Cargo manifests in this workspace use:
+//! `[section]` and `[dotted.section]` headers, `key = value` with
+//! dotted and quoted keys, strings, booleans, numbers, arrays
+//! (including multiline), and inline tables. Everything is flattened
+//! into `(path, value, line)` entries, so `palu-stats.workspace =
+//! true` under `[dependencies]` becomes the entry
+//! `["dependencies", "palu-stats", "workspace"] = true`.
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Basic or literal string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer or float, kept as raw text (the linter never does
+    /// arithmetic on manifest numbers).
+    Num(String),
+    /// `[a, b, …]`.
+    Array(Vec<Value>),
+    /// `{ k = v, … }`.
+    Table(Vec<(String, Value)>),
+}
+
+/// One flattened `key = value` assignment.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Full dotted path: section segments then key segments.
+    pub path: Vec<String>,
+    /// The assigned value.
+    pub value: Value,
+    /// 1-based line of the assignment.
+    pub line: u32,
+}
+
+/// A parsed manifest: a flat list of assignments in document order.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// All assignments, flattened.
+    pub entries: Vec<Entry>,
+}
+
+impl Manifest {
+    /// Parse a manifest source. Errors carry the offending line.
+    pub fn parse(src: &str) -> Result<Manifest, String> {
+        let mut entries = Vec::new();
+        let mut section: Vec<String> = Vec::new();
+        let lines: Vec<&str> = src.lines().collect();
+        let mut i = 0usize;
+        while i < lines.len() {
+            let start_line = (i + 1) as u32;
+            let stripped = strip_comment(lines[i]);
+            let trimmed = stripped.trim();
+            if trimmed.is_empty() {
+                i += 1;
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix('[') {
+                // `[section]` or `[[array-of-tables]]`; treat the
+                // latter as a plain section (good enough for dep
+                // policy — this workspace only uses `[[bin]]`/`[[bench]]`).
+                let rest = rest.strip_prefix('[').unwrap_or(rest);
+                let name = rest.trim_end_matches(']').trim();
+                section = split_dotted(name).map_err(|e| format!("line {start_line}: {e}"))?;
+                i += 1;
+                continue;
+            }
+            let eq = find_unquoted(trimmed, '=')
+                .ok_or_else(|| format!("line {start_line}: expected `key = value`"))?;
+            let key_part = trimmed[..eq].trim();
+            let mut value_part = trimmed[eq + 1..].trim().to_string();
+            // Multiline arrays: keep consuming lines until brackets
+            // balance outside strings.
+            while bracket_balance(&value_part) > 0 {
+                i += 1;
+                if i >= lines.len() {
+                    return Err(format!("line {start_line}: unterminated array"));
+                }
+                value_part.push(' ');
+                value_part.push_str(strip_comment(lines[i]).trim());
+            }
+            let keys = split_dotted(key_part).map_err(|e| format!("line {start_line}: {e}"))?;
+            let value =
+                parse_value(value_part.trim()).map_err(|e| format!("line {start_line}: {e}"))?;
+            let mut path = section.clone();
+            path.extend(keys);
+            entries.push(Entry {
+                path,
+                value,
+                line: start_line,
+            });
+            i += 1;
+        }
+        Ok(Manifest { entries })
+    }
+
+    /// All entries whose path starts with `prefix`.
+    pub fn under<'a>(&'a self, prefix: &[&str]) -> impl Iterator<Item = &'a Entry> {
+        let prefix: Vec<String> = prefix.iter().map(|s| s.to_string()).collect();
+        self.entries
+            .iter()
+            .filter(move |e| e.path.len() > prefix.len() && e.path[..prefix.len()] == prefix[..])
+    }
+
+    /// The single value at exactly `path`, if assigned.
+    pub fn get(&self, path: &[&str]) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|e| e.path.len() == path.len() && e.path.iter().zip(path).all(|(a, b)| a == b))
+            .map(|e| &e.value)
+    }
+}
+
+/// Remove a `#`-comment, respecting quotes. Unlike [`find_unquoted`],
+/// nesting depth is irrelevant: a `#` outside a string is a comment
+/// even inside an array (`members = [ # note`).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match in_str {
+            Some(q) => {
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => in_str = Some(c),
+                '#' => return &line[..i],
+                _ => {}
+            },
+        }
+    }
+    line
+}
+
+/// Index of the first unquoted occurrence of `target` at inline-table
+/// depth 0 (so the `=` inside `{ workspace = true }` is not the
+/// assignment's `=`).
+fn find_unquoted(s: &str, target: char) -> Option<usize> {
+    let mut in_str: Option<char> = None;
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match in_str {
+            Some(q) => {
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => in_str = Some(c),
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth = depth.saturating_sub(1),
+                c if c == target && depth == 0 => return Some(i),
+                _ => {}
+            },
+        }
+    }
+    None
+}
+
+/// Net `[`/`{` minus `]`/`}` outside strings — positive means an
+/// unterminated multiline value.
+fn bracket_balance(s: &str) -> i32 {
+    let mut in_str: Option<char> = None;
+    let mut depth = 0i32;
+    for c in s.chars() {
+        match in_str {
+            Some(q) => {
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => in_str = Some(c),
+                '[' | '{' => depth += 1,
+                ']' | '}' => depth -= 1,
+                _ => {}
+            },
+        }
+    }
+    depth
+}
+
+/// Split `a.b."c.d"` into `["a", "b", "c.d"]`.
+fn split_dotted(s: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str: Option<char> = None;
+    for c in s.chars() {
+        match in_str {
+            Some(q) => {
+                if c == q {
+                    in_str = None;
+                } else {
+                    cur.push(c);
+                }
+            }
+            None => match c {
+                '"' | '\'' => in_str = Some(c),
+                '.' => {
+                    out.push(std::mem::take(&mut cur).trim().to_string());
+                }
+                _ => cur.push(c),
+            },
+        }
+    }
+    if in_str.is_some() {
+        return Err(format!("unterminated quoted key in `{s}`"));
+    }
+    out.push(cur.trim().to_string());
+    if out.iter().any(|k| k.is_empty()) {
+        return Err(format!("empty key segment in `{s}`"));
+    }
+    Ok(out)
+}
+
+/// Split the interior of an array/table on top-level commas.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str: Option<char> = None;
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match in_str {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => {
+                    cur.push(c);
+                    in_str = Some(c);
+                }
+                '[' | '{' => {
+                    cur.push(c);
+                    depth += 1;
+                }
+                ']' | '}' => {
+                    cur.push(c);
+                    depth -= 1;
+                }
+                ',' if depth == 0 => parts.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            },
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body.strip_suffix('"').ok_or("unterminated string")?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    if let Some(body) = s.strip_prefix('\'') {
+        let body = body.strip_suffix('\'').ok_or("unterminated string")?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or("unterminated array")?;
+        let items = split_top_level(body)
+            .into_iter()
+            .map(|p| parse_value(p.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Value::Array(items));
+    }
+    if let Some(body) = s.strip_prefix('{') {
+        let body = body.strip_suffix('}').ok_or("unterminated inline table")?;
+        let mut pairs = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let eq = find_unquoted(part, '=')
+                .ok_or_else(|| format!("expected `k = v` in inline table, got `{part}`"))?;
+            pairs.push((
+                part[..eq].trim().to_string(),
+                parse_value(part[eq + 1..].trim())?,
+            ));
+        }
+        return Ok(Value::Table(pairs));
+    }
+    if s.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+    {
+        return Ok(Value::Num(s.to_string()));
+    }
+    Err(format!("unsupported value `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_and_dotted_keys_flatten() {
+        let m = Manifest::parse(
+            "[package]\nname = \"demo\"\n[dependencies]\npalu-stats.workspace = true\n",
+        )
+        .unwrap();
+        assert_eq!(
+            m.get(&["package", "name"]),
+            Some(&Value::Str("demo".into()))
+        );
+        assert_eq!(
+            m.get(&["dependencies", "palu-stats", "workspace"]),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn inline_tables_and_paths() {
+        let m = Manifest::parse(
+            "[workspace.dependencies]\npalu = { path = \"crates/palu\" }\nother = { version = \"1\", features = [\"std\"] }\n",
+        )
+        .unwrap();
+        match m.get(&["workspace", "dependencies", "palu"]).unwrap() {
+            Value::Table(pairs) => {
+                assert_eq!(pairs[0], ("path".into(), Value::Str("crates/palu".into())));
+            }
+            v => panic!("expected table, got {v:?}"),
+        }
+        match m.get(&["workspace", "dependencies", "other"]).unwrap() {
+            Value::Table(pairs) => assert_eq!(pairs.len(), 2),
+            v => panic!("expected table, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_arrays_and_comments() {
+        let m = Manifest::parse(
+            "[workspace]\nmembers = [ # trailing comment\n  \"crates/a\",\n  \"crates/b\", # another\n]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            m.get(&["workspace", "members"]),
+            Some(&Value::Array(vec![
+                Value::Str("crates/a".into()),
+                Value::Str("crates/b".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let m = Manifest::parse("[package]\ndescription = \"uses # freely\"\n").unwrap();
+        assert_eq!(
+            m.get(&["package", "description"]),
+            Some(&Value::Str("uses # freely".into()))
+        );
+    }
+
+    #[test]
+    fn array_of_tables_headers_parse() {
+        let m = Manifest::parse("[[bin]]\nname = \"tool\"\npath = \"src/bin/tool.rs\"\n").unwrap();
+        assert_eq!(m.get(&["bin", "name"]), Some(&Value::Str("tool".into())));
+    }
+
+    #[test]
+    fn under_filters_by_prefix() {
+        let m = Manifest::parse(
+            "[dependencies]\na.workspace = true\nb = { path = \"../b\" }\n[dev-dependencies]\nc.workspace = true\n",
+        )
+        .unwrap();
+        let deps: Vec<_> = m.under(&["dependencies"]).collect();
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps[0].path[1], "a");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Manifest::parse("[deps]\nkey value\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,269 @@
+//! R3 — float-hygiene.
+//!
+//! Two checks on non-test library code:
+//!
+//! * **Float equality**: `==` / `!=` with a float-literal operand is
+//!   flagged unless the literal is an exact-representable sentinel
+//!   (`0.0` or `1.0`) — comparing against those is the established
+//!   way to test "unset"/degenerate branches, while `x == 0.3`-style
+//!   comparisons are always bugs.
+//! * **Domain guards in fit paths**: in the fitting modules, `.sqrt()`
+//!   and `.ln()` must have a *visibly guarded* receiver — a guard
+//!   method (`abs`, `max`, `exp`, …), a literal, or a line-level
+//!   assert/branch. NaN born inside an optimizer propagates to fitted
+//!   parameters silently; the guard (or a `lint:allow(R3)` with a
+//!   domain argument) keeps the proof obligation next to the call.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, Token};
+use crate::source::SourceFile;
+
+/// File names (not paths) that constitute the fit path.
+const FIT_FILES: &[&str] = &[
+    "zm_fit.rs",
+    "estimate.rs",
+    "mle.rs",
+    "regression.rs",
+    "model_select.rs",
+    "solve.rs",
+    "optimize.rs",
+];
+
+/// Receiver-producing calls that guarantee a non-negative (or
+/// positive) domain for the following `.sqrt()`/`.ln()`.
+const GUARD_FNS: &[&str] = &[
+    "abs", "max", "min", "exp", "powi", "powf", "sqrt", "hypot", "mul_add", "clamp", "ln_1p",
+    "exp_m1", "recip",
+];
+
+/// Sentinel float literals allowed in equality comparisons.
+fn is_sentinel(text: &str) -> bool {
+    let t = text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    matches!(t, "0.0" | "1.0" | "0." | "1.")
+}
+
+/// Run R3 over one source file.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    float_equality(file, diags);
+    if file
+        .path
+        .file_name()
+        .and_then(|f| f.to_str())
+        .is_some_and(|f| FIT_FILES.contains(&f))
+    {
+        domain_guards(file, diags);
+    }
+}
+
+fn float_equality(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    for i in 0..code.len().saturating_sub(1) {
+        let is_eq = code[i].tok == Tok::Punct('=') && code[i + 1].tok == Tok::Punct('=');
+        let is_ne = code[i].tok == Tok::Punct('!') && code[i + 1].tok == Tok::Punct('=');
+        if !is_eq && !is_ne {
+            continue;
+        }
+        // `a == b`: ensure this is a comparison, not `==` inside `===`
+        // (not Rust) or a `x <= y` (the `<` would sit at i, not `=`).
+        // Look at the immediate operand tokens on both sides.
+        let line = code[i].line;
+        if file.in_test_code(line) || file.allowed("R3", line) {
+            continue;
+        }
+        let before = i.checked_sub(1).map(|j| &code[j].tok);
+        // Skip a unary minus on the right operand: `x == -0.3`.
+        let after_idx = if code.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('-')) {
+            i + 3
+        } else {
+            i + 2
+        };
+        let after = code.get(after_idx).map(|t| &t.tok);
+        for operand in [before, after].into_iter().flatten() {
+            if let Tok::Num {
+                text,
+                is_float: true,
+            } = operand
+            {
+                if !is_sentinel(text) {
+                    diags.push(Diagnostic::error(
+                        &file.path,
+                        line,
+                        "R3",
+                        format!(
+                            "float {} against `{text}`: exact comparison with a \
+                             non-sentinel float literal; compare with a tolerance",
+                            if is_eq { "==" } else { "!=" }
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn domain_guards(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    for i in 2..code.len() {
+        // Pattern: `.` (sqrt|ln) `(` `)`.
+        let Tok::Ident(name) = &code[i].tok else {
+            continue;
+        };
+        if name != "sqrt" && name != "ln" {
+            continue;
+        }
+        if code[i - 1].tok != Tok::Punct('.')
+            || code.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+            || code.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(')'))
+        {
+            continue;
+        }
+        let line = code[i].line;
+        if file.in_test_code(line) || file.allowed("R3", line) {
+            continue;
+        }
+        if receiver_is_guarded(code, i - 2) || line_has_guard(file, line) {
+            continue;
+        }
+        diags.push(Diagnostic::error(
+            &file.path,
+            line,
+            "R3",
+            format!(
+                "unguarded `.{name}()` in a fit path; guard the domain (e.g. `.max(…)`, \
+                 `.abs()`, an assert) or annotate `// lint:allow(R3)` with the domain \
+                 argument"
+            ),
+        ));
+    }
+}
+
+/// True if the receiver ending at token index `end` is visibly
+/// non-negative: a float/int literal, or a call to a guard function
+/// (`x.abs()`, `(a - b).powi(2)`, `y.max(1e-12)`).
+fn receiver_is_guarded(code: &[Token], end: usize) -> bool {
+    match &code[end].tok {
+        Tok::Num { .. } => true,
+        Tok::Punct(')') => {
+            // Match back to the opening paren, then look for
+            // `ident (` immediately before — a guard method call —
+            // or treat a bare parenthesized expression as unguarded.
+            let mut depth = 1usize;
+            let mut j = end;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                match &code[j].tok {
+                    Tok::Punct(')') => depth += 1,
+                    Tok::Punct('(') => depth -= 1,
+                    _ => {}
+                }
+            }
+            if j == 0 {
+                return false;
+            }
+            match &code[j - 1].tok {
+                Tok::Ident(f) => GUARD_FNS.contains(&f.as_str()),
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Same-line guard context: an assert or an explicit positivity
+/// branch on the line keeps the domain proof visible.
+fn line_has_guard(file: &SourceFile, line: u32) -> bool {
+    file.code.iter().filter(|t| t.line == line).any(|t| {
+        matches!(
+            &t.tok,
+            Tok::Ident(name) if name == "assert" || name == "debug_assert" || name == "assert_ne"
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut diags = Vec::new();
+        check(&f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn non_sentinel_float_equality_fails() {
+        let diags = run("src/a.rs", "fn f(x: f64) -> bool { x == 0.3 }\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R3");
+        let diags = run("src/a.rs", "fn f(x: f64) -> bool { 2.5 != x }\n");
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn sentinel_zero_and_one_pass() {
+        assert!(run("src/a.rs", "fn f(x: f64) -> bool { x == 0.0 }\n").is_empty());
+        assert!(run("src/a.rs", "fn f(x: f64) -> bool { x != 1.0 }\n").is_empty());
+        assert!(run("src/a.rs", "fn f(x: f64) -> bool { x == 1.0f64 }\n").is_empty());
+    }
+
+    #[test]
+    fn integer_equality_is_not_float_business() {
+        assert!(run("src/a.rs", "fn f(x: u64) -> bool { x == 3 }\n").is_empty());
+    }
+
+    #[test]
+    fn le_ge_are_not_equality() {
+        assert!(run(
+            "src/a.rs",
+            "fn f(x: f64) -> bool { x <= 0.3 && x >= 0.1 }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unguarded_ln_in_fit_file_fails() {
+        let diags = run("src/mle.rs", "fn f(x: f64) -> f64 { x.ln() }\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unguarded"));
+    }
+
+    #[test]
+    fn guarded_receivers_pass() {
+        assert!(run("src/mle.rs", "fn f(x: f64) -> f64 { x.abs().sqrt() }\n").is_empty());
+        assert!(run("src/mle.rs", "fn f(x: f64) -> f64 { x.max(1e-300).ln() }\n").is_empty());
+        assert!(run(
+            "src/mle.rs",
+            "fn f(a: f64, b: f64) -> f64 { (a - b).powi(2).sqrt() }\n"
+        )
+        .is_empty());
+        assert!(run("src/mle.rs", "fn f() -> f64 { 2.0.ln() }\n").is_empty());
+    }
+
+    #[test]
+    fn same_line_assert_counts_as_guard() {
+        assert!(run(
+            "src/mle.rs",
+            "fn f(x: f64) -> f64 { assert!(x > 0.0); x.ln() }\n"
+        )
+        .iter()
+        .all(|d| d.line != 1));
+    }
+
+    #[test]
+    fn non_fit_files_skip_the_domain_check() {
+        assert!(run("src/render.rs", "fn f(x: f64) -> f64 { x.ln() }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_domain_check() {
+        let diags = run(
+            "src/mle.rs",
+            "// d ≥ 1 by construction — lint:allow(R3)\nfn f(d: f64) -> f64 { d.ln() }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,241 @@
+//! R1 — hermetic-deps.
+//!
+//! Every dependency in every workspace manifest must resolve inside
+//! the workspace: either `path = "…"` or `workspace = true` (with the
+//! root `[workspace.dependencies]` entry itself being a path dep).
+//! Anything that would reach a registry or a git remote — a bare
+//! version string, or a table with `version`/`git`/`registry` and no
+//! `path` — is a violation. For the core model crates the target must
+//! additionally be a workspace member, so `palu-stats` cannot grow a
+//! path dep pointing outside the repo.
+
+use crate::diag::Diagnostic;
+use crate::manifest::{Manifest, Value};
+use std::path::Path;
+
+/// Dependency sections checked in each manifest.
+const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+
+/// Check one crate manifest. `members` is the set of workspace crate
+/// names; `is_core` additionally restricts dep targets to members.
+pub fn check_manifest(
+    rel_path: &Path,
+    manifest: &Manifest,
+    members: &[String],
+    is_core: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for section in DEP_SECTIONS {
+        check_section(rel_path, manifest, &[section], members, is_core, diags);
+    }
+}
+
+/// Check the workspace root: `[workspace.dependencies]` must be all
+/// path deps (this is where `workspace = true` references land).
+pub fn check_workspace_root(
+    rel_path: &Path,
+    manifest: &Manifest,
+    members: &[String],
+    diags: &mut Vec<Diagnostic>,
+) {
+    check_section(
+        rel_path,
+        manifest,
+        &["workspace", "dependencies"],
+        members,
+        false,
+        diags,
+    );
+    // The root package's own dep tables follow the same rules.
+    for section in DEP_SECTIONS {
+        check_section(rel_path, manifest, &[section], members, false, diags);
+    }
+}
+
+fn check_section(
+    rel_path: &Path,
+    manifest: &Manifest,
+    prefix: &[&str],
+    members: &[String],
+    is_core: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Group flattened entries by dependency name (the path segment
+    // right after the prefix): `a.workspace = true` and
+    // `a = { path = ".." }` both become dep `a`.
+    let mut seen: Vec<String> = Vec::new();
+    for entry in manifest.under(prefix) {
+        let dep = entry.path[prefix.len()].clone();
+        if seen.contains(&dep) {
+            continue;
+        }
+        seen.push(dep.clone());
+
+        // Collect this dep's spec keys from both layouts.
+        let mut keys: Vec<(String, &Value)> = Vec::new();
+        let mut bare: Option<(&Value, u32)> = None;
+        let line = entry.line;
+        for e in manifest.under(prefix) {
+            if e.path[prefix.len()] != dep {
+                continue;
+            }
+            if e.path.len() == prefix.len() + 1 {
+                match &e.value {
+                    Value::Table(pairs) => {
+                        for (k, v) in pairs {
+                            keys.push((k.clone(), v));
+                        }
+                    }
+                    other => bare = Some((other, e.line)),
+                }
+            } else {
+                keys.push((e.path[prefix.len() + 1].clone(), &e.value));
+            }
+        }
+
+        if let Some((value, line)) = bare {
+            diags.push(Diagnostic::error(
+                rel_path,
+                line,
+                "R1",
+                format!(
+                    "dependency `{dep}` uses a registry spec ({value:?}); hermetic builds \
+                     require `path = \"…\"` or `workspace = true`"
+                ),
+            ));
+            continue;
+        }
+
+        let has_path = keys.iter().any(|(k, _)| k == "path");
+        let has_workspace = keys
+            .iter()
+            .any(|(k, v)| k == "workspace" && **v == Value::Bool(true));
+        let external: Vec<&str> = keys
+            .iter()
+            .filter(|(k, _)| {
+                matches!(
+                    k.as_str(),
+                    "version" | "git" | "registry" | "branch" | "rev" | "tag"
+                )
+            })
+            .map(|(k, _)| k.as_str())
+            .collect();
+
+        if !external.is_empty() {
+            diags.push(Diagnostic::error(
+                rel_path,
+                line,
+                "R1",
+                format!(
+                    "dependency `{dep}` has non-hermetic keys {external:?}; only \
+                     `path`/`workspace` deps are allowed"
+                ),
+            ));
+            continue;
+        }
+        if !has_path && !has_workspace {
+            diags.push(Diagnostic::error(
+                rel_path,
+                line,
+                "R1",
+                format!("dependency `{dep}` has neither `path` nor `workspace = true`"),
+            ));
+            continue;
+        }
+        if is_core && !members.iter().any(|m| *m == dep) {
+            diags.push(Diagnostic::error(
+                rel_path,
+                line,
+                "R1",
+                format!(
+                    "core crate depends on `{dep}`, which is not a workspace member; \
+                     core crates may only depend on sibling palu crates"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn members() -> Vec<String> {
+        vec!["palu-stats".into(), "palu".into()]
+    }
+
+    fn run(src: &str, is_core: bool) -> Vec<Diagnostic> {
+        let m = Manifest::parse(src).unwrap();
+        let mut diags = Vec::new();
+        check_manifest(
+            &PathBuf::from("crates/x/Cargo.toml"),
+            &m,
+            &members(),
+            is_core,
+            &mut diags,
+        );
+        diags
+    }
+
+    #[test]
+    fn workspace_and_path_deps_pass() {
+        let diags = run(
+            "[dependencies]\npalu-stats.workspace = true\npalu = { path = \"../palu\" }\n",
+            true,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn version_string_dep_fails() {
+        let diags = run("[dependencies]\nrand = \"0.8\"\n", true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R1");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn git_dep_fails_even_with_path_style_table() {
+        let diags = run(
+            "[dependencies]\nrand = { git = \"https://example.com/rand\" }\n",
+            false,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("git"));
+    }
+
+    #[test]
+    fn dev_dependencies_are_checked_too() {
+        let diags = run("[dev-dependencies]\nproptest = \"1\"\n", true);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn core_crate_cannot_path_dep_outside_workspace() {
+        let diags = run(
+            "[dependencies]\nvendored = { path = \"../../vendor/thing\" }\n",
+            true,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("workspace member"));
+        // …but a non-core crate may (it is still hermetic).
+        let diags = run(
+            "[dependencies]\nvendored = { path = \"../../vendor/thing\" }\n",
+            false,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn workspace_root_table_must_be_paths() {
+        let m = Manifest::parse(
+            "[workspace.dependencies]\npalu = { path = \"crates/palu\" }\nserde = { version = \"1\" }\n",
+        )
+        .unwrap();
+        let mut diags = Vec::new();
+        check_workspace_root(&PathBuf::from("Cargo.toml"), &m, &members(), &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("serde") || diags[0].message.contains("version"));
+    }
+}

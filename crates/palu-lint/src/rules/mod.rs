@@ -1,0 +1,62 @@
+//! The rule registry.
+//!
+//! Each rule has a stable id (`R1`…`R5`), a short name, and an
+//! implementation. Source rules run per file on a [`SourceFile`];
+//! R1 runs on manifests and R4 aggregates per-file counts against a
+//! checked-in baseline — both are driven by the engine.
+
+pub mod float_hygiene;
+pub mod hermetic_deps;
+pub mod nondeterminism;
+pub mod pub_doc;
+pub mod unwrap_budget;
+
+/// Static description of one rule, for `--rules` listings and docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier used in diagnostics and `lint:allow(...)`.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// Every rule the engine knows, in execution order.
+pub const REGISTRY: &[RuleInfo] = &[
+    RuleInfo {
+        id: "R1",
+        name: "hermetic-deps",
+        description: "crate manifests may only depend on workspace-path crates; \
+                      no registry, git, or version-resolved dependencies",
+    },
+    RuleInfo {
+        id: "R2",
+        name: "no-nondeterminism",
+        description: "core library code must be reproducible: no thread_rng/SystemTime/\
+                      Instant, no HashMap/HashSet in result paths, RNG flows through \
+                      palu_stats::rng::SeedSequence",
+    },
+    RuleInfo {
+        id: "R3",
+        name: "float-hygiene",
+        description: "no ==/!= against non-sentinel float literals; .sqrt()/.ln() in \
+                      fit paths need a visible domain guard",
+    },
+    RuleInfo {
+        id: "R4",
+        name: "no-unwrap-in-lib",
+        description: "unwrap/expect in non-test library code is budgeted by a baseline \
+                      that may only shrink",
+    },
+    RuleInfo {
+        id: "R5",
+        name: "pub-doc",
+        description: "public items in library crates need doc comments",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    REGISTRY.iter().find(|r| r.id == id)
+}

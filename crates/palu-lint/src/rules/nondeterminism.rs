@@ -1,0 +1,142 @@
+//! R2 — no-nondeterminism.
+//!
+//! Core library code must produce bit-identical results for a given
+//! seed. Three classes of violation, all in non-test code:
+//!
+//! * ambient entropy / wall-clock: `thread_rng`, `from_entropy`,
+//!   `getrandom`, `SystemTime`, `Instant`;
+//! * iteration-order hazards: `HashMap` / `HashSet` (use
+//!   `BTreeMap`/`BTreeSet`, or `lint:allow(R2)` with a justification
+//!   when the usage is provably order-insensitive);
+//! * ad-hoc seeding: `seed_from_u64` outside `rng.rs` — library code
+//!   takes an `&mut impl Rng` or derives streams through
+//!   `SeedSequence`, it never conjures its own generator.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// Identifiers that read ambient state and are never acceptable in
+/// core result paths.
+const BANNED: &[(&str, &str)] = &[
+    ("thread_rng", "ambient entropy"),
+    ("from_entropy", "ambient entropy"),
+    ("getrandom", "ambient entropy"),
+    ("SystemTime", "wall-clock time"),
+    ("Instant", "wall-clock time"),
+];
+
+/// Hash collections whose iteration order is randomized.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Run R2 over one core-crate source file.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let in_rng_module = file.path.file_name().is_some_and(|f| f == "rng.rs");
+    for t in &file.code {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if file.in_test_code(t.line) || file.allowed("R2", t.line) {
+            continue;
+        }
+        if let Some((_, why)) = BANNED.iter().find(|(b, _)| b == name) {
+            diags.push(Diagnostic::error(
+                &file.path,
+                t.line,
+                "R2",
+                format!("`{name}` reads {why}; core results must be seed-deterministic"),
+            ));
+        } else if HASH_TYPES.contains(&name.as_str()) {
+            diags.push(Diagnostic::error(
+                &file.path,
+                t.line,
+                "R2",
+                format!(
+                    "`{name}` has randomized iteration order; use BTreeMap/BTreeSet or \
+                     annotate `// lint:allow(R2)` if order cannot reach results"
+                ),
+            ));
+        } else if name == "seed_from_u64" && !in_rng_module {
+            diags.push(Diagnostic::error(
+                &file.path,
+                t.line,
+                "R2",
+                "library code must not seed its own generator; take `&mut impl Rng` or \
+                 derive a stream via `SeedSequence`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut diags = Vec::new();
+        check(&f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn hashmap_in_lib_code_fails() {
+        let diags = run(
+            "src/lib.rs",
+            "fn f() { let m = std::collections::HashMap::new(); }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R2");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_in_test_module_passes() {
+        let diags = run(
+            "src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let m = std::collections::HashMap::new(); }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_pragma_suppresses() {
+        let diags = run(
+            "src/lib.rs",
+            "// membership only, never iterated — lint:allow(R2)\nfn f() { let s = std::collections::HashSet::new(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_fail() {
+        assert_eq!(
+            run(
+                "src/a.rs",
+                "fn f() { let t = std::time::SystemTime::now(); }"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run("src/a.rs", "fn f() { let t = Instant::now(); }").len(),
+            1
+        );
+        assert_eq!(run("src/a.rs", "fn f() { let r = thread_rng(); }").len(), 1);
+    }
+
+    #[test]
+    fn seeding_banned_outside_rng_module() {
+        let src = "fn f() { let r = Xoshiro256pp::seed_from_u64(7); }";
+        assert_eq!(run("src/fit.rs", src).len(), 1);
+        assert!(run("src/rng.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_ignored() {
+        let diags = run(
+            "src/a.rs",
+            "// HashMap would be wrong here\nfn f() -> &'static str { \"SystemTime thread_rng\" }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

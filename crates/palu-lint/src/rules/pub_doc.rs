@@ -1,0 +1,180 @@
+//! R5 — pub-doc.
+//!
+//! Every `pub` item in library code needs a doc comment. The check
+//! walks the full token stream (comments included): a `pub` followed
+//! by an item keyword must be preceded — skipping attributes and
+//! other doc lines — by a doc comment. `pub(crate)`/`pub(super)` are
+//! not public API and are skipped, as are `pub use` re-exports (the
+//! referent carries the docs) and struct fields.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// Item keywords that may follow `pub` (possibly after modifiers).
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+];
+
+/// Modifiers allowed between `pub` and the item keyword.
+const MODIFIERS: &[&str] = &["async", "unsafe", "extern", "const"];
+
+/// Run R5 over one source file.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let all = &file.all;
+    for i in 0..all.len() {
+        if all[i].tok != Tok::Ident("pub".into()) {
+            continue;
+        }
+        let line = all[i].line;
+        if file.in_test_code(line) || file.allowed("R5", line) {
+            continue;
+        }
+        // Skip restricted visibility: `pub(crate)` etc.
+        let mut j = i + 1;
+        if all.get(j).map(|t| &t.tok) == Some(&Tok::Punct('(')) {
+            continue;
+        }
+        // Allow modifiers, then require an item keyword. `pub use` and
+        // fields fall out naturally (not in the keyword set).
+        let mut kw: Option<&str> = None;
+        while let Some(t) = all.get(j) {
+            match &t.tok {
+                Tok::Ident(name) if MODIFIERS.contains(&name.as_str()) => {
+                    // `pub const NAME` is an item; `pub const fn` has
+                    // `const` as modifier. Distinguish by the next
+                    // token: an identifier keyword continues, anything
+                    // else means `const` was the item keyword itself.
+                    if name == "const" {
+                        match all.get(j + 1).map(|t| &t.tok) {
+                            Some(Tok::Ident(next)) if ITEM_KEYWORDS.contains(&next.as_str()) => {}
+                            _ => {
+                                kw = Some("const");
+                                break;
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+                Tok::Ident(name) if ITEM_KEYWORDS.contains(&name.as_str()) => {
+                    kw = Some(match name.as_str() {
+                        "fn" => "fn",
+                        "struct" => "struct",
+                        "enum" => "enum",
+                        "trait" => "trait",
+                        "const" => "const",
+                        "static" => "static",
+                        "type" => "type",
+                        "mod" => "mod",
+                        _ => "union",
+                    });
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let Some(kw) = kw else { continue };
+
+        // Walk backwards over attributes to find the preceding doc
+        // comment (or its absence).
+        if !has_preceding_doc(all, i) {
+            let name = all
+                .get(j + 1)
+                .and_then(|t| match &t.tok {
+                    Tok::Ident(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            diags.push(Diagnostic::error(
+                &file.path,
+                line,
+                "R5",
+                format!("public {kw} `{name}` has no doc comment"),
+            ));
+        }
+    }
+}
+
+/// True if, walking backwards from token `i` and skipping attribute
+/// groups `#[…]`, the previous token is an outer doc comment.
+fn has_preceding_doc(all: &[crate::lexer::Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &all[j].tok {
+            Tok::DocComment { inner: false } => return true,
+            // Skip plain comments between docs and the item.
+            Tok::Comment(_) => continue,
+            // Skip an attribute group: `]` back to its `#[`.
+            Tok::Punct(']') => {
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match &all[j].tok {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // Step over the `#`.
+                if j > 0 && all[j - 1].tok == Tok::Punct('#') {
+                    j -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("src/a.rs", src);
+        let mut diags = Vec::new();
+        check(&f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn undocumented_pub_fn_fails() {
+        let diags = run("pub fn naked() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`naked`"));
+    }
+
+    #[test]
+    fn documented_items_pass() {
+        assert!(run("/// Documented.\npub fn ok() {}\n").is_empty());
+        assert!(run("/// Docs.\n#[derive(Debug)]\npub struct S;\n").is_empty());
+        assert!(run("/// Docs.\n#[derive(Debug)]\n#[repr(C)]\npub enum E { A }\n").is_empty());
+    }
+
+    #[test]
+    fn restricted_visibility_and_reexports_skipped() {
+        assert!(run("pub(crate) fn internal() {}\n").is_empty());
+        assert!(run("pub use other::Thing;\n").is_empty());
+    }
+
+    #[test]
+    fn struct_fields_are_not_items() {
+        // `pub core: f64` — `core` is not an item keyword.
+        assert!(run("/// S.\npub struct S {\n    pub core: f64,\n}\n").is_empty());
+    }
+
+    #[test]
+    fn modifiers_between_pub_and_fn() {
+        assert_eq!(run("pub const fn f() {}\n").len(), 1);
+        assert_eq!(run("pub const X: u8 = 1;\n").len(), 1);
+        assert!(run("/// Docs.\npub const fn f() {}\n").is_empty());
+        assert!(run("/// Docs.\npub const X: u8 = 1;\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_and_pragmas_skip() {
+        assert!(run("#[cfg(test)]\nmod t {\n    pub fn helper() {}\n}\n").is_empty());
+        assert!(run("// lint:allow(R5)\npub fn shim() {}\n").is_empty());
+    }
+}

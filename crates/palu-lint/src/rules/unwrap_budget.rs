@@ -1,0 +1,189 @@
+//! R4 — no-unwrap-in-lib.
+//!
+//! `unwrap`/`expect` in non-test library code is technical debt: the
+//! panic message points at the callee, not the caller's broken
+//! invariant. Banning them outright would make this PR a rewrite, so
+//! the rule is a **ratchet**: a checked-in baseline records today's
+//! per-file counts, the gate fails when any file *exceeds* its
+//! baseline, and when a file improves the baseline must be re-written
+//! (shrink-only) so the gain is locked in. `unwrap_or`,
+//! `unwrap_or_else`, etc. are distinct identifiers and never counted.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Count `.unwrap(` / `.expect(` calls in non-test code.
+pub fn count(file: &SourceFile) -> u32 {
+    let code = &file.code;
+    let mut n = 0u32;
+    for i in 1..code.len() {
+        let Tok::Ident(name) = &code[i].tok else {
+            continue;
+        };
+        if name != "unwrap" && name != "expect" {
+            continue;
+        }
+        if code[i - 1].tok != Tok::Punct('.')
+            || code.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+        {
+            continue;
+        }
+        if file.in_test_code(code[i].line) {
+            continue;
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Parse a baseline file: `<count> <path>` per line, `#` comments.
+pub fn parse_baseline(src: &str) -> Result<BTreeMap<String, u32>, String> {
+    let mut map = BTreeMap::new();
+    for (i, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("baseline line {}: expected `<count> <path>`", i + 1))?;
+        let count: u32 = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        map.insert(path.trim().to_string(), count);
+    }
+    Ok(map)
+}
+
+/// Render per-file counts as a baseline file (zero-count files are
+/// omitted — absence means budget 0).
+pub fn render_baseline(counts: &BTreeMap<String, u32>) -> String {
+    let mut out = String::from(
+        "# R4 unwrap/expect budget per library file (non-test code).\n\
+         # Shrink-only: the lint gate fails if any file exceeds its line here,\n\
+         # and demands a rewrite (cargo run -p palu-lint -- --write-baseline)\n\
+         # when a file improves, so the budget only ratchets down.\n",
+    );
+    for (path, n) in counts {
+        if *n > 0 {
+            out.push_str(&format!("{n} {path}\n"));
+        }
+    }
+    out
+}
+
+/// Compare measured counts against the baseline and emit diagnostics.
+pub fn compare(
+    measured: &BTreeMap<String, u32>,
+    baseline: &BTreeMap<String, u32>,
+    baseline_path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (path, &n) in measured {
+        let budget = baseline.get(path).copied().unwrap_or(0);
+        if n > budget {
+            diags.push(Diagnostic::error(
+                path,
+                0,
+                "R4",
+                format!(
+                    "{n} unwrap/expect calls in non-test code, budget is {budget}; \
+                     handle the error or shrink elsewhere first"
+                ),
+            ));
+        } else if n < budget {
+            diags.push(Diagnostic::error(
+                baseline_path,
+                0,
+                "R4",
+                format!(
+                    "stale budget for {path}: baseline says {budget}, code has {n}; \
+                     re-run with --write-baseline to lock in the improvement"
+                ),
+            ));
+        }
+    }
+    for path in baseline.keys() {
+        if !measured.contains_key(path) {
+            diags.push(Diagnostic::error(
+                baseline_path,
+                0,
+                "R4",
+                format!("baseline entry for missing file {path}; re-run --write-baseline"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counted(src: &str) -> u32 {
+        count(&SourceFile::parse("src/a.rs", src))
+    }
+
+    #[test]
+    fn counts_unwrap_and_expect_calls() {
+        assert_eq!(counted("fn f() { x.unwrap(); y.expect(\"msg\"); }"), 2);
+    }
+
+    #[test]
+    fn unwrap_or_family_not_counted() {
+        assert_eq!(
+            counted("fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 0); x.unwrap_or_default(); }"),
+            0
+        );
+    }
+
+    #[test]
+    fn test_code_not_counted() {
+        assert_eq!(
+            counted("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); } }\n"),
+            0
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_not_counted() {
+        assert_eq!(
+            counted("// x.unwrap()\nfn f() -> &'static str { \".unwrap()\" }"),
+            0
+        );
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("crates/a/src/lib.rs".to_string(), 3u32);
+        m.insert("crates/b/src/lib.rs".to_string(), 0u32);
+        let rendered = render_baseline(&m);
+        let parsed = parse_baseline(&rendered).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["crates/a/src/lib.rs"], 3);
+    }
+
+    #[test]
+    fn over_budget_fails_under_budget_demands_rewrite() {
+        let measured: BTreeMap<String, u32> =
+            [("a.rs".to_string(), 5u32), ("b.rs".to_string(), 1u32)].into();
+        let baseline: BTreeMap<String, u32> =
+            [("a.rs".to_string(), 3u32), ("b.rs".to_string(), 2u32)].into();
+        let mut diags = Vec::new();
+        compare(&measured, &baseline, "lint/base.txt", &mut diags);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].message.contains("budget is 3"));
+        assert!(diags[1].message.contains("stale budget"));
+    }
+
+    #[test]
+    fn matching_budget_is_clean() {
+        let measured: BTreeMap<String, u32> = [("a.rs".to_string(), 2u32)].into();
+        let baseline = measured.clone();
+        let mut diags = Vec::new();
+        compare(&measured, &baseline, "lint/base.txt", &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

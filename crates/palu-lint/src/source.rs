@@ -1,0 +1,195 @@
+//! Per-file source model: the token stream plus the two pieces of
+//! context every rule needs — which lines are test-only code, and
+//! which lines carry `lint:allow(...)` pragmas.
+
+use crate::lexer::{lex, Tok, Token};
+use std::path::PathBuf;
+
+/// A lexed source file with lint context attached.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// Every token, comments included (document order).
+    pub all: Vec<Token>,
+    /// Code tokens only — comments and doc comments removed. Rules
+    /// that pattern-match adjacent tokens use this view so an
+    /// interleaved comment cannot split a pattern.
+    pub code: Vec<Token>,
+    /// `(line, rule)` pairs from `lint:allow(RULE)` pragmas.
+    allows: Vec<(u32, String)>,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex and annotate a source file.
+    pub fn parse(path: impl Into<PathBuf>, src: &str) -> SourceFile {
+        let all = lex(src);
+        let code: Vec<Token> = all
+            .iter()
+            .filter(|t| !matches!(t.tok, Tok::Comment(_) | Tok::DocComment { .. }))
+            .cloned()
+            .collect();
+        let allows = scan_allows(&all);
+        let test_regions = scan_test_regions(&code);
+        SourceFile {
+            path: path.into(),
+            all,
+            code,
+            allows,
+            test_regions,
+        }
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]` module or a
+    /// `#[test]` function.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// True if a `lint:allow(rule)` pragma covers `line` — the pragma
+    /// suppresses findings on its own line and the line below, so both
+    /// trailing and preceding-line placements work.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
+    }
+}
+
+/// Extract `lint:allow(R1)` / `lint:allow(R2, R3)` pragmas from
+/// ordinary comments.
+fn scan_allows(tokens: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for t in tokens {
+        let Tok::Comment(text) = &t.tok else { continue };
+        let Some(at) = text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        for rule in rest[..close].split(',') {
+            out.push((t.line, rule.trim().to_string()));
+        }
+    }
+    out
+}
+
+/// Find `#[cfg(test)] mod … { … }` and `#[test] fn … { … }` spans by
+/// brace matching on the code-token stream. The heuristic: an
+/// attribute group `#[…]` whose tokens include the identifier `test`
+/// marks the next item; the item's body is the first `{` after it,
+/// matched to its closing `}`.
+fn scan_test_regions(code: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].tok != Tok::Punct('#')
+            || code.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('['))
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute group for `test`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_test = false;
+        while j < code.len() && depth > 0 {
+            match &code[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Ident(name) if name == "test" => has_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test {
+            i = j;
+            continue;
+        }
+        // Find the item's opening brace. Stop at `;` (e.g. an
+        // annotated `mod foo;` — nothing to span).
+        let start_line = code[i].line;
+        let mut k = j;
+        while k < code.len() && code[k].tok != Tok::Punct('{') && code[k].tok != Tok::Punct(';') {
+            k += 1;
+        }
+        if k >= code.len() || code[k].tok == Tok::Punct(';') {
+            i = k + 1;
+            continue;
+        }
+        let mut braces = 0usize;
+        while k < code.len() {
+            match &code[k].tok {
+                Tok::Punct('{') => braces += 1,
+                Tok::Punct('}') => {
+                    braces -= 1;
+                    if braces == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end_line = code.get(k).map_or(u32::MAX, |t| t.line);
+        regions.push((start_line, end_line));
+        i = k + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "pub fn real() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(6));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}}}{{{\";\n    fn t() {}\n}\npub fn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn allow_pragma_covers_its_line_and_the_next() {
+        let src = "// lint:allow(R2)\nlet m = HashMap::new(); // lint:allow(R9)\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allowed("R2", 1));
+        assert!(f.allowed("R2", 2));
+        assert!(!f.allowed("R2", 3));
+        assert!(f.allowed("R9", 2));
+        assert!(!f.allowed("R1", 2));
+    }
+
+    #[test]
+    fn multi_rule_pragma() {
+        let f = SourceFile::parse("x.rs", "// lint:allow(R2, R3)\nx\n");
+        assert!(f.allowed("R2", 2));
+        assert!(f.allowed("R3", 2));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        // `#[cfg(not(test))]` still contains the ident `test`; the
+        // conservative heuristic treats it as test-gated, which only
+        // ever *relaxes* the lint. Document the choice.
+        let src = "#[cfg(feature = \"x\")]\npub fn gated() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(2));
+    }
+}

@@ -17,10 +17,9 @@
 
 use crate::csr::CsrMatrix;
 use crate::Count;
-use serde::{Deserialize, Serialize};
 
 /// The Table I aggregate properties of one packet window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Aggregates {
     /// Total valid packets `N_V = Σ_{ij} A(i,j)`.
     pub valid_packets: Count,

@@ -7,11 +7,10 @@
 
 use crate::csr::CsrMatrix;
 use crate::{Count, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A sparse matrix under construction: unsorted `(row, col, value)`
 /// triplets with duplicates allowed (they accumulate on conversion).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CooMatrix {
     rows: Vec<NodeId>,
     cols: Vec<NodeId>,
@@ -144,7 +143,12 @@ impl CooMatrix {
         for r in 0..n_rows {
             let (start, end) = (row_counts[r], row_counts[r + 1]);
             scratch.clear();
-            scratch.extend(cols[start..end].iter().copied().zip(vals[start..end].iter().copied()));
+            scratch.extend(
+                cols[start..end]
+                    .iter()
+                    .copied()
+                    .zip(vals[start..end].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut iter = scratch.iter().copied();
             if let Some((mut cur_c, mut cur_v)) = iter.next() {

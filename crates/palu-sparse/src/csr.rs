@@ -5,7 +5,6 @@
 //! and all five Figure 1 quantities are linear passes over this layout.
 
 use crate::{Count, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// An immutable CSR matrix with `u64` packet counts.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// * `row_ptr` has `n_rows + 1` monotone entries ending at `nnz`;
 /// * within each row, column indices are strictly increasing;
 /// * all stored values are nonzero.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CsrMatrix {
     row_ptr: Vec<usize>,
     cols: Vec<NodeId>,
@@ -84,7 +83,10 @@ impl CsrMatrix {
         } else {
             (0, 0)
         };
-        self.cols[s..e].iter().copied().zip(self.vals[s..e].iter().copied())
+        self.cols[s..e]
+            .iter()
+            .copied()
+            .zip(self.vals[s..e].iter().copied())
     }
 
     /// Iterate all stored entries as `(row, col, value)`.
@@ -271,10 +273,7 @@ mod tests {
         // (Aᵀ)ᵀ = A
         assert_eq!(t.transpose(), a);
         // Column reductions of A equal row reductions of Aᵀ.
-        assert_eq!(
-            a.col_sums(),
-            t.row_sums(),
-        );
+        assert_eq!(a.col_sums(), t.row_sums(),);
         assert_eq!(a.col_nnzs(), t.row_nnzs());
     }
 
@@ -332,7 +331,9 @@ mod tests {
         let mut coo = CooMatrix::new();
         let mut x = 12345u64;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = ((x >> 33) % 40) as NodeId;
             let c = ((x >> 13) % 50) as NodeId;
             coo.push_packet(r, c);

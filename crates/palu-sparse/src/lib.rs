@@ -17,12 +17,19 @@
 //!   destination fan-in, and destination packets, each as a degree
 //!   histogram ready for logarithmic pooling.
 //! * [`parallel`] — sharded parallel assembly of large windows using
-//!   crossbeam scoped threads.
+//!   std::thread scoped threads.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
+/// Per-node aggregate quantities derived from an assembled window.
 pub mod aggregates;
+/// Coordinate-format (COO) triple accumulation for streaming inserts.
 pub mod coo;
+/// Compressed sparse row matrices built from COO batches.
 pub mod csr;
+/// Sharded parallel window assembly on std::thread scoped threads.
 pub mod parallel;
+/// The network quantities (degree, flows, packets, bytes) tracked per node.
 pub mod quantities;
 
 pub use aggregates::Aggregates;

@@ -1,18 +1,25 @@
-//! Parallel window assembly with crossbeam scoped threads.
+//! Parallel window assembly with `std::thread` scoped threads.
 //!
 //! The paper's measurement pipeline aggregates windows of up to
 //! `N_V = 10^8` packets; building such a window serially is the
 //! bottleneck of the whole pipeline. The sharded builder splits the
 //! packet slice across threads, builds thread-local COO accumulators,
-//! and merges — bit-identical to the serial result because COO → CSR
-//! conversion accumulates duplicates regardless of input order *within
-//! each (row, col) cell*.
+//! and merges shards in spawn order — bit-identical to the serial
+//! result because COO → CSR conversion accumulates duplicates
+//! regardless of input order *within each (row, col) cell*.
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::quantities::QuantityHistograms;
 use crate::NodeId;
-use parking_lot::Mutex;
+
+/// Join a scoped worker, re-raising its panic on the calling thread.
+fn joined<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
 
 /// Default shard count: one per available CPU, capped to keep shard
 /// merge overhead negligible.
@@ -36,24 +43,24 @@ pub fn build_csr_parallel(pairs: &[(NodeId, NodeId)], n_threads: usize) -> CsrMa
         return CooMatrix::from_packet_pairs(pairs.iter().copied()).to_csr();
     }
     let chunk = pairs.len().div_ceil(n_threads);
-    let shards: Mutex<Vec<CooMatrix>> = Mutex::new(Vec::with_capacity(n_threads));
-    crossbeam::thread::scope(|s| {
-        for piece in pairs.chunks(chunk) {
-            let shards = &shards;
-            s.spawn(move |_| {
-                let mut local = CooMatrix::with_capacity(piece.len());
-                for &(src, dst) in piece {
-                    local.push_packet(src, dst);
-                }
-                shards.lock().push(local);
-            });
-        }
-    })
-    .expect("shard threads do not panic");
     let mut merged = CooMatrix::with_capacity(pairs.len());
-    for shard in shards.into_inner() {
-        merged.merge(&shard);
-    }
+    std::thread::scope(|s| {
+        let workers: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|piece| {
+                s.spawn(move || {
+                    let mut local = CooMatrix::with_capacity(piece.len());
+                    for &(src, dst) in piece {
+                        local.push_packet(src, dst);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            merged.merge(&joined(worker));
+        }
+    });
     merged.to_csr()
 }
 
@@ -62,19 +69,18 @@ pub fn build_csr_parallel(pairs: &[(NodeId, NodeId)], n_threads: usize) -> CsrMa
 /// that each reduction pass is itself expensive.
 pub fn quantities_parallel(a: &CsrMatrix) -> QuantityHistograms {
     let mut result = QuantityHistograms::default();
-    crossbeam::thread::scope(|s| {
-        let sp = s.spawn(|_| crate::quantities::NetworkQuantity::SourcePackets.histogram(a));
-        let sf = s.spawn(|_| crate::quantities::NetworkQuantity::SourceFanOut.histogram(a));
-        let lp = s.spawn(|_| crate::quantities::NetworkQuantity::LinkPackets.histogram(a));
-        let df = s.spawn(|_| crate::quantities::NetworkQuantity::DestinationFanIn.histogram(a));
-        let dp = s.spawn(|_| crate::quantities::NetworkQuantity::DestinationPackets.histogram(a));
-        result.source_packets = sp.join().expect("no panic");
-        result.source_fan_out = sf.join().expect("no panic");
-        result.link_packets = lp.join().expect("no panic");
-        result.destination_fan_in = df.join().expect("no panic");
-        result.destination_packets = dp.join().expect("no panic");
-    })
-    .expect("quantity threads do not panic");
+    std::thread::scope(|s| {
+        let sp = s.spawn(|| crate::quantities::NetworkQuantity::SourcePackets.histogram(a));
+        let sf = s.spawn(|| crate::quantities::NetworkQuantity::SourceFanOut.histogram(a));
+        let lp = s.spawn(|| crate::quantities::NetworkQuantity::LinkPackets.histogram(a));
+        let df = s.spawn(|| crate::quantities::NetworkQuantity::DestinationFanIn.histogram(a));
+        let dp = s.spawn(|| crate::quantities::NetworkQuantity::DestinationPackets.histogram(a));
+        result.source_packets = joined(sp);
+        result.source_fan_out = joined(sf);
+        result.link_packets = joined(lp);
+        result.destination_fan_in = joined(df);
+        result.destination_packets = joined(dp);
+    });
     result
 }
 
@@ -89,7 +95,10 @@ mod tests {
                 x = x
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                (((x >> 33) % sources as u64) as NodeId, ((x >> 13) % dests as u64) as NodeId)
+                (
+                    ((x >> 33) % sources as u64) as NodeId,
+                    ((x >> 13) % dests as u64) as NodeId,
+                )
             })
             .collect()
     }

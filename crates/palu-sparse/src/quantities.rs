@@ -18,10 +18,9 @@
 
 use crate::csr::CsrMatrix;
 use palu_stats::histogram::DegreeHistogram;
-use serde::{Deserialize, Serialize};
 
 /// Selector for one of the five Figure 1 quantities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkQuantity {
     /// Packets sent per unique source.
     SourcePackets,
@@ -63,13 +62,19 @@ impl NetworkQuantity {
                 DegreeHistogram::from_degrees(a.row_sums().into_iter().filter(|&s| s > 0))
             }
             NetworkQuantity::SourceFanOut => DegreeHistogram::from_degrees(
-                a.row_nnzs().into_iter().filter(|&n| n > 0).map(|n| n as u64),
+                a.row_nnzs()
+                    .into_iter()
+                    .filter(|&n| n > 0)
+                    .map(|n| n as u64),
             ),
             NetworkQuantity::LinkPackets => {
                 DegreeHistogram::from_degrees(a.values().iter().copied())
             }
             NetworkQuantity::DestinationFanIn => DegreeHistogram::from_degrees(
-                a.col_nnzs().into_iter().filter(|&n| n > 0).map(|n| n as u64),
+                a.col_nnzs()
+                    .into_iter()
+                    .filter(|&n| n > 0)
+                    .map(|n| n as u64),
             ),
             NetworkQuantity::DestinationPackets => {
                 DegreeHistogram::from_degrees(a.col_sums().into_iter().filter(|&s| s > 0))
@@ -79,7 +84,7 @@ impl NetworkQuantity {
 }
 
 /// All five quantity histograms for one window, computed in one call.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct QuantityHistograms {
     /// Packets per source.
     pub source_packets: DegreeHistogram,

@@ -8,9 +8,9 @@
 
 use super::DiscreteDistribution;
 use crate::error::StatsError;
+use crate::rng::Rng;
 use crate::special::ln_factorial;
 use crate::Result;
-use rand::Rng;
 
 /// Below this expected count, plain inversion from 0 is fastest.
 const BINV_CUTOFF: f64 = 16.0;
@@ -84,9 +84,8 @@ impl Binomial {
         let q = 1.0 - p;
         let mode = ((n as f64 + 1.0) * p).floor().min(n as f64) as u64;
         // pmf at the mode via log space (safe for huge n).
-        let ln_pmf_mode = Self::ln_choose(n, mode)
-            + mode as f64 * p.ln()
-            + (n - mode) as f64 * q.ln();
+        let ln_pmf_mode =
+            Self::ln_choose(n, mode) + mode as f64 * p.ln() + (n - mode) as f64 * q.ln();
         let pmf_mode = ln_pmf_mode.exp();
 
         let mut u = rng.gen::<f64>();
@@ -203,8 +202,7 @@ mod tests {
     use super::super::testutil::{check_moments, check_pmf_frequencies};
     use super::super::DiscreteDistribution;
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256pp;
 
     #[test]
     fn construction_validates_p() {
@@ -241,7 +239,7 @@ mod tests {
         let d1 = Binomial::new(10, 1.0).unwrap();
         assert_eq!(d1.pmf(10), 1.0);
         assert_eq!(d1.pmf(9), 0.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         assert_eq!(d0.sample(&mut rng), 0);
         assert_eq!(d1.sample(&mut rng), 10);
     }
@@ -289,7 +287,7 @@ mod tests {
     #[test]
     fn samples_never_exceed_n() {
         let d = Binomial::new(17, 0.6).unwrap();
-        let mut rng = StdRng::seed_from_u64(50);
+        let mut rng = Xoshiro256pp::seed_from_u64(50);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) <= 17);
         }
@@ -299,10 +297,9 @@ mod tests {
     fn supernode_scale_sampling_is_sane() {
         // A supernode with d = 10^6 observed through p = 0.001.
         let d = Binomial::new(1_000_000, 0.001).unwrap();
-        let mut rng = StdRng::seed_from_u64(60);
+        let mut rng = Xoshiro256pp::seed_from_u64(60);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
         let se = (d.variance() / n as f64).sqrt();
         assert!((mean - 1000.0).abs() < 5.0 * se, "mean {mean}");
     }

@@ -10,8 +10,8 @@
 
 use super::DiscreteDistribution;
 use crate::error::StatsError;
+use crate::rng::Rng;
 use crate::Result;
-use rand::Rng;
 
 /// Geometric distribution with support `{1, 2, 3, …}` and
 /// `pmf(d) = (1 - 1/r) · r^{1-d}` for decay base `r > 1`.
@@ -176,10 +176,9 @@ mod tests {
 
     #[test]
     fn samples_are_at_least_one() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use crate::rng::Xoshiro256pp;
         let g = Geometric::from_decay_base(10.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         for _ in 0..10_000 {
             assert!(g.sample(&mut rng) >= 1);
         }

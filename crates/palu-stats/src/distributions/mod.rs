@@ -17,10 +17,15 @@
 //! All samplers are exact (no normal approximations) and deterministic
 //! given an RNG, so simulated experiments are replayable.
 
+/// Exact binomial sampling via inversion / BTPE-free splitting.
 pub mod binomial;
+/// Geometric distribution sampling and pmf.
 pub mod geometric;
+/// Lognormal sampling for leaf-degree multiplicities.
 pub mod lognormal;
+/// Poisson sampling for star-component sizes.
 pub mod poisson;
+/// Discrete power-law (zeta) sampling and pmf for the PA core.
 pub mod powerlaw;
 
 pub use binomial::Binomial;
@@ -29,7 +34,7 @@ pub use lognormal::DiscretizedLogNormal;
 pub use poisson::Poisson;
 pub use powerlaw::{TruncatedZeta, Zeta};
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Common interface for the discrete distributions in this module.
 ///
@@ -74,13 +79,12 @@ pub(crate) mod testutil {
     //! goodness-of-fit checks with generous-but-meaningful tolerances.
 
     use super::DiscreteDistribution;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256pp;
 
     /// Draw `n` samples and assert the empirical mean and variance are
     /// within `tol_sigmas` standard errors of the theoretical values.
     pub fn check_moments<D: DiscreteDistribution>(dist: &D, n: usize, seed: u64, tol_sigmas: f64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let samples = dist.sample_many(&mut rng, n);
         let nf = n as f64;
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / nf;
@@ -116,7 +120,7 @@ pub(crate) mod testutil {
         seed: u64,
         tol_sigmas: f64,
     ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let samples = dist.sample_many(&mut rng, n);
         let mut counts = vec![0u64; k_max as usize + 1];
         for &s in &samples {

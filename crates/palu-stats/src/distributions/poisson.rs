@@ -6,9 +6,9 @@
 
 use super::DiscreteDistribution;
 use crate::error::StatsError;
+use crate::rng::Rng;
 use crate::special::ln_factorial;
 use crate::Result;
-use rand::Rng;
 
 /// Rate threshold below which inversion-by-sequential-search is used;
 /// above it the PTRS transformed-rejection sampler takes over.
@@ -102,8 +102,8 @@ impl Poisson {
             if k < 0.0 || (us < 0.013 && v > us) {
                 continue;
             }
-            let accept =
-                (v * inv_alpha / (a / (us * us) + b)).ln() <= k * ln_lam - lam - ln_factorial(k as u64);
+            let accept = (v * inv_alpha / (a / (us * us) + b)).ln()
+                <= k * ln_lam - lam - ln_factorial(k as u64);
             if accept {
                 return k as u64;
             }
@@ -160,8 +160,7 @@ mod tests {
     use super::super::testutil::{check_moments, check_pmf_frequencies};
     use super::super::DiscreteDistribution;
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256pp;
 
     #[test]
     fn construction_validates_rate() {
@@ -198,7 +197,7 @@ mod tests {
         assert_eq!(d.pmf(0), 1.0);
         assert_eq!(d.pmf(1), 0.0);
         assert_eq!(d.cdf(0), 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         for _ in 0..100 {
             assert_eq!(d.sample(&mut rng), 0);
         }
@@ -257,7 +256,7 @@ mod tests {
         let lam = 6.0;
         let p = 0.3;
         let d = Poisson::new(lam).unwrap();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
         let n = 200_000;
         let mut total = 0u64;
         for _ in 0..n {
@@ -267,6 +266,10 @@ mod tests {
         }
         let mean = total as f64 / n as f64;
         let se = (lam * p / n as f64).sqrt();
-        assert!((mean - lam * p).abs() < 5.0 * se, "mean {mean} vs {}", lam * p);
+        assert!(
+            (mean - lam * p).abs() < 5.0 * se,
+            "mean {mean} vs {}",
+            lam * p
+        );
     }
 }

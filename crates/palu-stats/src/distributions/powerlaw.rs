@@ -9,9 +9,9 @@
 
 use super::DiscreteDistribution;
 use crate::error::StatsError;
+use crate::rng::Rng;
 use crate::special::{harmonic_partial, riemann_zeta};
 use crate::Result;
-use rand::Rng;
 
 /// Zeta (discrete power-law) distribution: `pmf(d) = d^{-α}/ζ(α)`,
 /// support `{1, 2, 3, …}`, exponent `α > 1`.
@@ -228,8 +228,7 @@ impl DiscreteDistribution for TruncatedZeta {
 mod tests {
     use super::super::DiscreteDistribution;
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256pp;
 
     #[test]
     fn construction_validates() {
@@ -262,8 +261,7 @@ mod tests {
     #[test]
     fn moments_match_zeta_ratios() {
         let d = Zeta::new(3.5).unwrap();
-        let expected_mean =
-            riemann_zeta(2.5).unwrap() / riemann_zeta(3.5).unwrap();
+        let expected_mean = riemann_zeta(2.5).unwrap() / riemann_zeta(3.5).unwrap();
         assert!((d.mean() - expected_mean).abs() < 1e-12);
         assert!(Zeta::new(1.8).unwrap().mean().is_infinite());
         assert!(Zeta::new(2.5).unwrap().variance().is_infinite());
@@ -274,7 +272,7 @@ mod tests {
     fn devroye_sampler_matches_pmf() {
         // Frequency check for small d where mass concentrates.
         let d = Zeta::new(2.5).unwrap();
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
         let n = 400_000usize;
         let mut counts = [0u64; 11];
         for _ in 0..n {
@@ -300,7 +298,7 @@ mod tests {
         // The empirical log-log survival curve should have slope ≈ 1-α.
         let alpha = 2.2;
         let d = Zeta::new(alpha).unwrap();
-        let mut rng = StdRng::seed_from_u64(78);
+        let mut rng = Xoshiro256pp::seed_from_u64(78);
         let n = 500_000usize;
         let mut samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         samples.sort_unstable();
@@ -343,7 +341,7 @@ mod tests {
     #[test]
     fn truncated_sampler_respects_cap() {
         let t = TruncatedZeta::new(1.6, 50).unwrap();
-        let mut rng = StdRng::seed_from_u64(79);
+        let mut rng = Xoshiro256pp::seed_from_u64(79);
         for _ in 0..20_000 {
             let x = t.sample(&mut rng);
             assert!((1..=50).contains(&x));

@@ -108,13 +108,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            StatsError::domain("f", "x"),
-            StatsError::domain("f", "x")
-        );
-        assert_ne!(
-            StatsError::domain("f", "x"),
-            StatsError::domain("g", "x")
-        );
+        assert_eq!(StatsError::domain("f", "x"), StatsError::domain("f", "x"));
+        assert_ne!(StatsError::domain("f", "x"), StatsError::domain("g", "x"));
     }
 }

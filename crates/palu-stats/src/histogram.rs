@@ -6,7 +6,7 @@
 //! Internet traffic span six orders of magnitude with most mass at
 //! `d = 1`, so the histogram is stored sparsely (degree → count).
 
-use serde::{Deserialize, Serialize};
+use crate::rng::Rng;
 use std::collections::BTreeMap;
 
 /// Sparse histogram over positive integer degrees (counts).
@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 /// // The paper's D(d = 1): fraction of single-connection nodes.
 /// assert!((h.fraction_degree_one() - 0.6).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DegreeHistogram {
     counts: BTreeMap<u64, u64>,
     total: u64,
@@ -114,11 +114,7 @@ impl DegreeHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let acc: u64 = self
-            .counts
-            .range(..=d)
-            .map(|(_, &c)| c)
-            .sum();
+        let acc: u64 = self.counts.range(..=d).map(|(_, &c)| c).sum();
         acc as f64 / self.total as f64
     }
 
@@ -130,7 +126,9 @@ impl DegreeHistogram {
     /// Iterate `(degree, empirical probability)` pairs.
     pub fn probabilities(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
         let total = self.total as f64;
-        self.counts.iter().map(move |(&d, &c)| (d, c as f64 / total))
+        self.counts
+            .iter()
+            .map(move |(&d, &c)| (d, c as f64 / total))
     }
 
     /// Merge another histogram into this one (bin-wise count addition).
@@ -145,11 +143,7 @@ impl DegreeHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let weighted: f64 = self
-            .counts
-            .iter()
-            .map(|(&d, &c)| d as f64 * c as f64)
-            .sum();
+        let weighted: f64 = self.counts.iter().map(|(&d, &c)| d as f64 * c as f64).sum();
         weighted / self.total as f64
     }
 
@@ -169,7 +163,7 @@ impl DegreeHistogram {
     /// with replacement from this histogram's empirical distribution.
     /// The standard resampling step behind every bootstrap confidence
     /// interval in the workspace.
-    pub fn resample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> DegreeHistogram {
+    pub fn resample<R: Rng + ?Sized>(&self, rng: &mut R) -> DegreeHistogram {
         if self.total() == 0 {
             return DegreeHistogram::new();
         }
@@ -308,10 +302,9 @@ mod tests {
 
     #[test]
     fn resample_preserves_total_and_support() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use crate::rng::Xoshiro256pp;
         let h = DegreeHistogram::from_counts([(1, 500), (2, 300), (7, 200)]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let b = h.resample(&mut rng);
         assert_eq!(b.total(), h.total());
         // Resampled degrees come from the original support.

@@ -88,8 +88,7 @@ pub fn ks_two_sample(a: &DegreeHistogram, b: &DegreeHistogram) -> f64 {
 mod tests {
     use super::*;
     use crate::distributions::{DiscreteDistribution, Zeta};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256pp;
 
     #[test]
     fn ks_zero_for_perfect_match() {
@@ -112,7 +111,15 @@ mod tests {
         // Model puts 0.9 mass strictly below the single observed degree:
         // the pre-jump comparison must catch the 0.9 gap.
         let h = DegreeHistogram::from_degrees([5, 5]);
-        let d = ks_distance(&h, |d| if d >= 5 { 1.0 } else if d >= 1 { 0.9 } else { 0.0 });
+        let d = ks_distance(&h, |d| {
+            if d >= 5 {
+                1.0
+            } else if d >= 1 {
+                0.9
+            } else {
+                0.0
+            }
+        });
         assert!((d - 0.9).abs() < 1e-12);
     }
 
@@ -125,7 +132,7 @@ mod tests {
     #[test]
     fn ks_small_for_true_model_samples() {
         let zeta = Zeta::new(2.5).unwrap();
-        let mut rng = StdRng::seed_from_u64(5150);
+        let mut rng = Xoshiro256pp::seed_from_u64(5150);
         let n = 100_000usize;
         let h: DegreeHistogram = (0..n).map(|_| zeta.sample(&mut rng)).collect();
         let d = ks_distance(&h, |k| zeta.cdf(k));

@@ -29,19 +29,34 @@
 //!   the paper contrasts its hybrid model against.
 //! * [`rng`] — deterministic seeding utilities so every experiment in the
 //!   reproduction is replayable.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
+/// Exact samplers for the distributions the PALU model composes.
 pub mod distributions;
+/// The shared error type for statistical routines.
 pub mod error;
+/// Dense integer histograms with tail accumulation.
 pub mod histogram;
+/// Kolmogorov–Smirnov statistics and bootstrapped p-values.
 pub mod ks;
+/// Logarithmic pooling of degree histograms (the paper's binning).
 pub mod logbin;
+/// Maximum-likelihood estimation for discrete power laws.
 pub mod mle;
+/// Likelihood-ratio and information-criterion model comparison.
 pub mod model_select;
+/// Derivative-free scalar/bivariate minimizers for fit objectives.
 pub mod optimize;
+/// Least-squares regression in log space.
 pub mod regression;
+/// Deterministic from-scratch RNG (SplitMix64 + xoshiro256++).
 pub mod rng;
+/// Bracketing root solvers for implicit parameter equations.
 pub mod solve;
+/// Special functions (zeta, polygamma-free Hurwitz sums) used by the fits.
 pub mod special;
+/// Streaming summary statistics (moments, quantiles).
 pub mod summary;
 
 pub use error::StatsError;

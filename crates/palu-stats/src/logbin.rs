@@ -11,13 +11,12 @@
 //! from `−α` to `1 − α`.
 
 use crate::histogram::DegreeHistogram;
-use serde::{Deserialize, Serialize};
 
 /// The binary logarithmic binning scheme `d_i = 2^i`.
 ///
 /// This is a zero-sized strategy type: all state lives in the pooled
 /// [`DifferentialCumulative`] it produces.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LogBins;
 
 impl LogBins {
@@ -69,7 +68,7 @@ impl LogBins {
 /// Invariant: `values[i]` is the probability mass in degree interval
 /// `(2^{i−1}, 2^i]`; the values sum to ≤ 1 (equal to 1 when built from
 /// a complete distribution).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DifferentialCumulative {
     values: Vec<f64>,
 }
@@ -186,11 +185,7 @@ impl DifferentialCumulative {
     /// (e.g. inverse variances from multi-window σ estimates). Bins
     /// beyond `w.len()` get weight 0.
     pub fn weighted_distance_sq(&self, other: &DifferentialCumulative, w: &[f64]) -> f64 {
-        let n = self
-            .values
-            .len()
-            .max(other.values.len())
-            .min(w.len());
+        let n = self.values.len().max(other.values.len()).min(w.len());
         (0..n)
             .map(|i| {
                 let d = self.value(i) - other.value(i);
@@ -297,10 +292,7 @@ mod tests {
             let hi = LogBins::upper_bound(i);
             let lo = LogBins::lower_bound_exclusive(i);
             let expected = h.cumulative(hi) - if lo == 0 { 0.0 } else { h.cumulative(lo) };
-            assert!(
-                (d.value(i as usize) - expected).abs() < 1e-12,
-                "bin {i}"
-            );
+            assert!((d.value(i as usize) - expected).abs() < 1e-12, "bin {i}");
         }
     }
 
@@ -326,9 +318,7 @@ mod tests {
         assert_eq!(a.l2_distance_sq(&a), 0.0);
         // Weighted: zero weight on mismatched bins kills the distance.
         assert_eq!(a.weighted_distance_sq(&b, &[1.0, 0.0, 0.0]), 0.0);
-        assert!(
-            (a.weighted_distance_sq(&b, &[0.0, 2.0, 2.0]) - 0.25).abs() < 1e-12
-        );
+        assert!((a.weighted_distance_sq(&b, &[0.0, 2.0, 2.0]) - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -355,10 +345,7 @@ mod tests {
         // i with slope (1−α)·log(2) — verify via adjacent-bin ratios.
         let alpha = 2.5;
         let z = crate::special::riemann_zeta(alpha).unwrap();
-        let d = DifferentialCumulative::from_pmf(
-            |k| (k as f64).powf(-alpha) / z,
-            1 << 20,
-        );
+        let d = DifferentialCumulative::from_pmf(|k| (k as f64).powf(-alpha) / z, 1 << 20);
         // For large i, D(d_{i+1}) / D(d_i) → 2^{1-α}.
         let expected_ratio = 2f64.powf(1.0 - alpha);
         for i in 10..18 {

@@ -18,11 +18,10 @@ use crate::mle::PowerLawFit;
 use crate::optimize::{nelder_mead, NelderMeadOptions};
 use crate::special::{hurwitz_zeta, normal_cdf};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// A lognormal fitted to a histogram tail (`d ≥ x_min`), with the pmf
 /// renormalized over `x_min..=d_cap`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogNormalFit {
     /// Location parameter (log-space).
     pub mu: f64,
@@ -54,7 +53,7 @@ fn lognormal_tail_lnpmf(
     }
     // Normalizer over the tail support, in a stable log-sum-exp.
     let ln_rho = move |d: u64| {
-        let ln_d = (d as f64).ln();
+        let ln_d = (d as f64).ln(); // d is a degree >= 1. lint:allow(R3)
         -((ln_d - mu).powi(2)) / (2.0 * sigma * sigma) - ln_d
     };
     let mut max_ln = f64::NEG_INFINITY;
@@ -68,6 +67,7 @@ fn lognormal_tail_lnpmf(
     for d in x_min..=d_cap {
         z += (ln_rho(d) - max_ln).exp();
     }
+    // z sums exp(ln_rho - max_ln); the max term contributes 1, so z >= 1. lint:allow(R3)
     let ln_z = max_ln + z.ln();
     Some(move |d: u64| ln_rho(d) - ln_z)
 }
@@ -92,23 +92,21 @@ pub fn fit_lognormal_tail(h: &DegreeHistogram, x_min: u64) -> Result<LogNormalFi
     // Moment-based starting point in log space.
     let mean_ln: f64 = tail
         .iter()
-        .map(|&(d, c)| c as f64 * (d as f64).ln())
+        .map(|&(d, c)| c as f64 * (d as f64).ln()) // d >= x_min >= 1. lint:allow(R3)
         .sum::<f64>()
         / n_tail as f64;
     let var_ln: f64 = tail
         .iter()
-        .map(|&(d, c)| c as f64 * ((d as f64).ln() - mean_ln).powi(2))
+        .map(|&(d, c)| c as f64 * ((d as f64).ln() - mean_ln).powi(2)) // d >= 1. lint:allow(R3)
         .sum::<f64>()
         / n_tail as f64;
+    // var_ln is a mean of squares >= 0; .max(0.05) before the ln. lint:allow(R3)
     let x0 = [mean_ln, var_ln.sqrt().max(0.05).ln()];
 
     let neg_ll = |v: &[f64]| -> f64 {
         let (mu, sigma) = (v[0], v[1].exp());
         match lognormal_tail_lnpmf(mu, sigma, x_min, d_cap) {
-            Some(lnpmf) => -tail
-                .iter()
-                .map(|&(d, c)| c as f64 * lnpmf(d))
-                .sum::<f64>(),
+            Some(lnpmf) => -tail.iter().map(|&(d, c)| c as f64 * lnpmf(d)).sum::<f64>(),
             None => f64::INFINITY,
         }
     };
@@ -146,15 +144,15 @@ pub fn log_likelihood_powerlaw_tail(
     if let Some(cap) = d_cap {
         z -= hurwitz_zeta(fit.alpha, cap as f64 + 1.0)?;
     }
-    Ok(h
-        .iter()
+    Ok(h.iter()
         .filter(|&(d, _)| d >= fit.x_min)
+        // d >= x_min >= 1; z is a Hurwitz-zeta value > 0 (checked above). lint:allow(R3)
         .map(|(d, c)| c as f64 * (-fit.alpha * (d as f64).ln() - z.ln()))
         .sum())
 }
 
 /// Verdict of a Vuong comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelVerdict {
     /// Power law significantly better.
     PowerLaw,
@@ -165,7 +163,7 @@ pub enum ModelVerdict {
 }
 
 /// Result of the Vuong likelihood-ratio test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VuongTest {
     /// Total log-likelihood ratio `ln L_pl − ln L_ln` (positive favors
     /// the power law).
@@ -195,14 +193,17 @@ pub fn vuong_test(
     if pl.x_min != ln.x_min {
         return Err(StatsError::domain(
             "vuong_test",
-            format!("x_min mismatch: power law {} vs lognormal {}", pl.x_min, ln.x_min),
+            format!(
+                "x_min mismatch: power law {} vs lognormal {}",
+                pl.x_min, ln.x_min
+            ),
         ));
     }
     let x_min = pl.x_min;
     // Both models normalized over the same finite support
     // [x_min, d_cap] — see `log_likelihood_powerlaw_tail`.
-    let z_pl = hurwitz_zeta(pl.alpha, x_min as f64)?
-        - hurwitz_zeta(pl.alpha, ln.d_cap as f64 + 1.0)?;
+    let z_pl =
+        hurwitz_zeta(pl.alpha, x_min as f64)? - hurwitz_zeta(pl.alpha, ln.d_cap as f64 + 1.0)?;
     let Some(ln_pmf) = lognormal_tail_lnpmf(ln.mu, ln.sigma, x_min, ln.d_cap) else {
         return Err(StatsError::domain("vuong_test", "degenerate lognormal fit"));
     };
@@ -213,19 +214,26 @@ pub fn vuong_test(
     let mut sum_sq = 0.0f64;
     for (d, c) in h.iter().filter(|&(d, _)| d >= x_min) {
         let d_eval = d.min(ln.d_cap);
+        // d >= x_min >= 1; z_pl is a Hurwitz-zeta value > 0. lint:allow(R3)
         let li = (-pl.alpha * (d as f64).ln() - z_pl.ln()) - ln_pmf(d_eval);
         n += c;
         sum += c as f64 * li;
         sum_sq += c as f64 * li * li;
     }
     if n < 2 {
-        return Err(StatsError::EmptyInput { routine: "vuong_test" });
+        return Err(StatsError::EmptyInput {
+            routine: "vuong_test",
+        });
     }
     let nf = n as f64;
     let mean = sum / nf;
     let var = (sum_sq / nf - mean * mean).max(0.0);
-    let sd = var.sqrt();
-    let z = if sd > 0.0 { sum / (nf.sqrt() * sd) } else { 0.0 };
+    let sd = var.sqrt(); // var is clamped with .max(0.0) above. lint:allow(R3)
+    let z = if sd > 0.0 {
+        sum / (nf.sqrt() * sd) // nf = n >= 2. lint:allow(R3)
+    } else {
+        0.0
+    };
     let p_value = 2.0 * normal_cdf(-z.abs());
     let verdict = if p_value > significance {
         ModelVerdict::Inconclusive
@@ -247,8 +255,7 @@ mod tests {
     use super::*;
     use crate::distributions::{DiscreteDistribution, DiscretizedLogNormal, Zeta};
     use crate::mle::fit_alpha_discrete;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xoshiro256pp;
 
     fn vuong_on(h: &DegreeHistogram, x_min: u64) -> VuongTest {
         let pl = fit_alpha_discrete(h, x_min).unwrap();
@@ -259,7 +266,7 @@ mod tests {
     #[test]
     fn lognormal_tail_fit_recovers_parameters() {
         let truth = DiscretizedLogNormal::new(2.0, 0.7, 50_000).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let h: DegreeHistogram = truth.sample_many(&mut rng, 100_000).into_iter().collect();
         let fit = fit_lognormal_tail(&h, 1).unwrap();
         assert!((fit.mu - 2.0).abs() < 0.05, "μ {}", fit.mu);
@@ -283,7 +290,7 @@ mod tests {
         // a power-law win. What must never happen is a significant
         // LogNormal verdict on true zeta data.
         let z = Zeta::new(2.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let h: DegreeHistogram = (0..100_000).map(|_| z.sample(&mut rng)).collect();
         let v = vuong_on(&h, 1);
         assert!(
@@ -297,10 +304,14 @@ mod tests {
     #[test]
     fn vuong_prefers_lognormal_on_lognormal_data() {
         let truth = DiscretizedLogNormal::new(1.5, 0.9, 50_000).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let h: DegreeHistogram = truth.sample_many(&mut rng, 100_000).into_iter().collect();
         let v = vuong_on(&h, 1);
-        assert!(v.z < -2.0, "z = {} should strongly favor the lognormal", v.z);
+        assert!(
+            v.z < -2.0,
+            "z = {} should strongly favor the lognormal",
+            v.z
+        );
         assert_eq!(v.verdict, ModelVerdict::LogNormal);
     }
 
@@ -308,7 +319,7 @@ mod tests {
     fn vuong_is_inconclusive_on_tiny_samples() {
         // 60 observations cannot separate the families.
         let z = Zeta::new(2.2).unwrap();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let h: DegreeHistogram = (0..60).map(|_| z.sample(&mut rng)).collect();
         if let (Ok(pl), Ok(ln)) = (fit_alpha_discrete(&h, 1), fit_lognormal_tail(&h, 1)) {
             let v = vuong_test(&h, &pl, &ln, 0.05).unwrap();
@@ -319,7 +330,7 @@ mod tests {
     #[test]
     fn vuong_validates_matching_xmin() {
         let z = Zeta::new(2.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let h: DegreeHistogram = (0..10_000).map(|_| z.sample(&mut rng)).collect();
         let pl = fit_alpha_discrete(&h, 2).unwrap();
         let ln = fit_lognormal_tail(&h, 3).unwrap();
@@ -331,7 +342,7 @@ mod tests {
         // The MLE maximizes exactly this likelihood: perturbing α away
         // from the fitted value must not increase it.
         let z = Zeta::new(2.3).unwrap();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let h: DegreeHistogram = (0..50_000).map(|_| z.sample(&mut rng)).collect();
         let fit = fit_alpha_discrete(&h, 1).unwrap();
         let at_fit = log_likelihood_powerlaw_tail(&h, &fit, None).unwrap();
@@ -345,8 +356,7 @@ mod tests {
         }
         // Capped normalization only adds back unobserved-tail mass:
         // the likelihood must strictly improve.
-        let capped =
-            log_likelihood_powerlaw_tail(&h, &fit, Some(h.d_max().unwrap())).unwrap();
+        let capped = log_likelihood_powerlaw_tail(&h, &fit, Some(h.d_max().unwrap())).unwrap();
         assert!(capped > at_fit);
     }
 }

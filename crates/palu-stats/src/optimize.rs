@@ -190,7 +190,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     while evals < opts.max_evals {
         // Order the simplex: best first, worst last.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&i, &j| fvals[i].partial_cmp(&fvals[j]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&i, &j| {
+            fvals[i]
+                .partial_cmp(&fvals[j])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -238,7 +242,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         } else {
             // Contraction (outside if reflected point improved on the
             // worst, inside otherwise).
-            let towards: &[f64] = if fr < fvals[worst] { &xr } else { &simplex[worst] };
+            let towards: &[f64] = if fr < fvals[worst] {
+                &xr
+            } else {
+                &simplex[worst]
+            };
             let xc: Vec<f64> = c
                 .iter()
                 .zip(towards)
@@ -267,7 +275,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     }
 
     let best_idx = (0..=n)
-        .min_by(|&i, &j| fvals[i].partial_cmp(&fvals[j]).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|&i, &j| {
+            fvals[i]
+                .partial_cmp(&fvals[j])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("simplex is non-empty");
     Ok(MinNd {
         x: simplex[best_idx].clone(),
@@ -357,12 +369,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_converges_flag() {
-        let m = nelder_mead(
-            |v| v[0] * v[0],
-            &[3.0],
-            &NelderMeadOptions::default(),
-        )
-        .unwrap();
+        let m = nelder_mead(|v| v[0] * v[0], &[3.0], &NelderMeadOptions::default()).unwrap();
         assert!(m.converged);
         assert!(m.evals < NelderMeadOptions::default().max_evals);
     }

@@ -8,10 +8,9 @@
 
 use crate::error::StatsError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Result of a simple linear regression `y ≈ slope·x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Regression {
     /// Fitted slope.
     pub slope: f64,
@@ -109,6 +108,8 @@ pub fn weighted_ols(xs: &[f64], ys: &[f64], w: &[f64]) -> Result<Regression> {
     let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
     let n = effective;
     let slope_std_err = if n > 2 {
+        // ss_res is a sum of squares >= 0; sxx > 0 checked upstream,
+        // and n > 2 by the branch guard. lint:allow(R3)
         (ss_res / (n as f64 - 2.0) / sxx).sqrt()
     } else {
         0.0
@@ -134,6 +135,7 @@ pub fn log_log_ols(xs: &[f64], ys: &[f64]) -> Result<Regression> {
         .iter()
         .zip(ys)
         .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        // The filter above keeps only x > 0, y > 0. lint:allow(R3)
         .map(|(&x, &y)| (x.ln(), y.ln()))
         .unzip();
     ols(&pairs.0, &pairs.1)

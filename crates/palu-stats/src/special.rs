@@ -118,7 +118,11 @@ pub fn hurwitz_zeta(s: f64, q: f64) -> Result<f64> {
     // Direct sum of the head: Σ_{n=0}^{N-1} (n+q)^{-s}.
     // N is chosen so N + q ≥ 16, which keeps the Euler–Maclaurin
     // remainder below double-precision noise for s ≤ ~50.
-    let n_head = if q >= 16.0 { 0 } else { (16.0 - q).ceil() as usize };
+    let n_head = if q >= 16.0 {
+        0
+    } else {
+        (16.0 - q).ceil() as usize
+    };
     let mut head = 0.0f64;
     for n in 0..n_head {
         head += (n as f64 + q).powf(-s);
@@ -296,7 +300,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -473,10 +477,7 @@ mod tests {
         // Li_1(z) = −ln(1 − z).
         for &z in &[0.1, 0.5, 0.9] {
             let expected = -(1.0f64 - z).ln();
-            assert!(
-                (polylog(1.0, z).unwrap() - expected).abs() < 1e-12,
-                "z={z}"
-            );
+            assert!((polylog(1.0, z).unwrap() - expected).abs() < 1e-12, "z={z}");
         }
         // Li_2(1/2) = π²/12 − ln²2 / 2.
         let pi = std::f64::consts::PI;

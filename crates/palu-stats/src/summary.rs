@@ -7,10 +7,9 @@
 //! vectorizes it across bins.
 
 use crate::logbin::DifferentialCumulative;
-use serde::{Deserialize, Serialize};
 
 /// Welford's online mean/variance accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -94,7 +93,7 @@ impl Welford {
 
 /// Per-bin mean/σ of pooled distributions over consecutive windows:
 /// the paper's `D(d_i)` and `σ(d_i)`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BinStats {
     bins: Vec<Welford>,
     windows: u64,
@@ -183,8 +182,7 @@ mod tests {
             w.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
         assert_eq!(w.count(), 8);

@@ -1,0 +1,206 @@
+//! Randomized-input fallback for the gated proptest suite
+//! (`tests/proptest_stats.rs`): the same invariants, driven by the
+//! in-repo deterministic RNG so they run in the offline build.
+
+use palu_stats::distributions::{Binomial, DiscreteDistribution, Poisson, Zeta};
+use palu_stats::histogram::DegreeHistogram;
+use palu_stats::logbin::{DifferentialCumulative, LogBins};
+use palu_stats::regression::ols;
+use palu_stats::rng::{Rng, Xoshiro256pp};
+use palu_stats::solve::{bisect, brent};
+use palu_stats::special::{harmonic_partial, hurwitz_zeta, ln_factorial, riemann_zeta};
+use palu_stats::summary::Welford;
+
+const CASES: usize = 200;
+
+fn uniform(rng: &mut Xoshiro256pp, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+#[test]
+fn zeta_is_monotone_decreasing() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5150);
+    for _ in 0..CASES {
+        let s1 = uniform(&mut rng, 1.1, 6.0);
+        let ds = uniform(&mut rng, 0.01, 2.0);
+        let z1 = riemann_zeta(s1).unwrap();
+        let z2 = riemann_zeta(s1 + ds).unwrap();
+        assert!(z2 < z1, "ζ({s1}) = {z1} vs ζ({}) = {z2}", s1 + ds);
+        assert!(z2 > 1.0);
+    }
+}
+
+#[test]
+fn hurwitz_shift_and_harmonic_partition() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5151);
+    for _ in 0..CASES {
+        // ζ(s, q) = q^{-s} + ζ(s, q + 1)
+        let s = uniform(&mut rng, 1.1, 5.0);
+        let q = uniform(&mut rng, 0.05, 20.0);
+        let lhs = hurwitz_zeta(s, q).unwrap();
+        let rhs = q.powf(-s) + hurwitz_zeta(s, q + 1.0).unwrap();
+        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs());
+        // H(n, s) + ζ(s, n+1) = ζ(s)
+        let n = rng.gen_range(1u64..3000);
+        let s = uniform(&mut rng, 1.1, 4.0);
+        let whole = riemann_zeta(s).unwrap();
+        let head = harmonic_partial(n, s);
+        let tail = hurwitz_zeta(s, n as f64 + 1.0).unwrap();
+        assert!((whole - head - tail).abs() < 1e-9);
+        assert!(head > 0.0 && head < whole);
+    }
+}
+
+#[test]
+fn ln_factorial_recurrence() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5152);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0u64..5000);
+        let lhs = ln_factorial(n + 1);
+        let rhs = ln_factorial(n) + ((n + 1) as f64).ln();
+        assert!((lhs - rhs).abs() < 1e-8 * lhs.max(1.0));
+    }
+}
+
+#[test]
+fn pmf_identities() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5153);
+    for _ in 0..CASES {
+        // Poisson: pmf(k+1)/pmf(k) = λ/(k+1)
+        let lambda = uniform(&mut rng, 0.01, 50.0);
+        let k = rng.gen_range(0u64..100);
+        let d = Poisson::new(lambda).unwrap();
+        let ratio = d.pmf(k + 1) / d.pmf(k);
+        assert!((ratio - lambda / (k + 1) as f64).abs() < 1e-6 * ratio.max(1e-12));
+        // Binomial: Bin(n,p).pmf(k) = Bin(n,1−p).pmf(n−k)
+        let n = rng.gen_range(1u64..200);
+        let p = uniform(&mut rng, 0.01, 0.99);
+        let k = rng.gen_range(0..n + 1);
+        let a = Binomial::new(n, p).unwrap().pmf(k);
+        let b = Binomial::new(n, 1.0 - p).unwrap().pmf(n - k);
+        assert!((a - b).abs() < 1e-10 * a.max(1e-12));
+        // Zeta cdf monotone, pmf decreasing.
+        let alpha = uniform(&mut rng, 1.1, 4.0);
+        let k = rng.gen_range(1u64..500);
+        let z = Zeta::new(alpha).unwrap();
+        assert!(z.cdf(k + 1) >= z.cdf(k));
+        assert!(z.cdf(k) <= 1.0 + 1e-12);
+        assert!(z.pmf(k) >= z.pmf(k + 1));
+    }
+}
+
+#[test]
+fn binomial_samples_in_range() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5154);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0u64..10_000);
+        let p = rng.gen::<f64>();
+        let x = Binomial::new(n, p).unwrap().sample(&mut rng);
+        assert!(x <= n);
+    }
+}
+
+#[test]
+fn histogram_counting_and_merge() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5155);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..200);
+        let degrees: Vec<u64> = (0..len).map(|_| rng.gen_range(1u64..5000)).collect();
+        let h = DegreeHistogram::from_degrees(degrees.iter().copied());
+        assert_eq!(h.total(), degrees.len() as u64);
+        assert_eq!(h.iter().map(|(_, c)| c).sum::<u64>(), degrees.len() as u64);
+        if !degrees.is_empty() {
+            assert_eq!(h.d_max(), degrees.iter().copied().max());
+            assert_eq!(h.d_min(), degrees.iter().copied().min());
+            assert_eq!(h.degree_sum(), degrees.iter().sum::<u64>());
+        }
+        // Merge is count addition.
+        let cut = if degrees.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..degrees.len())
+        };
+        let mut merged = DegreeHistogram::from_degrees(degrees[..cut].iter().copied());
+        merged.merge(&DegreeHistogram::from_degrees(
+            degrees[cut..].iter().copied(),
+        ));
+        assert_eq!(merged, h);
+    }
+}
+
+#[test]
+fn pooling_conserves_probability_and_bins_invert() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5156);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..300);
+        let degrees: Vec<u64> = (0..len).map(|_| rng.gen_range(1u64..100_000)).collect();
+        let h = DegreeHistogram::from_degrees(degrees.iter().copied());
+        let pooled = DifferentialCumulative::from_histogram(&h);
+        assert!((pooled.total_mass() - 1.0).abs() < 1e-9);
+        let max_bin = LogBins::bin_index(h.d_max().unwrap()) as usize;
+        assert_eq!(pooled.n_bins(), max_bin + 1);
+        assert_eq!(pooled.last_nonzero_bin(), Some(max_bin));
+        // Bin bounds invert the index.
+        let d = rng.gen_range(1u64..1_000_000_000);
+        let i = LogBins::bin_index(d);
+        assert!(LogBins::lower_bound_exclusive(i) < d);
+        assert!(d <= LogBins::upper_bound(i));
+        assert!(LogBins::range(i).contains(&d));
+    }
+}
+
+#[test]
+fn welford_matches_two_pass_and_merges() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5157);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2usize..100);
+        let xs: Vec<f64> = (0..len).map(|_| uniform(&mut rng, -1e6, 1e6)).collect();
+        let fold = |v: &[f64]| {
+            let mut w = Welford::new();
+            for &x in v {
+                w.push(x);
+            }
+            w
+        };
+        let w = fold(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        assert!((w.variance() - var).abs() < 1e-5 * var.max(1.0));
+        // Merge of a split equals the whole.
+        let cut = rng.gen_range(1..xs.len());
+        let mut merged = fold(&xs[..cut]);
+        merged.merge(&fold(&xs[cut..]));
+        assert!((merged.mean() - w.mean()).abs() < 1e-6 * w.mean().abs().max(1.0));
+        assert!((merged.variance() - w.variance()).abs() < 1e-5 * w.variance().max(1.0));
+    }
+}
+
+#[test]
+fn ols_is_exact_on_lines() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5158);
+    for _ in 0..CASES {
+        let slope = uniform(&mut rng, -100.0, 100.0);
+        let intercept = uniform(&mut rng, -100.0, 100.0);
+        let n = rng.gen_range(3usize..50);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let r = ols(&xs, &ys).unwrap();
+        assert!((r.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        assert!((r.intercept - intercept).abs() < 1e-6 * intercept.abs().max(1.0));
+    }
+}
+
+#[test]
+fn root_finders_agree() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5159);
+    for _ in 0..CASES {
+        let target = uniform(&mut rng, -50.0, 50.0);
+        let f = |x: f64| x.powi(3) - target.powi(3);
+        let (a, b) = (target - 60.0, target + 60.0);
+        let r1 = bisect(f, a, b, 1e-10, 500).unwrap();
+        let r2 = brent(f, a, b, 1e-12, 500).unwrap();
+        assert!((r1 - target).abs() < 1e-5);
+        assert!((r2 - target).abs() < 1e-5);
+    }
+}

@@ -19,12 +19,20 @@
 //!   windows (the Figure 3 panels are six of these).
 //! * [`pipeline`] — multi-window pooled distributions `D(d_i) ± σ(d_i)`
 //!   for any network quantity.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
+/// Deterministic keyed address anonymization (CryptoPAn-style prefix preservation).
 pub mod anonymize;
+/// A named vantage point producing consecutive observation windows.
 pub mod observatory;
+/// Synthetic packet/flow generation from a PALU topology.
 pub mod packets;
+/// Multi-window pooled distributions `D(d_i) ± σ(d_i)` per quantity.
 pub mod pipeline;
+/// The flow-record stream abstraction feeding window assembly.
 pub mod stream;
+/// Single-window accumulation of flows into per-node quantities.
 pub mod window;
 
 pub use observatory::Observatory;

@@ -61,9 +61,7 @@ impl Observatory {
             config,
             underlying,
             synthesizer,
-            packet_seq: SeedSequence::new(
-                seq.child_seed(palu_stats::rng::streams::PACKETS),
-            ),
+            packet_seq: SeedSequence::new(seq.child_seed(palu_stats::rng::streams::PACKETS)),
             next_t: 0,
         }
     }
@@ -111,10 +109,10 @@ impl Observatory {
         (0..n).map(|_| self.next_window()).collect()
     }
 
-    /// Capture `n` consecutive windows concurrently (one crossbeam
-    /// thread per window, bounded by available parallelism). Produces
-    /// exactly the same windows as [`Observatory::windows`], since
-    /// each window owns an independent RNG stream.
+    /// Capture `n` consecutive windows concurrently (one scoped thread
+    /// per chunk, bounded by available parallelism). Produces exactly
+    /// the same windows as [`Observatory::windows`], since each window
+    /// owns an independent RNG stream.
     pub fn windows_parallel(&mut self, n: usize) -> Vec<PacketWindow> {
         let start = self.next_t;
         self.next_t += n as u64;
@@ -124,17 +122,16 @@ impl Observatory {
             .unwrap_or(1)
             .min(n.max(1));
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (c, piece) in slots.chunks_mut(chunk).enumerate() {
                 let this = &*self;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (i, slot) in piece.iter_mut().enumerate() {
                         *slot = Some(this.window_at(start + (c * chunk + i) as u64));
                     }
                 });
             }
-        })
-        .expect("window threads do not panic");
+        });
         slots.into_iter().map(|w| w.expect("filled")).collect()
     }
 }

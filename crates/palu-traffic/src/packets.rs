@@ -10,11 +10,10 @@
 //! concrete packet budget.
 
 use palu_graph::graph::Graph;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use palu_stats::rng::Rng;
 
 /// One observed packet: a directed source → destination datagram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Source host id.
     pub src: u32,
@@ -23,7 +22,7 @@ pub struct Packet {
 }
 
 /// Per-conversation traffic intensity model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EdgeIntensity {
     /// Every conversation equally likely per packet. The cleanest
     /// realization of the paper's unweighted model.
@@ -61,7 +60,10 @@ impl PacketSynthesizer {
     /// Panics if `g` has no edges (no traffic to synthesize) or the
     /// Pareto shape is not positive.
     pub fn new<R: Rng + ?Sized>(g: &Graph, intensity: EdgeIntensity, rng: &mut R) -> Self {
-        assert!(g.n_edges() > 0, "cannot synthesize traffic from an edgeless network");
+        assert!(
+            g.n_edges() > 0,
+            "cannot synthesize traffic from an edgeless network"
+        );
         let conversations: Vec<(u32, u32)> = g.edges().to_vec();
         let weights: Vec<f64> = match intensity {
             EdgeIntensity::Uniform => vec![1.0; conversations.len()],
@@ -104,7 +106,10 @@ impl PacketSynthesizer {
     pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Packet {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen::<f64>() * total;
-        let idx = self.cumulative.partition_point(|&c| c < x).min(self.conversations.len() - 1);
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < x)
+            .min(self.conversations.len() - 1);
         let (u, v) = self.conversations[idx];
         if rng.gen::<bool>() {
             Packet { src: u, dst: v }
@@ -146,8 +151,7 @@ impl PacketSynthesizer {
 mod tests {
     use super::*;
     use palu_graph::graph::Graph;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     fn ring(n: u32) -> Graph {
         let mut g = Graph::with_nodes(n);
@@ -160,14 +164,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "edgeless")]
     fn edgeless_network_panics() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         PacketSynthesizer::new(&Graph::with_nodes(5), EdgeIntensity::Uniform, &mut rng);
     }
 
     #[test]
     fn packets_use_real_conversations() {
         let g = ring(10);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         assert_eq!(syn.n_conversations(), 10);
         let edges: std::collections::HashSet<(u32, u32)> = g
@@ -184,13 +188,17 @@ mod tests {
     #[test]
     fn uniform_intensity_is_uniform() {
         let g = ring(8);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         let n = 80_000;
         let mut counts = [0u32; 8];
         for p in syn.draw_many(&mut rng, n) {
             // Identify the ring edge by its lower endpoint (mod wrap).
-            let key = if (p.src + 1) % 8 == p.dst { p.src } else { p.dst };
+            let key = if (p.src + 1) % 8 == p.dst {
+                p.src
+            } else {
+                p.dst
+            };
             counts[key as usize] += 1;
         }
         let expected = n as f64 / 8.0;
@@ -207,7 +215,7 @@ mod tests {
     fn both_directions_occur() {
         let mut g = Graph::with_nodes(2);
         g.add_edge(0, 1);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         let packets = syn.draw_many(&mut rng, 1000);
         let forward = packets.iter().filter(|p| p.src == 0).count();
@@ -217,13 +225,15 @@ mod tests {
     #[test]
     fn pareto_intensity_skews_link_counts() {
         let g = ring(1000);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let uni = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         let par = PacketSynthesizer::new(&g, EdgeIntensity::Pareto { shape: 1.2 }, &mut rng);
-        let count_max = |syn: &PacketSynthesizer, rng: &mut StdRng| {
+        let count_max = |syn: &PacketSynthesizer, rng: &mut Xoshiro256pp| {
             let mut counts = std::collections::HashMap::new();
             for p in syn.draw_many(rng, 50_000) {
-                *counts.entry((p.src.min(p.dst), p.src.max(p.dst))).or_insert(0u32) += 1;
+                *counts
+                    .entry((p.src.min(p.dst), p.src.max(p.dst)))
+                    .or_insert(0u32) += 1;
             }
             counts.values().copied().max().unwrap()
         };
@@ -238,14 +248,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "Pareto shape")]
     fn pareto_shape_validated() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         PacketSynthesizer::new(&ring(4), EdgeIntensity::Pareto { shape: 0.0 }, &mut rng);
     }
 
     #[test]
     fn effective_p_round_trips_packet_budget() {
         let g = ring(5000);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         for &p in &[0.1, 0.5, 0.9] {
             let n_v = syn.packets_for_p(p);
@@ -259,7 +269,7 @@ mod tests {
         // Draw a window and check the fraction of distinct
         // conversations seen matches 1 − e^{−N_V/E}.
         let g = ring(2000);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         let n_v = 3000u64;
         let packets = syn.draw_many(&mut rng, n_v as usize);
@@ -278,7 +288,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "p must be in")]
     fn packets_for_p_validates() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
         let syn = PacketSynthesizer::new(&ring(4), EdgeIntensity::Uniform, &mut rng);
         syn.packets_for_p(1.0);
     }

@@ -5,17 +5,17 @@
 //! `D_t(d_i)` over many different consecutive values of t for a given
 //! data set are denoted `D(d_i)` and `σ(d_i)`". Every Figure 3 panel is
 //! one [`PooledDistribution`] produced by this pipeline. Windows can be
-//! processed in parallel (crossbeam) since each is independent; the
-//! per-bin accumulation is merged deterministically in window order.
+//! processed in parallel (scoped threads) since each is independent;
+//! the per-bin accumulation is merged deterministically in window
+//! order.
 
 use crate::window::PacketWindow;
 use palu_sparse::quantities::NetworkQuantity;
 use palu_stats::logbin::DifferentialCumulative;
 use palu_stats::summary::BinStats;
-use serde::{Deserialize, Serialize};
 
 /// Which degree-like measurement the pipeline pools.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Measurement {
     /// One of the five directed Figure 1 quantities.
     Quantity(NetworkQuantity),
@@ -42,7 +42,7 @@ impl Measurement {
 
 /// The pooled multi-window result: `D(d_i)`, `σ(d_i)`, and support
 /// metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PooledDistribution {
     /// Per-bin mean `D(d_i)`.
     pub mean: DifferentialCumulative,
@@ -133,20 +133,19 @@ impl Pipeline {
     }
 
     /// Pool several measurements over the same windows concurrently
-    /// (one crossbeam thread per measurement).
+    /// (one scoped thread per measurement).
     pub fn pool_many(
         measurements: &[Measurement],
         windows: &[PacketWindow],
     ) -> Vec<PooledDistribution> {
         let mut results: Vec<Option<PooledDistribution>> = vec![None; measurements.len()];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (slot, &m) in results.iter_mut().zip(measurements) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     *slot = Some(Pipeline::pool(m, windows));
                 });
             }
-        })
-        .expect("pipeline threads do not panic");
+        });
         results
             .into_iter()
             .map(|r| r.expect("every slot filled"))
@@ -249,10 +248,7 @@ mod tests {
         let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
         let d1 = pooled.mean.value(0);
         for i in 1..pooled.mean.n_bins() {
-            assert!(
-                d1 >= pooled.mean.value(i),
-                "bin {i} exceeds the d=1 bin"
-            );
+            assert!(d1 >= pooled.mean.value(i), "bin {i} exceeds the d=1 bin");
         }
         assert!(d1 > 0.2, "d=1 mass {d1} suspiciously small");
     }
@@ -282,8 +278,7 @@ mod tests {
         // Partners: 0↔{1,2}, 1↔{0}, 2↔{0}.
         assert_eq!(und.count(2), 1);
         assert_eq!(und.count(1), 2);
-        let fanout =
-            Measurement::Quantity(NetworkQuantity::SourceFanOut).histogram(&w);
+        let fanout = Measurement::Quantity(NetworkQuantity::SourceFanOut).histogram(&w);
         // Sources 0 (→1,2) and 1 (→0).
         assert_eq!(fanout.count(2), 1);
         assert_eq!(fanout.count(1), 1);

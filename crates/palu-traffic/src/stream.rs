@@ -91,14 +91,13 @@ mod tests {
     use super::*;
     use crate::packets::{EdgeIntensity, PacketSynthesizer};
     use palu_graph::palu_gen::PaluGenerator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     fn synthetic_packets(n: usize, seed: u64) -> Vec<Packet> {
         let net = PaluGenerator::new(2_000, 500, 300, 2.0, 1.5)
             .unwrap()
-            .generate(&mut StdRng::seed_from_u64(seed));
-        let mut rng = StdRng::seed_from_u64(seed + 1);
+            .generate(&mut Xoshiro256pp::seed_from_u64(seed));
+        let mut rng = Xoshiro256pp::seed_from_u64(seed + 1);
         let syn = PacketSynthesizer::new(&net.graph, EdgeIntensity::Uniform, &mut rng);
         syn.draw_many(&mut rng, n)
     }
@@ -144,8 +143,8 @@ mod tests {
     #[test]
     fn stream_stats_equals_batch_pipeline() {
         let packets = synthetic_packets(12_000, 4);
-        let pooled_stream = StreamStats::new(Measurement::UndirectedDegree)
-            .consume(packets.iter().copied(), 3_000);
+        let pooled_stream =
+            StreamStats::new(Measurement::UndirectedDegree).consume(packets.iter().copied(), 3_000);
         // Batch reference.
         let windows: Vec<_> = packets
             .chunks_exact(3_000)

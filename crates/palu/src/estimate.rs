@@ -21,11 +21,11 @@ use crate::simplified::SimplifiedParams;
 use palu_stats::error::StatsError;
 use palu_stats::histogram::DegreeHistogram;
 use palu_stats::regression::weighted_ols;
+use palu_stats::rng::Rng;
 use palu_stats::solve::brent;
-use serde::{Deserialize, Serialize};
 
 /// How step (b) estimates the Poisson scale `x = λp`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LambdaMethod {
     /// The paper's recommended moment-ratio estimator (lower
     /// variance).
@@ -70,7 +70,7 @@ impl Default for EstimateOptions {
 }
 
 /// Result of the estimation pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParamEstimate {
     /// The fitted simplified constants.
     pub simplified: SimplifiedParams,
@@ -151,6 +151,7 @@ impl PaluEstimator {
             // where f' subtracts the current star-term estimate ----
             let star = |d: u64| -> f64 {
                 if u > 0.0 && x > 0.0 {
+                    // x > 0.0 by the branch guard above. lint:allow(R3)
                     u * (d as f64 * x.ln() - palu_stats::special::ln_factorial(d)).exp()
                 } else {
                     0.0
@@ -208,10 +209,13 @@ impl PaluEstimator {
                     let hsum: f64 = (lo..=hi).map(|d| (d as f64).powf(-alpha)).sum();
                     (hsum / width).powf(-1.0 / alpha)
                 } else {
+                    // Bin edges are degrees, lo >= 1. lint:allow(R3)
                     ((lo as f64) * (hi as f64)).sqrt()
                 };
+                // Midpoint is a mean of degrees >= 1; density > 0 for
+                // occupied bins (zero-count bins were skipped). lint:allow(R3)
                 xs.push(midpoint.ln());
-                ys.push(density.ln());
+                ys.push(density.ln()); // see above. lint:allow(R3)
                 ws.push(count as f64);
             }
             if xs.len() < 3 {
@@ -235,6 +239,7 @@ impl PaluEstimator {
             // no star signal, only core-misfit leakage and noise.
             let res_max = if x > 0.0 {
                 o.residual_max_degree
+                    // x > 0.0 by the branch guard above. lint:allow(R3)
                     .min(((x + 5.0 * x.sqrt() + 3.0).ceil() as u64).max(8))
             } else {
                 o.residual_max_degree
@@ -285,11 +290,7 @@ impl PaluEstimator {
                     // above the floor (this is exactly the fragility
                     // the paper's ratio estimator was designed to
                     // avoid).
-                    let floor = residuals
-                        .iter()
-                        .map(|&(_, r)| r)
-                        .fold(0.0f64, f64::max)
-                        * 1e-3;
+                    let floor = residuals.iter().map(|&(_, r)| r).fold(0.0f64, f64::max) * 1e-3;
                     let mut estimates = Vec::new();
                     for w in residuals.windows(2) {
                         let (d0, r0) = w[0];
@@ -325,13 +326,7 @@ impl PaluEstimator {
         let l = (f1 - c - unattached_d1).max(0.0);
 
         Ok(ParamEstimate {
-            simplified: SimplifiedParams::from_raw(
-                c,
-                l,
-                u,
-                std::f64::consts::E * x,
-                alpha,
-            ),
+            simplified: SimplifiedParams::from_raw(c, l, u, std::f64::consts::E * x, alpha),
             tail_r_squared: reg_r_squared,
             tail_points,
             residual_mass: s0,
@@ -418,6 +413,7 @@ impl PaluEstimator {
                 // Floor of 16 so an underestimated first-pass x cannot
                 // trap the window below the true bump's support.
                 o.residual_max_degree
+                    // x > 0.0 by the branch guard above. lint:allow(R3)
                     .min(((x + 5.0 * x.sqrt() + 3.0).ceil() as u64).max(16))
             } else {
                 // First pass: short window (see `estimate`).
@@ -473,10 +469,8 @@ impl PaluEstimator {
         let unattached_d1 = u * x * (1.0 + x.exp());
         let l = (f1 - core_d1 - unattached_d1).max(0.0);
 
-        let simplified =
-            SimplifiedParams::from_raw(c, l, u, std::f64::consts::E * x, alpha);
-        let underlying =
-            simplified.to_underlying_with(p, AmplitudeConvention::Thinned)?;
+        let simplified = SimplifiedParams::from_raw(c, l, u, std::f64::consts::E * x, alpha);
+        let underlying = simplified.to_underlying_with(p, AmplitudeConvention::Thinned)?;
         Ok((
             ParamEstimate {
                 simplified,
@@ -494,7 +488,7 @@ impl PaluEstimator {
 /// point estimates only; a production tool needs to say how firm they
 /// are (the star-side parameters carry substantially more variance
 /// than α — see E-A3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EstimateBootstrap {
     /// Point estimate on the original data.
     pub point: ParamEstimate,
@@ -518,7 +512,7 @@ impl PaluEstimator {
     /// for an invalid level or `n_boot < 10`;
     /// [`StatsError::NoConvergence`] if more than half the replicates
     /// fail to fit.
-    pub fn estimate_bootstrap<R: rand::Rng + ?Sized>(
+    pub fn estimate_bootstrap<R: Rng + ?Sized>(
         &self,
         h: &DegreeHistogram,
         n_boot: usize,
@@ -577,6 +571,7 @@ mod tests {
     use super::*;
     use crate::analytic::ObservedPrediction;
     use crate::params::PaluParams;
+    use palu_stats::rng::Xoshiro256pp;
 
     /// Build a synthetic "observed histogram" directly from the
     /// analytic model (noise-free): the estimator must recover the
@@ -646,7 +641,11 @@ mod tests {
             .estimate_underlying(&h, params.p)
             .unwrap();
         assert!((rec.core - params.core).abs() < 0.05, "C {}", rec.core);
-        assert!((rec.leaves - params.leaves).abs() < 0.05, "L {}", rec.leaves);
+        assert!(
+            (rec.leaves - params.leaves).abs() < 0.05,
+            "L {}",
+            rec.leaves
+        );
         assert!(
             (rec.unattached - params.unattached).abs() < 0.05,
             "U {}",
@@ -711,12 +710,11 @@ mod tests {
     fn estimate_from_simulated_network() {
         // End-to-end: generate a PALU network, observe it, estimate.
         use palu_graph::sample::ObservedNetwork;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use palu_stats::rng::Xoshiro256pp;
         let params = PaluParams::from_core_leaf_fractions(0.55, 0.15, 4.0, 2.0, 0.6).unwrap();
         let gen = params.generator(300_000).unwrap();
-        let net = gen.generate(&mut StdRng::seed_from_u64(7));
-        let obs = ObservedNetwork::observe(&net, params.p, &mut StdRng::seed_from_u64(8));
+        let net = gen.generate(&mut Xoshiro256pp::seed_from_u64(7));
+        let obs = ObservedNetwork::observe(&net, params.p, &mut Xoshiro256pp::seed_from_u64(8));
         let h = obs.degree_histogram();
         let est = PaluEstimator::default().estimate(&h).unwrap();
         // The realized (erased-configuration) core steepens α a bit;
@@ -741,14 +739,15 @@ mod tests {
         // parameters from a genuinely edge-sampled network — including
         // the leaf proportion the paper pipeline misattributes.
         use palu_graph::sample::ObservedNetwork;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use palu_stats::rng::Xoshiro256pp;
         let params = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.6).unwrap();
         let gen = params.generator(400_000).unwrap();
-        let net = gen.generate(&mut StdRng::seed_from_u64(17));
-        let obs = ObservedNetwork::observe(&net, params.p, &mut StdRng::seed_from_u64(18));
+        let net = gen.generate(&mut Xoshiro256pp::seed_from_u64(17));
+        let obs = ObservedNetwork::observe(&net, params.p, &mut Xoshiro256pp::seed_from_u64(18));
         let h = obs.degree_histogram();
-        let (_, rec) = PaluEstimator::default().estimate_exact(&h, params.p).unwrap();
+        let (_, rec) = PaluEstimator::default()
+            .estimate_exact(&h, params.p)
+            .unwrap();
         assert!((rec.lambda - 3.0).abs() < 0.6, "λ {}", rec.lambda);
         assert!((rec.alpha - 2.0).abs() < 0.3, "α {}", rec.alpha);
         assert!((rec.core - 0.5).abs() < 0.15, "C {}", rec.core);
@@ -764,13 +763,15 @@ mod tests {
     #[test]
     fn bootstrap_intervals_cover_and_order() {
         use palu_graph::sample::ObservedNetwork;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use palu_stats::rng::Xoshiro256pp;
         let params = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap();
-        let net = params.generator(150_000).unwrap().generate(&mut StdRng::seed_from_u64(3));
-        let obs = ObservedNetwork::observe(&net, params.p, &mut StdRng::seed_from_u64(4));
+        let net = params
+            .generator(150_000)
+            .unwrap()
+            .generate(&mut Xoshiro256pp::seed_from_u64(3));
+        let obs = ObservedNetwork::observe(&net, params.p, &mut Xoshiro256pp::seed_from_u64(4));
         let h = obs.degree_histogram();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let boot = PaluEstimator::default()
             .estimate_bootstrap(&h, 20, 0.9, &mut rng)
             .unwrap();
@@ -801,8 +802,7 @@ mod tests {
     #[test]
     fn bootstrap_validates_inputs() {
         let h = DegreeHistogram::from_counts([(1, 100), (10, 30), (20, 10), (40, 3)]);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        use rand::SeedableRng;
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         assert!(PaluEstimator::default()
             .estimate_bootstrap(&h, 5, 0.9, &mut rng)
             .is_err());

@@ -52,14 +52,24 @@
 //! let f5 = pred.degree_fraction(5);
 //! assert!(f5 > 0.0 && f5 < pred.degree_one_fraction);
 //! ```
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
+/// Closed-form observed-degree predictions for a parameterized PALU network.
 pub mod analytic;
+/// Parameter recovery: fitting PALU parameters to observed distributions.
 pub mod estimate;
+/// Window-size invariance checks for `(λ, C, L, U, α)` (Section III).
 pub mod invariance;
+/// The full PALU parameter set and its validity constraints.
 pub mod params;
+/// The reduced two-parameter PALU surface used for coarse fitting.
 pub mod simplified;
+/// Zipf–Mandelbrot distribution primitives.
 pub mod zm;
+/// The Section VI bridge between PALU and Zipf–Mandelbrot (Equation 5).
 pub mod zm_connection;
+/// Fitting `(α, δ)` to pooled differential cumulative distributions.
 pub mod zm_fit;
 
 pub use analytic::ObservedPrediction;

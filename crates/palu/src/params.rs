@@ -16,7 +16,6 @@
 
 use palu_graph::palu_gen::PaluGenerator;
 use palu_stats::error::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// Tolerance for the Section III constraint check.
 pub const CONSTRAINT_TOL: f64 = 1e-9;
@@ -28,7 +27,7 @@ pub const ALPHA_RANGE: (f64, f64) = (1.5, 3.0);
 pub const LAMBDA_RANGE: (f64, f64) = (0.0, 20.0);
 
 /// The full PALU parameter set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaluParams {
     /// Core proportion `C`.
     pub core: f64,
@@ -76,13 +75,19 @@ impl PaluParams {
         if !(LAMBDA_RANGE.0..=LAMBDA_RANGE.1).contains(&lambda) {
             return Err(StatsError::domain(
                 "PaluParams::new",
-                format!("lambda must be in [{}, {}], got {lambda}", LAMBDA_RANGE.0, LAMBDA_RANGE.1),
+                format!(
+                    "lambda must be in [{}, {}], got {lambda}",
+                    LAMBDA_RANGE.0, LAMBDA_RANGE.1
+                ),
             ));
         }
         if !(ALPHA_RANGE.0..=ALPHA_RANGE.1).contains(&alpha) {
             return Err(StatsError::domain(
                 "PaluParams::new",
-                format!("alpha must be in [{}, {}], got {alpha}", ALPHA_RANGE.0, ALPHA_RANGE.1),
+                format!(
+                    "alpha must be in [{}, {}], got {alpha}",
+                    ALPHA_RANGE.0, ALPHA_RANGE.1
+                ),
             ));
         }
         if !(0.0..=1.0).contains(&p) {
@@ -141,9 +146,7 @@ impl PaluParams {
         } else if denom <= CONSTRAINT_TOL {
             return Err(StatsError::domain(
                 "PaluParams::from_core_leaf_fractions",
-                format!(
-                    "lambda = {lambda} gives stars no visible nodes; C + L must equal 1"
-                ),
+                format!("lambda = {lambda} gives stars no visible nodes; C + L must equal 1"),
             ));
         } else {
             remainder / denom

@@ -27,7 +27,6 @@ use crate::params::PaluParams;
 use crate::ObservedPrediction;
 use palu_stats::error::StatsError;
 use palu_stats::special::{ln_factorial, riemann_zeta};
-use serde::{Deserialize, Serialize};
 
 /// Which amplitude law relates the fitted tail constant `c` to the
 /// underlying core proportion `C`.
@@ -41,7 +40,7 @@ use serde::{Deserialize, Serialize};
 /// to the `p^{α−1}` form, so we read the `p^α` as an internal
 /// inconsistency of the paper and default data-facing inversions to
 /// [`AmplitudeConvention::Thinned`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AmplitudeConvention {
     /// `c = C·p^α/(ζ(α)·V)` — the formula as published.
     Paper,
@@ -60,7 +59,7 @@ impl AmplitudeConvention {
 }
 
 /// The window-dependent constants `(c, l, u, Λ, α)` of Section IV-B.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimplifiedParams {
     /// Core amplitude `c = C·p^α/(ζ(α)·V)`.
     pub c: f64,
@@ -276,9 +275,7 @@ mod tests {
         }
         // And the degree-1 laws agree.
         assert!(
-            ((s.degree_one_fraction() - pred.degree_one_fraction)
-                / pred.degree_one_fraction)
-                .abs()
+            ((s.degree_one_fraction() - pred.degree_one_fraction) / pred.degree_one_fraction).abs()
                 < 1e-10
         );
     }
@@ -292,8 +289,7 @@ mod tests {
         let pr = PaluParams::from_core_leaf_fractions(0.1, 0.1, 10.0, 2.0, 0.8).unwrap();
         let s = SimplifiedParams::from_params(&pr).unwrap();
         for d in [4u64, 8, 16] {
-            let star_stirling =
-                s.u * (s.capital_lambda / d as f64).powf(d as f64);
+            let star_stirling = s.u * (s.capital_lambda / d as f64).powf(d as f64);
             let lp = s.lambda_p();
             let star_poisson = s.u * (d as f64 * lp.ln() - ln_factorial(d)).exp();
             let ratio = star_stirling / star_poisson;
@@ -336,7 +332,11 @@ mod tests {
         // Taylor branch continuity at the 1e-3 switch.
         let below = SimplifiedParams::moment_ratio(0.9999e-3);
         let above = SimplifiedParams::moment_ratio(1.0001e-3);
-        assert!((below - above).abs() < 1e-6, "gap {}", (below - above).abs());
+        assert!(
+            (below - above).abs() < 1e-6,
+            "gap {}",
+            (below - above).abs()
+        );
     }
 
     #[test]

@@ -15,13 +15,12 @@
 
 use palu_stats::error::StatsError;
 use palu_stats::logbin::DifferentialCumulative;
+use palu_stats::rng::Rng;
 use palu_stats::special::zm_normalizer;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A fully specified modified Zipf–Mandelbrot distribution over
 /// `{1, …, d_max}`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZipfMandelbrot {
     alpha: f64,
     delta: f64,
@@ -68,7 +67,10 @@ impl ZipfMandelbrot {
             ));
         }
         if d_max == 0 {
-            return Err(StatsError::domain("ZipfMandelbrot::new", "d_max must be >= 1"));
+            return Err(StatsError::domain(
+                "ZipfMandelbrot::new",
+                "d_max must be >= 1",
+            ));
         }
         Ok(ZipfMandelbrot {
             alpha,
@@ -153,8 +155,7 @@ impl ZipfMandelbrot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     #[test]
     fn construction_validates() {
@@ -169,11 +170,8 @@ mod tests {
 
     #[test]
     fn pmf_normalizes() {
-        for &(alpha, delta, d_max) in &[
-            (2.0, 0.0, 100u64),
-            (1.8, 5.0, 10_000),
-            (2.6, -0.7, 1_000),
-        ] {
+        for &(alpha, delta, d_max) in &[(2.0, 0.0, 100u64), (1.8, 5.0, 10_000), (2.6, -0.7, 1_000)]
+        {
             let zm = ZipfMandelbrot::new(alpha, delta, d_max).unwrap();
             let total: f64 = (1..=d_max).map(|d| zm.pmf(d)).sum();
             assert!((total - 1.0).abs() < 1e-10, "α={alpha}, δ={delta}");
@@ -252,7 +250,7 @@ mod tests {
     #[test]
     fn sampler_matches_pmf() {
         let zm = ZipfMandelbrot::new(2.0, 1.0, 1 << 10).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let n = 200_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {

@@ -12,10 +12,10 @@ use crate::zm::ZipfMandelbrot;
 use palu_stats::error::StatsError;
 use palu_stats::logbin::DifferentialCumulative;
 use palu_stats::optimize::{grid_search_2d, nelder_mead, NelderMeadOptions};
-use serde::{Deserialize, Serialize};
+use palu_stats::rng::Rng;
 
 /// Objective used to compare model and observation in pooled space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FitObjective {
     /// Sum of squared per-bin differences (the paper's choice).
     LeastSquares,
@@ -30,7 +30,7 @@ pub enum FitObjective {
 }
 
 /// A completed Zipf–Mandelbrot fit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZmFit {
     /// Fitted exponent.
     pub alpha: f64,
@@ -146,7 +146,9 @@ impl ZmFitter {
         weights: Option<&[f64]>,
     ) -> Result<ZmFit, StatsError> {
         let Some(last_bin) = observed.last_nonzero_bin() else {
-            return Err(StatsError::EmptyInput { routine: "ZmFitter::fit" });
+            return Err(StatsError::EmptyInput {
+                routine: "ZmFitter::fit",
+            });
         };
         if self.objective == FitObjective::WeightedLeastSquares && weights.is_none() {
             return Err(StatsError::domain(
@@ -197,7 +199,7 @@ impl ZmFitter {
 /// error bars are per-bin, not per-parameter). This resamples the
 /// observed histogram multinomially, refits each replicate, and
 /// returns percentile intervals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZmBootstrap {
     /// Point fit on the original data.
     pub point: ZmFit,
@@ -218,7 +220,7 @@ impl ZmFitter {
     /// * Propagates [`ZmFitter::fit`] errors on the original data.
     /// * [`StatsError::Domain`] for an invalid confidence level or
     ///   `n_boot < 10`.
-    pub fn fit_bootstrap<R: rand::Rng + ?Sized>(
+    pub fn fit_bootstrap<R: Rng + ?Sized>(
         &self,
         h: &palu_stats::histogram::DegreeHistogram,
         n_boot: usize,
@@ -281,8 +283,7 @@ impl ZmFitter {
 mod tests {
     use super::*;
     use palu_stats::histogram::DegreeHistogram;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use palu_stats::rng::Xoshiro256pp;
 
     /// Fit the pooled form of a known ZM model: must recover (α, δ).
     #[test]
@@ -308,7 +309,7 @@ mod tests {
     #[test]
     fn recovers_from_sampled_data() {
         let truth = ZipfMandelbrot::new(2.2, 1.0, 1 << 12).unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let h: DegreeHistogram = truth.sample_many(&mut rng, 300_000).into_iter().collect();
         let observed = DifferentialCumulative::from_histogram(&h);
         let fit = ZmFitter::default().fit(&observed, None).unwrap();
@@ -349,11 +350,7 @@ mod tests {
                 None
             };
             let fit = fitter.fit(&observed, weights).unwrap();
-            assert!(
-                (fit.alpha - 2.0).abs() < 0.1,
-                "{obj:?}: α {}",
-                fit.alpha
-            );
+            assert!((fit.alpha - 2.0).abs() < 0.1, "{obj:?}: α {}", fit.alpha);
         }
     }
 
@@ -386,7 +383,7 @@ mod tests {
     #[test]
     fn bootstrap_ci_covers_truth_and_shrinks_point() {
         let truth = ZipfMandelbrot::new(2.2, 0.5, 1 << 10).unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let h: DegreeHistogram = truth.sample_many(&mut rng, 60_000).into_iter().collect();
         let boot = ZmFitter::default()
             .fit_bootstrap(&h, 20, 0.9, &mut rng)
@@ -409,7 +406,7 @@ mod tests {
     #[test]
     fn bootstrap_validates_inputs() {
         let truth = ZipfMandelbrot::new(2.0, 0.0, 256).unwrap();
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
         let h: DegreeHistogram = truth.sample_many(&mut rng, 5_000).into_iter().collect();
         let fitter = ZmFitter::default();
         assert!(fitter.fit_bootstrap(&h, 5, 0.9, &mut rng).is_err());

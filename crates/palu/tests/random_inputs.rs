@@ -1,0 +1,183 @@
+//! Randomized-input fallback for the gated proptest suite
+//! (`tests/proptest_palu.rs`): the same invariants, driven by the
+//! in-repo deterministic RNG so they run in the offline build.
+
+use palu::analytic::ObservedPrediction;
+use palu::params::PaluParams;
+use palu::simplified::{AmplitudeConvention, SimplifiedParams};
+use palu::zm::ZipfMandelbrot;
+use palu::zm_connection::PaluCurve;
+use palu_stats::rng::{Rng, Xoshiro256pp};
+
+const CASES: usize = 120;
+
+fn uniform(rng: &mut Xoshiro256pp, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+/// Draw a valid PALU parameter set (C + L < 1, paper ranges),
+/// rejecting draws the constructor refuses.
+fn valid_params(rng: &mut Xoshiro256pp) -> PaluParams {
+    loop {
+        let c = uniform(rng, 0.05, 0.8);
+        let l = uniform(rng, 0.0, 0.5);
+        if c + l >= 0.999 {
+            continue;
+        }
+        let lam = uniform(rng, 0.1, 10.0);
+        let a = uniform(rng, 1.5, 3.0);
+        let p = uniform(rng, 0.05, 1.0);
+        if let Ok(params) = PaluParams::from_core_leaf_fractions(c, l, lam, a, p) {
+            return params;
+        }
+    }
+}
+
+#[test]
+fn constraint_always_holds() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x8001);
+    for _ in 0..CASES {
+        let params = valid_params(&mut rng);
+        let cv = PaluParams::constraint_value(
+            params.core,
+            params.leaves,
+            params.unattached,
+            params.lambda,
+        );
+        assert!((cv - 1.0).abs() < 1e-9);
+        assert!(params.unattached >= 0.0);
+        assert!(params.isolated_fraction() <= params.unattached);
+    }
+}
+
+#[test]
+fn with_p_preserves_invariants() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x8002);
+    for _ in 0..CASES {
+        let params = valid_params(&mut rng);
+        let p2 = uniform(&mut rng, 0.05, 1.0);
+        let moved = params.with_p(p2).unwrap();
+        assert_eq!(moved.core, params.core);
+        assert_eq!(moved.leaves, params.leaves);
+        assert_eq!(moved.unattached, params.unattached);
+        assert_eq!(moved.lambda, params.lambda);
+        assert_eq!(moved.alpha, params.alpha);
+        assert_eq!(moved.p, p2);
+    }
+}
+
+#[test]
+fn role_fractions_partition_and_law_decreases() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x8003);
+    for _ in 0..CASES {
+        let params = valid_params(&mut rng);
+        let pred = ObservedPrediction::new(&params).unwrap();
+        let total = pred.core_fraction + pred.leaf_fraction + pred.unattached_fraction;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pred.core_fraction >= 0.0);
+        assert!(pred.unattached_link_fraction <= pred.unattached_fraction + 1e-12);
+        assert!(pred.degree_one_fraction > 0.0);
+        assert!(pred.visible_fraction > 0.0);
+        // Beyond max(λp, 2) + a margin the law is strictly decreasing.
+        let start = (params.lambda * params.p).ceil() as u64 + 3;
+        let mut prev = pred.degree_fraction(start);
+        for d in (start + 1)..(start + 40) {
+            let cur = pred.degree_fraction(d);
+            assert!(cur <= prev * (1.0 + 1e-12), "d={d}");
+            prev = cur;
+        }
+    }
+}
+
+#[test]
+fn simplified_round_trip_both_conventions() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x8004);
+    for _ in 0..CASES {
+        let params = valid_params(&mut rng);
+        let s = SimplifiedParams::from_params(&params).unwrap();
+        let back = s
+            .to_underlying_with(params.p, AmplitudeConvention::Paper)
+            .unwrap();
+        assert!((back.core - params.core).abs() < 1e-6);
+        assert!((back.leaves - params.leaves).abs() < 1e-6);
+        assert!((back.lambda - params.lambda).abs() < 1e-6);
+        let thinned = s
+            .to_underlying_with(params.p, AmplitudeConvention::Thinned)
+            .unwrap();
+        let cv = PaluParams::constraint_value(
+            thinned.core,
+            thinned.leaves,
+            thinned.unattached,
+            thinned.lambda,
+        );
+        assert!((cv - 1.0).abs() < 1e-9);
+        assert!(thinned.core <= back.core + 1e-9);
+    }
+}
+
+#[test]
+fn zm_pmf_is_normalized_and_gradient_matches() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x8005);
+    for _ in 0..CASES {
+        let alpha = uniform(&mut rng, 0.5, 4.0);
+        let delta = uniform(&mut rng, -0.9, 10.0);
+        let d_max = 1u64 << rng.gen_range(4u32..12);
+        let zm = ZipfMandelbrot::new(alpha, delta, d_max).unwrap();
+        let total: f64 = (1..=d_max).map(|d| zm.pmf(d)).sum();
+        assert!((total - 1.0).abs() < 1e-8);
+        let mut prev = zm.pmf(1);
+        for d in 2..20.min(d_max) {
+            let cur = zm.pmf(d);
+            assert!(cur <= prev);
+            prev = cur;
+        }
+        assert!((zm.pooled().total_mass() - 1.0).abs() < 1e-8);
+
+        // ∂_δ ρ = −α·ρ(α+1) against the definition.
+        let alpha = uniform(&mut rng, 1.2, 3.5);
+        let delta = uniform(&mut rng, -0.5, 5.0);
+        let d = rng.gen_range(1u64..100);
+        let zm = ZipfMandelbrot::new(alpha, delta, 1024).unwrap();
+        let expected = -alpha * (d as f64 + delta).powf(-(alpha + 1.0));
+        assert!((zm.rho_gradient_delta(d) - expected).abs() < 1e-12 * expected.abs().max(1e-300));
+    }
+}
+
+#[test]
+fn palu_curve_amplitude_and_delta_identities() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x8006);
+    for _ in 0..CASES {
+        let alpha = uniform(&mut rng, 1.2, 3.5);
+        let delta = uniform(&mut rng, -0.9, 5.0);
+        let r = uniform(&mut rng, 1.01, 50.0);
+        let c = PaluCurve::new(alpha, delta, r, 512).unwrap();
+        assert!((c.value(1) - (1.0 + c.amplitude())).abs() < 1e-12);
+        let delta_back = (c.amplitude() + 1.0).powf(-1.0 / alpha) - 1.0;
+        assert!((delta_back - delta).abs() < 1e-9);
+
+        // δ from the model is nonpositive and round-trips.
+        let u_over_c = uniform(&mut rng, 0.0, 5.0);
+        let lambda = uniform(&mut rng, 0.1, 10.0);
+        let p = uniform(&mut rng, 0.05, 1.0);
+        let alpha = uniform(&mut rng, 1.5, 3.0);
+        let delta = PaluCurve::delta_from_model(u_over_c, lambda, p, alpha).unwrap();
+        assert!(delta <= 1e-12, "δ = {delta}");
+        assert!(delta > -1.0);
+        let zeta_alpha = palu_stats::special::riemann_zeta(alpha).unwrap();
+        let rhs = u_over_c * (-(lambda * p)).exp() * zeta_alpha * p.powf(-alpha) + 1.0;
+        assert!(((1.0 + delta).powf(-alpha) - rhs).abs() < 1e-9 * rhs);
+    }
+}
+
+#[test]
+fn node_counts_sum_close_to_budget() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x8007);
+    for _ in 0..CASES {
+        let params = valid_params(&mut rng);
+        let n = rng.gen_range(1000u64..1_000_000);
+        let (c, l, u) = params.node_counts(n);
+        let star_factor = 1.0 + params.lambda - (-params.lambda).exp();
+        let total = c as f64 + l as f64 + u as f64 * star_factor;
+        assert!((total - n as f64).abs() < 0.01 * n as f64 + 16.0);
+    }
+}

@@ -10,22 +10,23 @@
 //! ```
 
 use palu::estimate::{EstimateOptions, LambdaMethod};
+use palu_stats::rng::Xoshiro256pp;
 use palu_suite::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let truth = PaluParams::from_core_leaf_fractions(0.45, 0.25, 4.0, 2.0, 0.6)
-        .expect("valid parameters");
-    println!("ground truth: C = {:.3}, L = {:.3}, U = {:.4}, λ = {}, α = {}, p = {}",
-        truth.core, truth.leaves, truth.unattached, truth.lambda, truth.alpha, truth.p);
+    let truth =
+        PaluParams::from_core_leaf_fractions(0.45, 0.25, 4.0, 2.0, 0.6).expect("valid parameters");
+    println!(
+        "ground truth: C = {:.3}, L = {:.3}, U = {:.4}, λ = {}, α = {}, p = {}",
+        truth.core, truth.leaves, truth.unattached, truth.lambda, truth.alpha, truth.p
+    );
 
     // Simulate the observation.
     let net = truth
         .generator(300_000)
         .expect("valid generator")
-        .generate(&mut StdRng::seed_from_u64(7));
-    let observed = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(8));
+        .generate(&mut Xoshiro256pp::seed_from_u64(7));
+    let observed = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(8));
     let histogram = observed.degree_histogram();
     println!(
         "observed degree histogram: {} visible nodes, f(1) = {:.3}, d_max = {}",
@@ -38,12 +39,19 @@ fn main() {
     let estimator = PaluEstimator::default();
     let paper = estimator.estimate(&histogram).expect("paper pipeline");
     println!("\npaper pipeline (Section IV-B as published):");
-    println!("  tail regression: α = {:.3}, c = {:.4} (R² = {:.4}, {} points)",
-        paper.simplified.alpha, paper.simplified.c, paper.tail_r_squared, paper.tail_points);
-    println!("  moment ratio:    Λ = {:.3}  (λp = {:.3})",
-        paper.simplified.capital_lambda, paper.simplified.lambda_p());
-    println!("  star amplitude:  u = {:.4} (residual mass {:.4})",
-        paper.simplified.u, paper.residual_mass);
+    println!(
+        "  tail regression: α = {:.3}, c = {:.4} (R² = {:.4}, {} points)",
+        paper.simplified.alpha, paper.simplified.c, paper.tail_r_squared, paper.tail_points
+    );
+    println!(
+        "  moment ratio:    Λ = {:.3}  (λp = {:.3})",
+        paper.simplified.capital_lambda,
+        paper.simplified.lambda_p()
+    );
+    println!(
+        "  star amplitude:  u = {:.4} (residual mass {:.4})",
+        paper.simplified.u, paper.residual_mass
+    );
     println!("  leaf mass:       l = {:.4}", paper.simplified.l);
 
     // The exact-thinning pipeline (recommended for sampled data).
@@ -51,12 +59,19 @@ fn main() {
         .estimate_exact(&histogram, truth.p)
         .expect("exact pipeline");
     println!("\nexact-thinning pipeline:");
-    println!("  λp = {:.3}  u = {:.4}  l = {:.4}",
-        exact.simplified.lambda_p(), exact.simplified.u, exact.simplified.l);
+    println!(
+        "  λp = {:.3}  u = {:.4}  l = {:.4}",
+        exact.simplified.lambda_p(),
+        exact.simplified.u,
+        exact.simplified.l
+    );
     println!("\nrecovered underlying parameters (truth in parentheses):");
     println!("  C = {:.3} ({:.3})", recovered.core, truth.core);
     println!("  L = {:.3} ({:.3})", recovered.leaves, truth.leaves);
-    println!("  U = {:.4} ({:.4})", recovered.unattached, truth.unattached);
+    println!(
+        "  U = {:.4} ({:.4})",
+        recovered.unattached, truth.unattached
+    );
     println!("  λ = {:.2} ({:.2})", recovered.lambda, truth.lambda);
     println!("  α = {:.2} ({:.2})", recovered.alpha, truth.alpha);
 
@@ -72,6 +87,8 @@ fn main() {
         paper.simplified.lambda_p(),
         pointwise.simplified.lambda_p()
     );
-    println!("(true λp = {:.3}; the ratio estimator is the robust one, as the paper argues)",
-        truth.lambda * truth.p);
+    println!(
+        "(true λp = {:.3}; the ratio estimator is the robust one, as the paper argues)",
+        truth.lambda * truth.p
+    );
 }

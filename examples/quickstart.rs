@@ -6,24 +6,23 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use palu_stats::rng::Xoshiro256pp;
 use palu_suite::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // 1. Pick model parameters: half the nodes in the PA core
     //    (α = 2), a fifth as leaves, the rest unattached stars with
     //    mean size λ = 4, observed through a window retaining 50% of
     //    underlying edges.
-    let params = PaluParams::from_core_leaf_fractions(0.5, 0.2, 4.0, 2.0, 0.5)
-        .expect("valid parameters");
+    let params =
+        PaluParams::from_core_leaf_fractions(0.5, 0.2, 4.0, 2.0, 0.5).expect("valid parameters");
     println!("PALU parameters: {params:#?}");
 
     // 2. Generate the underlying network (100k visible nodes).
     let net = params
         .generator(100_000)
         .expect("valid generator")
-        .generate(&mut StdRng::seed_from_u64(1));
+        .generate(&mut Xoshiro256pp::seed_from_u64(1));
     println!(
         "underlying network: {} nodes, {} edges, {} invisible isolated star centers",
         net.graph.n_nodes(),
@@ -32,7 +31,7 @@ fn main() {
     );
 
     // 3. Observe it: keep each edge independently with probability p.
-    let observed = sample_edges(&net.graph, params.p, &mut StdRng::seed_from_u64(2));
+    let observed = sample_edges(&net.graph, params.p, &mut Xoshiro256pp::seed_from_u64(2));
     let histogram = observed.degree_histogram();
     println!(
         "observed network: {} visible nodes, supernode degree {}",
@@ -43,7 +42,9 @@ fn main() {
     // 4. Pool into the differential cumulative representation and fit
     //    the modified Zipf–Mandelbrot model (Section II-B).
     let pooled = DifferentialCumulative::from_histogram(&histogram);
-    let fit = ZmFitter::default().fit(&pooled, None).expect("fit succeeds");
+    let fit = ZmFitter::default()
+        .fit(&pooled, None)
+        .expect("fit succeeds");
     println!(
         "best-fit modified Zipf–Mandelbrot: α = {:.3}, δ = {:.3} (residual {:.5})",
         fit.alpha,

@@ -11,22 +11,21 @@
 //! cargo run --release --example streaming_capture
 //! ```
 
+use palu_stats::rng::Xoshiro256pp;
 use palu_suite::prelude::*;
 use palu_traffic::packets::{EdgeIntensity, PacketSynthesizer};
 use palu_traffic::pipeline::Measurement;
 use palu_traffic::stream::StreamStats;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // The underlying network and its conversation synthesizer.
-    let params = PaluParams::from_core_leaf_fractions(0.5, 0.2, 2.5, 2.0, 0.5)
-        .expect("valid parameters");
+    let params =
+        PaluParams::from_core_leaf_fractions(0.5, 0.2, 2.5, 2.0, 0.5).expect("valid parameters");
     let net = params
         .generator(100_000)
         .expect("valid generator")
-        .generate(&mut StdRng::seed_from_u64(1));
-    let mut rng = StdRng::seed_from_u64(2);
+        .generate(&mut Xoshiro256pp::seed_from_u64(1));
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
     let synthesizer = PacketSynthesizer::new(&net.graph, EdgeIntensity::Uniform, &mut rng);
 
     // A 2-million-packet stream, produced lazily: at no point does the
@@ -38,7 +37,7 @@ fn main() {
         n_v,
         total_packets / n_v
     );
-    let mut packet_rng = StdRng::seed_from_u64(3);
+    let mut packet_rng = Xoshiro256pp::seed_from_u64(3);
     let stream = (0..total_packets).map(move |_| synthesizer.draw(&mut packet_rng));
 
     let pooled = StreamStats::new(Measurement::UndirectedDegree).consume(stream, n_v);

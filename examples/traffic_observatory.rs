@@ -18,8 +18,8 @@ use palu_traffic::packets::EdgeIntensity;
 use palu_traffic::pipeline::Measurement;
 
 fn main() {
-    let params = PaluParams::from_core_leaf_fractions(0.55, 0.2, 2.0, 2.0, 0.5)
-        .expect("valid parameters");
+    let params =
+        PaluParams::from_core_leaf_fractions(0.55, 0.2, 2.0, 2.0, 0.5).expect("valid parameters");
     let generator = params.generator(120_000).expect("valid generator");
 
     let mut observatory = Observatory::new(
@@ -44,7 +44,10 @@ fn main() {
 
     // Per-window Table I aggregates for the first few windows.
     println!("\nper-window aggregates (Table I):");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "t", "N_V", "links", "sources", "dests");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10}",
+        "t", "N_V", "links", "sources", "dests"
+    );
     for w in windows.iter().take(4) {
         let a = w.aggregates();
         println!(
@@ -87,5 +90,7 @@ fn main() {
         );
     }
 
-    println!("\nevery quantity shows the paper's signature: dominant d = 1 mass with a power-law tail.");
+    println!(
+        "\nevery quantity shows the paper's signature: dominant d = 1 mass with a power-law tail."
+    );
 }

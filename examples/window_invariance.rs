@@ -14,8 +14,8 @@ use palu::invariance::InvarianceSweep;
 use palu_suite::prelude::*;
 
 fn main() {
-    let truth = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5)
-        .expect("valid parameters");
+    let truth =
+        PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).expect("valid parameters");
     let ps = [0.3, 0.45, 0.6, 0.75, 0.9];
 
     println!("one underlying network (300k nodes), observed through 5 window sizes\n");
@@ -23,7 +23,10 @@ fn main() {
         .simulated(&truth, &ps, 300_000, 4242)
         .expect("sweep succeeds");
 
-    println!("{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}", "p", "C", "L", "U", "λ", "α");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "p", "C", "L", "U", "λ", "α"
+    );
     println!(
         "{:>6} {:>9.4} {:>9.4} {:>9.4} {:>9.3} {:>9.3}   (truth)",
         "-", truth.core, truth.leaves, truth.unattached, truth.lambda, truth.alpha

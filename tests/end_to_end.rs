@@ -2,12 +2,11 @@
 //! generative model to fitted parameters, exercised through the public
 //! API exactly as a downstream user would.
 
+use palu_stats::rng::Xoshiro256pp;
 use palu_suite::prelude::*;
 use palu_traffic::observatory::ObservatoryConfig;
 use palu_traffic::packets::EdgeIntensity;
 use palu_traffic::pipeline::Measurement;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn params() -> PaluParams {
     PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap()
@@ -23,18 +22,24 @@ fn generate_observe_fit_recover() {
     let net = truth
         .generator(200_000)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(11));
-    let observed = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(12));
+        .generate(&mut Xoshiro256pp::seed_from_u64(11));
+    let observed = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(12));
     let h = observed.degree_histogram();
 
     // ZM fit is tight on PALU traffic.
     let pooled = DifferentialCumulative::from_histogram(&h);
     let fit = ZmFitter::default().fit(&pooled, None).unwrap();
-    assert!(fit.objective.sqrt() < 0.05, "ZM residual {}", fit.objective.sqrt());
+    assert!(
+        fit.objective.sqrt() < 0.05,
+        "ZM residual {}",
+        fit.objective.sqrt()
+    );
     assert!(fit.alpha > 1.0 && fit.alpha < 4.0);
 
     // Recovery lands near the truth.
-    let (_, rec) = PaluEstimator::default().estimate_exact(&h, truth.p).unwrap();
+    let (_, rec) = PaluEstimator::default()
+        .estimate_exact(&h, truth.p)
+        .unwrap();
     assert!((rec.alpha - truth.alpha).abs() < 0.3, "α {}", rec.alpha);
     assert!((rec.lambda - truth.lambda).abs() < 1.0, "λ {}", rec.lambda);
     assert!((rec.leaves - truth.leaves).abs() < 0.1, "L {}", rec.leaves);
@@ -49,7 +54,7 @@ fn packet_budget_and_edge_probability_agree() {
     let net = truth
         .generator(80_000)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(21));
+        .generate(&mut Xoshiro256pp::seed_from_u64(21));
     // Deduplicate parallel edges: the p ↔ N_V bridge is per
     // *conversation*, and parallel core edges are indistinguishable
     // by (src, dst) when counting coverage from packets.
@@ -61,12 +66,9 @@ fn packet_budget_and_edge_probability_agree() {
         }
     }
     let net_graph = simple;
-    let mut rng = StdRng::seed_from_u64(22);
-    let syn = palu_traffic::packets::PacketSynthesizer::new(
-        &net_graph,
-        EdgeIntensity::Uniform,
-        &mut rng,
-    );
+    let mut rng = Xoshiro256pp::seed_from_u64(22);
+    let syn =
+        palu_traffic::packets::PacketSynthesizer::new(&net_graph, EdgeIntensity::Uniform, &mut rng);
     let target_p = 0.5;
     let n_v = syn.packets_for_p(target_p);
     let packets = syn.draw_many(&mut rng, n_v as usize);
@@ -145,8 +147,8 @@ fn zm_connection_closes_the_loop() {
     let net = truth
         .generator(200_000)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(31));
-    let observed = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(32));
+        .generate(&mut Xoshiro256pp::seed_from_u64(31));
+    let observed = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(32));
     let pooled = DifferentialCumulative::from_histogram(&observed.degree_histogram());
     let fit = ZmFitter::default().fit(&pooled, None).unwrap();
 
@@ -175,8 +177,8 @@ fn csn_baseline_sees_one_exponent_where_palu_sees_three_populations() {
     let net = truth
         .generator(150_000)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(41));
-    let observed = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(42));
+        .generate(&mut Xoshiro256pp::seed_from_u64(41));
+    let observed = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(42));
     let h = observed.degree_histogram();
 
     let csn = palu_stats::mle::fit_csn(&h, &palu_stats::mle::CsnOptions::default()).unwrap();

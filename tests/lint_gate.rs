@@ -1,0 +1,25 @@
+//! Tier-1 lint gate: the whole workspace must pass R1–R5.
+//!
+//! This test runs the palu-lint engine in-process over the workspace
+//! and fails on any finding, which makes `cargo test` the single
+//! entry point for the hermeticity/determinism policies (see DESIGN.md
+//! "Hermeticity & the lint gate" and `ci.sh`).
+
+use palu_lint::{run_all, LintConfig};
+
+#[test]
+fn workspace_passes_all_lint_rules() {
+    // CARGO_MANIFEST_DIR of the root package IS the workspace root.
+    let cfg = LintConfig::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = run_all(&cfg).expect("lint engine runs");
+    if !diags.is_empty() {
+        let listing: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        panic!(
+            "lint gate: {} finding(s)\n{}\n\nfix the findings, annotate a justified \
+             `// lint:allow(RULE)`, or (R4 only, after reducing unwraps) re-run \
+             `cargo run -p palu-lint -- --write-baseline`",
+            diags.len(),
+            listing.join("\n")
+        );
+    }
+}

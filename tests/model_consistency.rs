@@ -9,8 +9,7 @@ use palu::params::PaluParams;
 use palu_graph::palu_gen::NodeRole;
 use palu_graph::sample::sample_edges;
 use palu_stats::histogram::DegreeHistogram;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use palu_stats::rng::Xoshiro256pp;
 
 fn params() -> PaluParams {
     PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5).unwrap()
@@ -23,8 +22,8 @@ fn star_section_counts_match_closed_forms() {
     let net = truth
         .generator(n)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(1));
-    let obs = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(2));
+        .generate(&mut Xoshiro256pp::seed_from_u64(1));
+    let obs = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(2));
     let degs = obs.degrees();
 
     let lp = truth.lambda * truth.p;
@@ -62,8 +61,8 @@ fn core_degree_law_matches_exact_thinning_pmf() {
     let net = truth
         .generator(n)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(3));
-    let obs = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(4));
+        .generate(&mut Xoshiro256pp::seed_from_u64(3));
+    let obs = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(4));
     let degs = obs.degrees();
 
     let mut core_hist = DegreeHistogram::new();
@@ -99,8 +98,7 @@ fn paper_approximation_gap_is_where_we_say_it_is() {
     let d = 40u64;
     let exact = thinned_core_pmf(truth.alpha, truth.p, d).unwrap();
     // Paper's per-core-node law: p^α·d^{−α}/ζ(α).
-    let paper = truth.p.powf(truth.alpha)
-        * (d as f64).powf(-truth.alpha)
+    let paper = truth.p.powf(truth.alpha) * (d as f64).powf(-truth.alpha)
         / palu_stats::special::riemann_zeta(truth.alpha).unwrap();
     let ratio = paper / exact;
     assert!(
@@ -122,8 +120,8 @@ fn pooled_model_and_pooled_simulation_share_tail_slope() {
     let net = truth
         .generator(400_000)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(5));
-    let obs = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(6));
+        .generate(&mut Xoshiro256pp::seed_from_u64(5));
+    let obs = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(6));
     let pooled =
         palu_stats::logbin::DifferentialCumulative::from_histogram(&obs.degree_histogram());
 
@@ -151,8 +149,8 @@ fn role_populations_compose_into_the_full_histogram() {
     let net = truth
         .generator(100_000)
         .unwrap()
-        .generate(&mut StdRng::seed_from_u64(7));
-    let obs = sample_edges(&net.graph, truth.p, &mut StdRng::seed_from_u64(8));
+        .generate(&mut Xoshiro256pp::seed_from_u64(7));
+    let obs = sample_edges(&net.graph, truth.p, &mut Xoshiro256pp::seed_from_u64(8));
     let degs = obs.degrees();
 
     let mut by_role: std::collections::HashMap<&'static str, DegreeHistogram> =
