@@ -19,4 +19,15 @@ cargo test -q --workspace
 echo "== lint gate =="
 cargo run -q --release -p palu-lint
 
+echo "== pipeline determinism (1, 2, 8 threads) =="
+# The sharded pipeline's hard contract, run explicitly so CI logs show
+# it even when the quiet test harness truncates: bit-identical pooled
+# results at 1, 2, and 8 threads on a 64-window workload.
+cargo test -q -p palu-suite --test parallel_pipeline \
+    parallel_pipeline_is_bit_identical_to_serial_at_1_2_8_threads
+# Same contract end-to-end through the bench binary, which also emits
+# results/BENCH_pipeline.json with the per-stage metrics timings.
+cargo run -q --release -p palu-bench --bin pipeline
+test -s results/BENCH_pipeline.json
+
 echo "ci: all green"

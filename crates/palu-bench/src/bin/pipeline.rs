@@ -1,0 +1,98 @@
+//! E-PIPE — parallel pipeline determinism and per-stage timings.
+//!
+//! The sharded multi-window pipeline's hard contract: for any thread
+//! count, `Pipeline::pool_observatory_parallel` produces a pooled
+//! `D(d_i) ± σ(d_i)` **bit-identical** to the serial fold. This binary
+//! checks that contract at 1, 2, and 8 threads on a 64-window workload
+//! and records `BENCH_pipeline.json` with the per-stage wall-times
+//! from the metrics snapshot, so the speedup is measured rather than
+//! asserted.
+
+use palu_bench::record_json;
+use palu_cli::commands::metrics_json;
+use palu_cli::json::JsonValue;
+use palu_traffic::metrics::Metrics;
+use palu_traffic::pipeline::{Measurement, Pipeline, PooledDistribution};
+use palu_traffic::MetricsSnapshot;
+use std::time::Instant;
+
+const WINDOWS: usize = 64;
+const N_V: u64 = 20_000;
+const SEED: u64 = 20260807;
+
+fn run(threads: usize) -> (PooledDistribution, f64, MetricsSnapshot) {
+    // Identical scenario + seed per run: every thread count must see
+    // the same per-window RNG streams and hence the same windows.
+    let mut scenario = palu_bench::fig3_scenarios().remove(0);
+    scenario.n_v = N_V;
+    scenario.windows = WINDOWS;
+    let mut obs = scenario.observatory(SEED);
+    let metrics = Metrics::new();
+    let t0 = Instant::now();
+    let pooled = Pipeline::pool_observatory_parallel(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        threads,
+        Some(&metrics),
+    );
+    (pooled, t0.elapsed().as_secs_f64(), metrics.snapshot())
+}
+
+fn main() {
+    println!("E-PIPE — sharded multi-window pipeline: determinism + per-stage timings");
+    println!("  workload: {WINDOWS} windows × N_V = {N_V}");
+
+    let (reference, serial_s, _) = run(1);
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let (pooled, wall_s, snap) = run(threads);
+        // Bit-identity: every pooled mean/σ value, the window count,
+        // and d_max must match the serial reference exactly.
+        assert_eq!(pooled.windows, reference.windows, "threads = {threads}");
+        assert_eq!(pooled.d_max, reference.d_max, "threads = {threads}");
+        for (i, ((got, want), (gs, ws))) in pooled
+            .mean
+            .iter()
+            .zip(reference.mean.iter())
+            .zip(pooled.sigma.iter().zip(reference.sigma.iter()))
+            .enumerate()
+        {
+            assert_eq!(
+                got.1.to_bits(),
+                want.1.to_bits(),
+                "mean bin {i} differs at {threads} threads"
+            );
+            assert_eq!(
+                gs.to_bits(),
+                ws.to_bits(),
+                "sigma bin {i} differs at {threads} threads"
+            );
+        }
+        let stage_s = snap.total_ns() as f64 / 1e9;
+        println!(
+            "  threads = {threads}: bit-identical, wall {wall_s:.2}s, stage time {stage_s:.2}s, speedup vs serial {:.2}x",
+            serial_s / wall_s.max(1e-9)
+        );
+        runs.push((threads, wall_s, snap));
+    }
+    println!("determinism: pooled distribution is thread-count invariant — OK");
+
+    let snapshot = JsonValue::obj([
+        ("windows", WINDOWS.into()),
+        ("n_v", N_V.into()),
+        ("serial_wall_s", serial_s.into()),
+        (
+            "runs",
+            JsonValue::array(runs.iter().map(|&(threads, wall_s, ref snap)| {
+                JsonValue::obj([
+                    ("threads", threads.into()),
+                    ("wall_s", wall_s.into()),
+                    ("speedup_vs_serial", (serial_s / wall_s.max(1e-9)).into()),
+                    ("metrics", metrics_json(snap)),
+                ])
+            })),
+        ),
+    ]);
+    record_json("BENCH_pipeline", &snapshot);
+}

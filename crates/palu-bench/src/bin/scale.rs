@@ -9,11 +9,40 @@
 //! strategies.
 
 use palu_bench::record_json;
+use palu_cli::commands::metrics_json;
 use palu_cli::json::JsonValue;
 use palu_sparse::aggregates::Aggregates;
 use palu_sparse::parallel::{build_csr_parallel, default_threads, quantities_parallel};
 use palu_sparse::quantities::QuantityHistograms;
+use palu_traffic::metrics::Metrics;
+use palu_traffic::pipeline::{Measurement, Pipeline, PooledDistribution};
+use palu_traffic::MetricsSnapshot;
 use std::time::Instant;
+
+/// Run the full multi-window pipeline (synthesize → window → histogram
+/// → bin → merge) over `windows` consecutive windows with the given
+/// thread count, returning the pooled result plus wall time and the
+/// per-stage metrics snapshot.
+fn run_pipeline(windows: usize, threads: usize) -> (PooledDistribution, f64, MetricsSnapshot) {
+    // A fixed mid-size scenario (first Figure-3 panel, shrunk N_V so
+    // the serial baseline stays cheap) re-seeded identically per run:
+    // the serial and sharded paths see the same window indices and
+    // must agree bit-for-bit.
+    let mut scenario = palu_bench::fig3_scenarios().remove(0);
+    scenario.n_v = 20_000;
+    scenario.windows = windows;
+    let mut obs = scenario.observatory(20260807);
+    let metrics = Metrics::new();
+    let t0 = Instant::now();
+    let pooled = Pipeline::pool_observatory_parallel(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        windows,
+        threads,
+        Some(&metrics),
+    );
+    (pooled, t0.elapsed().as_secs_f64(), metrics.snapshot())
+}
 
 fn main() {
     let n = 10_000_000usize;
@@ -87,6 +116,31 @@ fn main() {
         qs.link_packets.d_max().unwrap_or(0)
     );
 
+    // Multi-window measurement pipeline: serial vs sharded end-to-end
+    // (synthesize → window → histogram → bin → window-ordered merge),
+    // with per-stage wall-times from the metrics instrumentation. The
+    // speedup here is measured from the snapshot, not asserted.
+    let pipeline_windows = 64usize;
+    let pipeline_threads = default_threads().max(2);
+    println!("  multi-window pipeline: {pipeline_windows} windows × N_V = 20000");
+    let (pooled_serial, pipeline_serial_s, _) = run_pipeline(pipeline_windows, 1);
+    let (pooled_parallel, pipeline_parallel_s, pipeline_snap) =
+        run_pipeline(pipeline_windows, pipeline_threads);
+    assert_eq!(
+        pooled_serial.mean, pooled_parallel.mean,
+        "parallel pipeline must be bit-identical to serial"
+    );
+    assert_eq!(pooled_serial.sigma, pooled_parallel.sigma);
+    assert_eq!(pooled_serial.d_max, pooled_parallel.d_max);
+    let pipeline_speedup = pipeline_serial_s / pipeline_parallel_s.max(1e-9);
+    println!(
+        "    serial {pipeline_serial_s:.2}s, {} threads {pipeline_parallel_s:.2}s → measured speedup {pipeline_speedup:.2}x (bit-identical)",
+        pipeline_snap.threads
+    );
+    for (name, ns) in pipeline_snap.stages() {
+        println!("    stage {name:<10} {:.3}s", ns as f64 / 1e9);
+    }
+
     record_json(
         "scale",
         &JsonValue::obj([
@@ -99,6 +153,11 @@ fn main() {
             ("quantities_serial_s", quantities_serial_s.into()),
             ("quantities_parallel_s", quantities_parallel_s.into()),
             ("unique_links", agg.unique_links.into()),
+            ("pipeline_windows", pipeline_windows.into()),
+            ("pipeline_serial_s", pipeline_serial_s.into()),
+            ("pipeline_parallel_s", pipeline_parallel_s.into()),
+            ("pipeline_speedup", pipeline_speedup.into()),
+            ("pipeline_metrics", metrics_json(&pipeline_snap)),
         ]),
     );
 }

@@ -65,6 +65,35 @@ impl From<String> for CliError {
     }
 }
 
+/// Checked `u64 → usize` for CLI options: a clear usage error instead
+/// of a silent narrowing cast on 32-bit platforms.
+fn usize_opt(v: u64, option: &str) -> Result<usize, CliError> {
+    usize::try_from(v).map_err(|_| {
+        CliError::usage(format!(
+            "--{option} = {v} does not fit in usize on this platform"
+        ))
+    })
+}
+
+/// Serialize a pipeline metrics snapshot as a JSON object: per-stage
+/// wall-times in nanoseconds plus packet/window/thread counters.
+/// Shared by `simulate --metrics` and the palu-bench binaries.
+pub fn metrics_json(snap: &palu_traffic::MetricsSnapshot) -> crate::json::JsonValue {
+    use crate::json::JsonValue;
+    let stages = JsonValue::obj(
+        snap.stages()
+            .iter()
+            .map(|&(name, ns)| (name, JsonValue::UInt(ns))),
+    );
+    JsonValue::obj([
+        ("stage_ns", stages),
+        ("total_stage_ns", JsonValue::UInt(snap.total_ns())),
+        ("packets", JsonValue::UInt(snap.packets)),
+        ("windows", JsonValue::UInt(snap.windows)),
+        ("threads", JsonValue::UInt(snap.threads)),
+    ])
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 palu — PALU hybrid power-law network-traffic model (Devlin et al. 2021)
@@ -87,10 +116,13 @@ COMMANDS:
   census     Figure-2 topology census + clustering of an edge list
              --in FILE
   simulate   Run a synthetic observatory end to end: PALU network →
-             packet windows → pooled D(d_i) ± σ series
+             packet windows → pooled D(d_i) ± σ series. Windows are
+             processed in parallel; output is bit-identical for any
+             --threads value
              --core C --leaves L --lambda λ --alpha α
              [--nodes N=100000] [--nv NV=100000] [--windows W=8]
-             [--seed S=1] [--out FILE=stdout]
+             [--seed S=1] [--threads T=auto] [--metrics FILE]
+             [--out FILE=stdout]
   gof        Goodness-of-fit report for a degree histogram: CSN
              semiparametric bootstrap p-value + power-law-vs-lognormal
              Vuong test
@@ -220,8 +252,9 @@ fn cmd_fit(args: &ParsedArgs) -> Result<(), CliError> {
             if n_boot > 0 {
                 let mut rng =
                     Xoshiro256pp::seed_from_u64(args.u64_or("seed", 1).map_err(|e| e.to_string())?);
+                let n_boot = usize_opt(n_boot, "boot").map_err(|e| e.message)?;
                 let boot = ZmFitter::default()
-                    .fit_bootstrap(&h, n_boot as usize, 0.9, &mut rng)
+                    .fit_bootstrap(&h, n_boot, 0.9, &mut rng)
                     .map_err(|e| e.to_string())?;
                 writeln!(
                     w,
@@ -309,6 +342,7 @@ fn cmd_census(args: &ParsedArgs) -> Result<(), CliError> {
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::metrics::Metrics;
     use palu_traffic::observatory::{Observatory, ObservatoryConfig};
     use palu_traffic::packets::EdgeIntensity;
     use palu_traffic::pipeline::{Measurement, Pipeline};
@@ -319,8 +353,15 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     let lambda = args.require_f64("lambda")?;
     let alpha = args.require_f64("alpha")?;
     let n_v = args.u64_or("nv", 100_000)?;
-    let n_windows = args.u64_or("windows", 8)? as usize;
+    let n_windows = usize_opt(args.u64_or("windows", 8)?, "windows")?;
     let seed = args.u64_or("seed", 1)?;
+    let threads = match usize_opt(args.u64_or("threads", 0)?, "threads")? {
+        0 => palu_sparse::parallel::default_threads(),
+        t => t,
+    }
+    // Same clamp the pipeline applies (no more workers than windows),
+    // so the banner and the metrics snapshot agree on the count.
+    .clamp(1, n_windows.max(1));
 
     let params = PaluParams::from_core_leaf_fractions(core, leaves, lambda, alpha, 0.5)
         .map_err(|e| CliError::usage(e.to_string()))?;
@@ -338,13 +379,34 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
         seed,
     );
     eprintln!(
-        "observatory up: {} windows × {} packets (effective p ≈ {:.3})",
+        "observatory up: {} windows × {} packets on {} threads (effective p ≈ {:.3})",
         n_windows,
         n_v,
+        threads,
         obs.effective_p()
     );
-    let windows = obs.windows_parallel(n_windows);
-    let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+    // Sharded synthesize → window → histogram → bin with a
+    // deterministic window-ordered merge: bit-identical to the serial
+    // pipeline for any --threads value.
+    let metrics = Metrics::new();
+    let pooled = Pipeline::pool_observatory_parallel(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        n_windows,
+        threads,
+        Some(&metrics),
+    );
+    if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
+        let snap = metrics.snapshot();
+        std::fs::write(path, metrics_json(&snap).pretty())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        eprintln!(
+            "metrics: {} packets in {:.1} ms of stage time across {} threads → {path}",
+            snap.packets,
+            snap.total_ns() as f64 / 1e6,
+            snap.threads
+        );
+    }
     with_output(args, |w| {
         (|| -> std::io::Result<()> {
             writeln!(
@@ -368,7 +430,7 @@ fn cmd_gof(args: &ParsedArgs) -> Result<(), CliError> {
 
     let input = args.require("in")?.to_string();
     let h = io::read_histogram_path(Path::new(&input)).map_err(CliError::usage)?;
-    let n_boot = args.u64_or("boot", 50)? as usize;
+    let n_boot = usize_opt(args.u64_or("boot", 50)?, "boot")?;
     let seed = args.u64_or("seed", 1)?;
 
     with_output(args, |w| {
@@ -428,7 +490,7 @@ fn cmd_pool(args: &ParsedArgs) -> Result<(), CliError> {
     use palu_traffic::stream::WindowStream;
 
     let input = args.require("in")?.to_string();
-    let n_v = args.u64_or("nv", 100_000)? as usize;
+    let n_v = usize_opt(args.u64_or("nv", 100_000)?, "nv")?;
     if n_v == 0 {
         return Err(CliError::usage("--nv must be positive"));
     }
@@ -690,6 +752,56 @@ mod tests {
             .map(|l| l.split_whitespace().nth(1).unwrap().parse::<f64>().unwrap())
             .sum();
         assert!((total - 1.0).abs() < 1e-6, "pooled mass {total}");
+    }
+
+    #[test]
+    fn simulate_is_thread_count_invariant_and_writes_metrics() {
+        let base = [
+            "simulate",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--nodes",
+            "20000",
+            "--nv",
+            "10000",
+            "--windows",
+            "5",
+            "--seed",
+            "9",
+        ];
+        let mut outputs = Vec::new();
+        for threads in ["1", "2", "8"] {
+            let out = tmp(&format!("sim_t{threads}.txt"));
+            let metrics = tmp(&format!("sim_t{threads}_metrics.json"));
+            let mut argv: Vec<&str> = base.to_vec();
+            let out_s = out.to_str().unwrap().to_string();
+            let metrics_s = metrics.to_str().unwrap().to_string();
+            argv.extend([
+                "--threads",
+                threads,
+                "--out",
+                &out_s,
+                "--metrics",
+                &metrics_s,
+            ]);
+            run(&parse(&argv)).unwrap();
+            outputs.push(std::fs::read_to_string(&out).unwrap());
+            let m = std::fs::read_to_string(&metrics).unwrap();
+            assert!(m.contains("\"synthesize\""), "{m}");
+            // Worker count is clamped to the 5-window workload.
+            let expected = threads.parse::<u64>().unwrap().min(5);
+            assert!(m.contains(&format!("\"threads\": {expected}")), "{m}");
+            assert!(m.contains("\"windows\": 5"), "{m}");
+        }
+        // Bit-identical pooled series for every thread count.
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
     }
 
     #[test]

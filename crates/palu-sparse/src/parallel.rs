@@ -30,19 +30,36 @@ pub fn default_threads() -> usize {
         .min(16)
 }
 
+/// Packet count below which [`build_csr_parallel`] falls back to the
+/// serial path: the scoped-thread setup costs more than it saves below
+/// roughly this many packets.
+pub const SERIAL_CUTOFF: usize = 100_000;
+
 /// Build a CSR window matrix from packet pairs using `n_threads`
-/// shards. Produces the identical matrix to
-/// `CooMatrix::from_packet_pairs(pairs).to_csr()`.
-///
-/// Falls back to the serial path for a single thread or small inputs
-/// (the scoped-thread setup costs more than it saves below ~100k
-/// packets).
+/// shards, with the default [`SERIAL_CUTOFF`]. Produces the identical
+/// matrix to `CooMatrix::from_packet_pairs(pairs).to_csr()`.
 pub fn build_csr_parallel(pairs: &[(NodeId, NodeId)], n_threads: usize) -> CsrMatrix {
-    const SERIAL_CUTOFF: usize = 100_000;
-    if n_threads <= 1 || pairs.len() < SERIAL_CUTOFF {
+    build_csr_parallel_with_cutoff(pairs, n_threads, SERIAL_CUTOFF)
+}
+
+/// [`build_csr_parallel`] with an explicit serial-fallback `cutoff`:
+/// inputs shorter than `cutoff` (or a single thread) take the serial
+/// path. Passing `cutoff = 0` forces the sharded path on arbitrarily
+/// small inputs — that is how the tests pin bit-identity of the
+/// parallel path without a 100k-pair fixture, including the
+/// `pairs.len() < n_threads` edge where trailing shards are empty.
+pub fn build_csr_parallel_with_cutoff(
+    pairs: &[(NodeId, NodeId)],
+    n_threads: usize,
+    cutoff: usize,
+) -> CsrMatrix {
+    if n_threads <= 1 || pairs.len() < cutoff.max(1) {
         return CooMatrix::from_packet_pairs(pairs.iter().copied()).to_csr();
     }
-    let chunk = pairs.len().div_ceil(n_threads);
+    // `pairs` is non-empty here (cutoff.max(1) routed the empty slice
+    // to the serial path), so the chunk size is at least 1 and
+    // `chunks` never sees a zero size.
+    let chunk = pairs.len().div_ceil(n_threads).max(1);
     let mut merged = CooMatrix::with_capacity(pairs.len());
     std::thread::scope(|s| {
         let workers: Vec<_> = pairs
@@ -126,6 +143,48 @@ mod tests {
     fn parallel_empty_input() {
         let a = build_csr_parallel(&[], 4);
         assert_eq!(a.nnz(), 0);
+        // Even with the sharded path forced (cutoff 0), an empty input
+        // must not panic on zero-size chunks.
+        let a = build_csr_parallel_with_cutoff(&[], 4, 0);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn forced_parallel_path_matches_serial_on_small_input() {
+        // cutoff = 0 exercises the sharded path on inputs the default
+        // cutoff would route to the serial fallback.
+        let pairs = synthetic_pairs(1_000, 50, 60);
+        let serial = CooMatrix::from_packet_pairs(pairs.iter().copied()).to_csr();
+        for threads in [2, 3, 8] {
+            let parallel = build_csr_parallel_with_cutoff(&pairs, threads, 0);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn forced_parallel_path_with_fewer_pairs_than_threads() {
+        // pairs.len() < n_threads: some shards are empty; the merge
+        // in spawn order must still reproduce the serial matrix.
+        let pairs = synthetic_pairs(3, 10, 10);
+        let serial = CooMatrix::from_packet_pairs(pairs.iter().copied()).to_csr();
+        let parallel = build_csr_parallel_with_cutoff(&pairs, 8, 0);
+        assert_eq!(serial, parallel);
+        // Single pair, many threads.
+        let one = [(1u32, 2u32)];
+        let serial = CooMatrix::from_packet_pairs(one.iter().copied()).to_csr();
+        assert_eq!(serial, build_csr_parallel_with_cutoff(&one, 16, 0));
+    }
+
+    #[test]
+    fn explicit_cutoff_controls_the_fallback() {
+        let pairs = synthetic_pairs(500, 20, 20);
+        // Below the cutoff → serial path; above → sharded path; both
+        // bit-identical anyway, so just pin equality across the knob.
+        let high = build_csr_parallel_with_cutoff(&pairs, 4, 1_000);
+        let low = build_csr_parallel_with_cutoff(&pairs, 4, 1);
+        assert_eq!(high, low);
+        // And the default-cutoff wrapper agrees.
+        assert_eq!(high, build_csr_parallel(&pairs, 4));
     }
 
     #[test]

@@ -72,13 +72,42 @@ impl Welford {
         }
     }
 
+    /// An accumulator holding `n` zero observations — the implicit
+    /// contribution of windows that never reached a bin. Pushing `n`
+    /// zeros into a fresh accumulator gives exactly this state (mean
+    /// and m2 stay identically 0.0), so merging it is bit-equivalent
+    /// to replaying those zeros.
+    pub fn zeros(n: u64) -> Self {
+        Welford {
+            n,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
     /// Merge another accumulator (Chan et al. parallel combination).
+    ///
+    /// Merging an empty accumulator in either direction is an exact
+    /// identity. Merging a single-observation accumulator is routed
+    /// through [`Welford::push`], which performs the *same* floating-
+    /// point operations in the same order as sequential accumulation —
+    /// the property the parallel pipeline's window-ordered merge uses
+    /// to stay bit-identical to the serial fold.
     pub fn merge(&mut self, other: &Welford) {
         if other.n == 0 {
             return;
         }
         if self.n == 0 {
             *self = *other;
+            return;
+        }
+        if other.n == 1 {
+            // `other` is exactly one observation of value `other.mean`
+            // (push of x sets mean = x, m2 = 0). Replaying the push is
+            // bitwise-identical to having accumulated it sequentially,
+            // which the general Chan update below is not (its mean and
+            // m2 roundings differ by up to 1 ULP).
+            self.push(other.mean);
             return;
         }
         let n1 = self.n as f64;
@@ -132,6 +161,43 @@ impl BinStats {
         }
     }
 
+    /// Merge another accumulator covering a *later*, disjoint run of
+    /// windows: if `self` pooled windows `[0, n)` and `other` pooled
+    /// `[n, n + m)`, the result pools `[0, n + m)`.
+    ///
+    /// Ragged bin counts are reconciled exactly as [`BinStats::push`]
+    /// does: bins one side never reached contribute zeros, and a bin
+    /// first observed by `other` back-fills `self`'s earlier windows
+    /// with zeros *after* `other`'s values — the same value-then-zeros
+    /// push order `push` produces. Because of that ordering, and the
+    /// single-observation fast path in [`Welford::merge`], merging a
+    /// sequence of single-window accumulators in window order is
+    /// **bit-identical** to pushing the windows serially — the
+    /// contract the parallel measurement pipeline is built on.
+    pub fn merge(&mut self, other: &BinStats) {
+        if other.windows == 0 {
+            return;
+        }
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), Welford::new());
+        }
+        self.windows += other.windows;
+        for (i, w) in self.bins.iter_mut().enumerate() {
+            match other.bins.get(i) {
+                Some(o) => w.merge(o),
+                // `other` never reached this bin: its windows each
+                // contributed an implicit zero.
+                None => w.merge(&Welford::zeros(other.windows)),
+            }
+            // Back-fill `self`'s leading zeros for bins `other`
+            // introduced (after the merge, matching push's
+            // value-then-zeros order bit for bit).
+            while w.count() < self.windows {
+                w.push(0.0);
+            }
+        }
+    }
+
     /// Number of windows folded in.
     pub fn windows(&self) -> u64 {
         self.windows
@@ -155,7 +221,16 @@ impl BinStats {
     /// Per-bin inverse-variance weights for weighted fitting; bins with
     /// zero variance (constant across windows) get the supplied
     /// `default_weight`.
+    ///
+    /// When *every* bin has zero variance (a single window, or
+    /// bit-identical windows) there is no variance information at all:
+    /// the weights degenerate to uniform `1.0` rather than
+    /// `default_weight`, so a weighted fit coincides exactly with the
+    /// unweighted one instead of silently scaling its objective.
     pub fn inverse_variance_weights(&self, default_weight: f64) -> Vec<f64> {
+        if self.bins.iter().all(|w| w.variance() <= 0.0) {
+            return vec![1.0; self.bins.len()];
+        }
         self.bins
             .iter()
             .map(|w| {
@@ -282,5 +357,173 @@ mod tests {
         let w = s.inverse_variance_weights(123.0);
         assert_eq!(w[0], 123.0); // constant bin → default weight
         assert!((w[1] - 1.0 / 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_variance_weights_degenerate_all_constant() {
+        // A single window (or bit-identical windows) carries no
+        // variance information: uniform unit weights, never the
+        // default weight.
+        let mut s = BinStats::new();
+        s.push(&DifferentialCumulative::from_values(vec![0.5, 0.3, 0.2]));
+        assert_eq!(s.inverse_variance_weights(123.0), vec![1.0, 1.0, 1.0]);
+        let same = DifferentialCumulative::from_values(vec![0.6, 0.4]);
+        let mut s = BinStats::new();
+        s.push(&same);
+        s.push(&same);
+        assert_eq!(s.inverse_variance_weights(9.0), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn welford_merge_empty_is_exact_identity() {
+        // Empty merge in either direction preserves mean/variance
+        // *exactly* (bitwise), not just approximately.
+        let mut w = Welford::new();
+        for x in [0.1, 0.7, 0.30000000000000004, 1e9 + 4.0] {
+            w.push(x);
+        }
+        let reference = w;
+        let mut left = Welford::new();
+        left.merge(&reference);
+        assert_eq!(left.mean().to_bits(), reference.mean().to_bits());
+        assert_eq!(left.variance().to_bits(), reference.variance().to_bits());
+        assert_eq!(left.count(), reference.count());
+        let mut right = reference;
+        right.merge(&Welford::new());
+        assert_eq!(right.mean().to_bits(), reference.mean().to_bits());
+        assert_eq!(right.variance().to_bits(), reference.variance().to_bits());
+        assert_eq!(right.count(), reference.count());
+    }
+
+    #[test]
+    fn welford_merge_three_shards_exact_for_integer_inputs() {
+        // ≥3 shards of integer-valued observations: the merged result
+        // matches the serial fold within 0 ULP (exact dyadic means).
+        let xs: [f64; 6] = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let mut serial = Welford::new();
+        for &x in &xs {
+            serial.push(x);
+        }
+        let mut merged = Welford::new();
+        for shard_xs in xs.chunks(2) {
+            let mut shard = Welford::new();
+            for &x in shard_xs {
+                shard.push(x);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.count(), serial.count());
+        assert_eq!(merged.mean().to_bits(), serial.mean().to_bits());
+        assert_eq!(merged.variance().to_bits(), serial.variance().to_bits());
+    }
+
+    #[test]
+    fn welford_merge_single_observation_shards_match_push_bitwise() {
+        // The n == 1 fast path: merging single-observation shards in
+        // order is the same float-op sequence as pushing the values —
+        // bit-identical even for awkward non-dyadic values.
+        let xs = [0.1, 0.3, 1.0 / 3.0, 0.7, 2.0f64.sqrt(), 1e-12];
+        let mut serial = Welford::new();
+        let mut merged = Welford::new();
+        for &x in &xs {
+            serial.push(x);
+            let mut one = Welford::new();
+            one.push(x);
+            merged.merge(&one);
+        }
+        assert_eq!(merged.mean().to_bits(), serial.mean().to_bits());
+        assert_eq!(merged.variance().to_bits(), serial.variance().to_bits());
+        assert_eq!(merged.count(), serial.count());
+    }
+
+    #[test]
+    fn welford_zeros_equals_pushed_zeros() {
+        let mut pushed = Welford::new();
+        for _ in 0..5 {
+            pushed.push(0.0);
+        }
+        assert_eq!(Welford::zeros(5), pushed);
+        assert_eq!(Welford::zeros(0), Welford::new());
+    }
+
+    #[test]
+    fn bin_stats_merge_of_single_window_shards_is_bitwise_serial() {
+        // Ragged windows (bin counts grow and shrink) merged one
+        // window at a time reproduce the serial push fold exactly —
+        // the parallel pipeline's determinism contract.
+        let windows = [
+            vec![0.5, 0.3, 0.2],
+            vec![1.0],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.9, 0.1],
+        ];
+        let mut serial = BinStats::new();
+        let mut merged = BinStats::new();
+        for w in &windows {
+            let d = DifferentialCumulative::from_values(w.clone());
+            serial.push(&d);
+            let mut one = BinStats::new();
+            one.push(&d);
+            merged.merge(&one);
+        }
+        assert_eq!(merged.windows(), serial.windows());
+        assert_eq!(merged.n_bins(), serial.n_bins());
+        let (ms, ss) = (merged.mean_distribution(), serial.mean_distribution());
+        for i in 0..serial.n_bins() {
+            assert_eq!(ms.value(i).to_bits(), ss.value(i).to_bits(), "mean bin {i}");
+        }
+        let (md, sd) = (merged.std_devs(), serial.std_devs());
+        for i in 0..serial.n_bins() {
+            assert_eq!(md[i].to_bits(), sd[i].to_bits(), "sigma bin {i}");
+        }
+    }
+
+    #[test]
+    fn bin_stats_merge_empty_either_direction() {
+        let mut s = BinStats::new();
+        s.push(&DifferentialCumulative::from_values(vec![0.5, 0.5]));
+        s.push(&DifferentialCumulative::from_values(vec![0.7, 0.3]));
+        // Merging an empty accumulator changes nothing.
+        let before = (s.windows(), s.mean_distribution(), s.std_devs());
+        s.merge(&BinStats::new());
+        assert_eq!(s.windows(), before.0);
+        assert_eq!(s.mean_distribution(), before.1);
+        assert_eq!(s.std_devs(), before.2);
+        // Merging *into* an empty accumulator copies the other side.
+        let mut empty = BinStats::new();
+        empty.merge(&s);
+        assert_eq!(empty.windows(), s.windows());
+        assert_eq!(empty.mean_distribution(), s.mean_distribution());
+        assert_eq!(empty.std_devs(), s.std_devs());
+    }
+
+    #[test]
+    fn bin_stats_merge_multi_window_shards_close_to_serial() {
+        // Multi-window shards go through the Chan update: not bitwise,
+        // but must agree to fp accuracy and count windows correctly.
+        let values: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![0.5 + 0.01 * i as f64, 0.5 - 0.01 * i as f64])
+            .collect();
+        let mut serial = BinStats::new();
+        for v in &values {
+            serial.push(&DifferentialCumulative::from_values(v.clone()));
+        }
+        let mut merged = BinStats::new();
+        for shard_vs in values.chunks(3) {
+            let mut shard = BinStats::new();
+            for v in shard_vs {
+                shard.push(&DifferentialCumulative::from_values(v.clone()));
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.windows(), 9);
+        let (ms, ss) = (merged.mean_distribution(), serial.mean_distribution());
+        for i in 0..serial.n_bins() {
+            assert!((ms.value(i) - ss.value(i)).abs() < 1e-14, "mean bin {i}");
+        }
+        let (md, sd) = (merged.std_devs(), serial.std_devs());
+        for i in 0..serial.n_bins() {
+            assert!((md[i] - sd[i]).abs() < 1e-14, "sigma bin {i}");
+        }
     }
 }

@@ -30,7 +30,10 @@ impl Anonymizer {
             let mut z = state;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            *k = (z ^ (z >> 31)) as u32;
+            // Intentional truncation: the round key is the low 32 bits
+            // of the splitmix-mixed state (masked to make that
+            // explicit, not an accidental narrowing).
+            *k = ((z ^ (z >> 31)) & 0xFFFF_FFFF) as u32;
         }
         Anonymizer { round_keys: keys }
     }
@@ -38,11 +41,14 @@ impl Anonymizer {
     /// Feistel round function: a 16-bit mix of the half and key.
     fn round(half: u16, key: u32) -> u16 {
         let x = (half as u32).wrapping_mul(0x9E3B).wrapping_add(key);
+        // Lossless: after `>> 16` the value fits in 16 bits.
         ((x ^ (x >> 11)).wrapping_mul(0xC2B2_AE35) >> 16) as u16
     }
 
     /// Anonymize one host id (bijective).
     pub fn map(&self, id: u32) -> u32 {
+        // Lossless halving: both shift and mask bound the value to 16
+        // bits before the cast.
         let mut left = (id >> 16) as u16;
         let mut right = (id & 0xFFFF) as u16;
         for &k in &self.round_keys {

@@ -18,12 +18,17 @@
 //! * [`observatory`] — a named vantage point producing consecutive
 //!   windows (the Figure 3 panels are six of these).
 //! * [`pipeline`] — multi-window pooled distributions `D(d_i) ± σ(d_i)`
-//!   for any network quantity.
+//!   for any network quantity, serial or sharded across scoped threads
+//!   with a bit-identical deterministic merge.
+//! * [`metrics`] — zero-dependency per-stage instrumentation of the
+//!   pipeline (wall-times and packet/window counters).
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 /// Deterministic keyed address anonymization (CryptoPAn-style prefix preservation).
 pub mod anonymize;
+/// Per-stage wall-time and volume instrumentation for the pipeline.
+pub mod metrics;
 /// A named vantage point producing consecutive observation windows.
 pub mod observatory;
 /// Synthetic packet/flow generation from a PALU topology.
@@ -35,6 +40,7 @@ pub mod stream;
 /// Single-window accumulation of flows into per-node quantities.
 pub mod window;
 
+pub use metrics::{Metrics, MetricsSnapshot, Stage};
 pub use observatory::Observatory;
 pub use packets::{EdgeIntensity, Packet, PacketSynthesizer};
 pub use pipeline::{Pipeline, PooledDistribution};

@@ -1,0 +1,262 @@
+//! Zero-dependency pipeline instrumentation.
+//!
+//! The ROADMAP's production goal is a system that "runs as fast as the
+//! hardware allows" — which demands *measured* speedups, not asserted
+//! ones. [`Metrics`] is a set of thread-safe counters the multi-window
+//! pipeline threads through its synthesize → window → histogram → bin
+//! → merge stages: workers on any thread attribute wall-time and
+//! packet/window volume to a [`Stage`], and [`Metrics::snapshot`]
+//! freezes everything into a plain [`MetricsSnapshot`] struct that the
+//! CLI and bench binaries serialize.
+//!
+//! Timing reads the monotonic clock, which lint rule R2 bans from
+//! result paths. Instrumentation is observability-only: nanosecond
+//! counts never feed a numerical result, so the `Instant` uses below
+//! carry explicit `lint:allow(R2)` pragmas (see DESIGN.md, "Parallel
+//! pipeline & determinism").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One instrumented stage of the multi-window measurement pipeline,
+/// in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Drawing a window's `N_V` packets from the synthesizer.
+    Synthesize,
+    /// Aggregating the packets into the sparse window matrix `A_t`.
+    Window,
+    /// Reducing the matrix to the measurement's degree histogram.
+    Histogram,
+    /// Pooling the histogram into logarithmic bins `D_t(d_i)`.
+    Bin,
+    /// Window-ordered accumulation into the pooled mean/σ.
+    Merge,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Synthesize,
+        Stage::Window,
+        Stage::Histogram,
+        Stage::Bin,
+        Stage::Merge,
+    ];
+
+    /// Stable lowercase name, used as a JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Synthesize => "synthesize",
+            Stage::Window => "window",
+            Stage::Histogram => "histogram",
+            Stage::Bin => "bin",
+            Stage::Merge => "merge",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Synthesize => 0,
+            Stage::Window => 1,
+            Stage::Histogram => 2,
+            Stage::Bin => 3,
+            Stage::Merge => 4,
+        }
+    }
+}
+
+/// Thread-safe wall-time and volume counters for one pipeline run.
+///
+/// All counters are relaxed atomics: workers on different threads add
+/// into the same instance through a shared reference, and the totals
+/// are read only after the scoped threads have joined. Stage times are
+/// *summed across threads*, so with `k` workers the per-stage total can
+/// exceed the elapsed wall-clock by up to a factor of `k` — that ratio
+/// is exactly the measured parallel speedup.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    stage_ns: [AtomicU64; 5],
+    packets: AtomicU64,
+    windows: AtomicU64,
+    threads: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f`, attributing its wall-time to `stage`.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        // Observability only: the clock reading never reaches a
+        // numerical result. lint:allow(R2)
+        let start = std::time::Instant::now();
+        let out = f();
+        self.add_stage_ns(stage, elapsed_ns(start));
+        out
+    }
+
+    /// Add `ns` nanoseconds to `stage`'s accumulated wall-time.
+    pub fn add_stage_ns(&self, stage: Stage, ns: u64) {
+        self.stage_ns[stage.index()].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Count `n` synthesized/consumed packets.
+    pub fn add_packets(&self, n: u64) {
+        self.packets.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` processed windows.
+    pub fn add_windows(&self, n: u64) {
+        self.windows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record the worker-thread count of the run (last write wins).
+    pub fn set_threads(&self, threads: u64) {
+        self.threads.store(threads, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters into a plain value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let ns = |s: Stage| self.stage_ns[s.index()].load(Ordering::Relaxed);
+        MetricsSnapshot {
+            synthesize_ns: ns(Stage::Synthesize),
+            window_ns: ns(Stage::Window),
+            histogram_ns: ns(Stage::Histogram),
+            bin_ns: ns(Stage::Bin),
+            merge_ns: ns(Stage::Merge),
+            packets: self.packets.load(Ordering::Relaxed),
+            windows: self.windows.load(Ordering::Relaxed),
+            threads: self.threads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Run `f`, attributing its wall-time to `stage` when metrics are
+/// enabled; with `None` the call is a plain invocation with no clock
+/// reads at all.
+pub fn time_stage<T>(metrics: Option<&Metrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
+    match metrics {
+        Some(m) => m.time(stage, f),
+        None => f(),
+    }
+}
+
+/// Nanoseconds since `start`, saturating at `u64::MAX` (≈ 585 years).
+// Observability only (see module docs). lint:allow(R2)
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A frozen copy of one run's [`Metrics`]: plain `u64` fields, `Copy`,
+/// no atomics — safe to move across threads, store, or serialize.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Wall-time in the synthesize stage, summed across threads (ns).
+    pub synthesize_ns: u64,
+    /// Wall-time in the window-assembly stage (ns).
+    pub window_ns: u64,
+    /// Wall-time in the histogram-reduction stage (ns).
+    pub histogram_ns: u64,
+    /// Wall-time in the log-binning stage (ns).
+    pub bin_ns: u64,
+    /// Wall-time in the window-ordered merge stage (ns).
+    pub merge_ns: u64,
+    /// Total packets synthesized/consumed.
+    pub packets: u64,
+    /// Total windows processed.
+    pub windows: u64,
+    /// Worker threads used by the run.
+    pub threads: u64,
+}
+
+impl MetricsSnapshot {
+    /// `(stage name, accumulated ns)` pairs in pipeline order.
+    pub fn stages(&self) -> [(&'static str, u64); 5] {
+        [
+            (Stage::Synthesize.name(), self.synthesize_ns),
+            (Stage::Window.name(), self.window_ns),
+            (Stage::Histogram.name(), self.histogram_ns),
+            (Stage::Bin.name(), self.bin_ns),
+            (Stage::Merge.name(), self.merge_ns),
+        ]
+    }
+
+    /// Sum of all per-stage times (ns). With `k` worker threads this
+    /// is CPU time, not elapsed time: `total_ns / wall_ns` ≈ the
+    /// measured speedup.
+    pub fn total_ns(&self) -> u64 {
+        self.stages().iter().map(|&(_, ns)| ns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = Metrics::new();
+        m.add_stage_ns(Stage::Synthesize, 10);
+        m.add_stage_ns(Stage::Synthesize, 5);
+        m.add_stage_ns(Stage::Merge, 7);
+        m.add_packets(100);
+        m.add_packets(50);
+        m.add_windows(2);
+        m.set_threads(8);
+        let s = m.snapshot();
+        assert_eq!(s.synthesize_ns, 15);
+        assert_eq!(s.merge_ns, 7);
+        assert_eq!(s.window_ns, 0);
+        assert_eq!(s.packets, 150);
+        assert_eq!(s.windows, 2);
+        assert_eq!(s.threads, 8);
+        assert_eq!(s.total_ns(), 22);
+    }
+
+    #[test]
+    fn time_attributes_to_the_right_stage() {
+        let m = Metrics::new();
+        let out = m.time(Stage::Histogram, || {
+            // Something the optimizer can't erase but finishes fast.
+            (0..1000u64).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
+        assert_eq!(out, (0..1000u64).fold(0u64, |a, b| a.wrapping_add(b * b)));
+        let s = m.snapshot();
+        assert!(s.histogram_ns > 0 || s.total_ns() == s.histogram_ns);
+        assert_eq!(s.synthesize_ns, 0);
+    }
+
+    #[test]
+    fn time_stage_none_is_a_plain_call() {
+        assert_eq!(time_stage(None, Stage::Bin, || 41 + 1), 42);
+        let m = Metrics::new();
+        let _ = time_stage(Some(&m), Stage::Bin, || ());
+        assert_eq!(m.snapshot().bin_ns, m.snapshot().bin_ns);
+    }
+
+    #[test]
+    fn stage_names_are_stable_and_ordered() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["synthesize", "window", "histogram", "bin", "merge"]);
+    }
+
+    #[test]
+    fn metrics_are_shareable_across_scoped_threads() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    m.add_windows(1);
+                    m.add_packets(10);
+                    m.add_stage_ns(Stage::Window, 3);
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.windows, 4);
+        assert_eq!(snap.packets, 40);
+        assert_eq!(snap.window_ns, 12);
+    }
+}

@@ -87,14 +87,39 @@ impl Observatory {
         self.synthesizer.effective_p_uniform(self.config.n_v)
     }
 
+    /// Synthesize the raw packets of window `t` — the synthesize stage
+    /// of the pipeline, split out so parallel workers (and stage
+    /// instrumentation) can run it separately from window assembly.
+    /// Deterministic random access: window `t` draws from its own
+    /// splittable RNG stream ([`SeedSequence::window_rng`]), so the
+    /// result is independent of which other windows were generated,
+    /// in what order, or on which thread.
+    pub fn packets_at(&self, t: u64) -> Vec<crate::packets::Packet> {
+        let mut rng = self.packet_seq.window_rng(t);
+        let n_v = usize::try_from(self.config.n_v).unwrap_or_else(|_| {
+            panic!(
+                "window budget N_V = {} does not fit in usize on this platform",
+                self.config.n_v
+            )
+        });
+        self.synthesizer.draw_many(&mut rng, n_v)
+    }
+
     /// The window at index `t` — deterministic random access: the same
     /// `(observatory seed, t)` always gives the same window.
     pub fn window_at(&self, t: u64) -> PacketWindow {
-        let mut rng = self.packet_seq.rng(t);
-        let packets = self
-            .synthesizer
-            .draw_many(&mut rng, self.config.n_v as usize);
-        PacketWindow::from_packets(t, &packets)
+        PacketWindow::from_packets(t, &self.packets_at(t))
+    }
+
+    /// Reserve the next `n` consecutive window indices, returning the
+    /// first. The observatory's window counter advances exactly as if
+    /// the windows had been captured; callers (the parallel pipeline)
+    /// generate the reserved windows themselves via
+    /// [`Observatory::window_at`] / [`Observatory::packets_at`].
+    pub fn advance(&mut self, n: usize) -> u64 {
+        let start = self.next_t;
+        self.next_t += n as u64;
+        start
     }
 
     /// Capture the next consecutive window of `N_V` packets.
@@ -114,8 +139,7 @@ impl Observatory {
     /// the same windows as [`Observatory::windows`], since each window
     /// owns an independent RNG stream.
     pub fn windows_parallel(&mut self, n: usize) -> Vec<PacketWindow> {
-        let start = self.next_t;
-        self.next_t += n as u64;
+        let start = self.advance(n);
         let mut slots: Vec<Option<PacketWindow>> = (0..n).map(|_| None).collect();
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -214,6 +238,25 @@ mod tests {
         }
         // The counters advanced identically: the next window agrees.
         assert_eq!(seq.next_window().matrix(), par.next_window().matrix());
+    }
+
+    #[test]
+    fn packets_at_is_the_synthesize_stage_of_window_at() {
+        let obs = make(12, 2_000);
+        let packets = obs.packets_at(3);
+        assert_eq!(packets.len(), 2_000);
+        let assembled = PacketWindow::from_packets(3, &packets);
+        assert_eq!(assembled.matrix(), obs.window_at(3).matrix());
+    }
+
+    #[test]
+    fn advance_reserves_consecutive_indices() {
+        let mut obs = make(13, 1_000);
+        assert_eq!(obs.advance(4), 0);
+        assert_eq!(obs.advance(0), 4);
+        assert_eq!(obs.advance(2), 4);
+        // The next captured window lands after the reservation.
+        assert_eq!(obs.next_window().t(), 6);
     }
 
     #[test]

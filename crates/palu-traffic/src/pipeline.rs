@@ -4,11 +4,22 @@
 //! `D_t(d_i)`; "the corresponding mean and standard deviation of
 //! `D_t(d_i)` over many different consecutive values of t for a given
 //! data set are denoted `D(d_i)` and `σ(d_i)`". Every Figure 3 panel is
-//! one [`PooledDistribution`] produced by this pipeline. Windows can be
-//! processed in parallel (scoped threads) since each is independent;
-//! the per-bin accumulation is merged deterministically in window
-//! order.
+//! one [`PooledDistribution`] produced by this pipeline.
+//!
+//! Windows ARE processed in parallel here —
+//! [`Pipeline::pool_observatory_parallel`] shards the expensive
+//! synthesize → window → histogram → bin stages across
+//! `std::thread::scope` workers, one contiguous batch of windows per
+//! worker, with each window drawing from its own splittable RNG stream
+//! ([`palu_stats::rng::SeedSequence::window_rng`]). The per-window
+//! [`BinStats`] results are then merged on the calling thread
+//! *deterministically in window order* via `BinStats::merge` (whose
+//! single-window path replays the exact float-op sequence of a serial
+//! push), so the pooled result is **bit-identical** to the serial fold
+//! for any thread count.
 
+use crate::metrics::{time_stage, Metrics, Stage};
+use crate::observatory::Observatory;
 use crate::window::PacketWindow;
 use palu_sparse::quantities::NetworkQuantity;
 use palu_stats::logbin::DifferentialCumulative;
@@ -57,7 +68,17 @@ pub struct PooledDistribution {
 impl PooledDistribution {
     /// Inverse-variance weights for weighted fitting. Constant bins
     /// get `default_weight`.
+    ///
+    /// When *every* bin has zero sigma — a single pooled window, or
+    /// bit-identical windows — there is no variance information at
+    /// all, and the weights degenerate to uniform `1.0` (not
+    /// `default_weight`), so a weighted fit coincides exactly with the
+    /// unweighted one instead of silently scaling its objective by an
+    /// arbitrary constant.
     pub fn weights(&self, default_weight: f64) -> Vec<f64> {
+        if self.sigma.iter().all(|&s| s <= 0.0) {
+            return vec![1.0; self.sigma.len()];
+        }
         self.sigma
             .iter()
             .map(|&s| {
@@ -97,10 +118,20 @@ impl Pipeline {
     /// Fold in one window.
     pub fn push_window(&mut self, w: &PacketWindow) {
         let h = self.measurement.histogram(w);
-        if let Some(d) = h.d_max() {
+        self.push_binned(&DifferentialCumulative::from_histogram(&h), h.d_max());
+    }
+
+    /// Fold in one window's already-binned distribution `D_t(d_i)`
+    /// plus that window's largest observed degree.
+    /// [`Pipeline::push_window`] is exactly `push_binned` of the
+    /// window's own histogram; the parallel pipeline bins on worker
+    /// threads and replays this fold in window order, which is why its
+    /// output is bit-identical to the serial path.
+    pub fn push_binned(&mut self, binned: &DifferentialCumulative, d_max: Option<u64>) {
+        if let Some(d) = d_max {
             self.d_max = self.d_max.max(d);
         }
-        self.stats.push(&DifferentialCumulative::from_histogram(&h));
+        self.stats.push(binned);
     }
 
     /// Fold in many windows.
@@ -150,6 +181,82 @@ impl Pipeline {
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect()
+    }
+
+    /// Pool the next `n` consecutive windows of `obs` with the
+    /// synthesize → window → histogram → bin stages sharded across
+    /// `threads` scoped workers (one contiguous batch of windows per
+    /// worker). Worker count is clamped to `[1, n]`.
+    ///
+    /// Each window draws from its own splittable RNG stream
+    /// ([`palu_stats::rng::SeedSequence::window_rng`]), and the
+    /// per-window binned results are merged on the calling thread in
+    /// window order through [`BinStats::merge`], whose single-window
+    /// path replays the exact float-op sequence of a serial
+    /// [`Pipeline::push_window`]. The result is therefore
+    /// **bit-identical** to [`Pipeline::pool`] over
+    /// [`Observatory::windows`] for *any* thread count — the contract
+    /// pinned by `parallel_pool_bit_identical_to_serial` here and by
+    /// `tests/parallel_pipeline.rs` at the workspace level. The
+    /// observatory's window counter advances exactly as if the windows
+    /// had been captured serially.
+    ///
+    /// `metrics`, when supplied, accumulates per-stage wall-times
+    /// (summed across workers) and packet/window/thread counters.
+    pub fn pool_observatory_parallel(
+        measurement: Measurement,
+        obs: &mut Observatory,
+        n: usize,
+        threads: usize,
+        metrics: Option<&Metrics>,
+    ) -> PooledDistribution {
+        let start_t = obs.advance(n);
+        let threads = threads.clamp(1, n.max(1));
+        if let Some(m) = metrics {
+            m.set_threads(threads as u64);
+            m.add_windows(n as u64);
+        }
+        // One slot per window: workers fill the expensive per-window
+        // results; the merge below reads them in window order.
+        let mut slots: Vec<Option<(BinStats, Option<u64>)>> = (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for (c, piece) in slots.chunks_mut(chunk).enumerate() {
+                let obs = &*obs;
+                s.spawn(move || {
+                    for (i, slot) in piece.iter_mut().enumerate() {
+                        let t = start_t + (c * chunk + i) as u64;
+                        let packets = time_stage(metrics, Stage::Synthesize, || obs.packets_at(t));
+                        if let Some(m) = metrics {
+                            m.add_packets(packets.len() as u64);
+                        }
+                        let w = time_stage(metrics, Stage::Window, || {
+                            PacketWindow::from_packets(t, &packets)
+                        });
+                        let h = time_stage(metrics, Stage::Histogram, || measurement.histogram(&w));
+                        let binned = time_stage(metrics, Stage::Bin, || {
+                            let mut one = BinStats::new();
+                            one.push(&DifferentialCumulative::from_histogram(&h));
+                            one
+                        });
+                        *slot = Some((binned, h.d_max()));
+                    }
+                });
+            }
+        });
+        // Deterministic merge: strictly in window order, on one thread.
+        // The scope above joined every worker, so each slot is filled.
+        debug_assert!(slots.iter().all(Option::is_some));
+        let mut p = Pipeline::new(measurement);
+        time_stage(metrics, Stage::Merge, || {
+            for (one, d_max) in slots.iter().flatten() {
+                if let Some(d) = d_max {
+                    p.d_max = p.d_max.max(*d);
+                }
+                p.stats.merge(one);
+            }
+        });
+        p.finish()
     }
 }
 
@@ -264,6 +371,110 @@ mod tests {
         let w = pooled.weights(7.0);
         assert!((w[0] - 100.0).abs() < 1e-9);
         assert_eq!(w[1], 7.0);
+    }
+
+    #[test]
+    fn weights_degenerate_to_uniform_when_all_sigma_zero() {
+        // Regression: a single pooled window has sigma = 0 in every
+        // bin; the weights must be uniform 1.0, not default_weight.
+        let mut obs = observatory(7);
+        let windows = obs.windows(1);
+        let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        assert!(pooled.sigma.iter().all(|&s| s == 0.0));
+        let w = pooled.weights(100.0);
+        assert!(!w.is_empty());
+        assert!(w.iter().all(|&x| x == 1.0), "weights {w:?}");
+        // Multi-window pooling keeps the inverse-variance behavior:
+        // fluctuating bins get 1/σ², constant bins the default.
+        let windows = obs.windows(10);
+        let pooled = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        let w = pooled.weights(100.0);
+        let varying = pooled
+            .sigma
+            .iter()
+            .zip(&w)
+            .filter(|&(&s, _)| s > 0.0)
+            .count();
+        assert!(varying > 0, "fixture must have fluctuating bins");
+        for (&s, &wi) in pooled.sigma.iter().zip(&w) {
+            if s > 0.0 {
+                assert!((wi - 1.0 / (s * s)).abs() < 1e-9);
+            } else {
+                assert_eq!(wi, 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pool_bit_identical_to_serial() {
+        // The tentpole contract: pooled mean, sigma, d_max, and window
+        // count are bitwise equal to the serial fold for any thread
+        // count, including thread counts that do not divide the window
+        // count and exceed it.
+        let mut serial_obs = observatory(8);
+        let windows = serial_obs.windows(13);
+        let serial = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        for threads in [1, 2, 3, 5, 8, 32] {
+            let mut par_obs = observatory(8);
+            let parallel = Pipeline::pool_observatory_parallel(
+                Measurement::UndirectedDegree,
+                &mut par_obs,
+                13,
+                threads,
+                None,
+            );
+            assert_eq!(parallel.windows, serial.windows, "threads {threads}");
+            assert_eq!(parallel.d_max, serial.d_max, "threads {threads}");
+            assert_eq!(
+                parallel.mean.n_bins(),
+                serial.mean.n_bins(),
+                "threads {threads}"
+            );
+            for i in 0..serial.mean.n_bins() {
+                assert_eq!(
+                    parallel.mean.value(i).to_bits(),
+                    serial.mean.value(i).to_bits(),
+                    "mean bin {i}, threads {threads}"
+                );
+                assert_eq!(
+                    parallel.sigma[i].to_bits(),
+                    serial.sigma[i].to_bits(),
+                    "sigma bin {i}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pool_advances_the_observatory_like_serial() {
+        let mut a = observatory(9);
+        let mut b = observatory(9);
+        let _ = a.windows(6);
+        let _ =
+            Pipeline::pool_observatory_parallel(Measurement::UndirectedDegree, &mut b, 6, 4, None);
+        // Both observatories are now positioned at window 6.
+        assert_eq!(a.next_window().matrix(), b.next_window().matrix());
+    }
+
+    #[test]
+    fn parallel_pool_records_metrics() {
+        let mut obs = observatory(10);
+        let metrics = crate::metrics::Metrics::new();
+        let pooled = Pipeline::pool_observatory_parallel(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            4,
+            2,
+            Some(&metrics),
+        );
+        assert_eq!(pooled.windows, 4);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.windows, 4);
+        assert_eq!(snap.threads, 2);
+        assert_eq!(snap.packets, 4 * 4_000);
+        // Every expensive stage ran and was timed.
+        assert!(snap.synthesize_ns > 0, "{snap:?}");
+        assert!(snap.histogram_ns > 0, "{snap:?}");
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! memory, and [`StreamStats`] folds windows directly into pooled
 //! statistics so arbitrarily long captures process in constant space.
 
+use crate::metrics::{Metrics, Stage};
 use crate::packets::Packet;
 use crate::pipeline::{Measurement, Pipeline, PooledDistribution};
 use crate::window::PacketWindow;
+use palu_stats::logbin::DifferentialCumulative;
 
 /// Iterator adapter: cuts a packet stream into consecutive
 /// fixed-`N_V` windows. A trailing partial window (fewer than `N_V`
@@ -81,6 +83,37 @@ impl StreamStats {
     ) -> PooledDistribution {
         for window in WindowStream::new(packets, n_v) {
             self.pipeline.push_window(&window);
+        }
+        self.pipeline.finish()
+    }
+
+    /// [`StreamStats::consume`] with per-stage instrumentation: window
+    /// assembly, histogram reduction, binning, and merge wall-times
+    /// plus packet/window counters accumulate into `metrics`. (The
+    /// synthesize stage belongs to the caller's packet iterator and is
+    /// folded into the window-assembly time here.) The pooled result
+    /// is identical to the uninstrumented path.
+    pub fn consume_with_metrics<I: Iterator<Item = Packet>>(
+        mut self,
+        packets: I,
+        n_v: usize,
+        metrics: &Metrics,
+    ) -> PooledDistribution {
+        metrics.set_threads(1);
+        let mut stream = WindowStream::new(packets, n_v);
+        loop {
+            let Some(window) = metrics.time(Stage::Window, || stream.next()) else {
+                break;
+            };
+            metrics.add_windows(1);
+            metrics.add_packets(window.n_v());
+            let h = metrics.time(Stage::Histogram, || {
+                self.pipeline.measurement().histogram(&window)
+            });
+            let binned = metrics.time(Stage::Bin, || DifferentialCumulative::from_histogram(&h));
+            metrics.time(Stage::Merge, || {
+                self.pipeline.push_binned(&binned, h.d_max())
+            });
         }
         self.pipeline.finish()
     }
@@ -155,5 +188,26 @@ mod tests {
         assert_eq!(pooled_stream.mean, pooled_batch.mean);
         assert_eq!(pooled_stream.sigma, pooled_batch.sigma);
         assert_eq!(pooled_stream.windows, 4);
+    }
+
+    #[test]
+    fn instrumented_consume_matches_plain_consume() {
+        let packets = synthetic_packets(9_000, 5);
+        let plain =
+            StreamStats::new(Measurement::UndirectedDegree).consume(packets.iter().copied(), 3_000);
+        let metrics = Metrics::new();
+        let timed = StreamStats::new(Measurement::UndirectedDegree).consume_with_metrics(
+            packets.iter().copied(),
+            3_000,
+            &metrics,
+        );
+        assert_eq!(plain.mean, timed.mean);
+        assert_eq!(plain.sigma, timed.sigma);
+        assert_eq!(plain.d_max, timed.d_max);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.windows, 3);
+        assert_eq!(snap.packets, 9_000);
+        assert_eq!(snap.threads, 1);
+        assert!(snap.window_ns > 0);
     }
 }

@@ -48,7 +48,11 @@ impl PacketWindow {
         let mut ids: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         // Same lookup-only map in the closure signature. lint:allow(R2)
         let compact = |id: u32, ids: &mut std::collections::HashMap<u32, u32>| -> u32 {
-            let next = ids.len() as u32;
+            // The map holds at most one entry per distinct u32 id, so
+            // its size always fits — but make the conversion checked
+            // rather than silently truncating.
+            let next = u32::try_from(ids.len())
+                .unwrap_or_else(|_| panic!("more than u32::MAX distinct host ids in one window"));
             *ids.entry(id).or_insert(next)
         };
         let mut coo = CooMatrix::with_capacity(packets.len());

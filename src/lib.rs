@@ -35,6 +35,7 @@ pub mod prelude {
         logbin::{DifferentialCumulative, LogBins},
     };
     pub use palu_traffic::{
+        metrics::{Metrics, MetricsSnapshot, Stage},
         observatory::Observatory,
         pipeline::{Pipeline, PooledDistribution},
         window::PacketWindow,
