@@ -30,4 +30,34 @@ cargo test -q -p palu-suite --test parallel_pipeline \
 cargo run -q --release -p palu-bench --bin pipeline
 test -s results/BENCH_pipeline.json
 
+echo "== fault-injection smoke matrix (0%, 5%, 50%) =="
+# The quarantine policy must complete at every injection rate, with a
+# clean report at 0% and a non-empty quarantine set at 50%.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+for rate in 0 0.05 0.5; do
+    inject_args=()
+    if [ "$rate" != 0 ]; then
+        inject_args=(--inject-faults "$rate")
+    fi
+    cargo run -q --release -p palu-cli -- simulate \
+        --core 0.5 --leaves 0.2 --lambda 2.0 --alpha 2.0 \
+        --nodes 20000 --nv 5000 --windows 16 --seed 42 \
+        --fail-policy quarantine --max-retries 0 \
+        "${inject_args[@]}" \
+        --metrics "$smoke_dir/fault_$rate.json" \
+        --out "$smoke_dir/fault_$rate.txt" 2>/dev/null
+    quarantined=$(grep -A 10 '"fault_report"' "$smoke_dir/fault_$rate.json" \
+        | grep '"quarantined"' | head -1 | tr -dc '0-9')
+    echo "rate $rate: quarantined $quarantined window(s)"
+    if [ "$rate" = 0 ] && [ "$quarantined" != 0 ]; then
+        echo "ci: unexpected quarantine with injection disabled" >&2
+        exit 1
+    fi
+    if [ "$rate" = 0.5 ] && [ "$quarantined" = 0 ]; then
+        echo "ci: 50% injection should quarantine at least one window" >&2
+        exit 1
+    fi
+done
+
 echo "ci: all green"

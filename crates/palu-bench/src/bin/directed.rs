@@ -43,7 +43,9 @@ fn main() {
     let mut rows = Vec::new();
     for (i, s) in palu_bench::fig3_scenarios().iter().enumerate() {
         let mut obs = s.observatory(77_000 + i as u64);
-        let windows = obs.windows_parallel(s.windows.min(8));
+        let windows = obs
+            .windows_parallel(s.windows.min(8))
+            .expect("non-zero window count");
         let pooled = Pipeline::pool_many(&measurements, &windows);
         let fits: Vec<_> = pooled
             .iter()

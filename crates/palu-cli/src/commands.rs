@@ -91,6 +91,48 @@ pub fn metrics_json(snap: &palu_traffic::MetricsSnapshot) -> crate::json::JsonVa
         ("packets", JsonValue::UInt(snap.packets)),
         ("windows", JsonValue::UInt(snap.windows)),
         ("threads", JsonValue::UInt(snap.threads)),
+        ("retries", JsonValue::UInt(snap.retries)),
+        ("quarantined", JsonValue::UInt(snap.quarantined)),
+    ])
+}
+
+/// Serialize a [`palu_traffic::FaultReport`] as a JSON object:
+/// headline counters, per-window fault records (window order, so the
+/// document is deterministic for a given seed and injection spec), and
+/// the fit-restart ladder's rung histogram.
+pub fn fault_report_json(report: &palu_traffic::FaultReport) -> crate::json::JsonValue {
+    use crate::json::JsonValue;
+    let records = JsonValue::Array(
+        report
+            .records
+            .iter()
+            .map(|r| {
+                JsonValue::obj([
+                    ("window", JsonValue::UInt(r.window)),
+                    ("kind", JsonValue::Str(r.kind.name().to_string())),
+                    ("attempts", JsonValue::UInt(u64::from(r.attempts))),
+                    ("outcome", JsonValue::Str(r.outcome.name().to_string())),
+                ])
+            })
+            .collect(),
+    );
+    let ladder = JsonValue::obj(
+        report
+            .ladder
+            .entries()
+            .into_iter()
+            .map(|(name, count)| (name, JsonValue::UInt(count))),
+    );
+    JsonValue::obj([
+        ("windows", JsonValue::UInt(report.windows)),
+        ("survivors", JsonValue::UInt(report.survivors)),
+        ("quarantined", JsonValue::UInt(report.quarantined)),
+        ("substituted", JsonValue::UInt(report.substituted)),
+        ("recovered", JsonValue::UInt(report.recovered)),
+        ("injected", JsonValue::UInt(report.injected)),
+        ("retries", JsonValue::UInt(report.retries)),
+        ("records", records),
+        ("ladder", ladder),
     ])
 }
 
@@ -123,9 +165,20 @@ COMMANDS:
              [--nodes N=100000] [--nv NV=100000] [--windows W=8]
              [--seed S=1] [--threads T=auto] [--metrics FILE]
              [--out FILE=stdout]
+             Fault tolerance (deterministic per seed+spec):
+             [--inject-faults SPEC]   seeded fault injector; SPEC is a
+               bare rate (split evenly) or kind=rate pairs from
+               truncate,nan,dup,panic, e.g. 0.5 or truncate=0.2,panic=0.1
+             [--fail-policy abort|quarantine|substitute]  (default abort)
+             [--max-retries K=1]      fresh-seed retries per window
+             [--quarantine-threshold F=1.0]  max quarantined fraction
+             With injection active a fault report (per-window kind,
+             attempts, outcome; restart-ladder rungs) is appended to
+             the --metrics JSON and summarized on stderr
   gof        Goodness-of-fit report for a degree histogram: CSN
              semiparametric bootstrap p-value + power-law-vs-lognormal
-             Vuong test
+             Vuong test; the CSN fit runs a deterministic restart
+             ladder and reports which rung produced the estimate
              --in FILE [--boot N=50] [--seed S=1]
   pool       Stream a packet trace (`src dst` per line) through
              fixed-N_V windows into pooled D(d_i) ± σ, constant memory
@@ -341,11 +394,44 @@ fn cmd_census(args: &ParsedArgs) -> Result<(), CliError> {
     })
 }
 
+/// Parse the `--fail-policy` / `--max-retries` / `--quarantine-threshold`
+/// trio into a [`palu_traffic::FailurePolicy`].
+fn parse_fail_policy(args: &ParsedArgs) -> Result<palu_traffic::FailurePolicy, CliError> {
+    use palu_traffic::{FailurePolicy, FaultAction};
+    let max_retries = args.u64_or("max-retries", 1)?;
+    let max_retries = u32::try_from(max_retries)
+        .map_err(|_| CliError::usage(format!("--max-retries = {max_retries} is out of range")))?;
+    let threshold = args.f64_or("quarantine-threshold", 1.0)?;
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(CliError::usage(format!(
+            "--quarantine-threshold must be in [0,1], got {threshold}"
+        )));
+    }
+    let on_fault = match args.options.get("fail-policy").map(String::as_str) {
+        None | Some("") | Some("abort") => FaultAction::Abort,
+        Some("quarantine") => FaultAction::Quarantine,
+        Some("substitute") => FaultAction::Substitute,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "--fail-policy must be abort, quarantine, or substitute, got {other:?}"
+            )))
+        }
+    };
+    Ok(FailurePolicy {
+        on_fault,
+        max_retries,
+        quarantine_threshold: threshold,
+    })
+}
+
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_stats::mle::{fit_csn_with_restarts, CsnOptions};
+    use palu_stats::restart::RestartPolicy;
     use palu_traffic::metrics::Metrics;
     use palu_traffic::observatory::{Observatory, ObservatoryConfig};
     use palu_traffic::packets::EdgeIntensity;
     use palu_traffic::pipeline::{Measurement, Pipeline};
+    use palu_traffic::{InjectionSpec, Injector};
 
     let nodes = args.u64_or("nodes", 100_000)?;
     let core = args.require_f64("core")?;
@@ -354,7 +440,21 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     let alpha = args.require_f64("alpha")?;
     let n_v = args.u64_or("nv", 100_000)?;
     let n_windows = usize_opt(args.u64_or("windows", 8)?, "windows")?;
+    if n_windows == 0 {
+        return Err(CliError::usage(
+            "--windows must be positive (an explicit 0-window capture has no pooled result)",
+        ));
+    }
     let seed = args.u64_or("seed", 1)?;
+    let policy = parse_fail_policy(args)?;
+    let injector = match args.options.get("inject-faults").filter(|s| !s.is_empty()) {
+        Some(spec) => {
+            let spec = InjectionSpec::parse(spec)
+                .map_err(|e| CliError::usage(format!("--inject-faults: {e}")))?;
+            Some(Injector::new(spec, seed))
+        }
+        None => None,
+    };
     let threads = match usize_opt(args.u64_or("threads", 0)?, "threads")? {
         0 => palu_sparse::parallel::default_threads(),
         t => t,
@@ -387,18 +487,60 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     );
     // Sharded synthesize → window → histogram → bin with a
     // deterministic window-ordered merge: bit-identical to the serial
-    // pipeline for any --threads value.
+    // pipeline for any --threads value, fault-tolerant per --fail-policy.
     let metrics = Metrics::new();
-    let pooled = Pipeline::pool_observatory_parallel(
+    let mut ft = Pipeline::pool_observatory_checked(
         Measurement::UndirectedDegree,
         &mut obs,
         n_windows,
         threads,
         Some(&metrics),
-    );
+        &policy,
+        injector.as_ref(),
+    )
+    .map_err(|e| CliError::runtime(format!("pipeline: {e}")))?;
+    if injector.is_some() {
+        // Fit the pooled histogram through the restart ladder so the
+        // report shows how far recovery had to climb.
+        match fit_csn_with_restarts(
+            &ft.histogram,
+            &CsnOptions::default(),
+            &RestartPolicy::default(),
+        ) {
+            Ok(fit) => {
+                ft.report.ladder.record(fit.rung);
+                eprintln!(
+                    "csn fit on pooled histogram: alpha = {:.4} via {} rung ({} attempt(s))",
+                    fit.value.alpha,
+                    fit.rung.name(),
+                    fit.attempts
+                );
+            }
+            Err(e) => eprintln!("csn fit on pooled histogram: not fittable ({e})"),
+        }
+    }
+    if !ft.report.is_clean() {
+        eprintln!(
+            "fault report: {} injected, {} retries, {} recovered, {} quarantined, {} substituted \
+             ({} of {} windows survive)",
+            ft.report.injected,
+            ft.report.retries,
+            ft.report.recovered,
+            ft.report.quarantined,
+            ft.report.substituted,
+            ft.report.survivors,
+            ft.report.windows
+        );
+    }
+    let pooled = &ft.pooled;
     if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
+        use crate::json::JsonValue;
         let snap = metrics.snapshot();
-        std::fs::write(path, metrics_json(&snap).pretty())
+        let mut doc = metrics_json(&snap);
+        if let JsonValue::Object(pairs) = &mut doc {
+            pairs.push(("fault_report".to_string(), fault_report_json(&ft.report)));
+        }
+        std::fs::write(path, doc.pretty())
             .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
         eprintln!(
             "metrics: {} packets in {:.1} ms of stage time across {} threads → {path}",
@@ -425,8 +567,9 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
 }
 
 fn cmd_gof(args: &ParsedArgs) -> Result<(), CliError> {
-    use palu_stats::mle::{fit_csn, goodness_of_fit, CsnOptions};
+    use palu_stats::mle::{fit_csn_with_restarts, goodness_of_fit, CsnOptions};
     use palu_stats::model_select::{fit_lognormal_tail, vuong_test, ModelVerdict};
+    use palu_stats::restart::RestartPolicy;
 
     let input = args.require("in")?.to_string();
     let h = io::read_histogram_path(Path::new(&input)).map_err(CliError::usage)?;
@@ -436,11 +579,17 @@ fn cmd_gof(args: &ParsedArgs) -> Result<(), CliError> {
     with_output(args, |w| {
         let mut run = || -> Result<(), String> {
             let opts = CsnOptions::default();
-            let fit = fit_csn(&h, &opts).map_err(|e| e.to_string())?;
+            let laddered = fit_csn_with_restarts(&h, &opts, &RestartPolicy::default())
+                .map_err(|e| e.to_string())?;
+            let fit = laddered.value;
             writeln!(
                 w,
-                "csn fit: alpha = {:.4}, x_min = {}, KS = {:.5} (n_tail = {})",
-                fit.alpha, fit.x_min, fit.ks, fit.n_tail
+                "csn fit: alpha = {:.4}, x_min = {}, KS = {:.5} (n_tail = {}, {} rung)",
+                fit.alpha,
+                fit.x_min,
+                fit.ks,
+                fit.n_tail,
+                laddered.rung.name()
             )
             .map_err(|e| e.to_string())?;
             let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -802,6 +951,123 @@ mod tests {
         // Bit-identical pooled series for every thread count.
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn simulate_rejects_zero_windows_and_bad_fault_flags() {
+        let base = [
+            "simulate", "--core", "0.5", "--leaves", "0.2", "--lambda", "2.0", "--alpha", "2.0",
+            "--nodes", "20000", "--nv", "10000",
+        ];
+        let mut argv = base.to_vec();
+        argv.extend(["--windows", "0"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--windows"), "{}", e.message);
+
+        let mut argv = base.to_vec();
+        argv.extend(["--windows", "2", "--fail-policy", "bogus"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert!(e.message.contains("fail-policy"), "{}", e.message);
+
+        let mut argv = base.to_vec();
+        argv.extend(["--windows", "2", "--inject-faults", "truncate=2.0"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert!(e.message.contains("inject-faults"), "{}", e.message);
+
+        let mut argv = base.to_vec();
+        argv.extend(["--windows", "2", "--quarantine-threshold", "1.5"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert!(e.message.contains("quarantine-threshold"), "{}", e.message);
+    }
+
+    #[test]
+    fn simulate_injection_quarantines_deterministically() {
+        let base = [
+            "simulate",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--nodes",
+            "20000",
+            "--nv",
+            "10000",
+            "--windows",
+            "8",
+            "--seed",
+            "9",
+            "--inject-faults",
+            "truncate=0.4,dup=0.1",
+            "--fail-policy",
+            "quarantine",
+            "--max-retries",
+            "1",
+        ];
+        let mut outputs = Vec::new();
+        let mut reports = Vec::new();
+        for run_id in ["a", "b"] {
+            let out = tmp(&format!("sim_fault_{run_id}.txt"));
+            let metrics = tmp(&format!("sim_fault_{run_id}_metrics.json"));
+            let mut argv: Vec<&str> = base.to_vec();
+            let out_s = out.to_str().unwrap().to_string();
+            let metrics_s = metrics.to_str().unwrap().to_string();
+            argv.extend(["--out", &out_s, "--metrics", &metrics_s]);
+            run(&parse(&argv)).unwrap();
+            outputs.push(std::fs::read_to_string(&out).unwrap());
+            reports.push(std::fs::read_to_string(&metrics).unwrap());
+        }
+        // Rerun-identical pooled series and fault report (stage
+        // wall-times in the metrics preamble legitimately vary).
+        assert_eq!(outputs[0], outputs[1]);
+        let fault_section = |m: &str| {
+            let at = m.find("\"fault_report\"").expect("fault report present");
+            m[at..].to_string()
+        };
+        assert_eq!(fault_section(&reports[0]), fault_section(&reports[1]));
+        let m = &reports[0];
+        assert!(m.contains("\"fault_report\""), "{m}");
+        assert!(m.contains("\"ladder\""), "{m}");
+        // A 50% per-attempt rate over 8 windows injects something.
+        let injected: u64 = m
+            .lines()
+            .find(|l| l.contains("\"injected\""))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|v| v.trim().trim_end_matches(',').parse().unwrap())
+            .unwrap();
+        assert!(injected > 0, "{m}");
+    }
+
+    #[test]
+    fn simulate_certain_fault_aborts_under_default_policy() {
+        let e = run(&parse(&[
+            "simulate",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--nodes",
+            "20000",
+            "--nv",
+            "10000",
+            "--windows",
+            "3",
+            "--max-retries",
+            "0",
+            "--inject-faults",
+            "truncate=1.0",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("window"), "{}", e.message);
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub mod model_select;
 pub mod optimize;
 /// Least-squares regression in log space.
 pub mod regression;
+/// Deterministic fit-restart ladder (perturb → profile → OLS fallback).
+pub mod restart;
 /// Deterministic from-scratch RNG (SplitMix64 + xoshiro256++).
 pub mod rng;
 /// Bracketing root solvers for implicit parameter equations.

@@ -21,6 +21,8 @@ use crate::error::StatsError;
 use crate::histogram::DegreeHistogram;
 use crate::ks::ks_distance_tail;
 use crate::optimize::golden_section;
+use crate::regression::ols;
+use crate::restart::{perturbation, Laddered, RestartPolicy, Rung};
 use crate::rng::Rng;
 use crate::special::hurwitz_zeta;
 use crate::Result;
@@ -84,6 +86,17 @@ fn tail_stats(h: &DegreeHistogram, x_min: u64) -> (u64, f64) {
 /// * [`StatsError::Domain`] if all tail observations equal `x_min`
 ///   (the likelihood then diverges towards `α → ∞`).
 pub fn fit_alpha_discrete(h: &DegreeHistogram, x_min: u64) -> Result<PowerLawFit> {
+    fit_alpha_discrete_bracket(h, x_min, ALPHA_LO, ALPHA_HI)
+}
+
+/// [`fit_alpha_discrete`] with an explicit exponent search bracket —
+/// the knob the restart ladder perturbs when the default bracket fails.
+fn fit_alpha_discrete_bracket(
+    h: &DegreeHistogram,
+    x_min: u64,
+    alpha_lo: f64,
+    alpha_hi: f64,
+) -> Result<PowerLawFit> {
     let x_min = x_min.max(1);
     let (n, sum_ln) = tail_stats(h, x_min);
     if n < 2 {
@@ -106,7 +119,14 @@ pub fn fit_alpha_discrete(h: &DegreeHistogram, x_min: u64) -> Result<PowerLawFit
             Err(_) => f64::INFINITY,
         }
     };
-    let m = golden_section(neg_ll, ALPHA_LO, ALPHA_HI, 1e-10, 300)?;
+    let m = golden_section(neg_ll, alpha_lo, alpha_hi, 1e-10, 300)?;
+    if !m.converged {
+        return Err(StatsError::NoConvergence {
+            routine: "fit_alpha_discrete",
+            iterations: m.evals,
+            residual: alpha_hi - alpha_lo,
+        });
+    }
     let alpha = m.x;
     let fit = PowerLawFit {
         alpha,
@@ -117,6 +137,93 @@ pub fn fit_alpha_discrete(h: &DegreeHistogram, x_min: u64) -> Result<PowerLawFit
     };
     let ks = ks_distance_tail(h, x_min, |d| fit.tail_cdf(d));
     Ok(PowerLawFit { ks, ..fit })
+}
+
+/// OLS log–log regression estimate of the exponent — the bottom
+/// ([`Rung::Fallback`]) rung of the restart ladder. Fits
+/// `ln n(d) = −α·ln d + const` over the tail counts by least squares,
+/// clamps the slope into the MLE search range, and reports the usual
+/// KS/std-err diagnostics for the resulting [`PowerLawFit`].
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] when fewer than two distinct tail
+/// degrees exist; OLS errors propagate.
+fn fallback_alpha_ols(h: &DegreeHistogram, x_min: u64) -> Result<PowerLawFit> {
+    let x_min = x_min.max(1);
+    let tail: Vec<(u64, u64)> = h.iter().filter(|&(d, c)| d >= x_min && c > 0).collect();
+    if tail.len() < 2 {
+        return Err(StatsError::EmptyInput {
+            routine: "fallback_alpha_ols",
+        });
+    }
+    let n: u64 = tail.iter().map(|&(_, c)| c).sum();
+    // d >= x_min >= 1 and c > 0 by the filter above. lint:allow(R3)
+    let xs: Vec<f64> = tail.iter().map(|&(d, _)| (d as f64).ln()).collect();
+    // c > 0 by the filter above. lint:allow(R3)
+    let ys: Vec<f64> = tail.iter().map(|&(_, c)| (c as f64).ln()).collect();
+    let reg = ols(&xs, &ys)?;
+    let alpha = (-reg.slope).clamp(ALPHA_LO, ALPHA_HI);
+    let fit = PowerLawFit {
+        alpha,
+        x_min,
+        ks: 0.0,
+        n_tail: n,
+        alpha_std_err: (alpha - 1.0) / (n as f64).sqrt(), // n >= 2 tail count. lint:allow(R3)
+    };
+    let ks = ks_distance_tail(h, x_min, |d| fit.tail_cdf(d));
+    Ok(PowerLawFit { ks, ..fit })
+}
+
+/// [`fit_alpha_discrete`] with the deterministic restart ladder: on
+/// failure the exponent bracket is perturbed (squeezed inward by a
+/// seeded factor, restoring finiteness when a boundary evaluation
+/// diverges), and as a last resort the exponent is estimated by OLS
+/// log–log regression ([`fallback_alpha_ols`]). The result is tagged
+/// with the [`Rung`] that succeeded.
+///
+/// # Errors
+///
+/// Returns the *primary* rung's error when every rung fails — data so
+/// degenerate that no method can identify an exponent.
+pub fn fit_alpha_discrete_with_restarts(
+    h: &DegreeHistogram,
+    x_min: u64,
+    policy: &RestartPolicy,
+) -> Result<Laddered<PowerLawFit>> {
+    let primary_err = match fit_alpha_discrete(h, x_min) {
+        Ok(fit) => {
+            return Ok(Laddered {
+                value: fit,
+                rung: Rung::Primary,
+                attempts: 1,
+            })
+        }
+        Err(e) => e,
+    };
+    let mut attempts = 1u32;
+    for k in 1..=policy.max_perturbations {
+        attempts += 1;
+        let u = perturbation(policy.seed, k);
+        let lo = ALPHA_LO + 0.25 * u;
+        let hi = ALPHA_HI - 2.0 * u;
+        if let Ok(fit) = fit_alpha_discrete_bracket(h, x_min, lo, hi) {
+            return Ok(Laddered {
+                value: fit,
+                rung: Rung::Perturbed,
+                attempts,
+            });
+        }
+    }
+    attempts += 1;
+    match fallback_alpha_ols(h, x_min) {
+        Ok(fit) => Ok(Laddered {
+            value: fit,
+            rung: Rung::Fallback,
+            attempts,
+        }),
+        Err(_) => Err(primary_err),
+    }
 }
 
 /// Continuous-approximation (Hill-style) estimator for comparison:
@@ -207,6 +314,73 @@ pub fn fit_csn(h: &DegreeHistogram, opts: &CsnOptions) -> Result<PowerLawFit> {
         }
     }
     best.ok_or(StatsError::EmptyInput { routine: "fit_csn" })
+}
+
+/// [`fit_csn`] with the deterministic restart ladder:
+///
+/// 1. **Primary** — the full CSN scan with the given options.
+/// 2. **Perturbed** — the scan rerun with the tail-size requirement
+///    halved per attempt (degraded data often leaves fewer than
+///    `min_tail` observations past the contamination).
+/// 3. **Profile** — skip the `x_min` scan entirely and run the 1-D
+///    exponent MLE at the smallest observed degree.
+/// 4. **Fallback** — OLS log–log regression over the whole histogram.
+///
+/// # Errors
+///
+/// Returns the primary rung's error when every rung fails.
+pub fn fit_csn_with_restarts(
+    h: &DegreeHistogram,
+    opts: &CsnOptions,
+    policy: &RestartPolicy,
+) -> Result<Laddered<PowerLawFit>> {
+    let primary_err = match fit_csn(h, opts) {
+        Ok(fit) => {
+            return Ok(Laddered {
+                value: fit,
+                rung: Rung::Primary,
+                attempts: 1,
+            })
+        }
+        Err(e) => e,
+    };
+    let mut attempts = 1u32;
+    for k in 1..=policy.max_perturbations {
+        attempts += 1;
+        let relaxed = CsnOptions {
+            min_tail: (opts.min_tail >> k).max(2),
+            ..*opts
+        };
+        if relaxed.min_tail >= opts.min_tail {
+            continue; // relaxation saturated; nothing new to try
+        }
+        if let Ok(fit) = fit_csn(h, &relaxed) {
+            return Ok(Laddered {
+                value: fit,
+                rung: Rung::Perturbed,
+                attempts,
+            });
+        }
+    }
+    attempts += 1;
+    if let Some(d0) = h.iter().map(|(d, _)| d).next() {
+        if let Ok(fit) = fit_alpha_discrete(h, d0.max(1)) {
+            return Ok(Laddered {
+                value: fit,
+                rung: Rung::Profile,
+                attempts,
+            });
+        }
+    }
+    attempts += 1;
+    match fallback_alpha_ols(h, 1) {
+        Ok(fit) => Ok(Laddered {
+            value: fit,
+            rung: Rung::Fallback,
+            attempts,
+        }),
+        Err(_) => Err(primary_err),
+    }
 }
 
 /// Draw one sample from the discrete power-law tail
@@ -434,6 +608,55 @@ mod tests {
     fn csn_errors_on_unusable_data() {
         let h = DegreeHistogram::from_counts([(3, 10)]);
         assert!(fit_csn(&h, &CsnOptions::default()).is_err());
+    }
+
+    #[test]
+    fn csn_ladder_rungs_on_all_ones_histogram() {
+        // Ten degrees with one observation each: far below the default
+        // min_tail of 50, so the primary scan fails and the ladder must
+        // rescue the fit on a lower rung.
+        let h = DegreeHistogram::from_counts((1..=10).map(|d| (d, 1)));
+        assert!(fit_csn(&h, &CsnOptions::default()).is_err());
+        let ladder =
+            fit_csn_with_restarts(&h, &CsnOptions::default(), &RestartPolicy::default()).unwrap();
+        assert_ne!(ladder.rung, Rung::Primary);
+        assert!(ladder.attempts > 1, "attempts {}", ladder.attempts);
+        assert!(ladder.value.alpha.is_finite());
+        assert!(ladder.value.alpha >= 1.0);
+        // The ladder is deterministic: reruns agree exactly.
+        let again =
+            fit_csn_with_restarts(&h, &CsnOptions::default(), &RestartPolicy::default()).unwrap();
+        assert_eq!(ladder, again);
+        // A clean sample stays on the primary rung.
+        let clean = zeta_sample(2.2, 50_000, 7);
+        let l2 = fit_csn_with_restarts(&clean, &CsnOptions::default(), &RestartPolicy::default())
+            .unwrap();
+        assert_eq!(l2.rung, Rung::Primary);
+        assert_eq!(l2.attempts, 1);
+    }
+
+    #[test]
+    fn alpha_ladder_primary_and_degenerate_paths() {
+        // Ten distinct degrees: the primary MLE works outright.
+        let h = DegreeHistogram::from_counts((1..=10).map(|d| (d, 1)));
+        let a = fit_alpha_discrete_with_restarts(&h, 1, &RestartPolicy::default()).unwrap();
+        assert_eq!(a.rung, Rung::Primary);
+        assert_eq!(a.attempts, 1);
+        // A tail concentrated on one degree defeats every rung; the
+        // primary error surfaces.
+        let single = DegreeHistogram::from_counts([(5, 100)]);
+        let err = fit_alpha_discrete_with_restarts(&single, 5, &RestartPolicy::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn goodness_of_fit_errors_on_empty_tail() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let empty = DegreeHistogram::new();
+        assert!(goodness_of_fit(&empty, &CsnOptions::default(), 10, &mut rng).is_err());
+        // A tail concentrated on one degree is equally unusable.
+        let single = DegreeHistogram::from_counts([(7, 500)]);
+        assert!(goodness_of_fit(&single, &CsnOptions::default(), 10, &mut rng).is_err());
     }
 
     #[test]

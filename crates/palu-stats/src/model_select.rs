@@ -15,7 +15,8 @@
 use crate::error::StatsError;
 use crate::histogram::DegreeHistogram;
 use crate::mle::PowerLawFit;
-use crate::optimize::{nelder_mead, NelderMeadOptions};
+use crate::optimize::{golden_section, nelder_mead, NelderMeadOptions};
+use crate::restart::{perturbation, Laddered, RestartPolicy, Rung};
 use crate::special::{hurwitz_zeta, normal_cdf};
 use crate::Result;
 
@@ -72,14 +73,20 @@ fn lognormal_tail_lnpmf(
     Some(move |d: u64| ln_rho(d) - ln_z)
 }
 
-/// Fit a tail-conditioned lognormal by maximum likelihood.
-///
-/// # Errors
-///
-/// [`StatsError::EmptyInput`] when fewer than two distinct tail
-/// degrees exist; optimizer errors propagate.
-pub fn fit_lognormal_tail(h: &DegreeHistogram, x_min: u64) -> Result<LogNormalFit> {
-    let x_min = x_min.max(1);
+/// Precomputed tail view shared by every rung of the lognormal ladder:
+/// the filtered counts plus the moment estimates that seed (or, on the
+/// last rung, *are*) the fit.
+struct TailSetup {
+    tail: Vec<(u64, u64)>,
+    n_tail: u64,
+    d_cap: u64,
+    /// Count-weighted mean of `ln d` over the tail.
+    mean_ln: f64,
+    /// Moment estimate of σ, floored at 0.05 to stay feasible.
+    sigma0: f64,
+}
+
+fn tail_setup(h: &DegreeHistogram, x_min: u64) -> Result<TailSetup> {
     let tail: Vec<(u64, u64)> = h.iter().filter(|&(d, _)| d >= x_min).collect();
     let n_tail: u64 = tail.iter().map(|&(_, c)| c).sum();
     if tail.len() < 2 || n_tail < 2 {
@@ -87,9 +94,7 @@ pub fn fit_lognormal_tail(h: &DegreeHistogram, x_min: u64) -> Result<LogNormalFi
             routine: "fit_lognormal_tail",
         });
     }
-    let d_cap = tail.last().expect("non-empty").0;
-
-    // Moment-based starting point in log space.
+    let d_cap = tail[tail.len() - 1].0;
     let mean_ln: f64 = tail
         .iter()
         .map(|&(d, c)| c as f64 * (d as f64).ln()) // d >= x_min >= 1. lint:allow(R3)
@@ -100,25 +105,159 @@ pub fn fit_lognormal_tail(h: &DegreeHistogram, x_min: u64) -> Result<LogNormalFi
         .map(|&(d, c)| c as f64 * ((d as f64).ln() - mean_ln).powi(2)) // d >= 1. lint:allow(R3)
         .sum::<f64>()
         / n_tail as f64;
-    // var_ln is a mean of squares >= 0; .max(0.05) before the ln. lint:allow(R3)
-    let x0 = [mean_ln, var_ln.sqrt().max(0.05).ln()];
+    // var_ln is a mean of squares >= 0; the floor keeps σ feasible. lint:allow(R3)
+    let sigma0 = var_ln.sqrt().max(0.05);
+    Ok(TailSetup {
+        tail,
+        n_tail,
+        d_cap,
+        mean_ln,
+        sigma0,
+    })
+}
 
-    let neg_ll = |v: &[f64]| -> f64 {
-        let (mu, sigma) = (v[0], v[1].exp());
-        match lognormal_tail_lnpmf(mu, sigma, x_min, d_cap) {
-            Some(lnpmf) => -tail.iter().map(|&(d, c)| c as f64 * lnpmf(d)).sum::<f64>(),
-            None => f64::INFINITY,
-        }
-    };
-    let result = nelder_mead(neg_ll, &x0, &NelderMeadOptions::default())?;
+/// Negative tail log-likelihood of a `(μ, σ)` candidate; `+∞` when the
+/// candidate is infeasible.
+fn tail_neg_ll(setup: &TailSetup, x_min: u64, mu: f64, sigma: f64) -> f64 {
+    match lognormal_tail_lnpmf(mu, sigma, x_min, setup.d_cap) {
+        Some(lnpmf) => -setup
+            .tail
+            .iter()
+            .map(|&(d, c)| c as f64 * lnpmf(d))
+            .sum::<f64>(),
+        None => f64::INFINITY,
+    }
+}
+
+/// One Nelder–Mead run from `x0 = [μ, ln σ]` over the tail objective.
+fn fit_lognormal_nm(
+    setup: &TailSetup,
+    x_min: u64,
+    x0: &[f64; 2],
+    opts: &NelderMeadOptions,
+) -> Result<LogNormalFit> {
+    let neg_ll = |v: &[f64]| tail_neg_ll(setup, x_min, v[0], v[1].exp());
+    let result = nelder_mead(neg_ll, x0, opts)?;
     Ok(LogNormalFit {
         mu: result.x[0],
         sigma: result.x[1].exp(),
         x_min,
-        d_cap,
+        d_cap: setup.d_cap,
         ln_likelihood: -result.f,
-        n_tail,
+        n_tail: setup.n_tail,
     })
+}
+
+/// Fit a tail-conditioned lognormal by maximum likelihood.
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] when fewer than two distinct tail
+/// degrees exist; optimizer errors propagate.
+pub fn fit_lognormal_tail(h: &DegreeHistogram, x_min: u64) -> Result<LogNormalFit> {
+    let x_min = x_min.max(1);
+    let setup = tail_setup(h, x_min)?;
+    let x0 = [setup.mean_ln, setup.sigma0.ln()]; // sigma0 >= 0.05. lint:allow(R3)
+    fit_lognormal_nm(&setup, x_min, &x0, &NelderMeadOptions::default())
+}
+
+/// [`fit_lognormal_tail`] hardened by the deterministic restart ladder
+/// (DESIGN.md §4e).
+///
+/// Rungs, in order: a strict-convergence Nelder–Mead from the moment
+/// start ([`Rung::Primary`]); strict Nelder–Mead from deterministically
+/// perturbed starts ([`Rung::Perturbed`]); a golden-section profile
+/// over `ln σ` with `μ` pinned at the tail log-mean
+/// ([`Rung::Profile`]); and the raw moment estimates
+/// ([`Rung::Fallback`]). The result records which rung succeeded and
+/// how many optimizer invocations were spent.
+///
+/// # Errors
+///
+/// [`StatsError::EmptyInput`] on a degenerate tail; otherwise the
+/// *primary* rung's error if even the moment fallback is infeasible.
+pub fn fit_lognormal_tail_with_restarts(
+    h: &DegreeHistogram,
+    x_min: u64,
+    policy: &RestartPolicy,
+) -> Result<Laddered<LogNormalFit>> {
+    let x_min = x_min.max(1);
+    let setup = tail_setup(h, x_min)?;
+    let strict = NelderMeadOptions {
+        require_convergence: true,
+        ..Default::default()
+    };
+    let x0 = [setup.mean_ln, setup.sigma0.ln()]; // sigma0 >= 0.05. lint:allow(R3)
+
+    let mut attempts = 1u32;
+    let primary_err = match fit_lognormal_nm(&setup, x_min, &x0, &strict) {
+        Ok(value) => {
+            return Ok(Laddered {
+                value,
+                rung: Rung::Primary,
+                attempts,
+            })
+        }
+        Err(e) => e,
+    };
+
+    // Perturbed restarts: shift μ by up to ±0.5 and scale σ by a
+    // deterministic factor in [0.5, 1.5).
+    for k in 1..=policy.max_perturbations {
+        let u = perturbation(policy.seed, k);
+        let sigma_k = (setup.sigma0 * (0.5 + u)).max(0.05);
+        let x0_k = [setup.mean_ln + (u - 0.5), sigma_k.ln()]; // >= 0.05. lint:allow(R3)
+        attempts += 1;
+        if let Ok(value) = fit_lognormal_nm(&setup, x_min, &x0_k, &strict) {
+            return Ok(Laddered {
+                value,
+                rung: Rung::Perturbed,
+                attempts,
+            });
+        }
+    }
+
+    // Profile: pin μ at the tail log-mean and line-search ln σ.
+    attempts += 1;
+    let profile = |s: f64| tail_neg_ll(&setup, x_min, setup.mean_ln, s.exp());
+    // Bracket σ in [0.05, 5]: below the feasibility floor the
+    // objective is +∞, above it the discretized pmf is flat.
+    let (lo, hi) = (0.05f64.ln(), 5.0f64.ln()); // literals > 0. lint:allow(R3)
+    if let Ok(m) = golden_section(profile, lo, hi, 1e-9, 200) {
+        if m.converged && m.f.is_finite() {
+            return Ok(Laddered {
+                value: LogNormalFit {
+                    mu: setup.mean_ln,
+                    sigma: m.x.exp(),
+                    x_min,
+                    d_cap: setup.d_cap,
+                    ln_likelihood: -m.f,
+                    n_tail: setup.n_tail,
+                },
+                rung: Rung::Profile,
+                attempts,
+            });
+        }
+    }
+
+    // Fallback: the moment estimates themselves, scored once.
+    attempts += 1;
+    let ll = -tail_neg_ll(&setup, x_min, setup.mean_ln, setup.sigma0);
+    if ll.is_finite() {
+        return Ok(Laddered {
+            value: LogNormalFit {
+                mu: setup.mean_ln,
+                sigma: setup.sigma0,
+                x_min,
+                d_cap: setup.d_cap,
+                ln_likelihood: ll,
+                n_tail: setup.n_tail,
+            },
+            rung: Rung::Fallback,
+            attempts,
+        });
+    }
+    Err(primary_err)
 }
 
 /// Tail log-likelihood of a fitted power law on the same histogram
@@ -280,6 +419,38 @@ mod tests {
         assert!(fit_lognormal_tail(&DegreeHistogram::new(), 1).is_err());
         let single = DegreeHistogram::from_counts([(5, 100)]);
         assert!(fit_lognormal_tail(&single, 1).is_err());
+    }
+
+    #[test]
+    fn lognormal_ladder_stays_primary_on_clean_data() {
+        let truth = DiscretizedLogNormal::new(2.0, 0.7, 50_000).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let h: DegreeHistogram = truth.sample_many(&mut rng, 50_000).into_iter().collect();
+        let policy = crate::restart::RestartPolicy::default();
+        let l = fit_lognormal_tail_with_restarts(&h, 1, &policy).unwrap();
+        assert_eq!(l.rung, crate::restart::Rung::Primary);
+        assert_eq!(l.attempts, 1);
+        assert!((l.value.mu - 2.0).abs() < 0.1, "μ {}", l.value.mu);
+        // Ladder determinism: bit-identical across reruns.
+        let again = fit_lognormal_tail_with_restarts(&h, 1, &policy).unwrap();
+        assert_eq!(l, again);
+    }
+
+    #[test]
+    fn lognormal_ladder_handles_degenerate_tails() {
+        let policy = crate::restart::RestartPolicy::default();
+        // Empty / single-degree tails fail outright, same as the
+        // unladdered fit.
+        assert!(fit_lognormal_tail_with_restarts(&DegreeHistogram::new(), 1, &policy).is_err());
+        let single = DegreeHistogram::from_counts([(5, 100)]);
+        assert!(fit_lognormal_tail_with_restarts(&single, 1, &policy).is_err());
+        // A barely-two-point tail still resolves on *some* rung with
+        // finite parameters.
+        let two = DegreeHistogram::from_counts([(3, 4), (9, 2)]);
+        let l = fit_lognormal_tail_with_restarts(&two, 1, &policy).unwrap();
+        assert!(l.value.mu.is_finite());
+        assert!(l.value.sigma > 0.0);
+        assert!(l.value.ln_likelihood.is_finite());
     }
 
     #[test]

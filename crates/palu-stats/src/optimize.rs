@@ -20,6 +20,9 @@ pub struct Min1d {
     pub f: f64,
     /// Function evaluations used.
     pub evals: usize,
+    /// Whether the bracket shrank below `tol` (rather than the
+    /// iteration budget stopping the search).
+    pub converged: bool,
 }
 
 /// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
@@ -71,7 +74,12 @@ pub fn golden_section<F: FnMut(f64) -> f64>(
         evals += 1;
     }
     let (x, fx) = if f1 < f2 { (x1, f1) } else { (x2, f2) };
-    Ok(Min1d { x, f: fx, evals })
+    Ok(Min1d {
+        x,
+        f: fx,
+        evals,
+        converged: hi - lo < tol,
+    })
 }
 
 /// Uniform grid scan over a rectangle, returning the best grid point.
@@ -111,6 +119,11 @@ pub struct NelderMeadOptions {
     /// Initial simplex edge length, per coordinate, as a fraction of
     /// `max(|x_0|, 1)`.
     pub initial_step: f64,
+    /// When set, exhausting `max_evals` without meeting a tolerance
+    /// criterion is a hard [`StatsError::NoConvergence`] error instead
+    /// of an `Ok` result with `converged == false`. The fit-restart
+    /// ladder uses this to trigger its fallback rungs.
+    pub require_convergence: bool,
 }
 
 impl Default for NelderMeadOptions {
@@ -120,6 +133,7 @@ impl Default for NelderMeadOptions {
             f_tol: 1e-12,
             x_tol: 1e-10,
             initial_step: 0.1,
+            require_convergence: false,
         }
     }
 }
@@ -146,7 +160,10 @@ pub struct MinNd {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyInput`] if `x0` is empty.
+/// Returns [`StatsError::EmptyInput`] if `x0` is empty, and — only
+/// when `opts.require_convergence` is set — [`StatsError::NoConvergence`]
+/// if the evaluation budget runs out before a tolerance criterion is
+/// met.
 pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     mut f: F,
     x0: &[f64],
@@ -274,6 +291,15 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
     }
 
+    if !converged && opts.require_convergence {
+        let spread = fvals.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - fvals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        return Err(StatsError::NoConvergence {
+            routine: "nelder_mead",
+            iterations: evals,
+            residual: spread,
+        });
+    }
     let best_idx = (0..=n)
         .min_by(|&i, &j| {
             fvals[i]
@@ -372,6 +398,48 @@ mod tests {
         let m = nelder_mead(|v| v[0] * v[0], &[3.0], &NelderMeadOptions::default()).unwrap();
         assert!(m.converged);
         assert!(m.evals < NelderMeadOptions::default().max_evals);
+    }
+
+    #[test]
+    fn nelder_mead_no_convergence_on_pathological_objective() {
+        // A hash-like deterministic objective with no descent structure:
+        // the simplex thrashes until the evaluation budget runs out.
+        let nasty = |v: &[f64]| {
+            let bits = (v[0] * 1e9).to_bits() ^ (v[1] * 1e7).to_bits();
+            (bits.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
+        };
+        let strict = NelderMeadOptions {
+            max_evals: 60,
+            require_convergence: true,
+            ..Default::default()
+        };
+        let err = nelder_mead(nasty, &[0.3, 0.7], &strict).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StatsError::NoConvergence {
+                    routine: "nelder_mead",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Without the flag the same search reports failure softly.
+        let lax = NelderMeadOptions {
+            max_evals: 60,
+            ..Default::default()
+        };
+        let m = nelder_mead(nasty, &[0.3, 0.7], &lax).unwrap();
+        assert!(!m.converged);
+    }
+
+    #[test]
+    fn golden_section_reports_convergence() {
+        let tight = golden_section(|x| (x - 1.0).powi(2), 0.0, 3.0, 1e-8, 200).unwrap();
+        assert!(tight.converged);
+        // Two iterations cannot shrink [0, 3] below 1e-8.
+        let starved = golden_section(|x| (x - 1.0).powi(2), 0.0, 3.0, 1e-8, 2).unwrap();
+        assert!(!starved.converged);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Deterministic fit-restart ladder shared by the estimators.
+//!
+//! The pipeline's robustness contract (DESIGN.md §4e) is that a fit
+//! that fails to converge does not abort a run: the estimator walks a
+//! *ladder* of progressively cruder but more robust methods —
+//! primary optimizer → deterministically perturbed restarts → a 1-D
+//! profile search → a closed-form/OLS fallback — and tags the result
+//! with the [`Rung`] that produced it, so downstream reports can
+//! distinguish a clean fit from a rescued one.
+//!
+//! Every restart is deterministic: perturbations are derived from a
+//! [`RestartPolicy`] seed through [`crate::rng::splitmix64_mix`], never
+//! from ambient randomness, so reruns (and different thread counts)
+//! produce bit-identical ladders.
+
+use crate::rng::splitmix64_mix;
+
+/// Which rung of the restart ladder produced a fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// The primary estimator succeeded unperturbed.
+    Primary,
+    /// A deterministically perturbed restart of the primary estimator.
+    Perturbed,
+    /// A 1-D profile search with the remaining parameters pinned.
+    Profile,
+    /// The closed-form / OLS regression fallback.
+    Fallback,
+}
+
+impl Rung {
+    /// All rungs, in ladder order (most to least preferred).
+    pub const ALL: [Rung; 4] = [
+        Rung::Primary,
+        Rung::Perturbed,
+        Rung::Profile,
+        Rung::Fallback,
+    ];
+
+    /// Stable lowercase name, used as a JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Primary => "primary",
+            Rung::Perturbed => "perturbed",
+            Rung::Profile => "profile",
+            Rung::Fallback => "fallback",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Rung::Primary => 0,
+            Rung::Perturbed => 1,
+            Rung::Profile => 2,
+            Rung::Fallback => 3,
+        }
+    }
+}
+
+/// Histogram of ladder rungs over many fits (the "ladder rung
+/// histogram" of a pipeline fault report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RungTally {
+    counts: [u64; 4],
+}
+
+impl RungTally {
+    /// An all-zero tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one fit resolved at `rung`.
+    pub fn record(&mut self, rung: Rung) {
+        self.counts[rung.index()] += 1;
+    }
+
+    /// Number of fits resolved at `rung`.
+    pub fn count(&self, rung: Rung) -> u64 {
+        self.counts[rung.index()]
+    }
+
+    /// Total fits recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(rung name, count)` pairs in ladder order.
+    pub fn entries(&self) -> [(&'static str, u64); 4] {
+        [
+            (Rung::Primary.name(), self.counts[0]),
+            (Rung::Perturbed.name(), self.counts[1]),
+            (Rung::Profile.name(), self.counts[2]),
+            (Rung::Fallback.name(), self.counts[3]),
+        ]
+    }
+}
+
+/// Controls how hard the ladder tries before falling through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Number of perturbed restarts attempted on the [`Rung::Perturbed`]
+    /// rung before moving down the ladder.
+    pub max_perturbations: u32,
+    /// Seed for the deterministic perturbation stream.
+    pub seed: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_perturbations: 3,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// A fitted value annotated with the ladder rung that produced it and
+/// the number of estimator invocations spent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laddered<T> {
+    /// The fit itself.
+    pub value: T,
+    /// The rung that succeeded.
+    pub rung: Rung,
+    /// Estimator invocations used across all rungs (≥ 1).
+    pub attempts: u32,
+}
+
+/// Deterministic perturbation factor in `[0, 1)` for restart
+/// `attempt` under `seed` — a pure function of its arguments, so
+/// retry `k` of any given fit always perturbs identically.
+pub fn perturbation(seed: u64, attempt: u32) -> f64 {
+    let z = splitmix64_mix(seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbations_are_deterministic_and_distinct() {
+        for k in 1..=8u32 {
+            let u = perturbation(42, k);
+            assert_eq!(u, perturbation(42, k), "attempt {k}");
+            assert!((0.0..1.0).contains(&u), "attempt {k}: {u}");
+        }
+        assert_ne!(perturbation(42, 1), perturbation(42, 2));
+        assert_ne!(perturbation(42, 1), perturbation(43, 1));
+    }
+
+    #[test]
+    fn tally_counts_by_rung() {
+        let mut t = RungTally::new();
+        t.record(Rung::Primary);
+        t.record(Rung::Primary);
+        t.record(Rung::Fallback);
+        assert_eq!(t.count(Rung::Primary), 2);
+        assert_eq!(t.count(Rung::Perturbed), 0);
+        assert_eq!(t.count(Rung::Fallback), 1);
+        assert_eq!(t.total(), 3);
+        let names: Vec<_> = t.entries().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["primary", "perturbed", "profile", "fallback"]);
+    }
+
+    #[test]
+    fn rung_names_are_stable() {
+        assert_eq!(Rung::ALL.len(), 4);
+        assert_eq!(Rung::Primary.name(), "primary");
+        assert_eq!(Rung::Profile.name(), "profile");
+    }
+}

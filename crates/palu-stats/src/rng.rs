@@ -325,6 +325,11 @@ pub mod streams {
     pub const PACKETS: u64 = 5;
     /// Fitting / bootstrap utilities.
     pub const FITTING: u64 = 6;
+    /// Per-window retry sub-streams of the fault-tolerant pipeline:
+    /// retry `k` of window `t` draws from stream `k` of the
+    /// `t`-th child of this stream, so every retry is deterministic
+    /// and disjoint from the primary packet stream.
+    pub const RETRY: u64 = 7;
 }
 
 #[cfg(test)]

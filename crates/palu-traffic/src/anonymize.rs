@@ -138,7 +138,7 @@ mod tests {
         let w1 = PacketWindow::from_packets(0, &packets);
         // Anonymized ids are sparse in u32, so the compacting
         // constructor re-labels them densely first.
-        let w2 = PacketWindow::from_packets_compacted(0, &mapped);
+        let w2 = PacketWindow::from_packets_compacted(0, &mapped).unwrap();
         // Aggregates identical.
         assert_eq!(w1.aggregates(), w2.aggregates());
         // All five quantity histograms identical.

@@ -1,0 +1,670 @@
+//! Typed failure taxonomy, failure policies, and the deterministic
+//! fault injector for the measurement pipeline.
+//!
+//! A production trunk-line observatory loses windows: captures get
+//! truncated, aggregation hits pathological inputs, workers die. The
+//! pipeline's robustness contract (DESIGN.md §4e) is that a window
+//! failure is a *data point*, not a crash: each window's
+//! synthesize → window → histogram → bin stage is isolated, failures
+//! are classified into a [`WindowFault`], retried against fresh
+//! deterministic RNG sub-streams, and — under a permissive
+//! [`FailurePolicy`] — quarantined without disturbing the bit-identical
+//! window-ordered merge of the surviving set.
+//!
+//! The [`Injector`] closes the loop: it deterministically plants
+//! faults (truncated windows, NaN histogram bins, duplicate-edge
+//! storms, worker panics) at configurable rates so the recovery
+//! machinery is exercised by tests and the CI smoke matrix, not just
+//! by theory. Same `(spec, seed)` ⇒ the same faults in the same
+//! windows, regardless of thread count.
+
+use palu_stats::restart::RungTally;
+use palu_stats::rng::{Rng, SeedSequence};
+
+/// One classified per-window failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowFault {
+    /// The window held fewer packets than its `N_V` budget.
+    Truncated {
+        /// The configured packet budget.
+        expected: u64,
+        /// Packets actually present.
+        actual: u64,
+    },
+    /// The measurement histogram came back empty.
+    EmptyHistogram,
+    /// The histogram's support collapsed (e.g. a duplicate-edge storm
+    /// crushed thousands of packets onto one conversation).
+    Degenerate {
+        /// Distinct degrees left in the histogram.
+        support: u64,
+    },
+    /// A binned probability was NaN or infinite.
+    NonFiniteBin {
+        /// Index of the first offending bin.
+        bin: usize,
+    },
+    /// More distinct host ids than `u32` can relabel.
+    HostIdOverflow {
+        /// Distinct ids encountered when the relabeling overflowed.
+        distinct: u64,
+    },
+    /// The packet synthesizer has no conversations to draw from.
+    EmptySynthesizer,
+    /// The worker thread panicked; the payload's message is captured.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl WindowFault {
+    /// The payload-free classification of this fault.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            WindowFault::Truncated { .. } => FaultKind::Truncated,
+            WindowFault::EmptyHistogram => FaultKind::EmptyHistogram,
+            WindowFault::Degenerate { .. } => FaultKind::Degenerate,
+            WindowFault::NonFiniteBin { .. } => FaultKind::NonFiniteBin,
+            WindowFault::HostIdOverflow { .. } => FaultKind::HostIdOverflow,
+            WindowFault::EmptySynthesizer => FaultKind::EmptySynthesizer,
+            WindowFault::Panic { .. } => FaultKind::Panic,
+        }
+    }
+}
+
+impl std::fmt::Display for WindowFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowFault::Truncated { expected, actual } => {
+                write!(f, "truncated window: {actual} of {expected} packets")
+            }
+            WindowFault::EmptyHistogram => write!(f, "empty measurement histogram"),
+            WindowFault::Degenerate { support } => {
+                write!(f, "degenerate histogram: support collapsed to {support}")
+            }
+            WindowFault::NonFiniteBin { bin } => {
+                write!(f, "non-finite probability in bin {bin}")
+            }
+            WindowFault::HostIdOverflow { distinct } => {
+                write!(f, "more than u32::MAX distinct host ids ({distinct})")
+            }
+            WindowFault::EmptySynthesizer => {
+                write!(f, "synthesizer has no conversations to draw from")
+            }
+            WindowFault::Panic { message } => write!(f, "worker panic: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WindowFault {}
+
+/// Payload-free fault classification, used as a JSON label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// See [`WindowFault::Truncated`].
+    Truncated,
+    /// See [`WindowFault::EmptyHistogram`].
+    EmptyHistogram,
+    /// See [`WindowFault::Degenerate`].
+    Degenerate,
+    /// See [`WindowFault::NonFiniteBin`].
+    NonFiniteBin,
+    /// See [`WindowFault::HostIdOverflow`].
+    HostIdOverflow,
+    /// See [`WindowFault::EmptySynthesizer`].
+    EmptySynthesizer,
+    /// See [`WindowFault::Panic`].
+    Panic,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used as a JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Truncated => "truncated",
+            FaultKind::EmptyHistogram => "empty_histogram",
+            FaultKind::Degenerate => "degenerate",
+            FaultKind::NonFiniteBin => "non_finite_bin",
+            FaultKind::HostIdOverflow => "host_id_overflow",
+            FaultKind::EmptySynthesizer => "empty_synthesizer",
+            FaultKind::Panic => "panic",
+        }
+    }
+}
+
+/// What the pipeline does with a window whose retry budget is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the whole run with [`PipelineError::WindowAborted`].
+    Abort,
+    /// Drop the window from the pooled result and record it.
+    Quarantine,
+    /// Replace it with one extra deterministic re-synthesis attempt
+    /// (never fault-injected); quarantine only if that also fails.
+    Substitute,
+}
+
+impl FaultAction {
+    /// Stable lowercase name, used as a CLI value and JSON label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultAction::Abort => "abort",
+            FaultAction::Quarantine => "quarantine",
+            FaultAction::Substitute => "substitute",
+        }
+    }
+}
+
+/// Per-run failure-handling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailurePolicy {
+    /// Disposal of a window whose retries are exhausted.
+    pub on_fault: FaultAction,
+    /// Retries per window after the initial attempt. Retry `k` of
+    /// window `t` draws from a deterministic sub-stream derived from
+    /// `(t, k)`, so recovery is replayable.
+    pub max_retries: u32,
+    /// Maximum tolerated quarantined fraction in `[0, 1]`; exceeding
+    /// it fails the run with [`PipelineError::QuarantineOverflow`].
+    pub quarantine_threshold: f64,
+}
+
+impl FailurePolicy {
+    /// The pre-fault-tolerance behavior: no retries, any fault aborts.
+    pub fn strict() -> Self {
+        FailurePolicy {
+            on_fault: FaultAction::Abort,
+            max_retries: 0,
+            quarantine_threshold: 1.0,
+        }
+    }
+
+    /// Retry up to `max_retries` times, then quarantine.
+    pub fn quarantine(max_retries: u32) -> Self {
+        FailurePolicy {
+            on_fault: FaultAction::Quarantine,
+            max_retries,
+            quarantine_threshold: 1.0,
+        }
+    }
+
+    /// Retry up to `max_retries` times, then substitute a clean
+    /// re-synthesis.
+    pub fn substitute(max_retries: u32) -> Self {
+        FailurePolicy {
+            on_fault: FaultAction::Substitute,
+            max_retries,
+            quarantine_threshold: 1.0,
+        }
+    }
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy::strict()
+    }
+}
+
+/// How one faulted window was ultimately disposed of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowOutcome {
+    /// A retry succeeded; the window contributes to the pool.
+    Recovered,
+    /// Dropped from the pooled result.
+    Quarantined,
+    /// Replaced by a clean re-synthesis; contributes to the pool.
+    Substituted,
+    /// Failed the whole run (strict policy).
+    Aborted,
+}
+
+impl WindowOutcome {
+    /// Stable lowercase name, used as a JSON label.
+    pub fn name(self) -> &'static str {
+        match self {
+            WindowOutcome::Recovered => "recovered",
+            WindowOutcome::Quarantined => "quarantined",
+            WindowOutcome::Substituted => "substituted",
+            WindowOutcome::Aborted => "aborted",
+        }
+    }
+}
+
+/// One faulted window's audit-trail entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Window index `t`.
+    pub window: u64,
+    /// Classification of the *last* fault the window exhibited.
+    pub kind: FaultKind,
+    /// Synthesis attempts spent on the window (including the first).
+    pub attempts: u32,
+    /// Final disposal.
+    pub outcome: WindowOutcome,
+}
+
+/// Aggregate fault accounting for one pipeline run. Deterministic:
+/// records are in window order and the report compares equal across
+/// reruns and thread counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultReport {
+    /// Windows the run attempted.
+    pub windows: u64,
+    /// Windows contributing to the pooled result.
+    pub survivors: u64,
+    /// Windows dropped by quarantine.
+    pub quarantined: u64,
+    /// Windows replaced by a clean re-synthesis.
+    pub substituted: u64,
+    /// Windows rescued by a retry.
+    pub recovered: u64,
+    /// Faults planted by the injector (0 when injection is off).
+    pub injected: u64,
+    /// Total retry attempts across all windows.
+    pub retries: u64,
+    /// Per-window audit trail, in window order (clean windows have no
+    /// record).
+    pub records: Vec<FaultRecord>,
+    /// Fit-restart ladder rung histogram for fits run on the pooled
+    /// output (filled in by callers that fit; see `palu-cli`).
+    pub ladder: RungTally,
+}
+
+impl FaultReport {
+    /// An empty report for a run over `windows` windows.
+    pub fn new(windows: u64) -> Self {
+        FaultReport {
+            windows,
+            survivors: windows,
+            ..Default::default()
+        }
+    }
+
+    /// True when no window faulted and nothing was injected.
+    pub fn is_clean(&self) -> bool {
+        self.records.is_empty() && self.injected == 0
+    }
+}
+
+/// A fault the injector plants into one window attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Drop half the window's packets (⇒ [`WindowFault::Truncated`]).
+    Truncate,
+    /// Poison one binned probability with NaN
+    /// (⇒ [`WindowFault::NonFiniteBin`]).
+    NanBin,
+    /// Overwrite every packet with the first (⇒
+    /// [`WindowFault::Degenerate`] support collapse).
+    DuplicateStorm,
+    /// Panic on the worker thread (⇒ [`WindowFault::Panic`]).
+    WorkerPanic,
+}
+
+impl InjectedFault {
+    /// Stable lowercase name, used in CLI specs and JSON labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectedFault::Truncate => "truncate",
+            InjectedFault::NanBin => "nan",
+            InjectedFault::DuplicateStorm => "dup",
+            InjectedFault::WorkerPanic => "panic",
+        }
+    }
+}
+
+/// Per-attempt injection rates, each in `[0, 1]` with total ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionSpec {
+    /// Probability of [`InjectedFault::Truncate`] per attempt.
+    pub truncate: f64,
+    /// Probability of [`InjectedFault::NanBin`] per attempt.
+    pub nan: f64,
+    /// Probability of [`InjectedFault::DuplicateStorm`] per attempt.
+    pub duplicate: f64,
+    /// Probability of [`InjectedFault::WorkerPanic`] per attempt.
+    pub panic: f64,
+}
+
+impl InjectionSpec {
+    /// No injection at all.
+    pub fn none() -> Self {
+        InjectionSpec {
+            truncate: 0.0,
+            nan: 0.0,
+            duplicate: 0.0,
+            panic: 0.0,
+        }
+    }
+
+    /// Total rate `rate`, split evenly across the four fault kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn uniform(rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "injection rate must be in [0, 1], got {rate}"
+        );
+        InjectionSpec {
+            truncate: rate / 4.0,
+            nan: rate / 4.0,
+            duplicate: rate / 4.0,
+            panic: rate / 4.0,
+        }
+    }
+
+    /// Parse a CLI spec: either a bare total rate (`"0.5"`, split
+    /// evenly) or comma-separated `kind=rate` pairs drawn from
+    /// `truncate`, `nan`, `dup`, `panic` (unnamed kinds default to 0).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for malformed input, rates outside
+    /// `[0, 1]`, or totals above 1.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err("empty injection spec".into());
+        }
+        let mut spec = InjectionSpec::none();
+        if let Ok(rate) = s.parse::<f64>() {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("injection rate must be in [0, 1], got {rate}"));
+            }
+            return Ok(InjectionSpec::uniform(rate));
+        }
+        for part in s.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected kind=rate, got '{part}'"))?;
+            let rate: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad rate '{value}' for '{key}'"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rate for '{key}' must be in [0, 1], got {rate}"));
+            }
+            match key.trim() {
+                "truncate" => spec.truncate = rate,
+                "nan" => spec.nan = rate,
+                "dup" => spec.duplicate = rate,
+                "panic" => spec.panic = rate,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind '{other}' (expected truncate, nan, dup, panic)"
+                    ))
+                }
+            }
+        }
+        if spec.total() > 1.0 {
+            return Err(format!("injection rates sum to {} > 1", spec.total()));
+        }
+        Ok(spec)
+    }
+
+    /// Sum of the four rates.
+    pub fn total(&self) -> f64 {
+        self.truncate + self.nan + self.duplicate + self.panic
+    }
+
+    /// True when every rate is zero.
+    pub fn is_none(&self) -> bool {
+        self.total() == 0.0
+    }
+}
+
+/// Deterministic seeded fault injector.
+///
+/// The decision for `(window, attempt)` is a pure function of the
+/// injector's seed: the plan is computed from its own derived RNG
+/// stream, independent of which thread evaluates it or in what order.
+/// Retries see independent draws, so an injected fault does not
+/// automatically recur on the retry (at rate `r` it recurs with
+/// probability `r`).
+#[derive(Debug, Clone)]
+pub struct Injector {
+    spec: InjectionSpec,
+    seq: SeedSequence,
+}
+
+impl Injector {
+    /// An injector planting faults per `spec`, deterministically
+    /// derived from `seed`.
+    pub fn new(spec: InjectionSpec, seed: u64) -> Self {
+        Injector {
+            spec,
+            seq: SeedSequence::new(seed),
+        }
+    }
+
+    /// The injection rates in force.
+    pub fn spec(&self) -> &InjectionSpec {
+        &self.spec
+    }
+
+    /// The fault (if any) to plant into attempt `attempt` of window
+    /// `window`. Pure: same `(seed, window, attempt)` ⇒ same answer.
+    pub fn plan(&self, window: u64, attempt: u32) -> Option<InjectedFault> {
+        if self.spec.is_none() {
+            return None;
+        }
+        let mut rng = SeedSequence::new(self.seq.child_seed(window)).rng(attempt as u64);
+        let u: f64 = rng.gen::<f64>();
+        let mut edge = self.spec.truncate;
+        if u < edge {
+            return Some(InjectedFault::Truncate);
+        }
+        edge += self.spec.nan;
+        if u < edge {
+            return Some(InjectedFault::NanBin);
+        }
+        edge += self.spec.duplicate;
+        if u < edge {
+            return Some(InjectedFault::DuplicateStorm);
+        }
+        edge += self.spec.panic;
+        if u < edge {
+            return Some(InjectedFault::WorkerPanic);
+        }
+        None
+    }
+}
+
+/// A run-level failure of the fault-tolerant pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The run was configured with zero windows — always a caller bug,
+    /// never silently coerced to one window.
+    ZeroWindows,
+    /// A window exhausted its retry budget under
+    /// [`FaultAction::Abort`].
+    WindowAborted {
+        /// The window index `t`.
+        window: u64,
+        /// Synthesis attempts spent before giving up.
+        attempts: u32,
+        /// The last fault observed.
+        fault: WindowFault,
+    },
+    /// Quarantine dropped more than the policy's tolerated fraction.
+    QuarantineOverflow {
+        /// Windows quarantined.
+        quarantined: u64,
+        /// Windows attempted.
+        windows: u64,
+        /// The policy's tolerated fraction.
+        threshold: f64,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::ZeroWindows => {
+                write!(f, "pipeline run configured with zero windows")
+            }
+            PipelineError::WindowAborted {
+                window,
+                attempts,
+                fault,
+            } => write!(
+                f,
+                "window {window} aborted after {attempts} attempt(s): {fault}"
+            ),
+            PipelineError::QuarantineOverflow {
+                quarantined,
+                windows,
+                threshold,
+            } => write!(
+                f,
+                "{quarantined} of {windows} windows quarantined, above the {threshold} threshold"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::WindowAborted { fault, .. } => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_deterministic_and_thread_independent() {
+        let inj = Injector::new(InjectionSpec::uniform(0.5), 42);
+        let first: Vec<_> = (0..64).map(|t| inj.plan(t, 0)).collect();
+        let again: Vec<_> = (0..64).map(|t| inj.plan(t, 0)).collect();
+        assert_eq!(first, again);
+        // Reversed evaluation order — random access, same plan.
+        let reversed: Vec<_> = (0..64).rev().map(|t| inj.plan(t, 0)).collect();
+        assert_eq!(first, reversed.into_iter().rev().collect::<Vec<_>>());
+        // At a 50% rate over 64 windows, both outcomes occur.
+        let hits = first.iter().filter(|p| p.is_some()).count();
+        assert!(hits > 8 && hits < 56, "hits {hits}");
+    }
+
+    #[test]
+    fn injector_rates_are_respected() {
+        let inj = Injector::new(InjectionSpec::uniform(1.0), 7);
+        // Total rate 1.0 ⇒ every attempt faults.
+        assert!((0..100).all(|t| inj.plan(t, 0).is_some()));
+        let off = Injector::new(InjectionSpec::none(), 7);
+        assert!((0..100).all(|t| off.plan(t, 0).is_none()));
+        // A single-kind spec only produces that kind.
+        let only_nan = Injector::new(
+            InjectionSpec {
+                nan: 1.0,
+                ..InjectionSpec::none()
+            },
+            7,
+        );
+        assert!((0..50).all(|t| only_nan.plan(t, 3) == Some(InjectedFault::NanBin)));
+    }
+
+    #[test]
+    fn retries_draw_independent_plans() {
+        let inj = Injector::new(InjectionSpec::uniform(0.5), 9);
+        let differs = (0..64).any(|t| inj.plan(t, 0) != inj.plan(t, 1));
+        assert!(differs, "attempt 1 must not replay attempt 0's plan");
+    }
+
+    #[test]
+    fn spec_parses_bare_rates_and_pairs() {
+        let u = InjectionSpec::parse("0.4").unwrap();
+        assert!((u.total() - 0.4).abs() < 1e-12);
+        assert_eq!(u.truncate, 0.1);
+        let p = InjectionSpec::parse("truncate=0.2,panic=0.05").unwrap();
+        assert_eq!(p.truncate, 0.2);
+        assert_eq!(p.panic, 0.05);
+        assert_eq!(p.nan, 0.0);
+        assert!((p.total() - 0.25).abs() < 1e-12);
+        assert_eq!(InjectionSpec::parse("0").unwrap(), InjectionSpec::none());
+    }
+
+    #[test]
+    fn spec_parse_rejects_bad_input() {
+        assert!(InjectionSpec::parse("").is_err());
+        assert!(InjectionSpec::parse("1.5").is_err());
+        assert!(InjectionSpec::parse("-0.1").is_err());
+        assert!(InjectionSpec::parse("frobnicate=0.5").is_err());
+        assert!(InjectionSpec::parse("nan=abc").is_err());
+        assert!(InjectionSpec::parse("nan=0.6,dup=0.6").is_err());
+        assert!(InjectionSpec::parse("nan").is_err());
+    }
+
+    #[test]
+    fn policy_constructors() {
+        let s = FailurePolicy::strict();
+        assert_eq!(s.on_fault, FaultAction::Abort);
+        assert_eq!(s.max_retries, 0);
+        assert_eq!(FailurePolicy::default(), s);
+        let q = FailurePolicy::quarantine(3);
+        assert_eq!(q.on_fault, FaultAction::Quarantine);
+        assert_eq!(q.max_retries, 3);
+        let sub = FailurePolicy::substitute(1);
+        assert_eq!(sub.on_fault, FaultAction::Substitute);
+    }
+
+    #[test]
+    fn fault_kinds_and_outcomes_have_stable_names() {
+        assert_eq!(
+            WindowFault::Truncated {
+                expected: 10,
+                actual: 5
+            }
+            .kind()
+            .name(),
+            "truncated"
+        );
+        assert_eq!(WindowFault::EmptyHistogram.kind().name(), "empty_histogram");
+        assert_eq!(
+            WindowFault::Panic {
+                message: "x".into()
+            }
+            .kind()
+            .name(),
+            "panic"
+        );
+        assert_eq!(WindowOutcome::Quarantined.name(), "quarantined");
+        assert_eq!(FaultAction::Substitute.name(), "substitute");
+        assert_eq!(InjectedFault::DuplicateStorm.name(), "dup");
+    }
+
+    #[test]
+    fn report_starts_clean() {
+        let r = FaultReport::new(8);
+        assert!(r.is_clean());
+        assert_eq!(r.windows, 8);
+        assert_eq!(r.survivors, 8);
+        assert_eq!(r.quarantined, 0);
+    }
+
+    #[test]
+    fn pipeline_errors_display() {
+        let e = PipelineError::WindowAborted {
+            window: 3,
+            attempts: 2,
+            fault: WindowFault::EmptyHistogram,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("window 3"), "{msg}");
+        assert!(msg.contains("2 attempt"), "{msg}");
+        assert!(PipelineError::ZeroWindows.to_string().contains("zero"));
+        let q = PipelineError::QuarantineOverflow {
+            quarantined: 5,
+            windows: 8,
+            threshold: 0.25,
+        };
+        assert!(q.to_string().contains("5 of 8"), "{q}");
+    }
+}

@@ -22,11 +22,17 @@
 //!   with a bit-identical deterministic merge.
 //! * [`metrics`] — zero-dependency per-stage instrumentation of the
 //!   pipeline (wall-times and packet/window counters).
+//! * [`fault`] — the typed window-failure taxonomy, retry/quarantine
+//!   policies, and the seeded deterministic fault injector behind the
+//!   pipeline's fault tolerance (DESIGN.md §4e).
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 /// Deterministic keyed address anonymization (CryptoPAn-style prefix preservation).
 pub mod anonymize;
+/// Typed window-failure taxonomy, failure policies, and the seeded
+/// deterministic fault injector.
+pub mod fault;
 /// Per-stage wall-time and volume instrumentation for the pipeline.
 pub mod metrics;
 /// A named vantage point producing consecutive observation windows.
@@ -40,8 +46,12 @@ pub mod stream;
 /// Single-window accumulation of flows into per-node quantities.
 pub mod window;
 
+pub use fault::{
+    FailurePolicy, FaultAction, FaultKind, FaultRecord, FaultReport, InjectedFault, InjectionSpec,
+    Injector, PipelineError, WindowFault, WindowOutcome,
+};
 pub use metrics::{Metrics, MetricsSnapshot, Stage};
 pub use observatory::Observatory;
 pub use packets::{EdgeIntensity, Packet, PacketSynthesizer};
-pub use pipeline::{Pipeline, PooledDistribution};
+pub use pipeline::{FaultTolerantPool, Pipeline, PooledDistribution};
 pub use window::PacketWindow;

@@ -79,6 +79,8 @@ pub struct Metrics {
     packets: AtomicU64,
     windows: AtomicU64,
     threads: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl Metrics {
@@ -117,6 +119,16 @@ impl Metrics {
         self.threads.store(threads, Ordering::Relaxed);
     }
 
+    /// Count `n` per-window retry attempts (fault recovery).
+    pub fn add_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` quarantined (dropped) windows.
+    pub fn add_quarantined(&self, n: u64) {
+        self.quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Freeze the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let ns = |s: Stage| self.stage_ns[s.index()].load(Ordering::Relaxed);
@@ -129,6 +141,8 @@ impl Metrics {
             packets: self.packets.load(Ordering::Relaxed),
             windows: self.windows.load(Ordering::Relaxed),
             threads: self.threads.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -169,6 +183,10 @@ pub struct MetricsSnapshot {
     pub windows: u64,
     /// Worker threads used by the run.
     pub threads: u64,
+    /// Per-window retry attempts spent on fault recovery.
+    pub retries: u64,
+    /// Windows quarantined (dropped from the pooled result).
+    pub quarantined: u64,
 }
 
 impl MetricsSnapshot {
@@ -205,6 +223,9 @@ mod tests {
         m.add_packets(50);
         m.add_windows(2);
         m.set_threads(8);
+        m.add_retries(3);
+        m.add_retries(1);
+        m.add_quarantined(2);
         let s = m.snapshot();
         assert_eq!(s.synthesize_ns, 15);
         assert_eq!(s.merge_ns, 7);
@@ -212,6 +233,8 @@ mod tests {
         assert_eq!(s.packets, 150);
         assert_eq!(s.windows, 2);
         assert_eq!(s.threads, 8);
+        assert_eq!(s.retries, 4);
+        assert_eq!(s.quarantined, 2);
         assert_eq!(s.total_ns(), 22);
     }
 

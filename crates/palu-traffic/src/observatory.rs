@@ -7,10 +7,12 @@
 //! window. Consecutive calls to [`Observatory::next_window`] replay the
 //! role of consecutive capture intervals `t`.
 
+use crate::fault::WindowFault;
 use crate::packets::{EdgeIntensity, PacketSynthesizer};
 use crate::window::PacketWindow;
 use palu_graph::palu_gen::{PaluGenerator, UnderlyingNetwork};
 use palu_stats::rng::SeedSequence;
+use palu_stats::StatsError;
 
 /// Descriptive metadata for an observatory (mirrors the panel labels
 /// of Figure 3).
@@ -94,8 +96,35 @@ impl Observatory {
     /// splittable RNG stream ([`SeedSequence::window_rng`]), so the
     /// result is independent of which other windows were generated,
     /// in what order, or on which thread.
-    pub fn packets_at(&self, t: u64) -> Vec<crate::packets::Packet> {
-        let mut rng = self.packet_seq.window_rng(t);
+    pub fn packets_at(&self, t: u64) -> Result<Vec<crate::packets::Packet>, WindowFault> {
+        self.packets_at_retry(t, 0)
+    }
+
+    /// Synthesize window `t` from its `attempt`-th RNG sub-stream.
+    ///
+    /// Attempt `0` is exactly [`Observatory::packets_at`]. Attempt
+    /// `k ≥ 1` draws from stream `k` of the `t`-th child of the
+    /// dedicated retry stream
+    /// ([`palu_stats::rng::streams::RETRY`]), so retry `k` of window
+    /// `t` always consumes the same derived seed — the fault-tolerant
+    /// pipeline's recovery is replayable regardless of which thread
+    /// retries, in what order, or how many other windows faulted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the synthesizer's [`WindowFault`].
+    pub fn packets_at_retry(
+        &self,
+        t: u64,
+        attempt: u32,
+    ) -> Result<Vec<crate::packets::Packet>, WindowFault> {
+        let mut rng = if attempt == 0 {
+            self.packet_seq.window_rng(t)
+        } else {
+            let retry_seq =
+                SeedSequence::new(self.packet_seq.child_seed(palu_stats::rng::streams::RETRY));
+            SeedSequence::new(retry_seq.child_seed(t)).rng(attempt as u64)
+        };
         let n_v = usize::try_from(self.config.n_v).unwrap_or_else(|_| {
             panic!(
                 "window budget N_V = {} does not fit in usize on this platform",
@@ -107,8 +136,18 @@ impl Observatory {
 
     /// The window at index `t` — deterministic random access: the same
     /// `(observatory seed, t)` always gives the same window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a synthesizer fault; use [`Observatory::packets_at`]
+    /// plus [`PacketWindow::from_packets`] for the fault-classified
+    /// path. (A constructed observatory always has a non-empty
+    /// synthesizer, so this is unreachable in practice.)
     pub fn window_at(&self, t: u64) -> PacketWindow {
-        PacketWindow::from_packets(t, &self.packets_at(t))
+        let packets = self
+            .packets_at(t)
+            .unwrap_or_else(|e| panic!("window {t}: {e}"));
+        PacketWindow::from_packets(t, &packets)
     }
 
     /// Reserve the next `n` consecutive window indices, returning the
@@ -138,13 +177,25 @@ impl Observatory {
     /// per chunk, bounded by available parallelism). Produces exactly
     /// the same windows as [`Observatory::windows`], since each window
     /// owns an independent RNG stream.
-    pub fn windows_parallel(&mut self, n: usize) -> Vec<PacketWindow> {
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] when `n == 0`: an explicit zero-window
+    /// capture is a configuration bug and is rejected, never silently
+    /// coerced to one window.
+    pub fn windows_parallel(&mut self, n: usize) -> Result<Vec<PacketWindow>, StatsError> {
+        if n == 0 {
+            return Err(StatsError::domain(
+                "windows_parallel",
+                "explicit zero-window capture",
+            ));
+        }
         let start = self.advance(n);
         let mut slots: Vec<Option<PacketWindow>> = (0..n).map(|_| None).collect();
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
-            .min(n.max(1));
+            .min(n);
         let chunk = n.div_ceil(threads);
         std::thread::scope(|s| {
             for (c, piece) in slots.chunks_mut(chunk).enumerate() {
@@ -156,7 +207,10 @@ impl Observatory {
                 });
             }
         });
-        slots.into_iter().map(|w| w.expect("filled")).collect()
+        // The scope joined every worker, so each slot is filled.
+        let windows: Vec<PacketWindow> = slots.into_iter().flatten().collect();
+        assert_eq!(windows.len(), n, "every slot filled by a joined worker");
+        Ok(windows)
     }
 }
 
@@ -230,7 +284,7 @@ mod tests {
         let mut seq = make(11, 2_000);
         let mut par = make(11, 2_000);
         let ws = seq.windows(6);
-        let wp = par.windows_parallel(6);
+        let wp = par.windows_parallel(6).unwrap();
         assert_eq!(ws.len(), wp.len());
         for (a, b) in ws.iter().zip(&wp) {
             assert_eq!(a.matrix(), b.matrix());
@@ -243,10 +297,43 @@ mod tests {
     #[test]
     fn packets_at_is_the_synthesize_stage_of_window_at() {
         let obs = make(12, 2_000);
-        let packets = obs.packets_at(3);
+        let packets = obs.packets_at(3).unwrap();
         assert_eq!(packets.len(), 2_000);
         let assembled = PacketWindow::from_packets(3, &packets);
         assert_eq!(assembled.matrix(), obs.window_at(3).matrix());
+    }
+
+    #[test]
+    fn zero_window_parallel_capture_is_a_domain_error() {
+        // Regression: n = 0 used to fall into a chunks_mut(0) panic /
+        // silent one-window coercion; it must be an explicit error.
+        let mut obs = make(14, 1_000);
+        let err = obs.windows_parallel(0).unwrap_err();
+        assert!(
+            matches!(err, StatsError::Domain { .. }),
+            "expected Domain, got {err:?}"
+        );
+        // The failed call must not have consumed window indices.
+        assert_eq!(obs.next_window().t(), 0);
+    }
+
+    #[test]
+    fn retry_streams_are_deterministic_and_distinct() {
+        let obs = make(15, 2_000);
+        // Attempt 0 is exactly packets_at.
+        assert_eq!(
+            obs.packets_at_retry(4, 0).unwrap(),
+            obs.packets_at(4).unwrap()
+        );
+        // Retry k of window t is replayable…
+        let r1 = obs.packets_at_retry(4, 1).unwrap();
+        assert_eq!(r1, obs.packets_at_retry(4, 1).unwrap());
+        assert_eq!(r1.len(), 2_000);
+        // …distinct from the primary draw and from other attempts…
+        assert_ne!(r1, obs.packets_at(4).unwrap());
+        assert_ne!(r1, obs.packets_at_retry(4, 2).unwrap());
+        // …and distinct across windows.
+        assert_ne!(r1, obs.packets_at_retry(5, 1).unwrap());
     }
 
     #[test]

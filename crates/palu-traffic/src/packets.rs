@@ -9,6 +9,7 @@
 //! the model's abstract edge-retention probability `p` emerges from a
 //! concrete packet budget.
 
+use crate::fault::WindowFault;
 use palu_graph::graph::Graph;
 use palu_stats::rng::Rng;
 
@@ -103,23 +104,39 @@ impl PacketSynthesizer {
     /// Draw one packet: pick a conversation by intensity, orient it
     /// uniformly (internet links carry traffic both ways; the paper's
     /// model is undirected so direction is symmetric noise).
-    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Packet {
-        let total = *self.cumulative.last().expect("non-empty");
+    ///
+    /// # Errors
+    ///
+    /// [`WindowFault::EmptySynthesizer`] when there are no
+    /// conversations to draw from — a typed fault the pipeline's
+    /// quarantine machinery can classify, rather than a panic.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Packet, WindowFault> {
+        let Some(&total) = self.cumulative.last() else {
+            return Err(WindowFault::EmptySynthesizer);
+        };
         let x = rng.gen::<f64>() * total;
         let idx = self
             .cumulative
             .partition_point(|&c| c < x)
             .min(self.conversations.len() - 1);
         let (u, v) = self.conversations[idx];
-        if rng.gen::<bool>() {
+        Ok(if rng.gen::<bool>() {
             Packet { src: u, dst: v }
         } else {
             Packet { src: v, dst: u }
-        }
+        })
     }
 
     /// Draw `n` packets into a vector.
-    pub fn draw_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Packet> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PacketSynthesizer::draw`]'s fault.
+    pub fn draw_many<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+    ) -> Result<Vec<Packet>, WindowFault> {
         (0..n).map(|_| self.draw(rng)).collect()
     }
 
@@ -180,7 +197,7 @@ mod tests {
             .flat_map(|&(u, v)| [(u, v), (v, u)])
             .collect();
         for _ in 0..1000 {
-            let p = syn.draw(&mut rng);
+            let p = syn.draw(&mut rng).unwrap();
             assert!(edges.contains(&(p.src, p.dst)), "{p:?} not an edge");
         }
     }
@@ -192,7 +209,7 @@ mod tests {
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         let n = 80_000;
         let mut counts = [0u32; 8];
-        for p in syn.draw_many(&mut rng, n) {
+        for p in syn.draw_many(&mut rng, n).unwrap() {
             // Identify the ring edge by its lower endpoint (mod wrap).
             let key = if (p.src + 1) % 8 == p.dst {
                 p.src
@@ -217,7 +234,7 @@ mod tests {
         g.add_edge(0, 1);
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
-        let packets = syn.draw_many(&mut rng, 1000);
+        let packets = syn.draw_many(&mut rng, 1000).unwrap();
         let forward = packets.iter().filter(|p| p.src == 0).count();
         assert!(forward > 400 && forward < 600, "forward {forward}");
     }
@@ -230,7 +247,7 @@ mod tests {
         let par = PacketSynthesizer::new(&g, EdgeIntensity::Pareto { shape: 1.2 }, &mut rng);
         let count_max = |syn: &PacketSynthesizer, rng: &mut Xoshiro256pp| {
             let mut counts = std::collections::HashMap::new();
-            for p in syn.draw_many(rng, 50_000) {
+            for p in syn.draw_many(rng, 50_000).unwrap() {
                 *counts
                     .entry((p.src.min(p.dst), p.src.max(p.dst)))
                     .or_insert(0u32) += 1;
@@ -272,7 +289,7 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(7);
         let syn = PacketSynthesizer::new(&g, EdgeIntensity::Uniform, &mut rng);
         let n_v = 3000u64;
-        let packets = syn.draw_many(&mut rng, n_v as usize);
+        let packets = syn.draw_many(&mut rng, n_v as usize).unwrap();
         let distinct: std::collections::HashSet<_> = packets
             .iter()
             .map(|p| (p.src.min(p.dst), p.src.max(p.dst)))

@@ -18,10 +18,15 @@
 //! push), so the pooled result is **bit-identical** to the serial fold
 //! for any thread count.
 
+use crate::fault::{
+    FailurePolicy, FaultAction, FaultRecord, FaultReport, InjectedFault, Injector, PipelineError,
+    WindowFault, WindowOutcome,
+};
 use crate::metrics::{time_stage, Metrics, Stage};
 use crate::observatory::Observatory;
 use crate::window::PacketWindow;
 use palu_sparse::quantities::NetworkQuantity;
+use palu_stats::histogram::DegreeHistogram;
 use palu_stats::logbin::DifferentialCumulative;
 use palu_stats::summary::BinStats;
 
@@ -177,10 +182,14 @@ impl Pipeline {
                 });
             }
         });
+        // The scope joined every worker, so each slot is filled.
+        let results: Vec<PooledDistribution> = results.into_iter().flatten().collect();
+        assert_eq!(
+            results.len(),
+            measurements.len(),
+            "every slot filled by a joined worker"
+        );
         results
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
     }
 
     /// Pool the next `n` consecutive windows of `obs` with the
@@ -210,15 +219,73 @@ impl Pipeline {
         threads: usize,
         metrics: Option<&Metrics>,
     ) -> PooledDistribution {
+        match Pipeline::pool_observatory_checked(
+            measurement,
+            obs,
+            n,
+            threads,
+            metrics,
+            &FailurePolicy::strict(),
+            None,
+        ) {
+            Ok(ft) => ft.pooled,
+            // Legacy contract: n = 0 silently pooled zero windows.
+            Err(PipelineError::ZeroWindows) => Pipeline::new(measurement).finish(),
+            Err(e) => panic!("pipeline failure: {e}"),
+        }
+    }
+
+    /// The fault-tolerant engine behind
+    /// [`Pipeline::pool_observatory_parallel`] (DESIGN.md §4e).
+    ///
+    /// Each window's synthesize → window → histogram → bin stage runs
+    /// isolated on its worker: panics are contained with
+    /// `catch_unwind`, typed [`WindowFault`]s are captured, and a
+    /// failed window is retried up to `policy.max_retries` times —
+    /// retry `k` of window `t` always draws from the same derived seed
+    /// ([`Observatory::packets_at_retry`]), so recovery is replayable
+    /// for any thread count. A window that exhausts its budget is
+    /// disposed of per `policy.on_fault`: abort the run, quarantine
+    /// (drop) the window, or substitute one clean re-synthesis.
+    ///
+    /// The surviving windows merge on the calling thread strictly in
+    /// window order, so the pooled result over the survivors is
+    /// **bit-identical** across thread counts and reruns; with no
+    /// injector and no faults it is byte-identical to
+    /// [`Pipeline::pool_observatory_parallel`]'s pre-fault-tolerance
+    /// output.
+    ///
+    /// `injector`, when supplied, deterministically plants faults per
+    /// its [`crate::fault::InjectionSpec`] — the fault-injection
+    /// harness that exercises this machinery in tests and CI.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::ZeroWindows`] when `n == 0`;
+    /// [`PipelineError::WindowAborted`] under [`FaultAction::Abort`];
+    /// [`PipelineError::QuarantineOverflow`] when the quarantined
+    /// fraction exceeds `policy.quarantine_threshold`.
+    pub fn pool_observatory_checked(
+        measurement: Measurement,
+        obs: &mut Observatory,
+        n: usize,
+        threads: usize,
+        metrics: Option<&Metrics>,
+        policy: &FailurePolicy,
+        injector: Option<&Injector>,
+    ) -> Result<FaultTolerantPool, PipelineError> {
+        if n == 0 {
+            return Err(PipelineError::ZeroWindows);
+        }
         let start_t = obs.advance(n);
-        let threads = threads.clamp(1, n.max(1));
+        let threads = threads.clamp(1, n);
         if let Some(m) = metrics {
             m.set_threads(threads as u64);
             m.add_windows(n as u64);
         }
         // One slot per window: workers fill the expensive per-window
         // results; the merge below reads them in window order.
-        let mut slots: Vec<Option<(BinStats, Option<u64>)>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<WindowSlot>> = (0..n).map(|_| None).collect();
         let chunk = n.div_ceil(threads).max(1);
         std::thread::scope(|s| {
             for (c, piece) in slots.chunks_mut(chunk).enumerate() {
@@ -226,43 +293,331 @@ impl Pipeline {
                 s.spawn(move || {
                     for (i, slot) in piece.iter_mut().enumerate() {
                         let t = start_t + (c * chunk + i) as u64;
-                        let packets = time_stage(metrics, Stage::Synthesize, || obs.packets_at(t));
-                        if let Some(m) = metrics {
-                            m.add_packets(packets.len() as u64);
-                        }
-                        let w = time_stage(metrics, Stage::Window, || {
-                            PacketWindow::from_packets(t, &packets)
-                        });
-                        let h = time_stage(metrics, Stage::Histogram, || measurement.histogram(&w));
-                        let binned = time_stage(metrics, Stage::Bin, || {
-                            let mut one = BinStats::new();
-                            one.push(&DifferentialCumulative::from_histogram(&h));
-                            one
-                        });
-                        *slot = Some((binned, h.d_max()));
+                        *slot = Some(process_window(
+                            measurement,
+                            obs,
+                            t,
+                            metrics,
+                            policy,
+                            injector,
+                        ));
                     }
                 });
             }
         });
-        // Deterministic merge: strictly in window order, on one thread.
-        // The scope above joined every worker, so each slot is filled.
+        // Deterministic merge: strictly in window order, on one
+        // thread, skipping quarantined windows. The scope above joined
+        // every worker, so each slot is filled.
         debug_assert!(slots.iter().all(Option::is_some));
         let mut p = Pipeline::new(measurement);
+        let mut merged = DegreeHistogram::new();
+        let mut report = FaultReport::new(n as u64);
+        report.survivors = 0;
+        let mut abort: Option<(u64, u32, WindowFault)> = None;
         time_stage(metrics, Stage::Merge, || {
-            for (one, d_max) in slots.iter().flatten() {
-                if let Some(d) = d_max {
-                    p.d_max = p.d_max.max(*d);
+            for slot in slots.into_iter().flatten() {
+                report.injected += slot.injected;
+                report.retries += slot.retries;
+                if let Some(rec) = slot.record {
+                    match rec.outcome {
+                        WindowOutcome::Recovered => report.recovered += 1,
+                        WindowOutcome::Quarantined => report.quarantined += 1,
+                        WindowOutcome::Substituted => report.substituted += 1,
+                        WindowOutcome::Aborted => {
+                            if abort.is_none() {
+                                if let Some(fault) = slot.abort_fault {
+                                    abort = Some((rec.window, rec.attempts, fault));
+                                }
+                            }
+                        }
+                    }
+                    report.records.push(rec);
                 }
-                p.stats.merge(one);
+                if let Some((one, d_max, h)) = slot.result {
+                    report.survivors += 1;
+                    if let Some(d) = d_max {
+                        p.d_max = p.d_max.max(d);
+                    }
+                    p.stats.merge(&one);
+                    for (d, c) in h.iter() {
+                        merged.increment(d, c);
+                    }
+                }
             }
         });
-        p.finish()
+        if let Some((window, attempts, fault)) = abort {
+            return Err(PipelineError::WindowAborted {
+                window,
+                attempts,
+                fault,
+            });
+        }
+        if report.quarantined as f64 > policy.quarantine_threshold * n as f64 {
+            return Err(PipelineError::QuarantineOverflow {
+                quarantined: report.quarantined,
+                windows: n as u64,
+                threshold: policy.quarantine_threshold,
+            });
+        }
+        if let Some(m) = metrics {
+            m.add_retries(report.retries);
+            m.add_quarantined(report.quarantined);
+        }
+        Ok(FaultTolerantPool {
+            pooled: p.finish(),
+            report,
+            histogram: merged,
+        })
     }
+}
+
+/// The outcome of a fault-tolerant pipeline run
+/// ([`Pipeline::pool_observatory_checked`]).
+#[derive(Debug, Clone)]
+pub struct FaultTolerantPool {
+    /// Pooled `D(d_i) ± σ(d_i)` over the surviving windows.
+    pub pooled: PooledDistribution,
+    /// Per-window fault accounting (empty records on a clean run).
+    pub report: FaultReport,
+    /// Degree histogram summed over the surviving windows in window
+    /// order — the input for downstream tail fits.
+    pub histogram: DegreeHistogram,
+}
+
+/// One window's result as filled in by a worker: the binned stats (or
+/// `None` when quarantined/aborted) plus its fault accounting.
+struct WindowSlot {
+    result: Option<(BinStats, Option<u64>, DegreeHistogram)>,
+    record: Option<FaultRecord>,
+    injected: u64,
+    retries: u64,
+    abort_fault: Option<WindowFault>,
+}
+
+/// Drive one window through its attempt loop and dispose of it per the
+/// policy. Pure in `(t, attempt)` given the observatory seed and the
+/// injector, so the outcome is independent of thread placement.
+fn process_window(
+    measurement: Measurement,
+    obs: &Observatory,
+    t: u64,
+    metrics: Option<&Metrics>,
+    policy: &FailurePolicy,
+    injector: Option<&Injector>,
+) -> WindowSlot {
+    let mut last_fault: Option<WindowFault> = None;
+    let mut injected = 0u64;
+    let mut attempts = 0u32;
+    let mut result: Option<(BinStats, Option<u64>, DegreeHistogram)> = None;
+    for attempt in 0..=policy.max_retries {
+        let plan = injector.and_then(|inj| inj.plan(t, attempt));
+        if plan.is_some() {
+            injected += 1;
+        }
+        attempts += 1;
+        match attempt_window(measurement, obs, t, attempt, plan, metrics) {
+            Ok(r) => {
+                result = Some(r);
+                break;
+            }
+            Err(f) => last_fault = Some(f),
+        }
+    }
+    if let Some(r) = result {
+        // Clean first attempt ⇒ no record at all; a rescued window is
+        // recorded with the fault its failed attempt(s) exhibited.
+        let record = if attempts > 1 {
+            last_fault.as_ref().map(|f| FaultRecord {
+                window: t,
+                kind: f.kind(),
+                attempts,
+                outcome: WindowOutcome::Recovered,
+            })
+        } else {
+            None
+        };
+        return WindowSlot {
+            result: Some(r),
+            record,
+            injected,
+            retries: (attempts - 1) as u64,
+            abort_fault: None,
+        };
+    }
+    // Retry budget exhausted: dispose per policy. The loop ran at
+    // least once and every attempt failed, so a fault was captured.
+    let fault = match last_fault {
+        Some(f) => f,
+        None => WindowFault::EmptyHistogram,
+    };
+    match policy.on_fault {
+        FaultAction::Abort => WindowSlot {
+            result: None,
+            record: Some(FaultRecord {
+                window: t,
+                kind: fault.kind(),
+                attempts,
+                outcome: WindowOutcome::Aborted,
+            }),
+            injected,
+            retries: (attempts - 1) as u64,
+            abort_fault: Some(fault),
+        },
+        FaultAction::Quarantine => WindowSlot {
+            result: None,
+            record: Some(FaultRecord {
+                window: t,
+                kind: fault.kind(),
+                attempts,
+                outcome: WindowOutcome::Quarantined,
+            }),
+            injected,
+            retries: (attempts - 1) as u64,
+            abort_fault: None,
+        },
+        FaultAction::Substitute => {
+            // One extra deterministic re-synthesis, never injected.
+            attempts += 1;
+            match attempt_window(measurement, obs, t, policy.max_retries + 1, None, metrics) {
+                Ok(r) => WindowSlot {
+                    result: Some(r),
+                    record: Some(FaultRecord {
+                        window: t,
+                        kind: fault.kind(),
+                        attempts,
+                        outcome: WindowOutcome::Substituted,
+                    }),
+                    injected,
+                    retries: (attempts - 1) as u64,
+                    abort_fault: None,
+                },
+                Err(f2) => WindowSlot {
+                    result: None,
+                    record: Some(FaultRecord {
+                        window: t,
+                        kind: f2.kind(),
+                        attempts,
+                        outcome: WindowOutcome::Quarantined,
+                    }),
+                    injected,
+                    retries: (attempts - 1) as u64,
+                    abort_fault: None,
+                },
+            }
+        }
+    }
+}
+
+/// One panic-contained attempt at a window.
+fn attempt_window(
+    measurement: Measurement,
+    obs: &Observatory,
+    t: u64,
+    attempt: u32,
+    plan: Option<InjectedFault>,
+    metrics: Option<&Metrics>,
+) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_window_attempt(measurement, obs, t, attempt, plan, metrics)
+    })) {
+        Ok(r) => r,
+        Err(payload) => Err(WindowFault::Panic {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The synthesize → window → histogram → bin stages for one attempt at
+/// window `t`, with fault classification and (optional) injection.
+/// With `plan = None` and a healthy window this replays the exact
+/// float-op sequence of the pre-fault-tolerance worker, preserving the
+/// bit-identity contract.
+fn run_window_attempt(
+    measurement: Measurement,
+    obs: &Observatory,
+    t: u64,
+    attempt: u32,
+    plan: Option<InjectedFault>,
+    metrics: Option<&Metrics>,
+) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
+    let mut packets = time_stage(metrics, Stage::Synthesize, || {
+        obs.packets_at_retry(t, attempt)
+    })?;
+    if let Some(m) = metrics {
+        m.add_packets(packets.len() as u64);
+    }
+    match plan {
+        Some(InjectedFault::Truncate) => {
+            let keep = packets.len() / 2;
+            packets.truncate(keep);
+        }
+        Some(InjectedFault::DuplicateStorm) => {
+            if let Some(&first) = packets.first() {
+                for p in packets.iter_mut() {
+                    *p = first;
+                }
+            }
+        }
+        _ => {}
+    }
+    let n_v = obs.config().n_v;
+    if packets.len() as u64 != n_v {
+        return Err(WindowFault::Truncated {
+            expected: n_v,
+            actual: packets.len() as u64,
+        });
+    }
+    if plan == Some(InjectedFault::WorkerPanic) {
+        panic!("injected fault: worker panic in window {t} (attempt {attempt})");
+    }
+    let w = time_stage(metrics, Stage::Window, || {
+        PacketWindow::from_packets(t, &packets)
+    });
+    let h = time_stage(metrics, Stage::Histogram, || measurement.histogram(&w));
+    if w.n_v() > 0 && h.is_empty() {
+        return Err(WindowFault::EmptyHistogram);
+    }
+    // Support-collapse heuristic: a real window of ≥ 16 packets never
+    // concentrates on ≤ 2 histogram entries; a duplicate-edge storm
+    // does.
+    if w.n_v() >= 16 && h.total() <= 2 {
+        return Err(WindowFault::Degenerate { support: h.total() });
+    }
+    let one = time_stage(metrics, Stage::Bin, || -> Result<BinStats, WindowFault> {
+        let mut dc = DifferentialCumulative::from_histogram(&h);
+        if plan == Some(InjectedFault::NanBin) && dc.n_bins() > 0 {
+            let mut values: Vec<f64> = (0..dc.n_bins()).map(|i| dc.value(i)).collect();
+            let poison = t as usize % values.len();
+            values[poison] = f64::NAN;
+            dc = DifferentialCumulative::from_values(values);
+        }
+        for i in 0..dc.n_bins() {
+            if !dc.value(i).is_finite() {
+                return Err(WindowFault::NonFiniteBin { bin: i });
+            }
+        }
+        let mut one = BinStats::new();
+        one.push(&dc);
+        Ok(one)
+    })?;
+    Ok((one, h.d_max(), h))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::InjectionSpec;
     use crate::observatory::{Observatory, ObservatoryConfig};
     use crate::packets::{EdgeIntensity, Packet};
     use palu_graph::palu_gen::PaluGenerator;
@@ -475,6 +830,129 @@ mod tests {
         // Every expensive stage ran and was timed.
         assert!(snap.synthesize_ns > 0, "{snap:?}");
         assert!(snap.histogram_ns > 0, "{snap:?}");
+    }
+
+    #[test]
+    fn checked_engine_clean_run_matches_legacy_bitwise() {
+        let mut serial_obs = observatory(11);
+        let windows = serial_obs.windows(7);
+        let serial = Pipeline::pool(Measurement::UndirectedDegree, &windows);
+        let mut obs = observatory(11);
+        let ft = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            7,
+            3,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap();
+        assert!(ft.report.is_clean());
+        assert_eq!(ft.report.survivors, 7);
+        assert_eq!(ft.pooled.windows, serial.windows);
+        assert_eq!(ft.pooled.d_max, serial.d_max);
+        for i in 0..serial.mean.n_bins() {
+            assert_eq!(
+                ft.pooled.mean.value(i).to_bits(),
+                serial.mean.value(i).to_bits(),
+                "mean bin {i}"
+            );
+            assert_eq!(
+                ft.pooled.sigma[i].to_bits(),
+                serial.sigma[i].to_bits(),
+                "sigma bin {i}"
+            );
+        }
+        // The merged histogram is the sum of the survivors' histograms.
+        let total: u64 = windows
+            .iter()
+            .map(|w| w.undirected_degree_histogram().total())
+            .sum();
+        assert_eq!(ft.histogram.total(), total);
+    }
+
+    #[test]
+    fn checked_engine_rejects_zero_windows() {
+        let mut obs = observatory(12);
+        let err = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            0,
+            4,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::ZeroWindows);
+        // The legacy wrapper preserves the old silent-empty contract.
+        let pooled = Pipeline::pool_observatory_parallel(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            0,
+            4,
+            None,
+        );
+        assert_eq!(pooled.windows, 0);
+    }
+
+    #[test]
+    fn abort_policy_surfaces_the_first_faulted_window() {
+        let mut obs = observatory(13);
+        let inj = Injector::new(
+            InjectionSpec {
+                truncate: 1.0,
+                ..InjectionSpec::none()
+            },
+            5,
+        );
+        let err = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            6,
+            2,
+            None,
+            &FailurePolicy::strict(),
+            Some(&inj),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::WindowAborted {
+                window,
+                attempts,
+                fault,
+            } => {
+                assert_eq!(window, 0, "first faulted window in window order");
+                assert_eq!(attempts, 1);
+                assert!(matches!(fault, WindowFault::Truncated { .. }), "{fault:?}");
+            }
+            other => panic!("expected WindowAborted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_overflow_respects_the_threshold() {
+        let inj = Injector::new(InjectionSpec::uniform(1.0), 6);
+        let tight = FailurePolicy {
+            quarantine_threshold: 0.25,
+            ..FailurePolicy::quarantine(0)
+        };
+        let mut obs = observatory(14);
+        let err = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            4,
+            None,
+            &tight,
+            Some(&inj),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PipelineError::QuarantineOverflow { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

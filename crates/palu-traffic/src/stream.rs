@@ -132,7 +132,7 @@ mod tests {
             .generate(&mut Xoshiro256pp::seed_from_u64(seed));
         let mut rng = Xoshiro256pp::seed_from_u64(seed + 1);
         let syn = PacketSynthesizer::new(&net.graph, EdgeIntensity::Uniform, &mut rng);
-        syn.draw_many(&mut rng, n)
+        syn.draw_many(&mut rng, n).unwrap()
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! exactly `N_V` packets into a sparse matrix `A_t` and exposes the
 //! Table I aggregates and Figure 1 quantity histograms.
 
+use crate::fault::WindowFault;
 use crate::packets::Packet;
 use palu_sparse::aggregates::Aggregates;
 use palu_sparse::coo::CooMatrix;
@@ -41,31 +42,42 @@ impl PacketWindow {
     /// anonymized addresses): ids are densely re-labeled in order of
     /// first appearance before aggregation. Every statistic the
     /// pipeline computes is invariant under this relabeling.
-    pub fn from_packets_compacted(t: u64, packets: &[Packet]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`WindowFault::HostIdOverflow`] if the window holds more
+    /// distinct host ids than `u32` can relabel — a typed fault the
+    /// pipeline's quarantine machinery can classify, rather than a
+    /// panic. (The map holds at most one entry per distinct `u32` id,
+    /// so in practice the relabeling always fits; the check replaces a
+    /// silent truncation, not a reachable panic.)
+    pub fn from_packets_compacted(t: u64, packets: &[Packet]) -> Result<Self, WindowFault> {
         // Lookup-only relabel map, never iterated; labels are assigned in
         // packet order (first appearance), so the output is deterministic.
         // lint:allow(R2)
-        let mut ids: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        // Same lookup-only map in the closure signature. lint:allow(R2)
-        let compact = |id: u32, ids: &mut std::collections::HashMap<u32, u32>| -> u32 {
-            // The map holds at most one entry per distinct u32 id, so
-            // its size always fits — but make the conversion checked
-            // rather than silently truncating.
-            let next = u32::try_from(ids.len())
-                .unwrap_or_else(|_| panic!("more than u32::MAX distinct host ids in one window"));
-            *ids.entry(id).or_insert(next)
+        type IdMap = std::collections::HashMap<u32, u32>;
+        let mut ids = IdMap::new();
+        let compact = |id: u32, ids: &mut IdMap| -> Result<u32, WindowFault> {
+            if let Some(&label) = ids.get(&id) {
+                return Ok(label);
+            }
+            let next = u32::try_from(ids.len()).map_err(|_| WindowFault::HostIdOverflow {
+                distinct: ids.len() as u64,
+            })?;
+            ids.insert(id, next);
+            Ok(next)
         };
         let mut coo = CooMatrix::with_capacity(packets.len());
         for p in packets {
-            let s = compact(p.src, &mut ids);
-            let d = compact(p.dst, &mut ids);
+            let s = compact(p.src, &mut ids)?;
+            let d = compact(p.dst, &mut ids)?;
             coo.push_packet(s, d);
         }
-        PacketWindow {
+        Ok(PacketWindow {
             matrix: coo.to_csr(),
             n_v: packets.len() as u64,
             t,
-        }
+        })
     }
 
     /// The sparse matrix `A_t`.
@@ -212,7 +224,7 @@ mod tests {
             })
             .collect();
         let dense = PacketWindow::from_packets(0, &packets());
-        let compact = PacketWindow::from_packets_compacted(0, &sparse);
+        let compact = PacketWindow::from_packets_compacted(0, &sparse).unwrap();
         assert_eq!(dense.aggregates(), compact.aggregates());
         assert_eq!(
             dense.undirected_degree_histogram(),

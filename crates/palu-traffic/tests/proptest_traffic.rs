@@ -78,7 +78,7 @@ proptest! {
             })
             .collect();
         let dense = PacketWindow::from_packets(0, &ps);
-        let compact = PacketWindow::from_packets_compacted(0, &shifted);
+        let compact = PacketWindow::from_packets_compacted(0, &shifted).unwrap();
         prop_assert_eq!(dense.aggregates(), compact.aggregates());
         prop_assert_eq!(
             dense.undirected_degree_histogram(),

@@ -95,7 +95,7 @@ fn compaction_preserves_all_statistics() {
             })
             .collect();
         let dense = PacketWindow::from_packets(0, &ps);
-        let compact = PacketWindow::from_packets_compacted(0, &shifted);
+        let compact = PacketWindow::from_packets_compacted(0, &shifted).unwrap();
         assert_eq!(dense.aggregates(), compact.aggregates());
         assert_eq!(
             dense.undirected_degree_histogram(),

@@ -38,7 +38,11 @@ fn main() {
         total_packets / n_v
     );
     let mut packet_rng = Xoshiro256pp::seed_from_u64(3);
-    let stream = (0..total_packets).map(move |_| synthesizer.draw(&mut packet_rng));
+    let stream = (0..total_packets).map(move |_| {
+        synthesizer
+            .draw(&mut packet_rng)
+            .expect("synthesizer built from a non-empty network")
+    });
 
     let pooled = StreamStats::new(Measurement::UndirectedDegree).consume(stream, n_v);
     println!(

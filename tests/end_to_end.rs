@@ -71,7 +71,7 @@ fn packet_budget_and_edge_probability_agree() {
         palu_traffic::packets::PacketSynthesizer::new(&net_graph, EdgeIntensity::Uniform, &mut rng);
     let target_p = 0.5;
     let n_v = syn.packets_for_p(target_p);
-    let packets = syn.draw_many(&mut rng, n_v as usize);
+    let packets = syn.draw_many(&mut rng, n_v as usize).unwrap();
     let distinct: std::collections::HashSet<_> = packets
         .iter()
         .map(|p| (p.src.min(p.dst), p.src.max(p.dst)))

@@ -1,0 +1,223 @@
+//! Tier-1 contract for the fault-tolerant measurement pipeline.
+//!
+//! The guarantees under test:
+//!
+//! 1. **Deterministic injection** — the same seed and injection spec
+//!    produce the same `FaultReport` and bit-identical pooled
+//!    `D(d_i)` at 1, 2, and 8 threads, and across reruns.
+//! 2. **Exact accounting** — with zero retries, the report's injected
+//!    count equals an independent recount of the injector's plans.
+//! 3. **Substitution closure** — the substitute policy always delivers
+//!    `n` surviving windows, whatever was injected.
+//! 4. **Clean-path identity** — with no injector and a strict policy,
+//!    the checked engine is bit-identical to the serial fold.
+//! 5. **Panic containment** — injected worker panics are caught and
+//!    classified, never propagated out of the pipeline.
+
+use palu_suite::prelude::*;
+use palu_traffic::observatory::ObservatoryConfig;
+use palu_traffic::packets::EdgeIntensity;
+use palu_traffic::pipeline::Measurement;
+use palu_traffic::{FailurePolicy, FaultKind, InjectionSpec, Injector, WindowOutcome};
+
+fn observatory(seed: u64, n_v: u64) -> Observatory {
+    let gen = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5)
+        .unwrap()
+        .generator(30_000)
+        .unwrap();
+    Observatory::new(
+        ObservatoryConfig {
+            name: "fault-injection test".to_string(),
+            date: String::new(),
+            n_v,
+        },
+        &gen,
+        EdgeIntensity::Uniform,
+        seed,
+    )
+}
+
+#[test]
+fn half_rate_injection_is_deterministic_across_threads_and_reruns() {
+    const WINDOWS: usize = 64;
+    let policy = FailurePolicy::quarantine(1);
+    let spec = InjectionSpec::uniform(0.5);
+    let mut reference = None;
+    for (threads, seed_round) in [(1usize, 0), (2, 0), (8, 0), (8, 1)] {
+        let mut obs = observatory(21, 2_000);
+        let injector = Injector::new(spec, 77);
+        let ft = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            WINDOWS,
+            threads,
+            None,
+            &policy,
+            Some(&injector),
+        )
+        .unwrap();
+        assert!(ft.report.injected > 0, "50% rate over 64 windows");
+        assert_eq!(
+            ft.report.survivors + ft.report.quarantined,
+            WINDOWS as u64,
+            "every window is disposed exactly once (round {seed_round})"
+        );
+        match &reference {
+            None => reference = Some(ft),
+            Some(want) => {
+                assert_eq!(ft.report, want.report, "threads = {threads}");
+                assert_eq!(
+                    ft.pooled.windows, want.pooled.windows,
+                    "threads = {threads}"
+                );
+                for (i, ((_, got), (_, expect))) in ft
+                    .pooled
+                    .mean
+                    .iter()
+                    .zip(want.pooled.mean.iter())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        got.to_bits(),
+                        expect.to_bits(),
+                        "mean bin {i} differs at {threads} threads"
+                    );
+                }
+                for (i, (got, expect)) in ft
+                    .pooled
+                    .sigma
+                    .iter()
+                    .zip(want.pooled.sigma.iter())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        got.to_bits(),
+                        expect.to_bits(),
+                        "sigma bin {i} differs at {threads} threads"
+                    );
+                }
+                assert_eq!(ft.histogram, want.histogram, "threads = {threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_count_matches_an_independent_plan_recount() {
+    // With zero retries every window runs exactly one attempt, so the
+    // report's injected counter must equal the number of windows whose
+    // first-attempt plan is Some.
+    const WINDOWS: usize = 32;
+    let spec = InjectionSpec::uniform(0.4);
+    let mut obs = observatory(5, 2_000);
+    let injector = Injector::new(spec, 13);
+    let ft = Pipeline::pool_observatory_checked(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        4,
+        None,
+        &FailurePolicy::quarantine(0),
+        Some(&injector),
+    )
+    .unwrap();
+    let recount = Injector::new(spec, 13);
+    let expected = (0..WINDOWS as u64)
+        .filter(|&t| recount.plan(t, 0).is_some())
+        .count() as u64;
+    assert_eq!(ft.report.injected, expected);
+    // Each planted fault shows up as exactly one record, and nothing
+    // else does.
+    assert_eq!(ft.report.records.len() as u64, expected);
+}
+
+#[test]
+fn substitute_policy_always_delivers_every_window() {
+    const WINDOWS: usize = 16;
+    let mut obs = observatory(9, 2_000);
+    let injector = Injector::new(InjectionSpec::uniform(0.8), 3);
+    let ft = Pipeline::pool_observatory_checked(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        4,
+        None,
+        &FailurePolicy::substitute(1),
+        Some(&injector),
+    )
+    .unwrap();
+    assert_eq!(ft.pooled.windows, WINDOWS as u64);
+    assert_eq!(ft.report.survivors, WINDOWS as u64);
+    assert_eq!(ft.report.quarantined, 0);
+    assert!(
+        ft.report.substituted > 0,
+        "80% rate must force substitutions"
+    );
+    assert!(ft
+        .report
+        .records
+        .iter()
+        .all(|r| r.outcome != WindowOutcome::Quarantined));
+}
+
+#[test]
+fn clean_checked_run_is_bit_identical_to_the_serial_fold() {
+    const WINDOWS: usize = 12;
+    let serial = {
+        let obs = observatory(33, 3_000);
+        let windows: Vec<PacketWindow> = (0..WINDOWS as u64).map(|t| obs.window_at(t)).collect();
+        Pipeline::pool(Measurement::UndirectedDegree, &windows)
+    };
+    let mut obs = observatory(33, 3_000);
+    let ft = Pipeline::pool_observatory_checked(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        8,
+        None,
+        &FailurePolicy::strict(),
+        None,
+    )
+    .unwrap();
+    assert!(ft.report.is_clean());
+    assert_eq!(ft.pooled.windows, serial.windows);
+    assert_eq!(ft.pooled.d_max, serial.d_max);
+    for ((_, got), (_, want)) in ft.pooled.mean.iter().zip(serial.mean.iter()) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+    for (got, want) in ft.pooled.sigma.iter().zip(serial.sigma.iter()) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+}
+
+#[test]
+fn worker_panics_are_contained_and_classified() {
+    const WINDOWS: usize = 6;
+    let spec = InjectionSpec {
+        truncate: 0.0,
+        nan: 0.0,
+        duplicate: 0.0,
+        panic: 1.0,
+    };
+    let mut obs = observatory(2, 2_000);
+    let injector = Injector::new(spec, 1);
+    let ft = Pipeline::pool_observatory_checked(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        3,
+        None,
+        &FailurePolicy::quarantine(0),
+        Some(&injector),
+    )
+    .unwrap();
+    assert_eq!(ft.report.quarantined, WINDOWS as u64);
+    assert_eq!(ft.report.survivors, 0);
+    assert!(ft
+        .report
+        .records
+        .iter()
+        .all(|r| r.kind == FaultKind::Panic && r.outcome == WindowOutcome::Quarantined));
+    // An all-quarantined run still yields a well-formed (empty) pool.
+    assert_eq!(ft.pooled.windows, 0);
+}

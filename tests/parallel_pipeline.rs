@@ -164,7 +164,7 @@ fn streaming_pool_agrees_with_parallel_pool() {
     const WINDOWS: usize = 16;
     let obs = observatory(99, 3_000);
     let packets: Vec<palu_traffic::packets::Packet> = (0..WINDOWS as u64)
-        .flat_map(|t| obs.packets_at(t))
+        .flat_map(|t| obs.packets_at(t).unwrap())
         .collect();
     let streamed = palu_traffic::stream::StreamStats::new(Measurement::UndirectedDegree)
         .consume(packets.into_iter(), 3_000);
