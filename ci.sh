@@ -60,4 +60,85 @@ for rate in 0 0.05 0.5; do
     fi
 done
 
+echo "== crash-recovery smoke (SIGKILL mid-capture + resume) =="
+# A durable capture killed with SIGKILL must resume from its journal
+# and finish with output bit-identical to an uninterrupted run
+# (DESIGN.md §4f). Same workload, three runs: reference, killed,
+# resumed.
+jr_dir="$smoke_dir/journal"
+mkdir -p "$jr_dir"
+sim_args=(simulate
+    --core 0.5 --leaves 0.2 --lambda 2.0 --alpha 2.0
+    --nodes 20000 --nv 150000 --windows 64 --seed 7
+    --fail-policy quarantine --max-retries 1)
+
+cargo run -q --release -p palu-cli -- "${sim_args[@]}" \
+    --out "$jr_dir/ref.txt" --metrics "$jr_dir/ref.json" 2>/dev/null
+
+cargo run -q --release -p palu-cli -- "${sim_args[@]}" \
+    --journal "$jr_dir/capture.journal" \
+    --out "$jr_dir/killed.txt" --metrics "$jr_dir/killed.json" 2>/dev/null &
+sim_pid=$!
+# Let the journal accumulate a prefix of window records, then kill -9.
+for _ in $(seq 1 400); do
+    jr_size=$(stat -c %s "$jr_dir/capture.journal" 2>/dev/null || echo 0)
+    [ "$jr_size" -gt 5000 ] && break
+    sleep 0.02
+done
+kill -9 "$sim_pid" 2>/dev/null || true
+wait "$sim_pid" 2>/dev/null || true
+
+cargo run -q --release -p palu-cli -- "${sim_args[@]}" \
+    --journal "$jr_dir/capture.journal" --resume \
+    --out "$jr_dir/resumed.txt" --metrics "$jr_dir/resumed.json" \
+    2>"$jr_dir/resume.log"
+
+cmp "$jr_dir/ref.txt" "$jr_dir/resumed.txt"
+# The fault-report section must match the uninterrupted run exactly
+# (the journal counters that differ by construction precede it).
+sed -n '/"fault_report"/,$p' "$jr_dir/ref.json" >"$jr_dir/ref_report.json"
+sed -n '/"fault_report"/,$p' "$jr_dir/resumed.json" >"$jr_dir/resumed_report.json"
+diff "$jr_dir/ref_report.json" "$jr_dir/resumed_report.json"
+recovered=$(grep '"windows_recovered"' "$jr_dir/resumed.json" | head -1 | tr -dc '0-9')
+echo "crash recovery: resume replayed ${recovered:-0} journaled window(s), output bit-identical"
+if [ "${recovered:-0}" = 0 ]; then
+    echo "ci: resume should replay at least one journaled window" >&2
+    exit 1
+fi
+
+# A corrupted journal must be refused with a typed fault — no panic,
+# no silent partial resume. Flip one payload byte inside the first
+# window record (offset 60: past the 51-byte header record and the
+# record's own length/CRC prefix).
+cur=$(dd if="$jr_dir/capture.journal" bs=1 skip=60 count=1 status=none | od -An -tu1 | tr -d '[:space:]')
+printf "$(printf '\\x%02x' $(((cur + 1) % 256)))" \
+    | dd of="$jr_dir/capture.journal" bs=1 seek=60 conv=notrunc status=none
+if cargo run -q --release -p palu-cli -- "${sim_args[@]}" \
+    --journal "$jr_dir/capture.journal" --resume \
+    --out "$jr_dir/corrupt.txt" 2>"$jr_dir/corrupt.log"; then
+    echo "ci: corrupted journal must refuse to resume" >&2
+    exit 1
+fi
+grep -qiE "checksum|malformed" "$jr_dir/corrupt.log" || {
+    echo "ci: corruption refusal should name a typed journal fault:" >&2
+    cat "$jr_dir/corrupt.log" >&2
+    exit 1
+}
+echo "crash recovery: corrupted journal refused with a typed fault"
+
+echo "== stall watchdog smoke =="
+# A window exceeding --window-deadline-ms is classified Stalled and
+# flows through quarantine into the fault report.
+cargo run -q --release -p palu-cli -- simulate \
+    --core 0.5 --leaves 0.2 --lambda 2.0 --alpha 2.0 \
+    --nodes 20000 --nv 5000 --windows 2 --seed 9 \
+    --inject-faults stall=1.0 --window-deadline-ms 40 \
+    --fail-policy quarantine --max-retries 0 \
+    --metrics "$jr_dir/stall.json" --out "$jr_dir/stall.txt" 2>/dev/null
+grep -q '"stalled"' "$jr_dir/stall.json" || {
+    echo "ci: stalled windows must be visible in the fault report" >&2
+    exit 1
+}
+echo "stall watchdog: Stalled verdicts present in fault report"
+
 echo "ci: all green"

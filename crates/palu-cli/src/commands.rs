@@ -168,13 +168,24 @@ COMMANDS:
              Fault tolerance (deterministic per seed+spec):
              [--inject-faults SPEC]   seeded fault injector; SPEC is a
                bare rate (split evenly) or kind=rate pairs from
-               truncate,nan,dup,panic, e.g. 0.5 or truncate=0.2,panic=0.1
+               truncate,nan,dup,panic,stall, e.g. 0.5 or
+               truncate=0.2,panic=0.1
              [--fail-policy abort|quarantine|substitute]  (default abort)
              [--max-retries K=1]      fresh-seed retries per window
              [--quarantine-threshold F=1.0]  max quarantined fraction
+             [--window-deadline-ms MS]  stall watchdog: an attempt
+               exceeding MS is classified `stalled` and retried /
+               quarantined like any other window fault
              With injection active a fault report (per-window kind,
              attempts, outcome; restart-ladder rungs) is appended to
              the --metrics JSON and summarized on stderr
+             Durable checkpoint/resume (crash-equivalent capture):
+             [--journal FILE]  append each completed window to a CRC32
+               write-ahead journal; [--resume] replay completed windows
+               from FILE instead of recomputing them. A resumed capture
+               is bit-identical to an uninterrupted one at any kill
+               point and --threads value; a journal from a different
+               seed/parameter set (or with corrupt records) is refused
   gof        Goodness-of-fit report for a degree histogram: CSN
              semiparametric bootstrap p-value + power-law-vs-lognormal
              Vuong test; the CSN fit runs a deterministic restart
@@ -394,8 +405,9 @@ fn cmd_census(args: &ParsedArgs) -> Result<(), CliError> {
     })
 }
 
-/// Parse the `--fail-policy` / `--max-retries` / `--quarantine-threshold`
-/// trio into a [`palu_traffic::FailurePolicy`].
+/// Parse the `--fail-policy` / `--max-retries` /
+/// `--quarantine-threshold` / `--window-deadline-ms` options into a
+/// [`palu_traffic::FailurePolicy`].
 fn parse_fail_policy(args: &ParsedArgs) -> Result<palu_traffic::FailurePolicy, CliError> {
     use palu_traffic::{FailurePolicy, FaultAction};
     let max_retries = args.u64_or("max-retries", 1)?;
@@ -417,16 +429,30 @@ fn parse_fail_policy(args: &ParsedArgs) -> Result<palu_traffic::FailurePolicy, C
             )))
         }
     };
+    let window_deadline_ms = match args.options.get("window-deadline-ms") {
+        None => None,
+        Some(_) => {
+            let ms = args.u64_or("window-deadline-ms", 0)?;
+            if ms == 0 {
+                return Err(CliError::usage(
+                    "--window-deadline-ms must be a positive number of milliseconds",
+                ));
+            }
+            Some(ms)
+        }
+    };
     Ok(FailurePolicy {
         on_fault,
         max_retries,
         quarantine_threshold: threshold,
+        window_deadline_ms,
     })
 }
 
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     use palu_stats::mle::{fit_csn_with_restarts, CsnOptions};
     use palu_stats::restart::RestartPolicy;
+    use palu_traffic::journal::{fingerprint64, Journal, JournalHeader};
     use palu_traffic::metrics::Metrics;
     use palu_traffic::observatory::{Observatory, ObservatoryConfig};
     use palu_traffic::packets::EdgeIntensity;
@@ -485,11 +511,65 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
         threads,
         obs.effective_p()
     );
+    // Durable checkpoint/resume: the journal identity binds the seed,
+    // window geometry, and every result-shaping parameter — but NOT
+    // the thread count (the merge is bit-identical across --threads)
+    // and NOT the stall deadline (watchdog verdicts are operational,
+    // not part of the captured data).
+    let resume = args.options.contains_key("resume");
+    let journal_state = match args.options.get("journal").filter(|s| !s.is_empty()) {
+        Some(path) => {
+            let parts: Vec<String> = vec![
+                "measurement=undirected-degree".to_string(),
+                format!("nodes={nodes}"),
+                format!("core={core}"),
+                format!("leaves={leaves}"),
+                format!("lambda={lambda}"),
+                format!("alpha={alpha}"),
+                format!("fail-policy={:?}", policy.on_fault),
+                format!("max-retries={}", policy.max_retries),
+                format!("quarantine-threshold={}", policy.quarantine_threshold),
+                format!("inject-faults={}", args.get_or("inject-faults", "")),
+            ];
+            let header = JournalHeader {
+                seed,
+                n_v,
+                windows: n_windows as u64,
+                fingerprint: fingerprint64(parts.iter().map(String::as_str)),
+            };
+            if resume && Path::new(path).exists() {
+                let (journal, recovery) = Journal::resume(path, header)
+                    .map_err(|e| CliError::runtime(format!("journal: {e}")))?;
+                eprintln!(
+                    "journal: resumed {} of {} windows from {path} ({} bytes replayed, \
+                     {} torn record(s) dropped)",
+                    recovery.windows.len(),
+                    n_windows,
+                    recovery.bytes_replayed,
+                    recovery.torn_records_dropped
+                );
+                Some((journal, Some(recovery)))
+            } else {
+                if resume {
+                    eprintln!("journal: {path} does not exist yet, starting a fresh capture");
+                }
+                let journal = Journal::create(path, header)
+                    .map_err(|e| CliError::runtime(format!("journal: {e}")))?;
+                Some((journal, None))
+            }
+        }
+        None => {
+            if resume {
+                return Err(CliError::usage("--resume requires --journal <path>"));
+            }
+            None
+        }
+    };
     // Sharded synthesize → window → histogram → bin with a
     // deterministic window-ordered merge: bit-identical to the serial
     // pipeline for any --threads value, fault-tolerant per --fail-policy.
     let metrics = Metrics::new();
-    let mut ft = Pipeline::pool_observatory_checked(
+    let mut ft = Pipeline::pool_observatory_durable(
         Measurement::UndirectedDegree,
         &mut obs,
         n_windows,
@@ -497,6 +577,8 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
         Some(&metrics),
         &policy,
         injector.as_ref(),
+        journal_state.as_ref().map(|(j, _)| j),
+        journal_state.as_ref().and_then(|(_, r)| r.as_ref()),
     )
     .map_err(|e| CliError::runtime(format!("pipeline: {e}")))?;
     if injector.is_some() {
@@ -538,6 +620,27 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
         let snap = metrics.snapshot();
         let mut doc = metrics_json(&snap);
         if let JsonValue::Object(pairs) = &mut doc {
+            // The journal object precedes fault_report so consumers
+            // slicing the document from "fault_report" onward (the CI
+            // crash-recovery diff) see identical bytes for a resumed
+            // and an uninterrupted capture.
+            if let Some((journal, _)) = &journal_state {
+                pairs.push((
+                    "journal".to_string(),
+                    JsonValue::obj([
+                        ("windows_recovered", JsonValue::UInt(snap.windows_recovered)),
+                        (
+                            "bytes_replayed",
+                            JsonValue::UInt(snap.journal_bytes_replayed),
+                        ),
+                        (
+                            "torn_records_dropped",
+                            JsonValue::UInt(snap.journal_torn_dropped),
+                        ),
+                        ("bytes_appended", JsonValue::UInt(journal.appended_bytes())),
+                    ]),
+                ));
+            }
             pairs.push(("fault_report".to_string(), fault_report_json(&ft.report)));
         }
         std::fs::write(path, doc.pretty())
@@ -979,6 +1082,165 @@ mod tests {
         argv.extend(["--windows", "2", "--quarantine-threshold", "1.5"]);
         let e = run(&parse(&argv)).unwrap_err();
         assert!(e.message.contains("quarantine-threshold"), "{}", e.message);
+
+        let mut argv = base.to_vec();
+        argv.extend(["--windows", "2", "--window-deadline-ms", "0"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert!(e.message.contains("window-deadline-ms"), "{}", e.message);
+
+        let mut argv = base.to_vec();
+        argv.extend(["--windows", "2", "--resume"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--journal"), "{}", e.message);
+    }
+
+    /// Shared base argv for the journal tests: a small but non-trivial
+    /// capture.
+    fn journal_base() -> Vec<&'static str> {
+        vec![
+            "simulate",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--nodes",
+            "20000",
+            "--nv",
+            "10000",
+            "--windows",
+            "6",
+            "--seed",
+            "9",
+        ]
+    }
+
+    #[test]
+    fn simulate_journal_resume_is_bit_identical() {
+        let journal = tmp("sim_journal.journal");
+        let _ = std::fs::remove_file(&journal);
+        let journal_s = journal.to_str().unwrap().to_string();
+        // Uninterrupted durable capture.
+        let out_a = tmp("sim_journal_a.txt");
+        let metrics_a = tmp("sim_journal_a_metrics.json");
+        let mut argv = journal_base();
+        let out_a_s = out_a.to_str().unwrap().to_string();
+        let metrics_a_s = metrics_a.to_str().unwrap().to_string();
+        argv.extend([
+            "--journal",
+            &journal_s,
+            "--out",
+            &out_a_s,
+            "--metrics",
+            &metrics_a_s,
+        ]);
+        run(&parse(&argv)).unwrap();
+        // Simulate a kill: chop the journal mid-record, then resume at
+        // a different thread count.
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() / 2]).unwrap();
+        let out_b = tmp("sim_journal_b.txt");
+        let metrics_b = tmp("sim_journal_b_metrics.json");
+        let mut argv = journal_base();
+        let out_b_s = out_b.to_str().unwrap().to_string();
+        let metrics_b_s = metrics_b.to_str().unwrap().to_string();
+        argv.extend([
+            "--journal",
+            &journal_s,
+            "--resume",
+            "--threads",
+            "3",
+            "--out",
+            &out_b_s,
+            "--metrics",
+            &metrics_b_s,
+        ]);
+        run(&parse(&argv)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out_a).unwrap(),
+            std::fs::read_to_string(&out_b).unwrap(),
+            "resumed pooled series must be bit-identical"
+        );
+        let m = std::fs::read_to_string(&metrics_b).unwrap();
+        assert!(m.contains("\"journal\""), "{m}");
+        assert!(m.contains("\"windows_recovered\""), "{m}");
+        let recovered: u64 = m
+            .lines()
+            .find(|l| l.contains("\"windows_recovered\""))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|v| v.trim().trim_end_matches(',').parse().unwrap())
+            .unwrap();
+        assert!(recovered > 0 && recovered < 6, "recovered {recovered}\n{m}");
+        // The fault-report section is identical across the two runs.
+        let fault_section = |m: &str| {
+            let at = m.find("\"fault_report\"").expect("fault report present");
+            m[at..].to_string()
+        };
+        let m_a = std::fs::read_to_string(&metrics_a).unwrap();
+        assert_eq!(fault_section(&m_a), fault_section(&m));
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn simulate_refuses_corrupt_and_mismatched_journals() {
+        let journal = tmp("sim_journal_corrupt.journal");
+        let _ = std::fs::remove_file(&journal);
+        let journal_s = journal.to_str().unwrap().to_string();
+        let mut argv = journal_base();
+        argv.extend(["--journal", &journal_s]);
+        run(&parse(&argv)).unwrap();
+        // Resuming under a different seed is a typed refusal…
+        let mut argv = journal_base();
+        let pos = argv.iter().position(|a| *a == "--seed").unwrap();
+        argv[pos + 1] = "10";
+        argv.extend(["--journal", &journal_s, "--resume"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("seed mismatch"), "{}", e.message);
+        // …and so is a flipped payload byte (checksum, not torn tail).
+        let mut bytes = std::fs::read(&journal).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&journal, &bytes).unwrap();
+        let mut argv = journal_base();
+        argv.extend(["--journal", &journal_s, "--resume"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(
+            e.message.contains("checksum") || e.message.contains("malformed"),
+            "{}",
+            e.message
+        );
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn simulate_stall_watchdog_reports_stalled_windows() {
+        let metrics = tmp("sim_stall_metrics.json");
+        let metrics_s = metrics.to_str().unwrap().to_string();
+        let mut argv = journal_base();
+        let pos = argv.iter().position(|a| *a == "--windows").unwrap();
+        argv[pos + 1] = "2";
+        argv.extend([
+            "--inject-faults",
+            "stall=1.0",
+            "--window-deadline-ms",
+            "40",
+            "--fail-policy",
+            "quarantine",
+            "--metrics",
+            &metrics_s,
+            "--out",
+            "",
+        ]);
+        run(&parse(&argv)).unwrap();
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"stalled\""), "{m}");
+        assert!(m.contains("\"quarantined\": 2"), "{m}");
     }
 
     #[test]

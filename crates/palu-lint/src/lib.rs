@@ -15,6 +15,9 @@
 //! * **R4 no-unwrap-in-lib** — unwrap/expect in non-test library code
 //!   is budgeted by a shrink-only baseline.
 //! * **R5 pub-doc** — public items need doc comments.
+//! * **R6 journal-atomic** — durable writes in core crates go through
+//!   `palu-traffic`'s journal and its atomic tmp-file+rename
+//!   protocol; no direct file-write APIs elsewhere.
 //!
 //! Built on a hand-rolled comment/string-aware Rust lexer
 //! ([`lexer`]) and a TOML-subset manifest parser ([`manifest`]) — no
@@ -34,7 +37,7 @@ pub mod source;
 
 use diag::{Diagnostic, Severity};
 use manifest::{Manifest, Value};
-use rules::{float_hygiene, hermetic_deps, nondeterminism, pub_doc, unwrap_budget};
+use rules::{float_hygiene, hermetic_deps, journal_atomic, nondeterminism, pub_doc, unwrap_budget};
 use source::SourceFile;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -95,6 +98,7 @@ pub fn run_all(cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
         nondeterminism::check(&file, &mut diags);
         float_hygiene::check(&file, &mut diags);
         pub_doc::check(&file, &mut diags);
+        journal_atomic::check(&file, &mut diags);
         r4_counts.insert(
             file.path.to_string_lossy().into_owned(),
             unwrap_budget::count(&file),

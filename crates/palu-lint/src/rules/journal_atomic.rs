@@ -1,0 +1,170 @@
+//! R6 — journal-atomic.
+//!
+//! The capture journal's crash-equivalence guarantee (DESIGN.md §4f)
+//! rests on every durable write going through one protocol: appends
+//! are length-prefixed and checksummed, and whole-file rewrites go
+//! through temp-file + `rename` so a kill can never leave a
+//! half-written segment behind. That protocol lives in
+//! `palu-traffic/src/journal.rs` — and only there. Core library code
+//! anywhere else must not open files for writing at all: a stray
+//! `File::create` / `OpenOptions` / `fs::write` on a capture path is
+//! exactly the non-atomic write the journal exists to prevent.
+//!
+//! Non-core crates (the CLI, benches) write reports and plots freely;
+//! this rule only runs over the core crates' `src/` trees, like
+//! R2–R5. Test code is exempt, and deliberate exceptions can carry a
+//! `lint:allow(R6)` pragma with a justification.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+/// Qualified write APIs (`base::method`) that bypass the journal's
+/// atomic protocol.
+const BANNED_PATHS: &[(&str, &str)] = &[
+    ("File", "create"),
+    ("File", "options"),
+    ("fs", "write"),
+    ("fs", "rename"),
+];
+
+/// Bare identifiers that always mean "opening a file for writing".
+const BANNED_IDENTS: &[&str] = &["OpenOptions"];
+
+/// Run R6 over one core-crate source file.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if file.path.file_name().is_some_and(|f| f == "journal.rs") {
+        return;
+    }
+    for (i, t) in file.code.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if file.in_test_code(t.line) || file.allowed("R6", t.line) {
+            continue;
+        }
+        if BANNED_IDENTS.contains(&name.as_str()) {
+            diags.push(diag(file, t.line, name));
+            continue;
+        }
+        // `base :: method` — three tokens back from the method name.
+        let qualified = BANNED_PATHS.iter().any(|(base, method)| {
+            method == name
+                && i >= 3
+                && matches!(&file.code[i - 3].tok, Tok::Ident(b) if b == base)
+                && matches!(file.code[i - 2].tok, Tok::Punct(':'))
+                && matches!(file.code[i - 1].tok, Tok::Punct(':'))
+        });
+        if qualified {
+            let base = match &file.code[i - 3].tok {
+                Tok::Ident(b) => b.clone(),
+                _ => unreachable!("matched Ident above"),
+            };
+            diags.push(diag(file, t.line, &format!("{base}::{name}")));
+        }
+    }
+}
+
+fn diag(file: &SourceFile, line: u32, what: &str) -> Diagnostic {
+    Diagnostic::error(
+        &file.path,
+        line,
+        "R6",
+        format!(
+            "`{what}` writes a file without the journal's atomic tmp-file+rename \
+             protocol; durable state in core crates goes through \
+             palu_traffic::journal (or annotate `// lint:allow(R6)` for \
+             non-durable output)"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut diags = Vec::new();
+        check(&f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn direct_file_create_fails() {
+        let diags = run(
+            "crates/palu-traffic/src/pipeline.rs",
+            "fn f() { let _ = std::fs::File::create(\"x.journal\"); }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R6");
+        assert!(diags[0].message.contains("File::create"), "{diags:?}");
+    }
+
+    #[test]
+    fn fs_write_and_rename_and_openoptions_fail() {
+        assert_eq!(
+            run(
+                "src/a.rs",
+                "fn f() { std::fs::write(\"p\", b\"x\").unwrap(); }"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "src/a.rs",
+                "fn f() { std::fs::rename(\"a\", \"b\").unwrap(); }"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "src/a.rs",
+                "fn f() { let o = std::fs::OpenOptions::new(); }"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn journal_module_is_the_sanctioned_home() {
+        let diags = run(
+            "crates/palu-traffic/src/journal.rs",
+            "fn f() { let _ = std::fs::File::create(\"x\"); std::fs::rename(\"a\", \"b\").unwrap(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_and_pragmas_are_exempt() {
+        let diags = run(
+            "src/a.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(\"p\", b\"x\").unwrap(); }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        let diags = run(
+            "src/a.rs",
+            "// plot output, not durable state — lint:allow(R6)\nfn f() { std::fs::write(\"p\", b\"x\").unwrap(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unrelated_create_and_write_idents_pass() {
+        let diags = run(
+            "src/a.rs",
+            "fn f(w: &mut impl std::io::Write) { create(); buf.write(b\"x\"); map.rename(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_ignored() {
+        let diags = run(
+            "src/a.rs",
+            "// File::create would be wrong here\nfn f() -> &'static str { \"fs::write OpenOptions\" }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,12 +1,13 @@
 //! The rule registry.
 //!
-//! Each rule has a stable id (`R1`…`R5`), a short name, and an
+//! Each rule has a stable id (`R1`…`R6`), a short name, and an
 //! implementation. Source rules run per file on a [`SourceFile`];
 //! R1 runs on manifests and R4 aggregates per-file counts against a
 //! checked-in baseline — both are driven by the engine.
 
 pub mod float_hygiene;
 pub mod hermetic_deps;
+pub mod journal_atomic;
 pub mod nondeterminism;
 pub mod pub_doc;
 pub mod unwrap_budget;
@@ -53,6 +54,13 @@ pub const REGISTRY: &[RuleInfo] = &[
         id: "R5",
         name: "pub-doc",
         description: "public items in library crates need doc comments",
+    },
+    RuleInfo {
+        id: "R6",
+        name: "journal-atomic",
+        description: "durable writes in core crates go through palu-traffic's journal \
+                      (atomic tmp-file+rename); no direct File::create/OpenOptions/\
+                      fs::write elsewhere",
     },
 ];
 

@@ -30,7 +30,7 @@ impl CsrMatrix {
         n_cols: NodeId,
     ) -> Self {
         debug_assert!(!row_ptr.is_empty());
-        debug_assert_eq!(*row_ptr.last().unwrap(), cols.len());
+        debug_assert_eq!(row_ptr.last().copied(), Some(cols.len()));
         debug_assert_eq!(cols.len(), vals.len());
         debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!(vals.iter().all(|&v| v > 0), "stored zeros are forbidden");

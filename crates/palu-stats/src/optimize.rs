@@ -300,13 +300,14 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             residual: spread,
         });
     }
-    let best_idx = (0..=n)
-        .min_by(|&i, &j| {
-            fvals[i]
-                .partial_cmp(&fvals[j])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .expect("simplex is non-empty");
+    // Plain fold, not `min_by(..).expect(..)`: ties and NaN both keep
+    // the earlier vertex, matching the comparator this replaces.
+    let mut best_idx = 0;
+    for i in 1..=n {
+        if fvals[i] < fvals[best_idx] {
+            best_idx = i;
+        }
+    }
     Ok(MinNd {
         x: simplex[best_idx].clone(),
         f: fvals[best_idx],

@@ -6,6 +6,7 @@
 //! these. [`Welford`] provides single-pass mean/variance; [`BinStats`]
 //! vectorizes it across bins.
 
+use crate::error::StatsError;
 use crate::logbin::DifferentialCumulative;
 
 /// Welford's online mean/variance accumulator.
@@ -118,11 +119,57 @@ impl Welford {
         self.m2 += other.m2 + delta * delta * n1 * n2 / total;
         self.n += other.n;
     }
+
+    /// Fixed size of the [`Welford::encode_into`] wire form: `n`,
+    /// `mean` bits, `m2` bits, each 8 bytes little-endian.
+    pub const ENCODED_LEN: usize = 24;
+
+    /// Append the byte-exact little-endian wire form to `buf`.
+    ///
+    /// Floats are encoded as their raw IEEE-754 bit patterns
+    /// ([`f64::to_bits`]), so the round trip through
+    /// [`Welford::decode`] preserves every representable value bit for
+    /// bit — including ±0.0, subnormals, and NaN payloads. This is the
+    /// property the capture journal's crash-equivalence guarantee
+    /// rests on: a replayed accumulator merges exactly like the
+    /// original.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.n.to_le_bytes());
+        buf.extend_from_slice(&self.mean.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.m2.to_bits().to_le_bytes());
+    }
+
+    /// Decode one accumulator from the front of `bytes`, returning it
+    /// with the unconsumed remainder.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] when fewer than
+    /// [`Welford::ENCODED_LEN`] bytes remain.
+    pub fn decode(bytes: &[u8]) -> Result<(Welford, &[u8]), StatsError> {
+        if bytes.len() < Self::ENCODED_LEN {
+            return Err(StatsError::domain(
+                "Welford::decode",
+                "truncated input: fewer than 24 bytes",
+            ));
+        }
+        let u = |at: usize| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[at..at + 8]);
+            u64::from_le_bytes(raw)
+        };
+        let w = Welford {
+            n: u(0),
+            mean: f64::from_bits(u(8)),
+            m2: f64::from_bits(u(16)),
+        };
+        Ok((w, &bytes[Self::ENCODED_LEN..]))
+    }
 }
 
 /// Per-bin mean/σ of pooled distributions over consecutive windows:
 /// the paper's `D(d_i)` and `σ(d_i)`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BinStats {
     bins: Vec<Welford>,
     windows: u64,
@@ -201,6 +248,62 @@ impl BinStats {
     /// Number of windows folded in.
     pub fn windows(&self) -> u64 {
         self.windows
+    }
+
+    /// Append the byte-exact little-endian wire form to `buf`: the
+    /// window count, the bin count, then each bin's
+    /// [`Welford::encode_into`] block in order.
+    ///
+    /// The encoding is *state*-exact, not merely value-approximate: a
+    /// decoded accumulator merges through [`BinStats::merge`] with
+    /// bitwise the same result as the original would have — the
+    /// capture journal's crash-equivalence contract.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.windows.to_le_bytes());
+        buf.extend_from_slice(&(self.bins.len() as u64).to_le_bytes());
+        for w in &self.bins {
+            w.encode_into(buf);
+        }
+    }
+
+    /// Decode one accumulator from the front of `bytes`, returning it
+    /// with the unconsumed remainder.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::Domain`] when the header is truncated or the
+    /// declared bin count extends past the available bytes (the
+    /// declared length is validated *before* any allocation, so a
+    /// corrupt count cannot drive an out-of-memory abort).
+    pub fn decode(bytes: &[u8]) -> Result<(BinStats, &[u8]), StatsError> {
+        if bytes.len() < 16 {
+            return Err(StatsError::domain(
+                "BinStats::decode",
+                "truncated input: missing window/bin counts",
+            ));
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[..8]);
+        let windows = u64::from_le_bytes(raw);
+        raw.copy_from_slice(&bytes[8..16]);
+        let n_bins = u64::from_le_bytes(raw);
+        let rest = &bytes[16..];
+        let need = (n_bins as u128) * Welford::ENCODED_LEN as u128;
+        if need > rest.len() as u128 {
+            return Err(StatsError::domain(
+                "BinStats::decode",
+                "declared bin count extends past the available bytes",
+            ));
+        }
+        let n_bins = n_bins as usize;
+        let mut bins = Vec::with_capacity(n_bins);
+        let mut rest = rest;
+        for _ in 0..n_bins {
+            let (w, r) = Welford::decode(rest)?;
+            bins.push(w);
+            rest = r;
+        }
+        Ok((BinStats { bins, windows }, rest))
     }
 
     /// Number of bins tracked so far.

@@ -204,3 +204,151 @@ fn root_finders_agree() {
         assert!((r2 - target).abs() < 1e-5);
     }
 }
+
+// ---- journal codec round-trips (Welford / BinStats byte-exactness) ----
+//
+// The capture journal (palu-traffic, DESIGN.md §4f) persists Welford
+// and BinStats state as raw IEEE-754 bit patterns; a resumed capture
+// is only crash-equivalent if encode → decode → encode reproduces the
+// exact bytes — for every representable value, including the ones
+// float arithmetic folds away: ±0.0, subnormals, and NaN payload bits.
+
+/// Bit patterns a float codec must not canonicalize.
+fn adversarial_bits(rng: &mut Xoshiro256pp) -> u64 {
+    const SPECIALS: [u64; 10] = [
+        0x0000_0000_0000_0000, // +0.0
+        0x8000_0000_0000_0000, // -0.0
+        0x0000_0000_0000_0001, // smallest positive subnormal
+        0x800F_FFFF_FFFF_FFFF, // largest negative subnormal
+        0x7FF0_0000_0000_0000, // +inf
+        0xFFF0_0000_0000_0000, // -inf
+        0x7FF8_0000_0000_0000, // canonical quiet NaN
+        0x7FF8_DEAD_BEEF_CAFE, // quiet NaN with payload
+        0x7FF0_0000_0000_0001, // signaling NaN
+        0xFFFF_FFFF_FFFF_FFFF, // negative NaN, all payload bits set
+    ];
+    if rng.gen::<f64>() < 0.5 {
+        SPECIALS[rng.gen_range(0u64..SPECIALS.len() as u64) as usize]
+    } else {
+        rng.gen::<u64>()
+    }
+}
+
+#[test]
+fn welford_codec_is_byte_exact_on_arbitrary_bits() {
+    use palu_stats::summary::Welford;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x515A);
+    for _ in 0..CASES {
+        // Any 24 bytes decode to *some* Welford; re-encoding must
+        // reproduce them exactly — the codec never canonicalizes.
+        let mut buf = Vec::with_capacity(Welford::ENCODED_LEN);
+        buf.extend_from_slice(&rng.gen::<u64>().to_le_bytes());
+        buf.extend_from_slice(&adversarial_bits(&mut rng).to_le_bytes());
+        buf.extend_from_slice(&adversarial_bits(&mut rng).to_le_bytes());
+        let (w, rest) = Welford::decode(&buf).unwrap();
+        assert!(rest.is_empty());
+        let mut out = Vec::new();
+        w.encode_into(&mut out);
+        assert_eq!(out, buf, "codec canonicalized a bit pattern");
+        // Trailing bytes are handed back untouched.
+        let mut extended = buf.clone();
+        extended.extend_from_slice(&[0xAB, 0xCD]);
+        let (_, rest) = Welford::decode(&extended).unwrap();
+        assert_eq!(rest, &[0xAB, 0xCD]);
+    }
+}
+
+#[test]
+fn welford_codec_roundtrips_pushed_states() {
+    use palu_stats::summary::Welford;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x515B);
+    for _ in 0..CASES {
+        let mut w = Welford::new();
+        for _ in 0..rng.gen_range(0u64..40) {
+            let x = if rng.gen::<f64>() < 0.2 {
+                f64::from_bits(adversarial_bits(&mut rng))
+            } else {
+                uniform(&mut rng, -1e6, 1e6)
+            };
+            w.push(x);
+        }
+        let mut bytes = Vec::new();
+        w.encode_into(&mut bytes);
+        assert_eq!(bytes.len(), Welford::ENCODED_LEN);
+        let (decoded, rest) = Welford::decode(&bytes).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(decoded.count(), w.count());
+        let mut again = Vec::new();
+        decoded.encode_into(&mut again);
+        assert_eq!(again, bytes, "decode → encode drifted");
+    }
+}
+
+#[test]
+fn welford_decode_rejects_truncation() {
+    use palu_stats::summary::Welford;
+    let mut w = Welford::new();
+    w.push(1.5);
+    let mut bytes = Vec::new();
+    w.encode_into(&mut bytes);
+    for cut in 0..bytes.len() {
+        assert!(
+            Welford::decode(&bytes[..cut]).is_err(),
+            "accepted a {cut}-byte prefix"
+        );
+    }
+}
+
+#[test]
+fn binstats_codec_is_byte_exact() {
+    use palu_stats::summary::BinStats;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x515C);
+    for _ in 0..CASES {
+        let mut stats = BinStats::new();
+        for _ in 0..rng.gen_range(0u64..8) {
+            let n_bins = rng.gen_range(0u64..10) as usize;
+            let values: Vec<f64> = (0..n_bins)
+                .map(|_| {
+                    if rng.gen::<f64>() < 0.15 {
+                        f64::from_bits(adversarial_bits(&mut rng))
+                    } else {
+                        rng.gen::<f64>()
+                    }
+                })
+                .collect();
+            stats.push(&DifferentialCumulative::from_values(values));
+        }
+        let mut bytes = Vec::new();
+        stats.encode_into(&mut bytes);
+        let (decoded, rest) = BinStats::decode(&bytes).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(decoded.windows(), stats.windows());
+        assert_eq!(decoded.n_bins(), stats.n_bins());
+        // Bitwise equality via re-encoding (PartialEq is useless under
+        // NaN, which is exactly what the journal must preserve).
+        let mut again = Vec::new();
+        decoded.encode_into(&mut again);
+        assert_eq!(again, bytes, "decode → encode drifted");
+    }
+}
+
+#[test]
+fn binstats_decode_rejects_truncation_and_bogus_lengths() {
+    use palu_stats::summary::BinStats;
+    let mut stats = BinStats::new();
+    stats.push(&DifferentialCumulative::from_values(vec![0.5, 0.25, 0.25]));
+    stats.push(&DifferentialCumulative::from_values(vec![0.4, 0.3, 0.3]));
+    let mut bytes = Vec::new();
+    stats.encode_into(&mut bytes);
+    for cut in 0..bytes.len() {
+        assert!(
+            BinStats::decode(&bytes[..cut]).is_err(),
+            "accepted a {cut}-byte prefix"
+        );
+    }
+    // A huge declared bin count must be rejected by the length check
+    // (before any allocation), not trusted.
+    let mut bogus = bytes.clone();
+    bogus[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(BinStats::decode(&bogus).is_err());
+}

@@ -56,6 +56,14 @@ pub enum WindowFault {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The attempt exceeded the policy's per-window wall-clock
+    /// deadline (the stall watchdog; see DESIGN.md §4f).
+    Stalled {
+        /// Measured attempt duration in milliseconds.
+        elapsed_ms: u64,
+        /// The policy's deadline in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl WindowFault {
@@ -69,6 +77,7 @@ impl WindowFault {
             WindowFault::HostIdOverflow { .. } => FaultKind::HostIdOverflow,
             WindowFault::EmptySynthesizer => FaultKind::EmptySynthesizer,
             WindowFault::Panic { .. } => FaultKind::Panic,
+            WindowFault::Stalled { .. } => FaultKind::Stalled,
         }
     }
 }
@@ -93,6 +102,13 @@ impl std::fmt::Display for WindowFault {
                 write!(f, "synthesizer has no conversations to draw from")
             }
             WindowFault::Panic { message } => write!(f, "worker panic: {message}"),
+            WindowFault::Stalled {
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "window stalled: attempt took {elapsed_ms} ms against a {deadline_ms} ms deadline"
+            ),
         }
     }
 }
@@ -116,6 +132,8 @@ pub enum FaultKind {
     EmptySynthesizer,
     /// See [`WindowFault::Panic`].
     Panic,
+    /// See [`WindowFault::Stalled`].
+    Stalled,
 }
 
 impl FaultKind {
@@ -129,7 +147,39 @@ impl FaultKind {
             FaultKind::HostIdOverflow => "host_id_overflow",
             FaultKind::EmptySynthesizer => "empty_synthesizer",
             FaultKind::Panic => "panic",
+            FaultKind::Stalled => "stalled",
         }
+    }
+
+    /// Stable one-byte wire code for the capture journal. Codes are
+    /// append-only: existing values never change meaning.
+    pub fn code(self) -> u8 {
+        match self {
+            FaultKind::Truncated => 0,
+            FaultKind::EmptyHistogram => 1,
+            FaultKind::Degenerate => 2,
+            FaultKind::NonFiniteBin => 3,
+            FaultKind::HostIdOverflow => 4,
+            FaultKind::EmptySynthesizer => 5,
+            FaultKind::Panic => 6,
+            FaultKind::Stalled => 7,
+        }
+    }
+
+    /// Inverse of [`FaultKind::code`]; `None` for unknown codes (a
+    /// journal written by a future version).
+    pub fn from_code(code: u8) -> Option<FaultKind> {
+        Some(match code {
+            0 => FaultKind::Truncated,
+            1 => FaultKind::EmptyHistogram,
+            2 => FaultKind::Degenerate,
+            3 => FaultKind::NonFiniteBin,
+            4 => FaultKind::HostIdOverflow,
+            5 => FaultKind::EmptySynthesizer,
+            6 => FaultKind::Panic,
+            7 => FaultKind::Stalled,
+            _ => return None,
+        })
     }
 }
 
@@ -166,8 +216,16 @@ pub struct FailurePolicy {
     /// `(t, k)`, so recovery is replayable.
     pub max_retries: u32,
     /// Maximum tolerated quarantined fraction in `[0, 1]`; exceeding
-    /// it fails the run with [`PipelineError::QuarantineOverflow`].
+    /// it (strictly) fails the run with
+    /// [`PipelineError::QuarantineOverflow`] — see
+    /// [`FailurePolicy::overflows`].
     pub quarantine_threshold: f64,
+    /// Per-window stall-watchdog deadline in milliseconds; `None`
+    /// disables the watchdog (and keeps the result path entirely
+    /// clock-free). An attempt that finishes but overran the deadline
+    /// is classified [`FaultKind::Stalled`] and disposed of through
+    /// the ordinary retry/quarantine machinery.
+    pub window_deadline_ms: Option<u64>,
 }
 
 impl FailurePolicy {
@@ -177,6 +235,7 @@ impl FailurePolicy {
             on_fault: FaultAction::Abort,
             max_retries: 0,
             quarantine_threshold: 1.0,
+            window_deadline_ms: None,
         }
     }
 
@@ -186,6 +245,7 @@ impl FailurePolicy {
             on_fault: FaultAction::Quarantine,
             max_retries,
             quarantine_threshold: 1.0,
+            window_deadline_ms: None,
         }
     }
 
@@ -196,7 +256,34 @@ impl FailurePolicy {
             on_fault: FaultAction::Substitute,
             max_retries,
             quarantine_threshold: 1.0,
+            window_deadline_ms: None,
         }
+    }
+
+    /// This policy with the stall watchdog armed at `deadline_ms`.
+    pub fn with_deadline_ms(self, deadline_ms: u64) -> Self {
+        FailurePolicy {
+            window_deadline_ms: Some(deadline_ms),
+            ..self
+        }
+    }
+
+    /// Whether `quarantined` dropped windows out of `windows` exceed
+    /// the tolerated fraction.
+    ///
+    /// The comparison matches the error message's wording exactly: a
+    /// quarantined fraction *strictly above* the threshold overflows;
+    /// exact equality passes. The fraction is compared as
+    /// `quarantined / windows > threshold` rather than
+    /// `quarantined > threshold * windows`, because the latter's
+    /// product can round *down* (e.g. `0.3 * 10.0` is
+    /// `2.999999999999999…`), spuriously failing a run sitting exactly
+    /// on the boundary.
+    pub fn overflows(&self, quarantined: u64, windows: u64) -> bool {
+        if windows == 0 {
+            return false;
+        }
+        quarantined as f64 / windows as f64 > self.quarantine_threshold
     }
 }
 
@@ -228,6 +315,27 @@ impl WindowOutcome {
             WindowOutcome::Substituted => "substituted",
             WindowOutcome::Aborted => "aborted",
         }
+    }
+
+    /// Stable one-byte wire code for the capture journal.
+    pub fn code(self) -> u8 {
+        match self {
+            WindowOutcome::Recovered => 0,
+            WindowOutcome::Quarantined => 1,
+            WindowOutcome::Substituted => 2,
+            WindowOutcome::Aborted => 3,
+        }
+    }
+
+    /// Inverse of [`WindowOutcome::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<WindowOutcome> {
+        Some(match code {
+            0 => WindowOutcome::Recovered,
+            1 => WindowOutcome::Quarantined,
+            2 => WindowOutcome::Substituted,
+            3 => WindowOutcome::Aborted,
+            _ => return None,
+        })
     }
 }
 
@@ -300,6 +408,10 @@ pub enum InjectedFault {
     DuplicateStorm,
     /// Panic on the worker thread (⇒ [`WindowFault::Panic`]).
     WorkerPanic,
+    /// Sleep the attempt past the policy's stall deadline (⇒
+    /// [`WindowFault::Stalled`] when the watchdog is armed; a no-op
+    /// without a deadline).
+    Stall,
 }
 
 impl InjectedFault {
@@ -310,6 +422,7 @@ impl InjectedFault {
             InjectedFault::NanBin => "nan",
             InjectedFault::DuplicateStorm => "dup",
             InjectedFault::WorkerPanic => "panic",
+            InjectedFault::Stall => "stall",
         }
     }
 }
@@ -325,6 +438,11 @@ pub struct InjectionSpec {
     pub duplicate: f64,
     /// Probability of [`InjectedFault::WorkerPanic`] per attempt.
     pub panic: f64,
+    /// Probability of [`InjectedFault::Stall`] per attempt. Not part
+    /// of the [`InjectionSpec::uniform`] split (a stall is only
+    /// observable with the watchdog armed), so it must be requested
+    /// explicitly as `stall=rate`.
+    pub stall: f64,
 }
 
 impl InjectionSpec {
@@ -335,6 +453,7 @@ impl InjectionSpec {
             nan: 0.0,
             duplicate: 0.0,
             panic: 0.0,
+            stall: 0.0,
         }
     }
 
@@ -353,12 +472,14 @@ impl InjectionSpec {
             nan: rate / 4.0,
             duplicate: rate / 4.0,
             panic: rate / 4.0,
+            stall: 0.0,
         }
     }
 
     /// Parse a CLI spec: either a bare total rate (`"0.5"`, split
-    /// evenly) or comma-separated `kind=rate` pairs drawn from
-    /// `truncate`, `nan`, `dup`, `panic` (unnamed kinds default to 0).
+    /// evenly across `truncate`/`nan`/`dup`/`panic`) or
+    /// comma-separated `kind=rate` pairs drawn from `truncate`, `nan`,
+    /// `dup`, `panic`, `stall` (unnamed kinds default to 0).
     ///
     /// # Errors
     ///
@@ -392,9 +513,10 @@ impl InjectionSpec {
                 "nan" => spec.nan = rate,
                 "dup" => spec.duplicate = rate,
                 "panic" => spec.panic = rate,
+                "stall" => spec.stall = rate,
                 other => {
                     return Err(format!(
-                        "unknown fault kind '{other}' (expected truncate, nan, dup, panic)"
+                        "unknown fault kind '{other}' (expected truncate, nan, dup, panic, stall)"
                     ))
                 }
             }
@@ -405,9 +527,9 @@ impl InjectionSpec {
         Ok(spec)
     }
 
-    /// Sum of the four rates.
+    /// Sum of all the rates.
     pub fn total(&self) -> f64 {
-        self.truncate + self.nan + self.duplicate + self.panic
+        self.truncate + self.nan + self.duplicate + self.panic + self.stall
     }
 
     /// True when every rate is zero.
@@ -469,6 +591,10 @@ impl Injector {
         if u < edge {
             return Some(InjectedFault::WorkerPanic);
         }
+        edge += self.spec.stall;
+        if u < edge {
+            return Some(InjectedFault::Stall);
+        }
         None
     }
 }
@@ -498,6 +624,9 @@ pub enum PipelineError {
         /// The policy's tolerated fraction.
         threshold: f64,
     },
+    /// The durable capture journal failed (I/O or corruption); see
+    /// [`crate::journal::JournalFault`].
+    Journal(crate::journal::JournalFault),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -522,6 +651,7 @@ impl std::fmt::Display for PipelineError {
                 f,
                 "{quarantined} of {windows} windows quarantined, above the {threshold} threshold"
             ),
+            PipelineError::Journal(fault) => write!(f, "capture journal: {fault}"),
         }
     }
 }
@@ -530,8 +660,15 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::WindowAborted { fault, .. } => Some(fault),
+            PipelineError::Journal(fault) => Some(fault),
             _ => None,
         }
+    }
+}
+
+impl From<crate::journal::JournalFault> for PipelineError {
+    fn from(fault: crate::journal::JournalFault) -> Self {
+        PipelineError::Journal(fault)
     }
 }
 
@@ -638,6 +775,75 @@ mod tests {
         assert_eq!(WindowOutcome::Quarantined.name(), "quarantined");
         assert_eq!(FaultAction::Substitute.name(), "substitute");
         assert_eq!(InjectedFault::DuplicateStorm.name(), "dup");
+    }
+
+    #[test]
+    fn quarantine_boundary_exact_equality_passes() {
+        // 3 of 10 at threshold 0.3 sits exactly on the boundary: the
+        // message says "above the threshold", so equality must pass.
+        // The old `quarantined > threshold * n` comparison failed it,
+        // because 0.3 * 10.0 rounds to 2.999999999999999… .
+        let policy = FailurePolicy {
+            quarantine_threshold: 0.3,
+            ..FailurePolicy::quarantine(0)
+        };
+        assert!(!policy.overflows(3, 10));
+        assert!(policy.overflows(4, 10));
+        assert!(!policy.overflows(0, 10));
+        // Thresholds 0 and 1 behave as the degenerate ends.
+        let zero = FailurePolicy {
+            quarantine_threshold: 0.0,
+            ..policy
+        };
+        assert!(zero.overflows(1, 10));
+        assert!(!zero.overflows(0, 10));
+        let one = FailurePolicy {
+            quarantine_threshold: 1.0,
+            ..policy
+        };
+        assert!(!one.overflows(10, 10));
+        // Zero windows never overflow (nothing was attempted).
+        assert!(!policy.overflows(0, 0));
+    }
+
+    #[test]
+    fn stall_spec_parses_and_plans() {
+        let s = InjectionSpec::parse("stall=1.0").unwrap();
+        assert_eq!(s.stall, 1.0);
+        assert_eq!(s.truncate, 0.0);
+        let inj = Injector::new(s, 3);
+        assert!((0..20).all(|t| inj.plan(t, 0) == Some(InjectedFault::Stall)));
+        // The uniform split never includes stalls.
+        let u = InjectionSpec::uniform(1.0);
+        assert_eq!(u.stall, 0.0);
+        assert_eq!(InjectedFault::Stall.name(), "stall");
+        assert_eq!(FaultKind::Stalled.name(), "stalled");
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for kind in [
+            FaultKind::Truncated,
+            FaultKind::EmptyHistogram,
+            FaultKind::Degenerate,
+            FaultKind::NonFiniteBin,
+            FaultKind::HostIdOverflow,
+            FaultKind::EmptySynthesizer,
+            FaultKind::Panic,
+            FaultKind::Stalled,
+        ] {
+            assert_eq!(FaultKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_code(250), None);
+        for outcome in [
+            WindowOutcome::Recovered,
+            WindowOutcome::Quarantined,
+            WindowOutcome::Substituted,
+            WindowOutcome::Aborted,
+        ] {
+            assert_eq!(WindowOutcome::from_code(outcome.code()), Some(outcome));
+        }
+        assert_eq!(WindowOutcome::from_code(9), None);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! * [`fault`] — the typed window-failure taxonomy, retry/quarantine
 //!   policies, and the seeded deterministic fault injector behind the
 //!   pipeline's fault tolerance (DESIGN.md §4e).
+//! * [`journal`] — the durable write-ahead capture journal behind
+//!   checkpoint/resume: CRC32-framed window records, torn-tail
+//!   recovery, and typed refusal of corrupt or mismatched journals
+//!   (DESIGN.md §4f).
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
@@ -33,6 +37,8 @@ pub mod anonymize;
 /// Typed window-failure taxonomy, failure policies, and the seeded
 /// deterministic fault injector.
 pub mod fault;
+/// Durable write-ahead capture journal for checkpoint/resume.
+pub mod journal;
 /// Per-stage wall-time and volume instrumentation for the pipeline.
 pub mod metrics;
 /// A named vantage point producing consecutive observation windows.
@@ -50,6 +56,7 @@ pub use fault::{
     FailurePolicy, FaultAction, FaultKind, FaultRecord, FaultReport, InjectedFault, InjectionSpec,
     Injector, PipelineError, WindowFault, WindowOutcome,
 };
+pub use journal::{Journal, JournalFault, JournalHeader, Recovery, WindowEntry, WindowResult};
 pub use metrics::{Metrics, MetricsSnapshot, Stage};
 pub use observatory::Observatory;
 pub use packets::{EdgeIntensity, Packet, PacketSynthesizer};

@@ -81,6 +81,9 @@ pub struct Metrics {
     threads: AtomicU64,
     retries: AtomicU64,
     quarantined: AtomicU64,
+    windows_recovered: AtomicU64,
+    journal_bytes_replayed: AtomicU64,
+    journal_torn_dropped: AtomicU64,
 }
 
 impl Metrics {
@@ -129,6 +132,22 @@ impl Metrics {
         self.quarantined.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` windows replayed from a capture journal instead of
+    /// recomputed.
+    pub fn add_windows_recovered(&self, n: u64) {
+        self.windows_recovered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` journal bytes replayed on resume.
+    pub fn add_journal_bytes_replayed(&self, n: u64) {
+        self.journal_bytes_replayed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` torn tail records dropped during journal recovery.
+    pub fn add_journal_torn_dropped(&self, n: u64) {
+        self.journal_torn_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Freeze the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let ns = |s: Stage| self.stage_ns[s.index()].load(Ordering::Relaxed);
@@ -143,6 +162,9 @@ impl Metrics {
             threads: self.threads.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            windows_recovered: self.windows_recovered.load(Ordering::Relaxed),
+            journal_bytes_replayed: self.journal_bytes_replayed.load(Ordering::Relaxed),
+            journal_torn_dropped: self.journal_torn_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -187,6 +209,12 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     /// Windows quarantined (dropped from the pooled result).
     pub quarantined: u64,
+    /// Windows replayed from a capture journal instead of recomputed.
+    pub windows_recovered: u64,
+    /// Journal bytes replayed on resume.
+    pub journal_bytes_replayed: u64,
+    /// Torn tail records dropped during journal recovery.
+    pub journal_torn_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -226,7 +254,13 @@ mod tests {
         m.add_retries(3);
         m.add_retries(1);
         m.add_quarantined(2);
+        m.add_windows_recovered(5);
+        m.add_journal_bytes_replayed(640);
+        m.add_journal_torn_dropped(1);
         let s = m.snapshot();
+        assert_eq!(s.windows_recovered, 5);
+        assert_eq!(s.journal_bytes_replayed, 640);
+        assert_eq!(s.journal_torn_dropped, 1);
         assert_eq!(s.synthesize_ns, 15);
         assert_eq!(s.merge_ns, 7);
         assert_eq!(s.window_ns, 0);

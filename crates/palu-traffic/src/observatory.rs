@@ -161,6 +161,14 @@ impl Observatory {
         start
     }
 
+    /// Reposition the window counter at index `t`. Window streams are
+    /// splittable by index, so seeking is free — a journal resume (or
+    /// the kill-point sweep test) rewinds one observatory instead of
+    /// rebuilding the synthesizer per replay.
+    pub fn seek(&mut self, t: u64) {
+        self.next_t = t;
+    }
+
     /// Capture the next consecutive window of `N_V` packets.
     pub fn next_window(&mut self) -> PacketWindow {
         let t = self.next_t;

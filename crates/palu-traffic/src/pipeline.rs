@@ -22,6 +22,7 @@ use crate::fault::{
     FailurePolicy, FaultAction, FaultRecord, FaultReport, InjectedFault, Injector, PipelineError,
     WindowFault, WindowOutcome,
 };
+use crate::journal::{Journal, Recovery, WindowEntry, WindowResult};
 use crate::metrics::{time_stage, Metrics, Stage};
 use crate::observatory::Observatory;
 use crate::window::PacketWindow;
@@ -274,6 +275,86 @@ impl Pipeline {
         policy: &FailurePolicy,
         injector: Option<&Injector>,
     ) -> Result<FaultTolerantPool, PipelineError> {
+        Pipeline::pool_engine(
+            measurement,
+            obs,
+            n,
+            threads,
+            metrics,
+            policy,
+            injector,
+            None,
+            None,
+        )
+    }
+
+    /// [`Pipeline::pool_observatory_checked`] with durable
+    /// checkpoint/resume (DESIGN.md §4f).
+    ///
+    /// With `journal` supplied, every finished window (recovered,
+    /// quarantined, or clean — everything except an abort) is appended
+    /// to the write-ahead journal as it completes, so a killed process
+    /// loses at most the windows in flight. With `recovery` supplied
+    /// (from [`Journal::resume`]), journaled windows are *replayed*
+    /// instead of recomputed: their byte-exact [`BinStats`]/histogram
+    /// state drops straight into the window-ordered merge.
+    ///
+    /// **Crash equivalence.** The resumed pooled result is
+    /// bit-identical to an uninterrupted run at any thread count and
+    /// any kill point, because (a) per-window RNG streams are
+    /// splittable by `(window, attempt)`, so recomputed windows do not
+    /// depend on which windows were replayed, (b) the journal stores
+    /// window state as raw IEEE-754 bits, and (c) the merge is
+    /// strictly window-ordered on one thread. The one exception is
+    /// documented: stall verdicts depend on the wall clock, so a
+    /// watchdog-armed run is only crash-equivalent when no stall fires
+    /// (an injected [`InjectedFault::Stall`] is deterministic in
+    /// *which* windows it delays, keeping the CI smoke reproducible).
+    ///
+    /// # Errors
+    ///
+    /// Those of [`Pipeline::pool_observatory_checked`], plus
+    /// [`PipelineError::Journal`] when an append fails — the capture
+    /// never silently continues without durability.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pool_observatory_durable(
+        measurement: Measurement,
+        obs: &mut Observatory,
+        n: usize,
+        threads: usize,
+        metrics: Option<&Metrics>,
+        policy: &FailurePolicy,
+        injector: Option<&Injector>,
+        journal: Option<&Journal>,
+        recovery: Option<&Recovery>,
+    ) -> Result<FaultTolerantPool, PipelineError> {
+        Pipeline::pool_engine(
+            measurement,
+            obs,
+            n,
+            threads,
+            metrics,
+            policy,
+            injector,
+            journal,
+            recovery,
+        )
+    }
+
+    /// The engine behind both checked entry points; `journal` and
+    /// `recovery` are `None` on the non-durable path.
+    #[allow(clippy::too_many_arguments)]
+    fn pool_engine(
+        measurement: Measurement,
+        obs: &mut Observatory,
+        n: usize,
+        threads: usize,
+        metrics: Option<&Metrics>,
+        policy: &FailurePolicy,
+        injector: Option<&Injector>,
+        journal: Option<&Journal>,
+        recovery: Option<&Recovery>,
+    ) -> Result<FaultTolerantPool, PipelineError> {
         if n == 0 {
             return Err(PipelineError::ZeroWindows);
         }
@@ -286,25 +367,57 @@ impl Pipeline {
         // One slot per window: workers fill the expensive per-window
         // results; the merge below reads them in window order.
         let mut slots: Vec<Option<WindowSlot>> = (0..n).map(|_| None).collect();
+        // Replay journaled windows up front: their slots are filled
+        // from the recovered byte-exact state, and the workers below
+        // skip them, computing only the complement.
+        if let Some(rec) = recovery {
+            let mut replayed = 0u64;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if let Some(entry) = rec.windows.get(&(start_t + i as u64)) {
+                    *slot = Some(WindowSlot::from_entry(entry));
+                    replayed += 1;
+                }
+            }
+            if let Some(m) = metrics {
+                m.add_windows_recovered(replayed);
+                m.add_journal_bytes_replayed(rec.bytes_replayed);
+                m.add_journal_torn_dropped(rec.torn_records_dropped);
+            }
+        }
         let chunk = n.div_ceil(threads).max(1);
         std::thread::scope(|s| {
             for (c, piece) in slots.chunks_mut(chunk).enumerate() {
                 let obs = &*obs;
                 s.spawn(move || {
                     for (i, slot) in piece.iter_mut().enumerate() {
+                        if slot.is_some() {
+                            // Replayed from the journal.
+                            continue;
+                        }
                         let t = start_t + (c * chunk + i) as u64;
-                        *slot = Some(process_window(
-                            measurement,
-                            obs,
-                            t,
-                            metrics,
-                            policy,
-                            injector,
-                        ));
+                        let computed =
+                            process_window(measurement, obs, t, metrics, policy, injector);
+                        if let Some(j) = journal {
+                            // Aborted windows are never journaled: the
+                            // run fails, and a resume must recompute
+                            // the window to reach the same verdict.
+                            // Append errors are latched inside the
+                            // journal and surfaced after the scope
+                            // joins.
+                            if computed.abort_fault.is_none() {
+                                let _ = j.append(&computed.to_entry(t));
+                            }
+                        }
+                        *slot = Some(computed);
                     }
                 });
             }
         });
+        if let Some(j) = journal {
+            if let Some(fault) = j.take_fault() {
+                return Err(PipelineError::Journal(fault));
+            }
+        }
         // Deterministic merge: strictly in window order, on one
         // thread, skipping quarantined windows. The scope above joined
         // every worker, so each slot is filled.
@@ -352,7 +465,7 @@ impl Pipeline {
                 fault,
             });
         }
-        if report.quarantined as f64 > policy.quarantine_threshold * n as f64 {
+        if policy.overflows(report.quarantined, n as u64) {
             return Err(PipelineError::QuarantineOverflow {
                 quarantined: report.quarantined,
                 windows: n as u64,
@@ -394,6 +507,39 @@ struct WindowSlot {
     abort_fault: Option<WindowFault>,
 }
 
+impl WindowSlot {
+    /// Rehydrate a slot from a journaled window: the byte-exact state
+    /// drops into the merge exactly as if the window had just been
+    /// computed.
+    fn from_entry(entry: &WindowEntry) -> WindowSlot {
+        WindowSlot {
+            result: entry
+                .result
+                .as_ref()
+                .map(|r| (r.stats.clone(), r.d_max, r.histogram.clone())),
+            record: entry.record.clone(),
+            injected: entry.injected,
+            retries: entry.retries,
+            abort_fault: None,
+        }
+    }
+
+    /// The journal record for this slot's window.
+    fn to_entry(&self, window: u64) -> WindowEntry {
+        WindowEntry {
+            window,
+            injected: self.injected,
+            retries: self.retries,
+            record: self.record.clone(),
+            result: self.result.as_ref().map(|(stats, d_max, h)| WindowResult {
+                stats: stats.clone(),
+                d_max: *d_max,
+                histogram: h.clone(),
+            }),
+        }
+    }
+}
+
 /// Drive one window through its attempt loop and dispose of it per the
 /// policy. Pure in `(t, attempt)` given the observatory seed and the
 /// injector, so the outcome is independent of thread placement.
@@ -409,13 +555,32 @@ fn process_window(
     let mut injected = 0u64;
     let mut attempts = 0u32;
     let mut result: Option<(BinStats, Option<u64>, DegreeHistogram)> = None;
+    let deadline_ms = policy.window_deadline_ms;
     for attempt in 0..=policy.max_retries {
         let plan = injector.and_then(|inj| inj.plan(t, attempt));
         if plan.is_some() {
             injected += 1;
         }
         attempts += 1;
-        match attempt_window(measurement, obs, t, attempt, plan, metrics) {
+        // Stall watchdog: an armed deadline races the monotonic clock
+        // against each attempt. Scoped threads cannot be killed, so
+        // the verdict lands when the attempt returns — an attempt that
+        // *succeeded* but overran is demoted to a Stalled fault and
+        // flows through the normal retry/quarantine machinery; a
+        // failed attempt keeps its original, more specific fault.
+        // Observability-style clock read, never feeds a numerical
+        // result. lint:allow(R2)
+        let started = std::time::Instant::now();
+        let outcome = attempt_window(measurement, obs, t, attempt, plan, deadline_ms, metrics);
+        let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let outcome = match (outcome, deadline_ms) {
+            (Ok(_), Some(deadline)) if elapsed_ms > deadline => Err(WindowFault::Stalled {
+                elapsed_ms,
+                deadline_ms: deadline,
+            }),
+            (o, _) => o,
+        };
+        match outcome {
             Ok(r) => {
                 result = Some(r);
                 break;
@@ -476,9 +641,18 @@ fn process_window(
             abort_fault: None,
         },
         FaultAction::Substitute => {
-            // One extra deterministic re-synthesis, never injected.
+            // One extra deterministic re-synthesis, never injected and
+            // never watchdogged — it is the last resort.
             attempts += 1;
-            match attempt_window(measurement, obs, t, policy.max_retries + 1, None, metrics) {
+            match attempt_window(
+                measurement,
+                obs,
+                t,
+                policy.max_retries + 1,
+                None,
+                None,
+                metrics,
+            ) {
                 Ok(r) => WindowSlot {
                     result: Some(r),
                     record: Some(FaultRecord {
@@ -515,10 +689,11 @@ fn attempt_window(
     t: u64,
     attempt: u32,
     plan: Option<InjectedFault>,
+    deadline_ms: Option<u64>,
     metrics: Option<&Metrics>,
 ) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_window_attempt(measurement, obs, t, attempt, plan, metrics)
+        run_window_attempt(measurement, obs, t, attempt, plan, deadline_ms, metrics)
     })) {
         Ok(r) => r,
         Err(payload) => Err(WindowFault::Panic {
@@ -549,8 +724,17 @@ fn run_window_attempt(
     t: u64,
     attempt: u32,
     plan: Option<InjectedFault>,
+    deadline_ms: Option<u64>,
     metrics: Option<&Metrics>,
 ) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
+    if plan == Some(InjectedFault::Stall) {
+        // Oversleep the watchdog deadline so the attempt is classified
+        // Stalled; with no deadline armed the delay is benign (the
+        // window still completes correctly), mirroring a real slow
+        // worker under an unwatched capture.
+        let ms = deadline_ms.map_or(30, |d| d.saturating_add(25));
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
     let mut packets = time_stage(metrics, Stage::Synthesize, || {
         obs.packets_at_retry(t, attempt)
     })?;
@@ -617,7 +801,8 @@ fn run_window_attempt(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::InjectionSpec;
+    use crate::fault::{FaultKind, InjectionSpec};
+    use crate::journal::JournalHeader;
     use crate::observatory::{Observatory, ObservatoryConfig};
     use crate::packets::{EdgeIntensity, Packet};
     use palu_graph::palu_gen::PaluGenerator;
@@ -953,6 +1138,178 @@ mod tests {
             matches!(err, PipelineError::QuarantineOverflow { .. }),
             "{err:?}"
         );
+    }
+
+    fn assert_bitwise_equal(a: &PooledDistribution, b: &PooledDistribution, what: &str) {
+        assert_eq!(a.windows, b.windows, "{what}: windows");
+        assert_eq!(a.d_max, b.d_max, "{what}: d_max");
+        assert_eq!(a.mean.n_bins(), b.mean.n_bins(), "{what}: bins");
+        for i in 0..a.mean.n_bins() {
+            assert_eq!(
+                a.mean.value(i).to_bits(),
+                b.mean.value(i).to_bits(),
+                "{what}: mean bin {i}"
+            );
+            assert_eq!(
+                a.sigma[i].to_bits(),
+                b.sigma[i].to_bits(),
+                "{what}: sigma bin {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn durable_capture_resumes_bit_identical() {
+        let dir = std::env::temp_dir().join("palu-pipeline-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durable.journal");
+        let header = JournalHeader {
+            seed: 21,
+            n_v: 4_000,
+            windows: 8,
+            fingerprint: 0xABC,
+        };
+        let mut obs = observatory(21);
+        let baseline = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            3,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap();
+        // Durable run writing the journal from scratch.
+        let mut obs = observatory(21);
+        let j = Journal::create(&path, header).unwrap();
+        let full = Pipeline::pool_observatory_durable(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            3,
+            None,
+            &FailurePolicy::strict(),
+            None,
+            Some(&j),
+            None,
+        )
+        .unwrap();
+        drop(j);
+        assert_bitwise_equal(&full.pooled, &baseline.pooled, "durable full run");
+        // Simulate a kill: chop the journal mid-record and resume at a
+        // different thread count.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let (j2, rec) = Journal::resume(&path, header).unwrap();
+        let replayed = rec.windows.len() as u64;
+        assert!(replayed > 0 && replayed < 8, "replayed {replayed}");
+        let metrics = Metrics::new();
+        let mut obs = observatory(21);
+        let resumed = Pipeline::pool_observatory_durable(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            5,
+            Some(&metrics),
+            &FailurePolicy::strict(),
+            None,
+            Some(&j2),
+            Some(&rec),
+        )
+        .unwrap();
+        assert_bitwise_equal(&resumed.pooled, &baseline.pooled, "resumed run");
+        assert_eq!(resumed.histogram.total(), baseline.histogram.total());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.windows_recovered, replayed);
+        assert!(snap.journal_bytes_replayed > 0);
+        // After the resumed run the journal holds all 8 windows again.
+        drop(j2);
+        let bytes = std::fs::read(&path).unwrap();
+        let rec = crate::journal::Journal::recover_bytes(&bytes, &header).unwrap();
+        assert_eq!(rec.windows.len(), 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stall_watchdog_classifies_and_recovers() {
+        let mut obs = observatory(22);
+        let inj = Injector::new(
+            InjectionSpec {
+                stall: 0.7,
+                ..InjectionSpec::none()
+            },
+            9,
+        );
+        let policy = FailurePolicy {
+            quarantine_threshold: 1.0,
+            ..FailurePolicy::quarantine(2)
+        }
+        .with_deadline_ms(100);
+        let ft = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            6,
+            3,
+            None,
+            &policy,
+            Some(&inj),
+        )
+        .unwrap();
+        let stalled: Vec<_> = ft
+            .report
+            .records
+            .iter()
+            .filter(|r| r.kind == FaultKind::Stalled)
+            .collect();
+        assert!(!stalled.is_empty(), "no stalls with a 0.7 injection rate");
+        for r in &stalled {
+            assert!(
+                matches!(
+                    r.outcome,
+                    WindowOutcome::Recovered | WindowOutcome::Quarantined
+                ),
+                "{r:?}"
+            );
+        }
+        assert!(ft.report.retries > 0);
+    }
+
+    #[test]
+    fn unwatched_stall_injection_is_benign() {
+        // Without --window-deadline-ms the stall only delays; results
+        // stay bit-identical to a clean run.
+        let mut obs = observatory(23);
+        let clean = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            3,
+            2,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap();
+        let inj = Injector::new(
+            InjectionSpec {
+                stall: 1.0,
+                ..InjectionSpec::none()
+            },
+            9,
+        );
+        let mut obs = observatory(23);
+        let stalled = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            3,
+            2,
+            None,
+            &FailurePolicy::strict(),
+            Some(&inj),
+        )
+        .unwrap();
+        assert_bitwise_equal(&stalled.pooled, &clean.pooled, "unwatched stall");
+        assert_eq!(stalled.report.survivors, 3);
     }
 
     #[test]

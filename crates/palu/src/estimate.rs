@@ -552,7 +552,7 @@ impl PaluEstimator {
         }
         let tail = (1.0 - level) / 2.0;
         let ci = |values: &mut Vec<f64>| {
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            values.sort_by(f64::total_cmp);
             let q = |p: f64| values[((values.len() - 1) as f64 * p).round() as usize];
             (q(tail), q(1.0 - tail))
         };

@@ -13,12 +13,20 @@
 //!    the checked engine is bit-identical to the serial fold.
 //! 5. **Panic containment** — injected worker panics are caught and
 //!    classified, never propagated out of the pipeline.
+//! 6. **Inclusive quarantine boundary** — a quarantined fraction
+//!    exactly equal to `quarantine_threshold` passes; only strictly
+//!    above fails.
+//! 7. **Duplicate-storm path** — `dup` faults surface as degenerate
+//!    histograms, are recounted exactly, and are retried back to
+//!    health or quarantined, never silently pooled.
 
 use palu_suite::prelude::*;
 use palu_traffic::observatory::ObservatoryConfig;
 use palu_traffic::packets::EdgeIntensity;
 use palu_traffic::pipeline::Measurement;
-use palu_traffic::{FailurePolicy, FaultKind, InjectionSpec, Injector, WindowOutcome};
+use palu_traffic::{
+    FailurePolicy, FaultKind, InjectionSpec, Injector, PipelineError, WindowOutcome,
+};
 
 fn observatory(seed: u64, n_v: u64) -> Observatory {
     let gen = PaluParams::from_core_leaf_fractions(0.5, 0.2, 3.0, 2.0, 0.5)
@@ -194,10 +202,8 @@ fn clean_checked_run_is_bit_identical_to_the_serial_fold() {
 fn worker_panics_are_contained_and_classified() {
     const WINDOWS: usize = 6;
     let spec = InjectionSpec {
-        truncate: 0.0,
-        nan: 0.0,
-        duplicate: 0.0,
         panic: 1.0,
+        ..InjectionSpec::none()
     };
     let mut obs = observatory(2, 2_000);
     let injector = Injector::new(spec, 1);
@@ -220,4 +226,153 @@ fn worker_panics_are_contained_and_classified() {
         .all(|r| r.kind == FaultKind::Panic && r.outcome == WindowOutcome::Quarantined));
     // An all-quarantined run still yields a well-formed (empty) pool.
     assert_eq!(ft.pooled.windows, 0);
+}
+
+#[test]
+fn quarantine_threshold_boundary_is_inclusive() {
+    // The overflow predicate compares the quarantined *fraction*
+    // against the threshold: exactly-equal passes, only strictly-above
+    // fails. The old formulation compared counts via
+    // `threshold * windows`, and 0.3 * 10.0 rounds to
+    // 2.9999999999999996 in binary, so a run with exactly 3 of 10
+    // windows quarantined was spuriously rejected. Pin the fixed
+    // boundary end to end through the pipeline.
+    const WINDOWS: usize = 10;
+    let spec = InjectionSpec {
+        panic: 0.3,
+        ..InjectionSpec::none()
+    };
+    // The injection plan is pure, so scan for a seed planting exactly
+    // 3 faults across the 10 first attempts (zero retries ⇒ each one
+    // quarantines its window).
+    let seed = (0..10_000u64)
+        .find(|&s| {
+            let inj = Injector::new(spec, s);
+            (0..WINDOWS as u64)
+                .filter(|&t| inj.plan(t, 0).is_some())
+                .count()
+                == 3
+        })
+        .expect("some seed plants exactly 3 faults in 10 windows");
+
+    let at_threshold = FailurePolicy {
+        quarantine_threshold: 0.3,
+        ..FailurePolicy::quarantine(0)
+    };
+    let mut obs = observatory(6, 2_000);
+    let injector = Injector::new(spec, seed);
+    let ft = Pipeline::pool_observatory_checked(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        4,
+        None,
+        &at_threshold,
+        Some(&injector),
+    )
+    .expect("a quarantined fraction exactly at the threshold must pass");
+    assert_eq!(ft.report.quarantined, 3);
+    assert_eq!(ft.pooled.windows, 7);
+
+    // One notch tighter and the same run is strictly above: refused.
+    let below = FailurePolicy {
+        quarantine_threshold: 0.2,
+        ..at_threshold
+    };
+    let mut obs = observatory(6, 2_000);
+    let injector = Injector::new(spec, seed);
+    let err = Pipeline::pool_observatory_checked(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        4,
+        None,
+        &below,
+        Some(&injector),
+    )
+    .unwrap_err();
+    match err {
+        PipelineError::QuarantineOverflow {
+            quarantined,
+            windows,
+            threshold,
+        } => {
+            assert_eq!((quarantined, windows), (3, 10));
+            assert_eq!(threshold, 0.2);
+        }
+        other => panic!("expected QuarantineOverflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_storm_faults_are_recounted_and_recovered_end_to_end() {
+    // A duplicate-edge storm crushes every packet of a window onto one
+    // conversation, which the pipeline detects as collapsed histogram
+    // support. Drive the `dup` kind end to end: the report's injected
+    // counter must equal an independent recount of executed faulted
+    // attempts, and every storm window must be either retried back to
+    // health or quarantined.
+    const WINDOWS: usize = 24;
+    const RETRIES: u32 = 2;
+    let spec = InjectionSpec {
+        duplicate: 0.6,
+        ..InjectionSpec::none()
+    };
+    let mut obs = observatory(11, 2_000);
+    let injector = Injector::new(spec, 41);
+    let ft = Pipeline::pool_observatory_checked(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        4,
+        None,
+        &FailurePolicy::quarantine(RETRIES),
+        Some(&injector),
+    )
+    .unwrap();
+
+    // Replay the pure injection plan: attempts run until the first
+    // clean one (which succeeds — dup is the only fault in play) or
+    // the retry budget is spent.
+    let recount = Injector::new(spec, 41);
+    let (mut injected, mut recovered, mut quarantined) = (0u64, 0u64, 0u64);
+    for t in 0..WINDOWS as u64 {
+        let mut clean_at = None;
+        for k in 0..=RETRIES {
+            if recount.plan(t, k).is_some() {
+                injected += 1;
+            } else {
+                clean_at = Some(k);
+                break;
+            }
+        }
+        match clean_at {
+            Some(0) => {}
+            Some(_) => recovered += 1,
+            None => quarantined += 1,
+        }
+    }
+    assert!(
+        recovered > 0 && quarantined > 0,
+        "seed must exercise both recovery outcomes \
+         (recovered {recovered}, quarantined {quarantined})"
+    );
+    assert_eq!(ft.report.injected, injected);
+    assert_eq!(ft.report.quarantined, quarantined);
+    assert_eq!(ft.report.survivors, WINDOWS as u64 - quarantined);
+    assert_eq!(ft.report.records.len() as u64, recovered + quarantined);
+    for r in &ft.report.records {
+        assert_eq!(r.kind, FaultKind::Degenerate, "window {}", r.window);
+        assert!(matches!(
+            r.outcome,
+            WindowOutcome::Recovered | WindowOutcome::Quarantined
+        ));
+    }
+    let got_recovered = ft
+        .report
+        .records
+        .iter()
+        .filter(|r| r.outcome == WindowOutcome::Recovered)
+        .count() as u64;
+    assert_eq!(got_recovered, recovered);
 }
