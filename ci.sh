@@ -141,4 +141,43 @@ grep -q '"stalled"' "$jr_dir/stall.json" || {
 }
 echo "stall watchdog: Stalled verdicts present in fault report"
 
+echo "== memory-budget governor smoke =="
+# A tight-but-feasible budget must complete with degradation rungs
+# recorded in the metrics JSON and pooled output bit-identical to the
+# unbudgeted run; a budget below the degraded floor must be refused at
+# admission with exit 1 and the typed message (DESIGN.md §4g). The
+# 1 600 000 B limit sits between this workload's floor (~760 KB) and
+# its undegraded peak (~2.8 MB) — rung engagement is deterministic.
+bud_dir="$smoke_dir/budget"
+mkdir -p "$bud_dir"
+bud_args=(simulate
+    --core 0.5 --leaves 0.2 --lambda 2.0 --alpha 2.0
+    --nodes 20000 --nv 10000 --windows 6 --seed 9 --threads 4)
+
+cargo run -q --release -p palu-cli -- "${bud_args[@]}" \
+    --out "$bud_dir/ref.txt" 2>/dev/null
+cargo run -q --release -p palu-cli -- "${bud_args[@]}" \
+    --memory-budget 1600000 \
+    --metrics "$bud_dir/tight.json" --out "$bud_dir/tight.txt" 2>/dev/null
+cmp "$bud_dir/ref.txt" "$bud_dir/tight.txt"
+degradations=$(grep -m 1 '"degradations"' "$bud_dir/tight.json" | tr -dc '0-9')
+echo "tight budget: ${degradations:-0} degradation rung(s), output bit-identical"
+if [ "${degradations:-0}" = 0 ]; then
+    echo "ci: a tight budget should engage the degradation ladder" >&2
+    exit 1
+fi
+
+if cargo run -q --release -p palu-cli -- "${bud_args[@]}" \
+    --memory-budget 64k \
+    --out "$bud_dir/refused.txt" 2>"$bud_dir/refused.log"; then
+    echo "ci: an impossible budget must be refused at admission" >&2
+    exit 1
+fi
+grep -q "admission refused" "$bud_dir/refused.log" || {
+    echo "ci: budget refusal should cite admission:" >&2
+    cat "$bud_dir/refused.log" >&2
+    exit 1
+}
+echo "impossible budget: refused at admission with a typed fault"
+
 echo "ci: all green"

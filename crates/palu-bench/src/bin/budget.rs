@@ -1,0 +1,223 @@
+//! E-BUD — resource-budget governor: overhead, estimate accuracy, and
+//! the degradation curve.
+//!
+//! The governor (DESIGN.md §4g) must earn its keep three ways: an
+//! ample budget may not meaningfully slow a capture down (the ledger
+//! is touched only at window boundaries), the admission estimate must
+//! upper-bound the actually-accounted peak at every thread count (or
+//! admission would pass captures that later hit the hard watermark),
+//! and shrinking budgets must trade throughput for memory through the
+//! rung ladder while the pooled output stays **bit-identical**. This
+//! binary measures all three on a 48-window workload and records
+//! `BENCH_budget.json`.
+
+use palu_bench::record_json;
+use palu_cli::json::JsonValue;
+use palu_traffic::budget::{BudgetFault, CostModel, Governor, ResourceBudget};
+use palu_traffic::metrics::Metrics;
+use palu_traffic::pipeline::{FaultTolerantPool, Measurement, Pipeline};
+use palu_traffic::{FailurePolicy, MetricsSnapshot, PipelineError};
+use std::time::Instant;
+
+const WINDOWS: usize = 48;
+const N_V: u64 = 20_000;
+const SEED: u64 = 20260807;
+
+fn run(
+    threads: usize,
+    governor: Option<&Governor<'_>>,
+) -> Result<(FaultTolerantPool, f64, MetricsSnapshot), PipelineError> {
+    let mut scenario = palu_bench::fig3_scenarios().remove(0);
+    scenario.n_v = N_V;
+    scenario.windows = WINDOWS;
+    let mut obs = scenario.observatory(SEED);
+    let metrics = Metrics::new();
+    let t0 = Instant::now();
+    let ft = Pipeline::pool_observatory_governed(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        WINDOWS,
+        threads,
+        Some(&metrics),
+        &FailurePolicy::strict(),
+        None,
+        None,
+        None,
+        governor,
+    )?;
+    Ok((ft, t0.elapsed().as_secs_f64(), metrics.snapshot()))
+}
+
+fn cost_model(threads: usize) -> CostModel {
+    let mut scenario = palu_bench::fig3_scenarios().remove(0);
+    scenario.n_v = N_V;
+    scenario.windows = WINDOWS;
+    let obs = scenario.observatory(SEED);
+    CostModel {
+        n_v: N_V,
+        n_nodes: obs.underlying().n_nodes() as u64,
+        windows: WINDOWS as u64,
+        threads: threads as u64,
+    }
+}
+
+fn assert_bit_identical(a: &FaultTolerantPool, b: &FaultTolerantPool, what: &str) {
+    assert_eq!(a.pooled.windows, b.pooled.windows, "{what}");
+    assert_eq!(a.pooled.d_max, b.pooled.d_max, "{what}");
+    for (i, ((ga, wa), (gs, ws))) in a
+        .pooled
+        .mean
+        .iter()
+        .zip(b.pooled.mean.iter())
+        .zip(a.pooled.sigma.iter().zip(b.pooled.sigma.iter()))
+        .enumerate()
+    {
+        assert_eq!(ga.1.to_bits(), wa.1.to_bits(), "{what}: mean bin {i}");
+        assert_eq!(gs.to_bits(), ws.to_bits(), "{what}: sigma bin {i}");
+    }
+}
+
+fn main() {
+    println!("E-BUD — resource-budget governor: overhead, estimate accuracy, degradation curve");
+    println!("  workload: {WINDOWS} windows × N_V = {N_V}");
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+
+    // 1. Baseline: the same capture with no governor at all.
+    let (baseline, base_s, _) = run(threads, None).expect("baseline capture");
+
+    // 2. Ample budget: the ledger runs but never bites.
+    let ample = ResourceBudget::with_limit(1 << 40);
+    let gov = Governor {
+        budget: &ample,
+        strict_admission: false,
+    };
+    let (governed, gov_s, _) = run(threads, Some(&gov)).expect("governed capture");
+    assert_bit_identical(&governed, &baseline, "ample budget vs baseline");
+    assert!(
+        governed.report.degradations.is_empty(),
+        "ample must not degrade"
+    );
+    let overhead = gov_s / base_s.max(1e-9) - 1.0;
+    println!(
+        "  governed capture (ample): wall {gov_s:.2}s vs {base_s:.2}s baseline \
+         ({:+.1}% overhead)",
+        overhead * 100.0
+    );
+
+    // 3. Estimate vs actual peak across thread counts: the admission
+    // estimate must upper-bound what the ledger actually records.
+    let mut sweep = Vec::new();
+    let mut peak8 = 0u64;
+    for t in [1usize, 2, 4, 8] {
+        let budget = ResourceBudget::with_limit(1 << 40);
+        let g = Governor {
+            budget: &budget,
+            strict_admission: false,
+        };
+        let (pool, _, snap) = run(t, Some(&g)).expect("sweep capture");
+        assert_bit_identical(&pool, &baseline, "sweep vs baseline");
+        let estimate = snap.admission_estimate_bytes;
+        let peak = snap.peak_accounted_bytes;
+        assert!(
+            estimate >= peak,
+            "estimate {estimate} < actual peak {peak} at {t} threads"
+        );
+        let slack = estimate as f64 / peak.max(1) as f64;
+        if t == 8 {
+            peak8 = peak;
+        }
+        println!("  threads {t}: estimate {estimate} B ≥ peak {peak} B ({slack:.2}x slack)");
+        sweep.push(JsonValue::obj([
+            ("threads", (t as u64).into()),
+            ("estimate_bytes", estimate.into()),
+            ("peak_accounted_bytes", peak.into()),
+            ("slack", slack.into()),
+        ]));
+    }
+
+    // 4. Degradation curve: shrink the budget from the 8-thread peak
+    // toward the degraded floor; each rung trades throughput for
+    // memory, the pooled result never changes. Pinned to 8 workers so
+    // the curve is comparable across machines.
+    const CURVE_THREADS: usize = 8;
+    let model = cost_model(CURVE_THREADS);
+    let floor = model.floor_bytes().saturating_add(model.window_bytes());
+    let peak = peak8.max(floor);
+    let mut curve = Vec::new();
+    for (label, limit) in [
+        ("peak", peak),
+        ("3/4 peak", peak * 3 / 4),
+        ("1/2 peak", peak / 2),
+        ("floor+1w", floor),
+    ] {
+        let limit = limit.max(floor);
+        let budget = ResourceBudget::with_limit(limit);
+        let g = Governor {
+            budget: &budget,
+            strict_admission: false,
+        };
+        let (pool, wall, snap) = run(CURVE_THREADS, Some(&g)).expect("degraded capture");
+        assert_bit_identical(&pool, &baseline, "degraded vs baseline");
+        assert!(
+            snap.peak_accounted_bytes <= limit,
+            "ledger peak {} exceeds the {limit} B limit",
+            snap.peak_accounted_bytes
+        );
+        let rungs: Vec<&str> = pool
+            .report
+            .degradations
+            .iter()
+            .map(|d| d.rung.name())
+            .collect();
+        println!(
+            "  limit {limit} B ({label}): wall {wall:.2}s, peak {} B, rungs {:?}",
+            snap.peak_accounted_bytes, rungs
+        );
+        curve.push(JsonValue::obj([
+            ("label", JsonValue::Str(label.to_string())),
+            ("limit_bytes", limit.into()),
+            ("wall_s", wall.into()),
+            ("peak_accounted_bytes", snap.peak_accounted_bytes.into()),
+            (
+                "degradations",
+                (pool.report.degradations.len() as u64).into(),
+            ),
+            (
+                "rungs",
+                JsonValue::Array(
+                    rungs
+                        .iter()
+                        .map(|r| JsonValue::Str((*r).to_string()))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    // 5. Admission: a budget below the degraded floor is refused with
+    // a typed fault before any window is synthesized.
+    let impossible = ResourceBudget::with_limit(model.floor_bytes() / 2);
+    let g = Governor {
+        budget: &impossible,
+        strict_admission: false,
+    };
+    match run(threads, Some(&g)) {
+        Err(PipelineError::Budget(BudgetFault::AdmissionRefused { floor, limit, .. })) => {
+            println!("  admission: floor {floor} B refused under {limit} B limit — OK");
+        }
+        other => panic!("impossible budget must be refused, got {other:?}"),
+    }
+    println!("bounded-memory capture: pooled distribution is bit-identical at every rung — OK");
+
+    let snapshot = JsonValue::obj([
+        ("windows", WINDOWS.into()),
+        ("n_v", N_V.into()),
+        ("baseline_wall_s", base_s.into()),
+        ("governed_wall_s", gov_s.into()),
+        ("governor_overhead_frac", overhead.into()),
+        ("estimate_sweep", JsonValue::Array(sweep)),
+        ("degradation_curve", JsonValue::Array(curve)),
+        ("floor_bytes", model.floor_bytes().into()),
+    ]);
+    record_json("BENCH_budget", &snapshot);
+}

@@ -75,6 +75,27 @@ fn usize_opt(v: u64, option: &str) -> Result<usize, CliError> {
     })
 }
 
+/// Parse a byte-size option value: a plain integer with an optional
+/// `k`/`M`/`G` suffix (powers of 1024). `64M` → 67 108 864.
+fn parse_bytes(spec: &str) -> Result<u64, String> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err("empty size (expected e.g. 64M or 1073741824)".to_string());
+    }
+    let (digits, shift) = match spec.as_bytes()[spec.len() - 1] {
+        b'k' | b'K' => (&spec[..spec.len() - 1], 10),
+        b'M' => (&spec[..spec.len() - 1], 20),
+        b'G' => (&spec[..spec.len() - 1], 30),
+        _ => (spec, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|e| format!("not a byte count ({e}); expected e.g. 64M or 1073741824"))?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(|| format!("{spec} overflows a 64-bit byte count"))
+}
+
 /// Serialize a pipeline metrics snapshot as a JSON object: per-stage
 /// wall-times in nanoseconds plus packet/window/thread counters.
 /// Shared by `simulate --metrics` and the palu-bench binaries.
@@ -98,8 +119,9 @@ pub fn metrics_json(snap: &palu_traffic::MetricsSnapshot) -> crate::json::JsonVa
 
 /// Serialize a [`palu_traffic::FaultReport`] as a JSON object:
 /// headline counters, per-window fault records (window order, so the
-/// document is deterministic for a given seed and injection spec), and
-/// the fit-restart ladder's rung histogram.
+/// document is deterministic for a given seed and injection spec),
+/// the fit-restart ladder's rung histogram, and the budget governor's
+/// degradation events (empty unless a memory budget was set).
 pub fn fault_report_json(report: &palu_traffic::FaultReport) -> crate::json::JsonValue {
     use crate::json::JsonValue;
     let records = JsonValue::Array(
@@ -123,6 +145,19 @@ pub fn fault_report_json(report: &palu_traffic::FaultReport) -> crate::json::Jso
             .into_iter()
             .map(|(name, count)| (name, JsonValue::UInt(count))),
     );
+    let degradations = JsonValue::Array(
+        report
+            .degradations
+            .iter()
+            .map(|d| {
+                JsonValue::obj([
+                    ("rung", JsonValue::Str(d.rung.name().to_string())),
+                    ("window", JsonValue::UInt(d.window)),
+                    ("accounted_bytes", JsonValue::UInt(d.accounted_bytes)),
+                ])
+            })
+            .collect(),
+    );
     JsonValue::obj([
         ("windows", JsonValue::UInt(report.windows)),
         ("survivors", JsonValue::UInt(report.survivors)),
@@ -133,6 +168,7 @@ pub fn fault_report_json(report: &palu_traffic::FaultReport) -> crate::json::Jso
         ("retries", JsonValue::UInt(report.retries)),
         ("records", records),
         ("ladder", ladder),
+        ("degradations", degradations),
     ])
 }
 
@@ -186,6 +222,20 @@ COMMANDS:
                is bit-identical to an uninterrupted one at any kill
                point and --threads value; a journal from a different
                seed/parameter set (or with corrupt records) is refused
+             Bounded memory (resource-budget governor):
+             [--memory-budget BYTES]  account every capture-phase
+               allocation against a hard watermark (suffix k/M/G =
+               2^10/2^20/2^30 bytes). Admission projects the peak
+               footprint before any window is synthesized and refuses
+               configurations whose floor cannot fit (exit 1, with a
+               feasible suggestion); past the soft watermark the
+               capture degrades through deterministic rungs —
+               coarsen_bins, shrink_workers, spill_pooled — recorded
+               in the fault report. Pooled output stays bit-identical
+               to an unbudgeted run for any --threads value
+             [--admission]  strict admission: also refuse configs that
+               would only complete by degrading (projected undegraded
+               peak above the hard watermark)
   gof        Goodness-of-fit report for a degree histogram: CSN
              semiparametric bootstrap p-value + power-law-vs-lognormal
              Vuong test; the CSN fit runs a deterministic restart
@@ -452,6 +502,7 @@ fn parse_fail_policy(args: &ParsedArgs) -> Result<palu_traffic::FailurePolicy, C
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     use palu_stats::mle::{fit_csn_with_restarts, CsnOptions};
     use palu_stats::restart::RestartPolicy;
+    use palu_traffic::budget::{Governor, ResourceBudget};
     use palu_traffic::journal::{fingerprint64, Journal, JournalHeader};
     use palu_traffic::metrics::Metrics;
     use palu_traffic::observatory::{Observatory, ObservatoryConfig};
@@ -488,6 +539,23 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     // Same clamp the pipeline applies (no more workers than windows),
     // so the banner and the metrics snapshot agree on the count.
     .clamp(1, n_windows.max(1));
+    let memory_budget = match args.options.get("memory-budget") {
+        Some(spec) => {
+            Some(parse_bytes(spec).map_err(|e| CliError::usage(format!("--memory-budget: {e}")))?)
+        }
+        None => None,
+    };
+    let strict_admission = args.options.contains_key("admission");
+    if strict_admission && memory_budget.is_none() {
+        return Err(CliError::usage(
+            "--admission requires --memory-budget <bytes>",
+        ));
+    }
+    let budget = memory_budget.map(ResourceBudget::with_limit);
+    let governor = budget.as_ref().map(|b| Governor {
+        budget: b,
+        strict_admission,
+    });
 
     let params = PaluParams::from_core_leaf_fractions(core, leaves, lambda, alpha, 0.5)
         .map_err(|e| CliError::usage(e.to_string()))?;
@@ -569,7 +637,15 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     // deterministic window-ordered merge: bit-identical to the serial
     // pipeline for any --threads value, fault-tolerant per --fail-policy.
     let metrics = Metrics::new();
-    let mut ft = Pipeline::pool_observatory_durable(
+    if let Some(b) = &budget {
+        eprintln!(
+            "budget: {} byte hard watermark (soft {}), admission {}",
+            b.hard().unwrap_or(0),
+            b.soft().unwrap_or(0),
+            if strict_admission { "strict" } else { "floor" }
+        );
+    }
+    let mut ft = Pipeline::pool_observatory_governed(
         Measurement::UndirectedDegree,
         &mut obs,
         n_windows,
@@ -579,6 +655,7 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
         injector.as_ref(),
         journal_state.as_ref().map(|(j, _)| j),
         journal_state.as_ref().and_then(|(_, r)| r.as_ref()),
+        governor.as_ref(),
     )
     .map_err(|e| CliError::runtime(format!("pipeline: {e}")))?;
     if injector.is_some() {
@@ -614,16 +691,49 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
             ft.report.windows
         );
     }
+    if !ft.report.degradations.is_empty() {
+        eprintln!(
+            "budget: {} degradation rung engagement(s) under pressure (peak accounted {} bytes); \
+             pooled output is unaffected",
+            ft.report.degradations.len(),
+            budget.as_ref().map(|b| b.peak()).unwrap_or(0)
+        );
+    }
     let pooled = &ft.pooled;
     if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
         use crate::json::JsonValue;
         let snap = metrics.snapshot();
         let mut doc = metrics_json(&snap);
         if let JsonValue::Object(pairs) = &mut doc {
-            // The journal object precedes fault_report so consumers
-            // slicing the document from "fault_report" onward (the CI
-            // crash-recovery diff) see identical bytes for a resumed
-            // and an uninterrupted capture.
+            // The budget and journal objects precede fault_report so
+            // consumers slicing the document from "fault_report"
+            // onward (the CI crash-recovery diff) see identical bytes
+            // for a resumed and an uninterrupted capture.
+            if let Some(b) = &budget {
+                let mut rungs = [0u64; 3];
+                for d in &ft.report.degradations {
+                    rungs[usize::from(d.rung.code())] += 1;
+                }
+                pairs.push((
+                    "budget".to_string(),
+                    JsonValue::obj([
+                        ("limit", JsonValue::UInt(b.hard().unwrap_or(0))),
+                        ("soft", JsonValue::UInt(b.soft().unwrap_or(0))),
+                        (
+                            "admission_estimate_bytes",
+                            JsonValue::UInt(snap.admission_estimate_bytes),
+                        ),
+                        (
+                            "peak_accounted_bytes",
+                            JsonValue::UInt(snap.peak_accounted_bytes),
+                        ),
+                        ("degradations", JsonValue::UInt(snap.budget_degradations)),
+                        ("coarsen_bins", JsonValue::UInt(rungs[0])),
+                        ("shrink_workers", JsonValue::UInt(rungs[1])),
+                        ("spill_pooled", JsonValue::UInt(rungs[2])),
+                    ]),
+                ));
+            }
             if let Some((journal, _)) = &journal_state {
                 pairs.push((
                     "journal".to_string(),
@@ -1093,6 +1203,165 @@ mod tests {
         let e = run(&parse(&argv)).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("--journal"), "{}", e.message);
+    }
+
+    /// First integer value after `"key": ` in a pretty-printed JSON
+    /// document (enough for the flat metrics counters the tests pin).
+    fn json_u64(doc: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\": ");
+        let i = doc
+            .find(&pat)
+            .unwrap_or_else(|| panic!("{key} not in {doc}"))
+            + pat.len();
+        doc[i..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes_and_rejects_garbage() {
+        assert_eq!(parse_bytes("1024").unwrap(), 1024);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("2M").unwrap(), 2 << 20);
+        assert_eq!(parse_bytes("1G").unwrap(), 1 << 30);
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("abc").is_err());
+        assert!(parse_bytes("1.5G").is_err());
+        assert!(parse_bytes("99999999999999999999G").is_err());
+        assert!(parse_bytes("999999999999G").is_err(), "must catch overflow");
+    }
+
+    #[test]
+    fn simulate_budget_flags_are_validated() {
+        let base = [
+            "simulate",
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--nodes",
+            "20000",
+            "--nv",
+            "10000",
+            "--windows",
+            "2",
+        ];
+        let mut argv = base.to_vec();
+        argv.extend(["--memory-budget", "twelve"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("memory-budget"), "{}", e.message);
+
+        let mut argv = base.to_vec();
+        argv.push("--admission");
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--memory-budget"), "{}", e.message);
+    }
+
+    #[test]
+    fn simulate_infeasible_budget_is_refused_at_admission() {
+        let mut argv = journal_base();
+        argv.extend(["--memory-budget", "4096"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, 1, "{}", e.message);
+        assert!(e.message.contains("admission refused"), "{}", e.message);
+    }
+
+    #[test]
+    fn simulate_memory_budget_preserves_pooled_output() {
+        use palu_traffic::budget::CostModel;
+        use palu_traffic::observatory::{Observatory, ObservatoryConfig};
+        use palu_traffic::packets::EdgeIntensity;
+
+        // Baseline: the journal_base workload with no budget.
+        let out_plain = tmp("sim_budget_plain.txt");
+        let plain_s = out_plain.to_str().unwrap().to_string();
+        let mut argv = journal_base();
+        argv.extend(["--threads", "4", "--out", &plain_s]);
+        run(&parse(&argv)).unwrap();
+        let plain = std::fs::read_to_string(&out_plain).unwrap();
+
+        // Ample budget: byte-identical output, a budget object in the
+        // metrics document, zero degradations, a nonzero admission
+        // estimate covering the recorded peak.
+        let out_ample = tmp("sim_budget_ample.txt");
+        let metrics_ample = tmp("sim_budget_ample_metrics.json");
+        let ample_s = out_ample.to_str().unwrap().to_string();
+        let metrics_ample_s = metrics_ample.to_str().unwrap().to_string();
+        let mut argv = journal_base();
+        argv.extend([
+            "--threads",
+            "4",
+            "--memory-budget",
+            "1G",
+            "--metrics",
+            &metrics_ample_s,
+            "--out",
+            &ample_s,
+        ]);
+        run(&parse(&argv)).unwrap();
+        assert_eq!(plain, std::fs::read_to_string(&out_ample).unwrap());
+        let m = std::fs::read_to_string(&metrics_ample).unwrap();
+        assert!(m.contains("\"budget\""), "{m}");
+        assert_eq!(json_u64(&m, "limit"), 1 << 30);
+        assert_eq!(json_u64(&m, "degradations"), 0, "{m}");
+        let estimate = json_u64(&m, "admission_estimate_bytes");
+        let peak = json_u64(&m, "peak_accounted_bytes");
+        assert!(estimate > 0 && peak > 0, "{m}");
+        assert!(estimate >= peak, "estimate {estimate} < peak {peak}");
+
+        // Tight budget (floor + one window of transient headroom, from
+        // the same cost model the pipeline consults): the capture must
+        // degrade, record the rungs, and still produce identical bytes.
+        let params = PaluParams::from_core_leaf_fractions(0.5, 0.2, 2.0, 2.0, 0.5).unwrap();
+        let gen = params.generator(20_000).unwrap();
+        let obs = Observatory::new(
+            ObservatoryConfig {
+                name: "cli".into(),
+                date: String::new(),
+                n_v: 10_000,
+            },
+            &gen,
+            EdgeIntensity::Uniform,
+            9,
+        );
+        let model = CostModel {
+            n_v: 10_000,
+            n_nodes: obs.underlying().n_nodes() as u64,
+            windows: 6,
+            threads: 4,
+        };
+        let limit = (model.floor_bytes() + model.window_bytes()).to_string();
+        let out_tight = tmp("sim_budget_tight.txt");
+        let metrics_tight = tmp("sim_budget_tight_metrics.json");
+        let tight_s = out_tight.to_str().unwrap().to_string();
+        let metrics_tight_s = metrics_tight.to_str().unwrap().to_string();
+        let mut argv = journal_base();
+        argv.extend([
+            "--threads",
+            "4",
+            "--memory-budget",
+            &limit,
+            "--metrics",
+            &metrics_tight_s,
+            "--out",
+            &tight_s,
+        ]);
+        run(&parse(&argv)).unwrap();
+        assert_eq!(plain, std::fs::read_to_string(&out_tight).unwrap());
+        let m = std::fs::read_to_string(&metrics_tight).unwrap();
+        assert!(json_u64(&m, "degradations") > 0, "{m}");
+        // The typed events also land in the fault report.
+        assert!(m.contains("\"rung\""), "{m}");
     }
 
     /// Shared base argv for the journal tests: a small but non-trivial

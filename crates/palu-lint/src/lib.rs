@@ -18,6 +18,10 @@
 //! * **R6 journal-atomic** — durable writes in core crates go through
 //!   `palu-traffic`'s journal and its atomic tmp-file+rename
 //!   protocol; no direct file-write APIs elsewhere.
+//! * **R7 budget-accounted** — capture-path buffers size their
+//!   capacity through the resource-budget accountant
+//!   (`admitted_capacity`); no raw `with_capacity`/`reserve` on
+//!   window-geometry-derived sizes.
 //!
 //! Built on a hand-rolled comment/string-aware Rust lexer
 //! ([`lexer`]) and a TOML-subset manifest parser ([`manifest`]) — no
@@ -37,7 +41,10 @@ pub mod source;
 
 use diag::{Diagnostic, Severity};
 use manifest::{Manifest, Value};
-use rules::{float_hygiene, hermetic_deps, journal_atomic, nondeterminism, pub_doc, unwrap_budget};
+use rules::{
+    budget_accounted, float_hygiene, hermetic_deps, journal_atomic, nondeterminism, pub_doc,
+    unwrap_budget,
+};
 use source::SourceFile;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -99,6 +106,7 @@ pub fn run_all(cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
         float_hygiene::check(&file, &mut diags);
         pub_doc::check(&file, &mut diags);
         journal_atomic::check(&file, &mut diags);
+        budget_accounted::check(&file, &mut diags);
         r4_counts.insert(
             file.path.to_string_lossy().into_owned(),
             unwrap_budget::count(&file),

@@ -5,6 +5,7 @@
 //! R1 runs on manifests and R4 aggregates per-file counts against a
 //! checked-in baseline — both are driven by the engine.
 
+pub mod budget_accounted;
 pub mod float_hygiene;
 pub mod hermetic_deps;
 pub mod journal_atomic;
@@ -61,6 +62,13 @@ pub const REGISTRY: &[RuleInfo] = &[
         description: "durable writes in core crates go through palu-traffic's journal \
                       (atomic tmp-file+rename); no direct File::create/OpenOptions/\
                       fs::write elsewhere",
+    },
+    RuleInfo {
+        id: "R7",
+        name: "budget-accounted",
+        description: "capture-path buffers size their capacity through the budget \
+                      accountant (admitted_capacity) or carry a justification; no raw \
+                      with_capacity/reserve on window-geometry-derived sizes",
     },
 ];
 

@@ -6,7 +6,27 @@
 //! reductions.
 
 use crate::csr::CsrMatrix;
+use crate::error::SparseError;
 use crate::{Count, NodeId};
+
+/// Validate that `elems` elements of `elem_size` bytes fit one
+/// allocation (`usize` count, ≤ `isize::MAX` bytes); returns the count
+/// as `usize` on success. All geometry-derived buffer sizing in this
+/// module funnels through here so an adversarial dimension surfaces as
+/// a typed [`SparseError`] instead of a capacity-overflow panic.
+fn checked_buffer(what: &'static str, elems: u128, elem_size: usize) -> Result<usize, SparseError> {
+    let overflow = SparseError::CapacityOverflow {
+        what,
+        requested: elems,
+    };
+    let bytes = elems
+        .checked_mul(elem_size as u128)
+        .ok_or(overflow.clone())?;
+    if elems > usize::MAX as u128 || bytes > isize::MAX as u128 {
+        return Err(overflow);
+    }
+    Ok(elems as usize)
+}
 
 /// A sparse matrix under construction: unsorted `(row, col, value)`
 /// triplets with duplicates allowed (they accumulate on conversion).
@@ -27,15 +47,29 @@ impl CooMatrix {
     }
 
     /// Create an empty builder with reserved capacity for `nnz`
-    /// triplets.
+    /// triplets. Panics if the reservation itself cannot fit an
+    /// allocation; see [`CooMatrix::try_with_capacity`] for the
+    /// checked variant.
     pub fn with_capacity(nnz: usize) -> Self {
-        CooMatrix {
-            rows: Vec::with_capacity(nnz),
-            cols: Vec::with_capacity(nnz),
-            vals: Vec::with_capacity(nnz),
+        match Self::try_with_capacity(nnz) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CooMatrix::with_capacity`] with checked sizing: `nnz` is
+    /// typically derived from untrusted window geometry, so the byte
+    /// arithmetic is validated and reported as a typed error instead
+    /// of a capacity-overflow panic.
+    pub fn try_with_capacity(nnz: usize) -> Result<Self, SparseError> {
+        let nnz = checked_buffer("coo triplets", nnz as u128, size_of::<Count>())?;
+        Ok(CooMatrix {
+            rows: Vec::with_capacity(nnz), // sized via checked_buffer — lint:allow(R7)
+            cols: Vec::with_capacity(nnz), // sized via checked_buffer — lint:allow(R7)
+            vals: Vec::with_capacity(nnz), // sized via checked_buffer — lint:allow(R7)
             n_rows: 0,
             n_cols: 0,
-        }
+        })
     }
 
     /// Record `count` packets from `src` to `dst`.
@@ -106,13 +140,34 @@ impl CooMatrix {
     /// Convert to CSR, accumulating duplicate `(row, col)` entries.
     ///
     /// Runs in `O(nnz + n_rows)` using a two-pass counting sort on
-    /// rows followed by per-row sorting on columns.
+    /// rows followed by per-row sorting on columns. Panics if buffer
+    /// sizing overflows; see [`CooMatrix::try_to_csr`] for the checked
+    /// variant.
     pub fn to_csr(&self) -> CsrMatrix {
-        let n_rows = self.n_rows as usize;
+        match self.try_to_csr() {
+            Ok(csr) => csr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CooMatrix::to_csr`] with checked sizing: `n_rows` can be
+    /// forced arbitrarily high by [`CooMatrix::reserve_dims`] from
+    /// untrusted configuration, so every buffer size is validated
+    /// before allocation and an infeasible conversion is reported as a
+    /// typed [`SparseError`] instead of a capacity-overflow panic.
+    pub fn try_to_csr(&self) -> Result<CsrMatrix, SparseError> {
         let nnz = self.vals.len();
+        let n_rows_plus =
+            checked_buffer("csr row_ptr", self.n_rows as u128 + 1, size_of::<usize>())?;
+        let n_rows = n_rows_plus - 1;
+        checked_buffer(
+            "csr entries",
+            nnz as u128,
+            size_of::<NodeId>() + size_of::<Count>(),
+        )?;
 
         // Pass 1: count triplets per row.
-        let mut row_counts = vec![0usize; n_rows + 1];
+        let mut row_counts = vec![0usize; n_rows_plus];
         for &r in &self.rows {
             row_counts[r as usize + 1] += 1;
         }
@@ -135,9 +190,9 @@ impl CooMatrix {
 
         // Pass 3: per row, sort by column and accumulate duplicates
         // in place, building the final compacted arrays.
-        let mut out_cols = Vec::with_capacity(nnz);
-        let mut out_vals = Vec::with_capacity(nnz);
-        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        let mut out_cols = Vec::with_capacity(nnz); // sized via checked_buffer — lint:allow(R7)
+        let mut out_vals = Vec::with_capacity(nnz); // sized via checked_buffer — lint:allow(R7)
+        let mut row_ptr = Vec::with_capacity(n_rows_plus); // sized via checked_buffer — lint:allow(R7)
         row_ptr.push(0usize);
         let mut scratch: Vec<(NodeId, Count)> = Vec::new();
         for r in 0..n_rows {
@@ -168,7 +223,12 @@ impl CooMatrix {
             row_ptr.push(out_cols.len());
         }
 
-        CsrMatrix::from_raw_parts(row_ptr, out_cols, out_vals, self.n_cols)
+        Ok(CsrMatrix::from_raw_parts(
+            row_ptr,
+            out_cols,
+            out_vals,
+            self.n_cols,
+        ))
     }
 }
 
@@ -282,5 +342,33 @@ mod tests {
     fn collect_from_pairs() {
         let m: CooMatrix = [(0u32, 1u32), (1, 0)].into_iter().collect();
         assert_eq!(m.total_count(), 2);
+    }
+
+    #[test]
+    fn adversarial_capacity_is_a_typed_error_not_a_panic() {
+        let err = CooMatrix::try_with_capacity(usize::MAX).unwrap_err();
+        match err {
+            SparseError::CapacityOverflow { what, requested } => {
+                assert_eq!(what, "coo triplets");
+                assert_eq!(requested, usize::MAX as u128);
+            }
+        }
+    }
+
+    #[test]
+    fn try_to_csr_matches_the_panicking_path() {
+        let mut m = CooMatrix::from_packet_pairs([(0, 1), (1, 2), (0, 1)]);
+        m.reserve_dims(10, 10);
+        assert_eq!(m.try_to_csr().unwrap(), m.to_csr());
+    }
+
+    #[test]
+    fn checked_buffer_rejects_byte_overflow() {
+        // Element count fits usize but the byte size exceeds isize::MAX.
+        let elems = (isize::MAX as u128 / 8) + 1;
+        assert!(checked_buffer("x", elems, 8).is_err());
+        assert_eq!(checked_buffer("x", 16, 8), Ok(16));
+        // Count × size overflowing u128 is also caught.
+        assert!(checked_buffer("x", u128::MAX, 8).is_err());
     }
 }

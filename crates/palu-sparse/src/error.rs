@@ -1,0 +1,52 @@
+//! Typed errors for sparse-matrix construction.
+//!
+//! Window geometry reaches the builders from configuration files and
+//! journals — both untrusted. Sizing arithmetic on those dimensions
+//! must not panic with a capacity overflow; it reports a
+//! [`SparseError`] instead so callers can refuse the window cleanly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure while sizing or building a sparse matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A capacity computation on untrusted dimensions overflowed
+    /// `usize` (or would exceed the platform's allocation limit).
+    CapacityOverflow {
+        /// Which buffer the computation was sizing.
+        what: &'static str,
+        /// The requested element count that overflowed.
+        requested: u128,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::CapacityOverflow { what, requested } => write!(
+                f,
+                "capacity overflow sizing {what}: {requested} elements exceeds \
+                 the addressable allocation limit"
+            ),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_buffer_and_count() {
+        let e = SparseError::CapacityOverflow {
+            what: "csr row_ptr",
+            requested: u128::MAX,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("csr row_ptr"), "{msg}");
+        assert!(msg.contains("capacity overflow"), "{msg}");
+    }
+}

@@ -27,6 +27,8 @@ pub mod aggregates;
 pub mod coo;
 /// Compressed sparse row matrices built from COO batches.
 pub mod csr;
+/// Typed errors for sizing on untrusted dimensions.
+pub mod error;
 /// Sharded parallel window assembly on std::thread scoped threads.
 pub mod parallel;
 /// The network quantities (degree, flows, packets, bytes) tracked per node.
@@ -35,7 +37,56 @@ pub mod quantities;
 pub use aggregates::Aggregates;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
+pub use error::SparseError;
 pub use quantities::{NetworkQuantity, QuantityHistograms};
+
+/// Largest capacity *hint* honoured verbatim before admission-control
+/// accounting kicks in (4 Mi elements). Geometry-derived sizes below
+/// this pre-reserve exactly; larger hints are clamped and the buffer
+/// grows organically by doubling, so an adversarial or mis-accounted
+/// dimension can never trigger a multi-gigabyte up-front reservation.
+pub const MAX_UNACCOUNTED_RESERVE: usize = 1 << 22;
+
+/// Clamp a window-geometry-derived capacity hint to
+/// [`MAX_UNACCOUNTED_RESERVE`]. This is the sanctioned entry point the
+/// R7 lint rule recognises: pipeline code reserves geometry-derived
+/// capacities through here (or through a budget accountant built on
+/// it), never via a raw `with_capacity` on the untrusted size.
+pub fn admitted_capacity(hint: usize) -> usize {
+    hint.min(MAX_UNACCOUNTED_RESERVE)
+}
+
+/// Checked in-memory footprint, in bytes, of a CSR matrix with
+/// `n_rows` rows and `nnz` stored entries: the `row_ptr` offsets plus
+/// the column-index and value arrays. `None` on arithmetic overflow —
+/// budget cost models treat that as infeasible.
+pub fn csr_footprint_bytes(n_rows: u64, nnz: u64) -> Option<u64> {
+    let row_ptr = n_rows
+        .checked_add(1)?
+        .checked_mul(size_of::<usize>() as u64)?;
+    let entries = nnz.checked_mul((size_of::<NodeId>() + size_of::<Count>()) as u64)?;
+    row_ptr.checked_add(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admitted_capacity_clamps_only_above_the_cap() {
+        assert_eq!(admitted_capacity(0), 0);
+        assert_eq!(admitted_capacity(1234), 1234);
+        assert_eq!(admitted_capacity(usize::MAX), MAX_UNACCOUNTED_RESERVE);
+    }
+
+    #[test]
+    fn csr_footprint_is_checked() {
+        let f = csr_footprint_bytes(10, 100).unwrap();
+        assert_eq!(f, 11 * 8 + 100 * 12);
+        assert!(csr_footprint_bytes(u64::MAX, 1).is_none());
+        assert!(csr_footprint_bytes(1, u64::MAX).is_none());
+    }
+}
 
 /// Node identifier (source or destination address index).
 ///

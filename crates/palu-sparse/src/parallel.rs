@@ -60,13 +60,13 @@ pub fn build_csr_parallel_with_cutoff(
     // to the serial path), so the chunk size is at least 1 and
     // `chunks` never sees a zero size.
     let chunk = pairs.len().div_ceil(n_threads).max(1);
-    let mut merged = CooMatrix::with_capacity(pairs.len());
+    let mut merged = CooMatrix::with_capacity(crate::admitted_capacity(pairs.len()));
     std::thread::scope(|s| {
         let workers: Vec<_> = pairs
             .chunks(chunk)
             .map(|piece| {
                 s.spawn(move || {
-                    let mut local = CooMatrix::with_capacity(piece.len());
+                    let mut local = CooMatrix::with_capacity(crate::admitted_capacity(piece.len()));
                     for &(src, dst) in piece {
                         local.push_packet(src, dst);
                     }

@@ -88,6 +88,15 @@ impl DegreeHistogram {
         self.counts.len()
     }
 
+    /// Approximate resident size in bytes, modelling each B-tree entry
+    /// at 48 bytes (key + value + amortized node overhead). Used by the
+    /// pipeline's resource budget to account retained histograms; an
+    /// estimate, not an exact allocator measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        const BTREE_ENTRY_BYTES: u64 = 48;
+        size_of::<DegreeHistogram>() as u64 + self.counts.len() as u64 * BTREE_ENTRY_BYTES
+    }
+
     /// Largest degree with a nonzero count — the paper's supernode
     /// degree `d_max = argmax(D(d) > 0)` (Equation 1). `None` if empty.
     pub fn d_max(&self) -> Option<u64> {

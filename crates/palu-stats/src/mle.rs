@@ -54,11 +54,17 @@ impl PowerLawFit {
         if d < self.x_min {
             return 0.0;
         }
-        let z_all =
-            hurwitz_zeta(self.alpha, self.x_min as f64).expect("alpha > 1 guaranteed by fit");
-        let z_beyond =
-            hurwitz_zeta(self.alpha, d as f64 + 1.0).expect("alpha > 1 guaranteed by fit");
-        1.0 - z_beyond / z_all
+        // The fit brackets guarantee `alpha > 1`, so the zeta domain
+        // error is unreachable from a fitted value; a hand-constructed
+        // fit with a bad exponent degrades to the empty-tail CDF
+        // rather than panicking.
+        match (
+            hurwitz_zeta(self.alpha, self.x_min as f64),
+            hurwitz_zeta(self.alpha, d as f64 + 1.0),
+        ) {
+            (Ok(z_all), Ok(z_beyond)) => 1.0 - z_beyond / z_all,
+            _ => 0.0,
+        }
     }
 }
 

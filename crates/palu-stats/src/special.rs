@@ -209,9 +209,13 @@ pub fn harmonic_partial(n: u64, s: f64) -> f64 {
         acc
     } else {
         // ζ(s) − Σ_{d=n+1}^∞ d^{-s}; both pieces are full precision.
-        let total = hurwitz_zeta(s, 1.0).expect("s > 1 on this path");
-        let tail = hurwitz_zeta(s, n as f64 + 1.0).expect("s > 1 on this path");
-        total - tail
+        // `s > 1` is guaranteed on this branch so the domain error is
+        // unreachable — but if it ever fires, fall back to the exact
+        // direct sum rather than panicking.
+        match (hurwitz_zeta(s, 1.0), hurwitz_zeta(s, n as f64 + 1.0)) {
+            (Ok(total), Ok(tail)) => total - tail,
+            _ => (1..=n).rev().map(|d| (d as f64).powf(-s)).sum(),
+        }
     }
 }
 
@@ -235,9 +239,15 @@ pub fn zm_normalizer(n: u64, s: f64, q: f64) -> f64 {
         }
         acc
     } else {
-        let total = hurwitz_zeta(s, 1.0 + q).expect("s > 1 on this path");
-        let tail = hurwitz_zeta(s, n as f64 + 1.0 + q).expect("s > 1 on this path");
-        total - tail
+        // As in `harmonic_partial`: `s > 1` here, so the zeta domain
+        // error is unreachable; the direct sum is the safe fallback.
+        match (
+            hurwitz_zeta(s, 1.0 + q),
+            hurwitz_zeta(s, n as f64 + 1.0 + q),
+        ) {
+            (Ok(total), Ok(tail)) => total - tail,
+            _ => (1..=n).rev().map(|d| (d as f64 + q).powf(-s)).sum(),
+        }
     }
 }
 

@@ -311,6 +311,14 @@ impl BinStats {
         self.bins.len()
     }
 
+    /// Approximate resident size in bytes: the bin vector's backing
+    /// storage plus the struct header. Used by the pipeline's resource
+    /// budget to account pooled state; an estimate, not an exact
+    /// allocator measurement.
+    pub fn approx_bytes(&self) -> u64 {
+        (size_of::<BinStats>() + self.bins.capacity() * size_of::<Welford>()) as u64
+    }
+
     /// Mean pooled distribution `D(d_i)` across windows.
     pub fn mean_distribution(&self) -> DifferentialCumulative {
         DifferentialCumulative::from_values(self.bins.iter().map(|w| w.mean()).collect())

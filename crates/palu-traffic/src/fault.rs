@@ -377,6 +377,9 @@ pub struct FaultReport {
     /// Fit-restart ladder rung histogram for fits run on the pooled
     /// output (filled in by callers that fit; see `palu-cli`).
     pub ladder: RungTally,
+    /// Degradation-ladder engagements recorded by the budget governor,
+    /// in engagement order (empty without a memory budget).
+    pub degradations: Vec<crate::budget::DegradationEvent>,
 }
 
 impl FaultReport {
@@ -412,6 +415,11 @@ pub enum InjectedFault {
     /// [`WindowFault::Stalled`] when the watchdog is armed; a no-op
     /// without a deadline).
     Stall,
+    /// Inflate the window's *accounted* footprint in the budget ledger
+    /// (no real allocation) to simulate memory pressure and exercise
+    /// the degradation ladder. A no-op without a memory budget; never
+    /// produces a [`WindowFault`] — the window completes normally.
+    Ballast,
 }
 
 impl InjectedFault {
@@ -423,6 +431,7 @@ impl InjectedFault {
             InjectedFault::DuplicateStorm => "dup",
             InjectedFault::WorkerPanic => "panic",
             InjectedFault::Stall => "stall",
+            InjectedFault::Ballast => "ballast",
         }
     }
 }
@@ -443,6 +452,11 @@ pub struct InjectionSpec {
     /// observable with the watchdog armed), so it must be requested
     /// explicitly as `stall=rate`.
     pub stall: f64,
+    /// Probability of [`InjectedFault::Ballast`] per attempt. Like
+    /// `stall`, not part of the [`InjectionSpec::uniform`] split (only
+    /// observable with a memory budget set); request it explicitly as
+    /// `ballast=rate`.
+    pub ballast: f64,
 }
 
 impl InjectionSpec {
@@ -454,6 +468,7 @@ impl InjectionSpec {
             duplicate: 0.0,
             panic: 0.0,
             stall: 0.0,
+            ballast: 0.0,
         }
     }
 
@@ -473,6 +488,7 @@ impl InjectionSpec {
             duplicate: rate / 4.0,
             panic: rate / 4.0,
             stall: 0.0,
+            ballast: 0.0,
         }
     }
 
@@ -514,9 +530,11 @@ impl InjectionSpec {
                 "dup" => spec.duplicate = rate,
                 "panic" => spec.panic = rate,
                 "stall" => spec.stall = rate,
+                "ballast" => spec.ballast = rate,
                 other => {
                     return Err(format!(
-                        "unknown fault kind '{other}' (expected truncate, nan, dup, panic, stall)"
+                        "unknown fault kind '{other}' (expected truncate, nan, dup, panic, \
+                         stall, ballast)"
                     ))
                 }
             }
@@ -529,7 +547,7 @@ impl InjectionSpec {
 
     /// Sum of all the rates.
     pub fn total(&self) -> f64 {
-        self.truncate + self.nan + self.duplicate + self.panic + self.stall
+        self.truncate + self.nan + self.duplicate + self.panic + self.stall + self.ballast
     }
 
     /// True when every rate is zero.
@@ -595,6 +613,12 @@ impl Injector {
         if u < edge {
             return Some(InjectedFault::Stall);
         }
+        // Appended after every pre-existing kind so enabling ballast
+        // never re-plans the established deterministic outcomes.
+        edge += self.spec.ballast;
+        if u < edge {
+            return Some(InjectedFault::Ballast);
+        }
         None
     }
 }
@@ -627,6 +651,9 @@ pub enum PipelineError {
     /// The durable capture journal failed (I/O or corruption); see
     /// [`crate::journal::JournalFault`].
     Journal(crate::journal::JournalFault),
+    /// The resource-budget governor refused or aborted the capture;
+    /// see [`crate::budget::BudgetFault`].
+    Budget(crate::budget::BudgetFault),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -652,6 +679,7 @@ impl std::fmt::Display for PipelineError {
                 "{quarantined} of {windows} windows quarantined, above the {threshold} threshold"
             ),
             PipelineError::Journal(fault) => write!(f, "capture journal: {fault}"),
+            PipelineError::Budget(fault) => write!(f, "resource budget: {fault}"),
         }
     }
 }
@@ -661,6 +689,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::WindowAborted { fault, .. } => Some(fault),
             PipelineError::Journal(fault) => Some(fault),
+            PipelineError::Budget(fault) => Some(fault),
             _ => None,
         }
     }
@@ -669,6 +698,12 @@ impl std::error::Error for PipelineError {
 impl From<crate::journal::JournalFault> for PipelineError {
     fn from(fault: crate::journal::JournalFault) -> Self {
         PipelineError::Journal(fault)
+    }
+}
+
+impl From<crate::budget::BudgetFault> for PipelineError {
+    fn from(fault: crate::budget::BudgetFault) -> Self {
+        PipelineError::Budget(fault)
     }
 }
 
@@ -688,6 +723,31 @@ mod tests {
         // At a 50% rate over 64 windows, both outcomes occur.
         let hits = first.iter().filter(|p| p.is_some()).count();
         assert!(hits > 8 && hits < 56, "hits {hits}");
+    }
+
+    #[test]
+    fn ballast_parses_and_extends_the_plan_tail() {
+        let spec = InjectionSpec::parse("ballast=0.5").expect("parses");
+        assert_eq!(spec.ballast, 0.5);
+        assert_eq!(spec.total(), 0.5);
+        assert!(!spec.is_none());
+        // Certain ballast plans ballast everywhere.
+        let inj = Injector::new(InjectionSpec::parse("ballast=1.0").unwrap(), 11);
+        assert!((0..32).all(|t| inj.plan(t, 0) == Some(InjectedFault::Ballast)));
+        // Enabling ballast never re-plans pre-existing kinds: windows
+        // the old spec faulted keep the identical fault.
+        let old = Injector::new(InjectionSpec::uniform(0.4), 23);
+        let mut with_ballast = InjectionSpec::uniform(0.4);
+        with_ballast.ballast = 0.3;
+        let new = Injector::new(with_ballast, 23);
+        for t in 0..128 {
+            if let Some(f) = old.plan(t, 0) {
+                assert_eq!(new.plan(t, 0), Some(f), "window {t}");
+            }
+        }
+        assert_eq!(InjectedFault::Ballast.name(), "ballast");
+        let err = InjectionSpec::parse("blast=0.1").unwrap_err();
+        assert!(err.contains("ballast"), "kind list mentions ballast: {err}");
     }
 
     #[test]

@@ -29,11 +29,18 @@
 //!   checkpoint/resume: CRC32-framed window records, torn-tail
 //!   recovery, and typed refusal of corrupt or mismatched journals
 //!   (DESIGN.md §4f).
+//! * [`budget`] — the resource-budget governor: admission control from
+//!   per-stage cost models, accounted-bytes backpressure, and the
+//!   graceful-degradation ladder for bounded-memory captures
+//!   (DESIGN.md §4g).
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 /// Deterministic keyed address anonymization (CryptoPAn-style prefix preservation).
 pub mod anonymize;
+/// Resource-budget governor: admission control, backpressure, and
+/// graceful degradation for bounded-memory captures.
+pub mod budget;
 /// Typed window-failure taxonomy, failure policies, and the seeded
 /// deterministic fault injector.
 pub mod fault;
@@ -52,6 +59,10 @@ pub mod stream;
 /// Single-window accumulation of flows into per-node quantities.
 pub mod window;
 
+pub use budget::{
+    BudgetFault, CostModel, DegradationEvent, DegradationRung, Governor, ResourceBudget,
+    SuggestedConfig,
+};
 pub use fault::{
     FailurePolicy, FaultAction, FaultKind, FaultRecord, FaultReport, InjectedFault, InjectionSpec,
     Injector, PipelineError, WindowFault, WindowOutcome,

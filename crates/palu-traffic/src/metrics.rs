@@ -84,6 +84,9 @@ pub struct Metrics {
     windows_recovered: AtomicU64,
     journal_bytes_replayed: AtomicU64,
     journal_torn_dropped: AtomicU64,
+    peak_accounted_bytes: AtomicU64,
+    budget_degradations: AtomicU64,
+    admission_estimate_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -148,6 +151,25 @@ impl Metrics {
         self.journal_torn_dropped.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise the high-water mark of budget-accounted bytes to at least
+    /// `bytes` (monotone: lower observations are ignored).
+    pub fn record_peak_accounted_bytes(&self, bytes: u64) {
+        self.peak_accounted_bytes
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Count one degradation-ladder rung engagement.
+    pub fn add_budget_degradation(&self) {
+        self.budget_degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record admission control's projected peak footprint in bytes
+    /// (last write wins).
+    pub fn set_admission_estimate_bytes(&self, bytes: u64) {
+        self.admission_estimate_bytes
+            .store(bytes, Ordering::Relaxed);
+    }
+
     /// Freeze the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let ns = |s: Stage| self.stage_ns[s.index()].load(Ordering::Relaxed);
@@ -165,6 +187,9 @@ impl Metrics {
             windows_recovered: self.windows_recovered.load(Ordering::Relaxed),
             journal_bytes_replayed: self.journal_bytes_replayed.load(Ordering::Relaxed),
             journal_torn_dropped: self.journal_torn_dropped.load(Ordering::Relaxed),
+            peak_accounted_bytes: self.peak_accounted_bytes.load(Ordering::Relaxed),
+            budget_degradations: self.budget_degradations.load(Ordering::Relaxed),
+            admission_estimate_bytes: self.admission_estimate_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -215,6 +240,12 @@ pub struct MetricsSnapshot {
     pub journal_bytes_replayed: u64,
     /// Torn tail records dropped during journal recovery.
     pub journal_torn_dropped: u64,
+    /// High-water mark of budget-accounted bytes (0 without a budget).
+    pub peak_accounted_bytes: u64,
+    /// Degradation-ladder rung engagements by the budget governor.
+    pub budget_degradations: u64,
+    /// Admission control's projected peak footprint in bytes.
+    pub admission_estimate_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -257,10 +288,18 @@ mod tests {
         m.add_windows_recovered(5);
         m.add_journal_bytes_replayed(640);
         m.add_journal_torn_dropped(1);
+        m.record_peak_accounted_bytes(900);
+        m.record_peak_accounted_bytes(400);
+        m.add_budget_degradation();
+        m.add_budget_degradation();
+        m.set_admission_estimate_bytes(12_345);
         let s = m.snapshot();
         assert_eq!(s.windows_recovered, 5);
         assert_eq!(s.journal_bytes_replayed, 640);
         assert_eq!(s.journal_torn_dropped, 1);
+        assert_eq!(s.peak_accounted_bytes, 900, "peak is monotone");
+        assert_eq!(s.budget_degradations, 2);
+        assert_eq!(s.admission_estimate_bytes, 12_345);
         assert_eq!(s.synthesize_ns, 15);
         assert_eq!(s.merge_ns, 7);
         assert_eq!(s.window_ns, 0);

@@ -78,7 +78,7 @@ impl PacketSynthesizer {
                     .collect()
             }
         };
-        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut cumulative = Vec::with_capacity(palu_sparse::admitted_capacity(weights.len()));
         let mut acc = 0.0;
         for w in weights {
             acc += w;

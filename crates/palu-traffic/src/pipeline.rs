@@ -18,6 +18,10 @@
 //! push), so the pooled result is **bit-identical** to the serial fold
 //! for any thread count.
 
+use crate::budget::{
+    coarsen_degree, coarsen_histogram, CostModel, DegradationEvent, DegradationRung, Governor,
+    ResourceBudget, BALLAST_WINDOW_MULTIPLIER,
+};
 use crate::fault::{
     FailurePolicy, FaultAction, FaultRecord, FaultReport, InjectedFault, Injector, PipelineError,
     WindowFault, WindowOutcome,
@@ -285,6 +289,7 @@ impl Pipeline {
             injector,
             None,
             None,
+            None,
         )
     }
 
@@ -338,11 +343,73 @@ impl Pipeline {
             injector,
             journal,
             recovery,
+            None,
         )
     }
 
-    /// The engine behind both checked entry points; `journal` and
-    /// `recovery` are `None` on the non-durable path.
+    /// [`Pipeline::pool_observatory_durable`] under a resource-budget
+    /// [`Governor`] (DESIGN.md §4g) — the full engine surface.
+    ///
+    /// With `governor` supplied the engine runs *governed*: admission
+    /// control projects the peak accounted footprint from the window
+    /// geometry before any window is synthesized (refusing infeasible
+    /// configurations with [`BudgetFault::AdmissionRefused`]
+    /// (crate::budget::BudgetFault)), every batch of in-flight windows
+    /// acquires its projected transient footprint from the budget
+    /// ledger, and soft-watermark breaches engage the
+    /// [`DegradationRung`] ladder — coarsen the merged histogram's
+    /// log-binning, shrink the in-flight width, spill completed slots
+    /// into the merge — each engagement recorded as a typed
+    /// [`DegradationEvent`] in the report. A hard-watermark breach that
+    /// survives draining everything drainable aborts the capture with
+    /// a clean typed [`PipelineError::Budget`], never an OOM kill.
+    ///
+    /// **Determinism.** The ledger is touched only by the coordinating
+    /// thread at window boundaries, so rung engagement is a pure
+    /// function of `(configuration, budget, threads)` — reruns at a
+    /// fixed budget reproduce the same schedule and the same events.
+    /// The merge stays strictly window-ordered regardless of batching,
+    /// and the pooled `BinStats` is never coarsened, so the *pooled*
+    /// distribution is bit-identical across thread counts even when
+    /// the rung history differs — and bit-identical to the ungoverned
+    /// engine whenever the budget is ample (or `governor` is `None`,
+    /// which routes to the ungoverned engine unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Those of [`Pipeline::pool_observatory_durable`], plus
+    /// [`PipelineError::Budget`] on admission refusal or a hard
+    /// watermark breach.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pool_observatory_governed(
+        measurement: Measurement,
+        obs: &mut Observatory,
+        n: usize,
+        threads: usize,
+        metrics: Option<&Metrics>,
+        policy: &FailurePolicy,
+        injector: Option<&Injector>,
+        journal: Option<&Journal>,
+        recovery: Option<&Recovery>,
+        governor: Option<&Governor<'_>>,
+    ) -> Result<FaultTolerantPool, PipelineError> {
+        Pipeline::pool_engine(
+            measurement,
+            obs,
+            n,
+            threads,
+            metrics,
+            policy,
+            injector,
+            journal,
+            recovery,
+            governor,
+        )
+    }
+
+    /// The engine behind the checked entry points; `journal` and
+    /// `recovery` are `None` on the non-durable path, `governor` is
+    /// `None` everywhere except [`Pipeline::pool_observatory_governed`].
     #[allow(clippy::too_many_arguments)]
     fn pool_engine(
         measurement: Measurement,
@@ -354,12 +421,31 @@ impl Pipeline {
         injector: Option<&Injector>,
         journal: Option<&Journal>,
         recovery: Option<&Recovery>,
+        governor: Option<&Governor<'_>>,
     ) -> Result<FaultTolerantPool, PipelineError> {
         if n == 0 {
             return Err(PipelineError::ZeroWindows);
         }
-        let start_t = obs.advance(n);
         let threads = threads.clamp(1, n);
+        // Admission control (DESIGN.md §4g): project the peak
+        // accounted footprint from the window geometry and refuse an
+        // infeasible capture *before* the observatory advances or any
+        // window is synthesized.
+        let model = governor.map(|_| CostModel {
+            n_v: obs.config().n_v,
+            n_nodes: obs.underlying().n_nodes() as u64,
+            windows: n as u64,
+            threads: threads as u64,
+        });
+        if let (Some(gov), Some(model)) = (governor, &model) {
+            let estimate = model
+                .admit(gov.budget, gov.strict_admission)
+                .map_err(PipelineError::Budget)?;
+            if let Some(m) = metrics {
+                m.set_admission_estimate_bytes(estimate);
+            }
+        }
+        let start_t = obs.advance(n);
         if let Some(m) = metrics {
             m.set_threads(threads as u64);
             m.add_windows(n as u64);
@@ -383,6 +469,24 @@ impl Pipeline {
                 m.add_journal_bytes_replayed(rec.bytes_replayed);
                 m.add_journal_torn_dropped(rec.torn_records_dropped);
             }
+        }
+        // A configured budget routes to the governed engine; `None`
+        // keeps the ungoverned path below byte-for-byte as before.
+        if let (Some(gov), Some(model)) = (governor, model.as_ref()) {
+            return governed_capture(
+                measurement,
+                obs,
+                n,
+                start_t,
+                threads,
+                metrics,
+                policy,
+                injector,
+                journal,
+                slots,
+                gov,
+                model,
+            );
         }
         let chunk = n.div_ceil(threads).max(1);
         std::thread::scope(|s| {
@@ -422,65 +526,13 @@ impl Pipeline {
         // thread, skipping quarantined windows. The scope above joined
         // every worker, so each slot is filled.
         debug_assert!(slots.iter().all(Option::is_some));
-        let mut p = Pipeline::new(measurement);
-        let mut merged = DegreeHistogram::new();
-        let mut report = FaultReport::new(n as u64);
-        report.survivors = 0;
-        let mut abort: Option<(u64, u32, WindowFault)> = None;
+        let mut acc = MergeAcc::new(measurement, n);
         time_stage(metrics, Stage::Merge, || {
             for slot in slots.into_iter().flatten() {
-                report.injected += slot.injected;
-                report.retries += slot.retries;
-                if let Some(rec) = slot.record {
-                    match rec.outcome {
-                        WindowOutcome::Recovered => report.recovered += 1,
-                        WindowOutcome::Quarantined => report.quarantined += 1,
-                        WindowOutcome::Substituted => report.substituted += 1,
-                        WindowOutcome::Aborted => {
-                            if abort.is_none() {
-                                if let Some(fault) = slot.abort_fault {
-                                    abort = Some((rec.window, rec.attempts, fault));
-                                }
-                            }
-                        }
-                    }
-                    report.records.push(rec);
-                }
-                if let Some((one, d_max, h)) = slot.result {
-                    report.survivors += 1;
-                    if let Some(d) = d_max {
-                        p.d_max = p.d_max.max(d);
-                    }
-                    p.stats.merge(&one);
-                    for (d, c) in h.iter() {
-                        merged.increment(d, c);
-                    }
-                }
+                acc.fold(slot);
             }
         });
-        if let Some((window, attempts, fault)) = abort {
-            return Err(PipelineError::WindowAborted {
-                window,
-                attempts,
-                fault,
-            });
-        }
-        if policy.overflows(report.quarantined, n as u64) {
-            return Err(PipelineError::QuarantineOverflow {
-                quarantined: report.quarantined,
-                windows: n as u64,
-                threshold: policy.quarantine_threshold,
-            });
-        }
-        if let Some(m) = metrics {
-            m.add_retries(report.retries);
-            m.add_quarantined(report.quarantined);
-        }
-        Ok(FaultTolerantPool {
-            pooled: p.finish(),
-            report,
-            histogram: merged,
-        })
+        acc.finish(policy, n, metrics)
     }
 }
 
@@ -538,6 +590,498 @@ impl WindowSlot {
             }),
         }
     }
+}
+
+/// The strictly window-ordered merge fold shared by the ungoverned
+/// and governed engines. Folding slots one at a time in window order
+/// replays the exact statement sequence of the historical merge loop,
+/// so both engines produce bit-identical pooled output for the same
+/// slots regardless of how the windows were scheduled.
+struct MergeAcc {
+    p: Pipeline,
+    merged: DegreeHistogram,
+    report: FaultReport,
+    abort: Option<(u64, u32, WindowFault)>,
+    /// Set when the `CoarsenBins` degradation rung engages: subsequent
+    /// folds collapse merged-histogram keys to their log-bin
+    /// representatives. The pooled `BinStats` is never coarsened.
+    coarsen: bool,
+}
+
+impl MergeAcc {
+    fn new(measurement: Measurement, n: usize) -> MergeAcc {
+        let mut report = FaultReport::new(n as u64);
+        report.survivors = 0;
+        MergeAcc {
+            p: Pipeline::new(measurement),
+            merged: DegreeHistogram::new(),
+            report,
+            abort: None,
+            coarsen: false,
+        }
+    }
+
+    /// Fold one completed window into the pooled state and the fault
+    /// report — the historical per-slot merge body, verbatim.
+    fn fold(&mut self, slot: WindowSlot) {
+        self.report.injected += slot.injected;
+        self.report.retries += slot.retries;
+        if let Some(rec) = slot.record {
+            match rec.outcome {
+                WindowOutcome::Recovered => self.report.recovered += 1,
+                WindowOutcome::Quarantined => self.report.quarantined += 1,
+                WindowOutcome::Substituted => self.report.substituted += 1,
+                WindowOutcome::Aborted => {
+                    if self.abort.is_none() {
+                        if let Some(fault) = slot.abort_fault {
+                            self.abort = Some((rec.window, rec.attempts, fault));
+                        }
+                    }
+                }
+            }
+            self.report.records.push(rec);
+        }
+        if let Some((one, d_max, h)) = slot.result {
+            self.report.survivors += 1;
+            if let Some(d) = d_max {
+                self.p.d_max = self.p.d_max.max(d);
+            }
+            self.p.stats.merge(&one);
+            for (d, c) in h.iter() {
+                let key = if self.coarsen { coarsen_degree(d) } else { d };
+                self.merged.increment(key, c);
+            }
+        }
+    }
+
+    /// The historical post-merge tail: surface an abort, check the
+    /// quarantine threshold, flush counters, package the pool.
+    fn finish(
+        self,
+        policy: &FailurePolicy,
+        n: usize,
+        metrics: Option<&Metrics>,
+    ) -> Result<FaultTolerantPool, PipelineError> {
+        if let Some((window, attempts, fault)) = self.abort {
+            return Err(PipelineError::WindowAborted {
+                window,
+                attempts,
+                fault,
+            });
+        }
+        if policy.overflows(self.report.quarantined, n as u64) {
+            return Err(PipelineError::QuarantineOverflow {
+                quarantined: self.report.quarantined,
+                windows: n as u64,
+                threshold: policy.quarantine_threshold,
+            });
+        }
+        if let Some(m) = metrics {
+            m.add_retries(self.report.retries);
+            m.add_quarantined(self.report.quarantined);
+        }
+        Ok(FaultTolerantPool {
+            pooled: self.p.finish(),
+            report: self.report,
+            histogram: self.merged,
+        })
+    }
+}
+
+/// Measured bytes a completed slot retains until it drains into the
+/// merge: the binned stats plus the (possibly coarsened) histogram.
+/// Always dominated by [`CostModel::slot_bytes`] — the histogram
+/// support obeys the distinct-value bound and the `BinStats` vector
+/// the 64-bin cap — which is what makes the admission estimate an
+/// upper bound on the accounted peak.
+fn slot_measured_bytes(slot: &WindowSlot) -> u64 {
+    const SLOT_HEADER_BYTES: u64 = 256;
+    match &slot.result {
+        Some((stats, _, h)) => SLOT_HEADER_BYTES
+            .saturating_add(stats.approx_bytes())
+            .saturating_add(h.approx_bytes()),
+        None => SLOT_HEADER_BYTES,
+    }
+}
+
+/// Fold every contiguous completed slot from the front of the capture
+/// into the merge, releasing its retained bytes. The merge stays
+/// strictly window-ordered: only the prefix up to the first
+/// still-computing window can drain.
+fn drain_prefix(
+    acc: &mut MergeAcc,
+    slots: &mut [Option<WindowSlot>],
+    retained: &mut [u64],
+    next_merge: &mut usize,
+    budget: &ResourceBudget,
+    metrics: Option<&Metrics>,
+) {
+    time_stage(metrics, Stage::Merge, || {
+        while *next_merge < slots.len() {
+            let Some(slot) = slots[*next_merge].take() else {
+                break;
+            };
+            acc.fold(slot);
+            budget.release(retained[*next_merge]);
+            retained[*next_merge] = 0;
+            *next_merge += 1;
+        }
+    });
+}
+
+/// Acquire `bytes` from the ledger; on a hard-watermark refusal drain
+/// the mergeable prefix to free retained slots and retry once. The
+/// second refusal is final — the typed fault propagates and the
+/// capture aborts cleanly instead of overcommitting.
+#[allow(clippy::too_many_arguments)]
+fn acquire_with_drain(
+    bytes: u64,
+    window: u64,
+    budget: &ResourceBudget,
+    acc: &mut MergeAcc,
+    slots: &mut [Option<WindowSlot>],
+    retained: &mut [u64],
+    next_merge: &mut usize,
+    metrics: Option<&Metrics>,
+) -> Result<(), PipelineError> {
+    if budget.try_acquire(bytes, window).is_ok() {
+        return Ok(());
+    }
+    drain_prefix(acc, slots, retained, next_merge, budget, metrics);
+    budget
+        .try_acquire(bytes, window)
+        .map(|_| ())
+        .map_err(PipelineError::Budget)
+}
+
+/// While the soft watermark is breached, engage the next un-engaged
+/// [`DegradationRung`] (in ladder order), recording each engagement as
+/// a typed event. Once `SpillPooled` has engaged the capture stays in
+/// drain mode: every checkpoint folds the completed prefix.
+#[allow(clippy::too_many_arguments)]
+fn budget_checkpoint(
+    window: u64,
+    width: &mut usize,
+    engaged: &mut [bool; 3],
+    budget: &ResourceBudget,
+    acc: &mut MergeAcc,
+    slots: &mut [Option<WindowSlot>],
+    retained: &mut [u64],
+    next_merge: &mut usize,
+    metrics: Option<&Metrics>,
+) {
+    while budget.soft_breached() {
+        let Some(pos) = engaged.iter().position(|e| !e) else {
+            break;
+        };
+        engaged[pos] = true;
+        let rung = DegradationRung::ALL[pos];
+        acc.report.degradations.push(DegradationEvent {
+            rung,
+            window,
+            accounted_bytes: budget.accounted(),
+        });
+        if let Some(m) = metrics {
+            m.add_budget_degradation();
+        }
+        match rung {
+            DegradationRung::CoarsenBins => {
+                acc.coarsen = true;
+                acc.merged = coarsen_histogram(&acc.merged);
+                // Coarsen retained, not-yet-drained slot histograms in
+                // place and release the shrinkage. Coarsening commutes
+                // with summation and is idempotent, so the final
+                // merged histogram is independent of *when* this rung
+                // engaged. Journal entries are written before any
+                // checkpoint runs, so the journal always stores the
+                // fine-grained state.
+                for (slot, ret) in slots.iter_mut().zip(retained.iter_mut()) {
+                    if let Some(s) = slot.as_mut() {
+                        if let Some((_, _, h)) = s.result.as_mut() {
+                            *h = coarsen_histogram(h);
+                        }
+                        let now = slot_measured_bytes(s);
+                        if now < *ret {
+                            budget.release(*ret - now);
+                            *ret = now;
+                        }
+                    }
+                }
+            }
+            DegradationRung::ShrinkWorkers => {
+                *width = (*width / 2).max(1);
+            }
+            DegradationRung::SpillPooled => {
+                drain_prefix(acc, slots, retained, next_merge, budget, metrics);
+            }
+        }
+    }
+    // Drain mode: once slots spill, they keep spilling.
+    if engaged[2] {
+        drain_prefix(acc, slots, retained, next_merge, budget, metrics);
+    }
+}
+
+/// The governed engine (DESIGN.md §4g): width-limited batches of
+/// windows acquire their projected transient footprint before any
+/// worker spawns, completed slots are accounted at their measured
+/// size until they drain into the strictly window-ordered merge, and
+/// soft-watermark checkpoints between batches walk the degradation
+/// ladder. All ledger traffic happens on this coordinating thread at
+/// window boundaries, so the schedule — and every recorded event — is
+/// deterministic for a fixed `(configuration, budget, threads)`.
+#[allow(clippy::too_many_arguments)]
+fn governed_capture(
+    measurement: Measurement,
+    obs: &Observatory,
+    n: usize,
+    start_t: u64,
+    threads: usize,
+    metrics: Option<&Metrics>,
+    policy: &FailurePolicy,
+    injector: Option<&Injector>,
+    journal: Option<&Journal>,
+    mut slots: Vec<Option<WindowSlot>>,
+    gov: &Governor<'_>,
+    model: &CostModel,
+) -> Result<FaultTolerantPool, PipelineError> {
+    let budget = gov.budget;
+    let window_bytes = model.window_bytes();
+    let mut width = threads;
+    let mut engaged = [false; 3];
+    let mut next_merge = 0usize;
+    let mut retained: Vec<u64> = vec![0u64; n];
+    let mut merged_accounted = 0u64;
+    let mut acc = MergeAcc::new(measurement, n);
+    // Account journal-replayed slots before computing anything: a
+    // `--resume` of a huge journal under a tight budget must degrade
+    // (or abort cleanly) exactly like a live capture would.
+    for b in 0..n {
+        let bytes = match &slots[b] {
+            Some(s) => slot_measured_bytes(s),
+            None => continue,
+        };
+        let t = start_t + b as u64;
+        acquire_with_drain(
+            bytes,
+            t,
+            budget,
+            &mut acc,
+            &mut slots,
+            &mut retained,
+            &mut next_merge,
+            metrics,
+        )?;
+        if next_merge > b {
+            // The fallback drain folded this very slot; nothing is
+            // retained.
+            budget.release(bytes);
+        } else {
+            retained[b] = bytes;
+        }
+    }
+    if budget.soft_breached() {
+        budget_checkpoint(
+            start_t,
+            &mut width,
+            &mut engaged,
+            budget,
+            &mut acc,
+            &mut slots,
+            &mut retained,
+            &mut next_merge,
+            metrics,
+        );
+    }
+    let mut i = 0usize;
+    while i < n {
+        // Collect the next batch: up to `width` not-yet-computed
+        // windows (replayed slots are skipped — already accounted).
+        let mut batch: Vec<usize> = Vec::new();
+        let mut j = i;
+        while j < n && batch.len() < width {
+            if slots[j].is_none() {
+                batch.push(j);
+            }
+            j += 1;
+        }
+        i = j;
+        if batch.is_empty() {
+            continue;
+        }
+        // Acquire the batch's projected transient footprint up front.
+        // A ballast-injected window accounts for extra multiples of
+        // the window footprint — simulated memory pressure that
+        // exercises the ladder without allocating. Under hard
+        // pressure the batch *shrinks* instead of aborting: the
+        // admission floor guaranteed that at least one window at a
+        // time fits, so only a genuinely overcommitted ledger (e.g. a
+        // replay-heavy resume) can still abort here.
+        let projected = |batch: &[usize]| -> u64 {
+            let mut transient = 0u64;
+            for &b in batch {
+                let t = start_t + b as u64;
+                let mult = match injector.and_then(|inj| inj.plan(t, 0)) {
+                    Some(InjectedFault::Ballast) => 1 + BALLAST_WINDOW_MULTIPLIER,
+                    _ => 1,
+                };
+                transient = transient.saturating_add(window_bytes.saturating_mul(mult));
+            }
+            transient
+        };
+        let t0 = start_t + batch[0] as u64;
+        let transient = loop {
+            let transient = projected(&batch);
+            if budget.try_acquire(transient, t0).is_ok() {
+                break transient;
+            }
+            drain_prefix(
+                &mut acc,
+                &mut slots,
+                &mut retained,
+                &mut next_merge,
+                budget,
+                metrics,
+            );
+            if budget.try_acquire(transient, t0).is_ok() {
+                break transient;
+            }
+            match batch.pop() {
+                // Backpressure: defer the batch's tail window to a
+                // later batch and retry with fewer in flight.
+                Some(popped) if !batch.is_empty() => i = popped,
+                _ => {
+                    return Err(PipelineError::Budget(
+                        crate::budget::BudgetFault::HardWatermark {
+                            accounted: budget.accounted().saturating_add(transient),
+                            limit: budget.hard().unwrap_or(0),
+                            window: t0,
+                        },
+                    ));
+                }
+            }
+        };
+        // The batch may have shrunk under pressure; re-anchor the
+        // checkpoint position to its actual tail.
+        let Some(&last_b) = batch.last() else {
+            continue;
+        };
+        // Compute the batch: one worker per window, joined before any
+        // ledger or journal traffic resumes.
+        let mut results: Vec<Option<WindowSlot>> = (0..batch.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (slot, &b) in results.iter_mut().zip(&batch) {
+                let t = start_t + b as u64;
+                s.spawn(move || {
+                    *slot = Some(process_window(
+                        measurement,
+                        obs,
+                        t,
+                        metrics,
+                        policy,
+                        injector,
+                    ));
+                });
+            }
+        });
+        // Journal on the coordinating thread, in window order, before
+        // any degradation checkpoint can coarsen slot state — the
+        // journal always stores fine-grained histograms, so a resume
+        // under a different budget stays byte-exact.
+        for (computed, &b) in results.into_iter().zip(&batch) {
+            let Some(computed) = computed else { continue };
+            if let Some(j) = journal {
+                if computed.abort_fault.is_none() {
+                    let _ = j.append(&computed.to_entry(start_t + b as u64));
+                }
+            }
+            slots[b] = Some(computed);
+        }
+        if let Some(j) = journal {
+            if let Some(fault) = j.take_fault() {
+                return Err(PipelineError::Journal(fault));
+            }
+        }
+        // Checkpoint while the batch's transient footprint is still
+        // accounted — the soft watermark must see the pressure the
+        // batch actually exerted, or the ladder would never engage
+        // (transients dominate the retained state).
+        budget_checkpoint(
+            start_t + last_b as u64,
+            &mut width,
+            &mut engaged,
+            budget,
+            &mut acc,
+            &mut slots,
+            &mut retained,
+            &mut next_merge,
+            metrics,
+        );
+        budget.release(transient);
+        // Swap the transient footprint for each slot's measured
+        // retained size.
+        for &b in &batch {
+            let bytes = match &slots[b] {
+                Some(s) => slot_measured_bytes(s),
+                None => continue,
+            };
+            acquire_with_drain(
+                bytes,
+                start_t + b as u64,
+                budget,
+                &mut acc,
+                &mut slots,
+                &mut retained,
+                &mut next_merge,
+                metrics,
+            )?;
+            if next_merge > b {
+                budget.release(bytes);
+            } else {
+                retained[b] = bytes;
+            }
+        }
+        // Re-account the merge-side state the checkpoint and drains
+        // may have grown.
+        let merged_now = acc
+            .merged
+            .approx_bytes()
+            .saturating_add(acc.p.stats.approx_bytes());
+        if merged_now > merged_accounted {
+            acquire_with_drain(
+                merged_now - merged_accounted,
+                start_t + last_b as u64,
+                budget,
+                &mut acc,
+                &mut slots,
+                &mut retained,
+                &mut next_merge,
+                metrics,
+            )?;
+        } else {
+            budget.release(merged_accounted - merged_now);
+        }
+        merged_accounted = merged_now;
+        if let Some(m) = metrics {
+            m.record_peak_accounted_bytes(budget.peak());
+        }
+    }
+    // Every slot is filled, so the final drain folds the whole
+    // capture in window order.
+    drain_prefix(
+        &mut acc,
+        &mut slots,
+        &mut retained,
+        &mut next_merge,
+        budget,
+        metrics,
+    );
+    debug_assert_eq!(next_merge, n);
+    budget.release(merged_accounted);
+    if let Some(m) = metrics {
+        m.record_peak_accounted_bytes(budget.peak());
+    }
+    acc.finish(policy, n, metrics)
 }
 
 /// Drive one window through its attempt loop and dispose of it per the
@@ -1310,6 +1854,219 @@ mod tests {
         .unwrap();
         assert_bitwise_equal(&stalled.pooled, &clean.pooled, "unwatched stall");
         assert_eq!(stalled.report.survivors, 3);
+    }
+
+    fn governed(
+        seed: u64,
+        threads: usize,
+        budget: &ResourceBudget,
+        injector: Option<&Injector>,
+        metrics: Option<&Metrics>,
+    ) -> Result<FaultTolerantPool, PipelineError> {
+        let mut obs = observatory(seed);
+        let gov = Governor {
+            budget,
+            strict_admission: false,
+        };
+        Pipeline::pool_observatory_governed(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            threads,
+            metrics,
+            &FailurePolicy::strict(),
+            injector,
+            None,
+            None,
+            Some(&gov),
+        )
+    }
+
+    fn governed_cost_model(threads: u64) -> CostModel {
+        let obs = observatory(0);
+        CostModel {
+            n_v: obs.config().n_v,
+            n_nodes: obs.underlying().n_nodes() as u64,
+            windows: 8,
+            threads,
+        }
+    }
+
+    #[test]
+    fn governed_ample_budget_is_bit_identical_to_ungoverned() {
+        let mut obs = observatory(31);
+        let baseline = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            4,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap();
+        let budget = ResourceBudget::with_limit(1 << 40);
+        let metrics = Metrics::new();
+        let ft = governed(31, 4, &budget, None, Some(&metrics)).unwrap();
+        assert_bitwise_equal(&ft.pooled, &baseline.pooled, "governed ample");
+        assert_eq!(ft.histogram, baseline.histogram, "merged histogram");
+        assert!(ft.report.degradations.is_empty(), "no rungs under ample");
+        let snap = metrics.snapshot();
+        assert!(snap.peak_accounted_bytes > 0, "accounting ran");
+        assert!(
+            snap.admission_estimate_bytes >= snap.peak_accounted_bytes,
+            "estimate {} < actual peak {}",
+            snap.admission_estimate_bytes,
+            snap.peak_accounted_bytes
+        );
+        assert_eq!(budget.accounted(), 0, "ledger fully released");
+    }
+
+    #[test]
+    fn tight_budget_degrades_deterministically_and_completes() {
+        let model = governed_cost_model(4);
+        // Between the fully degraded floor and the undegraded peak:
+        // admission passes, the ladder must engage.
+        let limit = model.floor_bytes() + model.window_bytes();
+        assert!(limit < model.peak_bytes(4), "budget genuinely tight");
+        let mut obs = observatory(32);
+        let baseline = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            4,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap();
+        let budget = ResourceBudget::with_limit(limit);
+        let ft = governed(32, 4, &budget, None, None).unwrap();
+        assert!(
+            !ft.report.degradations.is_empty(),
+            "tight budget must engage the ladder"
+        );
+        // The pooled BinStats is never coarsened, so the pooled
+        // distribution survives degradation bit-identically.
+        assert_bitwise_equal(&ft.pooled, &baseline.pooled, "governed tight");
+        // Reruns at the same budget reproduce the same events.
+        let budget2 = ResourceBudget::with_limit(limit);
+        let ft2 = governed(32, 4, &budget2, None, None).unwrap();
+        assert_eq!(ft.report.degradations, ft2.report.degradations);
+        assert_eq!(budget.peak(), budget2.peak());
+        // Pooled output is thread-count independent even under
+        // pressure (rung histories may differ; the pool may not).
+        for threads in [1usize, 2, 8] {
+            let b = ResourceBudget::with_limit(limit);
+            let ft_t = governed(32, threads, &b, None, None).unwrap();
+            assert_bitwise_equal(
+                &ft_t.pooled,
+                &baseline.pooled,
+                &format!("governed tight, {threads} threads"),
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_is_refused_before_the_observatory_advances() {
+        let model = governed_cost_model(4);
+        let budget = ResourceBudget::with_limit(model.floor_bytes() / 2);
+        let err = governed(33, 4, &budget, None, None).unwrap_err();
+        match err {
+            PipelineError::Budget(crate::budget::BudgetFault::AdmissionRefused {
+                floor,
+                limit,
+                ..
+            }) => {
+                assert!(floor > limit, "refused because the floor exceeds the limit");
+            }
+            other => panic!("expected AdmissionRefused, got {other:?}"),
+        }
+        // The refusal happened before any window was synthesized: the
+        // same observatory still produces the full capture from t = 0.
+        let mut obs = observatory(33);
+        let gov = Governor {
+            budget: &budget,
+            strict_admission: false,
+        };
+        let refused = Pipeline::pool_observatory_governed(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            4,
+            None,
+            &FailurePolicy::strict(),
+            None,
+            None,
+            None,
+            Some(&gov),
+        );
+        assert!(refused.is_err());
+        let after = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut obs,
+            8,
+            4,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap();
+        let mut fresh = observatory(33);
+        let fresh_run = Pipeline::pool_observatory_checked(
+            Measurement::UndirectedDegree,
+            &mut fresh,
+            8,
+            4,
+            None,
+            &FailurePolicy::strict(),
+            None,
+        )
+        .unwrap();
+        assert_bitwise_equal(
+            &after.pooled,
+            &fresh_run.pooled,
+            "window counter untouched by the refusal",
+        );
+    }
+
+    #[test]
+    fn ballast_injection_pressures_the_ladder_without_corrupting_data() {
+        let model = governed_cost_model(4);
+        // Soft watermark well above a clean 4-wide batch (≈ 4 window
+        // footprints) but well below a ballasted one (≈ 16): the clean
+        // capture never degrades, the ballasted one must.
+        let wb = model.window_bytes();
+        let soft = wb * 6;
+        let hard = model.peak_bytes(4) * 4;
+        let clean_budget = ResourceBudget::with_watermarks(Some(soft), Some(hard));
+        let clean = governed(34, 4, &clean_budget, None, None).unwrap();
+        assert!(clean.report.degradations.is_empty(), "clean run fits");
+        // Certain ballast quadruples every window's accounted
+        // transient, forcing the ladder.
+        let inj = Injector::new(
+            InjectionSpec {
+                ballast: 1.0,
+                ..InjectionSpec::none()
+            },
+            5,
+        );
+        let ballast_budget = ResourceBudget::with_watermarks(Some(soft), Some(hard));
+        let metrics = Metrics::new();
+        let ft = governed(34, 4, &ballast_budget, Some(&inj), Some(&metrics)).unwrap();
+        assert!(
+            !ft.report.degradations.is_empty(),
+            "ballast must engage the ladder"
+        );
+        assert_eq!(
+            metrics.snapshot().budget_degradations,
+            ft.report.degradations.len() as u64
+        );
+        // Ballast is pure accounting pressure — the measured data is
+        // untouched.
+        assert_bitwise_equal(&ft.pooled, &clean.pooled, "ballast run");
+        assert!(ft.report.injected > 0, "ballast plans are counted");
+        assert_eq!(ft.report.survivors, 8);
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl<I: Iterator<Item = Packet>> WindowStream<I> {
             packets,
             n_v,
             next_t: 0,
-            buffer: Vec::with_capacity(n_v),
+            buffer: Vec::with_capacity(palu_sparse::admitted_capacity(n_v)),
         }
     }
 }

@@ -26,7 +26,7 @@ impl PacketWindow {
     /// Aggregate a slice of packets (the window's `N_V` is the slice
     /// length) with window index `t`.
     pub fn from_packets(t: u64, packets: &[Packet]) -> Self {
-        let mut coo = CooMatrix::with_capacity(packets.len());
+        let mut coo = CooMatrix::with_capacity(palu_sparse::admitted_capacity(packets.len()));
         for p in packets {
             coo.push_packet(p.src, p.dst);
         }
@@ -67,7 +67,7 @@ impl PacketWindow {
             ids.insert(id, next);
             Ok(next)
         };
-        let mut coo = CooMatrix::with_capacity(packets.len());
+        let mut coo = CooMatrix::with_capacity(palu_sparse::admitted_capacity(packets.len()));
         for p in packets {
             let s = compact(p.src, &mut ids)?;
             let d = compact(p.dst, &mut ids)?;
