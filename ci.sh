@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 entry point: offline build, full test suite (which includes
-# the palu-lint gate via tests/lint_gate.rs), and an explicit lint run
-# so CI logs show the findings even when the test harness truncates.
+# Tier-1 entry point: lint gate first (fail fast, report uploaded to
+# results/lint_report.json), then offline build and the full test
+# suite (which re-runs the gate in-process via tests/lint_gate.rs).
+# `./ci.sh --lint-only` stops after the gate — the editing loop's
+# fast path.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,14 +12,28 @@ if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check
 fi
 
+echo "== lint gate =="
+# Debug build: the analyzer itself is cheap, the release compile is
+# not. The JSON report is written even when findings fail the gate.
+mkdir -p results
+lint_status=0
+cargo run -q -p palu-lint -- --json >results/lint_report.json || lint_status=$?
+if [ "$lint_status" != 0 ]; then
+    echo "ci: lint gate failed (report in results/lint_report.json):" >&2
+    cargo run -q -p palu-lint || true
+    exit "$lint_status"
+fi
+echo "lint gate: clean (report in results/lint_report.json)"
+if [ "${1:-}" = "--lint-only" ]; then
+    echo "ci: lint-only run, stopping after the gate"
+    exit 0
+fi
+
 echo "== build (release, offline) =="
 cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q --workspace
-
-echo "== lint gate =="
-cargo run -q --release -p palu-lint
 
 echo "== pipeline determinism (1, 2, 8 threads) =="
 # The sharded pipeline's hard contract, run explicitly so CI logs show

@@ -151,12 +151,28 @@ impl PaluGenerator {
     /// degrees above the model's law (measurably, for leaf-heavy
     /// parameter sets).
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> UnderlyingNetwork {
+        self.try_generate(rng).expect("validated at construction")
+    }
+
+    /// Fallible form of [`PaluGenerator::generate`] — identical
+    /// output, identical RNG consumption, but component-generator
+    /// invariant violations surface as errors instead of panics. Use
+    /// this when the generator was built by field assignment rather
+    /// than through [`PaluGenerator::new`]'s validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] for parameters the component
+    /// generators reject (see [`PaluGenerator::new`]).
+    pub fn try_generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<UnderlyingNetwork, StatsError> {
         // 1. Core (plus reserved leaf anchors where applicable).
         let (core, reserved_anchors): (Graph, Option<Vec<NodeId>>) =
             match (self.core_generator, self.leaf_attachment) {
                 (CoreGenerator::ConfigModel, LeafAttachment::Preferential) => {
-                    let m = PowerLawConfigModel::new(self.n_core, self.alpha)
-                        .expect("validated at construction");
+                    let m = PowerLawConfigModel::new(self.n_core, self.alpha)?;
                     let degrees = m.sample_degrees(rng);
                     // Build the stub pool and reserve leaf anchors.
                     let total_stubs: u64 = degrees.iter().sum();
@@ -170,9 +186,12 @@ impl PaluGenerator {
                     stubs.shuffle(rng);
                     let reserve = (self.n_leaves as usize).min(stubs.len().saturating_sub(2));
                     let mut anchors: Vec<NodeId> = stubs.split_off(stubs.len() - reserve);
-                    // Keep the remaining stub count even.
+                    // Keep the remaining stub count even (odd length
+                    // implies non-empty, so the pop always yields).
                     if stubs.len() % 2 == 1 {
-                        anchors.push(stubs.pop().expect("non-empty"));
+                        if let Some(stub) = stubs.pop() {
+                            anchors.push(stub);
+                        }
                     }
                     // Wire the rest as a MULTIGRAPH (self-loops dropped,
                     // parallel edges kept): erasing duplicates would
@@ -192,16 +211,14 @@ impl PaluGenerator {
                     (g, Some(anchors))
                 }
                 (CoreGenerator::ConfigModel, LeafAttachment::Uniform) => {
-                    let m = PowerLawConfigModel::new(self.n_core, self.alpha)
-                        .expect("validated at construction");
+                    let m = PowerLawConfigModel::new(self.n_core, self.alpha)?;
                     (m.generate(rng), None)
                 }
                 (CoreGenerator::BarabasiAlbert { m }, _) => {
                     // Target the requested exponent via the kernel shift
                     // α = 3 + a/m  ⇒  a = m(α − 3), clamped above −m.
                     let shift = (m as f64 * (self.alpha - 3.0)).max(-(m as f64) + 1e-6);
-                    let ba = BarabasiAlbert::with_shift(self.n_core, m, shift)
-                        .expect("validated at construction");
+                    let ba = BarabasiAlbert::with_shift(self.n_core, m, shift)?;
                     (ba.generate(rng), None)
                 }
             };
@@ -247,9 +264,7 @@ impl PaluGenerator {
         debug_assert_eq!(graph.n_nodes(), first_leaf + self.n_leaves);
 
         // 3. Unattached Poisson stars.
-        let stars = PoissonStars::new(self.n_star_centers, self.lambda)
-            .expect("validated at construction")
-            .generate(rng);
+        let stars = PoissonStars::new(self.n_star_centers, self.lambda)?.generate(rng);
         let star_offset = stars.graph.append_into(&mut graph);
         for node in 0..stars.graph.n_nodes() {
             roles.push(if node < stars.n_centers {
@@ -259,7 +274,7 @@ impl PaluGenerator {
             });
         }
 
-        UnderlyingNetwork {
+        Ok(UnderlyingNetwork {
             graph,
             roles,
             core_supernode_degree: core_degrees.iter().copied().max().unwrap_or(0),
@@ -268,7 +283,7 @@ impl PaluGenerator {
                 .iter()
                 .map(|&c| c + star_offset)
                 .collect(),
-        }
+        })
     }
 }
 
@@ -497,6 +512,22 @@ mod tests {
                 assert!(degs[node] > 0);
             }
         }
+    }
+
+    #[test]
+    fn try_generate_matches_generate_and_reports_domain_errors() {
+        let gen = PaluGenerator::new(500, 100, 50, 2.0, 1.0).unwrap();
+        let a = gen.generate(&mut Xoshiro256pp::seed_from_u64(9));
+        let b = gen
+            .try_generate(&mut Xoshiro256pp::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(a, b);
+        // A field-assembled generator that skipped `new`'s validation
+        // errors instead of panicking.
+        let bad = PaluGenerator { alpha: 0.5, ..gen };
+        assert!(bad
+            .try_generate(&mut Xoshiro256pp::seed_from_u64(9))
+            .is_err());
     }
 
     #[test]

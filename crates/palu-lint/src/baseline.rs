@@ -1,0 +1,150 @@
+//! Shared ratchet-baseline machinery.
+//!
+//! R4 (unwrap budget) and R8 (panic reachability) both gate on a
+//! checked-in per-file count file that may only shrink: the gate
+//! fails when a file *exceeds* its baseline, and when a file improves
+//! the baseline must be re-written so the gain is locked in. This
+//! module holds the format and comparison, parameterised by rule id.
+//!
+//! Format: `<count> <path>` per line; `#` starts a comment;
+//! zero-count files are omitted (absence means budget 0).
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Parse a baseline file.
+pub fn parse(src: &str) -> Result<BTreeMap<String, u32>, String> {
+    let mut map = BTreeMap::new();
+    for (i, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("baseline line {}: expected `<count> <path>`", i + 1))?;
+        let count: u32 = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        map.insert(path.trim().to_string(), count);
+    }
+    Ok(map)
+}
+
+/// Render per-file counts under a `#`-comment header.
+pub fn render(header: &str, counts: &BTreeMap<String, u32>) -> String {
+    let mut out = String::new();
+    for line in header.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for (path, n) in counts {
+        if *n > 0 {
+            out.push_str(&format!("{n} {path}\n"));
+        }
+    }
+    out
+}
+
+/// Compare measured counts against the baseline for `rule`, emitting
+/// over-budget and stale-budget errors. `what` names the counted
+/// thing in messages (e.g. "unwrap/expect calls").
+pub fn compare(
+    rule: &'static str,
+    what: &str,
+    measured: &BTreeMap<String, u32>,
+    baseline: &BTreeMap<String, u32>,
+    baseline_path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (path, &n) in measured {
+        let budget = baseline.get(path).copied().unwrap_or(0);
+        if n > budget {
+            diags.push(Diagnostic::error(
+                path,
+                0,
+                rule,
+                format!(
+                    "{n} {what} in non-test code, budget is {budget}; \
+                     handle the error or shrink elsewhere first"
+                ),
+            ));
+        } else if n < budget {
+            diags.push(Diagnostic::error(
+                baseline_path,
+                0,
+                rule,
+                format!(
+                    "stale budget for {path}: baseline says {budget}, code has {n}; \
+                     re-run with --write-baseline to lock in the improvement"
+                ),
+            ));
+        }
+    }
+    for path in baseline.keys() {
+        if !measured.contains_key(path) {
+            diags.push(Diagnostic::error(
+                baseline_path,
+                0,
+                rule,
+                format!("baseline entry for missing file {path}; re-run --write-baseline"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_omits_zero_counts() {
+        let mut m = BTreeMap::new();
+        m.insert("a.rs".to_string(), 3u32);
+        m.insert("b.rs".to_string(), 0u32);
+        let rendered = render("hdr line 1\nhdr line 2", &m);
+        assert!(rendered.starts_with("# hdr line 1\n# hdr line 2\n"));
+        let parsed = parse(&rendered).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed["a.rs"], 3);
+    }
+
+    #[test]
+    fn over_and_under_budget_both_fail() {
+        let measured: BTreeMap<String, u32> =
+            [("a.rs".to_string(), 5u32), ("b.rs".to_string(), 1u32)].into();
+        let baseline: BTreeMap<String, u32> =
+            [("a.rs".to_string(), 3u32), ("b.rs".to_string(), 2u32)].into();
+        let mut diags = Vec::new();
+        compare(
+            "R8",
+            "panic sites",
+            &measured,
+            &baseline,
+            "lint/p.txt",
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].message.contains("budget is 3"));
+        assert!(diags[1].message.contains("stale budget"));
+        assert!(diags.iter().all(|d| d.rule == "R8"));
+    }
+
+    #[test]
+    fn missing_file_entry_fails() {
+        let measured: BTreeMap<String, u32> = BTreeMap::new();
+        let baseline: BTreeMap<String, u32> = [("gone.rs".to_string(), 1u32)].into();
+        let mut diags = Vec::new();
+        compare(
+            "R8",
+            "panic sites",
+            &measured,
+            &baseline,
+            "lint/p.txt",
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("missing file"));
+    }
+}

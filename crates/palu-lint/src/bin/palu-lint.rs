@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! palu-lint [--root <dir>]          # run all rules, exit 1 on errors
-//! palu-lint --write-baseline        # regenerate the R4 budget file
+//! palu-lint --json                  # machine-readable report on stdout
+//! palu-lint --write-baseline        # regenerate the R4 + R8 budget files
 //! palu-lint --rules                 # list the registry
 //! ```
 
-use palu_lint::{has_errors, run_all, write_r4_baseline, LintConfig};
+use palu_lint::diag::render_json;
+use palu_lint::{has_errors, r8_sites, run_all, write_baselines, LintConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = String::from(".");
     let mut write_baseline = false;
     let mut list_rules = false;
+    let mut json = false;
+    let mut sites = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,8 +29,13 @@ fn main() -> ExitCode {
             },
             "--write-baseline" => write_baseline = true,
             "--rules" => list_rules = true,
+            "--json" => json = true,
+            "--r8-sites" => sites = true,
             "--help" | "-h" => {
-                eprintln!("usage: palu-lint [--root <dir>] [--write-baseline] [--rules]");
+                eprintln!(
+                    "usage: palu-lint [--root <dir>] [--json] [--write-baseline] \
+                     [--rules] [--r8-sites]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -44,10 +53,30 @@ fn main() -> ExitCode {
     }
 
     let cfg = LintConfig::new(&root);
+    if sites {
+        return match r8_sites(&cfg) {
+            Ok(sites) => {
+                for s in &sites {
+                    println!(
+                        "{}:{}: {} in {} (reachable from {})",
+                        s.file, s.line, s.what, s.in_fn, s.root
+                    );
+                }
+                println!("{} reachable panic site(s)", sites.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("palu-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if write_baseline {
-        return match write_r4_baseline(&cfg) {
-            Ok(path) => {
-                println!("wrote {}", path.display());
+        return match write_baselines(&cfg) {
+            Ok(paths) => {
+                for path in paths {
+                    println!("wrote {}", path.display());
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -59,17 +88,23 @@ fn main() -> ExitCode {
 
     match run_all(&cfg) {
         Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+            if json {
+                print!("{}", render_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
             }
             if has_errors(&diags) {
                 eprintln!("palu-lint: {} finding(s)", diags.len());
                 ExitCode::FAILURE
             } else {
-                println!(
-                    "palu-lint: clean ({} rules)",
-                    palu_lint::rules::REGISTRY.len()
-                );
+                if !json {
+                    println!(
+                        "palu-lint: clean ({} rules)",
+                        palu_lint::rules::REGISTRY.len()
+                    );
+                }
                 ExitCode::SUCCESS
             }
         }

@@ -66,3 +66,86 @@ impl fmt::Display for Diagnostic {
         )
     }
 }
+
+/// Render diagnostics as a JSON report for CI artifacts:
+/// `{"errors": N, "warnings": N, "findings": [{...}, ...]}`.
+/// Hand-rolled (the linter is zero-dependency), stable key order.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"errors\": {errors},\n  \"warnings\": {warnings},\n  \"findings\": ["
+    ));
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"severity\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file.to_string_lossy()),
+            d.line,
+            d.rule,
+            d.severity,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let diags = vec![
+            Diagnostic::error("src/a.rs", 3, "R8", "bad \"quote\" and \\slash"),
+            Diagnostic {
+                file: "src/b.rs".into(),
+                line: 0,
+                rule: "R5",
+                severity: Severity::Warning,
+                message: "tab\there".into(),
+            },
+        ];
+        let json = render_json(&diags);
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"warnings\": 1"));
+        assert!(json.contains("bad \\\"quote\\\" and \\\\slash"));
+        assert!(json.contains("tab\\there"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        assert_eq!(
+            render_json(&[]),
+            "{\n  \"errors\": 0,\n  \"warnings\": 0,\n  \"findings\": []\n}\n"
+        );
+    }
+}

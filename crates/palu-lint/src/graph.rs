@@ -1,0 +1,204 @@
+//! Phase-1 call graph: function items from every scanned file, with
+//! conservative by-name call resolution and BFS reachability.
+//!
+//! Resolution policy (over-approximating by design):
+//!
+//! * a qualified call `Type::name(...)` resolves to fns whose
+//!   enclosing impl/trait type is `Type` and whose name matches;
+//!   if no such fn exists the qualifier is dropped and the call
+//!   resolves by name alone (the qualifier may be a module path
+//!   segment, not a type);
+//! * an unqualified or method call `name(...)` / `x.name(...)`
+//!   resolves to *every* fn of that name in the scanned set.
+//!
+//! Extra edges only ever widen the reachable set, so R8 can miss
+//! nothing real — the cost is a fatter baseline, which the ratchet
+//! keeps honest. Test fns are never resolution targets and never
+//! roots.
+
+use crate::items::{parse_items, FnItem};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The workspace-wide item graph.
+#[derive(Debug)]
+pub struct ItemGraph {
+    /// Every fn item, in file order then source order.
+    pub fns: Vec<FnItem>,
+    /// fn name → indices into `fns` (non-test fns only).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// `Type::name` → indices into `fns` (non-test fns only).
+    by_qual: BTreeMap<String, Vec<usize>>,
+}
+
+impl ItemGraph {
+    /// Parse items out of every file and index them.
+    pub fn build(files: &[SourceFile]) -> ItemGraph {
+        let mut fns = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            fns.extend(parse_items(file_idx, file));
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            by_name.entry(f.name.clone()).or_default().push(idx);
+            if f.qual.is_some() {
+                by_qual.entry(f.qual_name()).or_default().push(idx);
+            }
+        }
+        ItemGraph {
+            fns,
+            by_name,
+            by_qual,
+        }
+    }
+
+    /// Indices of the fns a call site may land on.
+    pub fn resolve(&self, qual: Option<&str>, name: &str) -> &[usize] {
+        if let Some(q) = qual {
+            if let Some(hits) = self.by_qual.get(&format!("{q}::{name}")) {
+                return hits;
+            }
+        }
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// BFS over call edges from `roots`: returns, for each reached fn
+    /// index, the root index it was first reached from (roots map to
+    /// themselves). Test fns are never entered.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut origin: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if self.fns[r].in_test {
+                continue;
+            }
+            if origin.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            let root = origin[&at];
+            let mut next: BTreeSet<usize> = BTreeSet::new();
+            for call in &self.fns[at].calls {
+                next.extend(self.resolve(call.qual.as_deref(), &call.name));
+            }
+            for callee in next {
+                if self.fns[callee].in_test {
+                    continue;
+                }
+                if origin.insert(callee, root).is_none() {
+                    queue.push_back(callee);
+                }
+            }
+        }
+        origin
+    }
+
+    /// Index of the first non-test fn with this `qual_name` in the
+    /// given file (workspace-relative path), if any.
+    pub fn find_in_file(&self, files: &[SourceFile], path: &str, qual_name: &str) -> Option<usize> {
+        self.fns.iter().position(|f| {
+            !f.in_test && f.qual_name() == qual_name && files[f.file].path.to_string_lossy() == path
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, ItemGraph) {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| SourceFile::parse(*p, s)).collect();
+        let g = ItemGraph::build(&files);
+        (files, g)
+    }
+
+    fn idx(g: &ItemGraph, qual_name: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.qual_name() == qual_name)
+            .unwrap_or_else(|| panic!("no fn {qual_name}"))
+    }
+
+    #[test]
+    fn qualified_call_prefers_exact_impl_match() {
+        let (_, g) = graph(&[(
+            "src/a.rs",
+            "struct A;\nimpl A { fn go(&self) {} }\n\
+             struct B;\nimpl B { fn go(&self) {} }\n\
+             fn caller() { A::go(&A); }\n",
+        )]);
+        let caller = idx(&g, "caller");
+        let reach = g.reachable(&[caller]);
+        assert!(reach.contains_key(&idx(&g, "A::go")));
+        assert!(!reach.contains_key(&idx(&g, "B::go")));
+    }
+
+    #[test]
+    fn method_call_fans_out_by_name() {
+        let (_, g) = graph(&[(
+            "src/a.rs",
+            "struct A;\nimpl A { fn go(&self) {} }\n\
+             struct B;\nimpl B { fn go(&self) {} }\n\
+             fn caller(x: &A) { x.go(); }\n",
+        )]);
+        let reach = g.reachable(&[idx(&g, "caller")]);
+        // By-name fallback reaches both — conservative on purpose.
+        assert!(reach.contains_key(&idx(&g, "A::go")));
+        assert!(reach.contains_key(&idx(&g, "B::go")));
+    }
+
+    #[test]
+    fn reachability_crosses_files_and_is_transitive() {
+        let (_, g) = graph(&[
+            ("src/a.rs", "pub fn entry() { middle(); }\n"),
+            (
+                "src/b.rs",
+                "pub fn middle() { leaf(); }\npub fn leaf() {}\npub fn island() {}\n",
+            ),
+        ]);
+        let reach = g.reachable(&[idx(&g, "entry")]);
+        assert!(reach.contains_key(&idx(&g, "middle")));
+        assert!(reach.contains_key(&idx(&g, "leaf")));
+        assert!(!reach.contains_key(&idx(&g, "island")));
+        // Origin tracking: everything traces back to the root.
+        assert_eq!(reach[&idx(&g, "leaf")], idx(&g, "entry"));
+    }
+
+    #[test]
+    fn test_fns_are_not_targets_or_roots() {
+        let (_, g) = graph(&[(
+            "src/a.rs",
+            "pub fn entry() { helper(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() { forbidden(); }\n}\n\
+             pub fn forbidden() {}\n",
+        )]);
+        let reach = g.reachable(&[idx(&g, "entry")]);
+        // The only `helper` is test code: the edge dies there.
+        assert!(!reach.contains_key(&idx(&g, "forbidden")));
+    }
+
+    #[test]
+    fn find_in_file_matches_path_and_qual() {
+        let (files, g) = graph(&[
+            (
+                "crates/x/src/a.rs",
+                "impl P { pub fn go(&self) {} }\nstruct P;\n",
+            ),
+            (
+                "crates/x/src/b.rs",
+                "impl P { pub fn go2(&self) {} }\nstruct P;\n",
+            ),
+        ]);
+        assert!(g
+            .find_in_file(&files, "crates/x/src/a.rs", "P::go")
+            .is_some());
+        assert!(g
+            .find_in_file(&files, "crates/x/src/a.rs", "P::go2")
+            .is_none());
+    }
+}

@@ -1,0 +1,576 @@
+//! Phase-1 item parser: from a [`SourceFile`]'s code-token stream to
+//! a flat list of function items with enough structure for the
+//! cross-function rules (R8–R10).
+//!
+//! This is deliberately *not* a Rust parser. It recognises the item
+//! skeleton — `impl`/`trait`/`mod` scopes and `fn` bodies found by
+//! brace matching — and records, per function:
+//!
+//! * its qualifier (the enclosing `impl`/`trait` self type),
+//! * the call sites inside its body (`name(`, `Type::name(`,
+//!   turbofish `name::<T>(`),
+//! * whether the body spawns threads (`spawn` ident anywhere),
+//! * whether the fn carries a `// lint:hot` tag (on the signature
+//!   line or up to two lines above it),
+//! * whether it lives in `#[cfg(test)]` code.
+//!
+//! The skeleton is conservative: where the token heuristics cannot
+//! decide, they over-approximate (an extra call edge, an extra
+//! candidate fn) — safe for reachability rules, which only ever widen
+//! the reachable set and therefore never miss a real violation.
+
+use crate::lexer::{Tok, Token};
+use crate::source::SourceFile;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// The last path qualifier before the name (`BinStats` in
+    /// `BinStats::merge(...)`), if any.
+    pub qual: Option<String>,
+    /// The called name (`merge`).
+    pub name: String,
+    /// 1-based source line of the call.
+    pub line: u32,
+}
+
+/// One `fn` item with the context the cross-function rules need.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the owning file in the slice the graph was built from.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` self type, if any.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Declared `pub` (any visibility form: `pub`, `pub(crate)`, …).
+    pub is_pub: bool,
+    /// Half-open code-token range of the body (inside the braces).
+    pub body: (usize, usize),
+    /// Half-open code-token range of the parameter list (inside the
+    /// parens), for signature-level type scans.
+    pub sig: (usize, usize),
+    /// Call sites found in the body.
+    pub calls: Vec<Call>,
+    /// Body mentions `spawn`.
+    pub spawns: bool,
+    /// Tagged `// lint:hot` on or just above the signature.
+    pub hot: bool,
+    /// Lives inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` when qualified, else `name` — the key used in
+    /// R9's allowlist and in diagnostics.
+    pub fn qual_name(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Keywords that can precede `(` or `[` without being a call or an
+/// index expression, and that never name a called function.
+pub fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// Parse every `fn` item in `file` (including test fns, which are
+/// flagged `in_test` so rules can skip them).
+pub fn parse_items(file_idx: usize, file: &SourceFile) -> Vec<FnItem> {
+    let hot_lines = hot_tag_lines(file);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    scan_scope(
+        file,
+        file_idx,
+        &hot_lines,
+        &mut i,
+        file.code.len(),
+        None,
+        &mut out,
+    );
+    out
+}
+
+/// Lines carrying a `// lint:hot` tag.
+fn hot_tag_lines(file: &SourceFile) -> Vec<u32> {
+    file.all
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Comment(text) if text.contains("lint:hot") => Some(t.line),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Walk one brace scope `[*i, end)` collecting fns; recurses into
+/// `impl`/`trait`/`mod` bodies with the right qualifier.
+fn scan_scope(
+    file: &SourceFile,
+    file_idx: usize,
+    hot_lines: &[u32],
+    i: &mut usize,
+    end: usize,
+    qual: Option<&str>,
+    out: &mut Vec<FnItem>,
+) {
+    let code = &file.code;
+    let mut saw_pub = false;
+    while *i < end {
+        match &code[*i].tok {
+            Tok::Ident(name) if name == "pub" => {
+                saw_pub = true;
+                *i += 1;
+                // Skip a visibility scope like `pub(crate)`.
+                if *i < end && code[*i].tok == Tok::Punct('(') {
+                    *i = match_close(code, *i, end, '(', ')');
+                }
+            }
+            Tok::Ident(name) if name == "fn" => {
+                let fn_line = code[*i].line;
+                *i += 1;
+                let Some(Tok::Ident(fn_name)) = code.get(*i).map(|t| &t.tok) else {
+                    // `fn(u32) -> u32` pointer type, not an item.
+                    saw_pub = false;
+                    continue;
+                };
+                let fn_name = fn_name.clone();
+                *i += 1;
+                let (sig, body_open) = scan_signature(code, *i, end);
+                match body_open {
+                    Some(open) => {
+                        let close = match_close(code, open, end, '{', '}');
+                        let body = (open + 1, close.saturating_sub(1).max(open + 1));
+                        let (calls, spawns) = extract_calls(code, body.0, body.1);
+                        out.push(FnItem {
+                            file: file_idx,
+                            name: fn_name,
+                            qual: qual.map(str::to_owned),
+                            line: fn_line,
+                            is_pub: saw_pub,
+                            body,
+                            sig,
+                            calls,
+                            spawns,
+                            hot: hot_lines
+                                .iter()
+                                .any(|&l| l <= fn_line && fn_line.saturating_sub(l) <= 2),
+                            in_test: file.in_test_code(fn_line),
+                        });
+                        // Recurse for nested fns (their calls are also
+                        // attributed to the outer fn — a safe
+                        // over-approximation).
+                        let mut j = body.0;
+                        scan_scope(file, file_idx, hot_lines, &mut j, body.1, qual, out);
+                        *i = close;
+                    }
+                    None => {
+                        // Trait method declaration `fn f(...);`.
+                        out.push(FnItem {
+                            file: file_idx,
+                            name: fn_name,
+                            qual: qual.map(str::to_owned),
+                            line: fn_line,
+                            is_pub: saw_pub,
+                            body: (sig.1, sig.1),
+                            sig,
+                            calls: Vec::new(),
+                            spawns: false,
+                            hot: false,
+                            in_test: file.in_test_code(fn_line),
+                        });
+                        *i = sig.1;
+                    }
+                }
+                saw_pub = false;
+            }
+            Tok::Ident(name) if name == "impl" || name == "trait" => {
+                let (self_type, body_open) = scan_impl_header(code, *i + 1, end);
+                match body_open {
+                    Some(open) => {
+                        let close = match_close(code, open, end, '{', '}');
+                        let mut j = open + 1;
+                        scan_scope(
+                            file,
+                            file_idx,
+                            hot_lines,
+                            &mut j,
+                            close.saturating_sub(1).max(open + 1),
+                            self_type.as_deref(),
+                            out,
+                        );
+                        *i = close;
+                    }
+                    None => *i += 1,
+                }
+                saw_pub = false;
+            }
+            Tok::Ident(name) if name == "mod" => {
+                // `mod x { … }` — recurse with no qualifier; `mod x;`
+                // is skipped by the `;` arm below.
+                *i += 1;
+                saw_pub = false;
+            }
+            Tok::Punct('#') if code.get(*i + 1).map(|t| &t.tok) == Some(&Tok::Punct('[')) => {
+                *i = match_close(code, *i + 1, end, '[', ']');
+            }
+            Tok::Punct('{') => {
+                // Some other braced item (struct, enum, const body,
+                // mod body). Recurse — it may contain fns — keeping
+                // the current qualifier out of it.
+                let close = match_close(code, *i, end, '{', '}');
+                let mut j = *i + 1;
+                scan_scope(
+                    file,
+                    file_idx,
+                    hot_lines,
+                    &mut j,
+                    close.saturating_sub(1).max(*i + 1),
+                    None,
+                    out,
+                );
+                *i = close;
+                saw_pub = false;
+            }
+            Tok::Punct(';') => {
+                saw_pub = false;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// From just past the fn name, find the parameter-list range and the
+/// body's opening `{` (or `None` for a semicolon-terminated
+/// declaration). Handles generics (`<` depth with `->` skipped) and
+/// `where` clauses.
+fn scan_signature(code: &[Token], start: usize, end: usize) -> ((usize, usize), Option<usize>) {
+    let mut j = start;
+    // Optional generic parameter list before the parens.
+    let mut angle = 0i32;
+    let mut sig = (start, start);
+    while j < end {
+        match &code[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => {
+                // `->` inside a generic default (`F = fn() -> u32`).
+                if j > 0 && code[j - 1].tok == Tok::Punct('-') {
+                    j += 1;
+                    continue;
+                }
+                angle -= 1;
+            }
+            Tok::Punct('(') if angle <= 0 => {
+                let close = match_close(code, j, end, '(', ')');
+                sig = (j + 1, close.saturating_sub(1).max(j + 1));
+                j = close;
+                break;
+            }
+            Tok::Punct('{') | Tok::Punct(';') if angle <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Return type / where clause up to `{` or `;`.
+    while j < end {
+        match &code[j].tok {
+            Tok::Punct('{') => return (sig, Some(j)),
+            Tok::Punct(';') => return (sig, None),
+            _ => j += 1,
+        }
+    }
+    (sig, None)
+}
+
+/// Parse an `impl`/`trait` header from just past the keyword: returns
+/// the self-type name (last plain ident at angle-depth 0 before the
+/// body, preferring the segment after `for`) and the body's `{`.
+fn scan_impl_header(code: &[Token], start: usize, end: usize) -> (Option<String>, Option<usize>) {
+    let mut j = start;
+    let mut angle = 0i32;
+    let mut candidate: Option<String> = None;
+    let mut in_where = false;
+    while j < end {
+        match &code[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => {
+                if j > 0 && code[j - 1].tok == Tok::Punct('-') {
+                    j += 1;
+                    continue;
+                }
+                angle -= 1;
+            }
+            Tok::Ident(name) if name == "where" && angle <= 0 => in_where = true,
+            Tok::Ident(name) if name == "for" && angle <= 0 => candidate = None,
+            Tok::Ident(name) if angle <= 0 && !in_where && !is_keyword(name) => {
+                candidate = Some(name.clone());
+            }
+            Tok::Punct('{') if angle <= 0 => return (candidate, Some(j)),
+            Tok::Punct(';') if angle <= 0 => return (candidate, None),
+            _ => {}
+        }
+        j += 1;
+    }
+    (candidate, None)
+}
+
+/// Index of the token *after* the group opened at `open` (which must
+/// hold the opening delimiter); saturates at `end`.
+pub(crate) fn match_close(code: &[Token], open: usize, end: usize, lo: char, hi: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        if code[j].tok == Tok::Punct(lo) {
+            depth += 1;
+        } else if code[j].tok == Tok::Punct(hi) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Collect call sites (and the `spawn` flag) inside `[lo, hi)`.
+fn extract_calls(code: &[Token], lo: usize, hi: usize) -> (Vec<Call>, bool) {
+    let mut calls = Vec::new();
+    let mut spawns = false;
+    for j in lo..hi {
+        let Tok::Ident(name) = &code[j].tok else {
+            continue;
+        };
+        if name == "spawn" {
+            spawns = true;
+        }
+        if is_keyword(name) {
+            continue;
+        }
+        // Definition, not a call.
+        if j > lo && code[j - 1].tok == Tok::Ident("fn".into()) {
+            continue;
+        }
+        // `name(` — possibly with a turbofish `name::<T>(` between.
+        let mut k = j + 1;
+        if code.get(k).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && code.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && code.get(k + 2).map(|t| &t.tok) == Some(&Tok::Punct('<'))
+        {
+            k = skip_angle_group(code, k + 2, hi);
+        }
+        // A macro invocation `name!(` never matches here: the `!`
+        // sits where the `(` is expected.
+        if code.get(k).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            continue;
+        }
+        let qual =
+            if j >= 3 && code[j - 1].tok == Tok::Punct(':') && code[j - 2].tok == Tok::Punct(':') {
+                match &code[j - 3].tok {
+                    Tok::Ident(q) if !is_keyword(q) => Some(q.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+        calls.push(Call {
+            qual,
+            name: name.clone(),
+            line: code[j].line,
+        });
+    }
+    (calls, spawns)
+}
+
+/// From an opening `<` at `open`, index just past its matching `>`
+/// (with `->` pairs ignored); saturates at `end`.
+pub(crate) fn skip_angle_group(code: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < end {
+        match &code[j].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                if j > 0 && code[j - 1].tok == Tok::Punct('-') {
+                    j += 1;
+                    continue;
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_items(0, &SourceFile::parse("src/x.rs", src))
+    }
+
+    #[test]
+    fn free_and_impl_fns_with_quals() {
+        let src = "pub fn free() {}\n\
+                   struct S;\n\
+                   impl S {\n    pub fn method(&self) {}\n    fn private(&self) {}\n}\n\
+                   impl Clone for S {\n    fn clone(&self) -> S { S }\n}\n";
+        let fns = parse(src);
+        let names: Vec<String> = fns.iter().map(FnItem::qual_name).collect();
+        assert_eq!(names, ["free", "S::method", "S::private", "S::clone"]);
+        assert!(fns[0].is_pub);
+        assert!(fns[1].is_pub);
+        assert!(!fns[2].is_pub);
+    }
+
+    #[test]
+    fn generic_impl_and_where_clause() {
+        let src = "impl<T: Ord> Stack<T> where T: Clone {\n    fn pop(&mut self) {}\n}\n";
+        let fns = parse(src);
+        assert_eq!(fns[0].qual_name(), "Stack::pop");
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let src = "struct H { cb: fn(u32) -> u32 }\nfn real() {}\n";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn calls_plain_qualified_turbofish_not_macros() {
+        let src = "fn f() {\n    helper();\n    BinStats::merge(a, b);\n    \
+                   parse::<u32>(s);\n    panic!(\"no\");\n    x.method(1);\n}\n";
+        let fns = parse(src);
+        let calls: Vec<(Option<&str>, &str)> = fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.qual.as_deref(), c.name.as_str()))
+            .collect();
+        assert!(calls.contains(&(None, "helper")));
+        assert!(calls.contains(&(Some("BinStats"), "merge")));
+        assert!(calls.contains(&(None, "parse")));
+        assert!(calls.contains(&(None, "method")));
+        assert!(!calls.iter().any(|(_, n)| *n == "panic"));
+    }
+
+    #[test]
+    fn generic_fn_signature_with_arrow_in_bounds() {
+        let src = "fn time<T, F: FnOnce() -> T>(f: F) -> T { f() }\nfn after() {}\n";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "time");
+        assert_eq!(fns[1].name, "after");
+        assert!(fns[0].calls.iter().any(|c| c.name == "f"));
+    }
+
+    #[test]
+    fn spawn_and_hot_flags() {
+        let src = "// lint:hot\nfn worker() {\n    std::thread::spawn(|| {});\n}\n\
+                   fn cold() {}\n";
+        let fns = parse(src);
+        assert!(fns[0].spawns);
+        assert!(fns[0].hot);
+        assert!(!fns[1].spawns);
+        assert!(!fns[1].hot);
+    }
+
+    #[test]
+    fn hot_tag_reaches_two_lines_down_only() {
+        let src = "// lint:hot\n#[inline]\nfn tagged() {}\n\n\nfn far() {}\n";
+        let fns = parse(src);
+        assert!(fns[0].hot, "tag two lines above still applies");
+        assert!(!fns[1].hot);
+    }
+
+    #[test]
+    fn test_fns_flagged() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n";
+        let fns = parse(src);
+        assert!(!fns[0].in_test);
+        assert!(fns[1].in_test);
+    }
+
+    #[test]
+    fn trait_method_declarations_have_empty_bodies() {
+        let src =
+            "trait T {\n    fn required(&self);\n    fn provided(&self) { self.required() }\n}\n";
+        let fns = parse(src);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].qual_name(), "T::required");
+        assert_eq!(fns[0].body.0, fns[0].body.1);
+        assert!(fns[1].calls.iter().any(|c| c.name == "required"));
+    }
+
+    #[test]
+    fn nested_fn_calls_attributed_to_both() {
+        let src = "fn outer() {\n    fn inner() { leaf(); }\n    inner();\n}\n";
+        let fns = parse(src);
+        let outer = fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+        assert!(inner.calls.iter().any(|c| c.name == "leaf"));
+    }
+
+    #[test]
+    fn sig_range_covers_params() {
+        let src = "fn f(m: &HashMap<u32, u32>, n: usize) {}\n";
+        let fns = parse(src);
+        let f = &fns[0];
+        let file = SourceFile::parse("src/x.rs", src);
+        let has_hash = file.code[f.sig.0..f.sig.1]
+            .iter()
+            .any(|t| t.tok == Tok::Ident("HashMap".into()));
+        assert!(has_hash);
+    }
+}

@@ -112,6 +112,11 @@ impl Lexer {
                     self.bump();
                     self.string_body(line);
                 }
+                'c' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_body(line);
+                }
                 'b' if self.peek(1) == Some('\'') => {
                     self.bump();
                     self.bump();
@@ -493,6 +498,46 @@ mod tests {
         );
         assert_eq!(k[1], Tok::Punct('.'));
         assert_eq!(k[2], Tok::Ident("sqrt".into()));
+    }
+
+    #[test]
+    fn raw_string_partial_fences_do_not_terminate() {
+        // A `"#` inside an `r##"…"##` string is content, not a close.
+        assert_eq!(kinds("r##\"a\"#b\"##"), [Tok::Str]);
+        assert_eq!(idents("r##\"a\"#b\"## x"), ["x"]);
+        // Empty raw strings at each fence depth.
+        assert_eq!(kinds("r\"\""), [Tok::Str]);
+        assert_eq!(kinds("r#\"\"#"), [Tok::Str]);
+        // An unterminated raw string consumes to EOF without panicking.
+        assert_eq!(idents("a r#\"open"), ["a"]);
+    }
+
+    #[test]
+    fn c_raw_strings() {
+        assert_eq!(kinds("cr#\"c raw\"#"), [Tok::Str]);
+        assert_eq!(idents("cr#\"HashMap inside\"# after"), ["after"]);
+        // `cr` not followed by a raw-string opener stays an identifier.
+        assert_eq!(idents("cr crx"), ["cr", "crx"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        assert_eq!(idents("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b"), ["a", "b"]);
+        // Unbalanced nesting consumes to EOF.
+        assert_eq!(idents("a /* /* never closed */"), ["a"]);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_raw_strings() {
+        let toks = lex("a\nr#\"l2\nl3\nl4\"#\nb");
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 5);
     }
 
     #[test]

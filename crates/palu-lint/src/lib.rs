@@ -33,17 +33,21 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod baseline;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
 pub mod source;
 
 use diag::{Diagnostic, Severity};
+use graph::ItemGraph;
 use manifest::{Manifest, Value};
 use rules::{
-    budget_accounted, float_hygiene, hermetic_deps, journal_atomic, nondeterminism, pub_doc,
-    unwrap_budget,
+    budget_accounted, float_hygiene, hermetic_deps, hot_loop_alloc, journal_atomic,
+    merge_determinism, nondeterminism, panic_reach, pub_doc, unwrap_budget,
 };
 use source::SourceFile;
 use std::collections::BTreeMap;
@@ -62,6 +66,12 @@ pub const CORE_CRATES: &[&str] = &[
 
 /// Workspace-relative location of the R4 baseline.
 pub const R4_BASELINE: &str = "lint/unwrap_baseline.txt";
+
+/// Workspace-relative location of the R8 baseline.
+pub use rules::panic_reach::R8_BASELINE;
+
+/// Workspace-relative location of the R9 allowlist.
+pub use rules::merge_determinism::R9_ALLOWLIST;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -100,16 +110,17 @@ pub fn run_all(cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
     }
 
     // R2/R3/R5 per file and R4 counts over the core crates' src trees.
+    let files = core_source_files(cfg)?;
     let mut r4_counts: BTreeMap<String, u32> = BTreeMap::new();
-    for file in core_source_files(cfg)? {
-        nondeterminism::check(&file, &mut diags);
-        float_hygiene::check(&file, &mut diags);
-        pub_doc::check(&file, &mut diags);
-        journal_atomic::check(&file, &mut diags);
-        budget_accounted::check(&file, &mut diags);
+    for file in &files {
+        nondeterminism::check(file, &mut diags);
+        float_hygiene::check(file, &mut diags);
+        pub_doc::check(file, &mut diags);
+        journal_atomic::check(file, &mut diags);
+        budget_accounted::check(file, &mut diags);
         r4_counts.insert(
             file.path.to_string_lossy().into_owned(),
-            unwrap_budget::count(&file),
+            unwrap_budget::count(file),
         );
     }
 
@@ -128,25 +139,98 @@ pub fn run_all(cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
         )),
     }
 
+    // Phase 2: cross-function rules over the item graph (R8–R10).
+    let graph = ItemGraph::build(&files);
+
+    // R8 against its shrink-only baseline. Every scanned file gets an
+    // entry (zero included) so stale baseline rows are caught.
+    let r8_counts = measure_r8(&files, &graph);
+    let r8_path = cfg.root.join(R8_BASELINE);
+    match std::fs::read_to_string(&r8_path) {
+        Ok(src) => {
+            let baseline = baseline::parse(&src)?;
+            panic_reach::compare(&r8_counts, &baseline, R8_BASELINE, &mut diags);
+        }
+        Err(_) => diags.push(Diagnostic::error(
+            R8_BASELINE,
+            0,
+            "R8",
+            "baseline file missing; run `cargo run -p palu-lint -- --write-baseline`",
+        )),
+    }
+
+    // R9 with its allowlist (missing file = empty allowlist; a stale
+    // entry is an error so the list cannot rot).
+    let allow = match std::fs::read_to_string(cfg.root.join(R9_ALLOWLIST)) {
+        Ok(src) => merge_determinism::parse_allowlist(&src)?,
+        Err(_) => Vec::new(),
+    };
+    for (path, name) in merge_determinism::unmatched_entries(&files, &graph, &allow) {
+        diags.push(Diagnostic::error(
+            R9_ALLOWLIST,
+            0,
+            "R9",
+            format!("allowlist entry `{path} {name}` matches no fn; remove it"),
+        ));
+    }
+    merge_determinism::check(&files, &graph, &allow, &mut diags);
+
+    // R10 over `// lint:hot`-tagged fns.
+    hot_loop_alloc::check(&files, &graph, &mut diags);
+
     Ok(diags)
 }
 
-/// Measure current R4 counts and (re)write the baseline file.
-pub fn write_r4_baseline(cfg: &LintConfig) -> Result<PathBuf, String> {
-    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
-    for file in core_source_files(cfg)? {
-        counts.insert(
+/// List every reachable R8 panic site (for `palu-lint --r8-sites`,
+/// the developer view for shrinking the baseline).
+pub fn r8_sites(cfg: &LintConfig) -> Result<Vec<rules::panic_reach::PanicSite>, String> {
+    let files = core_source_files(cfg)?;
+    let graph = ItemGraph::build(&files);
+    let roots = panic_reach::default_roots(&files, &graph);
+    Ok(panic_reach::sites(&files, &graph, &roots))
+}
+
+/// R8 per-file reachable-panic counts, with explicit zeros for every
+/// scanned file.
+fn measure_r8(files: &[SourceFile], graph: &ItemGraph) -> BTreeMap<String, u32> {
+    let mut counts: BTreeMap<String, u32> = files
+        .iter()
+        .map(|f| (f.path.to_string_lossy().replace('\\', "/"), 0u32))
+        .collect();
+    let roots = panic_reach::default_roots(files, graph);
+    for site in panic_reach::sites(files, graph, &roots) {
+        *counts.entry(site.file).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Measure current R4 and R8 counts and (re)write both baseline
+/// files. Returns the written paths.
+pub fn write_baselines(cfg: &LintConfig) -> Result<Vec<PathBuf>, String> {
+    let files = core_source_files(cfg)?;
+    let mut r4_counts: BTreeMap<String, u32> = BTreeMap::new();
+    for file in &files {
+        r4_counts.insert(
             file.path.to_string_lossy().into_owned(),
-            unwrap_budget::count(&file),
+            unwrap_budget::count(file),
         );
     }
-    let path = cfg.root.join(R4_BASELINE);
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let graph = ItemGraph::build(&files);
+    let r8_counts = measure_r8(&files, &graph);
+
+    let mut written = Vec::new();
+    for (rel, content) in [
+        (R4_BASELINE, unwrap_budget::render_baseline(&r4_counts)),
+        (R8_BASELINE, panic_reach::render_baseline(&r8_counts)),
+    ] {
+        let path = cfg.root.join(rel);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, content).map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(path);
     }
-    std::fs::write(&path, unwrap_budget::render_baseline(&counts))
-        .map_err(|e| format!("write {}: {e}", path.display()))?;
-    Ok(path)
+    Ok(written)
 }
 
 /// True if `diags` contains any gate-failing finding.

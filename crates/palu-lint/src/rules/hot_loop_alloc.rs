@@ -1,0 +1,224 @@
+//! R10 — hot-loop allocation-hygiene.
+//!
+//! The per-window worker stages run once per captured window — at
+//! observatory scale, millions of times — so a `Vec` allocated inside
+//! their loops is pure churn the "make parallelism pay" work keeps
+//! paying for. Functions opt in with a `// lint:hot` tag on (or just
+//! above) the signature; inside their loop bodies, allocation
+//! idioms — `Vec::new()`, `vec![...]`, `with_capacity(...)`,
+//! `.collect()` — are flagged. Hoist the buffer out of the loop and
+//! reuse it (`clear()`/`drain(..)`), or justify the allocation with
+//! `lint:allow(R10)`.
+
+use crate::diag::Diagnostic;
+use crate::graph::ItemGraph;
+use crate::items::{match_close, skip_angle_group};
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Run R10 over every `// lint:hot`-tagged non-test fn.
+pub fn check(files: &[SourceFile], graph: &ItemGraph, diags: &mut Vec<Diagnostic>) {
+    for f in &graph.fns {
+        if f.in_test || !f.hot {
+            continue;
+        }
+        let file = &files[f.file];
+        let path = file.path.to_string_lossy().replace('\\', "/");
+        let code = &file.code;
+        let hi = f.body.1.min(code.len());
+        // Union of all loop-body token indices in this fn.
+        let mut in_loop: BTreeSet<usize> = BTreeSet::new();
+        let mut j = f.body.0;
+        while j < hi {
+            if let Tok::Ident(kw) = &code[j].tok {
+                if kw == "for" || kw == "while" || kw == "loop" {
+                    if let Some(open) = loop_body_open(code, j, hi) {
+                        let close = match_close(code, open, hi, '{', '}');
+                        in_loop.extend(open + 1..close.saturating_sub(1));
+                        // Continue scanning *inside* for nested loops.
+                        j = open + 1;
+                        continue;
+                    }
+                }
+            }
+            j += 1;
+        }
+        let mut seen_lines: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+        for &j in &in_loop {
+            let Some((what, line)) = alloc_site(code, j, hi) else {
+                continue;
+            };
+            if file.in_test_code(line) || file.allowed("R10", line) {
+                continue;
+            }
+            if !seen_lines.insert((line, what)) {
+                continue;
+            }
+            diags.push(Diagnostic::error(
+                &path,
+                line,
+                "R10",
+                format!(
+                    "{}: `{what}` inside a hot loop allocates per iteration; hoist \
+                     the buffer out of the loop and reuse it, or justify with \
+                     lint:allow(R10)",
+                    f.qual_name()
+                ),
+            ));
+        }
+    }
+}
+
+/// For a `for`/`while`/`loop` keyword at `kw`, the index of the
+/// loop-body `{` (first `{` past the header at bracket depth 0).
+fn loop_body_open(code: &[crate::lexer::Token], kw: usize, hi: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut k = kw + 1;
+    while k < hi {
+        match &code[k].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('{') if depth <= 0 => return Some(k),
+            Tok::Punct(';') if depth <= 0 => return None,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// If the token at `j` starts an allocation idiom, its label and line.
+fn alloc_site(code: &[crate::lexer::Token], j: usize, hi: usize) -> Option<(&'static str, u32)> {
+    let line = code[j].line;
+    match &code[j].tok {
+        Tok::Ident(name) if name == "Vec" => {
+            // `Vec::new(` / `Vec::with_capacity(` handled via the
+            // path; flag at the `Vec` token.
+            if code.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                && code.get(j + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            {
+                match code.get(j + 3).map(|t| &t.tok) {
+                    Some(Tok::Ident(m)) if m == "new" => return Some(("Vec::new", line)),
+                    Some(Tok::Ident(m)) if m == "with_capacity" => {
+                        return Some(("with_capacity", line))
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        Tok::Ident(name)
+            if name == "vec" && code.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('!')) =>
+        {
+            Some(("vec!", line))
+        }
+        Tok::Ident(name)
+            if name == "with_capacity"
+                && (j == 0 || code[j - 1].tok != Tok::Punct(':'))
+                && code.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+        {
+            // `.with_capacity(` or bare — the `Type::with_capacity`
+            // form is handled above (skip here to avoid a double).
+            Some(("with_capacity", line))
+        }
+        Tok::Ident(name) if name == "collect" && j > 0 && code[j - 1].tok == Tok::Punct('.') => {
+            let mut k = j + 1;
+            if code.get(k).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                && code.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                && code.get(k + 2).map(|t| &t.tok) == Some(&Tok::Punct('<'))
+            {
+                k = skip_angle_group(code, k + 2, hi);
+            }
+            if code.get(k).map(|t| &t.tok) == Some(&Tok::Punct('(')) {
+                Some(("collect", line))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::parse("src/a.rs", src)];
+        let graph = ItemGraph::build(&files);
+        let mut diags = Vec::new();
+        check(&files, &graph, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_fires() {
+        let src = "// lint:hot\nfn worker(n: usize) {\n    for i in 0..n {\n        \
+                   let buf: Vec<u64> = Vec::new();\n        let v = vec![0u8; 4];\n        \
+                   let c: Vec<u32> = (0..i).collect();\n    }\n}\n";
+        let diags = run(src);
+        let whats: Vec<&str> = diags
+            .iter()
+            .map(|d| {
+                if d.message.contains("Vec::new") {
+                    "Vec::new"
+                } else if d.message.contains("vec!") {
+                    "vec!"
+                } else {
+                    "collect"
+                }
+            })
+            .collect();
+        assert_eq!(whats.len(), 3, "{diags:?}");
+        assert!(whats.contains(&"Vec::new"));
+        assert!(whats.contains(&"vec!"));
+        assert!(whats.contains(&"collect"));
+        assert!(diags.iter().all(|d| d.rule == "R10"));
+    }
+
+    #[test]
+    fn untagged_fn_is_ignored() {
+        let src =
+            "fn cold(n: usize) {\n    for i in 0..n {\n        let v = vec![0u8; 4];\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn alloc_outside_loop_is_clean() {
+        let src =
+            "// lint:hot\nfn worker(n: usize) {\n    let mut buf: Vec<u64> = Vec::new();\n    \
+                   for i in 0..n {\n        buf.clear();\n        buf.push(i as u64);\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn with_capacity_and_turbofish_collect_fire() {
+        let src = "// lint:hot\nfn worker(n: usize) {\n    while n > 0 {\n        \
+                   let a = Vec::with_capacity(n);\n        \
+                   let b = (0..n).collect::<Vec<u32>>();\n    }\n}\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn nested_loop_allocs_fire_once_each() {
+        let src = "// lint:hot\nfn worker(n: usize) {\n    for i in 0..n {\n        \
+                   for j in 0..i {\n            let v = vec![j];\n        }\n    }\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn allow_pragma_justifies_alloc() {
+        let src = "// lint:hot\nfn worker(n: usize) {\n    for i in 0..n {\n        \
+                   // lint:allow(R10) — one alloc per worker, amortised\n        \
+                   let v = vec![i];\n    }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn loop_keyword_body_detected() {
+        let src = "// lint:hot\nfn worker() {\n    loop {\n        let v: Vec<u8> = Vec::new();\n        break;\n    }\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! R9 — merge-determinism.
+//!
+//! The pipeline's headline guarantee is that pooled output is
+//! bit-identical to serial at any thread count. Two code shapes can
+//! silently break that: iterating a hash container (observation
+//! order follows the hasher, not the data) and reducing over
+//! worker-produced results in completion order (float addition is
+//! not associative). This rule flags both shapes in non-test fns:
+//!
+//! * **hash-order iteration** — `.iter()`/`.keys()`/`.values()`/
+//!   `.drain()`/`.retain()`/`.into_iter()` on, or `for … in` over, a
+//!   binding whose declaration or parameter type mentions
+//!   `HashMap`/`HashSet`;
+//! * **thread-order reduction** — a fn that spawns threads *and*
+//!   calls `.sum()`/`.product()`/`.fold()`/`.reduce()`.
+//!
+//! Blessed window-ordered merge fns are listed in
+//! `lint/merge_allowlist.txt` (`<path> <Type::fn>` per line); an
+//! entry matching no fn is itself an error so the allowlist cannot
+//! rot. Membership-only hash use (`get`/`insert`/`contains_key`)
+//! never fires.
+
+use crate::diag::Diagnostic;
+use crate::graph::ItemGraph;
+use crate::items::{is_keyword, FnItem};
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Workspace-relative location of the R9 allowlist.
+pub const R9_ALLOWLIST: &str = "lint/merge_allowlist.txt";
+
+/// Hash containers whose iteration order is nondeterministic.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that observe container order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Methods that reduce a sequence — order-sensitive for floats.
+const REDUCE_METHODS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// Parse the allowlist: `<path> <qual_name>` per line, `#` comments.
+pub fn parse_allowlist(src: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (path, name) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("allowlist line {}: expected `<path> <Type::fn>`", i + 1))?;
+        out.push((path.to_string(), name.trim().to_string()));
+    }
+    Ok(out)
+}
+
+/// Allowlist entries that match no fn in the graph (stale entries).
+pub fn unmatched_entries(
+    files: &[SourceFile],
+    graph: &ItemGraph,
+    allow: &[(String, String)],
+) -> Vec<(String, String)> {
+    allow
+        .iter()
+        .filter(|(path, name)| graph.find_in_file(files, path, name).is_none())
+        .cloned()
+        .collect()
+}
+
+/// Run R9 over every non-test fn.
+pub fn check(
+    files: &[SourceFile],
+    graph: &ItemGraph,
+    allow: &[(String, String)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for f in &graph.fns {
+        if f.in_test {
+            continue;
+        }
+        let file = &files[f.file];
+        let path = file.path.to_string_lossy().replace('\\', "/");
+        if allow.iter().any(|(p, n)| *p == path && *n == f.qual_name()) {
+            continue;
+        }
+        check_hash_iteration(file, &path, f, diags);
+        check_thread_reduction(file, &path, f, diags);
+    }
+}
+
+/// Bindings in `f` (params + `let`s) whose type or initialiser
+/// mentions a hash container.
+fn hash_bindings(file: &SourceFile, f: &FnItem) -> BTreeSet<String> {
+    let code = &file.code;
+    let mut out = BTreeSet::new();
+    // Parameters: `name: …HashMap…` up to the next `,` at depth 0.
+    let mut j = f.sig.0;
+    let mut pending: Option<String> = None;
+    while j < f.sig.1.min(code.len()) {
+        match &code[j].tok {
+            Tok::Ident(name)
+                if code.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                    && code.get(j + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+                    && !is_keyword(name) =>
+            {
+                pending = Some(name.clone());
+            }
+            Tok::Ident(name) if HASH_TYPES.contains(&name.as_str()) => {
+                if let Some(p) = pending.take() {
+                    out.insert(p);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Lets: `let [mut] name … = …HashMap…;`.
+    let mut j = f.body.0;
+    while j < f.body.1.min(code.len()) {
+        if code[j].tok != Tok::Ident("let".into()) {
+            j += 1;
+            continue;
+        }
+        let mut k = j + 1;
+        if code.get(k).map(|t| &t.tok) == Some(&Tok::Ident("mut".into())) {
+            k += 1;
+        }
+        let Some(Tok::Ident(name)) = code.get(k).map(|t| &t.tok) else {
+            j += 1;
+            continue;
+        };
+        let name = name.clone();
+        // Scan the statement (to the `;` at brace depth 0) for a hash
+        // type in the annotation or initialiser.
+        let mut depth = 0i32;
+        let mut m = k + 1;
+        while m < f.body.1.min(code.len()) {
+            match &code[m].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                Tok::Punct(';') if depth <= 0 => break,
+                Tok::Ident(t) if HASH_TYPES.contains(&t.as_str()) => {
+                    out.insert(name.clone());
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        j = k + 1;
+    }
+    out
+}
+
+fn check_hash_iteration(file: &SourceFile, path: &str, f: &FnItem, diags: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    let hashes = hash_bindings(file, f);
+    let hi = f.body.1.min(code.len());
+    for j in f.body.0..hi {
+        let line = code[j].line;
+        if file.in_test_code(line) || file.allowed("R9", line) {
+            continue;
+        }
+        match &code[j].tok {
+            // `for … in <expr mentioning a hash binding> {`
+            Tok::Ident(kw) if kw == "for" => {
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let mut fired = false;
+                while k < hi {
+                    match &code[k].tok {
+                        Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct('{') if depth <= 0 => break,
+                        Tok::Ident(name)
+                            if hashes.contains(name.as_str())
+                                || HASH_TYPES.contains(&name.as_str()) =>
+                        {
+                            fired = true;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if fired {
+                    diags.push(Diagnostic::error(
+                        path,
+                        line,
+                        "R9",
+                        format!(
+                            "{}: `for` over a hash container observes hash order; \
+                             iterate a sorted/window-ordered structure or bless the fn \
+                             in {R9_ALLOWLIST}",
+                            f.qual_name()
+                        ),
+                    ));
+                }
+            }
+            // `<hash binding> . iter() …` — receiver within a short
+            // lookback of the order-observing method.
+            Tok::Ident(m)
+                if ITER_METHODS.contains(&m.as_str())
+                    && j > f.body.0
+                    && code[j - 1].tok == Tok::Punct('.')
+                    && code.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+            {
+                let lookback = j.saturating_sub(6).max(f.body.0);
+                let mut from_hash = false;
+                for b in (lookback..j).rev() {
+                    match &code[b].tok {
+                        Tok::Ident(name)
+                            if hashes.contains(name.as_str())
+                                || HASH_TYPES.contains(&name.as_str()) =>
+                        {
+                            from_hash = true;
+                            break;
+                        }
+                        Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') | Tok::Punct('=') => {
+                            break
+                        }
+                        _ => {}
+                    }
+                }
+                if from_hash {
+                    diags.push(Diagnostic::error(
+                        path,
+                        line,
+                        "R9",
+                        format!(
+                            "{}: `.{m}()` on a hash container observes hash order; \
+                             use a BTree container or bless the fn in {R9_ALLOWLIST}",
+                            f.qual_name()
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_thread_reduction(file: &SourceFile, path: &str, f: &FnItem, diags: &mut Vec<Diagnostic>) {
+    if !f.spawns {
+        return;
+    }
+    let code = &file.code;
+    let hi = f.body.1.min(code.len());
+    for j in f.body.0..hi {
+        let Tok::Ident(m) = &code[j].tok else {
+            continue;
+        };
+        if !REDUCE_METHODS.contains(&m.as_str()) {
+            continue;
+        }
+        if j == 0 || code[j - 1].tok != Tok::Punct('.') {
+            continue;
+        }
+        // Allow a turbofish between the method and its parens.
+        let mut k = j + 1;
+        if code.get(k).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && code.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+            && code.get(k + 2).map(|t| &t.tok) == Some(&Tok::Punct('<'))
+        {
+            k = crate::items::skip_angle_group(code, k + 2, hi);
+        }
+        if code.get(k).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            continue;
+        }
+        let line = code[j].line;
+        if file.in_test_code(line) || file.allowed("R9", line) {
+            continue;
+        }
+        diags.push(Diagnostic::error(
+            path,
+            line,
+            "R9",
+            format!(
+                "{}: `.{m}()` in a thread-spawning fn can reduce in completion \
+                 order; merge in window order (see MergeAcc) or bless the fn in \
+                 {R9_ALLOWLIST}",
+                f.qual_name()
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, allow: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::parse("src/a.rs", src)];
+        let graph = ItemGraph::build(&files);
+        let allow: Vec<(String, String)> = allow
+            .iter()
+            .map(|(p, n)| (p.to_string(), n.to_string()))
+            .collect();
+        let mut diags = Vec::new();
+        check(&files, &graph, &allow, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn hash_iteration_fires_on_let_binding() {
+        // lint:allow(R2) — fixture text, not core code.
+        let src = "fn f() {\n    let m = HashMap::new();\n    for (k, v) in m.iter() {}\n}\n";
+        let diags = run(src, &[]);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.rule == "R9"));
+    }
+
+    #[test]
+    fn hash_param_for_loop_fires() {
+        let src = "fn f(m: &HashMap<u32, u32>) {\n    for k in m {}\n}\n";
+        let diags = run(src, &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn membership_only_use_is_clean() {
+        let src = "fn f(m: &mut HashMap<u32, u32>) {\n    m.insert(1, 2);\n    \
+                   let _ = m.get(&1);\n    let _ = m.contains_key(&1);\n}\n";
+        assert!(run(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let src = "fn f(m: &BTreeMap<u32, u32>) {\n    for (k, v) in m.iter() {}\n    \
+                   let s: u32 = m.values().sum();\n}\n";
+        assert!(run(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn spawn_plus_reduction_fires() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n    std::thread::spawn(|| {});\n    \
+                   xs.iter().sum::<f64>()\n}\n";
+        let diags = run(src, &[]);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("sum"));
+    }
+
+    #[test]
+    fn reduction_without_spawn_is_clean() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        assert!(run(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_fn_is_exempt() {
+        let src = "impl P {\n    fn engine(&self) {\n        std::thread::spawn(|| {});\n        \
+                   let acc = (0..4).fold(0u64, |a, b| a + b);\n    }\n}\nstruct P;\n";
+        assert_eq!(run(src, &[]).len(), 1);
+        assert!(run(src, &[("src/a.rs", "P::engine")]).is_empty());
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_site() {
+        let src = "fn f(m: &HashMap<u32, u32>) {\n    \
+                   // lint:allow(R9) — sorted copy below\n    for k in m {}\n}\n";
+        assert!(run(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entries_detected() {
+        let src = "fn real() {}\n";
+        let files = vec![SourceFile::parse("src/a.rs", src)];
+        let graph = ItemGraph::build(&files);
+        let allow = vec![
+            ("src/a.rs".to_string(), "real".to_string()),
+            ("src/a.rs".to_string(), "gone".to_string()),
+        ];
+        let stale = unmatched_entries(&files, &graph, &allow);
+        assert_eq!(stale, vec![("src/a.rs".to_string(), "gone".to_string())]);
+    }
+
+    #[test]
+    fn allowlist_parse_and_comments() {
+        let src = "# blessed merges\ncrates/x/src/p.rs Pipeline::pool_engine\n\n";
+        let allow = parse_allowlist(src).unwrap();
+        assert_eq!(
+            allow,
+            vec![(
+                "crates/x/src/p.rs".to_string(),
+                "Pipeline::pool_engine".to_string()
+            )]
+        );
+        assert!(parse_allowlist("justoneword\n").is_err());
+    }
+}

@@ -8,8 +8,11 @@
 pub mod budget_accounted;
 pub mod float_hygiene;
 pub mod hermetic_deps;
+pub mod hot_loop_alloc;
 pub mod journal_atomic;
+pub mod merge_determinism;
 pub mod nondeterminism;
+pub mod panic_reach;
 pub mod pub_doc;
 pub mod unwrap_budget;
 
@@ -69,6 +72,26 @@ pub const REGISTRY: &[RuleInfo] = &[
         description: "capture-path buffers size their capacity through the budget \
                       accountant (admitted_capacity) or carry a justification; no raw \
                       with_capacity/reserve on window-geometry-derived sizes",
+    },
+    RuleInfo {
+        id: "R8",
+        name: "panic-reachability",
+        description: "fns reachable from the capture/merge roots (pipeline/journal/\
+                      budget/fault pub fns, palu-stats merges) must not reach panic!/\
+                      unwrap/[]-index outside tests; budgeted by a shrink-only baseline",
+    },
+    RuleInfo {
+        id: "R9",
+        name: "merge-determinism",
+        description: "hash-container iteration and thread-order reductions are \
+                      forbidden outside the blessed window-ordered merge allowlist \
+                      (lint/merge_allowlist.txt)",
+    },
+    RuleInfo {
+        id: "R10",
+        name: "hot-loop-alloc",
+        description: "no Vec::new/vec!/with_capacity/collect inside loop bodies of \
+                      `// lint:hot`-tagged fns; hoist and reuse per-worker buffers",
     },
 ];
 

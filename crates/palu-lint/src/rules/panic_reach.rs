@@ -1,0 +1,302 @@
+//! R8 — panic-reachability.
+//!
+//! The capture/merge path promises typed `WindowFault`/`JournalFault`
+//! errors, not aborts: a panic inside a worker tears down the pool
+//! and forfeits the journal's resume guarantee. This rule walks the
+//! conservative call graph from the capture/merge roots — every `pub`
+//! fn in `palu-traffic`'s `pipeline.rs`/`journal.rs`/`budget.rs`/
+//! `fault.rs` plus the `merge` fns in `palu-stats` — and counts the
+//! panic sites (`panic!`/`unreachable!`/`todo!`/`unimplemented!`,
+//! `.unwrap()`/`.expect()`, `[]`-indexing) reachable from them
+//! outside `#[cfg(test)]`. Counts are gated by a shrink-only baseline
+//! (`lint/panic_baseline.txt`), ratcheted exactly like R4.
+//!
+//! `assert!`/`debug_assert!` are deliberately *not* counted: they
+//! state invariants, and banning them would push checks out of the
+//! code entirely.
+
+use crate::diag::Diagnostic;
+use crate::graph::ItemGraph;
+use crate::items::is_keyword;
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Workspace-relative location of the R8 baseline.
+pub const R8_BASELINE: &str = "lint/panic_baseline.txt";
+
+/// The files whose `pub` fns seed the reachability walk.
+const ROOT_FILES: &[&str] = &[
+    "crates/palu-traffic/src/pipeline.rs",
+    "crates/palu-traffic/src/journal.rs",
+    "crates/palu-traffic/src/budget.rs",
+    "crates/palu-traffic/src/fault.rs",
+];
+
+/// Crate whose `merge` fns are additional roots.
+const MERGE_ROOT_PREFIX: &str = "crates/palu-stats/";
+
+/// One reachable panic site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Workspace-relative path of the file holding the site.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What kind of site (`panic!`, `.unwrap()`, `[]-index`, …).
+    pub what: &'static str,
+    /// Qualified name of the fn containing the site.
+    pub in_fn: String,
+    /// Qualified name of the root it is reachable from.
+    pub root: String,
+}
+
+/// Indices of the default capture/merge-path roots.
+pub fn default_roots(files: &[SourceFile], graph: &ItemGraph) -> Vec<usize> {
+    let mut roots = Vec::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let path = files[f.file].path.to_string_lossy();
+        let path = path.replace('\\', "/");
+        if f.is_pub && ROOT_FILES.iter().any(|r| path == *r) {
+            roots.push(idx);
+        } else if f.name == "merge" && path.starts_with(MERGE_ROOT_PREFIX) {
+            roots.push(idx);
+        }
+    }
+    roots
+}
+
+/// All panic sites in non-test code of fns reachable from `roots`,
+/// in (file, line) order. `lint:allow(R8)` suppresses a site.
+pub fn sites(files: &[SourceFile], graph: &ItemGraph, roots: &[usize]) -> Vec<PanicSite> {
+    let reach = graph.reachable(roots);
+    let mut out = Vec::new();
+    for (&fn_idx, &root_idx) in &reach {
+        let f = &graph.fns[fn_idx];
+        let file = &files[f.file];
+        let path = file.path.to_string_lossy().replace('\\', "/");
+        let root = graph.fns[root_idx].qual_name();
+        for (line, what) in sites_in_range(file, f.body.0, f.body.1) {
+            out.push(PanicSite {
+                file: path.clone(),
+                line,
+                what,
+                in_fn: f.qual_name(),
+                root: root.clone(),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.what == b.what);
+    out
+}
+
+/// Panic sites in the code-token range `[lo, hi)` of `file`,
+/// excluding test code and `lint:allow(R8)` lines.
+fn sites_in_range(file: &SourceFile, lo: usize, hi: usize) -> Vec<(u32, &'static str)> {
+    let code = &file.code;
+    let mut out = Vec::new();
+    for j in lo..hi.min(code.len()) {
+        let line = code[j].line;
+        if file.in_test_code(line) || file.allowed("R8", line) {
+            continue;
+        }
+        match &code[j].tok {
+            Tok::Ident(name) if code.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('!')) => {
+                let what = match name.as_str() {
+                    "panic" => "panic!",
+                    "unreachable" => "unreachable!",
+                    "todo" => "todo!",
+                    "unimplemented" => "unimplemented!",
+                    _ => continue,
+                };
+                out.push((line, what));
+            }
+            Tok::Ident(name)
+                if (name == "unwrap" || name == "expect")
+                    && j > 0
+                    && code[j - 1].tok == Tok::Punct('.')
+                    && code.get(j + 1).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+            {
+                out.push((
+                    line,
+                    if name == "unwrap" {
+                        ".unwrap()"
+                    } else {
+                        ".expect()"
+                    },
+                ));
+            }
+            Tok::Punct('[') if j > lo => {
+                // `expr[i]` indexing: `[` after an expression tail.
+                let indexing = match &code[j - 1].tok {
+                    Tok::Ident(prev) => !is_keyword(prev),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                if indexing {
+                    out.push((line, "[]-index"));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Per-file counts of `sites`, keyed by workspace-relative path.
+pub fn counts(sites: &[PanicSite]) -> BTreeMap<String, u32> {
+    let mut map: BTreeMap<String, u32> = BTreeMap::new();
+    for s in sites {
+        *map.entry(s.file.clone()).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Render the R8 baseline file.
+pub fn render_baseline(counts: &BTreeMap<String, u32>) -> String {
+    crate::baseline::render(
+        "R8 reachable-panic budget per library file (non-test code).\n\
+         Counts panic!/unreachable!/todo!/unimplemented!, .unwrap()/.expect(),\n\
+         and []-indexing in fns reachable from the capture/merge roots\n\
+         (pub fns of palu-traffic's pipeline/journal/budget/fault modules and\n\
+         palu-stats merge fns). Shrink-only, like the R4 unwrap budget:\n\
+         re-run `cargo run -p palu-lint -- --write-baseline` after improving.",
+        counts,
+    )
+}
+
+/// Gate measured counts against the checked-in baseline. The measured
+/// map must contain an entry (possibly 0) for every file that *could*
+/// hold sites, so stale baseline entries are caught by the missing-
+/// file check in [`crate::baseline::compare`].
+pub fn compare(
+    measured: &BTreeMap<String, u32>,
+    baseline: &BTreeMap<String, u32>,
+    baseline_path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    crate::baseline::compare(
+        "R8",
+        "reachable panic sites",
+        measured,
+        baseline,
+        baseline_path,
+        diags,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[(&str, &str)], root_names: &[&str]) -> Vec<PanicSite> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| SourceFile::parse(*p, s)).collect();
+        let graph = ItemGraph::build(&files);
+        let roots: Vec<usize> = graph
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| root_names.contains(&f.qual_name().as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        sites(&files, &graph, &roots)
+    }
+
+    #[test]
+    fn transitive_panic_found_with_origin() {
+        let srcs = [(
+            "src/a.rs",
+            "pub fn entry() { helper(); }\n\
+             fn helper() { panic!(\"boom\"); }\n\
+             fn unrelated() { panic!(\"never seen\"); }\n",
+        )];
+        let s = run(&srcs, &["entry"]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].line, 2);
+        assert_eq!(s[0].what, "panic!");
+        assert_eq!(s[0].in_fn, "helper");
+        assert_eq!(s[0].root, "entry");
+    }
+
+    #[test]
+    fn unwrap_expect_and_indexing_counted() {
+        let srcs = [(
+            "src/a.rs",
+            "pub fn entry(v: &[u64], i: usize) -> u64 {\n    \
+             let x = maybe().unwrap();\n    \
+             let y = maybe().expect(\"y\");\n    \
+             v[i] + x + y\n}\n\
+             fn maybe() -> Option<u64> { None }\n",
+        )];
+        let s = run(&srcs, &["entry"]);
+        let whats: Vec<&str> = s.iter().map(|x| x.what).collect();
+        assert_eq!(whats, [".unwrap()", ".expect()", "[]-index"]);
+    }
+
+    #[test]
+    fn slice_types_and_patterns_are_not_indexing() {
+        let srcs = [(
+            "src/a.rs",
+            "pub fn entry(v: &mut [u64]) -> Vec<[f64; 2]> {\n    \
+             let [a, b] = [1.0, 2.0];\n    vec![[a, b]]\n}\n",
+        )];
+        let s = run(&srcs, &["entry"]);
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn test_code_and_allows_suppressed() {
+        let srcs = [(
+            "src/a.rs",
+            "pub fn entry() {\n    \
+             helper(); // lint:allow(R8) — message formatting cannot fail\n    \
+             inner().unwrap(); // lint:allow(R8)\n}\n\
+             fn helper() {}\n\
+             fn inner() -> Option<u32> { None }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { entry(); panic!(\"x\"); }\n}\n",
+        )];
+        let s = run(&srcs, &["entry"]);
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn asserts_not_counted() {
+        let srcs = [(
+            "src/a.rs",
+            "pub fn entry(n: usize) { assert!(n > 0); debug_assert_eq!(n, n); }\n",
+        )];
+        assert!(run(&srcs, &["entry"]).is_empty());
+    }
+
+    #[test]
+    fn unreachable_fn_panics_ignored() {
+        let srcs = [
+            ("src/a.rs", "pub fn entry() { safe(); }\nfn safe() {}\n"),
+            ("src/b.rs", "pub fn legacy() { x.unwrap(); }\n"),
+        ];
+        assert!(run(&srcs, &["entry"]).is_empty());
+    }
+
+    #[test]
+    fn default_roots_select_pub_capture_fns_and_stats_merges() {
+        let files: Vec<SourceFile> = vec![
+            SourceFile::parse(
+                "crates/palu-traffic/src/pipeline.rs",
+                "pub fn run() {}\nfn private() {}\n",
+            ),
+            SourceFile::parse(
+                "crates/palu-stats/src/summary.rs",
+                "impl W { pub fn merge(&mut self, o: &W) {} fn other(&self) {} }\nstruct W;\n",
+            ),
+            SourceFile::parse("crates/palu-graph/src/lib.rs", "pub fn not_a_root() {}\n"),
+        ];
+        let graph = ItemGraph::build(&files);
+        let roots = default_roots(&files, &graph);
+        let names: Vec<String> = roots.iter().map(|&i| graph.fns[i].qual_name()).collect();
+        assert_eq!(names, ["run", "W::merge"]);
+    }
+}

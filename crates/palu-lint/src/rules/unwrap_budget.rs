@@ -40,38 +40,19 @@ pub fn count(file: &SourceFile) -> u32 {
 
 /// Parse a baseline file: `<count> <path>` per line, `#` comments.
 pub fn parse_baseline(src: &str) -> Result<BTreeMap<String, u32>, String> {
-    let mut map = BTreeMap::new();
-    for (i, line) in src.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (count, path) = line
-            .split_once(char::is_whitespace)
-            .ok_or_else(|| format!("baseline line {}: expected `<count> <path>`", i + 1))?;
-        let count: u32 = count
-            .parse()
-            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
-        map.insert(path.trim().to_string(), count);
-    }
-    Ok(map)
+    crate::baseline::parse(src)
 }
 
 /// Render per-file counts as a baseline file (zero-count files are
 /// omitted — absence means budget 0).
 pub fn render_baseline(counts: &BTreeMap<String, u32>) -> String {
-    let mut out = String::from(
-        "# R4 unwrap/expect budget per library file (non-test code).\n\
-         # Shrink-only: the lint gate fails if any file exceeds its line here,\n\
-         # and demands a rewrite (cargo run -p palu-lint -- --write-baseline)\n\
-         # when a file improves, so the budget only ratchets down.\n",
-    );
-    for (path, n) in counts {
-        if *n > 0 {
-            out.push_str(&format!("{n} {path}\n"));
-        }
-    }
-    out
+    crate::baseline::render(
+        "R4 unwrap/expect budget per library file (non-test code).\n\
+         Shrink-only: the lint gate fails if any file exceeds its line here,\n\
+         and demands a rewrite (cargo run -p palu-lint -- --write-baseline)\n\
+         when a file improves, so the budget only ratchets down.",
+        counts,
+    )
 }
 
 /// Compare measured counts against the baseline and emit diagnostics.
@@ -81,40 +62,14 @@ pub fn compare(
     baseline_path: &str,
     diags: &mut Vec<Diagnostic>,
 ) {
-    for (path, &n) in measured {
-        let budget = baseline.get(path).copied().unwrap_or(0);
-        if n > budget {
-            diags.push(Diagnostic::error(
-                path,
-                0,
-                "R4",
-                format!(
-                    "{n} unwrap/expect calls in non-test code, budget is {budget}; \
-                     handle the error or shrink elsewhere first"
-                ),
-            ));
-        } else if n < budget {
-            diags.push(Diagnostic::error(
-                baseline_path,
-                0,
-                "R4",
-                format!(
-                    "stale budget for {path}: baseline says {budget}, code has {n}; \
-                     re-run with --write-baseline to lock in the improvement"
-                ),
-            ));
-        }
-    }
-    for path in baseline.keys() {
-        if !measured.contains_key(path) {
-            diags.push(Diagnostic::error(
-                baseline_path,
-                0,
-                "R4",
-                format!("baseline entry for missing file {path}; re-run --write-baseline"),
-            ));
-        }
-    }
+    crate::baseline::compare(
+        "R4",
+        "unwrap/expect calls",
+        measured,
+        baseline,
+        baseline_path,
+        diags,
+    );
 }
 
 #[cfg(test)]

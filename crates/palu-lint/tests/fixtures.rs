@@ -1,0 +1,124 @@
+//! Golden-file tests for the cross-function rules (R8–R10).
+//!
+//! Every `tests/fixtures/<rule>/<name>.rs` is parsed as a standalone
+//! source file (fixtures are lint inputs, never compiled) and run
+//! through its rule with fixture-local roots / allowlists; the
+//! rendered findings must match `<name>.expected` line-for-line. An
+//! empty `.expected` pins a no-fire case. R9 fixtures may carry a
+//! `<name>.allow` allowlist in the checked-in `lint/merge_allowlist.txt`
+//! format.
+
+use palu_lint::graph::ItemGraph;
+use palu_lint::rules::{hot_loop_alloc, merge_determinism, panic_reach};
+use palu_lint::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// One parsed fixture: its lint-relative path, source file, expected
+/// golden output, and optional allowlist text.
+struct Fixture {
+    rel: String,
+    file: SourceFile,
+    expected: String,
+    allow: Option<String>,
+}
+
+fn load(rule_dir: &str) -> Vec<Fixture> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule_dir);
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().map(|e| e == "rs").unwrap_or(false))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures under {}", dir.display());
+    paths
+        .into_iter()
+        .map(|p| {
+            let stem = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let rel = format!("fixtures/{rule_dir}/{stem}.rs");
+            let src = std::fs::read_to_string(&p).unwrap();
+            let expected = std::fs::read_to_string(p.with_extension("expected"))
+                .unwrap_or_else(|e| panic!("{stem}.expected: {e}"));
+            let allow = std::fs::read_to_string(p.with_extension("allow")).ok();
+            Fixture {
+                rel: rel.clone(),
+                file: SourceFile::parse(rel, &src),
+                expected,
+                allow,
+            }
+        })
+        .collect()
+}
+
+fn assert_golden(fixture: &str, actual: &[String], expected: &str) {
+    let expected: Vec<&str> = expected.lines().collect();
+    assert_eq!(
+        actual.iter().map(String::as_str).collect::<Vec<_>>(),
+        expected,
+        "golden mismatch for {fixture}"
+    );
+}
+
+#[test]
+fn r8_fixtures_match_golden_output() {
+    for fx in load("r8") {
+        let files = vec![fx.file];
+        let graph = ItemGraph::build(&files);
+        // Fixture roots: every pub non-test fn, mirroring how the
+        // real ROOT_FILES seed the walk.
+        let roots: Vec<usize> = graph
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_pub && !f.in_test)
+            .map(|(i, _)| i)
+            .collect();
+        let lines: Vec<String> = panic_reach::sites(&files, &graph, &roots)
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}:{}: {} in {} (reachable from {})",
+                    s.file, s.line, s.what, s.in_fn, s.root
+                )
+            })
+            .collect();
+        assert_golden(&fx.rel, &lines, &fx.expected);
+    }
+}
+
+#[test]
+fn r9_fixtures_match_golden_output() {
+    for fx in load("r9") {
+        let files = vec![fx.file];
+        let graph = ItemGraph::build(&files);
+        let allow = match &fx.allow {
+            Some(src) => merge_determinism::parse_allowlist(src).unwrap(),
+            None => Vec::new(),
+        };
+        // A fixture allowlist must name real fns, same as the ratchet
+        // enforces on the checked-in one.
+        assert!(
+            merge_determinism::unmatched_entries(&files, &graph, &allow).is_empty(),
+            "stale allow entry in {}",
+            fx.rel
+        );
+        let mut diags = Vec::new();
+        merge_determinism::check(&files, &graph, &allow, &mut diags);
+        let lines: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        assert_golden(&fx.rel, &lines, &fx.expected);
+    }
+}
+
+#[test]
+fn r10_fixtures_match_golden_output() {
+    for fx in load("r10") {
+        let files = vec![fx.file];
+        let graph = ItemGraph::build(&files);
+        let mut diags = Vec::new();
+        hot_loop_alloc::check(&files, &graph, &mut diags);
+        let lines: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        assert_golden(&fx.rel, &lines, &fx.expected);
+    }
+}

@@ -1,0 +1,23 @@
+//! R10 fixture: buffers hoisted out of the loop and reused, plus an
+//! untagged fn — no findings.
+
+// lint:hot
+pub fn window_worker(windows: usize) -> u64 {
+    let mut packet_buf: Vec<u64> = Vec::new();
+    let mut total = 0u64;
+    for w in 0..windows {
+        packet_buf.clear();
+        packet_buf.push(w as u64);
+        total += packet_buf.len() as u64;
+    }
+    total
+}
+
+pub fn cold_path(windows: usize) -> usize {
+    let mut n = 0;
+    for _ in 0..windows {
+        let v = vec![0u8; 4];
+        n += v.len();
+    }
+    n
+}

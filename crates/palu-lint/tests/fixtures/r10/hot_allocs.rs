@@ -1,0 +1,19 @@
+//! R10 fixture: allocation idioms inside the loops of a
+//! `lint:hot`-tagged fn fire; the justified one stays silent.
+
+// lint:hot
+pub fn window_worker(windows: usize) -> u64 {
+    let mut total = 0u64;
+    for w in 0..windows {
+        let packet_buf: Vec<u64> = Vec::new();
+        let histogram = vec![0u64; 16];
+        let degrees: Vec<u64> = (0..w as u64).collect();
+        // lint:allow(R10) — capacity probe, test-bed only.
+        let probe: Vec<u8> = Vec::with_capacity(w);
+        total += packet_buf.len() as u64
+            + histogram.len() as u64
+            + degrees.len() as u64
+            + probe.len() as u64;
+    }
+    total
+}

@@ -1,0 +1,43 @@
+//! R8 fixture: sites reachable from the pub root fire; sites in
+//! unreachable helpers, test code, or behind `lint:allow(R8)` stay
+//! silent.
+
+pub struct Ledger {
+    entries: Vec<u64>,
+}
+
+impl Ledger {
+    pub fn capture(&self, idx: usize) -> u64 {
+        let raw = self.entries[idx];
+        normalize(raw)
+    }
+}
+
+fn normalize(raw: u64) -> u64 {
+    if raw == 0 {
+        panic!("zero entry");
+    }
+    // lint:allow(R8) — bounded by the zero check above.
+    let silenced = checked(raw).unwrap();
+    silenced.wrapping_add(fallback(raw))
+}
+
+fn checked(raw: u64) -> Option<u64> {
+    raw.checked_sub(1)
+}
+
+fn fallback(raw: u64) -> u64 {
+    raw.checked_div(2).unwrap()
+}
+
+fn orphan() {
+    unreachable!("no root reaches this fn");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_panics_are_ignored() {
+        panic!("fine in tests");
+    }
+}

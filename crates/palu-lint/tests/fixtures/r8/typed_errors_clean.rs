@@ -1,0 +1,28 @@
+//! R8 fixture: a capture path that returns typed errors instead of
+//! panicking has no reachable sites.
+
+pub enum CaptureError {
+    Empty,
+    OutOfRange { idx: usize },
+}
+
+pub struct Ledger {
+    entries: Vec<u64>,
+}
+
+impl Ledger {
+    pub fn capture(&self, idx: usize) -> Result<u64, CaptureError> {
+        let raw = match self.entries.get(idx) {
+            Some(v) => *v,
+            None => return Err(CaptureError::OutOfRange { idx }),
+        };
+        normalize(raw)
+    }
+}
+
+fn normalize(raw: u64) -> Result<u64, CaptureError> {
+    match raw.checked_sub(1) {
+        Some(v) => Ok(v),
+        None => Err(CaptureError::Empty),
+    }
+}

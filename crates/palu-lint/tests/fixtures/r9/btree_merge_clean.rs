@@ -1,0 +1,20 @@
+//! R9 fixture: BTree iteration and membership-only hash use are
+//! order-deterministic — no findings.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn merge(counts: &BTreeMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn membership_only(seen: &mut HashMap<u32, u64>, key: u32) -> bool {
+    if seen.contains_key(&key) {
+        return true;
+    }
+    seen.insert(key, 1);
+    false
+}

@@ -1,0 +1,39 @@
+//! R9 fixture: hash-order iteration and completion-order reduction
+//! fire; the allowlisted fn (see hash_order.allow) stays silent.
+
+use std::collections::HashMap;
+
+pub struct Merger;
+
+impl Merger {
+    pub fn merge(&self, counts: &HashMap<u32, u64>) -> u64 {
+        let mut total = 0;
+        for (_k, v) in counts {
+            total += v;
+        }
+        total
+    }
+
+    pub fn drain_values(&self, counts: HashMap<u32, u64>) -> u64 {
+        counts.values().copied().sum()
+    }
+}
+
+pub fn pooled_total(parts: &[Vec<f64>]) -> f64 {
+    std::thread::scope(|s| {
+        for p in parts {
+            s.spawn(move || p.len());
+        }
+    });
+    parts.iter().map(|p| p.len() as f64).sum::<f64>()
+}
+
+pub fn blessed_merge(counts: &HashMap<u32, u64>) -> u64 {
+    let mut keys: Vec<u32> = counts.keys().copied().collect();
+    keys.sort_unstable();
+    let mut total = 0;
+    for k in keys {
+        total += counts[&k];
+    }
+    total
+}

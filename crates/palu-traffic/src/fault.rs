@@ -64,6 +64,12 @@ pub enum WindowFault {
         /// The policy's deadline in milliseconds.
         deadline_ms: u64,
     },
+    /// The configured window budget `N_V` does not fit in `usize` on
+    /// this platform, so the synthesis buffer cannot be sized.
+    BudgetUnrepresentable {
+        /// The configured packet budget.
+        n_v: u64,
+    },
 }
 
 impl WindowFault {
@@ -78,6 +84,7 @@ impl WindowFault {
             WindowFault::EmptySynthesizer => FaultKind::EmptySynthesizer,
             WindowFault::Panic { .. } => FaultKind::Panic,
             WindowFault::Stalled { .. } => FaultKind::Stalled,
+            WindowFault::BudgetUnrepresentable { .. } => FaultKind::BudgetUnrepresentable,
         }
     }
 }
@@ -109,6 +116,10 @@ impl std::fmt::Display for WindowFault {
                 f,
                 "window stalled: attempt took {elapsed_ms} ms against a {deadline_ms} ms deadline"
             ),
+            WindowFault::BudgetUnrepresentable { n_v } => write!(
+                f,
+                "window budget N_V = {n_v} does not fit in usize on this platform"
+            ),
         }
     }
 }
@@ -134,6 +145,8 @@ pub enum FaultKind {
     Panic,
     /// See [`WindowFault::Stalled`].
     Stalled,
+    /// See [`WindowFault::BudgetUnrepresentable`].
+    BudgetUnrepresentable,
 }
 
 impl FaultKind {
@@ -148,6 +161,7 @@ impl FaultKind {
             FaultKind::EmptySynthesizer => "empty_synthesizer",
             FaultKind::Panic => "panic",
             FaultKind::Stalled => "stalled",
+            FaultKind::BudgetUnrepresentable => "budget_unrepresentable",
         }
     }
 
@@ -163,6 +177,7 @@ impl FaultKind {
             FaultKind::EmptySynthesizer => 5,
             FaultKind::Panic => 6,
             FaultKind::Stalled => 7,
+            FaultKind::BudgetUnrepresentable => 8,
         }
     }
 
@@ -178,6 +193,7 @@ impl FaultKind {
             5 => FaultKind::EmptySynthesizer,
             6 => FaultKind::Panic,
             7 => FaultKind::Stalled,
+            8 => FaultKind::BudgetUnrepresentable,
             _ => return None,
         })
     }
@@ -891,6 +907,7 @@ mod tests {
             FaultKind::EmptySynthesizer,
             FaultKind::Panic,
             FaultKind::Stalled,
+            FaultKind::BudgetUnrepresentable,
         ] {
             assert_eq!(FaultKind::from_code(kind.code()), Some(kind));
         }

@@ -112,12 +112,34 @@ impl Observatory {
     ///
     /// # Errors
     ///
-    /// Propagates the synthesizer's [`WindowFault`].
+    /// Propagates the synthesizer's [`WindowFault`], and reports
+    /// [`WindowFault::BudgetUnrepresentable`] when `N_V` exceeds this
+    /// platform's `usize`.
     pub fn packets_at_retry(
         &self,
         t: u64,
         attempt: u32,
     ) -> Result<Vec<crate::packets::Packet>, WindowFault> {
+        let mut out = Vec::new();
+        self.packets_at_retry_into(t, attempt, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Observatory::packets_at_retry`] into a caller-provided buffer
+    /// (cleared first). The RNG stream derivation and draw order are
+    /// identical, so a worker reusing one buffer across windows and
+    /// retries preserves the bit-identity contract. After an `Err` the
+    /// buffer's contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Observatory::packets_at_retry`].
+    pub fn packets_at_retry_into(
+        &self,
+        t: u64,
+        attempt: u32,
+        out: &mut Vec<crate::packets::Packet>,
+    ) -> Result<(), WindowFault> {
         let mut rng = if attempt == 0 {
             self.packet_seq.window_rng(t)
         } else {
@@ -125,13 +147,11 @@ impl Observatory {
                 SeedSequence::new(self.packet_seq.child_seed(palu_stats::rng::streams::RETRY));
             SeedSequence::new(retry_seq.child_seed(t)).rng(attempt as u64)
         };
-        let n_v = usize::try_from(self.config.n_v).unwrap_or_else(|_| {
-            panic!(
-                "window budget N_V = {} does not fit in usize on this platform",
-                self.config.n_v
-            )
-        });
-        self.synthesizer.draw_many(&mut rng, n_v)
+        let n_v =
+            usize::try_from(self.config.n_v).map_err(|_| WindowFault::BudgetUnrepresentable {
+                n_v: self.config.n_v,
+            })?;
+        self.synthesizer.draw_many_into(&mut rng, n_v, out)
     }
 
     /// The window at index `t` — deterministic random access: the same
@@ -342,6 +362,22 @@ mod tests {
         assert_ne!(r1, obs.packets_at_retry(4, 2).unwrap());
         // …and distinct across windows.
         assert_ne!(r1, obs.packets_at_retry(5, 1).unwrap());
+    }
+
+    #[test]
+    fn packets_at_retry_into_matches_allocating_path() {
+        let obs = make(15, 2_000);
+        let mut buf = Vec::new();
+        // Reuse one buffer across windows and retries; every fill must
+        // match the allocating variant bit-for-bit.
+        for (t, attempt) in [(0, 0), (4, 1), (4, 2), (5, 1), (0, 0)] {
+            obs.packets_at_retry_into(t, attempt, &mut buf).unwrap();
+            assert_eq!(
+                buf,
+                obs.packets_at_retry(t, attempt).unwrap(),
+                "({t},{attempt})"
+            );
+        }
     }
 
     #[test]

@@ -410,6 +410,7 @@ impl Pipeline {
     /// The engine behind the checked entry points; `journal` and
     /// `recovery` are `None` on the non-durable path, `governor` is
     /// `None` everywhere except [`Pipeline::pool_observatory_governed`].
+    // lint:hot
     #[allow(clippy::too_many_arguments)]
     fn pool_engine(
         measurement: Measurement,
@@ -493,14 +494,26 @@ impl Pipeline {
             for (c, piece) in slots.chunks_mut(chunk).enumerate() {
                 let obs = &*obs;
                 s.spawn(move || {
+                    // Per-worker packet scratch, reused across every
+                    // window (and retry) this worker processes — one
+                    // allocation per worker, not per window.
+                    // lint:allow(R10)
+                    let mut scratch: Vec<crate::packets::Packet> = Vec::new();
                     for (i, slot) in piece.iter_mut().enumerate() {
                         if slot.is_some() {
                             // Replayed from the journal.
                             continue;
                         }
                         let t = start_t + (c * chunk + i) as u64;
-                        let computed =
-                            process_window(measurement, obs, t, metrics, policy, injector);
+                        let computed = process_window(
+                            measurement,
+                            obs,
+                            t,
+                            metrics,
+                            policy,
+                            injector,
+                            &mut scratch,
+                        );
                         if let Some(j) = journal {
                             // Aborted windows are never journaled: the
                             // run fails, and a resume must recompute
@@ -831,6 +844,7 @@ fn budget_checkpoint(
 /// window boundaries, so the schedule — and every recorded event — is
 /// deterministic for a fixed `(configuration, budget, threads)`.
 #[allow(clippy::too_many_arguments)]
+// lint:hot
 fn governed_capture(
     measurement: Measurement,
     obs: &Observatory,
@@ -894,10 +908,14 @@ fn governed_capture(
         );
     }
     let mut i = 0usize;
+    // Batch bookkeeping reused across iterations: cleared (capacity
+    // kept) each round instead of reallocated per batch.
+    let mut batch: Vec<usize> = Vec::new();
+    let mut results: Vec<Option<WindowSlot>> = Vec::new();
     while i < n {
         // Collect the next batch: up to `width` not-yet-computed
         // windows (replayed slots are skipped — already accounted).
-        let mut batch: Vec<usize> = Vec::new();
+        batch.clear();
         let mut j = i;
         while j < n && batch.len() < width {
             if slots[j].is_none() {
@@ -968,11 +986,17 @@ fn governed_capture(
         };
         // Compute the batch: one worker per window, joined before any
         // ledger or journal traffic resumes.
-        let mut results: Vec<Option<WindowSlot>> = (0..batch.len()).map(|_| None).collect();
+        results.clear();
+        results.resize_with(batch.len(), || None);
         std::thread::scope(|s| {
             for (slot, &b) in results.iter_mut().zip(&batch) {
                 let t = start_t + b as u64;
                 s.spawn(move || {
+                    // Worker-local packet scratch; the governed path
+                    // spawns one worker per batch window, and the
+                    // buffer is still reused across the window's
+                    // retry attempts. lint:allow(R10)
+                    let mut scratch: Vec<crate::packets::Packet> = Vec::new();
                     *slot = Some(process_window(
                         measurement,
                         obs,
@@ -980,6 +1004,7 @@ fn governed_capture(
                         metrics,
                         policy,
                         injector,
+                        &mut scratch,
                     ));
                 });
             }
@@ -988,7 +1013,7 @@ fn governed_capture(
         // any degradation checkpoint can coarsen slot state — the
         // journal always stores fine-grained histograms, so a resume
         // under a different budget stays byte-exact.
-        for (computed, &b) in results.into_iter().zip(&batch) {
+        for (computed, &b) in results.drain(..).zip(&batch) {
             let Some(computed) = computed else { continue };
             if let Some(j) = journal {
                 if computed.abort_fault.is_none() {
@@ -1087,6 +1112,9 @@ fn governed_capture(
 /// Drive one window through its attempt loop and dispose of it per the
 /// policy. Pure in `(t, attempt)` given the observatory seed and the
 /// injector, so the outcome is independent of thread placement.
+/// `scratch` is the worker's reusable packet buffer — every attempt
+/// clears and refills it, so its incoming contents never matter.
+// lint:hot
 fn process_window(
     measurement: Measurement,
     obs: &Observatory,
@@ -1094,6 +1122,7 @@ fn process_window(
     metrics: Option<&Metrics>,
     policy: &FailurePolicy,
     injector: Option<&Injector>,
+    scratch: &mut Vec<crate::packets::Packet>,
 ) -> WindowSlot {
     let mut last_fault: Option<WindowFault> = None;
     let mut injected = 0u64;
@@ -1115,7 +1144,16 @@ fn process_window(
         // Observability-style clock read, never feeds a numerical
         // result. lint:allow(R2)
         let started = std::time::Instant::now();
-        let outcome = attempt_window(measurement, obs, t, attempt, plan, deadline_ms, metrics);
+        let outcome = attempt_window(
+            measurement,
+            obs,
+            t,
+            attempt,
+            plan,
+            deadline_ms,
+            metrics,
+            scratch,
+        );
         let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
         let outcome = match (outcome, deadline_ms) {
             (Ok(_), Some(deadline)) if elapsed_ms > deadline => Err(WindowFault::Stalled {
@@ -1196,6 +1234,7 @@ fn process_window(
                 None,
                 None,
                 metrics,
+                scratch,
             ) {
                 Ok(r) => WindowSlot {
                     result: Some(r),
@@ -1226,7 +1265,11 @@ fn process_window(
     }
 }
 
-/// One panic-contained attempt at a window.
+/// One panic-contained attempt at a window. `scratch` crossing the
+/// `catch_unwind` boundary is sound: a panicked attempt can only
+/// leave stale packets behind (never a broken invariant), and the
+/// next fill clears the buffer before reading it.
+#[allow(clippy::too_many_arguments)]
 fn attempt_window(
     measurement: Measurement,
     obs: &Observatory,
@@ -1235,9 +1278,19 @@ fn attempt_window(
     plan: Option<InjectedFault>,
     deadline_ms: Option<u64>,
     metrics: Option<&Metrics>,
+    scratch: &mut Vec<crate::packets::Packet>,
 ) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_window_attempt(measurement, obs, t, attempt, plan, deadline_ms, metrics)
+        run_window_attempt(
+            measurement,
+            obs,
+            t,
+            attempt,
+            plan,
+            deadline_ms,
+            metrics,
+            scratch,
+        )
     })) {
         Ok(r) => r,
         Err(payload) => Err(WindowFault::Panic {
@@ -1262,6 +1315,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// With `plan = None` and a healthy window this replays the exact
 /// float-op sequence of the pre-fault-tolerance worker, preserving the
 /// bit-identity contract.
+// lint:hot
+#[allow(clippy::too_many_arguments)]
 fn run_window_attempt(
     measurement: Measurement,
     obs: &Observatory,
@@ -1270,6 +1325,7 @@ fn run_window_attempt(
     plan: Option<InjectedFault>,
     deadline_ms: Option<u64>,
     metrics: Option<&Metrics>,
+    scratch: &mut Vec<crate::packets::Packet>,
 ) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
     if plan == Some(InjectedFault::Stall) {
         // Oversleep the watchdog deadline so the attempt is classified
@@ -1279,9 +1335,10 @@ fn run_window_attempt(
         let ms = deadline_ms.map_or(30, |d| d.saturating_add(25));
         std::thread::sleep(std::time::Duration::from_millis(ms));
     }
-    let mut packets = time_stage(metrics, Stage::Synthesize, || {
-        obs.packets_at_retry(t, attempt)
+    time_stage(metrics, Stage::Synthesize, || {
+        obs.packets_at_retry_into(t, attempt, scratch)
     })?;
+    let packets = scratch;
     if let Some(m) = metrics {
         m.add_packets(packets.len() as u64);
     }
@@ -1307,10 +1364,13 @@ fn run_window_attempt(
         });
     }
     if plan == Some(InjectedFault::WorkerPanic) {
+        // Deliberate fault injection: contained by `attempt_window`'s
+        // `catch_unwind` and classified as `WindowFault::Panic`.
+        // lint:allow(R8)
         panic!("injected fault: worker panic in window {t} (attempt {attempt})");
     }
     let w = time_stage(metrics, Stage::Window, || {
-        PacketWindow::from_packets(t, &packets)
+        PacketWindow::from_packets(t, packets)
     });
     let h = time_stage(metrics, Stage::Histogram, || measurement.histogram(&w));
     if w.n_v() > 0 && h.is_empty() {
