@@ -42,8 +42,12 @@ echo "== pipeline determinism (1, 2, 8 threads) =="
 cargo test -q -p palu-suite --test parallel_pipeline \
     parallel_pipeline_is_bit_identical_to_serial_at_1_2_8_threads
 # Same contract end-to-end through the bench binary, which also emits
-# results/BENCH_pipeline.json with the per-stage metrics timings.
-cargo run -q --release -p palu-bench --bin pipeline
+# results/BENCH_pipeline.json with per-stage timings and packets/sec.
+# --gate additionally enforces the parallel-scaling floor: 8-thread
+# speedup ≥ 0.75 × min(threads, effective cores) — 6× on an 8-core
+# box, and on a single-core runner it still catches the historical
+# parallel-slower-than-serial inversion (exit 1 on regression).
+cargo run -q --release -p palu-bench --bin pipeline -- --gate
 test -s results/BENCH_pipeline.json
 
 echo "== fault-injection smoke matrix (0%, 5%, 50%) =="

@@ -109,7 +109,9 @@ pub fn metrics_json(snap: &palu_traffic::MetricsSnapshot) -> crate::json::JsonVa
     JsonValue::obj([
         ("stage_ns", stages),
         ("total_stage_ns", JsonValue::UInt(snap.total_ns())),
+        ("capture_wall_ns", JsonValue::UInt(snap.capture_wall_ns)),
         ("packets", JsonValue::UInt(snap.packets)),
+        ("packets_per_sec", JsonValue::Float(snap.packets_per_sec())),
         ("windows", JsonValue::UInt(snap.windows)),
         ("threads", JsonValue::UInt(snap.threads)),
         ("retries", JsonValue::UInt(snap.retries)),

@@ -7,6 +7,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::scratch::CsrScratch;
 use crate::{Count, NodeId};
 
 /// Validate that `elems` elements of `elem_size` bytes fit one
@@ -128,6 +129,18 @@ impl CooMatrix {
         self.n_cols = self.n_cols.max(n_cols);
     }
 
+    /// Reset to an empty builder, keeping the triplet buffers'
+    /// capacity — the per-worker reuse path: one builder per worker,
+    /// cleared between windows, so steady-state window assembly
+    /// allocates nothing.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+        self.n_rows = 0;
+        self.n_cols = 0;
+    }
+
     /// Merge another COO builder's triplets into this one.
     pub fn merge(&mut self, other: &CooMatrix) {
         self.rows.extend_from_slice(&other.rows);
@@ -206,6 +219,108 @@ impl CooMatrix {
             );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut iter = scratch.iter().copied();
+            if let Some((mut cur_c, mut cur_v)) = iter.next() {
+                for (c, v) in iter {
+                    if c == cur_c {
+                        cur_v += v;
+                    } else {
+                        out_cols.push(cur_c);
+                        out_vals.push(cur_v);
+                        cur_c = c;
+                        cur_v = v;
+                    }
+                }
+                out_cols.push(cur_c);
+                out_vals.push(cur_v);
+            }
+            row_ptr.push(out_cols.len());
+        }
+
+        Ok(CsrMatrix::from_raw_parts(
+            row_ptr,
+            out_cols,
+            out_vals,
+            self.n_cols,
+        ))
+    }
+
+    /// [`CooMatrix::try_to_csr`] on reusable scratch buffers: the
+    /// counting-sort offsets, scatter arrays, and per-row sort space
+    /// live in `scratch` and are retained across conversions, and the
+    /// output arrays are taken from `scratch`'s recycled pool (see
+    /// [`CsrScratch::recycle`]) — so a worker converting one window
+    /// after another reaches a steady state with **zero** heap
+    /// allocation per conversion. Produces a matrix equal to
+    /// [`CooMatrix::try_to_csr`]'s.
+    ///
+    /// Written index-free (`get`/`get_mut` with benign fallbacks on
+    /// ranges that are in-bounds by construction) so the capture path
+    /// gains no reachable panic sites.
+    pub fn try_to_csr_with(&self, scratch: &mut CsrScratch) -> Result<CsrMatrix, SparseError> {
+        let nnz = self.vals.len();
+        let n_rows_plus =
+            checked_buffer("csr row_ptr", self.n_rows as u128 + 1, size_of::<usize>())?;
+        checked_buffer(
+            "csr entries",
+            nnz as u128,
+            size_of::<NodeId>() + size_of::<Count>(),
+        )?;
+
+        // Pass 1: count triplets per row, then prefix-sum so
+        // `offsets[r]` is row `r`'s start in the scattered arrays.
+        scratch.offsets.clear();
+        scratch.offsets.resize(n_rows_plus, 0);
+        for &r in &self.rows {
+            if let Some(c) = scratch.offsets.get_mut(r as usize + 1) {
+                *c += 1;
+            }
+        }
+        let mut acc = 0usize;
+        for o in scratch.offsets.iter_mut() {
+            acc += *o;
+            *o = acc;
+        }
+
+        // Pass 2: scatter triplets into row-grouped order, advancing
+        // per-row write cursors.
+        scratch.next.clear();
+        scratch.next.extend_from_slice(&scratch.offsets);
+        scratch.scat_cols.clear();
+        scratch.scat_cols.resize(nnz, 0);
+        scratch.scat_vals.clear();
+        scratch.scat_vals.resize(nnz, 0);
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.vals) {
+            if let Some(cursor) = scratch.next.get_mut(r as usize) {
+                let slot = *cursor;
+                *cursor += 1;
+                if let Some(dst) = scratch.scat_cols.get_mut(slot) {
+                    *dst = c;
+                }
+                if let Some(dst) = scratch.scat_vals.get_mut(slot) {
+                    *dst = v;
+                }
+            }
+        }
+
+        // Pass 3: per row, sort by column and accumulate duplicates
+        // into the recycled output arrays.
+        let mut row_ptr = std::mem::take(&mut scratch.out_row_ptr);
+        let mut out_cols = std::mem::take(&mut scratch.out_cols);
+        let mut out_vals = std::mem::take(&mut scratch.out_vals);
+        row_ptr.clear();
+        out_cols.clear();
+        out_vals.clear();
+        row_ptr.push(0usize);
+        for w in scratch.offsets.windows(2) {
+            let &[start, end] = w else { continue };
+            let run_cols = scratch.scat_cols.get(start..end).unwrap_or(&[]);
+            let run_vals = scratch.scat_vals.get(start..end).unwrap_or(&[]);
+            scratch.pair.clear();
+            scratch
+                .pair
+                .extend(run_cols.iter().copied().zip(run_vals.iter().copied()));
+            scratch.pair.sort_unstable_by_key(|&(c, _)| c);
+            let mut iter = scratch.pair.iter().copied();
             if let Some((mut cur_c, mut cur_v)) = iter.next() {
                 for (c, v) in iter {
                     if c == cur_c {
@@ -360,6 +475,52 @@ mod tests {
         let mut m = CooMatrix::from_packet_pairs([(0, 1), (1, 2), (0, 1)]);
         m.reserve_dims(10, 10);
         assert_eq!(m.try_to_csr().unwrap(), m.to_csr());
+    }
+
+    #[test]
+    fn scratch_conversion_matches_allocating_path() {
+        let mut scratch = CsrScratch::new();
+        // Several windows of different shapes through ONE scratch, with
+        // recycling in between — each must equal the allocating path.
+        let shapes: Vec<Vec<(NodeId, NodeId)>> = vec![
+            vec![(0, 1), (1, 2), (0, 1), (3, 0)],
+            vec![(5, 5)],
+            vec![],
+            (0..500)
+                .map(|i| ((i * 7 % 23) as NodeId, (i * 13 % 17) as NodeId))
+                .collect(),
+        ];
+        for pairs in shapes {
+            let mut m = CooMatrix::from_packet_pairs(pairs);
+            m.reserve_dims(30, 30);
+            let fast = m.try_to_csr_with(&mut scratch).unwrap();
+            assert_eq!(fast, m.to_csr());
+            scratch.recycle(fast);
+        }
+    }
+
+    #[test]
+    fn scratch_conversion_without_recycling_is_still_exact() {
+        let mut scratch = CsrScratch::new();
+        let m = CooMatrix::from_packet_pairs([(2, 0), (0, 2), (2, 0)]);
+        let a = m.try_to_csr_with(&mut scratch).unwrap();
+        let b = m.try_to_csr_with(&mut scratch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, m.to_csr());
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_reusable() {
+        let mut m = CooMatrix::from_packet_pairs([(0, 1), (4, 2)]);
+        m.reserve_dims(10, 10);
+        m.clear();
+        assert_eq!(m.triplet_count(), 0);
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+        m.push_packet(1, 1);
+        let csr = m.to_csr();
+        assert_eq!(csr.n_rows(), 2);
+        assert_eq!(csr.get(1, 1), 1);
     }
 
     #[test]

@@ -48,6 +48,14 @@ impl CsrMatrix {
         }
     }
 
+    /// Disassemble into raw parts (`row_ptr`, `cols`, `vals`,
+    /// `n_cols`) — the inverse of [`CsrMatrix::from_raw_parts`]. Lets
+    /// [`crate::scratch::CsrScratch`] recycle a spent matrix's
+    /// allocations for the next window.
+    pub fn into_raw_parts(self) -> (Vec<usize>, Vec<NodeId>, Vec<Count>, NodeId) {
+        (self.row_ptr, self.cols, self.vals, self.n_cols)
+    }
+
     /// Number of rows (source address space).
     pub fn n_rows(&self) -> NodeId {
         (self.row_ptr.len() - 1) as NodeId

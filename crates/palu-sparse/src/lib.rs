@@ -33,12 +33,16 @@ pub mod error;
 pub mod parallel;
 /// The network quantities (degree, flows, packets, bytes) tracked per node.
 pub mod quantities;
+/// Reusable per-worker scratch buffers for allocation-free window
+/// assembly and histogram extraction.
+pub mod scratch;
 
 pub use aggregates::Aggregates;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use quantities::{NetworkQuantity, QuantityHistograms};
+pub use scratch::{CsrScratch, DegreeScratch};
 
 /// Largest capacity *hint* honoured verbatim before admission-control
 /// accounting kicks in (4 Mi elements). Geometry-derived sizes below

@@ -48,6 +48,46 @@ impl DegreeHistogram {
         h
     }
 
+    /// Build a histogram from a **non-decreasing** slice of degrees.
+    ///
+    /// Fast path for callers that already hold sorted degrees (the
+    /// window pipeline produces them as a by-product of sort-based
+    /// degree accumulation): equal degrees are run-length collapsed so
+    /// the B-tree sees one insert per *distinct* degree instead of one
+    /// per observation. Produces a histogram identical to
+    /// [`DegreeHistogram::from_degrees`] on the same multiset.
+    ///
+    /// Ordering is the caller's contract; it is checked with a debug
+    /// assertion only.
+    pub fn from_sorted_degrees(degrees: &[u64]) -> Self {
+        debug_assert!(
+            degrees
+                .iter()
+                .zip(degrees.iter().skip(1))
+                .all(|(a, b)| a <= b),
+            "from_sorted_degrees requires non-decreasing input"
+        );
+        let mut h = Self::new();
+        let mut iter = degrees.iter().copied();
+        if let Some(first) = iter.next() {
+            let mut cur = first;
+            let mut run = 1u64;
+            for d in iter {
+                if d == cur {
+                    run += 1;
+                } else {
+                    h.counts.insert(cur, run);
+                    h.total += run;
+                    cur = d;
+                    run = 1;
+                }
+            }
+            h.counts.insert(cur, run);
+            h.total += run;
+        }
+        h
+    }
+
     /// Build from explicit `(degree, count)` pairs, accumulating
     /// duplicates.
     pub fn from_counts<I: IntoIterator<Item = (u64, u64)>>(pairs: I) -> Self {
@@ -325,6 +365,28 @@ mod tests {
         // Resampling an empty histogram is a no-op.
         let e = DegreeHistogram::new().resample(&mut rng);
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_degrees_matches_from_degrees() {
+        let sorted = [0u64, 1, 1, 1, 2, 2, 3, 10, 10, 10, 10];
+        let fast = DegreeHistogram::from_sorted_degrees(&sorted);
+        let slow = DegreeHistogram::from_degrees(sorted);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.total(), 11);
+        assert_eq!(fast.count(10), 4);
+        assert_eq!(fast.count(0), 1);
+        assert!(DegreeHistogram::from_sorted_degrees(&[]).is_empty());
+        let single = DegreeHistogram::from_sorted_degrees(&[7]);
+        assert_eq!(single.count(7), 1);
+        assert_eq!(single.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_degrees_asserts_ordering_in_debug() {
+        let _ = DegreeHistogram::from_sorted_degrees(&[3, 1, 2]);
     }
 
     #[test]

@@ -65,28 +65,60 @@ impl Stage {
     }
 }
 
+/// A cache-line-padded relaxed atomic counter.
+///
+/// The hot per-window counters (`stage_ns`, `packets`) are hammered by
+/// every worker thread; packed `AtomicU64`s land eight to a 64-byte
+/// cache line, so updates to *different* counters from *different*
+/// cores still ping-pong the same line (false sharing). Aligning each
+/// counter to its own line makes the relaxed `fetch_add`s core-local.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn store(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    fn max(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Thread-safe wall-time and volume counters for one pipeline run.
 ///
 /// All counters are relaxed atomics: workers on different threads add
 /// into the same instance through a shared reference, and the totals
-/// are read only after the scoped threads have joined. Stage times are
-/// *summed across threads*, so with `k` workers the per-stage total can
-/// exceed the elapsed wall-clock by up to a factor of `k` — that ratio
-/// is exactly the measured parallel speedup.
+/// are read only after the scoped threads have joined. Each counter is
+/// cache-line padded ([`PaddedU64`]) so concurrent workers never
+/// false-share a line. Stage times are *summed across threads*, so
+/// with `k` workers the per-stage total can exceed the elapsed
+/// wall-clock by up to a factor of `k` — that ratio is exactly the
+/// measured parallel speedup.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    stage_ns: [AtomicU64; 5],
-    packets: AtomicU64,
-    windows: AtomicU64,
-    threads: AtomicU64,
-    retries: AtomicU64,
-    quarantined: AtomicU64,
-    windows_recovered: AtomicU64,
-    journal_bytes_replayed: AtomicU64,
-    journal_torn_dropped: AtomicU64,
-    peak_accounted_bytes: AtomicU64,
-    budget_degradations: AtomicU64,
-    admission_estimate_bytes: AtomicU64,
+    stage_ns: [PaddedU64; 5],
+    packets: PaddedU64,
+    windows: PaddedU64,
+    threads: PaddedU64,
+    retries: PaddedU64,
+    quarantined: PaddedU64,
+    windows_recovered: PaddedU64,
+    journal_bytes_replayed: PaddedU64,
+    journal_torn_dropped: PaddedU64,
+    peak_accounted_bytes: PaddedU64,
+    budget_degradations: PaddedU64,
+    admission_estimate_bytes: PaddedU64,
+    capture_wall_ns: PaddedU64,
 }
 
 impl Metrics {
@@ -107,89 +139,96 @@ impl Metrics {
 
     /// Add `ns` nanoseconds to `stage`'s accumulated wall-time.
     pub fn add_stage_ns(&self, stage: Stage, ns: u64) {
-        self.stage_ns[stage.index()].fetch_add(ns, Ordering::Relaxed);
+        self.stage_ns[stage.index()].add(ns);
     }
 
     /// Count `n` synthesized/consumed packets.
     pub fn add_packets(&self, n: u64) {
-        self.packets.fetch_add(n, Ordering::Relaxed);
+        self.packets.add(n);
     }
 
     /// Count `n` processed windows.
     pub fn add_windows(&self, n: u64) {
-        self.windows.fetch_add(n, Ordering::Relaxed);
+        self.windows.add(n);
     }
 
     /// Record the worker-thread count of the run (last write wins).
     pub fn set_threads(&self, threads: u64) {
-        self.threads.store(threads, Ordering::Relaxed);
+        self.threads.store(threads);
     }
 
     /// Count `n` per-window retry attempts (fault recovery).
     pub fn add_retries(&self, n: u64) {
-        self.retries.fetch_add(n, Ordering::Relaxed);
+        self.retries.add(n);
     }
 
     /// Count `n` quarantined (dropped) windows.
     pub fn add_quarantined(&self, n: u64) {
-        self.quarantined.fetch_add(n, Ordering::Relaxed);
+        self.quarantined.add(n);
     }
 
     /// Count `n` windows replayed from a capture journal instead of
     /// recomputed.
     pub fn add_windows_recovered(&self, n: u64) {
-        self.windows_recovered.fetch_add(n, Ordering::Relaxed);
+        self.windows_recovered.add(n);
     }
 
     /// Count `n` journal bytes replayed on resume.
     pub fn add_journal_bytes_replayed(&self, n: u64) {
-        self.journal_bytes_replayed.fetch_add(n, Ordering::Relaxed);
+        self.journal_bytes_replayed.add(n);
     }
 
     /// Count `n` torn tail records dropped during journal recovery.
     pub fn add_journal_torn_dropped(&self, n: u64) {
-        self.journal_torn_dropped.fetch_add(n, Ordering::Relaxed);
+        self.journal_torn_dropped.add(n);
     }
 
     /// Raise the high-water mark of budget-accounted bytes to at least
     /// `bytes` (monotone: lower observations are ignored).
     pub fn record_peak_accounted_bytes(&self, bytes: u64) {
-        self.peak_accounted_bytes
-            .fetch_max(bytes, Ordering::Relaxed);
+        self.peak_accounted_bytes.max(bytes);
     }
 
     /// Count one degradation-ladder rung engagement.
     pub fn add_budget_degradation(&self) {
-        self.budget_degradations.fetch_add(1, Ordering::Relaxed);
+        self.budget_degradations.add(1);
     }
 
     /// Record admission control's projected peak footprint in bytes
     /// (last write wins).
     pub fn set_admission_estimate_bytes(&self, bytes: u64) {
-        self.admission_estimate_bytes
-            .store(bytes, Ordering::Relaxed);
+        self.admission_estimate_bytes.store(bytes);
+    }
+
+    /// Add `ns` nanoseconds of *elapsed* capture wall-time (clock
+    /// started before workers spawn, stopped after the merge). Unlike
+    /// the per-stage times this is not summed across threads, so
+    /// `packets / capture_wall_ns` is a true end-to-end throughput.
+    pub fn add_capture_wall_ns(&self, ns: u64) {
+        self.capture_wall_ns.add(ns);
     }
 
     /// Freeze the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let ns = |s: Stage| self.stage_ns[s.index()].load(Ordering::Relaxed);
+        let ns = |s: Stage| self.stage_ns[s.index()].load();
         MetricsSnapshot {
             synthesize_ns: ns(Stage::Synthesize),
             window_ns: ns(Stage::Window),
             histogram_ns: ns(Stage::Histogram),
             bin_ns: ns(Stage::Bin),
             merge_ns: ns(Stage::Merge),
-            packets: self.packets.load(Ordering::Relaxed),
-            windows: self.windows.load(Ordering::Relaxed),
-            threads: self.threads.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
-            windows_recovered: self.windows_recovered.load(Ordering::Relaxed),
-            journal_bytes_replayed: self.journal_bytes_replayed.load(Ordering::Relaxed),
-            journal_torn_dropped: self.journal_torn_dropped.load(Ordering::Relaxed),
-            peak_accounted_bytes: self.peak_accounted_bytes.load(Ordering::Relaxed),
-            budget_degradations: self.budget_degradations.load(Ordering::Relaxed),
-            admission_estimate_bytes: self.admission_estimate_bytes.load(Ordering::Relaxed),
+            packets: self.packets.load(),
+            windows: self.windows.load(),
+            threads: self.threads.load(),
+            retries: self.retries.load(),
+            quarantined: self.quarantined.load(),
+            windows_recovered: self.windows_recovered.load(),
+            journal_bytes_replayed: self.journal_bytes_replayed.load(),
+            journal_torn_dropped: self.journal_torn_dropped.load(),
+            peak_accounted_bytes: self.peak_accounted_bytes.load(),
+            budget_degradations: self.budget_degradations.load(),
+            admission_estimate_bytes: self.admission_estimate_bytes.load(),
+            capture_wall_ns: self.capture_wall_ns.load(),
         }
     }
 }
@@ -246,6 +285,10 @@ pub struct MetricsSnapshot {
     pub budget_degradations: u64,
     /// Admission control's projected peak footprint in bytes.
     pub admission_estimate_bytes: u64,
+    /// Elapsed end-to-end capture wall-time (ns): workers spawned
+    /// through merge finished, *not* summed across threads. Accumulates
+    /// across captures sharing one `Metrics`.
+    pub capture_wall_ns: u64,
 }
 
 impl MetricsSnapshot {
@@ -265,6 +308,16 @@ impl MetricsSnapshot {
     /// measured speedup.
     pub fn total_ns(&self) -> u64 {
         self.stages().iter().map(|&(_, ns)| ns).sum()
+    }
+
+    /// End-to-end capture throughput in packets per second, from the
+    /// elapsed (not thread-summed) capture wall-time. `0.0` when no
+    /// capture wall-time was recorded.
+    pub fn packets_per_sec(&self) -> f64 {
+        if self.capture_wall_ns == 0 {
+            return 0.0;
+        }
+        self.packets as f64 * 1e9 / self.capture_wall_ns as f64
     }
 }
 
@@ -309,6 +362,23 @@ mod tests {
         assert_eq!(s.retries, 4);
         assert_eq!(s.quarantined, 2);
         assert_eq!(s.total_ns(), 22);
+    }
+
+    #[test]
+    fn packets_per_sec_uses_elapsed_wall_time() {
+        let m = Metrics::new();
+        m.add_packets(1_000_000);
+        assert_eq!(m.snapshot().packets_per_sec(), 0.0, "no wall-time yet");
+        m.add_capture_wall_ns(500_000_000); // 0.5 s
+        let s = m.snapshot();
+        assert_eq!(s.capture_wall_ns, 500_000_000);
+        assert!((s.packets_per_sec() - 2_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn padded_counters_are_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<PaddedU64>(), 64);
+        assert_eq!(std::mem::size_of::<PaddedU64>(), 64);
     }
 
     #[test]

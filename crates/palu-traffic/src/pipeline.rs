@@ -59,6 +59,53 @@ impl Measurement {
             Measurement::NodeVolume => w.node_volume_histogram(),
         }
     }
+
+    /// Extract this measurement's histogram through reusable scratch
+    /// buffers. Produces a histogram **equal** to
+    /// [`Measurement::histogram`] — the scratch paths are exact
+    /// drop-in replacements — but performs no steady-state heap
+    /// allocation, which is what lets a pipeline worker process
+    /// windows back-to-back without serializing on the allocator.
+    pub fn histogram_with(
+        &self,
+        w: &PacketWindow,
+        scratch: &mut palu_sparse::DegreeScratch,
+    ) -> palu_stats::histogram::DegreeHistogram {
+        match self {
+            Measurement::Quantity(q) => scratch.quantity_histogram(*q, w.matrix()),
+            Measurement::UndirectedDegree => w.undirected_degree_histogram_with(scratch),
+            Measurement::NodeVolume => w.node_volume_histogram_with(scratch),
+        }
+    }
+}
+
+/// Per-worker reusable buffers for the hot synthesize → window →
+/// histogram path. Each pipeline worker owns exactly one arena for its
+/// whole lifetime and threads it through every window (and retry
+/// attempt) it processes, so the steady state allocates nothing: the
+/// packet buffer, the COO staging triplets, the CSR conversion and
+/// output arrays, and the histogram accumulators are all recycled.
+///
+/// Crossing a `catch_unwind` boundary with the arena is sound: a
+/// panicked attempt can only leave stale buffer contents behind (never
+/// a broken invariant), and every stage clears or resets its buffers
+/// before reading them.
+#[derive(Debug, Default)]
+struct WorkerArena {
+    /// Synthesized packets for the current attempt.
+    packets: Vec<crate::packets::Packet>,
+    /// COO staging triplets, cleared per window.
+    coo: palu_sparse::CooMatrix,
+    /// CSR conversion buffers plus recycled output arrays.
+    csr: palu_sparse::CsrScratch,
+    /// Degree-histogram extraction buffers.
+    degree: palu_sparse::DegreeScratch,
+}
+
+impl WorkerArena {
+    fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The pooled multi-window result: `D(d_i)`, `σ(d_i)`, and support
@@ -427,6 +474,10 @@ impl Pipeline {
         if n == 0 {
             return Err(PipelineError::ZeroWindows);
         }
+        // Wall-clock over the whole capture, feeding the packets/sec
+        // throughput metric. Observability only — the reading never
+        // influences a numerical result. lint:allow(R2)
+        let capture_start = std::time::Instant::now();
         let threads = threads.clamp(1, n);
         // Admission control (DESIGN.md §4g): project the peak
         // accounted footprint from the window geometry and refuse an
@@ -487,47 +538,89 @@ impl Pipeline {
                 slots,
                 gov,
                 model,
+                capture_start,
             );
         }
-        let chunk = n.div_ceil(threads).max(1);
+        // Work-stealing schedule: the windows still to compute (journal
+        // replays excluded) form a shared queue drained through an
+        // atomic cursor. Each worker owns one long-lived
+        // [`WorkerArena`] and claims the next window the moment it
+        // finishes one, so an expensive window (retries, a stall, a
+        // fault plan) never idles the rest of the pool the way the
+        // historical contiguous-chunk split did. Scheduling freedom is
+        // safe because each window's outcome is pure in `t` and the
+        // merge below is strictly window-ordered — which is also why
+        // the worker count can be capped at the machine's effective
+        // parallelism without changing any output: oversubscribed
+        // workers on a small host only add context-switch and arena
+        // cost (the historical engine spawned all of them and ran
+        // *slower* than serial). The floor of 2 keeps genuinely
+        // concurrent execution even on a single-core host so
+        // scheduling-sensitive contracts stay exercised. The governed
+        // engine is exempt: its batch width is part of the
+        // deterministic `(configuration, budget, threads)` ledger
+        // schedule and must not depend on the machine.
+        let workers = threads.min(
+            std::thread::available_parallelism()
+                .map(|p| p.get().max(2))
+                .unwrap_or(threads),
+        );
+        let todo: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for (c, piece) in slots.chunks_mut(chunk).enumerate() {
-                let obs = &*obs;
-                s.spawn(move || {
-                    // Per-worker packet scratch, reused across every
-                    // window (and retry) this worker processes — one
-                    // allocation per worker, not per window.
-                    // lint:allow(R10)
-                    let mut scratch: Vec<crate::packets::Packet> = Vec::new();
-                    for (i, slot) in piece.iter_mut().enumerate() {
-                        if slot.is_some() {
-                            // Replayed from the journal.
-                            continue;
-                        }
-                        let t = start_t + (c * chunk + i) as u64;
-                        let computed = process_window(
-                            measurement,
-                            obs,
-                            t,
-                            metrics,
-                            policy,
-                            injector,
-                            &mut scratch,
-                        );
-                        if let Some(j) = journal {
-                            // Aborted windows are never journaled: the
-                            // run fails, and a resume must recompute
-                            // the window to reach the same verdict.
-                            // Append errors are latched inside the
-                            // journal and surfaced after the scope
-                            // joins.
-                            if computed.abort_fault.is_none() {
-                                let _ = j.append(&computed.to_entry(t));
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let todo = &todo;
+                    let obs = &*obs;
+                    s.spawn(move || {
+                        // Arena and result list live for the worker's
+                        // whole lifetime — one allocation set per
+                        // worker, not per window. lint:allow(R10)
+                        let mut out: Vec<(usize, WindowSlot)> = Vec::new();
+                        let mut arena = WorkerArena::new();
+                        loop {
+                            let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&i) = todo.get(k) else { break };
+                            let t = start_t + i as u64;
+                            let computed = process_window(
+                                measurement,
+                                obs,
+                                t,
+                                metrics,
+                                policy,
+                                injector,
+                                &mut arena,
+                            );
+                            if let Some(j) = journal {
+                                // Aborted windows are never journaled:
+                                // the run fails, and a resume must
+                                // recompute the window to reach the
+                                // same verdict. Append errors are
+                                // latched inside the journal and
+                                // surfaced after the scope joins.
+                                if computed.abort_fault.is_none() {
+                                    let _ = j.append(&computed.to_entry(t));
+                                }
                             }
+                            out.push((i, computed));
                         }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                let out = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                for (i, computed) in out {
+                    if let Some(slot) = slots.get_mut(i) {
                         *slot = Some(computed);
                     }
-                });
+                }
             }
         });
         if let Some(j) = journal {
@@ -545,6 +638,11 @@ impl Pipeline {
                 acc.fold(slot);
             }
         });
+        if let Some(m) = metrics {
+            m.add_capture_wall_ns(
+                u64::try_from(capture_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         acc.finish(policy, n, metrics)
     }
 }
@@ -858,6 +956,8 @@ fn governed_capture(
     mut slots: Vec<Option<WindowSlot>>,
     gov: &Governor<'_>,
     model: &CostModel,
+    // Capture wall-clock start, observability only. lint:allow(R2)
+    capture_start: std::time::Instant,
 ) -> Result<FaultTolerantPool, PipelineError> {
     let budget = gov.budget;
     let window_bytes = model.window_bytes();
@@ -912,6 +1012,11 @@ fn governed_capture(
     // kept) each round instead of reallocated per batch.
     let mut batch: Vec<usize> = Vec::new();
     let mut results: Vec<Option<WindowSlot>> = Vec::new();
+    // One arena per worker slot, hoisted out of the batch loop so the
+    // hot per-window buffers survive across batches. A batch never
+    // exceeds `width ≤ threads` windows, so zipping batch indices with
+    // arenas always has an arena for every worker.
+    let mut arenas: Vec<WorkerArena> = (0..threads).map(|_| WorkerArena::new()).collect();
     while i < n {
         // Collect the next batch: up to `width` not-yet-computed
         // windows (replayed slots are skipped — already accounted).
@@ -989,14 +1094,13 @@ fn governed_capture(
         results.clear();
         results.resize_with(batch.len(), || None);
         std::thread::scope(|s| {
-            for (slot, &b) in results.iter_mut().zip(&batch) {
+            for ((slot, &b), arena) in results.iter_mut().zip(&batch).zip(arenas.iter_mut()) {
                 let t = start_t + b as u64;
                 s.spawn(move || {
-                    // Worker-local packet scratch; the governed path
-                    // spawns one worker per batch window, and the
-                    // buffer is still reused across the window's
-                    // retry attempts. lint:allow(R10)
-                    let mut scratch: Vec<crate::packets::Packet> = Vec::new();
+                    // The governed path spawns one worker per batch
+                    // window; each borrows a long-lived arena, so the
+                    // hot buffers are reused across the window's retry
+                    // attempts *and* across batches.
                     *slot = Some(process_window(
                         measurement,
                         obs,
@@ -1004,7 +1108,7 @@ fn governed_capture(
                         metrics,
                         policy,
                         injector,
-                        &mut scratch,
+                        arena,
                     ));
                 });
             }
@@ -1105,6 +1209,9 @@ fn governed_capture(
     budget.release(merged_accounted);
     if let Some(m) = metrics {
         m.record_peak_accounted_bytes(budget.peak());
+        m.add_capture_wall_ns(
+            u64::try_from(capture_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
     }
     acc.finish(policy, n, metrics)
 }
@@ -1112,8 +1219,8 @@ fn governed_capture(
 /// Drive one window through its attempt loop and dispose of it per the
 /// policy. Pure in `(t, attempt)` given the observatory seed and the
 /// injector, so the outcome is independent of thread placement.
-/// `scratch` is the worker's reusable packet buffer — every attempt
-/// clears and refills it, so its incoming contents never matter.
+/// `arena` is the worker's reusable buffer set — every attempt clears
+/// and refills what it uses, so its incoming contents never matter.
 // lint:hot
 fn process_window(
     measurement: Measurement,
@@ -1122,7 +1229,7 @@ fn process_window(
     metrics: Option<&Metrics>,
     policy: &FailurePolicy,
     injector: Option<&Injector>,
-    scratch: &mut Vec<crate::packets::Packet>,
+    arena: &mut WorkerArena,
 ) -> WindowSlot {
     let mut last_fault: Option<WindowFault> = None;
     let mut injected = 0u64;
@@ -1152,7 +1259,7 @@ fn process_window(
             plan,
             deadline_ms,
             metrics,
-            scratch,
+            arena,
         );
         let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
         let outcome = match (outcome, deadline_ms) {
@@ -1234,7 +1341,7 @@ fn process_window(
                 None,
                 None,
                 metrics,
-                scratch,
+                arena,
             ) {
                 Ok(r) => WindowSlot {
                     result: Some(r),
@@ -1265,10 +1372,10 @@ fn process_window(
     }
 }
 
-/// One panic-contained attempt at a window. `scratch` crossing the
+/// One panic-contained attempt at a window. The arena crossing the
 /// `catch_unwind` boundary is sound: a panicked attempt can only
-/// leave stale packets behind (never a broken invariant), and the
-/// next fill clears the buffer before reading it.
+/// leave stale buffer contents behind (never a broken invariant), and
+/// every stage clears or resets its buffers before reading them.
 #[allow(clippy::too_many_arguments)]
 fn attempt_window(
     measurement: Measurement,
@@ -1278,7 +1385,7 @@ fn attempt_window(
     plan: Option<InjectedFault>,
     deadline_ms: Option<u64>,
     metrics: Option<&Metrics>,
-    scratch: &mut Vec<crate::packets::Packet>,
+    arena: &mut WorkerArena,
 ) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_window_attempt(
@@ -1289,7 +1396,7 @@ fn attempt_window(
             plan,
             deadline_ms,
             metrics,
-            scratch,
+            arena,
         )
     })) {
         Ok(r) => r,
@@ -1325,7 +1432,7 @@ fn run_window_attempt(
     plan: Option<InjectedFault>,
     deadline_ms: Option<u64>,
     metrics: Option<&Metrics>,
-    scratch: &mut Vec<crate::packets::Packet>,
+    arena: &mut WorkerArena,
 ) -> Result<(BinStats, Option<u64>, DegreeHistogram), WindowFault> {
     if plan == Some(InjectedFault::Stall) {
         // Oversleep the watchdog deadline so the attempt is classified
@@ -1336,9 +1443,9 @@ fn run_window_attempt(
         std::thread::sleep(std::time::Duration::from_millis(ms));
     }
     time_stage(metrics, Stage::Synthesize, || {
-        obs.packets_at_retry_into(t, attempt, scratch)
+        obs.packets_at_retry_into(t, attempt, &mut arena.packets)
     })?;
-    let packets = scratch;
+    let packets = &mut arena.packets;
     if let Some(m) = metrics {
         m.add_packets(packets.len() as u64);
     }
@@ -1370,9 +1477,11 @@ fn run_window_attempt(
         panic!("injected fault: worker panic in window {t} (attempt {attempt})");
     }
     let w = time_stage(metrics, Stage::Window, || {
-        PacketWindow::from_packets(t, packets)
+        PacketWindow::from_packets_with(t, &arena.packets, &mut arena.coo, &mut arena.csr)
+    })?;
+    let h = time_stage(metrics, Stage::Histogram, || {
+        measurement.histogram_with(&w, &mut arena.degree)
     });
-    let h = time_stage(metrics, Stage::Histogram, || measurement.histogram(&w));
     if w.n_v() > 0 && h.is_empty() {
         return Err(WindowFault::EmptyHistogram);
     }
@@ -1382,6 +1491,9 @@ fn run_window_attempt(
     if w.n_v() >= 16 && h.total() <= 2 {
         return Err(WindowFault::Degenerate { support: h.total() });
     }
+    // The window is spent: every later stage reads only `h`. Hand its
+    // backing arrays back so the next window builds into them.
+    w.recycle(&mut arena.csr);
     let one = time_stage(metrics, Stage::Bin, || -> Result<BinStats, WindowFault> {
         let mut dc = DifferentialCumulative::from_histogram(&h);
         if plan == Some(InjectedFault::NanBin) && dc.n_bins() > 0 {
@@ -1558,7 +1670,7 @@ mod tests {
         let mut serial_obs = observatory(8);
         let windows = serial_obs.windows(13);
         let serial = Pipeline::pool(Measurement::UndirectedDegree, &windows);
-        for threads in [1, 2, 3, 5, 8, 32] {
+        for threads in [1, 2, 3, 5, 7, 8, 32] {
             let mut par_obs = observatory(8);
             let parallel = Pipeline::pool_observatory_parallel(
                 Measurement::UndirectedDegree,
@@ -1717,6 +1829,47 @@ mod tests {
                 assert!(matches!(fault, WindowFault::Truncated { .. }), "{fault:?}");
             }
             other => panic!("expected WindowAborted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stealing_schedule_matches_ordered_run_under_heavy_faults() {
+        // The work-stealing queue hands windows to workers in a
+        // timing-dependent order; under a 50% injection rate the
+        // per-window costs vary wildly (retries, substitutions), which
+        // is exactly when schedules diverge most. The pooled output,
+        // merged histogram, and the full fault report (record order
+        // included) must still be identical to the single-threaded
+        // ordered run at every thread count.
+        let run = |threads: usize| {
+            let mut obs = observatory(33);
+            let inj = Injector::new(InjectionSpec::uniform(0.5), 33);
+            Pipeline::pool_observatory_checked(
+                Measurement::UndirectedDegree,
+                &mut obs,
+                12,
+                threads,
+                None,
+                &FailurePolicy::quarantine(1),
+                Some(&inj),
+            )
+            .unwrap()
+        };
+        let ordered = run(1);
+        assert!(
+            ordered.report.injected > 0,
+            "the spec must actually fire: {:?}",
+            ordered.report
+        );
+        for threads in [2, 3, 5, 8, 16] {
+            let stolen = run(threads);
+            assert_bitwise_equal(
+                &stolen.pooled,
+                &ordered.pooled,
+                &format!("threads {threads}"),
+            );
+            assert_eq!(stolen.histogram, ordered.histogram, "threads {threads}");
+            assert_eq!(stolen.report, ordered.report, "threads {threads}");
         }
     }
 

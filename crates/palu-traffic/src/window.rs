@@ -12,6 +12,7 @@ use palu_sparse::aggregates::Aggregates;
 use palu_sparse::coo::CooMatrix;
 use palu_sparse::csr::CsrMatrix;
 use palu_sparse::quantities::QuantityHistograms;
+use palu_sparse::scratch::{CsrScratch, DegreeScratch};
 
 /// One aggregated packet window `A_t`.
 #[derive(Debug, Clone)]
@@ -36,6 +37,47 @@ impl PacketWindow {
             n_v: packets.len() as u64,
             t,
         }
+    }
+
+    /// [`PacketWindow::from_packets`] on reusable per-worker buffers:
+    /// the COO builder and the CSR conversion scratch are cleared and
+    /// refilled instead of reallocated, so a worker assembling one
+    /// window after another performs no steady-state heap allocation
+    /// here. Produces a window whose matrix is **equal** to
+    /// [`PacketWindow::from_packets`]'s on the same packets — the
+    /// pipeline's bit-identity contract rests on that equality.
+    ///
+    /// # Errors
+    ///
+    /// [`WindowFault::BudgetUnrepresentable`] when CSR buffer sizing
+    /// overflows (the allocating path would panic instead; both are
+    /// unreachable for admitted window geometries).
+    pub fn from_packets_with(
+        t: u64,
+        packets: &[Packet],
+        coo: &mut CooMatrix,
+        csr: &mut CsrScratch,
+    ) -> Result<Self, WindowFault> {
+        coo.clear();
+        for p in packets {
+            coo.push_packet(p.src, p.dst);
+        }
+        let matrix = coo
+            .try_to_csr_with(csr)
+            .map_err(|_| WindowFault::BudgetUnrepresentable {
+                n_v: packets.len() as u64,
+            })?;
+        Ok(PacketWindow {
+            matrix,
+            n_v: packets.len() as u64,
+            t,
+        })
+    }
+
+    /// Recycle this window's matrix allocations into `csr` for the
+    /// next [`PacketWindow::from_packets_with`] call.
+    pub fn recycle(self, csr: &mut CsrScratch) {
+        csr.recycle(self.matrix);
     }
 
     /// Aggregate packets whose host ids are sparse in `u32` (e.g.
@@ -111,13 +153,16 @@ impl PacketWindow {
     /// Every packet contributes to exactly two hosts, so the
     /// histogram's degree-sum is `2·N_V`.
     pub fn node_volume_histogram(&self) -> palu_stats::histogram::DegreeHistogram {
-        let sent = self.matrix.row_sums();
-        let received = self.matrix.col_sums();
-        let n = sent.len().max(received.len());
-        palu_stats::histogram::DegreeHistogram::from_degrees((0..n).filter_map(|i| {
-            let total = sent.get(i).copied().unwrap_or(0) + received.get(i).copied().unwrap_or(0);
-            (total > 0).then_some(total)
-        }))
+        self.node_volume_histogram_with(&mut DegreeScratch::new())
+    }
+
+    /// [`PacketWindow::node_volume_histogram`] on a reusable scratch —
+    /// the worker hot path; identical output.
+    pub fn node_volume_histogram_with(
+        &self,
+        scratch: &mut DegreeScratch,
+    ) -> palu_stats::histogram::DegreeHistogram {
+        scratch.node_volume_histogram(&self.matrix)
     }
 
     /// The *undirected degree* histogram of the window: for each
@@ -125,17 +170,23 @@ impl PacketWindow {
     /// packets with (union of fan-in and fan-out neighbor sets,
     /// de-duplicated). This is the quantity the PALU model's degree
     /// distribution describes, since the model is undirected.
+    /// The historical implementation built a
+    /// `BTreeMap<u32, BTreeSet<u32>>` of partner sets per window — one
+    /// heap node per insert, which serialized parallel workers on the
+    /// allocator. The scratch path (sort-based edge dedup + touched
+    /// counts) produces an equal histogram allocation-free; see
+    /// `palu_sparse::scratch` and the equivalence test there.
     pub fn undirected_degree_histogram(&self) -> palu_stats::histogram::DegreeHistogram {
-        // Count distinct undirected partners per node.
-        let mut partners: std::collections::BTreeMap<u32, std::collections::BTreeSet<u32>> =
-            std::collections::BTreeMap::new();
-        for (src, dst, _) in self.matrix.iter() {
-            partners.entry(src).or_default().insert(dst);
-            partners.entry(dst).or_default().insert(src);
-        }
-        palu_stats::histogram::DegreeHistogram::from_degrees(
-            partners.values().map(|s| s.len() as u64),
-        )
+        self.undirected_degree_histogram_with(&mut DegreeScratch::new())
+    }
+
+    /// [`PacketWindow::undirected_degree_histogram`] on a reusable
+    /// scratch — the worker hot path; identical output.
+    pub fn undirected_degree_histogram_with(
+        &self,
+        scratch: &mut DegreeScratch,
+    ) -> palu_stats::histogram::DegreeHistogram {
+        scratch.undirected_degree_histogram(&self.matrix)
     }
 }
 
@@ -233,6 +284,41 @@ mod tests {
         assert_eq!(
             dense.quantities().link_packets,
             compact.quantities().link_packets
+        );
+    }
+
+    #[test]
+    fn from_packets_with_matches_allocating_path() {
+        let mut coo = CooMatrix::new();
+        let mut csr = CsrScratch::new();
+        // Two different windows through one reused builder+scratch.
+        let a = PacketWindow::from_packets(3, &packets());
+        let b = PacketWindow::from_packets_with(3, &packets(), &mut coo, &mut csr).unwrap();
+        assert_eq!(a.matrix(), b.matrix());
+        assert_eq!(a.n_v(), b.n_v());
+        assert_eq!(a.t(), b.t());
+        b.recycle(&mut csr);
+        let other = vec![Packet { src: 9, dst: 9 }, Packet { src: 1, dst: 4 }];
+        let c = PacketWindow::from_packets(4, &other);
+        let d = PacketWindow::from_packets_with(4, &other, &mut coo, &mut csr).unwrap();
+        assert_eq!(c.matrix(), d.matrix());
+        assert_eq!(
+            c.undirected_degree_histogram(),
+            d.undirected_degree_histogram_with(&mut DegreeScratch::new())
+        );
+    }
+
+    #[test]
+    fn scratch_histograms_match_plain_ones() {
+        let w = PacketWindow::from_packets(0, &packets());
+        let mut s = DegreeScratch::new();
+        assert_eq!(
+            w.undirected_degree_histogram(),
+            w.undirected_degree_histogram_with(&mut s)
+        );
+        assert_eq!(
+            w.node_volume_histogram(),
+            w.node_volume_histogram_with(&mut s)
         );
     }
 

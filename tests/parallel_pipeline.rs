@@ -44,7 +44,10 @@ fn parallel_pipeline_is_bit_identical_to_serial_at_1_2_8_threads() {
         let windows: Vec<PacketWindow> = (0..WINDOWS as u64).map(|t| obs.window_at(t)).collect();
         Pipeline::pool(Measurement::UndirectedDegree, &windows)
     };
-    for threads in [1usize, 2, 8] {
+    // Odd thread counts exercise non-dividing work splits; 96 > 64
+    // windows exercises the oversubscribed queue (idle workers must
+    // exit cleanly without claiming anything).
+    for threads in [1usize, 2, 3, 5, 7, 8, 96] {
         let mut obs = observatory(42, 5_000);
         let parallel = Pipeline::pool_observatory_parallel(
             Measurement::UndirectedDegree,
