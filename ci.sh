@@ -127,16 +127,21 @@ if [ "${recovered:-0}" = 0 ]; then
 fi
 
 # A corrupted journal must be refused with a typed fault — no panic,
-# no silent partial resume. Flip one payload byte inside the first
-# window record (offset 60: past the 51-byte header record and the
-# record's own length/CRC prefix).
-cur=$(dd if="$jr_dir/capture.journal" bs=1 skip=60 count=1 status=none | od -An -tu1 | tr -d '[:space:]')
+# no silent partial resume — and the refusal must carry the dedicated
+# JOURNAL_CORRUPT exit code (4). Flip one payload byte in the middle
+# of the file (well past the header record, inside a window record).
+jr_size=$(stat -c %s "$jr_dir/capture.journal")
+flip_at=$((jr_size / 2))
+cur=$(dd if="$jr_dir/capture.journal" bs=1 skip="$flip_at" count=1 status=none | od -An -tu1 | tr -d '[:space:]')
 printf "$(printf '\\x%02x' $(((cur + 1) % 256)))" \
-    | dd of="$jr_dir/capture.journal" bs=1 seek=60 conv=notrunc status=none
-if cargo run -q --release -p palu-cli -- "${sim_args[@]}" \
+    | dd of="$jr_dir/capture.journal" bs=1 seek="$flip_at" conv=notrunc status=none
+corrupt_status=0
+cargo run -q --release -p palu-cli -- "${sim_args[@]}" \
     --journal "$jr_dir/capture.journal" --resume \
-    --out "$jr_dir/corrupt.txt" 2>"$jr_dir/corrupt.log"; then
-    echo "ci: corrupted journal must refuse to resume" >&2
+    --out "$jr_dir/corrupt.txt" 2>"$jr_dir/corrupt.log" || corrupt_status=$?
+if [ "$corrupt_status" != 4 ]; then
+    echo "ci: corrupted journal must refuse with exit 4, got $corrupt_status" >&2
+    cat "$jr_dir/corrupt.log" >&2
     exit 1
 fi
 grep -qiE "checksum|malformed" "$jr_dir/corrupt.log" || {
@@ -144,7 +149,80 @@ grep -qiE "checksum|malformed" "$jr_dir/corrupt.log" || {
     cat "$jr_dir/corrupt.log" >&2
     exit 1
 }
-echo "crash recovery: corrupted journal refused with a typed fault"
+echo "crash recovery: corrupted journal refused with a typed fault (exit 4)"
+
+echo "== federated shard-kill smoke (SIGKILL one shard + resume + merge) =="
+# Federation contract (DESIGN.md §4j): shard the capture three ways,
+# SIGKILL one shard mid-journal, resume only that shard, merge the
+# journals hierarchically — and the pooled output must be byte-
+# identical to the single-process run. A merge missing a whole shard
+# at the default coverage threshold must refuse with exit 6.
+fed_dir="$smoke_dir/federation"
+mkdir -p "$fed_dir"
+fed_args=(
+    --core 0.5 --leaves 0.2 --lambda 2.0 --alpha 2.0
+    --nodes 20000 --nv 150000 --windows 12 --seed 7
+    --fail-policy quarantine --max-retries 1)
+
+cargo run -q --release -p palu-cli -- simulate "${fed_args[@]}" \
+    --out "$fed_dir/ref.txt" 2>/dev/null
+
+for shard in 0 2; do
+    cargo run -q --release -p palu-cli -- shard "${fed_args[@]}" \
+        --shard-index "$shard" --shards 3 \
+        --journal "$fed_dir/shard$shard.journal" \
+        --out "$fed_dir/shard$shard.txt" 2>/dev/null
+done
+
+# Shard 1 gets killed mid-capture once its journal holds a prefix…
+cargo run -q --release -p palu-cli -- shard "${fed_args[@]}" \
+    --shard-index 1 --shards 3 \
+    --journal "$fed_dir/shard1.journal" \
+    --out "$fed_dir/shard1.txt" 2>/dev/null &
+shard_pid=$!
+for _ in $(seq 1 400); do
+    fed_size=$(stat -c %s "$fed_dir/shard1.journal" 2>/dev/null || echo 0)
+    [ "$fed_size" -gt 5000 ] && break
+    sleep 0.02
+done
+kill -9 "$shard_pid" 2>/dev/null || true
+wait "$shard_pid" 2>/dev/null || true
+
+# …a merge without it must refuse at the default coverage of 1.0
+# with the dedicated COVERAGE exit code (6)…
+coverage_status=0
+cargo run -q --release -p palu-cli -- pool "${fed_args[@]}" \
+    --merge "$fed_dir/shard0.journal" "$fed_dir/shard2.journal" \
+    --out "$fed_dir/refused.txt" 2>"$fed_dir/refused.log" || coverage_status=$?
+if [ "$coverage_status" != 6 ]; then
+    echo "ci: merge below coverage must refuse with exit 6, got $coverage_status" >&2
+    cat "$fed_dir/refused.log" >&2
+    exit 1
+fi
+grep -q "coverage below threshold" "$fed_dir/refused.log" || {
+    echo "ci: coverage refusal should name the threshold:" >&2
+    cat "$fed_dir/refused.log" >&2
+    exit 1
+}
+
+# …then the killed shard resumes from its torn journal and the full
+# merge reproduces the single-process bytes.
+cargo run -q --release -p palu-cli -- shard "${fed_args[@]}" \
+    --shard-index 1 --shards 3 \
+    --journal "$fed_dir/shard1.journal" --resume \
+    --out "$fed_dir/shard1.txt" 2>/dev/null
+
+cargo run -q --release -p palu-cli -- pool "${fed_args[@]}" \
+    --merge "$fed_dir/shard0.journal" "$fed_dir/shard1.journal" "$fed_dir/shard2.journal" \
+    --metrics "$fed_dir/merge.json" \
+    --out "$fed_dir/merged.txt" 2>/dev/null
+cmp "$fed_dir/ref.txt" "$fed_dir/merged.txt"
+covered=$(grep -m 1 '"covered"' "$fed_dir/merge.json" | tr -dc '0-9')
+if [ "${covered:-0}" != 12 ]; then
+    echo "ci: healed federation should cover all 12 windows, got ${covered:-0}" >&2
+    exit 1
+fi
+echo "federation: shard killed, resumed, merged — output bit-identical; coverage refusal exits 6"
 
 echo "== stall watchdog smoke =="
 # A window exceeding --window-deadline-ms is classified Stalled and
@@ -187,10 +265,13 @@ if [ "${degradations:-0}" = 0 ]; then
     exit 1
 fi
 
-if cargo run -q --release -p palu-cli -- "${bud_args[@]}" \
+admission_status=0
+cargo run -q --release -p palu-cli -- "${bud_args[@]}" \
     --memory-budget 64k \
-    --out "$bud_dir/refused.txt" 2>"$bud_dir/refused.log"; then
-    echo "ci: an impossible budget must be refused at admission" >&2
+    --out "$bud_dir/refused.txt" 2>"$bud_dir/refused.log" || admission_status=$?
+if [ "$admission_status" != 3 ]; then
+    echo "ci: an impossible budget must be refused with exit 3, got $admission_status" >&2
+    cat "$bud_dir/refused.log" >&2
     exit 1
 fi
 grep -q "admission refused" "$bud_dir/refused.log" || {
@@ -198,6 +279,6 @@ grep -q "admission refused" "$bud_dir/refused.log" || {
     cat "$bud_dir/refused.log" >&2
     exit 1
 }
-echo "impossible budget: refused at admission with a typed fault"
+echo "impossible budget: refused at admission with a typed fault (exit 3)"
 
 echo "ci: all green"

@@ -12,7 +12,7 @@
 
 use palu_bench::record_json;
 use palu_cli::json::JsonValue;
-use palu_traffic::journal::{fingerprint64, Journal, JournalHeader};
+use palu_traffic::journal::{Journal, JournalHeader};
 use palu_traffic::metrics::Metrics;
 use palu_traffic::pipeline::{FaultTolerantPool, Measurement, Pipeline};
 use palu_traffic::{FailurePolicy, MetricsSnapshot, Recovery};
@@ -23,12 +23,15 @@ const N_V: u64 = 20_000;
 const SEED: u64 = 20260807;
 
 fn header() -> JournalHeader {
-    JournalHeader {
-        seed: SEED,
-        n_v: N_V,
-        windows: WINDOWS as u64,
-        fingerprint: fingerprint64(["bench=journal", "measurement=undirected-degree"]),
-    }
+    JournalHeader::with_params(
+        SEED,
+        N_V,
+        WINDOWS as u64,
+        vec![
+            "bench=journal".to_string(),
+            "measurement=undirected-degree".to_string(),
+        ],
+    )
 }
 
 fn run(

@@ -42,6 +42,19 @@ impl ParsedArgs {
         }
     }
 
+    /// Multi-valued option: the stored value split on
+    /// [`MULTI_VALUE_SEP`] (several shell tokens) and commas (one
+    /// comma-joined token), empty components dropped. `None` when the
+    /// option is absent.
+    pub fn list(&self, key: &str) -> Option<Vec<String>> {
+        self.options.get(key).map(|v| {
+            v.split([MULTI_VALUE_SEP, ','])
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+    }
+
     /// Optional u64 with default.
     pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.options.get(key) {
@@ -53,11 +66,20 @@ impl ParsedArgs {
     }
 }
 
+/// Separator joining the tokens of a multi-valued option (e.g.
+/// `--merge a.journal b.journal`) inside its single stored value.
+/// ASCII unit separator: cannot appear in a shell word by accident.
+pub const MULTI_VALUE_SEP: char = '\u{1f}';
+
 /// Parse `args` (without the program name) into a [`ParsedArgs`].
 ///
-/// Grammar: `<command> (--key value | --flag)*`. Unknown keys are kept
-/// (commands validate what they need); a bare `--flag` followed by
-/// another `--…` or end-of-line gets an empty value.
+/// Grammar: `<command> (--key value... | --flag)*`. Unknown keys are
+/// kept (commands validate what they need); a bare `--flag` followed
+/// by another `--…` or end-of-line gets an empty value. An option
+/// followed by several non-`--` tokens (`--merge a.journal
+/// b.journal`) stores them joined by [`MULTI_VALUE_SEP`]; commands
+/// taking one value see extra tokens in the value and reject them in
+/// their own validation.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs, String> {
     let mut iter = args.into_iter().peekable();
     let command = iter
@@ -74,10 +96,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs,
         if key.is_empty() {
             return Err("empty option name (`--`)".to_string());
         }
-        let value = match iter.peek() {
-            Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
-            _ => String::new(),
-        };
+        let mut value = String::new();
+        while let Some(next) = iter.peek() {
+            if next.starts_with("--") {
+                break;
+            }
+            if !value.is_empty() {
+                value.push(MULTI_VALUE_SEP);
+            }
+            value.push_str(&iter.next().unwrap_or_default());
+        }
         options.insert(key.to_string(), value);
     }
     Ok(ParsedArgs { command, options })
@@ -113,6 +141,27 @@ mod tests {
         assert_eq!(a.get_or("in", "default.txt"), "default.txt");
         assert_eq!(a.f64_or("p", 0.5).unwrap(), 0.5);
         assert_eq!(a.u64_or("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn multi_valued_options_collect_tokens() {
+        let a = parse(&["pool", "--merge", "a.journal", "b.journal", "--nv", "10"]).unwrap();
+        assert_eq!(
+            a.list("merge").unwrap(),
+            vec!["a.journal".to_string(), "b.journal".to_string()]
+        );
+        assert_eq!(a.u64_or("nv", 0).unwrap(), 10);
+        // A single comma-joined token splits the same way.
+        let a = parse(&["pool", "--merge", "a.journal,b.journal"]).unwrap();
+        assert_eq!(a.list("merge").unwrap().len(), 2);
+        assert!(a.list("absent").is_none());
+        assert_eq!(
+            a.list("merge").unwrap(),
+            parse(&["pool", "--merge", "a.journal", "b.journal"])
+                .unwrap()
+                .list("merge")
+                .unwrap()
+        );
     }
 
     #[test]

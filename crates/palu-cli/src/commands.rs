@@ -43,19 +43,100 @@ pub struct CliError {
     pub code: i32,
 }
 
+/// Process exit codes for typed refusals, so scripts (ci.sh smokes
+/// included) can assert the precise failure class instead of a
+/// generic nonzero.
+pub mod exit {
+    /// Unclassified runtime failure (I/O, aborted window, …).
+    pub const RUNTIME: i32 = 1;
+    /// Bad command line.
+    pub const USAGE: i32 = 2;
+    /// The budget governor's admission control refused the capture.
+    pub const ADMISSION_REFUSED: i32 = 3;
+    /// A journal is corrupt: checksum mismatch, malformed record, or
+    /// not a journal at all.
+    pub const JOURNAL_CORRUPT: i32 = 4;
+    /// A journal's identity (seed, version, or fingerprinted
+    /// parameter) does not match the run.
+    pub const CONFIG_MISMATCH: i32 = 5;
+    /// A federated merge ended below its `--min-coverage` threshold.
+    pub const COVERAGE: i32 = 6;
+    /// Quarantine dropped more windows than the policy tolerates.
+    pub const QUARANTINE_OVERFLOW: i32 = 7;
+}
+
 impl CliError {
     fn usage(message: impl Into<String>) -> Self {
         CliError {
             message: message.into(),
-            code: 2,
+            code: exit::USAGE,
         }
     }
 
     fn runtime(message: impl Into<String>) -> Self {
         CliError {
             message: message.into(),
-            code: 1,
+            code: exit::RUNTIME,
         }
+    }
+
+    fn with_code(message: impl Into<String>, code: i32) -> Self {
+        CliError {
+            message: message.into(),
+            code,
+        }
+    }
+}
+
+/// Exit code for a typed journal refusal: corruption vs identity
+/// mismatch vs plain I/O.
+fn journal_fault_code(fault: &palu_traffic::JournalFault) -> i32 {
+    use palu_traffic::JournalFault;
+    match fault {
+        JournalFault::Io { .. } => exit::RUNTIME,
+        JournalFault::NotAJournal { .. }
+        | JournalFault::ChecksumMismatch { .. }
+        | JournalFault::Malformed { .. } => exit::JOURNAL_CORRUPT,
+        JournalFault::VersionSkew { .. }
+        | JournalFault::SeedMismatch { .. }
+        | JournalFault::ConfigMismatch { .. } => exit::CONFIG_MISMATCH,
+    }
+}
+
+/// Map a journal refusal to a [`CliError`] with its typed exit code.
+/// A `ConfigMismatch` names the exact parameter that skewed (the
+/// fingerprint diagnosis), so the operator sees *which* flag differs.
+fn journal_fault_error(context: &str, fault: &palu_traffic::JournalFault) -> CliError {
+    CliError::with_code(format!("{context}: {fault}"), journal_fault_code(fault))
+}
+
+/// Map a pipeline failure to a [`CliError`] with its typed exit code.
+fn pipeline_error(e: &palu_traffic::PipelineError) -> CliError {
+    use palu_traffic::{BudgetFault, PipelineError};
+    let code = match e {
+        PipelineError::Journal(fault) => journal_fault_code(fault),
+        PipelineError::QuarantineOverflow { .. } => exit::QUARANTINE_OVERFLOW,
+        PipelineError::Budget(BudgetFault::AdmissionRefused { .. }) => exit::ADMISSION_REFUSED,
+        _ => exit::RUNTIME,
+    };
+    CliError::with_code(format!("pipeline: {e}"), code)
+}
+
+/// Map a federation failure to a [`CliError`] with its typed exit
+/// code: identity skew and coverage shortfall are the headline typed
+/// refusals; plan/input problems are usage errors.
+fn federation_error(e: &palu_traffic::FederationError) -> CliError {
+    use palu_traffic::FederationError;
+    match e {
+        FederationError::BadPlan { .. }
+        | FederationError::BadShardIndex { .. }
+        | FederationError::BadCoverage { .. }
+        | FederationError::NoJournals => CliError::usage(e.to_string()),
+        FederationError::IdentitySkew { .. } => {
+            CliError::with_code(e.to_string(), exit::CONFIG_MISMATCH)
+        }
+        FederationError::Coverage { .. } => CliError::with_code(e.to_string(), exit::COVERAGE),
+        FederationError::Pipeline(p) => pipeline_error(p),
     }
 }
 
@@ -238,6 +319,18 @@ COMMANDS:
              [--admission]  strict admission: also refuse configs that
                would only complete by degrading (projected undegraded
                peak above the hard watermark)
+  shard      Run one shard of a federated capture: the simulate
+             engine over shard i's window range of an n-shard plan,
+             journaling under the full capture's identity. Takes every
+             simulate option; --journal is required (the merge
+             consumes shard journals); --resume re-captures only the
+             shard's missing windows after a crash
+             --shard-index I --shards N --journal FILE
+             + all simulate options
+             Merge shard journals with `pool --merge` (below); a
+             merge of clean shards is bit-identical to the
+             single-process `simulate` output for any shard/thread
+             count
   gof        Goodness-of-fit report for a degree histogram: CSN
              semiparametric bootstrap p-value + power-law-vs-lognormal
              Vuong test; the CSN fit runs a deterministic restart
@@ -246,7 +339,21 @@ COMMANDS:
   pool       Stream a packet trace (`src dst` per line) through
              fixed-N_V windows into pooled D(d_i) ± σ, constant memory
              --in FILE --nv NV [--out FILE=stdout]
+             Federated merge mode: pool shard journals instead of a
+             trace. Shard-local failures quarantine as typed
+             ShardFaults; identity skew (seed/parameter fingerprint)
+             is a hard refusal naming the skewed parameter
+             --merge A.journal B.journal … [--min-coverage F=1.0]
+             [--recapture]  recompute missing windows
+             deterministically instead of quarantining them
+             + the simulate options naming the capture's identity
+             With --metrics FILE a `federation` section (coverage
+             arithmetic, per-shard rows, typed faults) is included
   help       This message
+
+EXIT CODES: 0 ok · 1 runtime · 2 usage · 3 admission refused ·
+  4 journal corrupt · 5 journal identity mismatch · 6 merge coverage
+  below threshold · 7 quarantine overflow
 ";
 
 /// Write `f`'s output to `--out` or stdout.
@@ -501,133 +608,234 @@ fn parse_fail_policy(args: &ParsedArgs) -> Result<palu_traffic::FailurePolicy, C
     })
 }
 
+/// The shared `simulate`/`shard`/`pool --merge` parameter set:
+/// everything that shapes a capture's identity (and therefore its
+/// journal fingerprint) plus the operational fault/budget knobs.
+struct SimCapture {
+    nodes: u64,
+    core: f64,
+    leaves: f64,
+    lambda: f64,
+    alpha: f64,
+    n_v: u64,
+    n_windows: usize,
+    seed: u64,
+    policy: palu_traffic::FailurePolicy,
+    injector: Option<palu_traffic::Injector>,
+    inject_spec: String,
+    budget: Option<palu_traffic::ResourceBudget>,
+    strict_admission: bool,
+}
+
+impl SimCapture {
+    fn parse(args: &ParsedArgs) -> Result<SimCapture, CliError> {
+        use palu_traffic::budget::ResourceBudget;
+        use palu_traffic::{InjectionSpec, Injector};
+
+        let nodes = args.u64_or("nodes", 100_000)?;
+        let core = args.require_f64("core")?;
+        let leaves = args.require_f64("leaves")?;
+        let lambda = args.require_f64("lambda")?;
+        let alpha = args.require_f64("alpha")?;
+        let n_v = args.u64_or("nv", 100_000)?;
+        let n_windows = usize_opt(args.u64_or("windows", 8)?, "windows")?;
+        if n_windows == 0 {
+            return Err(CliError::usage(
+                "--windows must be positive (an explicit 0-window capture has no pooled result)",
+            ));
+        }
+        let seed = args.u64_or("seed", 1)?;
+        let policy = parse_fail_policy(args)?;
+        let inject_spec = args.get_or("inject-faults", "").to_string();
+        let injector = match args.options.get("inject-faults").filter(|s| !s.is_empty()) {
+            Some(spec) => {
+                let spec = InjectionSpec::parse(spec)
+                    .map_err(|e| CliError::usage(format!("--inject-faults: {e}")))?;
+                Some(Injector::new(spec, seed))
+            }
+            None => None,
+        };
+        let memory_budget = match args.options.get("memory-budget") {
+            Some(spec) => Some(
+                parse_bytes(spec).map_err(|e| CliError::usage(format!("--memory-budget: {e}")))?,
+            ),
+            None => None,
+        };
+        let strict_admission = args.options.contains_key("admission");
+        if strict_admission && memory_budget.is_none() {
+            return Err(CliError::usage(
+                "--admission requires --memory-budget <bytes>",
+            ));
+        }
+        Ok(SimCapture {
+            nodes,
+            core,
+            leaves,
+            lambda,
+            alpha,
+            n_v,
+            n_windows,
+            seed,
+            policy,
+            injector,
+            inject_spec,
+            budget: memory_budget.map(ResourceBudget::with_limit),
+            strict_admission,
+        })
+    }
+
+    /// Worker count for a capture of `local_windows` windows: the
+    /// same clamp the pipeline applies (no more workers than
+    /// windows), so banners and metrics snapshots agree.
+    fn threads(&self, args: &ParsedArgs, local_windows: usize) -> Result<usize, CliError> {
+        Ok(match usize_opt(args.u64_or("threads", 0)?, "threads")? {
+            0 => palu_sparse::parallel::default_threads(),
+            t => t,
+        }
+        .clamp(1, local_windows.max(1)))
+    }
+
+    /// The fingerprinted parameter manifest: every result-shaping
+    /// parameter — but NOT the thread count (the merge is
+    /// bit-identical across --threads) and NOT the stall deadline
+    /// (watchdog verdicts are operational, not captured data).
+    fn fingerprint_parts(&self) -> Vec<String> {
+        vec![
+            "measurement=undirected-degree".to_string(),
+            format!("nodes={}", self.nodes),
+            format!("core={}", self.core),
+            format!("leaves={}", self.leaves),
+            format!("lambda={}", self.lambda),
+            format!("alpha={}", self.alpha),
+            format!("fail-policy={:?}", self.policy.on_fault),
+            format!("max-retries={}", self.policy.max_retries),
+            format!("quarantine-threshold={}", self.policy.quarantine_threshold),
+            format!("inject-faults={}", self.inject_spec),
+        ]
+    }
+
+    /// The journal identity this capture binds to (shared verbatim by
+    /// `simulate`, every `shard`, and the merge's expectation).
+    fn header(&self) -> palu_traffic::JournalHeader {
+        palu_traffic::JournalHeader::with_params(
+            self.seed,
+            self.n_v,
+            self.n_windows as u64,
+            self.fingerprint_parts(),
+        )
+    }
+
+    /// Build the observatory (PALU network + packet synthesizer).
+    fn observatory(&self) -> Result<palu_traffic::Observatory, CliError> {
+        use palu_traffic::observatory::{Observatory, ObservatoryConfig};
+        use palu_traffic::packets::EdgeIntensity;
+        let params = PaluParams::from_core_leaf_fractions(
+            self.core,
+            self.leaves,
+            self.lambda,
+            self.alpha,
+            0.5,
+        )
+        .map_err(|e| CliError::usage(e.to_string()))?;
+        let gen = params
+            .generator(self.nodes)
+            .map_err(|e| CliError::usage(e.to_string()))?;
+        Ok(Observatory::new(
+            ObservatoryConfig {
+                name: "cli".into(),
+                date: String::new(),
+                n_v: self.n_v,
+            },
+            &gen,
+            EdgeIntensity::Uniform,
+            self.seed,
+        ))
+    }
+}
+
+/// Create or resume a capture journal at `path`, with the standard
+/// stderr narration. `n_windows` is only for the resume banner.
+fn open_journal(
+    path: &str,
+    header: palu_traffic::JournalHeader,
+    resume: bool,
+    n_windows: usize,
+) -> Result<(palu_traffic::Journal, Option<palu_traffic::Recovery>), CliError> {
+    use palu_traffic::Journal;
+    if resume && Path::new(path).exists() {
+        let (journal, recovery) =
+            Journal::resume(path, header).map_err(|e| journal_fault_error("journal", &e))?;
+        eprintln!(
+            "journal: resumed {} of {} windows from {path} ({} bytes replayed, \
+             {} torn record(s) dropped)",
+            recovery.windows.len(),
+            n_windows,
+            recovery.bytes_replayed,
+            recovery.torn_records_dropped
+        );
+        Ok((journal, Some(recovery)))
+    } else {
+        if resume {
+            eprintln!("journal: {path} does not exist yet, starting a fresh capture");
+        }
+        let journal =
+            Journal::create(path, header).map_err(|e| journal_fault_error("journal", &e))?;
+        Ok((journal, None))
+    }
+}
+
+/// Write a pooled `D(d_i) ± σ` series in the canonical `simulate`
+/// format — also used by `shard` and `pool --merge`, so a federated
+/// merge's output file is byte-comparable to a single-process run's.
+fn write_pooled(
+    args: &ParsedArgs,
+    pooled: &palu_traffic::PooledDistribution,
+) -> Result<(), CliError> {
+    with_output(args, |w| {
+        (|| -> std::io::Result<()> {
+            writeln!(
+                w,
+                "# pooled D(d_i) ± σ over {} windows of the undirected degree",
+                pooled.windows
+            )?;
+            writeln!(w, "# columns: d_i D sigma")?;
+            for ((d_i, v), s) in pooled.mean.iter().zip(pooled.sigma.iter()) {
+                writeln!(w, "{d_i} {v:.8e} {s:.8e}")?;
+            }
+            Ok(())
+        })()
+        .map_err(|e| CliError::runtime(e.to_string()))
+    })
+}
+
 fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     use palu_stats::mle::{fit_csn_with_restarts, CsnOptions};
     use palu_stats::restart::RestartPolicy;
-    use palu_traffic::budget::{Governor, ResourceBudget};
-    use palu_traffic::journal::{fingerprint64, Journal, JournalHeader};
+    use palu_traffic::budget::Governor;
     use palu_traffic::metrics::Metrics;
-    use palu_traffic::observatory::{Observatory, ObservatoryConfig};
-    use palu_traffic::packets::EdgeIntensity;
     use palu_traffic::pipeline::{Measurement, Pipeline};
-    use palu_traffic::{InjectionSpec, Injector};
 
-    let nodes = args.u64_or("nodes", 100_000)?;
-    let core = args.require_f64("core")?;
-    let leaves = args.require_f64("leaves")?;
-    let lambda = args.require_f64("lambda")?;
-    let alpha = args.require_f64("alpha")?;
-    let n_v = args.u64_or("nv", 100_000)?;
-    let n_windows = usize_opt(args.u64_or("windows", 8)?, "windows")?;
-    if n_windows == 0 {
-        return Err(CliError::usage(
-            "--windows must be positive (an explicit 0-window capture has no pooled result)",
-        ));
-    }
-    let seed = args.u64_or("seed", 1)?;
-    let policy = parse_fail_policy(args)?;
-    let injector = match args.options.get("inject-faults").filter(|s| !s.is_empty()) {
-        Some(spec) => {
-            let spec = InjectionSpec::parse(spec)
-                .map_err(|e| CliError::usage(format!("--inject-faults: {e}")))?;
-            Some(Injector::new(spec, seed))
-        }
-        None => None,
-    };
-    let threads = match usize_opt(args.u64_or("threads", 0)?, "threads")? {
-        0 => palu_sparse::parallel::default_threads(),
-        t => t,
-    }
-    // Same clamp the pipeline applies (no more workers than windows),
-    // so the banner and the metrics snapshot agree on the count.
-    .clamp(1, n_windows.max(1));
-    let memory_budget = match args.options.get("memory-budget") {
-        Some(spec) => {
-            Some(parse_bytes(spec).map_err(|e| CliError::usage(format!("--memory-budget: {e}")))?)
-        }
-        None => None,
-    };
-    let strict_admission = args.options.contains_key("admission");
-    if strict_admission && memory_budget.is_none() {
-        return Err(CliError::usage(
-            "--admission requires --memory-budget <bytes>",
-        ));
-    }
-    let budget = memory_budget.map(ResourceBudget::with_limit);
-    let governor = budget.as_ref().map(|b| Governor {
+    let sc = SimCapture::parse(args)?;
+    let n_windows = sc.n_windows;
+    let threads = sc.threads(args, n_windows)?;
+    let governor = sc.budget.as_ref().map(|b| Governor {
         budget: b,
-        strict_admission,
+        strict_admission: sc.strict_admission,
     });
-
-    let params = PaluParams::from_core_leaf_fractions(core, leaves, lambda, alpha, 0.5)
-        .map_err(|e| CliError::usage(e.to_string()))?;
-    let gen = params
-        .generator(nodes)
-        .map_err(|e| CliError::usage(e.to_string()))?;
-    let mut obs = Observatory::new(
-        ObservatoryConfig {
-            name: "cli".into(),
-            date: String::new(),
-            n_v,
-        },
-        &gen,
-        EdgeIntensity::Uniform,
-        seed,
-    );
+    let mut obs = sc.observatory()?;
     eprintln!(
         "observatory up: {} windows × {} packets on {} threads (effective p ≈ {:.3})",
         n_windows,
-        n_v,
+        sc.n_v,
         threads,
         obs.effective_p()
     );
     // Durable checkpoint/resume: the journal identity binds the seed,
-    // window geometry, and every result-shaping parameter — but NOT
-    // the thread count (the merge is bit-identical across --threads)
-    // and NOT the stall deadline (watchdog verdicts are operational,
-    // not part of the captured data).
+    // window geometry, and every result-shaping parameter (see
+    // SimCapture::fingerprint_parts for what stays out).
     let resume = args.options.contains_key("resume");
     let journal_state = match args.options.get("journal").filter(|s| !s.is_empty()) {
-        Some(path) => {
-            let parts: Vec<String> = vec![
-                "measurement=undirected-degree".to_string(),
-                format!("nodes={nodes}"),
-                format!("core={core}"),
-                format!("leaves={leaves}"),
-                format!("lambda={lambda}"),
-                format!("alpha={alpha}"),
-                format!("fail-policy={:?}", policy.on_fault),
-                format!("max-retries={}", policy.max_retries),
-                format!("quarantine-threshold={}", policy.quarantine_threshold),
-                format!("inject-faults={}", args.get_or("inject-faults", "")),
-            ];
-            let header = JournalHeader {
-                seed,
-                n_v,
-                windows: n_windows as u64,
-                fingerprint: fingerprint64(parts.iter().map(String::as_str)),
-            };
-            if resume && Path::new(path).exists() {
-                let (journal, recovery) = Journal::resume(path, header)
-                    .map_err(|e| CliError::runtime(format!("journal: {e}")))?;
-                eprintln!(
-                    "journal: resumed {} of {} windows from {path} ({} bytes replayed, \
-                     {} torn record(s) dropped)",
-                    recovery.windows.len(),
-                    n_windows,
-                    recovery.bytes_replayed,
-                    recovery.torn_records_dropped
-                );
-                Some((journal, Some(recovery)))
-            } else {
-                if resume {
-                    eprintln!("journal: {path} does not exist yet, starting a fresh capture");
-                }
-                let journal = Journal::create(path, header)
-                    .map_err(|e| CliError::runtime(format!("journal: {e}")))?;
-                Some((journal, None))
-            }
-        }
+        Some(path) => Some(open_journal(path, sc.header(), resume, n_windows)?),
         None => {
             if resume {
                 return Err(CliError::usage("--resume requires --journal <path>"));
@@ -639,12 +847,16 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
     // deterministic window-ordered merge: bit-identical to the serial
     // pipeline for any --threads value, fault-tolerant per --fail-policy.
     let metrics = Metrics::new();
-    if let Some(b) = &budget {
+    if let Some(b) = &sc.budget {
         eprintln!(
             "budget: {} byte hard watermark (soft {}), admission {}",
             b.hard().unwrap_or(0),
             b.soft().unwrap_or(0),
-            if strict_admission { "strict" } else { "floor" }
+            if sc.strict_admission {
+                "strict"
+            } else {
+                "floor"
+            }
         );
     }
     let mut ft = Pipeline::pool_observatory_governed(
@@ -653,13 +865,15 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
         n_windows,
         threads,
         Some(&metrics),
-        &policy,
-        injector.as_ref(),
+        &sc.policy,
+        sc.injector.as_ref(),
         journal_state.as_ref().map(|(j, _)| j),
         journal_state.as_ref().and_then(|(_, r)| r.as_ref()),
         governor.as_ref(),
     )
-    .map_err(|e| CliError::runtime(format!("pipeline: {e}")))?;
+    .map_err(|e| pipeline_error(&e))?;
+    let injector = &sc.injector;
+    let budget = &sc.budget;
     if injector.is_some() {
         // Fit the pooled histogram through the restart ladder so the
         // report shows how far recovery had to climb.
@@ -764,21 +978,240 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<(), CliError> {
             snap.threads
         );
     }
-    with_output(args, |w| {
-        (|| -> std::io::Result<()> {
-            writeln!(
-                w,
-                "# pooled D(d_i) ± σ over {} windows of the undirected degree",
-                pooled.windows
-            )?;
-            writeln!(w, "# columns: d_i D sigma")?;
-            for ((d_i, v), s) in pooled.mean.iter().zip(pooled.sigma.iter()) {
-                writeln!(w, "{d_i} {v:.8e} {s:.8e}")?;
-            }
-            Ok(())
-        })()
-        .map_err(|e| CliError::runtime(e.to_string()))
-    })
+    write_pooled(args, pooled)
+}
+
+/// `palu-cli shard --shard-index i --shards n …`: run one shard of a
+/// federated capture — the simulate engine over the shard's window
+/// range, journaling under the full capture's identity so the shard
+/// journals merge back into a single-process-identical pool.
+fn cmd_shard(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::budget::Governor;
+    use palu_traffic::federation::{capture_shard, ShardPlan};
+    use palu_traffic::metrics::Metrics;
+    use palu_traffic::pipeline::Measurement;
+
+    let sc = SimCapture::parse(args)?;
+    let shards = args.u64_or("shards", 1)?;
+    let shard = args.u64_or("shard-index", 0)?;
+    let plan = ShardPlan::new(sc.n_windows as u64, shards).map_err(|e| federation_error(&e))?;
+    let range = plan.shard_range(shard).ok_or_else(|| {
+        CliError::usage(format!("--shard-index {shard} outside --shards {shards}"))
+    })?;
+    let local = usize_opt(range.window_count(), "shards")?;
+    let threads = sc.threads(args, local)?;
+    let governor = sc.budget.as_ref().map(|b| Governor {
+        budget: b,
+        strict_admission: sc.strict_admission,
+    });
+    let journal_path = args.require("journal").map_err(|_| {
+        CliError::usage("shard requires --journal <path> (the merge consumes shard journals)")
+    })?;
+    let resume = args.options.contains_key("resume");
+    let (journal, recovery) = open_journal(journal_path, sc.header(), resume, local)?;
+    let mut obs = sc.observatory()?;
+    eprintln!(
+        "shard {shard}/{shards} up: windows [{}, {}) of {} × {} packets on {threads} threads",
+        range.lo, range.hi, sc.n_windows, sc.n_v
+    );
+    let metrics = Metrics::new();
+    let ft = capture_shard(
+        Measurement::UndirectedDegree,
+        &mut obs,
+        &plan,
+        shard,
+        threads,
+        Some(&metrics),
+        &sc.policy,
+        sc.injector.as_ref(),
+        Some(&journal),
+        recovery.as_ref(),
+        governor.as_ref(),
+    )
+    .map_err(|e| federation_error(&e))?;
+    if !ft.report.is_clean() {
+        eprintln!(
+            "shard fault report: {} injected, {} retries, {} quarantined \
+             ({} of {} windows survive)",
+            ft.report.injected,
+            ft.report.retries,
+            ft.report.quarantined,
+            ft.report.survivors,
+            ft.report.windows
+        );
+    }
+    if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
+        use crate::json::JsonValue;
+        let snap = metrics.snapshot();
+        let mut doc = metrics_json(&snap);
+        if let JsonValue::Object(pairs) = &mut doc {
+            pairs.push((
+                "shard".to_string(),
+                JsonValue::obj([
+                    ("index", JsonValue::UInt(shard)),
+                    ("shards", JsonValue::UInt(shards)),
+                    ("lo", JsonValue::UInt(range.lo)),
+                    ("hi", JsonValue::UInt(range.hi)),
+                    ("bytes_appended", JsonValue::UInt(journal.appended_bytes())),
+                ]),
+            ));
+            pairs.push(("fault_report".to_string(), fault_report_json(&ft.report)));
+        }
+        std::fs::write(path, doc.pretty())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    eprintln!(
+        "shard {shard} complete: {} windows journaled to {journal_path}",
+        ft.report.survivors + ft.report.quarantined + ft.report.substituted
+    );
+    write_pooled(args, &ft.pooled)
+}
+
+/// Serialize a [`palu_traffic::FederationReport`] as a JSON object:
+/// coverage arithmetic, per-shard accounting rows, and the typed
+/// shard-fault list (all in shard order, so the document is
+/// deterministic).
+pub fn federation_json(report: &palu_traffic::FederationReport) -> crate::json::JsonValue {
+    use crate::json::JsonValue;
+    let shards = JsonValue::Array(
+        report
+            .shards
+            .iter()
+            .map(|s| {
+                JsonValue::obj([
+                    ("shard", JsonValue::UInt(s.shard)),
+                    ("lo", JsonValue::UInt(s.lo)),
+                    ("hi", JsonValue::UInt(s.hi)),
+                    ("journaled", JsonValue::UInt(s.journaled)),
+                    ("accepted", JsonValue::UInt(s.accepted)),
+                    ("survivors", JsonValue::UInt(s.survivors)),
+                    ("quarantined", JsonValue::UInt(s.quarantined)),
+                    ("injected", JsonValue::UInt(s.injected)),
+                    ("retries", JsonValue::UInt(s.retries)),
+                    ("stalled", JsonValue::UInt(s.stalled)),
+                    ("missing", JsonValue::UInt(s.missing)),
+                    (
+                        "torn_records_dropped",
+                        JsonValue::UInt(s.torn_records_dropped),
+                    ),
+                    ("quarantined_shard", JsonValue::Bool(s.quarantined_shard)),
+                ])
+            })
+            .collect(),
+    );
+    let faults = JsonValue::Array(
+        report
+            .faults
+            .iter()
+            .map(|f| {
+                JsonValue::obj([
+                    ("shard", JsonValue::UInt(f.shard())),
+                    ("kind", JsonValue::Str(f.name().to_string())),
+                    ("detail", JsonValue::Str(f.to_string())),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::obj([
+        ("windows", JsonValue::UInt(report.windows)),
+        ("covered", JsonValue::UInt(report.covered)),
+        ("missing", JsonValue::UInt(report.missing)),
+        ("recaptured", JsonValue::UInt(report.recaptured)),
+        ("survivors", JsonValue::UInt(report.survivors)),
+        ("min_coverage", JsonValue::Float(report.min_coverage)),
+        ("merge_levels", JsonValue::UInt(report.merge_levels)),
+        ("shard_count", JsonValue::UInt(report.shards.len() as u64)),
+        ("shards", shards),
+        ("faults", faults),
+    ])
+}
+
+/// `palu-cli pool --merge a.journal b.journal …`: hierarchical merge
+/// of shard journals into one pooled series, with quarantine/coverage
+/// semantics and optional deterministic re-capture of missing windows.
+fn cmd_pool_merge(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::federation::merge_shard_journals;
+    use palu_traffic::metrics::Metrics;
+    use palu_traffic::pipeline::Measurement;
+    use std::path::PathBuf;
+
+    let sc = SimCapture::parse(args)?;
+    let paths: Vec<PathBuf> = args
+        .list("merge")
+        .unwrap_or_default()
+        .into_iter()
+        .map(PathBuf::from)
+        .collect();
+    if paths.is_empty() {
+        return Err(CliError::usage(
+            "--merge requires at least one journal path",
+        ));
+    }
+    let min_coverage = args.f64_or("min-coverage", 1.0)?;
+    if !(0.0..=1.0).contains(&min_coverage) {
+        return Err(CliError::usage(format!(
+            "--min-coverage must be in [0,1], got {min_coverage}"
+        )));
+    }
+    let threads = sc.threads(args, sc.n_windows)?;
+    let recapture = args.options.contains_key("recapture");
+    let mut obs = if recapture {
+        Some(sc.observatory()?)
+    } else {
+        None
+    };
+    let expect = sc.header();
+    eprintln!(
+        "merging {} shard journal(s) over {} windows (min coverage {min_coverage}{})",
+        paths.len(),
+        sc.n_windows,
+        if recapture { ", re-capturing gaps" } else { "" }
+    );
+    let metrics = Metrics::new();
+    let merged = merge_shard_journals(
+        Measurement::UndirectedDegree,
+        &expect,
+        &paths,
+        &sc.policy,
+        min_coverage,
+        threads,
+        sc.injector.as_ref(),
+        obs.as_mut(),
+        Some(&metrics),
+    )
+    .map_err(|e| federation_error(&e))?;
+    let fed = &merged.federation;
+    eprintln!(
+        "merge complete: {}/{} windows covered ({} recaptured, {} survivors) \
+         across {} level(s); {} shard fault(s)",
+        fed.covered,
+        fed.windows,
+        fed.recaptured,
+        fed.survivors,
+        fed.merge_levels,
+        fed.faults.len()
+    );
+    for fault in &fed.faults {
+        eprintln!("  shard fault [{}]: {fault}", fault.name());
+    }
+    if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
+        use crate::json::JsonValue;
+        let snap = metrics.snapshot();
+        let mut doc = metrics_json(&snap);
+        if let JsonValue::Object(pairs) = &mut doc {
+            // federation precedes fault_report for the same reason the
+            // budget/journal objects do in simulate: consumers slicing
+            // from "fault_report" onward compare identical bytes.
+            pairs.push(("federation".to_string(), federation_json(fed)));
+            pairs.push((
+                "fault_report".to_string(),
+                fault_report_json(&merged.pool.report),
+            ));
+        }
+        std::fs::write(path, doc.pretty())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    write_pooled(args, &merged.pool.pooled)
 }
 
 fn cmd_gof(args: &ParsedArgs) -> Result<(), CliError> {
@@ -853,6 +1286,9 @@ fn cmd_pool(args: &ParsedArgs) -> Result<(), CliError> {
     use palu_traffic::pipeline::{Measurement, Pipeline};
     use palu_traffic::stream::WindowStream;
 
+    if args.options.contains_key("merge") {
+        return cmd_pool_merge(args);
+    }
     let input = args.require("in")?.to_string();
     let n_v = usize_opt(args.u64_or("nv", 100_000)?, "nv")?;
     if n_v == 0 {
@@ -912,6 +1348,7 @@ pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
         "fit" => cmd_fit(args),
         "census" => cmd_census(args),
         "simulate" => cmd_simulate(args),
+        "shard" => cmd_shard(args),
         "gof" => cmd_gof(args),
         "pool" => cmd_pool(args),
         "help" | "--help" | "-h" => {
@@ -1274,7 +1711,7 @@ mod tests {
         let mut argv = journal_base();
         argv.extend(["--memory-budget", "4096"]);
         let e = run(&parse(&argv)).unwrap_err();
-        assert_eq!(e.code, 1, "{}", e.message);
+        assert_eq!(e.code, exit::ADMISSION_REFUSED, "{}", e.message);
         assert!(e.message.contains("admission refused"), "{}", e.message);
     }
 
@@ -1470,7 +1907,7 @@ mod tests {
         argv[pos + 1] = "10";
         argv.extend(["--journal", &journal_s, "--resume"]);
         let e = run(&parse(&argv)).unwrap_err();
-        assert_eq!(e.code, 1);
+        assert_eq!(e.code, exit::CONFIG_MISMATCH);
         assert!(e.message.contains("seed mismatch"), "{}", e.message);
         // …and so is a flipped payload byte (checksum, not torn tail).
         let mut bytes = std::fs::read(&journal).unwrap();
@@ -1480,7 +1917,7 @@ mod tests {
         let mut argv = journal_base();
         argv.extend(["--journal", &journal_s, "--resume"]);
         let e = run(&parse(&argv)).unwrap_err();
-        assert_eq!(e.code, 1);
+        assert_eq!(e.code, exit::JOURNAL_CORRUPT);
         assert!(
             e.message.contains("checksum") || e.message.contains("malformed"),
             "{}",
@@ -1703,6 +2140,200 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.message.contains("no complete window"));
+    }
+
+    /// The capture flags shared by `simulate`, `shard`, and
+    /// `pool --merge` in the federation tests — identical so the
+    /// journal fingerprints agree.
+    fn fed_flags() -> Vec<&'static str> {
+        vec![
+            "--core",
+            "0.5",
+            "--leaves",
+            "0.2",
+            "--lambda",
+            "2.0",
+            "--alpha",
+            "2.0",
+            "--nodes",
+            "20000",
+            "--nv",
+            "10000",
+            "--windows",
+            "6",
+            "--seed",
+            "9",
+        ]
+    }
+
+    /// Capture shard `i` of `n` into `fed_<tag>_<i>.journal`, returning
+    /// the journal path.
+    fn run_fed_shard(tag: &str, shard: usize, shards: usize) -> std::path::PathBuf {
+        let journal = tmp(&format!("fed_{tag}_{shard}.journal"));
+        let _ = std::fs::remove_file(&journal);
+        let journal_s = journal.to_str().unwrap().to_string();
+        let shard_s = shard.to_string();
+        let shards_s = shards.to_string();
+        let mut argv = vec!["shard"];
+        argv.extend(fed_flags());
+        argv.extend([
+            "--shard-index",
+            &shard_s,
+            "--shards",
+            &shards_s,
+            "--journal",
+            &journal_s,
+        ]);
+        run(&parse(&argv)).unwrap();
+        journal
+    }
+
+    #[test]
+    fn shard_then_merge_matches_simulate_byte_for_byte() {
+        // Single-process reference.
+        let reference = tmp("fed_reference.txt");
+        let reference_s = reference.to_str().unwrap().to_string();
+        let mut argv = vec!["simulate"];
+        argv.extend(fed_flags());
+        argv.extend(["--out", &reference_s]);
+        run(&parse(&argv)).unwrap();
+
+        // Two shards, each its own journal, merged back together.
+        let a = run_fed_shard("ok", 0, 2);
+        let b = run_fed_shard("ok", 1, 2);
+        let merged = tmp("fed_merged.txt");
+        let metrics = tmp("fed_merged_metrics.json");
+        let merged_s = merged.to_str().unwrap().to_string();
+        let metrics_s = metrics.to_str().unwrap().to_string();
+        let (a_s, b_s) = (
+            a.to_str().unwrap().to_string(),
+            b.to_str().unwrap().to_string(),
+        );
+        let mut argv = vec!["pool"];
+        argv.extend(fed_flags());
+        argv.extend([
+            "--merge",
+            &a_s,
+            &b_s,
+            "--out",
+            &merged_s,
+            "--metrics",
+            &metrics_s,
+        ]);
+        run(&parse(&argv)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&reference).unwrap(),
+            std::fs::read_to_string(&merged).unwrap(),
+            "federated pooled series must be byte-identical to simulate"
+        );
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"federation\""), "{m}");
+        assert!(m.contains("\"merge_levels\""), "{m}");
+        assert!(m.contains("\"covered\": 6"), "{m}");
+        for p in [a, b] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn merge_refuses_low_coverage_with_typed_exit_code() {
+        let a = run_fed_shard("cov", 0, 2);
+        let missing = tmp("fed_cov_missing.journal");
+        let _ = std::fs::remove_file(&missing);
+        let (a_s, missing_s) = (
+            a.to_str().unwrap().to_string(),
+            missing.to_str().unwrap().to_string(),
+        );
+        let mut argv = vec!["pool"];
+        argv.extend(fed_flags());
+        argv.extend(["--merge", &a_s, &missing_s]);
+        // Default --min-coverage is 1.0: the lost shard refuses.
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::COVERAGE);
+        assert!(
+            e.message.contains("coverage below threshold"),
+            "{}",
+            e.message
+        );
+        // Relaxing the threshold lets the merge quarantine and proceed.
+        let out = tmp("fed_cov_partial.txt");
+        let out_s = out.to_str().unwrap().to_string();
+        let mut argv = vec!["pool"];
+        argv.extend(fed_flags());
+        argv.extend([
+            "--merge",
+            &a_s,
+            &missing_s,
+            "--min-coverage",
+            "0.5",
+            "--out",
+            &out_s,
+        ]);
+        run(&parse(&argv)).unwrap();
+        assert!(std::fs::read_to_string(&out).unwrap().contains("# pooled"));
+        let _ = std::fs::remove_file(a);
+    }
+
+    #[test]
+    fn merge_refuses_fingerprint_skew_naming_the_parameter() {
+        let a = run_fed_shard("skew", 0, 2);
+        let b = run_fed_shard("skew", 1, 2);
+        let (a_s, b_s) = (
+            a.to_str().unwrap().to_string(),
+            b.to_str().unwrap().to_string(),
+        );
+        // Same journals, but the merge expects lambda 2.5: identity
+        // skew is a hard refusal that names the mismatched flag.
+        let mut argv = vec!["pool"];
+        argv.extend(fed_flags());
+        let pos = argv.iter().position(|t| *t == "--lambda").unwrap();
+        argv[pos + 1] = "2.5";
+        argv.extend(["--merge", &a_s, &b_s]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::CONFIG_MISMATCH);
+        assert!(e.message.contains("lambda"), "{}", e.message);
+        assert!(e.message.contains("2.5"), "{}", e.message);
+        for p in [a, b] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn shard_validates_plan_and_requires_journal() {
+        // Shard index outside the plan is a usage error.
+        let mut argv = vec!["shard"];
+        argv.extend(fed_flags());
+        argv.extend([
+            "--shard-index",
+            "5",
+            "--shards",
+            "2",
+            "--journal",
+            "x.journal",
+        ]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        // More shards than windows can never cover the range.
+        let mut argv = vec!["shard"];
+        argv.extend(fed_flags());
+        argv.extend([
+            "--shard-index",
+            "0",
+            "--shards",
+            "7",
+            "--journal",
+            "x.journal",
+        ]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        assert!(e.message.contains("shard"), "{}", e.message);
+        // A shard without a journal has nothing to federate.
+        let mut argv = vec!["shard"];
+        argv.extend(fed_flags());
+        argv.extend(["--shard-index", "0", "--shards", "2"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        assert!(e.message.contains("--journal"), "{}", e.message);
     }
 
     #[test]

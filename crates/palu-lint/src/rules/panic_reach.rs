@@ -31,6 +31,7 @@ const ROOT_FILES: &[&str] = &[
     "crates/palu-traffic/src/journal.rs",
     "crates/palu-traffic/src/budget.rs",
     "crates/palu-traffic/src/fault.rs",
+    "crates/palu-traffic/src/federation.rs",
 ];
 
 /// Crate whose `merge` fns are additional roots.

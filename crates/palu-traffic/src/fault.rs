@@ -147,6 +147,11 @@ pub enum FaultKind {
     Stalled,
     /// See [`WindowFault::BudgetUnrepresentable`].
     BudgetUnrepresentable,
+    /// The window's capture shard never delivered it: missing or
+    /// corrupt shard journal at federation merge time (no
+    /// corresponding [`WindowFault`] — this kind is synthesized by
+    /// [`crate::federation`], not by a window attempt).
+    ShardLost,
 }
 
 impl FaultKind {
@@ -162,6 +167,7 @@ impl FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Stalled => "stalled",
             FaultKind::BudgetUnrepresentable => "budget_unrepresentable",
+            FaultKind::ShardLost => "shard_lost",
         }
     }
 
@@ -178,6 +184,7 @@ impl FaultKind {
             FaultKind::Panic => 6,
             FaultKind::Stalled => 7,
             FaultKind::BudgetUnrepresentable => 8,
+            FaultKind::ShardLost => 9,
         }
     }
 
@@ -194,6 +201,7 @@ impl FaultKind {
             6 => FaultKind::Panic,
             7 => FaultKind::Stalled,
             8 => FaultKind::BudgetUnrepresentable,
+            9 => FaultKind::ShardLost,
             _ => return None,
         })
     }
@@ -908,6 +916,7 @@ mod tests {
             FaultKind::Panic,
             FaultKind::Stalled,
             FaultKind::BudgetUnrepresentable,
+            FaultKind::ShardLost,
         ] {
             assert_eq!(FaultKind::from_code(kind.code()), Some(kind));
         }

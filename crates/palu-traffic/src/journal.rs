@@ -19,6 +19,7 @@
 //! type 0 (header, always first, exactly once):
 //!     magic[8] = "PALUJRNL"  version:u16  seed:u64  n_v:u64
 //!     windows:u64  fingerprint:u64
+//!     n_params:u16  (param_len:u16 param_utf8[param_len])*
 //! type 1 (one completed window):
 //!     window:u64  injected:u64  retries:u64
 //!     rec_flag:u8  [kind:u8 attempts:u32 outcome:u8]
@@ -46,7 +47,10 @@
 //! * header version/seed/`N_V`/window-count/fingerprint mismatches →
 //!   typed refusal: resuming under different parameters would splice
 //!   incompatible windows into one pooled series (the fitted-exponent
-//!   bias "A critical look at power law modelling" warns about).
+//!   bias "A critical look at power law modelling" warns about). The
+//!   header carries the `key=value` manifest its fingerprint was
+//!   derived from, so a fingerprint refusal names the exact parameter
+//!   that skewed instead of two opaque hashes.
 //!
 //! The file is created and rotated via write-to-temp + atomic rename,
 //! so the header is either absent or complete on disk; a byte-prefix
@@ -65,7 +69,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Journal format version; bumped on any wire-format change.
-pub const VERSION: u16 = 1;
+/// Version 2 added the parameter manifest to the header record.
+pub const VERSION: u16 = 2;
 
 /// Magic bytes opening every header record.
 pub const MAGIC: [u8; 8] = *b"PALUJRNL";
@@ -76,9 +81,14 @@ pub const MAGIC: [u8; 8] = *b"PALUJRNL";
 /// oversized length.
 pub const MAX_RECORD_LEN: u32 = 1 << 24;
 
-/// Payload length of the fixed-size header record (type byte + magic
-/// + version + seed + n_v + windows + fingerprint).
-const HEADER_PAYLOAD_LEN: u32 = (1 + 8 + 2 + 8 + 8 + 8 + 8) as u32;
+/// Payload length of the fixed portion of the header record (type
+/// byte + magic + version + seed + n_v + windows + fingerprint); the
+/// variable-length parameter manifest follows it.
+const HEADER_FIXED_PAYLOAD_LEN: u32 = (1 + 8 + 2 + 8 + 8 + 8 + 8) as u32;
+
+/// Minimum header payload length: the fixed portion plus the
+/// manifest's `n_params` count (which may be zero).
+const HEADER_MIN_PAYLOAD_LEN: u32 = HEADER_FIXED_PAYLOAD_LEN + 2;
 
 /// Typed journal failure taxonomy. Every refusal is one of these —
 /// recovery never panics and never silently resumes from a journal it
@@ -114,13 +124,15 @@ pub enum JournalFault {
     },
     /// The journal belongs to a capture with different parameters.
     ConfigMismatch {
-        /// Which header field disagreed (`n_v`, `windows`,
-        /// `fingerprint`).
-        field: &'static str,
+        /// Which parameter disagreed: `n_v`, `windows`, a named key
+        /// from the fingerprint manifest (e.g. `lambda`), or
+        /// `fingerprint` when no manifest is available to diagnose
+        /// the skew.
+        field: String,
         /// Value recorded in the journal.
-        journal: u64,
+        journal: String,
         /// Value of the run attempting to resume.
-        run: u64,
+        run: String,
     },
     /// A complete record whose CRC32 does not match its payload.
     ChecksumMismatch {
@@ -159,8 +171,8 @@ impl std::fmt::Display for JournalFault {
                 run,
             } => write!(
                 f,
-                "config mismatch on {field}: journal has {journal}, run has {run} \
-                 — refusing to splice incompatible captures"
+                "config mismatch on {field}: journal captured with {journal}, run has \
+                 {run} — refusing to splice incompatible captures"
             ),
             JournalFault::ChecksumMismatch { offset } => write!(
                 f,
@@ -177,8 +189,8 @@ impl std::fmt::Display for JournalFault {
 impl std::error::Error for JournalFault {}
 
 /// The identity a journal is bound to: a resume is refused unless all
-/// four fields match the resuming run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// four identity fields match the resuming run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct JournalHeader {
     /// The observatory/master seed.
     pub seed: u64,
@@ -191,6 +203,28 @@ pub struct JournalHeader {
     /// deliberately *excluded*: the merge is bit-identical across
     /// thread counts, so a resume may use a different `--threads`.
     pub fingerprint: u64,
+    /// The ordered `key=value` manifest the fingerprint was computed
+    /// from, journaled alongside it so a fingerprint refusal can name
+    /// the exact parameter that skewed. Empty for callers that supply
+    /// a raw fingerprint; never part of the identity comparison
+    /// itself (the fingerprint is).
+    pub params: Vec<String>,
+}
+
+impl JournalHeader {
+    /// Build a header whose fingerprint is derived from `params`
+    /// (ordered `key=value` strings), keeping manifest and
+    /// fingerprint consistent by construction.
+    pub fn with_params(seed: u64, n_v: u64, windows: u64, params: Vec<String>) -> JournalHeader {
+        let fingerprint = fingerprint64(params.iter().map(String::as_str));
+        JournalHeader {
+            seed,
+            n_v,
+            windows,
+            fingerprint,
+            params,
+        }
+    }
 }
 
 /// One completed window's journaled state — everything the merge
@@ -352,10 +386,14 @@ fn frame_record(payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(payload);
 }
 
-/// The header record's framed bytes for `header`.
+/// The header record's framed bytes for `header`. Manifest strings
+/// are CLI-parameter scale; lengths are stored as `u16` (a manifest
+/// entry longer than 64 KiB is not representable and would be
+/// refused on replay by the fingerprint-consistency check).
 fn header_record(header: &JournalHeader) -> Vec<u8> {
-    // Constant-size header frame. lint:allow(R7)
-    let mut payload = Vec::with_capacity(HEADER_PAYLOAD_LEN as usize);
+    // Small header frame sized by the CLI-scale manifest.
+    // lint:allow(R7)
+    let mut payload = Vec::with_capacity(HEADER_MIN_PAYLOAD_LEN as usize);
     payload.push(0u8);
     payload.extend_from_slice(&MAGIC);
     payload.extend_from_slice(&VERSION.to_le_bytes());
@@ -363,7 +401,12 @@ fn header_record(header: &JournalHeader) -> Vec<u8> {
     payload.extend_from_slice(&header.n_v.to_le_bytes());
     payload.extend_from_slice(&header.windows.to_le_bytes());
     payload.extend_from_slice(&header.fingerprint.to_le_bytes());
-    debug_assert_eq!(payload.len() as u32, HEADER_PAYLOAD_LEN);
+    payload.extend_from_slice(&(header.params.len() as u16).to_le_bytes());
+    for part in &header.params {
+        payload.extend_from_slice(&(part.len() as u16).to_le_bytes());
+        payload.extend_from_slice(part.as_bytes());
+    }
+    debug_assert!(payload.len() as u32 >= HEADER_MIN_PAYLOAD_LEN);
     // Sized from bytes already in hand. lint:allow(R7)
     let mut out = Vec::with_capacity(payload.len() + 8);
     frame_record(&payload, &mut out);
@@ -494,6 +537,68 @@ fn parse_window(mut cur: Cursor<'_>, expect: &JournalHeader) -> Result<WindowEnt
     })
 }
 
+/// Name the first skewed parameter between two fingerprint manifests.
+/// Falls back to the raw fingerprint values when either side has no
+/// manifest to compare (pre-manifest callers, raw-fingerprint tests).
+fn diagnose_fingerprint(
+    journal: &[String],
+    run: &[String],
+    journal_fp: u64,
+    run_fp: u64,
+) -> JournalFault {
+    fn split(part: &str) -> (String, String) {
+        match part.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => ("parameter".to_string(), part.to_string()),
+        }
+    }
+    for i in 0..journal.len().max(run.len()) {
+        let (j, r) = (journal.get(i), run.get(i));
+        if j == r {
+            continue;
+        }
+        match (j, r) {
+            (Some(a), Some(b)) => {
+                let (ka, va) = split(a);
+                let (kb, vb) = split(b);
+                return if ka == kb {
+                    JournalFault::ConfigMismatch {
+                        field: ka,
+                        journal: va,
+                        run: vb,
+                    }
+                } else {
+                    JournalFault::ConfigMismatch {
+                        field: "parameter-list".to_string(),
+                        journal: a.clone(),
+                        run: b.clone(),
+                    }
+                };
+            }
+            (Some(a), None) => {
+                return JournalFault::ConfigMismatch {
+                    field: "parameter-list".to_string(),
+                    journal: a.clone(),
+                    run: "<absent>".to_string(),
+                };
+            }
+            (None, Some(b)) => {
+                return JournalFault::ConfigMismatch {
+                    field: "parameter-list".to_string(),
+                    journal: "<absent>".to_string(),
+                    run: b.clone(),
+                };
+            }
+            (None, None) => {}
+        }
+    }
+    JournalFault::ConfigMismatch {
+        field: "fingerprint".to_string(),
+        journal: format!("{journal_fp:#018x}"),
+        run: format!("{run_fp:#018x}"),
+    }
+}
+
 /// Parse and verify a header payload (past the type byte) against the
 /// resuming run's identity.
 fn parse_header(mut cur: Cursor<'_>, expect: &JournalHeader) -> Result<(), JournalFault> {
@@ -517,18 +622,54 @@ fn parse_header(mut cur: Cursor<'_>, expect: &JournalHeader) -> Result<(), Journ
             run: expect.seed,
         });
     }
-    for (field, journal, run) in [
-        ("n_v", cur.u64("n_v")?, expect.n_v),
-        ("windows", cur.u64("windows")?, expect.windows),
-        ("fingerprint", cur.u64("fingerprint")?, expect.fingerprint),
-    ] {
-        if journal != run {
-            return Err(JournalFault::ConfigMismatch {
-                field,
-                journal,
-                run,
-            });
+    let n_v = cur.u64("n_v")?;
+    let windows = cur.u64("windows")?;
+    let fingerprint = cur.u64("fingerprint")?;
+    let n_params = cur.u16("parameter count")?;
+    // Each manifest entry needs at least its 2-byte length on the
+    // wire, so the remaining payload bounds the count. lint:allow(R7)
+    let mut params = Vec::with_capacity(usize::from(n_params).min(cur.bytes.len() / 2));
+    for _ in 0..n_params {
+        let len = usize::from(cur.u16("parameter length")?);
+        let raw = cur.take(len, "parameter bytes")?;
+        match std::str::from_utf8(raw) {
+            Ok(part) => params.push(part.to_string()),
+            Err(_) => return Err(cur.malformed("parameter manifest entry is not UTF-8")),
         }
+    }
+    if !cur.bytes.is_empty() {
+        return Err(cur.malformed(format!(
+            "{} trailing bytes after the header manifest",
+            cur.bytes.len()
+        )));
+    }
+    // A non-empty manifest must reproduce the stored fingerprint —
+    // otherwise the named-field diagnosis below could lie about what
+    // skewed.
+    if !params.is_empty() && fingerprint64(params.iter().map(String::as_str)) != fingerprint {
+        return Err(cur.malformed("parameter manifest does not match the stored fingerprint"));
+    }
+    if n_v != expect.n_v {
+        return Err(JournalFault::ConfigMismatch {
+            field: "n_v".to_string(),
+            journal: n_v.to_string(),
+            run: expect.n_v.to_string(),
+        });
+    }
+    if windows != expect.windows {
+        return Err(JournalFault::ConfigMismatch {
+            field: "windows".to_string(),
+            journal: windows.to_string(),
+            run: expect.windows.to_string(),
+        });
+    }
+    if fingerprint != expect.fingerprint {
+        return Err(diagnose_fingerprint(
+            &params,
+            &expect.params,
+            fingerprint,
+            expect.fingerprint,
+        ));
     }
     Ok(())
 }
@@ -619,6 +760,21 @@ impl Journal {
         Ok((journal, recovery))
     }
 
+    /// Read a journal file and scan it with
+    /// [`Journal::recover_bytes`] — the read-only half of
+    /// [`Journal::resume`]: no identity is taken over the file, no
+    /// compaction happens. The federation merge uses this to inspect
+    /// shard journals without rotating them.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalFault::Io`] when the file cannot be read, otherwise
+    /// the typed refusals of [`Journal::recover_bytes`].
+    pub fn recover_file(path: &Path, expect: &JournalHeader) -> Result<Recovery, JournalFault> {
+        let bytes = std::fs::read(path).map_err(|e| io_fault(path, e))?;
+        Journal::recover_bytes(&bytes, expect)
+    }
+
     fn open_append(path: PathBuf, header: JournalHeader) -> Result<Journal, JournalFault> {
         let file = std::fs::OpenOptions::new()
             .append(true)
@@ -660,15 +816,19 @@ impl Journal {
             }
             let len =
                 u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
-            if off == 0 && len != HEADER_PAYLOAD_LEN {
-                // The first record of a genuine journal has a fixed
-                // length (the header is written atomically, so it is
-                // never torn); anything else is a foreign file, and
-                // refusing here prevents a resume from overwriting it.
+            if off == 0 && !(HEADER_MIN_PAYLOAD_LEN..=MAX_RECORD_LEN).contains(&len) {
+                // The first record of a genuine journal is a header
+                // (written atomically, so never torn) and its payload
+                // can't be shorter than the fixed fields plus the
+                // manifest count, nor longer than any legal record;
+                // anything else is a foreign file, and refusing here
+                // prevents a resume from overwriting it. Plausible
+                // first-record lengths fall through to the CRC +
+                // magic checks below.
                 return Err(JournalFault::NotAJournal {
                     detail: format!(
-                        "first record declares length {len}, a journal header is \
-                         {HEADER_PAYLOAD_LEN}"
+                        "first record declares length {len}, a journal header is at \
+                         least {HEADER_MIN_PAYLOAD_LEN}"
                     ),
                 });
             }
@@ -811,11 +971,18 @@ mod tests {
     use super::*;
 
     fn header() -> JournalHeader {
-        JournalHeader {
-            seed: 7,
-            n_v: 100,
-            windows: 16,
-            fingerprint: fingerprint64(["a", "b"]),
+        JournalHeader::with_params(7, 100, 16, vec!["a=1".to_string(), "b=2".to_string()])
+    }
+
+    /// Destructure a `ConfigMismatch` or panic with the actual fault.
+    fn config_mismatch(err: JournalFault) -> (String, String, String) {
+        match err {
+            JournalFault::ConfigMismatch {
+                field,
+                journal,
+                run,
+            } => (field, journal, run),
+            other => panic!("expected ConfigMismatch, got {other:?}"),
         }
     }
 
@@ -940,35 +1107,107 @@ mod tests {
     fn identity_mismatches_are_typed_refusals() {
         let h = header();
         let bytes = journal_bytes(&h, &[entry(0)]);
-        let seed = JournalHeader { seed: 8, ..h };
+        let seed = JournalHeader {
+            seed: 8,
+            ..header()
+        };
         assert!(matches!(
             Journal::recover_bytes(&bytes, &seed).unwrap_err(),
             JournalFault::SeedMismatch { journal: 7, run: 8 }
         ));
-        let nv = JournalHeader { n_v: 101, ..h };
-        assert!(matches!(
-            Journal::recover_bytes(&bytes, &nv).unwrap_err(),
-            JournalFault::ConfigMismatch { field: "n_v", .. }
-        ));
-        let wins = JournalHeader { windows: 17, ..h };
-        assert!(matches!(
-            Journal::recover_bytes(&bytes, &wins).unwrap_err(),
-            JournalFault::ConfigMismatch {
-                field: "windows",
-                ..
-            }
-        ));
+        let nv = JournalHeader {
+            n_v: 101,
+            ..header()
+        };
+        let (field, journal, run) =
+            config_mismatch(Journal::recover_bytes(&bytes, &nv).unwrap_err());
+        assert_eq!(
+            (field.as_str(), journal.as_str(), run.as_str()),
+            ("n_v", "100", "101")
+        );
+        let wins = JournalHeader {
+            windows: 17,
+            ..header()
+        };
+        let (field, ..) = config_mismatch(Journal::recover_bytes(&bytes, &wins).unwrap_err());
+        assert_eq!(field, "windows");
+        // Same manifest on both sides but a different stored
+        // fingerprint: nothing to name, fall back to the raw values.
         let fp = JournalHeader {
             fingerprint: 1,
-            ..h
+            ..header()
         };
-        assert!(matches!(
-            Journal::recover_bytes(&bytes, &fp).unwrap_err(),
-            JournalFault::ConfigMismatch {
-                field: "fingerprint",
-                ..
-            }
-        ));
+        let (field, ..) = config_mismatch(Journal::recover_bytes(&bytes, &fp).unwrap_err());
+        assert_eq!(field, "fingerprint");
+    }
+
+    #[test]
+    fn fingerprint_skew_names_the_parameter() {
+        let on_disk = JournalHeader::with_params(
+            7,
+            100,
+            16,
+            vec!["lambda=2".to_string(), "alpha=1.5".to_string()],
+        );
+        let bytes = journal_bytes(&on_disk, &[]);
+        let resuming = JournalHeader::with_params(
+            7,
+            100,
+            16,
+            vec!["lambda=2".to_string(), "alpha=2.5".to_string()],
+        );
+        let err = Journal::recover_bytes(&bytes, &resuming).unwrap_err();
+        assert!(err.to_string().contains("alpha"), "{err}");
+        let (field, journal, run) = config_mismatch(err);
+        assert_eq!(
+            (field.as_str(), journal.as_str(), run.as_str()),
+            ("alpha", "1.5", "2.5")
+        );
+        // A manifest that is longer on one side names the extra entry.
+        let extra = JournalHeader::with_params(
+            7,
+            100,
+            16,
+            vec![
+                "lambda=2".to_string(),
+                "alpha=1.5".to_string(),
+                "burst=3".to_string(),
+            ],
+        );
+        let (field, journal, run) =
+            config_mismatch(Journal::recover_bytes(&bytes, &extra).unwrap_err());
+        assert_eq!(field, "parameter-list");
+        assert_eq!(journal, "<absent>");
+        assert_eq!(run, "burst=3");
+    }
+
+    #[test]
+    fn header_manifest_round_trips() {
+        let h = JournalHeader::with_params(
+            42,
+            1_000,
+            8,
+            vec!["nodes=20000".to_string(), "lambda=2".to_string()],
+        );
+        let bytes = journal_bytes(&h, &[entry(0)]);
+        let rec = Journal::recover_bytes(&bytes, &h).unwrap();
+        assert_eq!(rec.windows.len(), 1);
+    }
+
+    #[test]
+    fn tampered_manifest_is_malformed() {
+        let h = JournalHeader::with_params(7, 100, 16, vec!["lambda=2".to_string()]);
+        let mut bytes = journal_bytes(&h, &[]);
+        // Patch one manifest byte (the last payload byte) and
+        // re-checksum: the CRC is now valid but the manifest no
+        // longer reproduces the stored fingerprint.
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        bytes[8 + len - 1] ^= 0x01;
+        let crc = crc32(&bytes[8..8 + len]);
+        bytes[4..8].copy_from_slice(&crc.to_le_bytes());
+        let err = Journal::recover_bytes(&bytes, &h).unwrap_err();
+        assert!(matches!(err, JournalFault::Malformed { .. }), "{err:?}");
+        assert!(err.to_string().contains("manifest"), "{err}");
     }
 
     #[test]
@@ -1032,7 +1271,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cycle.journal");
         let h = header();
-        let j = Journal::create(&path, h).unwrap();
+        let j = Journal::create(&path, h.clone()).unwrap();
         j.append(&entry(0)).unwrap();
         j.append(&entry(1)).unwrap();
         assert!(j.appended_bytes() > 0);
@@ -1043,7 +1282,7 @@ mod tests {
         let keep = bytes.len() - 7;
         bytes.truncate(keep);
         std::fs::write(&path, &bytes).unwrap();
-        let (j2, rec) = Journal::resume(&path, h).unwrap();
+        let (j2, rec) = Journal::resume(&path, h.clone()).unwrap();
         assert_eq!(rec.windows.len(), 1);
         assert_eq!(rec.torn_records_dropped, 1);
         assert_eq!(rec.windows.get(&0), Some(&entry(0)));
@@ -1064,7 +1303,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("wrong_seed.journal");
         let h = header();
-        drop(Journal::create(&path, h).unwrap());
+        drop(Journal::create(&path, h.clone()).unwrap());
         let other = JournalHeader { seed: 99, ..h };
         let err = Journal::resume(&path, other).unwrap_err();
         assert!(matches!(err, JournalFault::SeedMismatch { .. }), "{err:?}");

@@ -33,6 +33,10 @@
 //!   per-stage cost models, accounted-bytes backpressure, and the
 //!   graceful-degradation ladder for bounded-memory captures
 //!   (DESIGN.md §4g).
+//! * [`federation`] — fault-tolerant sharded capture: disjoint window
+//!   ranges over one seed sequence, hierarchical journal merge
+//!   bit-identical to a single-process run, typed shard-fault
+//!   quarantine with a coverage threshold (DESIGN.md §4j).
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
@@ -44,6 +48,8 @@ pub mod budget;
 /// Typed window-failure taxonomy, failure policies, and the seeded
 /// deterministic fault injector.
 pub mod fault;
+/// Fault-tolerant sharded capture with hierarchical journal merge.
+pub mod federation;
 /// Durable write-ahead capture journal for checkpoint/resume.
 pub mod journal;
 /// Per-stage wall-time and volume instrumentation for the pipeline.
@@ -66,6 +72,10 @@ pub use budget::{
 pub use fault::{
     FailurePolicy, FaultAction, FaultKind, FaultRecord, FaultReport, InjectedFault, InjectionSpec,
     Injector, PipelineError, WindowFault, WindowOutcome,
+};
+pub use federation::{
+    capture_shard, merge_shard_journals, FederatedMerge, FederationError, FederationReport,
+    ShardFault, ShardPlan, ShardRange, ShardReport,
 };
 pub use journal::{Journal, JournalFault, JournalHeader, Recovery, WindowEntry, WindowResult};
 pub use metrics::{Metrics, MetricsSnapshot, Stage};

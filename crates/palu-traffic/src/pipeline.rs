@@ -23,8 +23,8 @@ use crate::budget::{
     ResourceBudget, BALLAST_WINDOW_MULTIPLIER,
 };
 use crate::fault::{
-    FailurePolicy, FaultAction, FaultRecord, FaultReport, InjectedFault, Injector, PipelineError,
-    WindowFault, WindowOutcome,
+    FailurePolicy, FaultAction, FaultKind, FaultRecord, FaultReport, InjectedFault, Injector,
+    PipelineError, WindowFault, WindowOutcome,
 };
 use crate::journal::{Journal, Recovery, WindowEntry, WindowResult};
 use crate::metrics::{time_stage, Metrics, Stage};
@@ -662,7 +662,7 @@ pub struct FaultTolerantPool {
 
 /// One window's result as filled in by a worker: the binned stats (or
 /// `None` when quarantined/aborted) plus its fault accounting.
-struct WindowSlot {
+pub(crate) struct WindowSlot {
     result: Option<(BinStats, Option<u64>, DegreeHistogram)>,
     record: Option<FaultRecord>,
     injected: u64,
@@ -674,7 +674,7 @@ impl WindowSlot {
     /// Rehydrate a slot from a journaled window: the byte-exact state
     /// drops into the merge exactly as if the window had just been
     /// computed.
-    fn from_entry(entry: &WindowEntry) -> WindowSlot {
+    pub(crate) fn from_entry(entry: &WindowEntry) -> WindowSlot {
         WindowSlot {
             result: entry
                 .result
@@ -683,6 +683,25 @@ impl WindowSlot {
             record: entry.record.clone(),
             injected: entry.injected,
             retries: entry.retries,
+            abort_fault: None,
+        }
+    }
+
+    /// A synthetic slot for a window no shard delivered: quarantined
+    /// with a [`FaultKind::ShardLost`] record, so the federation
+    /// merge recounts lost windows through the exact same fold as
+    /// capture-time quarantines.
+    pub(crate) fn shard_lost(window: u64) -> WindowSlot {
+        WindowSlot {
+            result: None,
+            record: Some(FaultRecord {
+                window,
+                kind: FaultKind::ShardLost,
+                attempts: 0,
+                outcome: WindowOutcome::Quarantined,
+            }),
+            injected: 0,
+            retries: 0,
             abort_fault: None,
         }
     }
@@ -708,7 +727,7 @@ impl WindowSlot {
 /// replays the exact statement sequence of the historical merge loop,
 /// so both engines produce bit-identical pooled output for the same
 /// slots regardless of how the windows were scheduled.
-struct MergeAcc {
+pub(crate) struct MergeAcc {
     p: Pipeline,
     merged: DegreeHistogram,
     report: FaultReport,
@@ -720,7 +739,7 @@ struct MergeAcc {
 }
 
 impl MergeAcc {
-    fn new(measurement: Measurement, n: usize) -> MergeAcc {
+    pub(crate) fn new(measurement: Measurement, n: usize) -> MergeAcc {
         let mut report = FaultReport::new(n as u64);
         report.survivors = 0;
         MergeAcc {
@@ -734,7 +753,7 @@ impl MergeAcc {
 
     /// Fold one completed window into the pooled state and the fault
     /// report — the historical per-slot merge body, verbatim.
-    fn fold(&mut self, slot: WindowSlot) {
+    pub(crate) fn fold(&mut self, slot: WindowSlot) {
         self.report.injected += slot.injected;
         self.report.retries += slot.retries;
         if let Some(rec) = slot.record {
@@ -767,7 +786,7 @@ impl MergeAcc {
 
     /// The historical post-merge tail: surface an abort, check the
     /// quarantine threshold, flush counters, package the pool.
-    fn finish(
+    pub(crate) fn finish(
         self,
         policy: &FailurePolicy,
         n: usize,
@@ -1925,6 +1944,7 @@ mod tests {
             n_v: 4_000,
             windows: 8,
             fingerprint: 0xABC,
+            params: vec![],
         };
         let mut obs = observatory(21);
         let baseline = Pipeline::pool_observatory_checked(
@@ -1939,7 +1959,7 @@ mod tests {
         .unwrap();
         // Durable run writing the journal from scratch.
         let mut obs = observatory(21);
-        let j = Journal::create(&path, header).unwrap();
+        let j = Journal::create(&path, header.clone()).unwrap();
         let full = Pipeline::pool_observatory_durable(
             Measurement::UndirectedDegree,
             &mut obs,
@@ -1958,7 +1978,7 @@ mod tests {
         // different thread count.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
-        let (j2, rec) = Journal::resume(&path, header).unwrap();
+        let (j2, rec) = Journal::resume(&path, header.clone()).unwrap();
         let replayed = rec.windows.len() as u64;
         assert!(replayed > 0 && replayed < 8, "replayed {replayed}");
         let metrics = Metrics::new();

@@ -21,7 +21,7 @@
 //!    uninterrupted pooled result bit for bit.
 
 use palu_suite::prelude::*;
-use palu_traffic::journal::fingerprint64;
+
 use palu_traffic::observatory::ObservatoryConfig;
 use palu_traffic::packets::EdgeIntensity;
 use palu_traffic::pipeline::{FaultTolerantPool, Measurement};
@@ -326,12 +326,12 @@ fn journal_resume_under_a_tight_budget_degrades_and_matches() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("governed-resume.journal");
     let _ = std::fs::remove_file(&path);
-    let header = JournalHeader {
-        seed: SEED,
-        n_v: N_V,
-        windows: WINDOWS as u64,
-        fingerprint: fingerprint64(["test=budget-governor"]),
-    };
+    let header = JournalHeader::with_params(
+        SEED,
+        N_V,
+        WINDOWS as u64,
+        vec!["test=budget-governor".to_string()],
+    );
 
     // Full durable capture, no budget.
     let journal = Journal::create(&path, header.clone()).expect("create");

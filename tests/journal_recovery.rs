@@ -16,7 +16,7 @@
 //!    that were replayed rather than recomputed.
 
 use palu_suite::prelude::*;
-use palu_traffic::journal::fingerprint64;
+
 use palu_traffic::observatory::ObservatoryConfig;
 use palu_traffic::packets::EdgeIntensity;
 use palu_traffic::pipeline::{FaultTolerantPool, Measurement};
@@ -30,12 +30,12 @@ const SEED: u64 = 4242;
 const INJECT_SEED: u64 = 7;
 
 fn header() -> JournalHeader {
-    JournalHeader {
-        seed: SEED,
-        n_v: N_V,
-        windows: WINDOWS as u64,
-        fingerprint: fingerprint64(["test=journal-recovery"]),
-    }
+    JournalHeader::with_params(
+        SEED,
+        N_V,
+        WINDOWS as u64,
+        vec!["test=journal-recovery".to_string()],
+    )
 }
 
 fn observatory(gen: &PaluGenerator) -> Observatory {
