@@ -224,6 +224,108 @@ if [ "${covered:-0}" != 12 ]; then
 fi
 echo "federation: shard killed, resumed, merged — output bit-identical; coverage refusal exits 6"
 
+echo "== federation service smoke (serve + submit, kills on both sides) =="
+# Service contract (DESIGN.md §4k): the same three shard journals
+# submitted over TCP must serve a fit byte-identical to the single-
+# process output. Along the way: a below-coverage fit refuses with
+# exit 6, a client whose every frame tears mid-write exhausts its
+# retry deadline with exit 8 without corrupting the server, a
+# SIGKILL'd server rebuilds coverage from its journal directory on
+# restart, and `submit --shutdown` drains gracefully.
+# The server is exec'd directly (not via cargo run) so kill -9 hits
+# the serving process itself.
+palu_bin=./target/release/palu-cli
+srv_dir="$smoke_dir/service"
+mkdir -p "$srv_dir/journals"
+
+"$palu_bin" serve "${fed_args[@]}" \
+    --shards 3 --journal-dir "$srv_dir/journals" \
+    --addr-file "$srv_dir/addr1" 2>"$srv_dir/serve1.log" &
+serve_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$srv_dir/addr1" ] && break
+    sleep 0.02
+done
+addr=$(cat "$srv_dir/addr1")
+
+# Two shards submit concurrently from separate client processes…
+"$palu_bin" submit "${fed_args[@]}" --server "$addr" \
+    --journal "$fed_dir/shard0.journal" --shard-index 0 --shards 3 \
+    2>/dev/null &
+sub0_pid=$!
+"$palu_bin" submit "${fed_args[@]}" --server "$addr" \
+    --journal "$fed_dir/shard2.journal" --shard-index 2 --shards 3 \
+    2>/dev/null
+wait "$sub0_pid"
+
+# …a fit at 2/3 coverage refuses with the dedicated COVERAGE code…
+fit_status=0
+"$palu_bin" fit --server "$addr" \
+    --out "$srv_dir/partial.txt" 2>"$srv_dir/partial.log" || fit_status=$?
+if [ "$fit_status" != 6 ]; then
+    echo "ci: partial service fit must refuse with exit 6, got $fit_status" >&2
+    cat "$srv_dir/partial.log" >&2
+    exit 1
+fi
+grep -q "coverage" "$srv_dir/partial.log" || {
+    echo "ci: partial-fit refusal should name coverage:" >&2
+    cat "$srv_dir/partial.log" >&2
+    exit 1
+}
+
+# …shard 1's first client dies mid-frame on every attempt (the seeded
+# injector tears each frame half-written) and must give up with the
+# SERVICE_UNAVAILABLE code, leaving the server healthy…
+torn_status=0
+"$palu_bin" submit "${fed_args[@]}" --server "$addr" \
+    --journal "$fed_dir/shard1.journal" --shard-index 1 --shards 3 \
+    --wire-faults truncate=1.0 \
+    --retry-deadline-ms 400 --backoff-base-ms 5 --backoff-cap-ms 20 \
+    2>"$srv_dir/torn.log" || torn_status=$?
+if [ "$torn_status" != 8 ]; then
+    echo "ci: a client torn on every frame must exit 8, got $torn_status" >&2
+    cat "$srv_dir/torn.log" >&2
+    exit 1
+fi
+
+# …then the server itself is SIGKILL'd and restarted on the same
+# journal directory: coverage rebuilds from disk…
+kill -9 "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+"$palu_bin" serve "${fed_args[@]}" \
+    --shards 3 --journal-dir "$srv_dir/journals" \
+    --addr-file "$srv_dir/addr2" --metrics "$srv_dir/serve2.json" \
+    2>"$srv_dir/serve2.log" &
+serve2_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$srv_dir/addr2" ] && break
+    sleep 0.02
+done
+addr2=$(cat "$srv_dir/addr2")
+grep -q "recovered" "$srv_dir/serve2.log" || {
+    echo "ci: restarted server should report recovered windows:" >&2
+    cat "$srv_dir/serve2.log" >&2
+    exit 1
+}
+
+# …the killed shard's client retries cleanly and resumes…
+"$palu_bin" submit "${fed_args[@]}" --server "$addr2" \
+    --journal "$fed_dir/shard1.journal" --shard-index 1 --shards 3 \
+    2>/dev/null
+
+# …and the served fit is byte-identical to the single-process output.
+"$palu_bin" fit --server "$addr2" --out "$srv_dir/fit.txt" 2>/dev/null
+cmp "$fed_dir/ref.txt" "$srv_dir/fit.txt"
+
+"$palu_bin" submit --server "$addr2" --shutdown 2>/dev/null
+wait "$serve2_pid"
+srv_covered=$(grep -m 1 '"covered"' "$srv_dir/serve2.json" | tr -dc '0-9')
+if [ "${srv_covered:-0}" != 12 ]; then
+    echo "ci: drained service should cover all 12 windows, got ${srv_covered:-0}" >&2
+    exit 1
+fi
+echo "service: client torn mid-frame exits 8, server SIGKILL'd and recovered, fit byte-identical; partial fit exits 6"
+
 echo "== stall watchdog smoke =="
 # A window exceeding --window-deadline-ms is classified Stalled and
 # flows through quarantine into the fault report.

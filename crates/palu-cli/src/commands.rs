@@ -63,6 +63,9 @@ pub mod exit {
     pub const COVERAGE: i32 = 6;
     /// Quarantine dropped more windows than the policy tolerates.
     pub const QUARANTINE_OVERFLOW: i32 = 7;
+    /// The federation service could not be reached (or a session
+    /// could not complete) before the retry deadline.
+    pub const SERVICE_UNAVAILABLE: i32 = 8;
 }
 
 impl CliError {
@@ -136,8 +139,25 @@ fn federation_error(e: &palu_traffic::FederationError) -> CliError {
             CliError::with_code(e.to_string(), exit::CONFIG_MISMATCH)
         }
         FederationError::Coverage { .. } => CliError::with_code(e.to_string(), exit::COVERAGE),
+        FederationError::Overlap(_) => CliError::with_code(e.to_string(), exit::JOURNAL_CORRUPT),
         FederationError::Pipeline(p) => pipeline_error(p),
     }
+}
+
+/// Map a typed service fault to a [`CliError`] with the exit code of
+/// its refusal class — the same convention as the merge: corruption →
+/// 4, identity skew → 5, coverage → 6, plus 8 for transport
+/// exhaustion (`SERVICE_UNAVAILABLE`).
+fn service_fault_error(context: &str, fault: &palu_traffic::ServiceFault) -> CliError {
+    use palu_traffic::RefusalClass;
+    let code = match fault.refusal() {
+        RefusalClass::Usage => exit::USAGE,
+        RefusalClass::Corrupt => exit::JOURNAL_CORRUPT,
+        RefusalClass::IdentitySkew => exit::CONFIG_MISMATCH,
+        RefusalClass::Coverage => exit::COVERAGE,
+        RefusalClass::Unavailable => exit::SERVICE_UNAVAILABLE,
+    };
+    CliError::with_code(format!("{context}: {fault}"), code)
 }
 
 impl From<String> for CliError {
@@ -274,6 +294,13 @@ COMMANDS:
              (ZM (α, δ); CSN baseline; PALU constants; with --p also
               the recovered underlying (C, L, U, λ); with --boot N
               bootstrap CIs on the ZM fit)
+             Service mode: query a federation server's rolling merged
+             fit instead of reading a histogram. Output is the
+             canonical pooled format, byte-identical to single-process
+             `simulate` at full coverage; below the server's coverage
+             threshold the fit refuses (exit 6) unless --allow-partial
+             --server ADDR [--allow-partial] [+ retry options, see
+             submit]
   census     Figure-2 topology census + clustering of an edge list
              --in FILE
   simulate   Run a synthetic observatory end to end: PALU network →
@@ -349,11 +376,35 @@ COMMANDS:
              + the simulate options naming the capture's identity
              With --metrics FILE a `federation` section (coverage
              arithmetic, per-shard rows, typed faults) is included
+  serve      Run the federation service: accept shard-journal
+             submissions over TCP, persist them through per-shard
+             journals (a SIGKILL'd server rebuilds coverage from disk
+             on restart), and serve the rolling merged fit. Drains
+             gracefully on `submit --shutdown`
+             --journal-dir DIR [--listen ADDR=127.0.0.1:0]
+             [--shards N=1] [--min-coverage F=1.0]
+             [--read-timeout-ms MS=5000] [--addr-file FILE]
+             [--metrics FILE]
+             + the simulate options naming the capture's identity
+  submit     Submit one shard journal to a federation service with
+             deadline + jittered-backoff retries; resubmission is
+             idempotent, and a client killed mid-frame resumes from
+             the server's acknowledged window set
+             --server ADDR --journal FILE
+             [--shard-index I=0] [--shards N=1]
+             [--retry-deadline-ms MS=30000] [--backoff-base-ms MS=20]
+             [--backoff-cap-ms MS=500] [--io-timeout-ms MS=5000]
+             [--wire-faults SPEC]  seeded wire-fault injector; SPEC is
+               a bare rate (split evenly) or kind=rate pairs from
+               drop,corrupt,dup,delay,truncate
+             + the simulate options naming the capture's identity
+             With --shutdown (and no journal) the server drains and
+             exits after in-flight sessions finish
   help       This message
 
 EXIT CODES: 0 ok · 1 runtime · 2 usage · 3 admission refused ·
   4 journal corrupt · 5 journal identity mismatch · 6 merge coverage
-  below threshold · 7 quarantine overflow
+  below threshold · 7 quarantine overflow · 8 service unreachable
 ";
 
 /// Write `f`'s output to `--out` or stdout.
@@ -438,6 +489,14 @@ fn cmd_degrees(args: &ParsedArgs) -> Result<(), CliError> {
 }
 
 fn cmd_fit(args: &ParsedArgs) -> Result<(), CliError> {
+    if args
+        .options
+        .get("server")
+        .filter(|s| !s.is_empty())
+        .is_some()
+    {
+        return cmd_fit_server(args);
+    }
     let input = args.require("in")?.to_string();
     let h = io::read_histogram_path(Path::new(&input)).map_err(CliError::usage)?;
     if h.is_empty() {
@@ -1094,6 +1153,7 @@ pub fn federation_json(report: &palu_traffic::FederationReport) -> crate::json::
                         "torn_records_dropped",
                         JsonValue::UInt(s.torn_records_dropped),
                     ),
+                    ("torn_bytes_dropped", JsonValue::UInt(s.torn_bytes_dropped)),
                     ("quarantined_shard", JsonValue::Bool(s.quarantined_shard)),
                 ])
             })
@@ -1112,6 +1172,8 @@ pub fn federation_json(report: &palu_traffic::FederationReport) -> crate::json::
             })
             .collect(),
     );
+    let torn_records: u64 = report.shards.iter().map(|s| s.torn_records_dropped).sum();
+    let torn_bytes: u64 = report.shards.iter().map(|s| s.torn_bytes_dropped).sum();
     JsonValue::obj([
         ("windows", JsonValue::UInt(report.windows)),
         ("covered", JsonValue::UInt(report.covered)),
@@ -1120,6 +1182,12 @@ pub fn federation_json(report: &palu_traffic::FederationReport) -> crate::json::
         ("survivors", JsonValue::UInt(report.survivors)),
         ("min_coverage", JsonValue::Float(report.min_coverage)),
         ("merge_levels", JsonValue::UInt(report.merge_levels)),
+        (
+            "duplicates_removed",
+            JsonValue::UInt(report.duplicates_removed),
+        ),
+        ("torn_records_dropped", JsonValue::UInt(torn_records)),
+        ("torn_bytes_dropped", JsonValue::UInt(torn_bytes)),
         ("shard_count", JsonValue::UInt(report.shards.len() as u64)),
         ("shards", shards),
         ("faults", faults),
@@ -1212,6 +1280,261 @@ fn cmd_pool_merge(args: &ParsedArgs) -> Result<(), CliError> {
             .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
     }
     write_pooled(args, &merged.pool.pooled)
+}
+
+/// Serialize a [`palu_traffic::ServiceReport`] as a JSON object:
+/// coverage and submission accounting, per-shard rows — including the
+/// per-shard torn-tail drop counts from crash recovery — and the
+/// typed service-fault rows.
+pub fn service_json(report: &palu_traffic::ServiceReport) -> crate::json::JsonValue {
+    use crate::json::JsonValue;
+    let shards = JsonValue::Array(
+        report
+            .shard_rows
+            .iter()
+            .map(|s| {
+                JsonValue::obj([
+                    ("shard", JsonValue::UInt(s.shard)),
+                    ("lo", JsonValue::UInt(s.lo)),
+                    ("hi", JsonValue::UInt(s.hi)),
+                    ("persisted", JsonValue::UInt(s.persisted)),
+                    (
+                        "torn_records_dropped",
+                        JsonValue::UInt(s.torn_records_dropped),
+                    ),
+                    ("torn_bytes_dropped", JsonValue::UInt(s.torn_bytes_dropped)),
+                ])
+            })
+            .collect(),
+    );
+    let faults = JsonValue::Array(
+        report
+            .faults
+            .iter()
+            .map(|f| {
+                JsonValue::obj([
+                    ("kind", JsonValue::Str(f.name.to_string())),
+                    ("code", JsonValue::UInt(u64::from(f.code))),
+                    ("detail", JsonValue::Str(f.detail.clone())),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::obj([
+        ("windows", JsonValue::UInt(report.windows)),
+        ("covered", JsonValue::UInt(report.covered)),
+        ("min_coverage", JsonValue::Float(report.min_coverage)),
+        ("submissions", JsonValue::UInt(report.submissions)),
+        ("frames_accepted", JsonValue::UInt(report.frames_accepted)),
+        ("duplicates", JsonValue::UInt(report.duplicates)),
+        ("rejected", JsonValue::UInt(report.rejected)),
+        ("fits_served", JsonValue::UInt(report.fits_served)),
+        (
+            "torn_records_dropped",
+            JsonValue::UInt(report.torn_records_dropped),
+        ),
+        (
+            "torn_bytes_dropped",
+            JsonValue::UInt(report.torn_bytes_dropped),
+        ),
+        ("shard_count", JsonValue::UInt(report.shards)),
+        ("shards", shards),
+        ("faults", faults),
+    ])
+}
+
+/// The client retry knobs shared by `submit` and `fit --server`.
+fn retry_policy(args: &ParsedArgs) -> Result<palu_traffic::RetryPolicy, CliError> {
+    use std::time::Duration;
+    Ok(palu_traffic::RetryPolicy {
+        deadline: Duration::from_millis(args.u64_or("retry-deadline-ms", 30_000)?),
+        backoff_base: Duration::from_millis(args.u64_or("backoff-base-ms", 20)?),
+        backoff_cap: Duration::from_millis(args.u64_or("backoff-cap-ms", 500)?),
+        io_timeout: Duration::from_millis(args.u64_or("io-timeout-ms", 5_000)?),
+        seed: args.u64_or("seed", 1)?,
+    })
+}
+
+/// `palu-cli serve`: the federation service daemon. Accepts shard
+/// submissions over TCP, persists them through per-shard journals
+/// under `--journal-dir` (so a SIGKILL'd server rebuilds coverage on
+/// restart), and serves rolling merged fits until drained by
+/// `submit --shutdown`.
+fn cmd_serve(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::pipeline::Measurement;
+    use palu_traffic::service::{Collector, Server, ServiceConfig};
+    use std::path::PathBuf;
+
+    let sc = SimCapture::parse(args)?;
+    let shards = args.u64_or("shards", 1)?;
+    let min_coverage = args.f64_or("min-coverage", 1.0)?;
+    if !(0.0..=1.0).contains(&min_coverage) {
+        return Err(CliError::usage(format!(
+            "--min-coverage must be in [0,1], got {min_coverage}"
+        )));
+    }
+    let journal_dir = args.require("journal-dir").map_err(|_| {
+        CliError::usage("serve requires --journal-dir <dir> (one journal per shard persists there)")
+    })?;
+    let read_timeout = args.u64_or("read-timeout-ms", 5_000)?;
+    let listen = args.get_or("listen", "127.0.0.1:0").to_string();
+    let config = ServiceConfig {
+        measurement: Measurement::UndirectedDegree,
+        expect: sc.header(),
+        shards,
+        min_coverage,
+        journal_dir: PathBuf::from(journal_dir),
+        read_timeout: std::time::Duration::from_millis(read_timeout),
+    };
+    let collector = Collector::new(config).map_err(|e| service_fault_error("serve", &e))?;
+    let recovered = collector.report();
+    if recovered.covered > 0 {
+        eprintln!(
+            "serve: recovered {}/{} window(s) from {} shard journal(s) on disk \
+             ({} torn record(s) dropped)",
+            recovered.covered,
+            recovered.windows,
+            recovered.shard_rows.len(),
+            recovered.torn_records_dropped
+        );
+    }
+    let server = Server::bind(&listen, collector).map_err(|e| service_fault_error("serve", &e))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| service_fault_error("serve", &e))?;
+    eprintln!(
+        "serve: listening on {addr} for {shards} shard(s) × {} windows (min coverage \
+         {min_coverage})",
+        sc.n_windows
+    );
+    if let Some(path) = args.options.get("addr-file").filter(|s| !s.is_empty()) {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    let report = server.run().map_err(|e| service_fault_error("serve", &e))?;
+    eprintln!(
+        "serve: drained after {} submission session(s): {}/{} windows covered, {} record(s) \
+         accepted, {} duplicate(s), {} rejection(s), {} fit(s) served",
+        report.submissions,
+        report.covered,
+        report.windows,
+        report.frames_accepted,
+        report.duplicates,
+        report.rejected,
+        report.fits_served
+    );
+    if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
+        use crate::json::JsonValue;
+        let doc = JsonValue::obj([("service", service_json(&report))]);
+        std::fs::write(path, doc.pretty())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// `palu-cli submit`: submit one shard journal to a federation
+/// service with deadline + jittered-backoff retries and idempotent
+/// resumption, or (with `--shutdown`) drain the service.
+fn cmd_submit(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::service::{request_shutdown, submit_journal};
+    use palu_traffic::{WireInjector, WireSpec};
+
+    let server = args
+        .require("server")
+        .map_err(|_| CliError::usage("submit requires --server <addr>"))?
+        .to_string();
+    let retry = retry_policy(args)?;
+    if args.options.contains_key("shutdown") {
+        request_shutdown(&server, &retry)
+            .map_err(|e| service_fault_error("submit --shutdown", &e))?;
+        eprintln!("submit: server at {server} acknowledged shutdown");
+        return Ok(());
+    }
+    let sc = SimCapture::parse(args)?;
+    let journal = args
+        .require("journal")
+        .map_err(|_| CliError::usage("submit requires --journal <path> (the shard journal)"))?
+        .to_string();
+    let shards = args.u64_or("shards", 1)?;
+    let shard = args.u64_or("shard-index", 0)?;
+    let spec = match args.options.get("wire-faults").filter(|s| !s.is_empty()) {
+        Some(spec) => {
+            WireSpec::parse(spec).map_err(|e| CliError::usage(format!("--wire-faults: {e}")))?
+        }
+        None => WireSpec::none(),
+    };
+    let injector = WireInjector::new(spec, sc.seed);
+    let expect = sc.header();
+    eprintln!("submit: shard {shard}/{shards} from {journal} to {server}");
+    let outcome = submit_journal(
+        &server,
+        Path::new(&journal),
+        shard,
+        shards,
+        &expect,
+        &retry,
+        &injector,
+    )
+    .map_err(|e| service_fault_error("submit", &e))?;
+    eprintln!(
+        "submit: shard {} done in {} attempt(s): {}/{} assigned windows persisted \
+         server-side ({} recovered locally, {} already present{})",
+        outcome.shard,
+        outcome.attempts,
+        outcome.accepted,
+        outcome.assigned,
+        outcome.recovered,
+        outcome.already_present,
+        if outcome.torn_records_dropped > 0 {
+            format!(
+                ", {} torn record(s) dropped recovering the local journal",
+                outcome.torn_records_dropped
+            )
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+/// `fit --server`: query the federation service's rolling merged fit
+/// and render it in the canonical pooled format. Rows cross the wire
+/// as raw IEEE-754 bits, so at full coverage the output is
+/// byte-identical to single-process `simulate`. A partial snapshot
+/// refuses with the coverage exit code unless `--allow-partial`.
+fn cmd_fit_server(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::service::query_fit;
+
+    let server = args.require("server")?.to_string();
+    let retry = retry_policy(args)?;
+    let snap = query_fit(&server, &retry).map_err(|e| service_fault_error("fit", &e))?;
+    eprintln!(
+        "fit: {}/{} windows covered (min coverage {}), {} survivor(s), {} quarantined",
+        snap.covered, snap.windows, snap.min_coverage, snap.survivors, snap.quarantined
+    );
+    if let Some(fault) = snap.partial_fault() {
+        if !args.options.contains_key("allow-partial") {
+            return Err(service_fault_error("fit", &fault));
+        }
+        eprintln!("fit: WARNING serving a partial pool ({fault})");
+    }
+    with_output(args, |w| {
+        (|| -> std::io::Result<()> {
+            writeln!(
+                w,
+                "# pooled D(d_i) ± σ over {} windows of the undirected degree",
+                snap.pooled_windows
+            )?;
+            writeln!(w, "# columns: d_i D sigma")?;
+            for row in &snap.rows {
+                let v = f64::from_bits(row.mean_bits);
+                let s = f64::from_bits(row.sigma_bits);
+                writeln!(w, "{} {v:.8e} {s:.8e}", row.degree)?;
+            }
+            Ok(())
+        })()
+        .map_err(|e| CliError::runtime(e.to_string()))
+    })
 }
 
 fn cmd_gof(args: &ParsedArgs) -> Result<(), CliError> {
@@ -1351,6 +1674,8 @@ pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
         "shard" => cmd_shard(args),
         "gof" => cmd_gof(args),
         "pool" => cmd_pool(args),
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -2346,5 +2671,65 @@ mod tests {
         // Missing required options.
         let e = run(&parse(&["generate", "--core", "0.5"])).unwrap_err();
         assert!(e.message.contains("--leaves") || e.message.contains("leaves"));
+    }
+
+    #[test]
+    fn service_commands_validate_usage() {
+        // serve needs the journal directory that makes it crash-tolerant.
+        let mut argv = vec!["serve"];
+        argv.extend(fed_flags());
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        assert!(e.message.contains("--journal-dir"), "{}", e.message);
+        // ... and a coverage threshold inside [0,1].
+        let mut argv = vec!["serve"];
+        argv.extend(fed_flags());
+        argv.extend(["--journal-dir", "d", "--min-coverage", "1.5"]);
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        assert!(e.message.contains("min-coverage"), "{}", e.message);
+        // submit needs a server address before anything else.
+        let e = run(&parse(&["submit"])).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        assert!(e.message.contains("--server"), "{}", e.message);
+        // ... and a journal to submit.
+        let mut argv = vec!["submit", "--server", "127.0.0.1:1"];
+        argv.extend(fed_flags());
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        assert!(e.message.contains("--journal"), "{}", e.message);
+        // A malformed wire-fault spec is refused before any connection.
+        let mut argv = vec![
+            "submit",
+            "--server",
+            "127.0.0.1:1",
+            "--journal",
+            "x.journal",
+            "--wire-faults",
+            "frob=0.5",
+        ];
+        argv.extend(fed_flags());
+        let e = run(&parse(&argv)).unwrap_err();
+        assert_eq!(e.code, exit::USAGE);
+        assert!(e.message.contains("wire-faults"), "{}", e.message);
+    }
+
+    #[test]
+    fn fit_against_unreachable_server_exits_service_unavailable() {
+        // A connection-refused fit with an immediate deadline must exit
+        // with the service-unreachable code, not a generic runtime error.
+        let e = run(&parse(&[
+            "fit",
+            "--server",
+            "127.0.0.1:1",
+            "--retry-deadline-ms",
+            "1",
+            "--backoff-base-ms",
+            "1",
+            "--backoff-cap-ms",
+            "1",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.code, exit::SERVICE_UNAVAILABLE, "{}", e.message);
     }
 }

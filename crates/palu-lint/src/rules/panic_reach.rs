@@ -5,7 +5,8 @@
 //! and forfeits the journal's resume guarantee. This rule walks the
 //! conservative call graph from the capture/merge roots — every `pub`
 //! fn in `palu-traffic`'s `pipeline.rs`/`journal.rs`/`budget.rs`/
-//! `fault.rs` plus the `merge` fns in `palu-stats` — and counts the
+//! `fault.rs`/`federation.rs`/`service.rs`/`wire.rs` plus the `merge`
+//! fns in `palu-stats` — and counts the
 //! panic sites (`panic!`/`unreachable!`/`todo!`/`unimplemented!`,
 //! `.unwrap()`/`.expect()`, `[]`-indexing) reachable from them
 //! outside `#[cfg(test)]`. Counts are gated by a shrink-only baseline
@@ -32,6 +33,8 @@ const ROOT_FILES: &[&str] = &[
     "crates/palu-traffic/src/budget.rs",
     "crates/palu-traffic/src/fault.rs",
     "crates/palu-traffic/src/federation.rs",
+    "crates/palu-traffic/src/service.rs",
+    "crates/palu-traffic/src/wire.rs",
 ];
 
 /// Crate whose `merge` fns are additional roots.

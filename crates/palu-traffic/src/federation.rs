@@ -192,6 +192,23 @@ pub enum ShardFault {
         /// Windows whose journaled fault record is `Stalled`.
         windows: u64,
     },
+    /// Two *distinct* shard journals claim the identical journaled
+    /// window span under the same capture fingerprint — a
+    /// mis-specified shard list (e.g. a stale copy of the same shard
+    /// submitted alongside a fresh one). Byte-identical duplicates are
+    /// deduplicated silently instead; this fault is raised only when
+    /// the contents disagree, and it is a hard
+    /// [`FederationError::Overlap`] refusal, never a quarantine.
+    OverlappingRange {
+        /// The later of the two clashing shard-list positions.
+        shard: u64,
+        /// The earlier clashing shard-list position.
+        other_shard: u64,
+        /// First window of the contested span (inclusive).
+        lo: u64,
+        /// Last window of the contested span (inclusive).
+        hi: u64,
+    },
 }
 
 impl ShardFault {
@@ -203,7 +220,8 @@ impl ShardFault {
             | ShardFault::Corrupt { shard, .. }
             | ShardFault::RangeViolation { shard, .. }
             | ShardFault::RangeGap { shard, .. }
-            | ShardFault::Stalled { shard, .. } => *shard,
+            | ShardFault::Stalled { shard, .. }
+            | ShardFault::OverlappingRange { shard, .. } => *shard,
         }
     }
 
@@ -216,6 +234,7 @@ impl ShardFault {
             ShardFault::RangeViolation { .. } => "range_violation",
             ShardFault::RangeGap { .. } => "range_gap",
             ShardFault::Stalled { .. } => "stalled",
+            ShardFault::OverlappingRange { .. } => "overlapping_range",
         }
     }
 }
@@ -261,6 +280,17 @@ impl std::fmt::Display for ShardFault {
                     "shard {shard}: {windows} window(s) hit the stall deadline"
                 )
             }
+            ShardFault::OverlappingRange {
+                shard,
+                other_shard,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "shard-list entries {other_shard} and {shard} both journal windows \
+                 [{lo}, {hi}] with differing contents — overlapping shard ranges, \
+                 refusing to merge an ambiguous shard list"
+            ),
         }
     }
 }
@@ -315,6 +345,10 @@ pub enum FederationError {
         /// The minimum surviving fraction required.
         min_coverage: f64,
     },
+    /// Two distinct shard journals claim the identical window span
+    /// (see [`ShardFault::OverlappingRange`]). The shard list is
+    /// ambiguous, so the merge refuses outright.
+    Overlap(ShardFault),
     /// The underlying capture/merge pipeline failed.
     Pipeline(PipelineError),
 }
@@ -346,6 +380,7 @@ impl std::fmt::Display for FederationError {
                  minimum coverage is {min_coverage} — refusing to pool an \
                  unrepresentative capture"
             ),
+            FederationError::Overlap(fault) => write!(f, "{fault}"),
             FederationError::Pipeline(e) => write!(f, "{e}"),
         }
     }
@@ -388,6 +423,8 @@ pub struct ShardReport {
     pub missing: u64,
     /// Torn records dropped from the journal tail.
     pub torn_records_dropped: u64,
+    /// Bytes dropped with the shard's torn tail.
+    pub torn_bytes_dropped: u64,
     /// Whether the whole shard quarantined (missing or corrupt
     /// journal: nothing from it was merged).
     pub quarantined_shard: bool,
@@ -412,6 +449,9 @@ pub struct FederationReport {
     pub min_coverage: f64,
     /// Rounds of pairwise journal union (`ceil(log2(shards))`).
     pub merge_levels: u64,
+    /// Byte-identical duplicate journals dropped by the exact-dup
+    /// pass before planning (the same shard path listed twice).
+    pub duplicates_removed: u64,
     /// Per-shard accounting, indexed by shard.
     pub shards: Vec<ShardReport>,
     /// Every typed shard fault observed, in shard order.
@@ -501,13 +541,16 @@ struct ShardLoad {
     report: ShardReport,
 }
 
-/// Scan one shard journal, classify its failures, and keep only the
-/// entries inside the shard's assigned range. Identity skew is the
-/// only hard error; everything else degrades into [`ShardFault`]s.
+/// Classify one shard journal's pre-scanned recovery and keep only
+/// the entries inside the shard's assigned range. Identity skew is
+/// the only hard error; everything else degrades into
+/// [`ShardFault`]s. The scan itself happens up front (see
+/// [`scan_journals`]) so the duplicate/overlap pre-pass and the
+/// per-shard load read each journal exactly once.
 fn load_shard(
     path: &Path,
+    recovered: Result<Recovery, JournalFault>,
     range: &ShardRange,
-    expect: &JournalHeader,
     faults: &mut Vec<ShardFault>,
 ) -> Result<ShardLoad, FederationError> {
     let shard = range.shard;
@@ -517,7 +560,7 @@ fn load_shard(
         hi: range.hi,
         ..ShardReport::default()
     };
-    let recovery = match Journal::recover_file(path, expect) {
+    let recovery = match recovered {
         Ok(rec) => rec,
         Err(fault @ JournalFault::Io { .. }) => {
             let message = fault.to_string();
@@ -559,6 +602,7 @@ fn load_shard(
             bytes_dropped: recovery.torn_bytes_dropped,
         });
         report.torn_records_dropped = recovery.torn_records_dropped;
+        report.torn_bytes_dropped = recovery.torn_bytes_dropped;
     }
     report.journaled = recovery.windows.len() as u64;
     let mut entries = BTreeMap::new();
@@ -643,7 +687,7 @@ fn hierarchical_union(
 /// capture-time quarantines. The quarantine gate is the merge's
 /// `min_coverage` (checked by the caller), so the fold itself runs
 /// under a fully permissive policy.
-fn merge_entries(
+pub(crate) fn merge_entries(
     measurement: Measurement,
     n: usize,
     entries: &BTreeMap<u64, WindowEntry>,
@@ -669,20 +713,109 @@ fn merge_entries(
 /// windows with a *known outcome* (journaled by a surviving shard or
 /// re-captured) — a window the shard itself quarantined under its own
 /// failure policy is accounted data, not federation loss.
-fn covers(covered: u64, windows: u64, min_coverage: f64) -> bool {
+pub(crate) fn covers(covered: u64, windows: u64, min_coverage: f64) -> bool {
     if windows == 0 {
         return true;
     }
     covered as f64 / windows as f64 >= min_coverage
 }
 
+/// One journal path's up-front scan: the raw read outcome plus the
+/// recovered state, read exactly once and reused by both the
+/// duplicate/overlap pre-pass and the per-shard load.
+struct Scanned {
+    path: PathBuf,
+    recovered: Result<Recovery, JournalFault>,
+}
+
+/// Read and scan every journal path once, dropping byte-identical
+/// duplicates (the same shard journal listed twice — previously
+/// silently accepted, splitting the plan across two copies of one
+/// range) and refusing *non*-identical journals that claim the same
+/// journaled window span ([`ShardFault::OverlappingRange`]): same
+/// span + same fingerprint but different bytes means a stale or
+/// diverged copy, and merging either arbitrarily would be silent
+/// data loss.
+fn scan_journals(
+    paths: &[PathBuf],
+    expect: &JournalHeader,
+) -> Result<(Vec<Scanned>, u64), FederationError> {
+    let mut kept: Vec<(Option<Vec<u8>>, Scanned)> = Vec::with_capacity(paths.len());
+    let mut duplicates_removed = 0u64;
+    for path in paths {
+        let blob = std::fs::read(path).map_err(|e| JournalFault::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        });
+        match blob {
+            Ok(bytes) => {
+                if kept
+                    .iter()
+                    .any(|(b, _)| b.as_deref().is_some_and(|prev| prev == bytes.as_slice()))
+                {
+                    duplicates_removed += 1;
+                    continue;
+                }
+                let recovered = Journal::recover_bytes(&bytes, expect);
+                kept.push((
+                    Some(bytes),
+                    Scanned {
+                        path: path.clone(),
+                        recovered,
+                    },
+                ));
+            }
+            Err(fault) => kept.push((
+                None,
+                Scanned {
+                    path: path.clone(),
+                    recovered: Err(fault),
+                },
+            )),
+        }
+    }
+    // Overlap refusal: two kept (hence non-identical) journals whose
+    // journaled spans coincide exactly. Partial overlaps stay with
+    // the tolerant RangeViolation path — a shard journaling a
+    // neighbor's window is dropped entry-by-entry, not refused.
+    let spans: Vec<Option<(u64, u64)>> = kept
+        .iter()
+        .map(|(_, s)| match &s.recovered {
+            Ok(rec) => {
+                let lo = rec.windows.keys().next().copied();
+                let hi = rec.windows.keys().next_back().copied();
+                lo.zip(hi)
+            }
+            Err(_) => None,
+        })
+        .collect();
+    for (i, a) in spans.iter().enumerate() {
+        let Some((lo, hi)) = a else { continue };
+        for (j, b) in spans.iter().enumerate().skip(i + 1) {
+            if b == a {
+                return Err(FederationError::Overlap(ShardFault::OverlappingRange {
+                    shard: j as u64,
+                    other_shard: i as u64,
+                    lo: *lo,
+                    hi: *hi,
+                }));
+            }
+        }
+    }
+    Ok((
+        kept.into_iter().map(|(_, s)| s).collect(),
+        duplicates_removed,
+    ))
+}
+
 /// Merge `paths.len()` shard journals into one pooled result.
 ///
 /// `paths[i]` is shard `i` of a balanced [`ShardPlan`] over
-/// `expect.windows` windows. Each journal is scanned read-only
-/// ([`Journal::recover_file`]); shard failures degrade into typed
-/// [`ShardFault`]s (the shard's windows quarantine as
-/// [`FaultKind::ShardLost`]) while identity skew hard-refuses. With
+/// `expect.windows` windows (after the exact-duplicate pass: a
+/// byte-identical journal listed twice counts once). Each journal is
+/// scanned read-only ([`Journal::recover_bytes`]); shard failures
+/// degrade into typed [`ShardFault`]s (the shard's windows quarantine
+/// as [`FaultKind::ShardLost`]) while identity skew hard-refuses. With
 /// `recapture` supplied, the missing windows are instead *recomputed*
 /// deterministically by driving the durable engine over the full
 /// range with the journaled union as recovery — only the complement
@@ -716,15 +849,19 @@ pub fn merge_shard_journals(
     if !(0.0..=1.0).contains(&min_coverage) {
         return Err(FederationError::BadCoverage { min_coverage });
     }
-    let plan = ShardPlan::new(expect.windows, paths.len() as u64)?;
+    let (scanned, duplicates_removed) = scan_journals(paths, expect)?;
+    if scanned.is_empty() {
+        return Err(FederationError::NoJournals);
+    }
+    let plan = ShardPlan::new(expect.windows, scanned.len() as u64)?;
     let n = usize::try_from(expect.windows).map_err(|_| FederationError::BadPlan {
         windows: expect.windows,
         shards: plan.shards,
     })?;
     let mut faults = Vec::new();
-    let mut shard_maps = Vec::with_capacity(paths.len());
-    let mut shard_reports = Vec::with_capacity(paths.len());
-    for (i, path) in paths.iter().enumerate() {
+    let mut shard_maps = Vec::with_capacity(scanned.len());
+    let mut shard_reports = Vec::with_capacity(scanned.len());
+    for (i, scan) in scanned.into_iter().enumerate() {
         let shard = i as u64;
         let range = plan
             .shard_range(shard)
@@ -732,7 +869,7 @@ pub fn merge_shard_journals(
                 shard,
                 shards: plan.shards,
             })?;
-        let load = load_shard(path, &range, expect, &mut faults)?;
+        let load = load_shard(&scan.path, scan.recovered, &range, &mut faults)?;
         shard_maps.push(load.entries);
         shard_reports.push(load.report);
     }
@@ -788,6 +925,7 @@ pub fn merge_shard_journals(
             survivors,
             min_coverage,
             merge_levels,
+            duplicates_removed,
             shards: shard_reports,
             faults,
         },
@@ -1017,6 +1155,73 @@ mod tests {
         )));
         assert_eq!(merged.federation.shards[0].journaled, 5);
         assert_eq!(merged.federation.shards[0].accepted, 4);
+    }
+
+    #[test]
+    fn duplicate_journal_paths_dedupe_exactly() {
+        let h = header(8);
+        let a = write_shard("dedupe_a.journal", &h, 0..4);
+        let b = write_shard("dedupe_b.journal", &h, 4..8);
+        // The same shard journal listed twice used to split the plan
+        // across two copies of one range; the exact-duplicate pass
+        // collapses it back to a clean 2-shard merge.
+        let merged = merge_shard_journals(
+            Measurement::UndirectedDegree,
+            &h,
+            &[a.clone(), a.clone(), b],
+            &FailurePolicy::quarantine(0),
+            1.0,
+            1,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(merged.federation.duplicates_removed, 1);
+        assert_eq!(merged.federation.shards.len(), 2);
+        assert_eq!(merged.federation.covered, 8);
+        assert_eq!(merged.federation.missing, 0);
+        assert!(merged.federation.faults.is_empty());
+    }
+
+    #[test]
+    fn overlapping_non_identical_journals_refuse() {
+        let h = header(8);
+        let a = write_shard("overlap_a.journal", &h, 0..4);
+        // A diverged copy of the same span: same windows, different
+        // record contents (injected counter skewed).
+        let path = temp_path("overlap_a_stale.journal");
+        let j = Journal::create(&path, h.clone()).unwrap();
+        for w in 0..4 {
+            let mut e = entry(w);
+            e.injected = 7;
+            j.append(&e).unwrap();
+        }
+        let b = write_shard("overlap_b.journal", &h, 4..8);
+        let err = merge_shard_journals(
+            Measurement::UndirectedDegree,
+            &h,
+            &[a, path, b],
+            &FailurePolicy::quarantine(0),
+            0.0,
+            1,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
+        match err {
+            FederationError::Overlap(ShardFault::OverlappingRange {
+                shard,
+                other_shard,
+                lo,
+                hi,
+            }) => {
+                assert_eq!((other_shard, shard), (0, 1));
+                assert_eq!((lo, hi), (0, 3));
+            }
+            other => panic!("expected an overlapping-range refusal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -333,22 +333,24 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// A little-endian cursor over a checksummed payload, turning every
-/// short read into a typed [`JournalFault::Malformed`].
-struct Cursor<'a> {
-    bytes: &'a [u8],
+/// short read into a typed [`JournalFault::Malformed`]. Shared with
+/// the service wire codec ([`crate::wire`]), which frames control
+/// messages with the same record layout.
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
     /// File offset of the record's length prefix, for diagnostics.
-    record_offset: u64,
+    pub(crate) record_offset: u64,
 }
 
 impl<'a> Cursor<'a> {
-    fn malformed(&self, detail: impl Into<String>) -> JournalFault {
+    pub(crate) fn malformed(&self, detail: impl Into<String>) -> JournalFault {
         JournalFault::Malformed {
             offset: self.record_offset,
             detail: detail.into(),
         }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], JournalFault> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], JournalFault> {
         if self.bytes.len() < n {
             return Err(self.malformed(format!("truncated {what} inside a checksummed record")));
         }
@@ -357,21 +359,21 @@ impl<'a> Cursor<'a> {
         Ok(head)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, JournalFault> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, JournalFault> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u16(&mut self, what: &str) -> Result<u16, JournalFault> {
+    pub(crate) fn u16(&mut self, what: &str) -> Result<u16, JournalFault> {
         let raw = self.take(2, what)?;
         Ok(u16::from_le_bytes([raw[0], raw[1]]))
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, JournalFault> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, JournalFault> {
         let raw = self.take(4, what)?;
         Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, JournalFault> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, JournalFault> {
         let raw = self.take(8, what)?;
         let mut buf = [0u8; 8];
         buf.copy_from_slice(raw);
@@ -380,7 +382,10 @@ impl<'a> Cursor<'a> {
 }
 
 /// Serialize one record (length prefix + CRC + payload) into `out`.
-fn frame_record(payload: &[u8], out: &mut Vec<u8>) {
+/// The service wire protocol ([`crate::wire`]) frames every message
+/// with this exact layout, so a submitted shard record is
+/// byte-identical to its on-disk journal record.
+pub(crate) fn frame_record(payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
@@ -390,7 +395,7 @@ fn frame_record(payload: &[u8], out: &mut Vec<u8>) {
 /// are CLI-parameter scale; lengths are stored as `u16` (a manifest
 /// entry longer than 64 KiB is not representable and would be
 /// refused on replay by the fingerprint-consistency check).
-fn header_record(header: &JournalHeader) -> Vec<u8> {
+pub(crate) fn header_record(header: &JournalHeader) -> Vec<u8> {
     // Small header frame sized by the CLI-scale manifest.
     // lint:allow(R7)
     let mut payload = Vec::with_capacity(HEADER_MIN_PAYLOAD_LEN as usize);
@@ -414,7 +419,7 @@ fn header_record(header: &JournalHeader) -> Vec<u8> {
 }
 
 /// The framed bytes of one window record.
-fn window_record(entry: &WindowEntry) -> Vec<u8> {
+pub(crate) fn window_record(entry: &WindowEntry) -> Vec<u8> {
     // Constant initial hint, independent of window geometry.
     // lint:allow(R7)
     let mut payload = Vec::with_capacity(256);
@@ -458,7 +463,10 @@ fn window_record(entry: &WindowEntry) -> Vec<u8> {
 }
 
 /// Parse a window record's payload (past the type byte).
-fn parse_window(mut cur: Cursor<'_>, expect: &JournalHeader) -> Result<WindowEntry, JournalFault> {
+pub(crate) fn parse_window(
+    mut cur: Cursor<'_>,
+    expect: &JournalHeader,
+) -> Result<WindowEntry, JournalFault> {
     let window = cur.u64("window index")?;
     if window >= expect.windows {
         return Err(cur.malformed(format!(
@@ -601,7 +609,10 @@ fn diagnose_fingerprint(
 
 /// Parse and verify a header payload (past the type byte) against the
 /// resuming run's identity.
-fn parse_header(mut cur: Cursor<'_>, expect: &JournalHeader) -> Result<(), JournalFault> {
+pub(crate) fn parse_header(
+    mut cur: Cursor<'_>,
+    expect: &JournalHeader,
+) -> Result<(), JournalFault> {
     let magic = cur.take(8, "magic")?;
     if magic != MAGIC {
         return Err(JournalFault::NotAJournal {

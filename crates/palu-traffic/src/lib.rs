@@ -37,6 +37,12 @@
 //!   ranges over one seed sequence, hierarchical journal merge
 //!   bit-identical to a single-process run, typed shard-fault
 //!   quarantine with a coverage threshold (DESIGN.md §4j).
+//! * [`wire`] — the service wire protocol: journal-record framing on
+//!   TCP, typed [`wire::ServiceFault`] taxonomy, and the seeded
+//!   wire-fault injector (DESIGN.md §4k).
+//! * [`service`] — federation service mode: the crash-tolerant
+//!   shard-submission collector/server with rolling merged fits, and
+//!   the retry/backoff submission client (DESIGN.md §4k).
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
@@ -60,10 +66,15 @@ pub mod observatory;
 pub mod packets;
 /// Multi-window pooled distributions `D(d_i) ± σ(d_i)` per quantity.
 pub mod pipeline;
+/// Federation service mode: crash-tolerant shard-submission server
+/// and retry/backoff submission client.
+pub mod service;
 /// The flow-record stream abstraction feeding window assembly.
 pub mod stream;
 /// Single-window accumulation of flows into per-node quantities.
 pub mod window;
+/// The federation service's wire protocol and fault injector.
+pub mod wire;
 
 pub use budget::{
     BudgetFault, CostModel, DegradationEvent, DegradationRung, Governor, ResourceBudget,
@@ -82,4 +93,9 @@ pub use metrics::{Metrics, MetricsSnapshot, Stage};
 pub use observatory::Observatory;
 pub use packets::{EdgeIntensity, Packet, PacketSynthesizer};
 pub use pipeline::{FaultTolerantPool, Pipeline, PooledDistribution};
+pub use service::{
+    query_fit, request_shutdown, submit_journal, Collector, RetryPolicy, Server, ServiceConfig,
+    ServiceReport, SubmitOutcome,
+};
 pub use window::PacketWindow;
+pub use wire::{FitSnapshot, RefusalClass, ServiceFault, WireFault, WireInjector, WireSpec};
