@@ -326,6 +326,95 @@ if [ "${srv_covered:-0}" != 12 ]; then
 fi
 echo "service: client torn mid-frame exits 8, server SIGKILL'd and recovered, fit byte-identical; partial fit exits 6"
 
+echo "== dispatcher smoke (lease supervision, kills on both sides, zombie fenced) =="
+# Dispatcher contract (DESIGN.md §4l): workers that only ever talk to
+# the dispatcher produce a merged fit byte-identical to the single-
+# process run — under a worker killed mid-capture AND a dispatcher
+# SIGKILL + restart — and a zombie worker resuming a pre-kill lease is
+# refused with the dedicated DISPATCH_FENCED code (9) without being
+# able to change coverage.
+dsp_dir="$smoke_dir/dispatch"
+mkdir -p "$dsp_dir/journals" "$dsp_dir/work"
+
+"$palu_bin" dispatch "${fed_args[@]}" --shards 4 \
+    --journal-dir "$dsp_dir/journals" \
+    --lease-ms 1500 --heartbeat-ms 300 \
+    --addr-file "$dsp_dir/addr1" 2>"$dsp_dir/dispatch1.log" &
+dsp_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$dsp_dir/addr1" ] && break
+    sleep 0.02
+done
+dsp_addr=$(cat "$dsp_dir/addr1")
+
+# Worker 100 takes a lease and dies mid-capture (--chaos-kill leaves
+# the exact on-disk state of a SIGKILL at that phase: a partial local
+# journal plus the lease-state file, and nothing submitted)…
+"$palu_bin" work "${fed_args[@]}" --server "$dsp_addr" --worker 100 \
+    --work-dir "$dsp_dir/work" --chaos-kill mid-capture 2>"$dsp_dir/work100.log"
+test -s "$dsp_dir/work/worker-100.lease"
+
+# …then the dispatcher itself is SIGKILL'd with that lease still
+# outstanding, and restarted over the same journal directory
+# (--linger keeps the fit queryable after the plan completes)…
+kill -9 "$dsp_pid" 2>/dev/null || true
+wait "$dsp_pid" 2>/dev/null || true
+"$palu_bin" dispatch "${fed_args[@]}" --shards 4 \
+    --journal-dir "$dsp_dir/journals" \
+    --lease-ms 1500 --heartbeat-ms 300 --linger \
+    --addr-file "$dsp_dir/addr2" --metrics "$dsp_dir/dispatch2.json" \
+    2>"$dsp_dir/dispatch2.log" &
+dsp2_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$dsp_dir/addr2" ] && break
+    sleep 0.02
+done
+dsp_addr2=$(cat "$dsp_dir/addr2")
+
+# …three fresh workers complete the plan between them…
+"$palu_bin" work "${fed_args[@]}" --server "$dsp_addr2" --worker 0 \
+    --work-dir "$dsp_dir/work" 2>"$dsp_dir/work0.log" &
+w0_pid=$!
+"$palu_bin" work "${fed_args[@]}" --server "$dsp_addr2" --worker 1 \
+    --work-dir "$dsp_dir/work" 2>"$dsp_dir/work1.log" &
+w1_pid=$!
+"$palu_bin" work "${fed_args[@]}" --server "$dsp_addr2" --worker 2 \
+    --work-dir "$dsp_dir/work" 2>"$dsp_dir/work2.log"
+wait "$w0_pid"
+wait "$w1_pid"
+
+# …and the dispatched fit is byte-identical to the single-process run.
+"$palu_bin" fit --server "$dsp_addr2" --out "$dsp_dir/fit.txt" 2>/dev/null
+cmp "$fed_dir/ref.txt" "$dsp_dir/fit.txt"
+
+# The killed worker wakes up as a zombie holding its pre-kill lease:
+# resubmission is byte-idempotent (coverage cannot change) and the
+# stale fence is refused with the dedicated code.
+fence_status=0
+"$palu_bin" work "${fed_args[@]}" --server "$dsp_addr2" --worker 100 \
+    --work-dir "$dsp_dir/work" --resume-lease 2>"$dsp_dir/zombie.log" || fence_status=$?
+if [ "$fence_status" != 9 ]; then
+    echo "ci: a fenced zombie must exit 9, got $fence_status" >&2
+    cat "$dsp_dir/zombie.log" >&2
+    exit 1
+fi
+grep -qi "fenced" "$dsp_dir/zombie.log" || {
+    echo "ci: the zombie refusal should say fenced:" >&2
+    cat "$dsp_dir/zombie.log" >&2
+    exit 1
+}
+"$palu_bin" fit --server "$dsp_addr2" --out "$dsp_dir/fit2.txt" 2>/dev/null
+cmp "$fed_dir/ref.txt" "$dsp_dir/fit2.txt"
+
+"$palu_bin" submit --server "$dsp_addr2" --shutdown 2>/dev/null
+wait "$dsp2_pid"
+dsp_covered=$(grep -m 1 '"covered"' "$dsp_dir/dispatch2.json" | tr -dc '0-9')
+if [ "${dsp_covered:-0}" != 12 ]; then
+    echo "ci: dispatched capture should cover all 12 windows, got ${dsp_covered:-0}" >&2
+    exit 1
+fi
+echo "dispatcher: worker killed mid-capture, dispatcher SIGKILL'd and restarted, fit byte-identical; zombie fenced (exit 9), coverage untouched"
+
 echo "== stall watchdog smoke =="
 # A window exceeding --window-deadline-ms is classified Stalled and
 # flows through quarantine into the fault report.

@@ -66,6 +66,9 @@ pub mod exit {
     /// The federation service could not be reached (or a session
     /// could not complete) before the retry deadline.
     pub const SERVICE_UNAVAILABLE: i32 = 8;
+    /// A zombie worker presented a stale fencing token and was
+    /// refused by the dispatcher.
+    pub const DISPATCH_FENCED: i32 = 9;
 }
 
 impl CliError {
@@ -147,7 +150,8 @@ fn federation_error(e: &palu_traffic::FederationError) -> CliError {
 /// Map a typed service fault to a [`CliError`] with the exit code of
 /// its refusal class — the same convention as the merge: corruption →
 /// 4, identity skew → 5, coverage → 6, plus 8 for transport
-/// exhaustion (`SERVICE_UNAVAILABLE`).
+/// exhaustion (`SERVICE_UNAVAILABLE`) and 9 for a fenced zombie
+/// lease (`DISPATCH_FENCED`).
 fn service_fault_error(context: &str, fault: &palu_traffic::ServiceFault) -> CliError {
     use palu_traffic::RefusalClass;
     let code = match fault.refusal() {
@@ -156,6 +160,7 @@ fn service_fault_error(context: &str, fault: &palu_traffic::ServiceFault) -> Cli
         RefusalClass::IdentitySkew => exit::CONFIG_MISMATCH,
         RefusalClass::Coverage => exit::COVERAGE,
         RefusalClass::Unavailable => exit::SERVICE_UNAVAILABLE,
+        RefusalClass::Fenced => exit::DISPATCH_FENCED,
     };
     CliError::with_code(format!("{context}: {fault}"), code)
 }
@@ -400,11 +405,55 @@ COMMANDS:
              + the simulate options naming the capture's identity
              With --shutdown (and no journal) the server drains and
              exits after in-flight sessions finish
+  dispatch   Run the federation dispatcher: a serve collector wrapped
+             with lease-based shard supervision. Hands out
+             window-range leases to `work` clients, monitors liveness
+             via heartbeats, re-dispatches expired leases
+             (deterministically: lowest incomplete shard first), and
+             fences zombie workers with a typed refusal. Exits when
+             every shard completes unless --linger; a SIGKILL'd
+             dispatcher restarted over the same --journal-dir derives
+             completion from the shard journals and re-dispatches
+             only what is missing
+             --journal-dir DIR [--listen ADDR=127.0.0.1:0]
+             [--shards N=1] [--min-coverage F=1.0]
+             [--lease-ms MS=10000] [--heartbeat-ms MS=lease/4]
+             [--linger] [--stall-ms MS]  stall watchdog: give up when
+               coverage is incomplete but no lease is live or renewed
+               for MS (exit 1 with the typed DispatchStalled event)
+             [--read-timeout-ms MS=5000] [--addr-file FILE]
+             [--metrics FILE]  dispatch + service sections
+             + the simulate options naming the capture's identity
+  work       Serve leases from a dispatcher: request a lease, capture
+             the granted window range into a local journal under
+             --work-dir, submit it through the idempotent submit
+             path, heartbeat on a jittered interval, repeat until the
+             dispatcher reports the capture complete
+             --server ADDR --work-dir DIR [--worker ID=0]
+             [--poll-ms MS=50] [+ retry and wire-fault options, see
+             submit] + the simulate options naming the capture's
+             identity
+             [--chaos-kill pre-lease|mid-capture|pre-submit]  die at
+               that phase exactly as a SIGKILL would (mid-capture
+               leaves a half-journaled range; pre-submit a complete
+               local journal the collector never saw)
+             [--resume-lease]  wake up as a zombie holding the lease
+               state a killed incarnation left in --work-dir: the
+               heartbeat draws the typed fenced refusal (exit 9) and
+               the journal resubmission is a byte-idempotent no-op
   help       This message
 
-EXIT CODES: 0 ok · 1 runtime · 2 usage · 3 admission refused ·
-  4 journal corrupt · 5 journal identity mismatch · 6 merge coverage
-  below threshold · 7 quarantine overflow · 8 service unreachable
+EXIT CODES (the one authoritative table):
+  0 ok
+  1 runtime failure (I/O, aborted window, dispatch stall, …)
+  2 usage
+  3 admission refused (budget governor)
+  4 journal corrupt (checksum / malformed / not a journal)
+  5 journal identity mismatch (seed, version, or fingerprint skew)
+  6 merge coverage below threshold
+  7 quarantine overflow
+  8 service unreachable before the retry deadline
+  9 lease fenced (zombie worker refused by the dispatcher)
 ";
 
 /// Write `f`'s output to `--out` or stdout.
@@ -1497,6 +1546,345 @@ fn cmd_submit(args: &ParsedArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Serialize a [`palu_traffic::DispatchReport`] as a JSON object:
+/// lease counters, the typed supervision events in arrival order, and
+/// the dispatcher's own fault report (kind codes 10–14) — kept
+/// separate from the merged capture's report, which stays
+/// bit-identical to a single-process run.
+pub fn dispatch_json(report: &palu_traffic::DispatchReport) -> crate::json::JsonValue {
+    use crate::json::JsonValue;
+    let events = JsonValue::Array(
+        report
+            .events
+            .iter()
+            .map(|e| {
+                JsonValue::obj([
+                    ("kind", JsonValue::Str(e.kind().name().to_string())),
+                    ("code", JsonValue::UInt(u64::from(e.kind().code()))),
+                    ("detail", JsonValue::Str(e.to_string())),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::obj([
+        ("shards", JsonValue::UInt(report.shards)),
+        ("windows", JsonValue::UInt(report.windows)),
+        ("shards_done", JsonValue::UInt(report.shards_done)),
+        ("leases_granted", JsonValue::UInt(report.leases_granted)),
+        ("leases_expired", JsonValue::UInt(report.leases_expired)),
+        ("leases_fenced", JsonValue::UInt(report.leases_fenced)),
+        (
+            "leases_redispatched",
+            JsonValue::UInt(report.leases_redispatched),
+        ),
+        ("heartbeats", JsonValue::UInt(report.heartbeats)),
+        ("stalled", JsonValue::Bool(report.stalled)),
+        ("events", events),
+        ("faults", fault_report_json(&report.faults)),
+    ])
+}
+
+/// `palu-cli dispatch`: the lease-based federation dispatcher. Wraps
+/// the `serve` collector behind one listener, hands out window-range
+/// leases to `work` clients, re-dispatches expired leases, and fences
+/// zombies. A SIGKILL'd dispatcher restarted over the same
+/// `--journal-dir` re-derives completion from the shard journals and
+/// re-dispatches only what is genuinely incomplete.
+fn cmd_dispatch(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::pipeline::Measurement;
+    use palu_traffic::service::{Collector, ServiceConfig};
+    use palu_traffic::{DispatchConfig, DispatchServer, Dispatcher};
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    let sc = SimCapture::parse(args)?;
+    let shards = args.u64_or("shards", 1)?;
+    let min_coverage = args.f64_or("min-coverage", 1.0)?;
+    if !(0.0..=1.0).contains(&min_coverage) {
+        return Err(CliError::usage(format!(
+            "--min-coverage must be in [0,1], got {min_coverage}"
+        )));
+    }
+    let journal_dir = args.require("journal-dir").map_err(|_| {
+        CliError::usage(
+            "dispatch requires --journal-dir <dir> (one journal per shard persists there)",
+        )
+    })?;
+    let read_timeout = args.u64_or("read-timeout-ms", 5_000)?;
+    let listen = args.get_or("listen", "127.0.0.1:0").to_string();
+    let lease_ms = args.u64_or("lease-ms", 10_000)?;
+    let heartbeat_ms = args.u64_or("heartbeat-ms", lease_ms / 4)?;
+    if lease_ms == 0 || heartbeat_ms == 0 {
+        return Err(CliError::usage(
+            "--lease-ms and --heartbeat-ms must be positive",
+        ));
+    }
+    let stall = match args.options.get("stall-ms") {
+        None => None,
+        Some(_) => {
+            let ms = args.u64_or("stall-ms", 0)?;
+            if ms == 0 {
+                return Err(CliError::usage(
+                    "--stall-ms must be a positive number of milliseconds",
+                ));
+            }
+            Some(Duration::from_millis(ms))
+        }
+    };
+    let config = ServiceConfig {
+        measurement: Measurement::UndirectedDegree,
+        expect: sc.header(),
+        shards,
+        min_coverage,
+        journal_dir: PathBuf::from(journal_dir),
+        read_timeout: Duration::from_millis(read_timeout),
+    };
+    let collector = Collector::new(config).map_err(|e| service_fault_error("dispatch", &e))?;
+    let recovered = collector.report();
+    if recovered.covered > 0 {
+        eprintln!(
+            "dispatch: recovered {}/{} window(s) from {} shard journal(s) on disk \
+             ({} torn record(s) dropped)",
+            recovered.covered,
+            recovered.windows,
+            recovered.shard_rows.len(),
+            recovered.torn_records_dropped
+        );
+    }
+    let dconfig = DispatchConfig {
+        lease: Duration::from_millis(lease_ms),
+        heartbeat: Duration::from_millis(heartbeat_ms),
+        linger: args.options.contains_key("linger"),
+        stall,
+    };
+    let dispatcher =
+        Dispatcher::new(collector, dconfig).map_err(|e| service_fault_error("dispatch", &e))?;
+    let server = DispatchServer::bind(&listen, dispatcher)
+        .map_err(|e| service_fault_error("dispatch", &e))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| service_fault_error("dispatch", &e))?;
+    eprintln!(
+        "dispatch: listening on {addr}, leasing {shards} shard(s) × {} windows \
+         (lease {lease_ms} ms, heartbeat {heartbeat_ms} ms)",
+        sc.n_windows
+    );
+    if let Some(path) = args.options.get("addr-file").filter(|s| !s.is_empty()) {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    // Keep a handle on the wrapped collector (the server consumes
+    // itself in run()) so the metrics file can include the service
+    // section alongside the dispatch section.
+    let dispatcher = server.dispatcher().clone();
+    let report = server
+        .run()
+        .map_err(|e| service_fault_error("dispatch", &e))?;
+    eprintln!(
+        "dispatch: {}/{} shard(s) done — {} lease(s) granted, {} expired, {} re-dispatched, \
+         {} fenced refusal(s), {} heartbeat(s){}",
+        report.shards_done,
+        report.shards,
+        report.leases_granted,
+        report.leases_expired,
+        report.leases_redispatched,
+        report.leases_fenced,
+        report.heartbeats,
+        if report.stalled { " — STALLED" } else { "" }
+    );
+    for event in &report.events {
+        eprintln!("dispatch: event: {event}");
+    }
+    if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
+        use crate::json::JsonValue;
+        let doc = JsonValue::obj([
+            ("dispatch", dispatch_json(&report)),
+            ("service", service_json(&dispatcher.collector().report())),
+        ]);
+        std::fs::write(path, doc.pretty())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    }
+    if report.stalled {
+        return Err(CliError::runtime(format!(
+            "dispatch: stalled at {}/{} shard(s) with no live lease",
+            report.shards_done, report.shards
+        )));
+    }
+    Ok(())
+}
+
+/// `palu-cli work`: a dispatcher worker. Requests leases, captures
+/// each granted window range into a local journal, submits it through
+/// the idempotent `submit` path, and heartbeats on a jittered
+/// interval so the lease stays live. `--resume-lease` instead wakes
+/// up as a zombie holding the lease state a previous (killed)
+/// incarnation persisted — the expected outcome is the typed fenced
+/// refusal (exit 9) with coverage untouched.
+fn cmd_work(args: &ParsedArgs) -> Result<(), CliError> {
+    use palu_traffic::pipeline::{Measurement, Pipeline};
+    use palu_traffic::{
+        resume_zombie, run_worker, FederationError, ServiceFault, WireInjector, WireSpec,
+        WorkPhase, WorkerConfig,
+    };
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    let server = args
+        .require("server")
+        .map_err(|_| CliError::usage("work requires --server <addr> (the dispatcher)"))?
+        .to_string();
+    let worker = args.u64_or("worker", 0)?;
+    let work_dir = args
+        .require("work-dir")
+        .map_err(|_| {
+            CliError::usage("work requires --work-dir <dir> (local journals + lease state)")
+        })?
+        .to_string();
+    std::fs::create_dir_all(&work_dir)
+        .map_err(|e| CliError::runtime(format!("{work_dir}: {e}")))?;
+    let retry = retry_policy(args)?;
+    let sc = SimCapture::parse(args)?;
+    let spec = match args.options.get("wire-faults").filter(|s| !s.is_empty()) {
+        Some(spec) => {
+            WireSpec::parse(spec).map_err(|e| CliError::usage(format!("--wire-faults: {e}")))?
+        }
+        None => WireSpec::none(),
+    };
+    let injector = WireInjector::new(spec, sc.seed);
+    let cfg = WorkerConfig {
+        addr: server,
+        worker,
+        journal_dir: PathBuf::from(&work_dir),
+        expect: sc.header(),
+        retry,
+        poll: Duration::from_millis(args.u64_or("poll-ms", 50)?),
+    };
+    // The zombie-resume state file: written at each grant, removed on
+    // a clean exit, so only a killed worker leaves one behind.
+    let lease_state = PathBuf::from(&work_dir).join(format!("worker-{worker}.lease"));
+    if args.options.contains_key("resume-lease") {
+        let state = std::fs::read_to_string(&lease_state)
+            .map_err(|e| CliError::usage(format!("{}: {e}", lease_state.display())))?;
+        let mut fields = state.split_whitespace().map(str::parse::<u64>);
+        let (shard, fence, shards) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(Ok(shard)), Some(Ok(fence)), Some(Ok(shards))) => (shard, fence, shards),
+            _ => {
+                return Err(CliError::usage(format!(
+                    "{}: expected `shard fence shards`, got {state:?}",
+                    lease_state.display()
+                )))
+            }
+        };
+        eprintln!(
+            "work: zombie worker {worker} waking up on shard {shard}/{shards} with fence {fence}"
+        );
+        let outcome = resume_zombie(&cfg, &injector, shard, shards, fence)
+            .map_err(|e| service_fault_error("work", &e))?;
+        eprintln!(
+            "work: zombie resubmitted {} window record(s) (byte-idempotent server-side); \
+             fenced: {}",
+            outcome.resubmitted, outcome.fenced
+        );
+        if outcome.fenced {
+            return Err(service_fault_error(
+                "work --resume-lease",
+                &ServiceFault::LeaseFenced {
+                    worker,
+                    shard,
+                    fence,
+                },
+            ));
+        }
+        return Ok(());
+    }
+    let chaos = match args.options.get("chaos-kill").map(String::as_str) {
+        None => None,
+        Some("pre-lease") => Some(WorkPhase::PreLease),
+        Some("mid-capture") => Some(WorkPhase::MidCapture),
+        Some("pre-submit") => Some(WorkPhase::PreSubmit),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "--chaos-kill must be pre-lease, mid-capture, or pre-submit, got {other:?}"
+            )))
+        }
+    };
+    let threads = sc.threads(args, sc.n_windows)?;
+    let mut obs = sc.observatory()?;
+    let report = run_worker(
+        &cfg,
+        &injector,
+        chaos,
+        |ticket, journal, limit| {
+            obs.seek(ticket.lo);
+            let n = usize::try_from(limit.unwrap_or(ticket.hi - ticket.lo)).map_err(|_| {
+                FederationError::BadPlan {
+                    windows: ticket.windows,
+                    shards: ticket.shards,
+                }
+            })?;
+            Pipeline::pool_observatory_durable(
+                Measurement::UndirectedDegree,
+                &mut obs,
+                n,
+                threads,
+                None,
+                &sc.policy,
+                sc.injector.as_ref(),
+                Some(journal),
+                None,
+            )
+            .map(|_| ())
+            .map_err(FederationError::Pipeline)
+        },
+        |ticket| {
+            let _ = std::fs::write(
+                &lease_state,
+                format!("{} {} {}\n", ticket.shard, ticket.fence, ticket.shards),
+            );
+            eprintln!(
+                "work: worker {} leased shard {}/{} — windows [{}, {}), fence {} \
+                 (lease {} ms, heartbeat {} ms)",
+                ticket.worker,
+                ticket.shard,
+                ticket.shards,
+                ticket.lo,
+                ticket.hi,
+                ticket.fence,
+                ticket.lease_ms,
+                ticket.heartbeat_ms
+            );
+        },
+    )
+    .map_err(|e| service_fault_error("work", &e))?;
+    eprintln!(
+        "work: worker {} served {} lease(s): {} shard(s) completed{}, {} fenced refusal(s)",
+        report.worker,
+        report.leases,
+        report.completed.len(),
+        if report.completed.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({})",
+                report
+                    .completed
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        },
+        report.fenced
+    );
+    match report.killed {
+        Some(phase) => eprintln!("work: chaos kill at {phase:?} — lease state left on disk"),
+        None => {
+            let _ = std::fs::remove_file(&lease_state);
+        }
+    }
+    Ok(())
+}
+
 /// `fit --server`: query the federation service's rolling merged fit
 /// and render it in the canonical pooled format. Rows cross the wire
 /// as raw IEEE-754 bits, so at full coverage the output is
@@ -1517,6 +1905,42 @@ fn cmd_fit_server(args: &ParsedArgs) -> Result<(), CliError> {
             return Err(service_fault_error("fit", &fault));
         }
         eprintln!("fit: WARNING serving a partial pool ({fault})");
+    }
+    if let Some(path) = args.options.get("metrics").filter(|s| !s.is_empty()) {
+        use crate::json::JsonValue;
+        let shard_torn = JsonValue::Array(
+            snap.shard_torn
+                .iter()
+                .map(|row| {
+                    JsonValue::obj([
+                        ("shard", JsonValue::UInt(row.shard)),
+                        (
+                            "torn_records_dropped",
+                            JsonValue::UInt(row.torn_records_dropped),
+                        ),
+                        (
+                            "torn_bytes_dropped",
+                            JsonValue::UInt(row.torn_bytes_dropped),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = JsonValue::obj([(
+            "fit",
+            JsonValue::obj([
+                ("windows", JsonValue::UInt(snap.windows)),
+                ("covered", JsonValue::UInt(snap.covered)),
+                ("min_coverage", JsonValue::Float(snap.min_coverage)),
+                ("partial", JsonValue::Bool(snap.partial)),
+                ("survivors", JsonValue::UInt(snap.survivors)),
+                ("quarantined", JsonValue::UInt(snap.quarantined)),
+                ("pooled_windows", JsonValue::UInt(snap.pooled_windows)),
+                ("shard_torn", shard_torn),
+            ]),
+        )]);
+        std::fs::write(path, doc.pretty())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
     }
     with_output(args, |w| {
         (|| -> std::io::Result<()> {
@@ -1676,6 +2100,8 @@ pub fn run(args: &ParsedArgs) -> Result<(), CliError> {
         "pool" => cmd_pool(args),
         "serve" => cmd_serve(args),
         "submit" => cmd_submit(args),
+        "dispatch" => cmd_dispatch(args),
+        "work" => cmd_work(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -35,6 +35,7 @@ const ROOT_FILES: &[&str] = &[
     "crates/palu-traffic/src/federation.rs",
     "crates/palu-traffic/src/service.rs",
     "crates/palu-traffic/src/wire.rs",
+    "crates/palu-traffic/src/dispatch.rs",
 ];
 
 /// Crate whose `merge` fns are additional roots.

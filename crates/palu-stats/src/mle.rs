@@ -392,15 +392,20 @@ pub fn fit_csn_with_restarts(
 /// Draw one sample from the discrete power-law tail
 /// `p(d) = d^{−α}/ζ(α, x_min)` for `d ≥ x_min`, by inverse-CDF
 /// bisection on the Hurwitz tail (exact; `O(log)` zeta evaluations).
-pub fn sample_tail_zeta<R: Rng + ?Sized>(alpha: f64, x_min: u64, rng: &mut R) -> u64 {
-    let z_all = hurwitz_zeta(alpha, x_min as f64).expect("alpha > 1");
+///
+/// # Errors
+///
+/// [`StatsError::Domain`] if `α ≤ 1` (the tail law has no
+/// normalizable zeta there).
+pub fn sample_tail_zeta<R: Rng + ?Sized>(alpha: f64, x_min: u64, rng: &mut R) -> Result<u64> {
+    let z_all = hurwitz_zeta(alpha, x_min as f64)?;
     let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
     // Find smallest d ≥ x_min with P(X ≤ d) ≥ u, i.e.
     // ζ(α, d + 1) ≤ (1 − u)·ζ(α, x_min).
     let target = (1.0 - u) * z_all;
     // Exponential search for an upper bracket.
     let mut hi = x_min.max(1);
-    while hurwitz_zeta(alpha, hi as f64 + 1.0).expect("alpha > 1") > target {
+    while hurwitz_zeta(alpha, hi as f64 + 1.0)? > target {
         hi = hi.saturating_mul(2);
         if hi > 1 << 40 {
             break; // astronomically deep tail; cap
@@ -408,17 +413,17 @@ pub fn sample_tail_zeta<R: Rng + ?Sized>(alpha: f64, x_min: u64, rng: &mut R) ->
     }
     let mut lo = (hi / 2).max(x_min);
     if lo >= hi {
-        return x_min;
+        return Ok(x_min);
     }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if hurwitz_zeta(alpha, mid as f64 + 1.0).expect("alpha > 1") <= target {
+        if hurwitz_zeta(alpha, mid as f64 + 1.0)? <= target {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    lo
+    Ok(lo)
 }
 
 /// Result of the CSN semiparametric goodness-of-fit bootstrap.
@@ -473,7 +478,7 @@ pub fn goodness_of_fit<R: Rng + ?Sized>(
         let mut boot = DegreeHistogram::new();
         for _ in 0..n {
             let d = if body_total == 0 || rng.gen::<f64>() < tail_prob {
-                sample_tail_zeta(fit.alpha, fit.x_min, rng)
+                sample_tail_zeta(fit.alpha, fit.x_min, rng)?
             } else {
                 let x = rng.gen_range(0..body_total);
                 let idx = body_cum.partition_point(|&c| c <= x);
@@ -492,7 +497,7 @@ pub fn goodness_of_fit<R: Rng + ?Sized>(
     }
     let exceed = replicate_ks.iter().filter(|&&k| k >= fit.ks).count();
     let p_value = exceed as f64 / replicate_ks.len() as f64;
-    replicate_ks.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    replicate_ks.sort_by(f64::total_cmp);
     Ok(GoodnessOfFit {
         p_value,
         observed_ks: fit.ks,
@@ -673,7 +678,7 @@ mod tests {
         let n = 100_000usize;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {
-            let d = sample_tail_zeta(alpha, x_min, &mut rng);
+            let d = sample_tail_zeta(alpha, x_min, &mut rng).unwrap();
             assert!(d >= x_min);
             *counts.entry(d).or_insert(0u64) += 1;
         }

@@ -72,11 +72,13 @@ impl RungTally {
 
     /// Count one fit resolved at `rung`.
     pub fn record(&mut self, rung: Rung) {
+        // Rung::index() < 4 by enum construction. lint:allow(R8)
         self.counts[rung.index()] += 1;
     }
 
     /// Number of fits resolved at `rung`.
     pub fn count(&self, rung: Rung) -> u64 {
+        // Rung::index() < 4 by enum construction. lint:allow(R8)
         self.counts[rung.index()]
     }
 

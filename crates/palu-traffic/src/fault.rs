@@ -152,6 +152,23 @@ pub enum FaultKind {
     /// corresponding [`WindowFault`] — this kind is synthesized by
     /// [`crate::federation`], not by a window attempt).
     ShardLost,
+    /// A leased worker stopped heartbeating before its lease
+    /// deadline work completed (synthesized by [`crate::dispatch`]).
+    WorkerLost,
+    /// A lease deadline elapsed and the range was reclaimed for
+    /// re-dispatch (synthesized by [`crate::dispatch`]).
+    LeaseExpired,
+    /// A zombie worker presented a stale fencing token and was
+    /// refused (synthesized by [`crate::dispatch`]).
+    LeaseFenced,
+    /// A shard range finished its lease without full coverage — its
+    /// windows return to the dispatch queue (synthesized by
+    /// [`crate::dispatch`]).
+    RangeOrphaned,
+    /// The dispatcher's stall deadline elapsed with incomplete
+    /// coverage and no live leases (synthesized by
+    /// [`crate::dispatch`]).
+    DispatchStalled,
 }
 
 impl FaultKind {
@@ -168,6 +185,11 @@ impl FaultKind {
             FaultKind::Stalled => "stalled",
             FaultKind::BudgetUnrepresentable => "budget_unrepresentable",
             FaultKind::ShardLost => "shard_lost",
+            FaultKind::WorkerLost => "worker_lost",
+            FaultKind::LeaseExpired => "lease_expired",
+            FaultKind::LeaseFenced => "lease_fenced",
+            FaultKind::RangeOrphaned => "range_orphaned",
+            FaultKind::DispatchStalled => "dispatch_stalled",
         }
     }
 
@@ -185,6 +207,11 @@ impl FaultKind {
             FaultKind::Stalled => 7,
             FaultKind::BudgetUnrepresentable => 8,
             FaultKind::ShardLost => 9,
+            FaultKind::WorkerLost => 10,
+            FaultKind::LeaseExpired => 11,
+            FaultKind::LeaseFenced => 12,
+            FaultKind::RangeOrphaned => 13,
+            FaultKind::DispatchStalled => 14,
         }
     }
 
@@ -202,6 +229,11 @@ impl FaultKind {
             7 => FaultKind::Stalled,
             8 => FaultKind::BudgetUnrepresentable,
             9 => FaultKind::ShardLost,
+            10 => FaultKind::WorkerLost,
+            11 => FaultKind::LeaseExpired,
+            12 => FaultKind::LeaseFenced,
+            13 => FaultKind::RangeOrphaned,
+            14 => FaultKind::DispatchStalled,
             _ => return None,
         })
     }
@@ -917,6 +949,11 @@ mod tests {
             FaultKind::Stalled,
             FaultKind::BudgetUnrepresentable,
             FaultKind::ShardLost,
+            FaultKind::WorkerLost,
+            FaultKind::LeaseExpired,
+            FaultKind::LeaseFenced,
+            FaultKind::RangeOrphaned,
+            FaultKind::DispatchStalled,
         ] {
             assert_eq!(FaultKind::from_code(kind.code()), Some(kind));
         }

@@ -98,6 +98,12 @@ impl ShardPlan {
             hi: lo + len,
         })
     }
+
+    /// Every shard's range, in shard order — the dispatcher iterates
+    /// this to seed its lease table.
+    pub fn ranges(&self) -> impl Iterator<Item = ShardRange> + '_ {
+        (0..self.shards).filter_map(|shard| self.shard_range(shard))
+    }
 }
 
 /// One shard's contiguous half-open window range `[lo, hi)`.

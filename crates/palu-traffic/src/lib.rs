@@ -51,6 +51,9 @@ pub mod anonymize;
 /// Resource-budget governor: admission control, backpressure, and
 /// graceful degradation for bounded-memory captures.
 pub mod budget;
+/// Federation dispatcher: lease-based shard supervision with
+/// heartbeat liveness, fencing tokens, and deterministic re-dispatch.
+pub mod dispatch;
 /// Typed window-failure taxonomy, failure policies, and the seeded
 /// deterministic fault injector.
 pub mod fault;
@@ -80,6 +83,11 @@ pub use budget::{
     BudgetFault, CostModel, DegradationEvent, DegradationRung, Governor, ResourceBudget,
     SuggestedConfig,
 };
+pub use dispatch::{
+    request_lease, resume_zombie, run_worker, send_heartbeat, send_work_done, worker_journal_name,
+    DispatchConfig, DispatchFault, DispatchReport, DispatchServer, Dispatcher, WorkPhase,
+    WorkerConfig, WorkerReport, ZombieOutcome,
+};
 pub use fault::{
     FailurePolicy, FaultAction, FaultKind, FaultRecord, FaultReport, InjectedFault, InjectionSpec,
     Injector, PipelineError, WindowFault, WindowOutcome,
@@ -98,4 +106,7 @@ pub use service::{
     ServiceReport, SubmitOutcome,
 };
 pub use window::PacketWindow;
-pub use wire::{FitSnapshot, RefusalClass, ServiceFault, WireFault, WireInjector, WireSpec};
+pub use wire::{
+    FitSnapshot, LeaseOffer, LeaseTicket, RefusalClass, ServiceFault, ShardTornRow, WireFault,
+    WireInjector, WireSpec,
+};

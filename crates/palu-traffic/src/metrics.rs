@@ -119,6 +119,11 @@ pub struct Metrics {
     budget_degradations: PaddedU64,
     admission_estimate_bytes: PaddedU64,
     capture_wall_ns: PaddedU64,
+    leases_granted: PaddedU64,
+    leases_expired: PaddedU64,
+    leases_fenced: PaddedU64,
+    leases_redispatched: PaddedU64,
+    heartbeats: PaddedU64,
 }
 
 impl Metrics {
@@ -139,6 +144,7 @@ impl Metrics {
 
     /// Add `ns` nanoseconds to `stage`'s accumulated wall-time.
     pub fn add_stage_ns(&self, stage: Stage, ns: u64) {
+        // Stage::index() is enum-bounded. lint:allow(R8)
         self.stage_ns[stage.index()].add(ns);
     }
 
@@ -208,8 +214,35 @@ impl Metrics {
         self.capture_wall_ns.add(ns);
     }
 
+    /// Count `n` granted leases (dispatcher).
+    pub fn add_leases_granted(&self, n: u64) {
+        self.leases_granted.add(n);
+    }
+
+    /// Count `n` leases whose deadline elapsed (dispatcher).
+    pub fn add_leases_expired(&self, n: u64) {
+        self.leases_expired.add(n);
+    }
+
+    /// Count `n` fenced zombie refusals (dispatcher).
+    pub fn add_leases_fenced(&self, n: u64) {
+        self.leases_fenced.add(n);
+    }
+
+    /// Count `n` re-dispatches of a previously expired range
+    /// (dispatcher).
+    pub fn add_leases_redispatched(&self, n: u64) {
+        self.leases_redispatched.add(n);
+    }
+
+    /// Count `n` accepted worker heartbeats (dispatcher).
+    pub fn add_heartbeats(&self, n: u64) {
+        self.heartbeats.add(n);
+    }
+
     /// Freeze the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // Stage::index() is enum-bounded. lint:allow(R8)
         let ns = |s: Stage| self.stage_ns[s.index()].load();
         MetricsSnapshot {
             synthesize_ns: ns(Stage::Synthesize),
@@ -229,6 +262,11 @@ impl Metrics {
             budget_degradations: self.budget_degradations.load(),
             admission_estimate_bytes: self.admission_estimate_bytes.load(),
             capture_wall_ns: self.capture_wall_ns.load(),
+            leases_granted: self.leases_granted.load(),
+            leases_expired: self.leases_expired.load(),
+            leases_fenced: self.leases_fenced.load(),
+            leases_redispatched: self.leases_redispatched.load(),
+            heartbeats: self.heartbeats.load(),
         }
     }
 }
@@ -289,6 +327,16 @@ pub struct MetricsSnapshot {
     /// through merge finished, *not* summed across threads. Accumulates
     /// across captures sharing one `Metrics`.
     pub capture_wall_ns: u64,
+    /// Leases granted by the dispatcher.
+    pub leases_granted: u64,
+    /// Leases whose deadline elapsed without completion.
+    pub leases_expired: u64,
+    /// Fenced zombie refusals issued.
+    pub leases_fenced: u64,
+    /// Re-dispatches of a previously expired range.
+    pub leases_redispatched: u64,
+    /// Worker heartbeats accepted.
+    pub heartbeats: u64,
 }
 
 impl MetricsSnapshot {
@@ -346,7 +394,17 @@ mod tests {
         m.add_budget_degradation();
         m.add_budget_degradation();
         m.set_admission_estimate_bytes(12_345);
+        m.add_leases_granted(3);
+        m.add_leases_expired(1);
+        m.add_leases_fenced(1);
+        m.add_leases_redispatched(1);
+        m.add_heartbeats(9);
         let s = m.snapshot();
+        assert_eq!(s.leases_granted, 3);
+        assert_eq!(s.leases_expired, 1);
+        assert_eq!(s.leases_fenced, 1);
+        assert_eq!(s.leases_redispatched, 1);
+        assert_eq!(s.heartbeats, 9);
         assert_eq!(s.windows_recovered, 5);
         assert_eq!(s.journal_bytes_replayed, 640);
         assert_eq!(s.journal_torn_dropped, 1);

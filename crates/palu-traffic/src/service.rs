@@ -41,9 +41,9 @@ use crate::journal::{self, Journal, JournalFault, JournalHeader, WindowEntry};
 use crate::metrics::Metrics;
 use crate::pipeline::Measurement;
 use crate::wire::{
-    read_frame, write_frame, FitRow, FitSnapshot, ServiceFault, WireInjector, WireMessage,
+    read_frame, write_frame, FitRow, FitSnapshot, ServiceFault, ShardTornRow, WireInjector,
+    WireMessage,
 };
-use palu_stats::rng::{Rng, SeedSequence};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -56,7 +56,7 @@ use std::time::Duration;
 /// Confined here so the pragma is one auditable site.
 // Transport pacing only: the clock reading never reaches a numerical
 // result. lint:allow(R2)
-fn now() -> std::time::Instant {
+pub(crate) fn now() -> std::time::Instant {
     // lint:allow(R2)
     std::time::Instant::now()
 }
@@ -197,7 +197,7 @@ pub fn shard_journal_name(shards: u64, shard: u64) -> String {
     format!("shard-{shards}-{shard}.journal")
 }
 
-fn journal_fault_to_service(fault: JournalFault) -> ServiceFault {
+pub(crate) fn journal_fault_to_service(fault: JournalFault) -> ServiceFault {
     match fault {
         JournalFault::SeedMismatch { .. }
         | JournalFault::ConfigMismatch { .. }
@@ -372,11 +372,20 @@ impl Collector {
                     let _ = write_frame(conn, &WireMessage::ShutdownAck.encode());
                     break;
                 }
+                WireMessage::LeaseRequest { .. }
+                | WireMessage::Heartbeat { .. }
+                | WireMessage::WorkDone { .. } => Err(ServiceFault::Protocol {
+                    detail: "lease frame on a submission session — this endpoint \
+                             is a plain collector, not a dispatcher"
+                        .to_string(),
+                }),
                 WireMessage::BeginAck { .. }
                 | WireMessage::EndAck { .. }
                 | WireMessage::Reject { .. }
                 | WireMessage::FitResponse(_)
-                | WireMessage::ShutdownAck => Err(ServiceFault::Protocol {
+                | WireMessage::ShutdownAck
+                | WireMessage::LeaseGrant(_)
+                | WireMessage::LeaseRenew { .. } => Err(ServiceFault::Protocol {
                     detail: "received a server-to-client frame".to_string(),
                 }),
             };
@@ -609,6 +618,15 @@ impl Collector {
         let config = &self.shared.config;
         let state = self.lock();
         let covered = state.entries.len() as u64;
+        let shard_torn: Vec<ShardTornRow> = state
+            .slots
+            .iter()
+            .map(|(shard, slot)| ShardTornRow {
+                shard: *shard,
+                torn_records_dropped: slot.torn_records_dropped,
+                torn_bytes_dropped: slot.torn_bytes_dropped,
+            })
+            .collect();
         let pool = federation::merge_entries(
             config.measurement,
             config.expect.windows as usize,
@@ -641,7 +659,25 @@ impl Collector {
             pooled_windows: pool.pooled.windows,
             d_max: pool.pooled.d_max,
             rows,
+            shard_torn,
         })
+    }
+
+    /// Windows persisted so far, per shard — the dispatcher's view of
+    /// completion. A shard absent from the map has persisted nothing.
+    pub fn shard_progress(&self) -> std::collections::BTreeMap<u64, u64> {
+        let state = self.lock();
+        state
+            .slots
+            .iter()
+            .map(|(shard, slot)| (*shard, slot.windows.len() as u64))
+            .collect()
+    }
+
+    /// The collector's shared metrics sink (the dispatcher records its
+    /// lease counters into the same instance).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
     }
 
     /// The collector's accounting snapshot.
@@ -767,51 +803,10 @@ impl Server {
     }
 }
 
-/// Client retry policy: a total deadline, jittered exponential
-/// backoff between attempts, and per-socket I/O timeouts. The jitter
-/// is seeded ([`SeedSequence`]) so a test's retry schedule is
-/// reproducible.
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Total budget across all attempts; [`ServiceFault::Unavailable`]
-    /// when it elapses.
-    pub deadline: Duration,
-    /// Base backoff; attempt `k` waits `base · 2^k · jitter`.
-    pub backoff_base: Duration,
-    /// Backoff ceiling.
-    pub backoff_cap: Duration,
-    /// Per-socket read/write timeout.
-    pub io_timeout: Duration,
-    /// Seed for the deterministic jitter.
-    pub seed: u64,
-}
-
-impl RetryPolicy {
-    /// A policy suited to loopback tests: tight timeouts, fast
-    /// backoff, generous total deadline.
-    pub fn fast(seed: u64) -> RetryPolicy {
-        RetryPolicy {
-            deadline: Duration::from_secs(30),
-            backoff_base: Duration::from_millis(10),
-            backoff_cap: Duration::from_millis(250),
-            io_timeout: Duration::from_secs(5),
-            seed,
-        }
-    }
-
-    /// The wait before retry `attempt` (0-based): exponential with
-    /// multiplicative jitter in `[0.5, 1.0)`, capped. Deterministic
-    /// in `(seed, attempt)`.
-    pub fn backoff(&self, attempt: u64) -> Duration {
-        let factor = 1u64.checked_shl(attempt.min(16) as u32).unwrap_or(u64::MAX);
-        let mut rng = SeedSequence::new(self.seed).rng(attempt);
-        let u: f64 = rng.gen::<f64>();
-        let jitter = 0.5 + 0.5 * u;
-        let nanos = self.backoff_base.as_nanos() as f64 * factor as f64 * jitter;
-        let capped = nanos.min(self.backoff_cap.as_nanos() as f64);
-        Duration::from_nanos(capped as u64)
-    }
-}
+// The client retry/backoff policy lives in the wire layer (shared by
+// `submit` and the dispatcher's `work` client); re-exported here for
+// continuity with the PR 9 API surface.
+pub use crate::wire::RetryPolicy;
 
 /// What a completed submission achieved, including the local
 /// journal's torn-tail accounting (the client-side half of the
@@ -837,7 +832,7 @@ pub struct SubmitOutcome {
     pub torn_bytes_dropped: u64,
 }
 
-fn connect(addr: &str, retry: &RetryPolicy) -> Result<TcpStream, ServiceFault> {
+pub(crate) fn connect(addr: &str, retry: &RetryPolicy) -> Result<TcpStream, ServiceFault> {
     let stream = TcpStream::connect(addr).map_err(|e| ServiceFault::Io {
         detail: format!("connect {addr}: {e}"),
     })?;
@@ -858,7 +853,7 @@ fn connect(addr: &str, retry: &RetryPolicy) -> Result<TcpStream, ServiceFault> {
 /// Read one frame and decode it, treating a clean close mid-session
 /// as a retryable [`ServiceFault::Unavailable`], and a `Reject` frame
 /// as its reconstructed [`ServiceFault::Remote`].
-fn read_reply(stream: &mut TcpStream) -> Result<WireMessage, ServiceFault> {
+pub(crate) fn read_reply(stream: &mut TcpStream) -> Result<WireMessage, ServiceFault> {
     match read_frame(stream)? {
         None => Err(ServiceFault::Unavailable {
             detail: "connection closed before acknowledgement".to_string(),
@@ -983,7 +978,7 @@ fn try_submit_once(
     }
 }
 
-fn frame_name(message: &WireMessage) -> &'static str {
+pub(crate) fn frame_name(message: &WireMessage) -> &'static str {
     match message {
         WireMessage::Record(_) => "Record",
         WireMessage::SubmitBegin { .. } => "SubmitBegin",
@@ -995,6 +990,11 @@ fn frame_name(message: &WireMessage) -> &'static str {
         WireMessage::FitResponse(_) => "FitResponse",
         WireMessage::Shutdown => "Shutdown",
         WireMessage::ShutdownAck => "ShutdownAck",
+        WireMessage::LeaseRequest { .. } => "LeaseRequest",
+        WireMessage::LeaseGrant(_) => "LeaseGrant",
+        WireMessage::Heartbeat { .. } => "Heartbeat",
+        WireMessage::LeaseRenew { .. } => "LeaseRenew",
+        WireMessage::WorkDone { .. } => "WorkDone",
     }
 }
 

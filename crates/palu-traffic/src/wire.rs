@@ -29,6 +29,14 @@
 //!                       n:u64 (degree:u64 mean:f64bits sigma:f64bits)*
 //! type 23  Shutdown                                  — admin drain
 //! type 24  ShutdownAck
+//! type 25  LeaseRequest worker:u64                   — dispatcher mode
+//! type 26  LeaseGrant   status:u8 [ticket]           — 0 granted / 1 wait / 2 complete
+//!                       ticket := worker:u64 shard:u64 shards:u64 windows:u64
+//!                                 lo:u64 hi:u64 fence:u64 lease_ms:u64
+//!                                 heartbeat_ms:u64 fingerprint:u64
+//! type 27  Heartbeat    worker:u64 shard:u64 fence:u64
+//! type 28  LeaseRenew   fence:u64 deadline_ms:u64
+//! type 29  WorkDone     worker:u64 shard:u64 fence:u64
 //! ```
 //!
 //! Every way a frame or a session can fail is a typed
@@ -67,6 +75,16 @@ pub const TYPE_FIT_RESPONSE: u8 = 22;
 pub const TYPE_SHUTDOWN: u8 = 23;
 /// Payload type byte for [`WireMessage::ShutdownAck`].
 pub const TYPE_SHUTDOWN_ACK: u8 = 24;
+/// Payload type byte for [`WireMessage::LeaseRequest`].
+pub const TYPE_LEASE_REQUEST: u8 = 25;
+/// Payload type byte for [`WireMessage::LeaseGrant`].
+pub const TYPE_LEASE_GRANT: u8 = 26;
+/// Payload type byte for [`WireMessage::Heartbeat`].
+pub const TYPE_HEARTBEAT: u8 = 27;
+/// Payload type byte for [`WireMessage::LeaseRenew`].
+pub const TYPE_LEASE_RENEW: u8 = 28;
+/// Payload type byte for [`WireMessage::WorkDone`].
+pub const TYPE_WORK_DONE: u8 = 29;
 
 /// Typed service failure taxonomy — every way a frame, a session, or
 /// the service itself can fail. Mirrors [`JournalFault`]'s contract:
@@ -164,6 +182,19 @@ pub enum ServiceFault {
         /// The last underlying failure.
         detail: String,
     },
+    /// A lease-protocol frame carried a stale fencing token: the
+    /// lease it belonged to expired (or the dispatcher restarted) and
+    /// the range was re-dispatched under a newer fence. The zombie
+    /// holder must stop; byte-idempotent resubmission keeps coverage
+    /// safe regardless, this refusal makes the zombie *observable*.
+    LeaseFenced {
+        /// The worker presenting the stale token.
+        worker: u64,
+        /// The shard whose lease was fenced.
+        shard: u64,
+        /// The stale fencing token presented.
+        fence: u64,
+    },
     /// A refusal received from the peer as a `Reject` frame: `code`
     /// is the original fault's wire code, `message` its rendering.
     Remote {
@@ -191,6 +222,9 @@ pub enum RefusalClass {
     /// The service could not be reached or the session could not
     /// complete (exit code 8's class).
     Unavailable,
+    /// A stale fencing token — the presenting worker is a zombie and
+    /// must stop (exit code 9's class).
+    Fenced,
 }
 
 impl ServiceFault {
@@ -212,6 +246,7 @@ impl ServiceFault {
             ServiceFault::PartialCoverage { .. } => "partial_coverage",
             ServiceFault::Draining => "draining",
             ServiceFault::Unavailable { .. } => "unavailable",
+            ServiceFault::LeaseFenced { .. } => "lease_fenced",
             ServiceFault::Remote { .. } => "remote",
         }
     }
@@ -236,6 +271,7 @@ impl ServiceFault {
             ServiceFault::PartialCoverage { .. } => 13,
             ServiceFault::Draining => 14,
             ServiceFault::Unavailable { .. } => 15,
+            ServiceFault::LeaseFenced { .. } => 16,
             ServiceFault::Remote { code, .. } => *code,
         }
     }
@@ -247,17 +283,22 @@ impl ServiceFault {
             3 | 4 | 6 | 10 | 12 => RefusalClass::Corrupt,
             9 => RefusalClass::IdentitySkew,
             13 => RefusalClass::Coverage,
+            16 => RefusalClass::Fenced,
             _ => RefusalClass::Unavailable,
         }
     }
 
     /// Whether a client may retry after this fault: transport
     /// trouble, deadlines, and drains are transient; identity skew,
-    /// plan mismatches, and data inconsistency never heal by retry.
+    /// plan mismatches, data inconsistency, and fencing never heal by
+    /// retry (a fenced lease stays fenced — a newer fence owns it).
     pub fn retryable(&self) -> bool {
         !matches!(
             self.refusal(),
-            RefusalClass::Usage | RefusalClass::Corrupt | RefusalClass::IdentitySkew
+            RefusalClass::Usage
+                | RefusalClass::Corrupt
+                | RefusalClass::IdentitySkew
+                | RefusalClass::Fenced
         ) || matches!(self, ServiceFault::Checksum | ServiceFault::Torn { .. })
             || self.code() == 4
             || self.code() == 2
@@ -315,6 +356,16 @@ impl std::fmt::Display for ServiceFault {
             ServiceFault::Unavailable { detail } => {
                 write!(f, "service unavailable: {detail}")
             }
+            ServiceFault::LeaseFenced {
+                worker,
+                shard,
+                fence,
+            } => write!(
+                f,
+                "lease fenced: worker {worker} presented stale fencing token {fence} \
+                 for shard {shard} — the lease expired and the range was re-dispatched \
+                 under a newer fence; stop working this range"
+            ),
             ServiceFault::Remote { code, message } => {
                 write!(f, "server refused (code {code}): {message}")
             }
@@ -416,6 +467,19 @@ pub struct FitRow {
     pub sigma_bits: u64,
 }
 
+/// Per-shard torn-tail accounting carried on a served fit, so
+/// `fit --server` surfaces the same crash-residue counters as
+/// `pool --merge` and `serve` do in their metrics JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTornRow {
+    /// The shard index.
+    pub shard: u64,
+    /// Torn-tail records dropped recovering this shard's journal.
+    pub torn_records_dropped: u64,
+    /// Torn-tail bytes dropped recovering this shard's journal.
+    pub torn_bytes_dropped: u64,
+}
+
 /// A served fit snapshot: the rolling merged pool at the coverage the
 /// service currently holds, tagged with the coverage arithmetic and
 /// the typed partial marker.
@@ -441,6 +505,9 @@ pub struct FitSnapshot {
     pub d_max: u64,
     /// The pooled `D(d_i) ± σ` rows, bit-exact.
     pub rows: Vec<FitRow>,
+    /// Per-shard torn-tail drop counts from the server's journal
+    /// recoveries, shard-ordered.
+    pub shard_torn: Vec<ShardTornRow>,
 }
 
 impl FitSnapshot {
@@ -464,6 +531,50 @@ impl FitSnapshot {
             None
         }
     }
+}
+
+/// One granted lease: everything a worker needs to capture a shard's
+/// window range and prove it still owns the lease while doing so.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseTicket {
+    /// The worker the lease was granted to.
+    pub worker: u64,
+    /// The leased shard index.
+    pub shard: u64,
+    /// Shards in the dispatcher's plan.
+    pub shards: u64,
+    /// Total windows in the capture.
+    pub windows: u64,
+    /// First window of the leased range (inclusive).
+    pub lo: u64,
+    /// One past the last window of the leased range.
+    pub hi: u64,
+    /// The fencing token: monotonically increasing per grant, echoed
+    /// on every `Heartbeat`/`WorkDone` — a stale token is a typed
+    /// [`ServiceFault::LeaseFenced`] refusal.
+    pub fence: u64,
+    /// Lease validity in milliseconds; missing a renewal past this
+    /// deadline expires the lease and re-dispatches the range.
+    pub lease_ms: u64,
+    /// Heartbeat interval in milliseconds, jittered per lease by the
+    /// dispatcher so a worker fleet's renewals do not synchronize.
+    pub heartbeat_ms: u64,
+    /// The capture identity fingerprint ([`JournalHeader`]'s) the
+    /// worker must match — a mismatched worker refuses locally before
+    /// capturing anything.
+    pub fingerprint: u64,
+}
+
+/// The dispatcher's answer to a [`WireMessage::LeaseRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseOffer {
+    /// A lease on one shard's window range.
+    Granted(LeaseTicket),
+    /// Nothing grantable right now (every incomplete range is leased
+    /// to a live worker) — poll again after a backoff.
+    Wait,
+    /// Every range is durably complete; the worker may exit.
+    Complete,
 }
 
 /// Every message the service protocol exchanges. Journal records
@@ -519,6 +630,44 @@ pub enum WireMessage {
     Shutdown,
     /// Server → client: drain acknowledged.
     ShutdownAck,
+    /// Worker → dispatcher: announce liveness and ask for a lease.
+    LeaseRequest {
+        /// The requesting worker's id.
+        worker: u64,
+    },
+    /// Dispatcher → worker: the lease decision.
+    LeaseGrant(LeaseOffer),
+    /// Worker → dispatcher: proof of life for a held lease; the
+    /// dispatcher answers with a [`WireMessage::LeaseRenew`] extending
+    /// the deadline, or a `Reject` carrying
+    /// [`ServiceFault::LeaseFenced`] for a stale fence.
+    Heartbeat {
+        /// The heartbeating worker's id.
+        worker: u64,
+        /// The shard the worker believes it holds.
+        shard: u64,
+        /// The fencing token from the worker's grant.
+        fence: u64,
+    },
+    /// Dispatcher → worker: the lease deadline was extended (also the
+    /// acknowledgement for a [`WireMessage::WorkDone`], with
+    /// `deadline_ms` = 0).
+    LeaseRenew {
+        /// The fence being renewed/acknowledged.
+        fence: u64,
+        /// Milliseconds of validity from now (0 on a `WorkDone` ack).
+        deadline_ms: u64,
+    },
+    /// Worker → dispatcher: the leased range is fully submitted
+    /// through the collector; release the lease.
+    WorkDone {
+        /// The reporting worker's id.
+        worker: u64,
+        /// The completed shard.
+        shard: u64,
+        /// The fencing token from the worker's grant.
+        fence: u64,
+    },
 }
 
 /// Append a `u64` list (count prefix + elements) to `out`.
@@ -600,10 +749,74 @@ impl WireMessage {
                     out.extend_from_slice(&row.mean_bits.to_le_bytes());
                     out.extend_from_slice(&row.sigma_bits.to_le_bytes());
                 }
+                out.extend_from_slice(&(snap.shard_torn.len() as u64).to_le_bytes());
+                for row in &snap.shard_torn {
+                    out.extend_from_slice(&row.shard.to_le_bytes());
+                    out.extend_from_slice(&row.torn_records_dropped.to_le_bytes());
+                    out.extend_from_slice(&row.torn_bytes_dropped.to_le_bytes());
+                }
                 out
             }
             WireMessage::Shutdown => vec![TYPE_SHUTDOWN],
             WireMessage::ShutdownAck => vec![TYPE_SHUTDOWN_ACK],
+            WireMessage::LeaseRequest { worker } => {
+                let mut out = vec![TYPE_LEASE_REQUEST];
+                out.extend_from_slice(&worker.to_le_bytes());
+                out
+            }
+            WireMessage::LeaseGrant(offer) => {
+                let mut out = vec![TYPE_LEASE_GRANT];
+                match offer {
+                    LeaseOffer::Granted(t) => {
+                        out.push(0);
+                        for v in [
+                            t.worker,
+                            t.shard,
+                            t.shards,
+                            t.windows,
+                            t.lo,
+                            t.hi,
+                            t.fence,
+                            t.lease_ms,
+                            t.heartbeat_ms,
+                            t.fingerprint,
+                        ] {
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                    LeaseOffer::Wait => out.push(1),
+                    LeaseOffer::Complete => out.push(2),
+                }
+                out
+            }
+            WireMessage::Heartbeat {
+                worker,
+                shard,
+                fence,
+            } => {
+                let mut out = vec![TYPE_HEARTBEAT];
+                out.extend_from_slice(&worker.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&fence.to_le_bytes());
+                out
+            }
+            WireMessage::LeaseRenew { fence, deadline_ms } => {
+                let mut out = vec![TYPE_LEASE_RENEW];
+                out.extend_from_slice(&fence.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out
+            }
+            WireMessage::WorkDone {
+                worker,
+                shard,
+                fence,
+            } => {
+                let mut out = vec![TYPE_WORK_DONE];
+                out.extend_from_slice(&worker.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&fence.to_le_bytes());
+                out
+            }
         }
     }
 
@@ -690,6 +903,23 @@ impl WireMessage {
                         sigma_bits,
                     });
                 }
+                let n_torn = cur.u64("fit shard-torn count").map_err(malformed)?;
+                if (n_torn as u128) * 24 > cur.bytes.len() as u128 {
+                    return Err(ServiceFault::Malformed {
+                        detail: "declared shard-torn row count extends past the frame".to_string(),
+                    });
+                }
+                let mut shard_torn = Vec::with_capacity(n_torn as usize);
+                for _ in 0..n_torn {
+                    let shard = cur.u64("torn row shard").map_err(malformed)?;
+                    let torn_records_dropped = cur.u64("torn row records").map_err(malformed)?;
+                    let torn_bytes_dropped = cur.u64("torn row bytes").map_err(malformed)?;
+                    shard_torn.push(ShardTornRow {
+                        shard,
+                        torn_records_dropped,
+                        torn_bytes_dropped,
+                    });
+                }
                 Ok(WireMessage::FitResponse(FitSnapshot {
                     windows,
                     covered,
@@ -700,12 +930,124 @@ impl WireMessage {
                     pooled_windows,
                     d_max,
                     rows,
+                    shard_torn,
                 }))
             }
             TYPE_SHUTDOWN => Ok(WireMessage::Shutdown),
             TYPE_SHUTDOWN_ACK => Ok(WireMessage::ShutdownAck),
+            TYPE_LEASE_REQUEST => {
+                let worker = cur.u64("lease worker").map_err(malformed)?;
+                Ok(WireMessage::LeaseRequest { worker })
+            }
+            TYPE_LEASE_GRANT => {
+                let status = cur.u8("lease grant status").map_err(malformed)?;
+                match status {
+                    0 => {
+                        let worker = cur.u64("ticket worker").map_err(malformed)?;
+                        let shard = cur.u64("ticket shard").map_err(malformed)?;
+                        let shards = cur.u64("ticket shard count").map_err(malformed)?;
+                        let windows = cur.u64("ticket window count").map_err(malformed)?;
+                        let lo = cur.u64("ticket range lo").map_err(malformed)?;
+                        let hi = cur.u64("ticket range hi").map_err(malformed)?;
+                        let fence = cur.u64("ticket fence").map_err(malformed)?;
+                        let lease_ms = cur.u64("ticket lease ms").map_err(malformed)?;
+                        let heartbeat_ms = cur.u64("ticket heartbeat ms").map_err(malformed)?;
+                        let fingerprint = cur.u64("ticket fingerprint").map_err(malformed)?;
+                        Ok(WireMessage::LeaseGrant(LeaseOffer::Granted(LeaseTicket {
+                            worker,
+                            shard,
+                            shards,
+                            windows,
+                            lo,
+                            hi,
+                            fence,
+                            lease_ms,
+                            heartbeat_ms,
+                            fingerprint,
+                        })))
+                    }
+                    1 => Ok(WireMessage::LeaseGrant(LeaseOffer::Wait)),
+                    2 => Ok(WireMessage::LeaseGrant(LeaseOffer::Complete)),
+                    other => Err(ServiceFault::Malformed {
+                        detail: format!("unknown lease grant status {other}"),
+                    }),
+                }
+            }
+            TYPE_HEARTBEAT => {
+                let worker = cur.u64("heartbeat worker").map_err(malformed)?;
+                let shard = cur.u64("heartbeat shard").map_err(malformed)?;
+                let fence = cur.u64("heartbeat fence").map_err(malformed)?;
+                Ok(WireMessage::Heartbeat {
+                    worker,
+                    shard,
+                    fence,
+                })
+            }
+            TYPE_LEASE_RENEW => {
+                let fence = cur.u64("renew fence").map_err(malformed)?;
+                let deadline_ms = cur.u64("renew deadline ms").map_err(malformed)?;
+                Ok(WireMessage::LeaseRenew { fence, deadline_ms })
+            }
+            TYPE_WORK_DONE => {
+                let worker = cur.u64("work-done worker").map_err(malformed)?;
+                let shard = cur.u64("work-done shard").map_err(malformed)?;
+                let fence = cur.u64("work-done fence").map_err(malformed)?;
+                Ok(WireMessage::WorkDone {
+                    worker,
+                    shard,
+                    fence,
+                })
+            }
             other => Err(ServiceFault::UnknownFrame { kind: other }),
         }
+    }
+}
+
+/// Client retry policy: a total deadline, jittered exponential
+/// backoff between attempts, and per-socket I/O timeouts. The jitter
+/// is seeded ([`SeedSequence`]) so a test's retry schedule is
+/// reproducible. Shared by every wire client — `submit`'s journal
+/// streamer and the dispatcher's `work` lease loop use the same
+/// knobs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total budget across all attempts; [`ServiceFault::Unavailable`]
+    /// when it elapses.
+    pub deadline: std::time::Duration,
+    /// Base backoff; attempt `k` waits `base · 2^k · jitter`.
+    pub backoff_base: std::time::Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: std::time::Duration,
+    /// Per-socket read/write timeout.
+    pub io_timeout: std::time::Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy suited to loopback tests: tight timeouts, fast
+    /// backoff, generous total deadline.
+    pub fn fast(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            deadline: std::time::Duration::from_secs(30),
+            backoff_base: std::time::Duration::from_millis(10),
+            backoff_cap: std::time::Duration::from_millis(250),
+            io_timeout: std::time::Duration::from_secs(5),
+            seed,
+        }
+    }
+
+    /// The wait before retry `attempt` (0-based): exponential with
+    /// multiplicative jitter in `[0.5, 1.0)`, capped. Deterministic
+    /// in `(seed, attempt)`.
+    pub fn backoff(&self, attempt: u64) -> std::time::Duration {
+        let factor = 1u64.checked_shl(attempt.min(16) as u32).unwrap_or(u64::MAX);
+        let mut rng = SeedSequence::new(self.seed).rng(attempt);
+        let u: f64 = rng.gen::<f64>();
+        let jitter = 0.5 + 0.5 * u;
+        let nanos = self.backoff_base.as_nanos() as f64 * factor as f64 * jitter;
+        let capped = nanos.min(self.backoff_cap.as_nanos() as f64);
+        std::time::Duration::from_nanos(capped as u64)
     }
 }
 
@@ -956,9 +1298,52 @@ mod tests {
                 mean_bits: 0.5f64.to_bits(),
                 sigma_bits: 0.01f64.to_bits(),
             }],
+            shard_torn: vec![ShardTornRow {
+                shard: 2,
+                torn_records_dropped: 1,
+                torn_bytes_dropped: 37,
+            }],
         }));
         round_trip(WireMessage::Shutdown);
         round_trip(WireMessage::ShutdownAck);
+    }
+
+    #[test]
+    fn lease_messages_round_trip() {
+        round_trip(WireMessage::LeaseRequest { worker: 7 });
+        round_trip(WireMessage::LeaseGrant(LeaseOffer::Granted(LeaseTicket {
+            worker: 7,
+            shard: 2,
+            shards: 4,
+            windows: 64,
+            lo: 32,
+            hi: 48,
+            fence: 11,
+            lease_ms: 2000,
+            heartbeat_ms: 400,
+            fingerprint: 0xDEAD_BEEF,
+        })));
+        round_trip(WireMessage::LeaseGrant(LeaseOffer::Wait));
+        round_trip(WireMessage::LeaseGrant(LeaseOffer::Complete));
+        round_trip(WireMessage::Heartbeat {
+            worker: 7,
+            shard: 2,
+            fence: 11,
+        });
+        round_trip(WireMessage::LeaseRenew {
+            fence: 11,
+            deadline_ms: 2000,
+        });
+        round_trip(WireMessage::WorkDone {
+            worker: 7,
+            shard: 2,
+            fence: 11,
+        });
+        // An unknown grant status is malformed, not silently mapped.
+        assert!(matches!(
+            WireMessage::decode(&[TYPE_LEASE_GRANT, 9]),
+            Err(ServiceFault::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -1091,5 +1476,33 @@ mod tests {
         assert!(ServiceFault::Torn { bytes: 3 }.retryable());
         assert!(ServiceFault::Deadline.retryable());
         assert!(!ServiceFault::WindowConflict { window: 1 }.retryable());
+        // Fencing is terminal: a zombie must stop, not retry.
+        let fenced = ServiceFault::LeaseFenced {
+            worker: 1,
+            shard: 2,
+            fence: 3,
+        };
+        assert_eq!(fenced.code(), 16);
+        assert_eq!(fenced.refusal(), RefusalClass::Fenced);
+        assert!(!fenced.retryable());
+        let remote_fenced = ServiceFault::Remote {
+            code: fenced.code(),
+            message: fenced.to_string(),
+        };
+        assert_eq!(remote_fenced.refusal(), RefusalClass::Fenced);
+        assert!(!remote_fenced.retryable());
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_and_capped() {
+        let retry = RetryPolicy::fast(42);
+        let again = RetryPolicy::fast(42);
+        for attempt in 0..12 {
+            let wait = retry.backoff(attempt);
+            assert_eq!(wait, again.backoff(attempt), "attempt {attempt}");
+            assert!(wait <= retry.backoff_cap, "attempt {attempt} over cap");
+        }
+        let other = RetryPolicy::fast(43);
+        assert!((0..12).any(|a| retry.backoff(a) != other.backoff(a)));
     }
 }

@@ -109,10 +109,12 @@ impl ZmFitter {
         let pooled = model.pooled();
         match self.objective {
             FitObjective::LeastSquares => observed.l2_distance_sq(&pooled),
-            FitObjective::WeightedLeastSquares => {
-                let w = weights.expect("weighted objective requires weights");
-                observed.weighted_distance_sq(&pooled, w)
-            }
+            FitObjective::WeightedLeastSquares => match weights {
+                Some(w) => observed.weighted_distance_sq(&pooled, w),
+                // `fit` refuses this combination with a typed Domain
+                // error at entry; soft-fail like an invalid model.
+                None => f64::INFINITY,
+            },
             FitObjective::LogSpace => observed.log_distance_sq(&pooled),
             FitObjective::PooledKs => observed.linf_distance(&pooled),
         }
@@ -264,12 +266,12 @@ impl ZmFitter {
         };
         let tail = (1.0 - level) / 2.0;
         let mut alphas: Vec<f64> = replicates.iter().map(|f| f.alpha).collect();
-        alphas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        alphas.sort_by(f64::total_cmp);
         let mut deltas: Vec<f64> = replicates.iter().map(|f| f.delta).collect();
-        deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        deltas.sort_by(f64::total_cmp);
         let alpha_ci = (percentile(&alphas, tail), percentile(&alphas, 1.0 - tail));
         let delta_ci = (percentile(&deltas, tail), percentile(&deltas, 1.0 - tail));
-        replicates.sort_by(|a, b| a.alpha.partial_cmp(&b.alpha).expect("finite"));
+        replicates.sort_by(|a, b| a.alpha.total_cmp(&b.alpha));
         Ok(ZmBootstrap {
             point,
             alpha_ci,

@@ -422,8 +422,61 @@ fn wire_fault_injection_never_corrupts_the_served_fit() {
     assert!(report.faults.iter().all(|f| f.code > 0));
 }
 
-/// An in-memory connection: the server reads a canned byte stream and
-/// its replies go to a sink, like a peer that died after sending.
+#[test]
+fn combined_delay_and_duplicate_storms_converge_on_one_collector() {
+    let gen = generator();
+    let dir = temp_dir("delay-dup");
+    let reference = single_process(&gen, 2);
+    let paths = capture_all_shards(&gen, &dir, 2, 2);
+    let (addr, handle) = start_server(dir.join("server"), 2);
+
+    // Delays and duplicates *together* are the nasty schedule: a
+    // delayed frame reorders against its own duplicate, so the
+    // collector sees the same window arrive twice with other records
+    // in between — both submitting clients aim the storm at the one
+    // collector concurrently.
+    let spec = WireSpec {
+        delay: 0.4,
+        duplicate: 0.4,
+        ..WireSpec::none()
+    };
+    let workers: Vec<_> = paths
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(shard, path)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                submit_journal(
+                    &addr,
+                    &path,
+                    shard as u64,
+                    2,
+                    &header(),
+                    &RetryPolicy::fast(SEED + shard as u64),
+                    &WireInjector::new(spec, INJECT_SEED + shard as u64),
+                )
+            })
+        })
+        .collect();
+    for worker in workers {
+        let outcome = worker
+            .join()
+            .expect("submit thread")
+            .expect("submission under delay+duplicate storms");
+        assert_eq!(outcome.accepted, outcome.assigned, "shard fully persisted");
+    }
+
+    let snap = query_fit(&addr, &RetryPolicy::fast(SEED)).expect("fit");
+    assert_snapshot_bit_identical(&snap, &reference, "under delay+duplicate storms");
+
+    request_shutdown(&addr, &RetryPolicy::fast(SEED)).expect("shutdown");
+    let report = handle.join().expect("server thread").expect("drain");
+    assert_eq!(report.covered, WINDOWS as u64);
+    // Duplicates must actually have hit the collector, and been
+    // absorbed as duplicates — not rejections.
+    assert!(report.duplicates > 0, "the duplicate storm was real");
+}
 struct CannedConn {
     input: std::io::Cursor<Vec<u8>>,
     replies: Vec<u8>,
@@ -526,4 +579,89 @@ fn every_torn_submission_prefix_is_typed_and_retry_converges() {
     .expect("server journal replays");
     assert_eq!(recovered.windows.len(), WINDOWS);
     assert_eq!(recovered.torn_records_dropped, 0, "server journal is whole");
+}
+
+#[test]
+fn resumed_client_whose_first_frame_is_already_persisted_stays_idempotent() {
+    let gen = generator();
+    let dir = temp_dir("beginack-edge");
+    let reference = single_process(&gen, 2);
+    let paths = capture_all_shards(&gen, &dir, 1, 2);
+    let journal_bytes = std::fs::read(&paths[0]).expect("journal readable");
+    let records = frame_boundaries(&journal_bytes).len() as u64;
+    let mut session: Vec<u8> = Vec::new();
+    write_frame(
+        &mut session,
+        &WireMessage::SubmitBegin {
+            shard: 0,
+            shards: 1,
+            windows: WINDOWS as u64,
+        }
+        .encode(),
+    )
+    .expect("encode begin");
+    session.extend_from_slice(&journal_bytes);
+    write_frame(
+        &mut session,
+        &WireMessage::SubmitEnd { sent: records - 1 }.encode(),
+    )
+    .expect("encode end");
+
+    let collector = Collector::new(config(dir.join("server"), 1, 1.0)).expect("collector");
+
+    // Session 1: a clean full submission persists every window.
+    let mut conn = CannedConn {
+        input: std::io::Cursor::new(session.clone()),
+        replies: Vec::new(),
+    };
+    let summary = collector.handle(&mut conn);
+    assert!(
+        summary.fault.is_none(),
+        "clean session: {:?}",
+        summary.fault
+    );
+    assert_eq!(collector.report().covered, WINDOWS as u64);
+
+    // Session 2: the resumption edge. A client killed after its acks
+    // were lost resumes from scratch, so the very first window frame
+    // it sends is one the server already persisted. The BeginAck must
+    // advertise the complete have-set, and the replayed records must
+    // land as duplicates — never rejections, never double counts.
+    let mut conn = CannedConn {
+        input: std::io::Cursor::new(session),
+        replies: Vec::new(),
+    };
+    let summary = collector.handle(&mut conn);
+    assert!(
+        summary.fault.is_none(),
+        "resumed session: {:?}",
+        summary.fault
+    );
+    let reply_bounds = frame_boundaries(&conn.replies);
+    assert!(!reply_bounds.is_empty(), "BeginAck reply expected");
+    let first = &conn.replies[8..reply_bounds[0]];
+    match WireMessage::decode(first).expect("BeginAck decodes") {
+        WireMessage::BeginAck { have } => {
+            assert_eq!(
+                have.len(),
+                WINDOWS,
+                "have-set advertises every persisted window"
+            );
+            assert!(
+                (0..WINDOWS as u64).all(|w| have.contains(&w)),
+                "have-set is the exact window set"
+            );
+        }
+        other => panic!("expected BeginAck, got {other:?}"),
+    }
+
+    let report = collector.report();
+    assert_eq!(report.covered, WINDOWS as u64, "coverage unchanged");
+    assert!(
+        report.duplicates > 0,
+        "replayed records counted as duplicates"
+    );
+    assert_eq!(report.rejected, 0, "idempotent replay is never a rejection");
+    let snap = collector.fit_snapshot().expect("fit");
+    assert_snapshot_bit_identical(&snap, &reference, "after the resumed replay");
 }
